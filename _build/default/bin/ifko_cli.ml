@@ -1,0 +1,189 @@
+(* The ifko command-line interface.
+
+   Subcommands:
+     ifko analyze  FILE            -- FKO's analysis report for a HIL kernel
+     ifko compile  FILE [flags]    -- one FKO invocation; prints assembly
+     ifko tune     FILE [flags]    -- the full iterative/empirical search
+
+   Timing requires knowing how to build workloads for the kernel's
+   parameters; the CLI binds every `ptr` parameter to a fresh random
+   vector of length N, every int parameter to N, and every fp parameter
+   to 0.77 — matching the library's BLAS workloads. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path = Ifko.compile_source (read_file path)
+
+let machine_of = function
+  | "p4e" -> Ifko_machine.Config.p4e
+  | "opteron" -> Ifko_machine.Config.opteron
+  | other -> failwith (Printf.sprintf "unknown machine %S (p4e|opteron)" other)
+
+let context_of = function
+  | "oc" -> Ifko_sim.Timer.Out_of_cache
+  | "l2" -> Ifko_sim.Timer.In_l2
+  | other -> failwith (Printf.sprintf "unknown context %S (oc|l2)" other)
+
+(* Generic workload builder from the kernel's signature. *)
+let generic_spec (compiled : Ifko.Lower.compiled) =
+  let prec =
+    match compiled.Ifko.Lower.arrays with
+    | a :: _ -> a.Ifko.Lower.a_elem
+    | [] -> Instr.D
+  in
+  let make_env n =
+    let bytes =
+      max (1 lsl 20) ((List.length compiled.Ifko.Lower.arrays * n * 8) + (1 lsl 16))
+    in
+    let env = Ifko_sim.Env.create ~mem_bytes:bytes () in
+    let rng = Ifko_util.Rng.create (n + 17) in
+    List.iter
+      (fun (p : Ifko_hil.Ast.param) ->
+        match p.Ifko_hil.Ast.p_ty with
+        | Ifko_hil.Ast.Int -> Ifko_sim.Env.bind_int env p.Ifko_hil.Ast.p_name n
+        | Ifko_hil.Ast.Fp fp ->
+          Ifko_sim.Env.bind_fp env p.Ifko_hil.Ast.p_name
+            (match fp with Ifko_hil.Ast.Single -> Instr.S | Ifko_hil.Ast.Double -> Instr.D)
+            0.77
+        | Ifko_hil.Ast.Ptr fp ->
+          let sz = match fp with Ifko_hil.Ast.Single -> Instr.S | Ifko_hil.Ast.Double -> Instr.D in
+          Ifko_sim.Env.alloc_array env p.Ifko_hil.Ast.p_name sz n;
+          Ifko_sim.Env.fill env p.Ifko_hil.Ast.p_name (fun _ ->
+              Ifko_util.Rng.sign_float rng 1.0))
+      compiled.Ifko.Lower.source.Ifko_hil.Ast.k_params;
+    env
+  in
+  { Ifko_sim.Timer.make_env; ret_fsize = prec }
+
+(* A generic tester: the untransformed lowering is the semantic
+   reference for arbitrary user kernels. *)
+let generic_test (compiled : Ifko.Lower.compiled) spec func =
+  List.for_all
+    (fun n ->
+      let env_ref = spec.Ifko_sim.Timer.make_env n in
+      let env_opt = spec.Ifko_sim.Timer.make_env n in
+      match
+        ( Ifko_sim.Exec.run ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize
+            compiled.Ifko.Lower.func env_ref,
+          Ifko_sim.Exec.run ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize func env_opt )
+      with
+      | exception Ifko_sim.Exec.Trap _ -> false
+      | r_ref, r_opt ->
+        let rets_ok =
+          match (r_ref.Ifko_sim.Exec.ret, r_opt.Ifko_sim.Exec.ret) with
+          | None, None -> true
+          | Some (Ifko_sim.Exec.Rint a), Some (Ifko_sim.Exec.Rint b) -> a = b
+          | Some (Ifko_sim.Exec.Rfp a), Some (Ifko_sim.Exec.Rfp b) ->
+            Ifko_sim.Verify.close ~tol:1e-4 a b
+          | _ -> false
+        in
+        rets_ok
+        && List.for_all
+             (fun (a : Ifko.Lower.array_param) ->
+               let xa = Ifko_sim.Env.to_array env_ref a.Ifko.Lower.a_name in
+               let xb = Ifko_sim.Env.to_array env_opt a.Ifko.Lower.a_name in
+               Array.for_all2 (fun u v -> Ifko_sim.Verify.close ~tol:1e-4 u v) xa xb)
+             compiled.Ifko.Lower.arrays)
+    [ 0; 1; 7; 130 ]
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let compiled = load file in
+    print_string (Ifko.Report.to_string (Ifko.analyze compiled))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"print FKO's analysis report for a HIL kernel")
+    Term.(const run $ file)
+
+(* ---- compile ---- *)
+
+let machine_arg =
+  Arg.(value & opt string "p4e" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"p4e or opteron")
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let sv = Arg.(value & opt bool true & info [ "sv" ] ~doc:"SIMD vectorization") in
+  let ur = Arg.(value & opt int 0 & info [ "ur" ] ~doc:"unroll factor (0 = default)") in
+  let ae = Arg.(value & opt int 0 & info [ "ae" ] ~doc:"accumulator expansion") in
+  let wnt = Arg.(value & opt bool false & info [ "wnt" ] ~doc:"non-temporal writes") in
+  let pf = Arg.(value & opt int (-1) & info [ "pf-dist" ] ~doc:"prefetch distance in bytes (-1 = default)") in
+  let run file machine sv ur ae wnt pf_dist =
+    let cfg = machine_of machine in
+    let compiled = load file in
+    let d = Ifko.default_params ~cfg compiled in
+    let params =
+      {
+        d with
+        Ifko.Params.sv = sv && d.Ifko.Params.sv;
+        unroll = (if ur > 0 then ur else d.Ifko.Params.unroll);
+        ae;
+        wnt;
+        prefetch =
+          (if pf_dist < 0 then d.Ifko.Params.prefetch
+           else
+             List.map
+               (fun (a, (s : Ifko.Params.pf_param)) ->
+                 (a, { s with Ifko.Params.pf_dist }))
+               d.Ifko.Params.prefetch);
+      }
+    in
+    let func = Ifko.compile_point ~cfg compiled params in
+    Printf.printf "; machine %s, parameters %s\n%s" cfg.Ifko.Config.name
+      (Ifko.Params.to_string params) (Cfg.to_string func)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"run FKO once at a parameter point and print the assembly")
+    Term.(const run $ file $ machine_arg $ sv $ ur $ ae $ wnt $ pf)
+
+(* ---- tune ---- *)
+
+let tune_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let context =
+    Arg.(value & opt string "oc" & info [ "c"; "context" ] ~docv:"CTX" ~doc:"oc or l2")
+  in
+  let n = Arg.(value & opt int 80000 & info [ "n" ] ~doc:"problem size to tune for") in
+  let flops =
+    Arg.(value & opt float 2.0 & info [ "flops-per-n" ] ~doc:"FLOPs per element for MFLOPS")
+  in
+  let asm = Arg.(value & flag & info [ "S"; "asm" ] ~doc:"print the tuned assembly") in
+  let run file machine context n flops_per_n asm =
+    let cfg = machine_of machine in
+    let context = context_of context in
+    let compiled = load file in
+    let spec = generic_spec compiled in
+    let tuned =
+      Ifko.tune ~cfg ~context ~spec ~n ~flops_per_n ~test:(generic_test compiled spec)
+        compiled
+    in
+    print_string (Ifko.Report.to_string tuned.Ifko.Driver.report);
+    Printf.printf "\nFKO default point : %8.1f MFLOPS  (%s)\n"
+      tuned.Ifko.Driver.fko_mflops
+      (Ifko.Params.to_string tuned.Ifko.Driver.default_params);
+    Printf.printf "ifko tuned point  : %8.1f MFLOPS  (%s)\n" tuned.Ifko.Driver.ifko_mflops
+      (Ifko.Params.to_string tuned.Ifko.Driver.best_params);
+    Printf.printf "speedup %.2fx over FKO in %d evaluations\n"
+      (tuned.Ifko.Driver.ifko_mflops /. Float.max 1e-9 tuned.Ifko.Driver.fko_mflops)
+      tuned.Ifko.Driver.evaluations;
+    List.iter
+      (fun (dim, ratio) ->
+        if ratio > 1.0001 then Printf.printf "  %-7s %+.1f%%\n" dim ((ratio -. 1.0) *. 100.0))
+      tuned.Ifko.Driver.contributions;
+    if asm then print_string (Cfg.to_string tuned.Ifko.Driver.best_func)
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"iteratively and empirically tune a HIL kernel")
+    Term.(const run $ file $ machine_arg $ context $ n $ flops $ asm)
+
+let () =
+  let doc = "iterative floating point kernel optimizer (paper reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "ifko" ~doc) [ analyze_cmd; compile_cmd; tune_cmd ]))

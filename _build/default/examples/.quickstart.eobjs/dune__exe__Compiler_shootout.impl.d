@@ -1,0 +1,1 @@
+examples/compiler_shootout.ml: Array Defs Ifko Ifko_eval Ifko_util List Printf String Sys

@@ -1,0 +1,1 @@
+examples/context_adaptation.ml: Defs Hil_sources Ifko Instr List Printf Workload

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Ifko Ifko_util Instr List Printf

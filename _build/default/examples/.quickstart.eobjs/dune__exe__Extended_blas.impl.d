@@ -1,0 +1,1 @@
+examples/extended_blas.ml: Extras Ifko Ifko_blas Instr List Printf

@@ -1,0 +1,1 @@
+examples/level3_teaser.ml: Defs Hil_sources Ifko Ifko_util Instr List Printf Workload

@@ -1,0 +1,1 @@
+examples/level3_teaser.mli:

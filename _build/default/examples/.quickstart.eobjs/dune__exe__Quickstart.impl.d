@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cfg Ifko Instr List Printf

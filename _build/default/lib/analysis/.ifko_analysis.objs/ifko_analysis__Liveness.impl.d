@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Block Cfg Hashtbl Instr List Option Reg

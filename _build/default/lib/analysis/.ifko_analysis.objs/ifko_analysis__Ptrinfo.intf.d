@@ -1,0 +1,1 @@
+lib/analysis/ptrinfo.mli: Ifko_codegen

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Accuminfo Buffer Ifko_codegen Ifko_hil Instr List Lower Printf Ptrinfo String Vecinfo

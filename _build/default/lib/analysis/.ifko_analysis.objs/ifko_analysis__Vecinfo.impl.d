@@ -1,0 +1,1 @@
+lib/analysis/vecinfo.ml: Accuminfo Block Cfg Ifko_codegen Instr List Liveness Loopnest Lower Ptrinfo Reg

@@ -1,0 +1,1 @@
+lib/analysis/vecinfo.mli: Ifko_codegen Instr Reg

@@ -1,0 +1,72 @@
+open Ifko_codegen
+
+type accum = { reg : Reg.t; fsize : Instr.fsize; adds : int }
+
+(* Does [i] mention [r] in any role other than the full accumulating
+   add [r <- r + b]? *)
+let foreign_mention r i =
+  match i with
+  | Instr.Fop (_, Instr.Fadd, d, a, b) when Reg.equal d r && Reg.equal a r ->
+    Reg.equal b r (* r + r doubles the value: not a pure accumulation *)
+  | Instr.Fopm (_, Instr.Fadd, d, a, _) when Reg.equal d r && Reg.equal a r -> false
+  | Instr.Vop (_, Instr.Fadd, d, a, b) when Reg.equal d r && Reg.equal a r ->
+    Reg.equal b r
+  | Instr.Vopm (_, Instr.Fadd, d, a, _) when Reg.equal d r && Reg.equal a r -> false
+  | i ->
+    List.exists (Reg.equal r) (Instr.defs i) || List.exists (Reg.equal r) (Instr.uses i)
+
+let accumulating_add r i =
+  match i with
+  | Instr.Fop (sz, Instr.Fadd, d, a, b) when Reg.equal d r && Reg.equal a r && not (Reg.equal b r)
+    -> Some sz
+  | Instr.Fopm (sz, Instr.Fadd, d, a, _) when Reg.equal d r && Reg.equal a r -> Some sz
+  | Instr.Vop (sz, Instr.Fadd, d, a, b) when Reg.equal d r && Reg.equal a r && not (Reg.equal b r)
+    -> Some sz
+  | Instr.Vopm (sz, Instr.Fadd, d, a, _) when Reg.equal d r && Reg.equal a r -> Some sz
+  | _ -> None
+
+let analyze (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | None -> []
+  | Some ln ->
+    let f = compiled.Lower.func in
+    let labels = (ln.Loopnest.header :: Loopnest.body_labels f ln) @ [ ln.Loopnest.latch ] in
+    let blocks = List.filter_map (Cfg.find_block f) labels in
+    (* Candidates: every Xmm register that is the target of an
+       accumulating add somewhere in the loop. *)
+    let candidates = ref Reg.Set.empty in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            List.iter
+              (fun d ->
+                if d.Reg.cls = Reg.Xmm && accumulating_add d i <> None then
+                  candidates := Reg.Set.add d !candidates)
+              (Instr.defs i))
+          b.Block.instrs)
+      blocks;
+    Reg.Set.fold
+      (fun r acc ->
+        let ok = ref true and adds = ref 0 and fsize = ref None in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun i ->
+                match accumulating_add r i with
+                | Some sz ->
+                  incr adds;
+                  (match !fsize with
+                  | None -> fsize := Some sz
+                  | Some sz' -> if sz <> sz' then ok := false)
+                | None -> if foreign_mention r i then ok := false)
+              b.Block.instrs;
+            if
+              List.exists (Reg.equal r) (Block.term_uses b.Block.term)
+              || List.exists (Reg.equal r) (Block.term_defs b.Block.term)
+            then ok := false)
+          blocks;
+        match (!ok, !fsize) with
+        | true, Some fsize -> { reg = r; fsize; adds = !adds } :: acc
+        | _ -> acc)
+      !candidates []

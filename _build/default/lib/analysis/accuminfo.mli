@@ -1,0 +1,16 @@
+(** Accumulator detection.
+
+    An accumulator is a scalar FP register that, inside the tunable
+    loop, is {e exclusively} the target of floating-point adds of the
+    form [r <- r + t] (register or memory second operand) and is never
+    otherwise read or written there.  These are the paper's "list of
+    all scalars that are valid targets for accumulator expansion", and
+    double as the reduction variables the SIMD vectorizer must handle
+    specially. *)
+
+type accum = { reg : Reg.t; fsize : Instr.fsize; adds : int }
+(** [adds] is the number of accumulating adds per loop iteration. *)
+
+val analyze : Ifko_codegen.Lower.compiled -> accum list
+(** Accumulators of the current main loop ([[]] without a tunable
+    loop). *)

@@ -1,0 +1,74 @@
+type t = {
+  live_in : (string, Reg.Set.t) Hashtbl.t;
+  live_out : (string, Reg.Set.t) Hashtbl.t;
+}
+
+let get tbl label = Option.value ~default:Reg.Set.empty (Hashtbl.find_opt tbl label)
+
+(* use/def summary of a whole block: [uses] are registers read before
+   any write inside the block; [defs] are all registers written. *)
+let block_summary (b : Block.t) =
+  let uses = ref Reg.Set.empty and defs = ref Reg.Set.empty in
+  let use r = if not (Reg.Set.mem r !defs) then uses := Reg.Set.add r !uses in
+  let def r = defs := Reg.Set.add r !defs in
+  List.iter
+    (fun i ->
+      List.iter use (Instr.uses i);
+      List.iter def (Instr.defs i))
+    b.Block.instrs;
+  List.iter use (Block.term_uses b.Block.term);
+  List.iter def (Block.term_defs b.Block.term);
+  (!uses, !defs)
+
+let compute (f : Cfg.func) =
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  let summaries =
+    List.map (fun b -> (b.Block.label, (b, block_summary b))) f.Cfg.blocks
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Iterate in reverse block order for fast convergence. *)
+    List.iter
+      (fun (label, (b, (uses, defs))) ->
+        let out =
+          List.fold_left
+            (fun acc succ -> Reg.Set.union acc (get live_in succ))
+            Reg.Set.empty
+            (Block.successors b.Block.term)
+        in
+        let inn = Reg.Set.union uses (Reg.Set.diff out defs) in
+        if not (Reg.Set.equal out (get live_out label)) then begin
+          Hashtbl.replace live_out label out;
+          changed := true
+        end;
+        if not (Reg.Set.equal inn (get live_in label)) then begin
+          Hashtbl.replace live_in label inn;
+          changed := true
+        end)
+      (List.rev summaries)
+  done;
+  { live_in; live_out }
+
+let live_in t label = get t.live_in label
+let live_out t label = get t.live_out label
+
+let live_before_each t (b : Block.t) =
+  (* Walk backward accumulating liveness, then reverse. *)
+  let after_term = live_out t b.Block.label in
+  let at_term =
+    Reg.Set.union
+      (Reg.Set.of_list (Block.term_uses b.Block.term))
+      (Reg.Set.diff after_term (Reg.Set.of_list (Block.term_defs b.Block.term)))
+  in
+  let rec go live acc = function
+    | [] -> acc
+    | i :: before ->
+      let live' =
+        Reg.Set.union
+          (Reg.Set.of_list (Instr.uses i))
+          (Reg.Set.diff live (Reg.Set.of_list (Instr.defs i)))
+      in
+      go live' ((i, live) :: acc) before
+  in
+  go at_term [] (List.rev b.Block.instrs)

@@ -1,0 +1,21 @@
+(** Backward live-register dataflow over a LIL function.
+
+    Used by dead-code elimination, register allocation and the
+    legality checks of the fundamental transformations. *)
+
+type t
+
+val compute : Cfg.func -> t
+(** Run the worklist analysis to a fixed point. *)
+
+val live_in : t -> string -> Reg.Set.t
+(** Registers live on entry to the named block. *)
+
+val live_out : t -> string -> Reg.Set.t
+(** Registers live on exit from the named block (union of successors'
+    [live_in]). *)
+
+val live_before_each : t -> Block.t -> (Instr.t * Reg.Set.t) list
+(** [live_before_each t b] pairs every instruction of [b] with the set
+    of registers live {e after} it executes, in block order.  The
+    terminator's uses are included at the end of the block. *)

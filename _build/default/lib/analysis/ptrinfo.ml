@@ -1,0 +1,57 @@
+open Ifko_codegen
+
+type moving = {
+  array : Lower.array_param;
+  stride : int;
+  loads : int;
+  stores : int;
+}
+
+let loop_blocks (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | None -> []
+  | Some ln ->
+    let labels = (ln.Loopnest.header :: Loopnest.body_labels compiled.Lower.func ln) @ [ ln.Loopnest.latch ] in
+    List.filter_map (Cfg.find_block compiled.Lower.func) labels
+
+let analyze (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | None -> []
+  | Some _ ->
+    let blocks = loop_blocks compiled in
+    let stat (a : Lower.array_param) =
+      let reg = a.Lower.a_reg in
+      let stride = ref 0 and loads = ref 0 and stores = ref 0 in
+      let irregular = ref false in
+      let mem_touches (m : Instr.mem) =
+        Reg.equal m.Instr.base reg
+        || match m.Instr.index with Some idx -> Reg.equal idx reg | None -> false
+      in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              (match i with
+              | Instr.Iop (Instr.Iadd, d, s, Instr.Oimm k)
+                when Reg.equal d reg && Reg.equal s reg -> stride := !stride + k
+              | Instr.Iop (Instr.Isub, d, s, Instr.Oimm k)
+                when Reg.equal d reg && Reg.equal s reg -> stride := !stride - k
+              | i -> if List.exists (Reg.equal reg) (Instr.defs i) then irregular := true);
+              if Instr.is_load i && List.exists mem_touches (match i with
+                  | Instr.Ild (_, m) | Instr.Fld (_, _, m) | Instr.Vld (_, _, m)
+                  | Instr.Fopm (_, _, _, _, m) | Instr.Vopm (_, _, _, _, m) -> [ m ]
+                  | _ -> []) then incr loads;
+              if Instr.is_store i && List.exists mem_touches (match i with
+                  | Instr.Ist (m, _) | Instr.Fst (_, m, _) | Instr.Fstnt (_, m, _)
+                  | Instr.Vst (_, m, _) | Instr.Vstnt (_, m, _) -> [ m ]
+                  | _ -> []) then incr stores)
+            b.Block.instrs)
+        blocks;
+      if !irregular then None
+      else Some { array = a; stride = !stride; loads = !loads; stores = !stores }
+    in
+    List.filter_map stat compiled.Lower.arrays
+
+let prefetch_targets compiled =
+  analyze compiled
+  |> List.filter (fun m -> m.stride <> 0 && not m.array.Lower.a_noprefetch)

@@ -1,0 +1,27 @@
+(** Moving-pointer analysis of the tunable loop.
+
+    Identifies the arrays whose references increment with the loop —
+    by default every such array is a valid prefetch target (the user
+    can exclude arrays known to be cache-resident with mark-up), and
+    their per-iteration byte strides drive prefetch insertion and the
+    displacement folding performed by unrolling. *)
+
+type moving = {
+  array : Ifko_codegen.Lower.array_param;
+  stride : int;
+      (** net bytes the pointer advances per main-loop iteration
+          (negative for descending loops) *)
+  loads : int;  (** memory reads from this array per iteration *)
+  stores : int;  (** memory writes to this array per iteration *)
+}
+
+val analyze : Ifko_codegen.Lower.compiled -> moving list
+(** Analyze the current main loop of the compiled kernel.  Arrays whose
+    pointer register is updated by anything other than constant
+    increments inside the loop are excluded (their motion is not
+    predictable).  Returns [[]] when the kernel has no tunable loop. *)
+
+val prefetch_targets : Ifko_codegen.Lower.compiled -> moving list
+(** [analyze] filtered by the [NOPREFETCH] mark-up and to arrays that
+    actually move, i.e. the paper's "list of all arrays that are valid
+    targets for prefetch". *)

@@ -1,0 +1,52 @@
+open Ifko_codegen
+
+type t = {
+  kernel_name : string;
+  has_opt_loop : bool;
+  vectorizable : bool;
+  vec_reason : string;
+  precision : Instr.fsize option;
+  max_unroll : int;
+  accumulators : Accuminfo.accum list;
+  prefetch_arrays : Ptrinfo.moving list;
+  output_arrays : string list;
+}
+
+let analyze (compiled : Lower.compiled) =
+  let vec = Vecinfo.analyze compiled in
+  {
+    kernel_name = compiled.Lower.source.Ifko_hil.Ast.k_name;
+    has_opt_loop = compiled.Lower.loopnest <> None;
+    vectorizable = vec.Vecinfo.vectorizable;
+    vec_reason = vec.Vecinfo.reason;
+    precision = vec.Vecinfo.precision;
+    max_unroll = vec.Vecinfo.max_unroll;
+    accumulators = Accuminfo.analyze compiled;
+    prefetch_arrays = Ptrinfo.prefetch_targets compiled;
+    output_arrays =
+      List.filter_map
+        (fun (a : Lower.array_param) -> if a.Lower.a_output then Some a.Lower.a_name else None)
+        compiled.Lower.arrays;
+  }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "kernel           : %s\n" t.kernel_name;
+  add "tunable loop     : %s\n" (if t.has_opt_loop then "yes" else "no");
+  (if t.vectorizable then add "SIMD vectorizable: yes\n"
+   else add "SIMD vectorizable: no (%s)\n" t.vec_reason);
+  (match t.precision with
+  | Some sz ->
+    add "precision        : %s\n" (match sz with Instr.S -> "single" | Instr.D -> "double")
+  | None -> ());
+  add "max safe unroll  : %d\n" t.max_unroll;
+  add "accumulators     : %d\n" (List.length t.accumulators);
+  add "output arrays    : %s\n"
+    (if t.output_arrays = [] then "-" else String.concat ", " t.output_arrays);
+  List.iter
+    (fun (m : Ptrinfo.moving) ->
+      add "prefetch array   : %s (stride %+d B/iter, %d loads, %d stores)\n"
+        m.Ptrinfo.array.Lower.a_name m.Ptrinfo.stride m.Ptrinfo.loads m.Ptrinfo.stores)
+    t.prefetch_arrays;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** The analysis report FKO communicates back to the search.
+
+    Unlike a normal compiler, a compiler inside an iterative search
+    must export what it learned about the kernel, because this defines
+    the optimization space to be explored: whether the marked loop can
+    be SIMD-vectorized, the maximum safe unrolling, which scalars are
+    accumulator-expansion targets, and which arrays are prefetch
+    candidates (with their access mix). *)
+
+type t = {
+  kernel_name : string;
+  has_opt_loop : bool;
+  vectorizable : bool;
+  vec_reason : string;  (** diagnostic when not vectorizable *)
+  precision : Instr.fsize option;  (** element precision of the loop *)
+  max_unroll : int;
+  accumulators : Accuminfo.accum list;
+  prefetch_arrays : Ptrinfo.moving list;
+  output_arrays : string list;  (** candidates for non-temporal writes *)
+}
+
+val analyze : Ifko_codegen.Lower.compiled -> t
+(** Run all loop analyses on a freshly lowered kernel. *)
+
+val to_string : t -> string
+(** Render the report in the textual form the [ifko] CLI prints. *)

@@ -1,0 +1,121 @@
+open Ifko_codegen
+
+type scalar_class = Reduction | Invariant | Temp
+
+type t = {
+  vectorizable : bool;
+  reason : string;
+  precision : Instr.fsize option;
+  classes : (Reg.t * scalar_class) list;
+  max_unroll : int;
+}
+
+let not_vectorizable reason =
+  { vectorizable = false; reason; precision = None; classes = []; max_unroll = 128 }
+
+let analyze (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | None -> not_vectorizable "no loop marked for tuning"
+  | Some ln -> (
+    let f = compiled.Lower.func in
+    match Loopnest.body_labels f ln with
+    | [] -> not_vectorizable "empty loop body"
+    | _ :: _ :: _ -> not_vectorizable "loop body contains control flow"
+    | [ body_label ] ->
+      let body = Cfg.find_block_exn f body_label in
+      if body.Block.term <> Block.Jmp ln.Loopnest.latch then
+        not_vectorizable "loop body contains control flow"
+      else begin
+        let moving = Ptrinfo.analyze compiled in
+        let stride_of base =
+          List.find_opt (fun m -> Reg.equal m.Ptrinfo.array.Lower.a_reg base) moving
+        in
+        let accums = Accuminfo.analyze compiled in
+        let precision = ref None and failure = ref None in
+        let fail reason = if !failure = None then failure := Some reason in
+        let note_prec sz =
+          match !precision with
+          | None -> precision := Some sz
+          | Some sz' -> if sz <> sz' then fail "mixed precisions in loop body"
+        in
+        let check_mem what (m : Instr.mem) sz =
+          if m.Instr.disp <> 0 || m.Instr.index <> None then
+            fail (what ^ ": non-trivial addressing")
+          else
+            match stride_of m.Instr.base with
+            | None -> fail (what ^ ": base is not a moving array pointer")
+            | Some mv ->
+              if mv.Ptrinfo.stride <> Instr.fsize_bytes sz then
+                fail (what ^ ": array stride is not one ascending element")
+        in
+        List.iter
+          (fun i ->
+            match i with
+            | Instr.Fld (sz, _, m) ->
+              note_prec sz;
+              check_mem "load" m sz
+            | Instr.Fst (sz, m, _) | Instr.Fstnt (sz, m, _) ->
+              note_prec sz;
+              check_mem "store" m sz
+            | Instr.Fop (sz, op, _, _, _) | Instr.Fopm (sz, op, _, _, _) -> (
+              note_prec sz;
+              match op with
+              | Instr.Fadd | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fmax | Instr.Fmin
+                -> ())
+            | Instr.Fabs (sz, _, _) | Instr.Fsqrt (sz, _, _) -> note_prec sz
+            | Instr.Fmov (sz, _, _) | Instr.Fldi (sz, _, _) -> note_prec sz
+            | Instr.Iop (Instr.Iadd, d, s, Instr.Oimm _) when Reg.equal d s -> (
+              (* pointer bump; must belong to a moving array *)
+              match stride_of d with
+              | Some _ -> ()
+              | None -> fail "integer arithmetic in loop body")
+            | Instr.Fneg _ -> fail "negation is not vectorized"
+            | Instr.Vld _ | Instr.Vst _ | Instr.Vstnt _ | Instr.Vmov _ | Instr.Vbcast _
+            | Instr.Vldi _ | Instr.Vop _ | Instr.Vopm _ | Instr.Vabs _ | Instr.Vsqrt _
+            | Instr.Vcmp _ | Instr.Vmovmsk _ | Instr.Vextract _ | Instr.Vreduce _ ->
+              fail "loop already contains vector instructions"
+            | Instr.Touch _ -> fail "block-fetch touches are not vectorized"
+            | Instr.Prefetch _ | Instr.Nop -> ()
+            | Instr.Ild _ | Instr.Ist _ | Instr.Imov _ | Instr.Ildi _ | Instr.Iop _
+            | Instr.Lea _ -> fail "integer arithmetic in loop body")
+          body.Block.instrs;
+        match !failure with
+        | Some reason -> not_vectorizable reason
+        | None -> (
+          (* Classify every Xmm register the body mentions. *)
+          let live = Liveness.compute f in
+          let live_in = Liveness.live_in live body_label in
+          let mentioned = ref Reg.Set.empty in
+          List.iter
+            (fun i ->
+              List.iter
+                (fun r -> if r.Reg.cls = Reg.Xmm then mentioned := Reg.Set.add r !mentioned)
+                (Instr.defs i @ Instr.uses i))
+            body.Block.instrs;
+          let is_accum r = List.exists (fun a -> Reg.equal a.Accuminfo.reg r) accums in
+          let defined_in_body r =
+            List.exists
+              (fun i -> List.exists (Reg.equal r) (Instr.defs i))
+              body.Block.instrs
+          in
+          let classes, bad =
+            Reg.Set.fold
+              (fun r (acc, bad) ->
+                if is_accum r then ((r, Reduction) :: acc, bad)
+                else if not (defined_in_body r) then ((r, Invariant) :: acc, bad)
+                else if not (Reg.Set.mem r live_in) then ((r, Temp) :: acc, bad)
+                else (acc, true))
+              !mentioned ([], false)
+          in
+          match (bad, !precision) with
+          | true, _ -> not_vectorizable "loop-carried scalar is not an add-reduction"
+          | _, None -> not_vectorizable "no floating-point work in loop body"
+          | false, Some _ ->
+            {
+              vectorizable = true;
+              reason = "";
+              precision = !precision;
+              classes;
+              max_unroll = 128;
+            })
+      end)

@@ -1,0 +1,26 @@
+(** SIMD-vectorizability analysis of the tunable loop.
+
+    The analysis is deliberately conservative, mirroring FKO's: a loop
+    qualifies only if its body is a single straight-line block of
+    same-precision FP operations over unit-stride ascending arrays,
+    whose cross-iteration scalars are all add-reductions.  In
+    particular the compare-and-branch reduction of [iamax] is rejected
+    — reproducing the paper's result that neither FKO nor icc
+    vectorizes it while hand-tuned assembly does. *)
+
+type scalar_class =
+  | Reduction  (** add-accumulator; becomes a vector accumulator *)
+  | Invariant  (** read-only in the loop; broadcast once *)
+  | Temp  (** defined before use each iteration; widened in place *)
+
+type t = {
+  vectorizable : bool;
+  reason : string;  (** why not, when [vectorizable = false] *)
+  precision : Instr.fsize option;
+  classes : (Reg.t * scalar_class) list;
+  max_unroll : int;
+      (** maximum safe unrolling reported to the search *)
+}
+
+val analyze : Ifko_codegen.Lower.compiled -> t
+(** Analyze the (not yet transformed) compiled kernel. *)

@@ -1,0 +1,1 @@
+lib/baselines/atlas_idioms.ml: Ifko_transform

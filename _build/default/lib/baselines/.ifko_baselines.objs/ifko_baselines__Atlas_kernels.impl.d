@@ -1,0 +1,1 @@
+lib/baselines/atlas_kernels.ml: Array Atlas_idioms Block Cfg Config Defs Hil_sources Ifko_analysis Ifko_blas Ifko_codegen Ifko_machine Ifko_transform Instr List Reg Validate

@@ -1,0 +1,1 @@
+lib/baselines/atlas_kernels.mli: Cfg Ifko_blas Ifko_machine Instr

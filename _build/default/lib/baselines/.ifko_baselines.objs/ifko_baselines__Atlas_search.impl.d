@@ -1,0 +1,1 @@
+lib/baselines/atlas_search.ml: Atlas_kernels Cfg Config Defs Ifko_blas Ifko_machine Ifko_sim Instr List Workload

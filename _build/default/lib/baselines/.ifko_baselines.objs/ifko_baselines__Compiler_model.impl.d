@@ -1,0 +1,1 @@
+lib/baselines/compiler_model.ml: Ifko_analysis Ifko_codegen Ifko_machine Ifko_sim Ifko_transform Instr List

@@ -1,0 +1,6 @@
+(** Hand-tuning idioms available to ATLAS's kernels.  The two-array
+    indexing rewrite lives in {!Ifko_transform.Ciscidx}; this alias
+    keeps the baseline code reading like the paper's narrative (a trick
+    the hand-tuners had and FKO, as published, did not). *)
+
+let two_array_indexing = Ifko_transform.Ciscidx.apply

@@ -1,0 +1,28 @@
+(** ATLAS's hand-tuned Level 1 BLAS kernel collection.
+
+    ATLAS ships, for every routine, a set of laboriously hand-tuned
+    implementations — mostly ANSI C with inline-assembly prefetch, plus
+    a few all-assembly kernels — and empirically selects among them at
+    install time.  This module reproduces that collection:
+
+    - the C-based candidates are modelled as fixed high-level-tuned
+      parameter points (source-level unrolling, accumulator splitting,
+      inline prefetch) compiled through the same backend;
+    - the all-assembly candidates ([assembly = true], shown with a [*]
+      suffix in the figures, as in the paper) use techniques FKO does
+      not implement: CISC two-array indexing, AMD-style block fetch for
+      [copy], and the compare-mask SIMD vectorization of [iamax] that
+      neither FKO nor icc performs automatically. *)
+
+type candidate = {
+  cand_name : string;
+  assembly : bool;
+  build :
+    cfg:Ifko_machine.Config.t ->
+    pf:(Instr.pf_kind * int) option ->
+    wnt:bool ->
+    Cfg.func;
+}
+
+val candidates : Ifko_blas.Defs.kernel_id -> candidate list
+(** The implementations ATLAS's search considers for one routine. *)

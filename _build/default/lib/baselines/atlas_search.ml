@@ -1,0 +1,59 @@
+(** ATLAS's install-time empirical search.
+
+    For each routine ATLAS times every hand-tuned implementation (over
+    a small grid of prefetch settings and write-hint choices) in the
+    target context and keeps the fastest — "the best kernel found by
+    ATLAS's empirical search".  When the winner is an all-assembly
+    kernel its name carries the [*] suffix, exactly as in the paper's
+    figures. *)
+
+open Ifko_blas
+open Ifko_machine
+
+type selection = {
+  kernel_name : string;  (** e.g. ["dcopy*"] when assembly won *)
+  candidate : string;
+  func : Cfg.func;
+  mflops : float;
+}
+
+(* The hand-tuned kernels embed their prefetch structure; ATLAS's
+   install-time search only tries each implementation with its inline
+   prefetch enabled or disabled (the fine-grained distance search is
+   exactly what ifko adds over ATLAS). *)
+let pf_grid (cfg : Config.t) =
+  let line = cfg.Config.prefetchable_line in
+  [ None; Some (Instr.Nta, 8 * line) ]
+
+let select ~cfg ~context ~n ~seed (id : Defs.kernel_id) =
+  let spec = Workload.timer_spec id ~seed in
+  let flops_per_n = Defs.flops_per_n id.Defs.routine in
+  let best = ref None in
+  List.iter
+    (fun (cand : Atlas_kernels.candidate) ->
+      List.iter
+        (fun pf ->
+          List.iter
+            (fun wnt ->
+              match cand.Atlas_kernels.build ~cfg ~pf ~wnt with
+              | exception _ -> () (* a candidate that fails to build is skipped *)
+              | func ->
+                let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
+                let mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles in
+                let better =
+                  match !best with None -> true | Some (m, _, _) -> mflops > m
+                in
+                if better then best := Some (mflops, cand, func))
+            [ false; true ])
+        (pf_grid cfg))
+    (Atlas_kernels.candidates id);
+  match !best with
+  | None -> invalid_arg "Atlas_search.select: no candidate built"
+  | Some (mflops, cand, func) ->
+    {
+      kernel_name =
+        (Defs.name id ^ if cand.Atlas_kernels.assembly then "*" else "");
+      candidate = cand.Atlas_kernels.cand_name;
+      func;
+      mflops;
+    }

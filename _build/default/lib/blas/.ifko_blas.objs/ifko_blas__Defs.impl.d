@@ -1,0 +1,1 @@
+lib/blas/defs.ml: Instr List

@@ -1,0 +1,1 @@
+lib/blas/extras.ml: Array Float Ifko_codegen Ifko_hil Ifko_sim Ifko_util Instr List Printf Ref_impl Workload

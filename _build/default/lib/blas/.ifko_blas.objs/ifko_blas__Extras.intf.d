@@ -1,0 +1,1 @@
+lib/blas/extras.mli: Ifko_codegen Ifko_sim Instr

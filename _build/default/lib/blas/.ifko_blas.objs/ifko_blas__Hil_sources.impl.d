@@ -1,0 +1,1 @@
+lib/blas/hil_sources.ml: Defs Ifko_codegen Ifko_hil Instr Printf String

@@ -1,0 +1,1 @@
+lib/blas/hil_sources.mli: Defs Ifko_codegen

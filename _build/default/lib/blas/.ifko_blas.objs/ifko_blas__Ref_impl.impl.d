@@ -1,0 +1,1 @@
+lib/blas/ref_impl.ml: Array Float Instr Int32

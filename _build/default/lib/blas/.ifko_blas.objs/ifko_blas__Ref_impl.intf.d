@@ -1,0 +1,1 @@
+lib/blas/ref_impl.mli: Instr

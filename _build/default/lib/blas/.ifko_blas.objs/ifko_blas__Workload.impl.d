@@ -1,0 +1,1 @@
+lib/blas/workload.ml: Array Defs Float Ifko_sim Ifko_util Instr Ref_impl

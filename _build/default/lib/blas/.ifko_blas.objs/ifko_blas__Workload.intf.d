@@ -1,0 +1,1 @@
+lib/blas/workload.mli: Defs Ifko_sim

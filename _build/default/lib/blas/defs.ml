@@ -1,0 +1,70 @@
+(** The surveyed Level 1 BLAS (paper Table 1).
+
+    The BLAS are vector-vector operations; the paper studies the most
+    commonly used routines on contiguous real vectors in both
+    precisions.  MFLOP rates use the per-element FLOP counts of
+    Table 1 (copy and swap move data but are charged N FLOPs so rates
+    remain comparable; asum and iamax are charged 2N). *)
+
+type routine = Swap | Scal | Copy | Axpy | Dot | Asum | Iamax
+
+type kernel_id = { routine : routine; prec : Instr.fsize }
+
+let routines = [ Swap; Scal; Copy; Axpy; Dot; Asum; Iamax ]
+
+(** All 14 studied kernels: single and double precision of each
+    routine, in the paper's figure order. *)
+let all =
+  List.concat_map
+    (fun routine -> [ { routine; prec = Instr.S }; { routine; prec = Instr.D } ])
+    routines
+
+let routine_base = function
+  | Swap -> "swap"
+  | Scal -> "scal"
+  | Copy -> "copy"
+  | Axpy -> "axpy"
+  | Dot -> "dot"
+  | Asum -> "asum"
+  | Iamax -> "amax"
+
+(** BLAS API name: precision prefix first, except [iamax] where the
+    index-returning [i] comes first ([isamax]/[idamax]). *)
+let name { routine; prec } =
+  let p = match prec with Instr.S -> "s" | Instr.D -> "d" in
+  match routine with Iamax -> "i" ^ p ^ "amax" | r -> p ^ routine_base r
+
+(** FLOPs charged per element (paper Table 1). *)
+let flops_per_n = function
+  | Swap | Scal | Copy -> 1.0
+  | Axpy | Dot | Asum | Iamax -> 2.0
+
+(** Operation summary string (paper Table 1). *)
+let summary = function
+  | Swap -> "tmp=y[i]; y[i]=x[i]; x[i]=tmp"
+  | Scal -> "x[i] *= alpha"
+  | Copy -> "y[i] = x[i]"
+  | Axpy -> "y[i] += alpha * x[i]"
+  | Dot -> "dot += y[i] * x[i]"
+  | Asum -> "sum += fabs(x[i])"
+  | Iamax -> "index of max |x[i]|"
+
+type ret_kind = Ret_none | Ret_fp | Ret_int
+
+let ret_kind = function
+  | Swap | Scal | Copy | Axpy -> Ret_none
+  | Dot | Asum -> Ret_fp
+  | Iamax -> Ret_int
+
+(** Does the routine take a scalar [alpha] argument? *)
+let has_alpha = function Scal | Axpy -> true | _ -> false
+
+(** Does the routine take a second vector [Y]? *)
+let has_y = function Swap | Copy | Axpy | Dot -> true | Scal | Asum | Iamax -> false
+
+(** Arrays the routine writes. *)
+let outputs = function
+  | Swap -> [ "X"; "Y" ]
+  | Scal -> [ "X" ]
+  | Copy | Axpy -> [ "Y" ]
+  | Dot | Asum | Iamax -> []

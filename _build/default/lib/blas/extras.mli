@@ -1,0 +1,44 @@
+(** Level 1 BLAS beyond the paper's surveyed set.
+
+    The paper studies the seven most commonly used routines on
+    contiguous vectors ("we study only the most commonly used of these
+    routines", "we focus on the most commonly used (and optimizable)
+    case first, the contiguous vectors").  A library a downstream user
+    adopts needs the rest; this module adds:
+
+    - [rot] — apply a Givens plane rotation (4N FLOPs, two in/out
+      vectors, two scalar invariants);
+    - [nrm2] — Euclidean norm via a square-root epilogue (this is what
+      the [SQRT] HIL operator exists for);
+    - strided variants of [dot] and [axpy] — runtime increments via the
+      [p += inc] pointer update.  Strided loops compile and tune but
+      deliberately fall outside the SIMD/prefetch fast paths (unit
+      stride "the most optimizable case first", as the paper says).
+
+    These kernels are not part of the reproduced figures; they ship
+    with sources, references, workloads and tests like the core set. *)
+
+type routine = Rot | Nrm2 | Dot_strided | Axpy_strided
+
+type kernel_id = { routine : routine; prec : Instr.fsize }
+
+val all : kernel_id list
+val name : kernel_id -> string
+val flops_per_n : routine -> float
+
+val source : kernel_id -> string
+(** HIL text. *)
+
+val compile : kernel_id -> Ifko_codegen.Lower.compiled
+
+val make_env : kernel_id -> seed:int -> ?incx:int -> ?incy:int -> int -> Ifko_sim.Env.t
+(** Environment for a run over [n] {e logical} elements (strided
+    kernels allocate [n * inc] physical elements). *)
+
+val expectation :
+  kernel_id -> seed:int -> ?incx:int -> ?incy:int -> int -> Ifko_sim.Verify.expectation
+
+val tolerance : kernel_id -> n:int -> float
+
+val timer_spec : kernel_id -> seed:int -> Ifko_sim.Timer.spec
+(** Unit-stride timing spec, for tuning the contiguous fast path. *)

@@ -1,0 +1,29 @@
+(** HIL source text of the surveyed kernels.
+
+    These are direct translations of the ANSI C reference loops of the
+    paper's Table 1 into HIL (as in its Figure 6), exercising the front
+    end end-to-end.  [iamax] uses the branch-out-of-line formulation of
+    Figure 6(b), which is the efficient encoding absent code
+    positioning transformations — and the one FKO cannot vectorize. *)
+
+val source : Defs.kernel_id -> string
+(** Concrete HIL text for the kernel. *)
+
+val compile : Defs.kernel_id -> Ifko_codegen.Lower.compiled
+(** Parse, check and lower the kernel. *)
+
+val straightforward_iamax : Defs.kernel_id -> string
+(** The scoped-if formulation of [iamax] (the ANSI C reference's
+    shape), which the paper fed to icc and gcc instead of Figure 6(b).
+    Only valid for the [Iamax] routine. *)
+
+val compile_straightforward : Defs.kernel_id -> Ifko_codegen.Lower.compiled
+(** Lower {!straightforward_iamax}. *)
+
+val speculative_iamax : Defs.kernel_id -> string
+(** {!straightforward_iamax} with the [SPECULATE] loop mark-up: the
+    user-assisted path that lets FKO vectorize iamax (the paper's
+    suggested narrow solution to its one systematic loss). *)
+
+val compile_speculative : Defs.kernel_id -> Ifko_codegen.Lower.compiled
+(** Lower {!speculative_iamax}. *)

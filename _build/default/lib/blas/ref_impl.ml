@@ -1,0 +1,41 @@
+let round_to sz v =
+  match sz with
+  | Instr.D -> v
+  | Instr.S -> Int32.float_of_bits (Int32.bits_of_float v)
+
+let swap ~x ~y =
+  Array.iteri
+    (fun i xi ->
+      x.(i) <- y.(i);
+      y.(i) <- xi)
+    x
+
+let scal sz ~alpha ~x =
+  Array.iteri (fun i xi -> x.(i) <- round_to sz (xi *. alpha)) x
+
+let copy ~x ~y = Array.blit x 0 y 0 (Array.length x)
+
+let axpy sz ~alpha ~x ~y =
+  Array.iteri (fun i xi -> y.(i) <- round_to sz (y.(i) +. round_to sz (alpha *. xi))) x
+
+let dot sz ~x ~y =
+  let acc = ref 0.0 in
+  Array.iteri (fun i xi -> acc := round_to sz (!acc +. round_to sz (xi *. y.(i)))) x;
+  !acc
+
+let asum sz ~x =
+  let acc = ref 0.0 in
+  Array.iter (fun xi -> acc := round_to sz (!acc +. Float.abs xi)) x;
+  !acc
+
+let iamax ~x =
+  let imax = ref 0 and amax = ref (-1.0) in
+  Array.iteri
+    (fun i xi ->
+      let a = Float.abs xi in
+      if a > !amax then begin
+        amax := a;
+        imax := i
+      end)
+    x;
+  !imax

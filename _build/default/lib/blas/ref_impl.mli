@@ -1,0 +1,22 @@
+(** Reference semantics of the surveyed BLAS, precision-faithful.
+
+    These are the oracles the tester compares compiled kernels against.
+    For single precision every arithmetic result is rounded to 32 bits,
+    so the reference tracks what SSE hardware computes; reductions use
+    plain left-to-right order — the tester's tolerance absorbs the
+    reassociation introduced by vectorization and accumulator
+    expansion. *)
+
+val round_to : Instr.fsize -> float -> float
+(** Round a value to the given precision. *)
+
+val swap : x:float array -> y:float array -> unit
+val scal : Instr.fsize -> alpha:float -> x:float array -> unit
+val copy : x:float array -> y:float array -> unit
+val axpy : Instr.fsize -> alpha:float -> x:float array -> y:float array -> unit
+val dot : Instr.fsize -> x:float array -> y:float array -> float
+val asum : Instr.fsize -> x:float array -> float
+
+val iamax : x:float array -> int
+(** Index of the first element of maximum absolute value (0-based), 0
+    for the empty vector — matching the kernel's strict-[>] update. *)

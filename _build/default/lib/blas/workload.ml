@@ -1,0 +1,66 @@
+open Defs
+
+let alpha = 0.77
+
+let vector ~seed ~which ~prec n =
+  let rng = Ifko_util.Rng.create (seed + (which * 7919)) in
+  Array.init n (fun _ -> Ref_impl.round_to prec (Ifko_util.Rng.sign_float rng 1.0))
+
+let mem_bytes_for ~prec n =
+  (* two arrays, page alignment slack, stack *)
+  let bytes = n * Instr.fsize_bytes prec in
+  max (1 lsl 20) ((2 * bytes) + (1 lsl 16))
+
+let make_env ({ routine; prec } as id) ~seed n =
+  ignore id;
+  let env = Ifko_sim.Env.create ~mem_bytes:(mem_bytes_for ~prec n) () in
+  Ifko_sim.Env.bind_int env "N" n;
+  if has_alpha routine then Ifko_sim.Env.bind_fp env "alpha" prec alpha;
+  Ifko_sim.Env.alloc_array env "X" prec n;
+  let x = vector ~seed ~which:1 ~prec n in
+  Ifko_sim.Env.fill env "X" (fun i -> x.(i));
+  if has_y routine then begin
+    Ifko_sim.Env.alloc_array env "Y" prec n;
+    let y = vector ~seed ~which:2 ~prec n in
+    Ifko_sim.Env.fill env "Y" (fun i -> y.(i))
+  end;
+  env
+
+let timer_spec id ~seed =
+  {
+    Ifko_sim.Timer.make_env = (fun n -> make_env id ~seed n);
+    ret_fsize = id.prec;
+  }
+
+let expectation ({ routine; prec } as id) ~seed n =
+  ignore id;
+  let x = vector ~seed ~which:1 ~prec n in
+  let y = if has_y routine then vector ~seed ~which:2 ~prec n else [||] in
+  match routine with
+  | Swap ->
+    Ref_impl.swap ~x ~y;
+    { Ifko_sim.Verify.arrays = [ ("X", x); ("Y", y) ]; ret = None }
+  | Scal ->
+    Ref_impl.scal prec ~alpha ~x;
+    { Ifko_sim.Verify.arrays = [ ("X", x) ]; ret = None }
+  | Copy ->
+    Ref_impl.copy ~x ~y;
+    { Ifko_sim.Verify.arrays = [ ("X", x); ("Y", y) ]; ret = None }
+  | Axpy ->
+    Ref_impl.axpy prec ~alpha ~x ~y;
+    { Ifko_sim.Verify.arrays = [ ("X", x); ("Y", y) ]; ret = None }
+  | Dot ->
+    let d = Ref_impl.dot prec ~x ~y in
+    { Ifko_sim.Verify.arrays = [ ("X", x); ("Y", y) ]; ret = Some (Ifko_sim.Exec.Rfp d) }
+  | Asum ->
+    let s = Ref_impl.asum prec ~x in
+    { Ifko_sim.Verify.arrays = [ ("X", x) ]; ret = Some (Ifko_sim.Exec.Rfp s) }
+  | Iamax ->
+    let i = Ref_impl.iamax ~x in
+    { Ifko_sim.Verify.arrays = [ ("X", x) ]; ret = Some (Ifko_sim.Exec.Rint i) }
+
+let tolerance { routine; prec } ~n =
+  let base = match prec with Instr.S -> 2e-6 | Instr.D -> 1e-12 in
+  match routine with
+  | Dot | Asum -> base *. Float.max 16.0 (sqrt (float_of_int (max 1 n))) *. 16.0
+  | Swap | Scal | Copy | Axpy | Iamax -> base *. 16.0

@@ -1,0 +1,1 @@
+lib/codegen/loopnest.ml: Block Cfg Hashtbl Instr List Option Reg

@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Ast Block Cfg Hashtbl Ifko_hil Instr List Loopnest Option Printf Reg Typecheck

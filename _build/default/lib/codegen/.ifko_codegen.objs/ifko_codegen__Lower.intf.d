@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Cfg Ifko_hil Instr Loopnest Reg

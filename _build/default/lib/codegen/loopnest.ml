@@ -1,0 +1,125 @@
+(** Description of the tunable loop nest, carried from lowering through
+    the transformation pipeline.
+
+    Lowering emits the [OPTLOOP] in a canonical count-down form:
+
+    {v
+    preheader: cnt = trip ; i = from         ; trip = HIL iterations
+    header:    if cnt < per_iter goto mid
+    body...:   one main-loop iteration (may contain control flow)
+    latch:     i += step ; cnt -= per_iter ; goto header
+    mid:       (epilogue insertion point)    ; reductions land here
+    cleanup:   optional pristine scalar loop consuming the remainder
+    exit:      code after the loop
+    v}
+
+    [per_iter] is the number of HIL iterations one pass through the
+    main body consumes; SIMD vectorization multiplies it by the vector
+    length and unrolling by the unroll factor.  The first transform
+    that makes [per_iter > 1] materializes the cleanup loop by cloning
+    [template], the pristine scalar loop saved at lowering time (the
+    clone reuses the same registers — the cleanup continues exactly
+    where the main loop stopped). *)
+
+type t = {
+  mutable preheader : string;
+  mutable header : string;
+  mutable latch : string;
+  mutable mid : string;
+  mutable exit : string;
+  mutable cleanup : (string * string) option;
+      (** cleanup (header, latch) labels once materialized *)
+  cnt : Reg.t;  (** count-down register: HIL iterations remaining *)
+  index : Reg.t option;  (** the HIL loop index, if any *)
+  step : int;  (** HIL index step, [+1] or [-1] *)
+  mutable per_iter : int;
+  mutable vectorized : Instr.fsize option;
+  mutable unrolled : int;
+  mutable lc_fused : bool;  (** loop-control optimization applied *)
+  speculate : bool;  (** SPECULATE mark-up on the source loop *)
+  mutable template : Block.t list;
+      (** pristine copy of [header; body...; latch] in scalar form *)
+}
+
+(** Labels of the blocks forming one main-loop iteration: the natural
+    loop of the back edge [latch -> header], minus header and latch
+    themselves.  Computed on demand so transformations that restructure
+    the body stay consistent. *)
+let body_labels (f : Cfg.func) (ln : t) =
+  let preds = Cfg.predecessors f in
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.replace in_loop ln.header ();
+  let rec walk label =
+    if not (Hashtbl.mem in_loop label) then begin
+      Hashtbl.replace in_loop label ();
+      List.iter walk (Option.value ~default:[] (Hashtbl.find_opt preds label))
+    end
+  in
+  walk ln.latch;
+  List.filter_map
+    (fun b ->
+      let l = b.Block.label in
+      if Hashtbl.mem in_loop l && l <> ln.header && l <> ln.latch then Some l else None)
+    f.Cfg.blocks
+
+(** Clone [blocks] with fresh labels (internal branch targets are
+    remapped; external targets are preserved).  Registers are shared
+    with the original on purpose — see the module comment. *)
+let clone_blocks (f : Cfg.func) ~suffix blocks =
+  let mapping =
+    List.map (fun b -> (b.Block.label, Cfg.fresh_label f (b.Block.label ^ suffix))) blocks
+  in
+  let rename l = Option.value ~default:l (List.assoc_opt l mapping) in
+  let clones =
+    List.map
+      (fun b ->
+        Block.make (rename b.Block.label)
+          ~instrs:b.Block.instrs
+          ~term:(Block.map_term_labels rename b.Block.term))
+      blocks
+  in
+  (clones, mapping)
+
+(** [materialize_cleanup f ln] clones the scalar template between [mid]
+    and [exit] so that any remainder of the trip count is consumed one
+    HIL iteration at a time.  Idempotent. *)
+let materialize_cleanup (f : Cfg.func) (ln : t) =
+  match ln.cleanup with
+  | Some _ -> ()
+  | None ->
+    let clones, mapping = clone_blocks f ~suffix:"_c" ln.template in
+    let rename l = Option.value ~default:l (List.assoc_opt l mapping) in
+    let cheader = rename ln.header and clatch = rename ln.latch in
+    (* The template's header exits to [mid]; the cleanup's must exit to
+       [exit] and its internal edges stay within the clones. *)
+    List.iter
+      (fun b ->
+        b.Block.term <-
+          Block.map_term_labels (fun l -> if l = ln.mid then ln.exit else l) b.Block.term)
+      clones;
+    (* Splice after [mid] and retarget mid's jump to the cleanup. *)
+    Cfg.insert_after f ~after:ln.mid clones;
+    let mid_block = Cfg.find_block_exn f ln.mid in
+    mid_block.Block.term <- Block.Jmp cheader;
+    ln.cleanup <- Some (cheader, clatch)
+
+(** Rewrite the main-loop header guard and latch decrement after
+    [per_iter] changed. *)
+let refresh_loop_control (f : Cfg.func) (ln : t) =
+  let header = Cfg.find_block_exn f ln.header in
+  (match header.Block.term with
+  | Block.Br b -> header.Block.term <- Block.Br { b with rhs = Instr.Oimm ln.per_iter }
+  | _ -> invalid_arg "Loopnest.refresh_loop_control: header does not test the counter");
+  let latch = Cfg.find_block_exn f ln.latch in
+  let is_index r = match ln.index with Some i -> Reg.equal r i | None -> false in
+  latch.Block.instrs <-
+    List.map
+      (fun i ->
+        match i with
+        | Instr.Iop (Instr.Isub, d, s, Instr.Oimm _)
+          when Reg.equal d ln.cnt && Reg.equal s ln.cnt ->
+          Instr.Iop (Instr.Isub, d, s, Instr.Oimm ln.per_iter)
+        | Instr.Iop (Instr.Iadd, d, s, Instr.Oimm _) when is_index d && is_index s ->
+          Instr.Iop (Instr.Iadd, d, s, Instr.Oimm (ln.per_iter * ln.step))
+        | i -> i)
+      latch.Block.instrs

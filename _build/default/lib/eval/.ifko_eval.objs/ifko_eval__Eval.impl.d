@@ -1,0 +1,1 @@
+lib/eval/eval.ml: Config Defs Float Hil_sources Ifko_baselines Ifko_blas Ifko_machine Ifko_search Ifko_sim Ifko_util List Printf Workload

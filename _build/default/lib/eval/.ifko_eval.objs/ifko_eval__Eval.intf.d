@@ -1,0 +1,1 @@
+lib/eval/eval.mli: Ifko_blas Ifko_machine Ifko_search Ifko_sim

@@ -1,0 +1,1 @@
+lib/eval/figures.ml: Buffer Defs Eval Float Hashtbl Ifko_baselines Ifko_blas Ifko_machine Ifko_search Ifko_transform Ifko_util List Option Printf Stats String Table

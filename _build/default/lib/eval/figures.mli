@@ -1,0 +1,35 @@
+(** Renderers that turn {!Eval.study} data into the paper's tables and
+    figures (as fixed-width text). *)
+
+val table1 : unit -> string
+(** Table 1: the surveyed Level 1 BLAS and their FLOP accounting. *)
+
+val table2 : unit -> string
+(** Table 2's analogue: the simulated platforms and the modelled
+    compiler policies (with the key machine parameters). *)
+
+val relative_figure : title:string -> Eval.study -> string
+(** Figures 2/3/4: every tuning method as a percentage of the best
+    observed kernel, one row per kernel plus AVG and VAVG, with text
+    bars. *)
+
+val fig5a : Eval.study -> Eval.study -> string
+(** Figure 5(a): ifko MFLOPS per routine, out of cache, both
+    machines. *)
+
+val fig5b : oc:Eval.study -> l2:Eval.study -> string
+(** Figure 5(b): in-L2 speedup over out-of-cache on the P4E-like
+    machine (a measure of how bus-bound each operation is). *)
+
+val table3 : (string * Eval.study) list -> string
+(** Table 3: the transformation parameters found by the empirical
+    search, per platform/context. *)
+
+val fig7 : (string * Eval.study) list -> string
+(** Figure 7: percent of FKO performance gained by empirically tuning
+    each parameter ([WNT, PF DST, PF INS, UR, AE]), per kernel and
+    context, with the overall average. *)
+
+val opteron_l2_note : Eval.study -> string
+(** The paper's Section 3 remark for the omitted in-L2 Opteron data:
+    the two best methods and icc's average fraction of ifko's speed. *)

@@ -1,0 +1,1 @@
+lib/hil/ast.ml:

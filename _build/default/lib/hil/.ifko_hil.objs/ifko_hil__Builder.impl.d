@@ -1,0 +1,1 @@
+lib/hil/builder.ml: Ast

@@ -1,0 +1,1 @@
+lib/hil/lexer.ml: Ast List Printf String

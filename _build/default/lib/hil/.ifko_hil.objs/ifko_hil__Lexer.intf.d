@@ -1,0 +1,1 @@
+lib/hil/lexer.mli: Ast

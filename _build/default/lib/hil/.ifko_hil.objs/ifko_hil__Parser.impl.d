@@ -1,0 +1,1 @@
+lib/hil/parser.ml: Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/hil/pp.ml: Ast Buffer List Printf String

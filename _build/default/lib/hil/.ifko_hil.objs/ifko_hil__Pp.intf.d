@@ -1,0 +1,1 @@
+lib/hil/pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/hil/typecheck.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/hil/typecheck.mli: Ast

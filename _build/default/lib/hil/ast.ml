@@ -1,0 +1,124 @@
+(** Abstract syntax of HIL, the kernel input language of FKO.
+
+    HIL is kept close to ANSI C in form (assignments, loops, gotos) but
+    follows Fortran-77 usage rules: output arrays may not alias unless
+    annotated, and all information the backend would otherwise need deep
+    front-end analysis for is supplied as mark-up (which loop to tune
+    empirically, which arrays are known to be cache-resident, ...). *)
+
+(** Floating-point precision of a scalar or of an array's elements. *)
+type fptype = Single | Double
+
+(** Types of HIL values: loop indices and integer results are [Int];
+    pointers ([Ptr]) designate the contiguous vectors the Level 1 BLAS
+    operate on. *)
+type ty = Int | Fp of fptype | Ptr of fptype
+
+(** Mark-up flags attached to pointer parameters.
+
+    - [Output]: the kernel stores through this pointer (candidate for
+      non-temporal writes).
+    - [No_prefetch]: the user asserts the array is already cache-resident,
+      removing it from the prefetch search space.
+    - [May_alias]: suppresses the default Fortran-style no-alias rule. *)
+type flag = Output | No_prefetch | May_alias
+
+type binop = Add | Sub | Mul | Div
+
+(** Comparison operators usable in [If_goto] conditions. *)
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int_lit of int
+  | Fp_lit of float
+  | Var of string  (** scalar variable or loop index *)
+  | Load of string * int  (** [Load (p, k)] is [p\[k\]], [k] a literal *)
+  | Binop of binop * expr * expr
+  | Abs of expr
+  | Sqrt of expr
+  | Neg of expr
+
+type stmt =
+  | Assign of string * expr  (** [s = e] *)
+  | Assign_op of binop * string * expr  (** [s += e], [s *= e], ... *)
+  | Store of string * int * expr  (** [p\[k\] = e] *)
+  | Ptr_inc of string * int  (** [p += k] (elements) *)
+  | Ptr_inc_var of string * string
+      (** [p += inc] with a runtime integer stride (elements) — the
+          strided-vector case of the BLAS API.  Strided loops are legal
+          but fall outside the vectorizer/prefetcher fast path. *)
+  | Loop of loop
+  | If_goto of cmpop * expr * expr * string  (** [IF (a < b) GOTO l] *)
+  | If_then of cmpop * expr * expr * stmt list * stmt list
+      (** scoped conditional [IF (a < b) THEN ... ELSE ... ENDIF] — a
+          later addition; the paper notes "our HIL does not yet support
+          scoped ifs" *)
+  | Goto of string
+  | Label of string
+  | Return of expr option
+
+(** A counted loop [LOOP i = from, to\[, step\]].  The index runs from
+    [from] while it has not reached [to], stepping by [step] ([+1] or
+    [-1]).  [opt = true] marks the loop for empirical tuning
+    ([OPTLOOP] in the concrete syntax): FKO requires a loop to be
+    flagged as important before it is iteratively tuned. *)
+and loop = {
+  loop_var : string;
+  loop_from : expr;
+  loop_to : expr;
+  loop_step : int;
+  loop_body : stmt list;
+  loop_opt : bool;
+  loop_speculate : bool;
+      (** [SPECULATE] mark-up: the user asserts that conditional
+          updates in this loop may be evaluated speculatively, enabling
+          the compare-mask vectorization of max-with-index reductions
+          (the paper's suggested way to let the compiler vectorize
+          iamax "in a narrow way" via user mark-up) *)
+}
+
+type param = { p_name : string; p_ty : ty; p_flags : flag list }
+
+(** A local declaration [x, y : double = init]. *)
+type decl = { d_names : string list; d_ty : ty; d_init : float option }
+
+type kernel = {
+  k_name : string;
+  k_params : param list;
+  k_locals : decl list;
+  k_ret : ty option;
+  k_body : stmt list;
+}
+
+(** [fp_bytes p] is the element size in bytes of precision [p]. *)
+let fp_bytes = function Single -> 4 | Double -> 8
+
+(** [veclen p] is the number of elements of precision [p] in a 16-byte
+    SIMD vector (4 for single, 2 for double), as in the paper. *)
+let veclen = function Single -> 4 | Double -> 2
+
+let string_of_fptype = function Single -> "single" | Double -> "double"
+
+let string_of_ty = function
+  | Int -> "int"
+  | Fp p -> string_of_fptype p
+  | Ptr p -> "ptr " ^ string_of_fptype p
+
+let string_of_binop = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let string_of_cmpop = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+(** [negate_cmp c] is the comparison testing the opposite outcome. *)
+let negate_cmp = function
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Eq -> Ne
+  | Ne -> Eq

@@ -1,0 +1,41 @@
+open Ast
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let i n = Int_lit n
+let f x = Fp_lit x
+let v x = Var x
+let ld p k = Load (p, k)
+let abs e = Abs e
+let sqrt e = Sqrt e
+let neg e = Neg e
+let ( <-- ) x e = Assign (x, e)
+let ( +<- ) x e = Assign_op (Add, x, e)
+let ( *<- ) x e = Assign_op (Mul, x, e)
+let store p k e = Store (p, k, e)
+let ptr_inc p k = Ptr_inc (p, k)
+let ptr_inc_var p v = Ptr_inc_var (p, v)
+
+let loop ?(opt = false) ?(speculate = false) ?(step = 1) var ~from ~to_ body =
+  Loop
+    {
+      loop_var = var;
+      loop_from = from;
+      loop_to = to_;
+      loop_step = step;
+      loop_body = body;
+      loop_opt = opt;
+      loop_speculate = speculate;
+    }
+
+let if_goto op a b l = If_goto (op, a, b, l)
+let goto l = Goto l
+let label l = Label l
+let return e = Return e
+let param ?(flags = []) name ty = { p_name = name; p_ty = ty; p_flags = flags }
+let locals ?init names ty = { d_names = names; d_ty = ty; d_init = init }
+
+let kernel ~name ~params ?(locals = []) ?ret body =
+  { k_name = name; k_params = params; k_locals = locals; k_ret = ret; k_body = body }

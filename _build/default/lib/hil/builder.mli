@@ -1,0 +1,48 @@
+(** Combinators for constructing HIL kernels programmatically.
+
+    Used by tests and by generated workloads; the BLAS kernels shipped
+    with the library are written in concrete syntax instead so the
+    front end is exercised end to end. *)
+
+open Ast
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val i : int -> expr
+val f : float -> expr
+val v : string -> expr
+val ld : string -> int -> expr
+val abs : expr -> expr
+val sqrt : expr -> expr
+val neg : expr -> expr
+
+val ( <-- ) : string -> expr -> stmt
+(** [x <-- e] is the assignment [x = e]. *)
+
+val ( +<- ) : string -> expr -> stmt
+(** [x +<- e] is [x += e]. *)
+
+val ( *<- ) : string -> expr -> stmt
+(** [x *<- e] is [x *= e]. *)
+
+val store : string -> int -> expr -> stmt
+val ptr_inc : string -> int -> stmt
+val ptr_inc_var : string -> string -> stmt
+
+val loop :
+  ?opt:bool -> ?speculate:bool -> ?step:int -> string -> from:expr -> to_:expr ->
+  stmt list -> stmt
+(** [loop ~opt:true "i" ~from ~to_ body] builds an (opt-)loop. *)
+
+val if_goto : cmpop -> expr -> expr -> string -> stmt
+val goto : string -> stmt
+val label : string -> stmt
+val return : expr option -> stmt
+
+val param : ?flags:flag list -> string -> ty -> param
+val locals : ?init:float -> string list -> ty -> decl
+
+val kernel :
+  name:string -> params:param list -> ?locals:decl list -> ?ret:ty -> stmt list -> kernel

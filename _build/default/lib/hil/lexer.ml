@@ -1,0 +1,226 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KERNEL
+  | RETURNS
+  | VARS
+  | BEGIN
+  | END
+  | LOOP
+  | OPTLOOP
+  | LOOP_BODY
+  | LOOP_END
+  | IF
+  | THEN
+  | ELSE
+  | ENDIF
+  | GOTO
+  | RETURN
+  | ABS
+  | SQRT
+  | TINT
+  | TSINGLE
+  | TDOUBLE
+  | TPTR
+  | OUTPUT
+  | NOPREFETCH
+  | MAYALIAS
+  | SPECULATE
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | SEMI
+  | COLON
+  | EQ
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CMP of Ast.cmpop
+  | EOF
+
+exception Error of string * int
+
+let keyword_table =
+  [
+    ("KERNEL", KERNEL);
+    ("RETURNS", RETURNS);
+    ("VARS", VARS);
+    ("BEGIN", BEGIN);
+    ("END", END);
+    ("LOOP", LOOP);
+    ("OPTLOOP", OPTLOOP);
+    ("LOOP_BODY", LOOP_BODY);
+    ("LOOP_END", LOOP_END);
+    ("IF", IF);
+    ("THEN", THEN);
+    ("ELSE", ELSE);
+    ("ENDIF", ENDIF);
+    ("GOTO", GOTO);
+    ("RETURN", RETURN);
+    ("ABS", ABS);
+    ("SQRT", SQRT);
+    ("int", TINT);
+    ("single", TSINGLE);
+    ("double", TDOUBLE);
+    ("ptr", TPTR);
+    ("OUTPUT", OUTPUT);
+    ("NOPREFETCH", NOPREFETCH);
+    ("MAYALIAS", MAYALIAS);
+    ("SPECULATE", SPECULATE);
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let rec skip_line () =
+    if !pos < n && src.[!pos] <> '\n' then (
+      incr pos;
+      skip_line ())
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then (
+      incr line;
+      incr pos)
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '#' then skip_line ()
+    else if c = '/' && peek 1 = Some '/' then skip_line ()
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      match List.assoc_opt word keyword_table with
+      | Some kw -> emit kw
+      | None -> emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      let is_float = ref false in
+      if !pos < n && src.[!pos] = '.' then begin
+        is_float := true;
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        is_float := true;
+        incr pos;
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then emit (FLOAT (float_of_string text))
+      else emit (INT (int_of_string text))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      let advance2 tok =
+        emit tok;
+        pos := !pos + 2
+      in
+      let advance1 tok =
+        emit tok;
+        incr pos
+      in
+      match two with
+      | "+=" -> advance2 PLUSEQ
+      | "-=" -> advance2 MINUSEQ
+      | "*=" -> advance2 STAREQ
+      | "/=" -> advance2 SLASHEQ
+      | "<=" -> advance2 (CMP Ast.Le)
+      | ">=" -> advance2 (CMP Ast.Ge)
+      | "==" -> advance2 (CMP Ast.Eq)
+      | "!=" -> advance2 (CMP Ast.Ne)
+      | _ -> (
+        match c with
+        | '(' -> advance1 LPAREN
+        | ')' -> advance1 RPAREN
+        | '[' -> advance1 LBRACK
+        | ']' -> advance1 RBRACK
+        | ',' -> advance1 COMMA
+        | ';' -> advance1 SEMI
+        | ':' -> advance1 COLON
+        | '=' -> advance1 EQ
+        | '+' -> advance1 PLUS
+        | '-' -> advance1 MINUS
+        | '*' -> advance1 STAR
+        | '/' -> advance1 SLASH
+        | '<' -> advance1 (CMP Ast.Lt)
+        | '>' -> advance1 (CMP Ast.Gt)
+        | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !line)))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | KERNEL -> "KERNEL"
+  | RETURNS -> "RETURNS"
+  | VARS -> "VARS"
+  | BEGIN -> "BEGIN"
+  | END -> "END"
+  | LOOP -> "LOOP"
+  | OPTLOOP -> "OPTLOOP"
+  | LOOP_BODY -> "LOOP_BODY"
+  | LOOP_END -> "LOOP_END"
+  | IF -> "IF"
+  | THEN -> "THEN"
+  | ELSE -> "ELSE"
+  | ENDIF -> "ENDIF"
+  | GOTO -> "GOTO"
+  | RETURN -> "RETURN"
+  | ABS -> "ABS"
+  | SQRT -> "SQRT"
+  | TINT -> "int"
+  | TSINGLE -> "single"
+  | TDOUBLE -> "double"
+  | TPTR -> "ptr"
+  | OUTPUT -> "OUTPUT"
+  | NOPREFETCH -> "NOPREFETCH"
+  | MAYALIAS -> "MAYALIAS"
+  | SPECULATE -> "SPECULATE"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | EQ -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | CMP op -> Ast.string_of_cmpop op
+  | EOF -> "end of input"

@@ -1,0 +1,61 @@
+(** Hand-written lexer for the HIL concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KERNEL
+  | RETURNS
+  | VARS
+  | BEGIN
+  | END
+  | LOOP
+  | OPTLOOP
+  | LOOP_BODY
+  | LOOP_END
+  | IF
+  | THEN
+  | ELSE
+  | ENDIF
+  | GOTO
+  | RETURN
+  | ABS
+  | SQRT
+  | TINT  (** type keyword [int] *)
+  | TSINGLE
+  | TDOUBLE
+  | TPTR
+  | OUTPUT
+  | NOPREFETCH
+  | MAYALIAS
+  | SPECULATE
+      (** loop mark-up licensing speculative (compare-mask) vectorization *)
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | SEMI
+  | COLON
+  | EQ  (** [=] *)
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CMP of Ast.cmpop
+  | EOF
+
+exception Error of string * int
+(** [Error (message, line)] is raised on malformed input. *)
+
+val tokenize : string -> (token * int) list
+(** [tokenize source] lexes the whole [source], returning tokens paired
+    with their 1-based line numbers and ending with [EOF].  Comments run
+    from [#] or [//] to end of line. *)
+
+val describe : token -> string
+(** Human-readable token name for error messages. *)

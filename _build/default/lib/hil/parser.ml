@@ -1,0 +1,349 @@
+open Ast
+
+exception Error of string * int
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let fail_at line msg = raise (Error (msg, line))
+
+let peek st =
+  match st.toks with [] -> (Lexer.EOF, 0) | tok :: _ -> tok
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let tok = peek st in
+  advance st;
+  tok
+
+let expect st want =
+  let tok, line = next st in
+  if tok <> want then
+    fail_at line
+      (Printf.sprintf "expected %s but found %s" (Lexer.describe want)
+         (Lexer.describe tok))
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | tok, line ->
+    fail_at line (Printf.sprintf "expected identifier, found %s" (Lexer.describe tok))
+
+let parse_ty st =
+  match next st with
+  | Lexer.TINT, _ -> Int
+  | Lexer.TSINGLE, _ -> Fp Single
+  | Lexer.TDOUBLE, _ -> Fp Double
+  | Lexer.TPTR, _ -> (
+    match next st with
+    | Lexer.TSINGLE, _ -> Ptr Single
+    | Lexer.TDOUBLE, _ -> Ptr Double
+    | tok, line ->
+      fail_at line
+        (Printf.sprintf "expected single or double after ptr, found %s"
+           (Lexer.describe tok)))
+  | tok, line ->
+    fail_at line (Printf.sprintf "expected a type, found %s" (Lexer.describe tok))
+
+let rec parse_flags st acc =
+  match peek st with
+  | Lexer.OUTPUT, _ ->
+    advance st;
+    parse_flags st (Output :: acc)
+  | Lexer.NOPREFETCH, _ ->
+    advance st;
+    parse_flags st (No_prefetch :: acc)
+  | Lexer.MAYALIAS, _ ->
+    advance st;
+    parse_flags st (May_alias :: acc)
+  | _ -> List.rev acc
+
+let parse_param st =
+  let name = expect_ident st in
+  expect st Lexer.COLON;
+  let ty = parse_ty st in
+  let flags = parse_flags st [] in
+  { p_name = name; p_ty = ty; p_flags = flags }
+
+let rec parse_params st acc =
+  let p = parse_param st in
+  match peek st with
+  | Lexer.COMMA, _ ->
+    advance st;
+    parse_params st (p :: acc)
+  | _ -> List.rev (p :: acc)
+
+(* Expressions: standard precedence climbing over +,- and *,/ with
+   unary ABS, unary minus and literal-indexed loads as factors. *)
+let rec parse_expr st =
+  let lhs = parse_term st in
+  parse_expr_rest st lhs
+
+and parse_expr_rest st lhs =
+  match peek st with
+  | Lexer.PLUS, _ ->
+    advance st;
+    parse_expr_rest st (Binop (Add, lhs, parse_term st))
+  | Lexer.MINUS, _ ->
+    advance st;
+    parse_expr_rest st (Binop (Sub, lhs, parse_term st))
+  | _ -> lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match peek st with
+  | Lexer.STAR, _ ->
+    advance st;
+    parse_term_rest st (Binop (Mul, lhs, parse_factor st))
+  | Lexer.SLASH, _ ->
+    advance st;
+    parse_term_rest st (Binop (Div, lhs, parse_factor st))
+  | _ -> lhs
+
+and parse_factor st =
+  match next st with
+  | Lexer.INT i, _ -> Int_lit i
+  | Lexer.FLOAT f, _ -> Fp_lit f
+  | Lexer.MINUS, _ -> Neg (parse_factor st)
+  | Lexer.ABS, _ -> Abs (parse_factor st)
+  | Lexer.SQRT, _ -> Sqrt (parse_factor st)
+  | Lexer.LPAREN, _ ->
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name, line -> (
+    match peek st with
+    | Lexer.LBRACK, _ ->
+      advance st;
+      let idx =
+        match next st with
+        | Lexer.INT i, _ -> i
+        | Lexer.MINUS, _ -> (
+          match next st with
+          | Lexer.INT i, _ -> -i
+          | tok, l ->
+            fail_at l
+              (Printf.sprintf "expected literal index, found %s" (Lexer.describe tok)))
+        | tok, _ ->
+          fail_at line
+            (Printf.sprintf "expected literal index, found %s" (Lexer.describe tok))
+      in
+      expect st Lexer.RBRACK;
+      Load (name, idx)
+    | _ -> Var name)
+  | tok, line ->
+    fail_at line (Printf.sprintf "expected expression, found %s" (Lexer.describe tok))
+
+let parse_cond st =
+  expect st Lexer.LPAREN;
+  let lhs = parse_expr st in
+  let op =
+    match next st with
+    | Lexer.CMP op, _ -> op
+    | tok, line ->
+      fail_at line (Printf.sprintf "expected comparison, found %s" (Lexer.describe tok))
+  in
+  let rhs = parse_expr st in
+  expect st Lexer.RPAREN;
+  (op, lhs, rhs)
+
+let rec parse_stmts st terminators acc =
+  let tok, _line = peek st in
+  let is_terminator =
+    match tok with
+    | Lexer.END -> List.mem `End terminators
+    | Lexer.LOOP_END -> List.mem `Loop_end terminators
+    | Lexer.ELSE -> List.mem `Else terminators
+    | Lexer.ENDIF -> List.mem `Endif terminators
+    | Lexer.EOF -> true
+    | _ -> false
+  in
+  if is_terminator then List.rev acc
+  else
+    let stmt = parse_stmt st in
+    parse_stmts st terminators (stmt :: acc)
+
+and parse_stmt st =
+  match next st with
+  | Lexer.LOOP, _ -> Loop (parse_loop st ~opt:false)
+  | Lexer.OPTLOOP, _ -> Loop (parse_loop st ~opt:true)
+  | Lexer.GOTO, _ ->
+    let l = expect_ident st in
+    expect st Lexer.SEMI;
+    Goto l
+  | Lexer.IF, _ -> (
+    let op, lhs, rhs = parse_cond st in
+    match peek st with
+    | Lexer.THEN, _ ->
+      advance st;
+      let then_body = parse_stmts st [ `Else; `Endif ] [] in
+      let else_body =
+        match peek st with
+        | Lexer.ELSE, _ ->
+          advance st;
+          parse_stmts st [ `Endif ] []
+        | _ -> []
+      in
+      expect st Lexer.ENDIF;
+      If_then (op, lhs, rhs, then_body, else_body)
+    | _ ->
+      expect st Lexer.GOTO;
+      let l = expect_ident st in
+      expect st Lexer.SEMI;
+      If_goto (op, lhs, rhs, l))
+  | Lexer.RETURN, _ -> (
+    match peek st with
+    | Lexer.SEMI, _ ->
+      advance st;
+      Return None
+    | _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Return (Some e))
+  | Lexer.IDENT name, line -> (
+    match next st with
+    | Lexer.COLON, _ -> Label name
+    | Lexer.EQ, _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Assign (name, e)
+    | Lexer.PLUSEQ, _ -> parse_assign_op st Add name
+    | Lexer.MINUSEQ, _ -> parse_assign_op st Sub name
+    | Lexer.STAREQ, _ -> parse_assign_op st Mul name
+    | Lexer.SLASHEQ, _ -> parse_assign_op st Div name
+    | Lexer.LBRACK, _ ->
+      let idx =
+        match next st with
+        | Lexer.INT i, _ -> i
+        | tok, l ->
+          fail_at l
+            (Printf.sprintf "expected literal index, found %s" (Lexer.describe tok))
+      in
+      expect st Lexer.RBRACK;
+      expect st Lexer.EQ;
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Store (name, idx, e)
+    | tok, _ ->
+      fail_at line
+        (Printf.sprintf "unexpected %s after identifier %S" (Lexer.describe tok) name))
+  | tok, line ->
+    fail_at line (Printf.sprintf "expected statement, found %s" (Lexer.describe tok))
+
+and parse_assign_op st op name =
+  let e = parse_expr st in
+  expect st Lexer.SEMI;
+  Assign_op (op, name, e)
+
+and parse_loop st ~opt =
+  let var = expect_ident st in
+  expect st Lexer.EQ;
+  let from_e = parse_expr st in
+  expect st Lexer.COMMA;
+  let to_e = parse_expr st in
+  let step =
+    match peek st with
+    | Lexer.COMMA, _ -> (
+      advance st;
+      match next st with
+      | Lexer.INT i, _ -> i
+      | Lexer.MINUS, _ -> (
+        match next st with
+        | Lexer.INT i, _ -> -i
+        | tok, line ->
+          fail_at line
+            (Printf.sprintf "expected step literal, found %s" (Lexer.describe tok)))
+      | tok, line ->
+        fail_at line (Printf.sprintf "expected step literal, found %s" (Lexer.describe tok)))
+    | _ -> 1
+  in
+  let speculate =
+    match peek st with
+    | Lexer.SPECULATE, _ ->
+      advance st;
+      true
+    | _ -> false
+  in
+  expect st Lexer.LOOP_BODY;
+  let body = parse_stmts st [ `Loop_end ] [] in
+  expect st Lexer.LOOP_END;
+  {
+    loop_var = var;
+    loop_from = from_e;
+    loop_to = to_e;
+    loop_step = step;
+    loop_body = body;
+    loop_opt = opt;
+    loop_speculate = speculate;
+  }
+
+let parse_kernel src =
+  let st = { toks = Lexer.tokenize src } in
+  expect st Lexer.KERNEL;
+  let name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let params =
+    match peek st with
+    | Lexer.RPAREN, _ -> []
+    | _ -> parse_params st []
+  in
+  expect st Lexer.RPAREN;
+  let ret =
+    match peek st with
+    | Lexer.RETURNS, _ ->
+      advance st;
+      Some (parse_ty st)
+    | _ -> None
+  in
+  let locals =
+    match peek st with
+    | Lexer.VARS, _ ->
+      advance st;
+      let rec loop acc =
+        match peek st with
+        | Lexer.BEGIN, _ -> List.rev acc
+        | _ ->
+          let first = expect_ident st in
+          let rec names acc =
+            match peek st with
+            | Lexer.COMMA, _ ->
+              advance st;
+              names (expect_ident st :: acc)
+            | _ -> List.rev acc
+          in
+          let all_names = names [ first ] in
+          expect st Lexer.COLON;
+          let ty = parse_ty st in
+          let init =
+            match peek st with
+            | Lexer.EQ, _ -> (
+              advance st;
+              match next st with
+              | Lexer.FLOAT f, _ -> Some f
+              | Lexer.INT i, _ -> Some (float_of_int i)
+              | Lexer.MINUS, _ -> (
+                match next st with
+                | Lexer.FLOAT f, _ -> Some (-.f)
+                | Lexer.INT i, _ -> Some (float_of_int (-i))
+                | tok, line ->
+                  fail_at line
+                    (Printf.sprintf "expected initializer, found %s" (Lexer.describe tok)))
+              | tok, line ->
+                fail_at line
+                  (Printf.sprintf "expected initializer, found %s" (Lexer.describe tok)))
+            | _ -> None
+          in
+          expect st Lexer.SEMI;
+          loop ({ d_names = all_names; d_ty = ty; d_init = init } :: acc)
+      in
+      loop []
+    | _ -> []
+  in
+  expect st Lexer.BEGIN;
+  let body = parse_stmts st [ `End ] [] in
+  expect st Lexer.END;
+  { k_name = name; k_params = params; k_locals = locals; k_ret = ret; k_body = body }

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for HIL kernels.
+
+    Concrete syntax (comments run from [#] or [//] to end of line):
+    {v
+    KERNEL ddot(N : int, X : ptr double, Y : ptr double) RETURNS double
+    VARS
+      dot : double = 0.0;
+      x, y : double;
+    BEGIN
+      OPTLOOP i = 0, N
+      LOOP_BODY
+        x = X[0];
+        y = Y[0];
+        dot += x * y;
+        X += 1;
+        Y += 1;
+      LOOP_END
+      RETURN dot;
+    END
+    v}
+
+    [OPTLOOP] is the mark-up flagging the loop for empirical tuning;
+    pointer parameters accept the [OUTPUT], [NOPREFETCH] and [MAYALIAS]
+    flags after their type. *)
+
+exception Error of string * int
+(** [Error (message, line)] on syntax errors. *)
+
+val parse_kernel : string -> Ast.kernel
+(** Parse a complete kernel from source text.  The result is
+    syntactically well-formed but not yet checked; run
+    {!Typecheck.check} before lowering. *)

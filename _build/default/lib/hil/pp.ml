@@ -1,0 +1,120 @@
+open Ast
+
+let rec expr_prec = function
+  | Int_lit _ | Fp_lit _ | Var _ | Load _ -> 3
+  | Abs _ | Sqrt _ | Neg _ -> 2
+  | Binop ((Mul | Div), _, _) -> 1
+  | Binop ((Add | Sub), _, _) -> 0
+
+and expr_to_string e =
+  let rec go prec e =
+    let s =
+      match e with
+      | Int_lit i -> string_of_int i
+      | Fp_lit f ->
+        let s = Printf.sprintf "%.17g" f in
+        if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+        else s ^ ".0"
+      | Var x -> x
+      | Load (p, k) -> Printf.sprintf "%s[%d]" p k
+      | Abs e -> "ABS " ^ go 3 e
+      | Sqrt e -> "SQRT " ^ go 3 e
+      | Neg e -> "-" ^ go 3 e
+      | Binop (op, a, b) ->
+        let p = expr_prec e in
+        Printf.sprintf "%s %s %s" (go p a) (string_of_binop op) (go (p + 1) b)
+    in
+    if expr_prec e < prec then "(" ^ s ^ ")" else s
+  in
+  go 0 e
+
+let rec stmt_to_string ?(indent = 0) stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Assign (x, e) -> Printf.sprintf "%s%s = %s;" pad x (expr_to_string e)
+  | Assign_op (op, x, e) ->
+    Printf.sprintf "%s%s %s= %s;" pad x (string_of_binop op) (expr_to_string e)
+  | Store (p, k, e) -> Printf.sprintf "%s%s[%d] = %s;" pad p k (expr_to_string e)
+  | Ptr_inc (p, k) ->
+    if k >= 0 then Printf.sprintf "%s%s += %d;" pad p k
+    else Printf.sprintf "%s%s -= %d;" pad p (-k)
+  | Ptr_inc_var (p, v) -> Printf.sprintf "%s%s += %s;" pad p v
+  | Loop lp ->
+    let kw = if lp.loop_opt then "OPTLOOP" else "LOOP" in
+    let step =
+      (if lp.loop_step = 1 then "" else Printf.sprintf ", %d" lp.loop_step)
+      ^ if lp.loop_speculate then " SPECULATE" else ""
+    in
+    let body =
+      lp.loop_body
+      |> List.map (stmt_to_string ~indent:(indent + 2))
+      |> String.concat "\n"
+    in
+    Printf.sprintf "%s%s %s = %s, %s%s\n%sLOOP_BODY\n%s\n%sLOOP_END" pad kw lp.loop_var
+      (expr_to_string lp.loop_from)
+      (expr_to_string lp.loop_to)
+      step pad body pad
+  | If_goto (op, a, b, l) ->
+    Printf.sprintf "%sIF (%s %s %s) GOTO %s;" pad (expr_to_string a) (string_of_cmpop op)
+      (expr_to_string b) l
+  | If_then (op, a, b, then_body, else_body) ->
+    let block body =
+      body |> List.map (stmt_to_string ~indent:(indent + 2)) |> String.concat "\n"
+    in
+    let else_part =
+      if else_body = [] then "" else Printf.sprintf "\n%sELSE\n%s" pad (block else_body)
+    in
+    Printf.sprintf "%sIF (%s %s %s) THEN\n%s%s\n%sENDIF" pad (expr_to_string a)
+      (string_of_cmpop op) (expr_to_string b) (block then_body) else_part pad
+  | Goto l -> Printf.sprintf "%sGOTO %s;" pad l
+  | Label l -> Printf.sprintf "%s%s:" pad l
+  | Return None -> pad ^ "RETURN;"
+  | Return (Some e) -> Printf.sprintf "%sRETURN %s;" pad (expr_to_string e)
+
+let flag_to_string = function
+  | Output -> "OUTPUT"
+  | No_prefetch -> "NOPREFETCH"
+  | May_alias -> "MAYALIAS"
+
+let param_to_string p =
+  let flags =
+    match p.p_flags with
+    | [] -> ""
+    | fs -> " " ^ String.concat " " (List.map flag_to_string fs)
+  in
+  Printf.sprintf "%s : %s%s" p.p_name (string_of_ty p.p_ty) flags
+
+let kernel_to_string k =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "KERNEL %s(%s)" k.k_name
+       (String.concat ", " (List.map param_to_string k.k_params)));
+  (match k.k_ret with
+  | Some ty -> Buffer.add_string buf (" RETURNS " ^ string_of_ty ty)
+  | None -> ());
+  Buffer.add_char buf '\n';
+  if k.k_locals <> [] then begin
+    Buffer.add_string buf "VARS\n";
+    List.iter
+      (fun d ->
+        let init =
+          match d.d_init with
+          | None -> ""
+          | Some f ->
+            let s = Printf.sprintf "%.17g" f in
+            let s = if String.contains s '.' || String.contains s 'e' then s else s ^ ".0" in
+            " = " ^ s
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s : %s%s;\n" (String.concat ", " d.d_names)
+             (string_of_ty d.d_ty) init))
+      k.k_locals
+  end;
+  Buffer.add_string buf "BEGIN\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (stmt_to_string ~indent:2 s);
+      Buffer.add_char buf '\n')
+    k.k_body;
+  Buffer.add_string buf "END\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Pretty-printer for HIL kernels.
+
+    [Pp.kernel_to_string k] renders a kernel in the concrete syntax
+    accepted by {!Parser.parse_kernel}; parsing the output yields a
+    kernel equal to the input (a property the test suite checks). *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val kernel_to_string : Ast.kernel -> string

@@ -1,0 +1,211 @@
+open Ast
+
+type env = (string * ty) list
+type checked = { kernel : kernel; env : env; labels : string list }
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some ty -> ty
+  | None -> fail "unbound identifier %S" x
+
+(* Numeric join: integer literals are allowed wherever a floating-point
+   value is expected, so [Int] joins with [Fp p] to [Fp p]. *)
+let join_types context a b =
+  match (a, b) with
+  | Int, Int -> Int
+  | Fp p, Fp q when p = q -> Fp p
+  | Fp p, Int | Int, Fp p -> Fp p
+  | _ -> fail "%s: incompatible types %s and %s" context (string_of_ty a) (string_of_ty b)
+
+let rec expr_type env = function
+  | Int_lit _ -> Int
+  | Fp_lit _ -> fail "untyped float literal outside assignment context"
+  | Var x -> (
+    match lookup env x with
+    | Ptr _ -> fail "pointer %S used as a value" x
+    | ty -> ty)
+  | Load (p, _) -> (
+    match lookup env p with
+    | Ptr prec -> Fp prec
+    | ty -> fail "indexing non-pointer %S of type %s" p (string_of_ty ty))
+  | Binop (op, a, b) ->
+    join_types (Printf.sprintf "operator %s" (string_of_binop op)) (numeric_type env a)
+      (numeric_type env b)
+  | Abs e | Sqrt e | Neg e -> numeric_type env e
+
+(* Like [expr_type] but gives float literals their natural Fp type when
+   they appear inside larger expressions: the precision is resolved by
+   the join with the other operand or the assignment target. *)
+and numeric_type env = function
+  | Fp_lit _ -> Int (* neutral: joins with anything numeric *)
+  | e -> expr_type env e
+
+let check_expr_against env context target_ty e =
+  let ty =
+    match e with
+    | Fp_lit _ -> target_ty
+    | e -> (
+      match numeric_type env e with
+      | Int -> target_ty (* integer literals/exprs coerce into fp contexts *)
+      | ty -> ty)
+  in
+  match (target_ty, ty) with
+  | Int, Int -> ()
+  | Fp p, Fp q when p = q -> ()
+  | Fp _, Int -> ()
+  | _ ->
+    fail "%s: expected %s but expression has type %s" context (string_of_ty target_ty)
+      (string_of_ty ty)
+
+(* Collect label definitions and check uniqueness. *)
+let rec collect_labels stmts acc =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Label l ->
+        if List.mem l acc then fail "label %S defined twice" l;
+        l :: acc
+      | Loop lp -> collect_labels lp.loop_body acc
+      | If_then (_, _, _, a, b) -> collect_labels b (collect_labels a acc)
+      | _ -> acc)
+    acc stmts
+
+let rec collect_loop_vars stmts acc =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Loop lp -> collect_loop_vars lp.loop_body (lp.loop_var :: acc)
+      | If_then (_, _, _, a, b) -> collect_loop_vars b (collect_loop_vars a acc)
+      | _ -> acc)
+    acc stmts
+
+let rec contains_loop stmts =
+  List.exists
+    (function
+      | Loop _ -> true
+      | If_then (_, _, _, a, b) -> contains_loop a || contains_loop b
+      | _ -> false)
+    stmts
+
+let rec count_opt_loops stmts =
+  List.fold_left
+    (fun n stmt ->
+      match stmt with
+      | If_then (_, _, _, a, b) -> n + count_opt_loops a + count_opt_loops b
+      | Loop lp ->
+        let inner = count_opt_loops lp.loop_body in
+        if lp.loop_opt && contains_loop lp.loop_body then
+          fail "OPTLOOP %S contains a nested loop; only innermost loops can be tuned"
+            lp.loop_var;
+        n + (if lp.loop_opt then 1 else 0) + inner
+      | _ -> n)
+    0 stmts
+
+let check kernel =
+  (* Unique parameter/local names. *)
+  let param_names = List.map (fun p -> p.p_name) kernel.k_params in
+  let local_names = List.concat_map (fun d -> d.d_names) kernel.k_locals in
+  let all_names = param_names @ local_names in
+  let rec check_unique = function
+    | [] -> ()
+    | x :: rest ->
+      if List.mem x rest then fail "identifier %S declared twice" x;
+      check_unique rest
+  in
+  check_unique all_names;
+  List.iter
+    (fun d ->
+      match (d.d_ty, d.d_init) with
+      | Ptr _, _ -> fail "local pointers are not supported (%s)" (String.concat "," d.d_names)
+      | _ -> ())
+    kernel.k_locals;
+  let env_params = List.map (fun p -> (p.p_name, p.p_ty)) kernel.k_params in
+  let env_locals =
+    List.concat_map (fun d -> List.map (fun x -> (x, d.d_ty)) d.d_names) kernel.k_locals
+  in
+  let loop_vars = collect_loop_vars kernel.k_body [] in
+  let env_loops =
+    List.filter_map
+      (fun v -> if List.mem_assoc v (env_params @ env_locals) then None else Some (v, Int))
+      (List.sort_uniq compare loop_vars)
+  in
+  let env = env_params @ env_locals @ env_loops in
+  List.iter
+    (fun v ->
+      match lookup env v with
+      | Int -> ()
+      | ty -> fail "loop index %S must be int, not %s" v (string_of_ty ty))
+    loop_vars;
+  let labels = collect_labels kernel.k_body [] in
+  ignore (count_opt_loops kernel.k_body : int);
+  (* Normalize statements and check types / label references. *)
+  let rec norm_stmt stmt =
+    match stmt with
+    | Assign (x, e) -> (
+      match lookup env x with
+      | Ptr _ -> fail "cannot assign to pointer %S (only += literal allowed)" x
+      | ty ->
+        check_expr_against env (Printf.sprintf "assignment to %S" x) ty e;
+        Assign (x, e))
+    | Assign_op (op, x, e) -> (
+      match lookup env x with
+      | Ptr _ -> (
+        match (op, e) with
+        | Add, Int_lit k -> Ptr_inc (x, k)
+        | Sub, Int_lit k -> Ptr_inc (x, -k)
+        | Add, Var v when lookup env v = Int -> Ptr_inc_var (x, v)
+        | _ ->
+          fail "pointer %S may only be incremented by an integer literal or int variable" x)
+      | ty ->
+        check_expr_against env (Printf.sprintf "update of %S" x) ty e;
+        Assign_op (op, x, e))
+    | Store (p, k, e) -> (
+      match lookup env p with
+      | Ptr prec ->
+        check_expr_against env (Printf.sprintf "store to %S" p) (Fp prec) e;
+        Store (p, k, e)
+      | ty -> fail "storing through non-pointer %S of type %s" p (string_of_ty ty))
+    | Ptr_inc (p, k) -> (
+      match lookup env p with
+      | Ptr _ -> Ptr_inc (p, k)
+      | ty -> fail "pointer increment of non-pointer %S (%s)" p (string_of_ty ty))
+    | Ptr_inc_var (p, v) -> (
+      match (lookup env p, lookup env v) with
+      | Ptr _, Int -> Ptr_inc_var (p, v)
+      | Ptr _, ty -> fail "stride %S must be int, not %s" v (string_of_ty ty)
+      | ty, _ -> fail "pointer increment of non-pointer %S (%s)" p (string_of_ty ty))
+    | Loop lp ->
+      check_expr_against env "loop bound" Int lp.loop_from;
+      check_expr_against env "loop bound" Int lp.loop_to;
+      if lp.loop_step <> 1 && lp.loop_step <> -1 then
+        fail "loop step must be 1 or -1, got %d" lp.loop_step;
+      Loop { lp with loop_body = List.map norm_stmt lp.loop_body }
+    | If_goto (op, a, b, l) ->
+      if not (List.mem l labels) then fail "GOTO to undefined label %S" l;
+      let ta = numeric_type env a and tb = numeric_type env b in
+      ignore (join_types "comparison" ta tb : ty);
+      If_goto (op, a, b, l)
+    | If_then (op, a, b, then_body, else_body) ->
+      let ta = numeric_type env a and tb = numeric_type env b in
+      ignore (join_types "comparison" ta tb : ty);
+      If_then (op, a, b, List.map norm_stmt then_body, List.map norm_stmt else_body)
+    | Goto l ->
+      if not (List.mem l labels) then fail "GOTO to undefined label %S" l;
+      Goto l
+    | Label l -> Label l
+    | Return None ->
+      if kernel.k_ret <> None then fail "RETURN without a value in a returning kernel";
+      Return None
+    | Return (Some e) -> (
+      match kernel.k_ret with
+      | None -> fail "RETURN with a value in a void kernel"
+      | Some ty ->
+        check_expr_against env "return value" ty e;
+        Return (Some e))
+  in
+  let body = List.map norm_stmt kernel.k_body in
+  { kernel = { kernel with k_body = body }; env; labels }

@@ -1,0 +1,31 @@
+(** Semantic analysis of parsed HIL kernels.
+
+    Checking establishes the invariants the backend relies on:
+    every identifier is declared exactly once, expressions are well
+    typed, labels resolve, at most one loop carries the [OPTLOOP]
+    mark-up (and contains no nested loop), and pointer arithmetic is
+    restricted to literal increments.  Pointer [+=]/[-=] statements are
+    normalized into {!Ast.stmt.Ptr_inc} during checking. *)
+
+type env = (string * Ast.ty) list
+(** Variable typing environment: parameters, locals, and loop indices
+    (auto-declared as [int] when not listed under [VARS]). *)
+
+type checked = {
+  kernel : Ast.kernel;  (** the normalized kernel *)
+  env : env;
+  labels : string list;  (** every label defined in the body *)
+}
+
+exception Error of string
+(** Raised with a human-readable message on any semantic violation. *)
+
+val check : Ast.kernel -> checked
+(** Check and normalize a kernel.  @raise Error on violations. *)
+
+val lookup : env -> string -> Ast.ty
+(** [lookup env x] returns the type of [x].  @raise Error if unbound. *)
+
+val expr_type : env -> Ast.expr -> Ast.ty
+(** Type of a checked expression ([Int] or [Fp _]).
+    @raise Error on ill-typed expressions. *)

@@ -1,0 +1,1 @@
+lib/lil/block.ml: Instr Option Printf Reg

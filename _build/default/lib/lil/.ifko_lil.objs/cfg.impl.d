@@ -1,0 +1,1 @@
+lib/lil/cfg.ml: Block Buffer Hashtbl Ifko_util Instr List Option Printf Reg String

@@ -1,0 +1,1 @@
+lib/lil/instr.ml: Buffer Option Printf Reg

@@ -1,0 +1,1 @@
+lib/lil/reg.ml: Array Map Printf Set

@@ -1,0 +1,1 @@
+lib/lil/validate.ml: Block Cfg Instr List Option Printf Reg

@@ -1,0 +1,1 @@
+lib/lil/validate.mli: Cfg

@@ -1,0 +1,127 @@
+(** LIL functions as control-flow graphs.
+
+    A function is an ordered list of basic blocks; the first block is
+    the entry.  Ordering matters only for printing — control transfer
+    is always explicit in terminators (no fall-through), which keeps
+    the unrolling and branch-chaining transformations simple. *)
+
+type func = {
+  fname : string;
+  mutable params : (string * Reg.t) list;
+      (** kernel parameters bound to registers at entry (virtual until
+          register allocation rewrites them) *)
+  mutable blocks : Block.t list;
+  reg_ids : Ifko_util.Ids.t;  (** fresh virtual-register ids *)
+  label_ids : Ifko_util.Ids.t;  (** fresh label suffixes *)
+  mutable frame_slots : int;
+      (** number of 16-byte spill slots addressed off {!Reg.frame_ptr} *)
+}
+
+let create ~name ~params =
+  {
+    fname = name;
+    params;
+    blocks = [];
+    reg_ids = Ifko_util.Ids.create ~start:0 ();
+    label_ids = Ifko_util.Ids.create ~start:0 ();
+    frame_slots = 0;
+  }
+
+let fresh_reg f cls = Reg.virt cls (Ifko_util.Ids.next f.reg_ids)
+
+let fresh_label f stem = Printf.sprintf "%s_%d" stem (Ifko_util.Ids.next f.label_ids)
+
+(** [alloc_slot f] reserves a fresh 16-byte spill slot and returns its
+    byte displacement off the frame pointer. *)
+let alloc_slot f =
+  let slot = f.frame_slots in
+  f.frame_slots <- slot + 1;
+  slot * 16
+
+let find_block f label = List.find_opt (fun b -> b.Block.label = label) f.blocks
+
+let find_block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Cfg.find_block_exn: no block %S" label)
+
+let entry f =
+  match f.blocks with
+  | [] -> invalid_arg "Cfg.entry: empty function"
+  | b :: _ -> b
+
+(** [insert_after f ~after blocks] splices [blocks] into the block list
+    right after the block labelled [after]. *)
+let insert_after f ~after blocks =
+  let rec go = function
+    | [] -> invalid_arg (Printf.sprintf "Cfg.insert_after: no block %S" after)
+    | b :: rest when b.Block.label = after -> b :: (blocks @ rest)
+    | b :: rest -> b :: go rest
+  in
+  f.blocks <- go f.blocks
+
+let remove_block f label =
+  f.blocks <- List.filter (fun b -> b.Block.label <> label) f.blocks
+
+(** [predecessors f] is an association from label to the labels of
+    blocks branching to it. *)
+let predecessors f =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun succ ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl succ) in
+          Hashtbl.replace tbl succ (b.Block.label :: cur))
+        (Block.successors b.Block.term))
+    f.blocks;
+  tbl
+
+(** Iterate instructions of every block (analysis convenience). *)
+let iter_instrs f g = List.iter (fun b -> List.iter g b.Block.instrs) f.blocks
+
+(** All registers mentioned anywhere in the function. *)
+let all_regs f =
+  let acc = ref Reg.Set.empty in
+  let add r = acc := Reg.Set.add r !acc in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          List.iter add (Instr.defs i);
+          List.iter add (Instr.uses i))
+        b.Block.instrs;
+      List.iter add (Block.term_uses b.Block.term);
+      List.iter add (Block.term_defs b.Block.term))
+    f.blocks;
+  List.iter (fun (_, r) -> add r) f.params;
+  !acc
+
+(** Deep-copy a function (blocks are mutable). *)
+let copy f =
+  {
+    f with
+    blocks =
+      List.map
+        (fun b -> Block.{ label = b.label; instrs = b.instrs; term = b.term })
+        f.blocks;
+    reg_ids = Ifko_util.Ids.create ~start:(Ifko_util.Ids.peek f.reg_ids) ();
+    label_ids = Ifko_util.Ids.create ~start:(Ifko_util.Ids.peek f.label_ids) ();
+  }
+
+let to_string f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%s)  ; frame=%d slots\n" f.fname
+       (String.concat ", "
+          (List.map (fun (n, r) -> Printf.sprintf "%s=%s" n (Reg.to_string r)) f.params))
+       f.frame_slots);
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (b.Block.label ^ ":\n");
+      List.iter
+        (fun i -> Buffer.add_string buf ("        " ^ Instr.to_string i ^ "\n"))
+        b.Block.instrs;
+      Buffer.add_string buf ("        " ^ Block.term_to_string b.Block.term ^ "\n"))
+    f.blocks;
+  Buffer.contents buf

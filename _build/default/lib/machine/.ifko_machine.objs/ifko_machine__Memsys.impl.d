@@ -1,0 +1,1 @@
+lib/machine/memsys.ml: Array Cache Config Float Hashtbl Instr Printf Queue

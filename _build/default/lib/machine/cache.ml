@@ -1,0 +1,105 @@
+type t = {
+  line : int;
+  sets : int;
+  assoc : int;
+  tags : int array;  (** -1 = invalid; indexed [set * assoc + way] *)
+  dirty : bool array;
+  lru : int array;  (** higher = more recently used *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create (lvl : Config.cache_level) =
+  let sets = max 1 (lvl.Config.size / (lvl.Config.line * lvl.Config.assoc)) in
+  let ways = sets * lvl.Config.assoc in
+  {
+    line = lvl.Config.line;
+    sets;
+    assoc = lvl.Config.assoc;
+    tags = Array.make ways (-1);
+    dirty = Array.make ways false;
+    lru = Array.make ways 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_bytes t = t.line
+let set_of t addr = addr / t.line mod t.sets
+let tag_of t addr = addr / t.line
+
+let find_way t addr =
+  let base = set_of t addr * t.assoc and tag = tag_of t addr in
+  let rec go w =
+    if w >= t.assoc then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let touch t idx =
+  t.clock <- t.clock + 1;
+  t.lru.(idx) <- t.clock
+
+let access t ~addr ~write =
+  match find_way t addr with
+  | Some idx ->
+    t.hits <- t.hits + 1;
+    if write then t.dirty.(idx) <- true;
+    touch t idx;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    false
+
+let probe t ~addr = find_way t addr <> None
+
+let victim_way t addr =
+  let base = set_of t addr * t.assoc in
+  let best = ref base in
+  for w = 1 to t.assoc - 1 do
+    if t.tags.(base + w) = -1 then (if t.tags.(!best) <> -1 then best := base + w)
+    else if t.tags.(!best) <> -1 && t.lru.(base + w) < t.lru.(!best) then best := base + w
+  done;
+  !best
+
+let insert t ~addr ~write =
+  match find_way t addr with
+  | Some idx ->
+    if write then t.dirty.(idx) <- true;
+    touch t idx;
+    None
+  | None ->
+    let idx = victim_way t addr in
+    let evicted =
+      if t.tags.(idx) <> -1 && t.dirty.(idx) then Some (t.tags.(idx) * t.line) else None
+    in
+    t.tags.(idx) <- tag_of t addr;
+    t.dirty.(idx) <- write;
+    touch t idx;
+    evicted
+
+let invalidate t ~addr =
+  match find_way t addr with
+  | Some idx ->
+    let was_dirty = t.dirty.(idx) in
+    t.tags.(idx) <- -1;
+    t.dirty.(idx) <- false;
+    was_dirty
+  | None -> false
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false
+
+let stats t = (t.hits, t.misses)
+
+let dirty_lines t =
+  let n = ref 0 in
+  Array.iteri (fun i d -> if d && t.tags.(i) <> -1 then incr n) t.dirty;
+  !n
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

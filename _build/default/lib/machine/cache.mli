@@ -1,0 +1,38 @@
+(** Set-associative cache with true-LRU replacement and write-back /
+    write-allocate policy.
+
+    Lookups never allocate: the surrounding {!Memsys} decides when a
+    line is actually installed (demand fills arrive only after the
+    memory latency has elapsed, so installation is explicit), and what
+    each event costs. *)
+
+type t
+
+val create : Config.cache_level -> t
+val line_bytes : t -> int
+
+val access : t -> addr:int -> write:bool -> bool
+(** [access t ~addr ~write] is [true] on a hit (updating LRU and the
+    dirty bit).  On a miss nothing changes except the statistics. *)
+
+val probe : t -> addr:int -> bool
+(** Non-destructive presence test (no LRU update, no statistics). *)
+
+val insert : t -> addr:int -> write:bool -> int option
+(** Install the line containing [addr] (marking it dirty when [write]).
+    Returns the byte address of a dirty line that had to be evicted, if
+    any.  Installing a present line just updates LRU/dirty. *)
+
+val invalidate : t -> addr:int -> bool
+(** Drop the line if present; returns whether it was dirty. *)
+
+val flush : t -> unit
+(** Empty the cache (the timers' out-of-cache context). *)
+
+val dirty_lines : t -> int
+(** Number of valid dirty lines currently held. *)
+
+val stats : t -> int * int
+(** [(hits, misses)] accumulated by {!access}. *)
+
+val reset_stats : t -> unit

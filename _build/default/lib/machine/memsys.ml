@@ -1,0 +1,403 @@
+type fill = {
+  mutable arrival : float;
+  mutable fill_l1 : bool;
+  mutable fill_l2 : bool;
+  mutable want_write : bool;
+  mutable l1_addr : int;  (** which L1 line within the (possibly wider) L2 line *)
+  mutable observed : bool;  (** the stream prefetcher has seen this line *)
+  is_pf : bool;  (** brought in by a prefetch, not a demand miss *)
+}
+
+type stream = { mutable expect : int; mutable dir : int }
+
+type t = {
+  cfg : Config.t;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  mutable bus_free : float;
+  mshr : float Queue.t;  (** completion times of in-flight demand misses *)
+  inflight : (int, fill) Hashtbl.t;  (** keyed by L2-line base address *)
+  streams : stream array;
+  mutable next_stream : int;
+  mutable sw_pf_issued : int;
+  mutable sw_pf_dropped : int;
+  mutable hw_pf_issued : int;
+  mutable nt_lines : int;
+  mutable claims : float;  (* total bus cycles claimed *)
+  mutable pf_inflight : int;  (* prefetched lines not yet settled *)
+  fifo : (int * bool) Queue.t;  (* inflight lines in arrival order, with is_pf *)
+  mutable clock : float;  (* consumption frontier: max issue/completion time seen *)
+  mutable last_dir_write : bool;  (* direction of the last bus transfer *)
+  mutable wc_line : int;  (* write-combining buffer: current NT line *)
+  mutable wc_bytes : float;  (* bytes pending in the WC buffer *)
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    l1 = Cache.create cfg.Config.l1;
+    l2 = Cache.create cfg.Config.l2;
+    bus_free = 0.0;
+    mshr = Queue.create ();
+    inflight = Hashtbl.create 64;
+    streams =
+      Array.init cfg.Config.hw_prefetch_streams (fun _ -> { expect = -1; dir = 1 });
+    next_stream = 0;
+    sw_pf_issued = 0;
+    sw_pf_dropped = 0;
+    hw_pf_issued = 0;
+    nt_lines = 0;
+    claims = 0.0;
+    pf_inflight = 0;
+    fifo = Queue.create ();
+    clock = 0.0;
+    last_dir_write = false;
+    wc_line = -1;
+    wc_bytes = 0.0;
+  }
+
+let reset t ~flush =
+  t.bus_free <- 0.0;
+  Queue.clear t.mshr;
+  Hashtbl.reset t.inflight;
+  Array.iter (fun s -> s.expect <- -1) t.streams;
+  t.sw_pf_issued <- 0;
+  t.sw_pf_dropped <- 0;
+  t.hw_pf_issued <- 0;
+  t.nt_lines <- 0;
+  t.claims <- 0.0;
+  t.pf_inflight <- 0;
+  Queue.clear t.fifo;
+  t.clock <- 0.0;
+  t.last_dir_write <- false;
+  t.wc_line <- -1;
+  t.wc_bytes <- 0.0;
+  Cache.reset_stats t.l1;
+  Cache.reset_stats t.l2;
+  if flush then begin
+    Cache.flush t.l1;
+    Cache.flush t.l2
+  end
+
+let l2_line t addr = addr - (addr mod Cache.line_bytes t.l2)
+let page_of addr = addr / 4096
+let occupancy t = float_of_int (Cache.line_bytes t.l2) /. t.cfg.Config.bus_bytes_per_cycle
+
+(* Claim the bus for [extra] line-transfers' worth of traffic starting
+   no earlier than [now]; returns the transfer start. *)
+let turnaround t ~write =
+  if t.last_dir_write <> write then begin
+    t.last_dir_write <- write;
+    t.bus_free <- t.bus_free +. t.cfg.Config.bus_turnaround;
+    t.claims <- t.claims +. t.cfg.Config.bus_turnaround
+  end
+
+(* Claim the bus for [extra] read-line transfers starting no earlier
+   than [now]; returns the transfer start. *)
+let claim_bus t now extra =
+  turnaround t ~write:false;
+  let start = Float.max now t.bus_free in
+  t.claims <- t.claims +. (occupancy t *. extra);
+  t.bus_free <- start +. (occupancy t *. extra);
+  start
+
+(* Write-direction traffic (writebacks, non-temporal stores). *)
+let claim_bytes t now bytes =
+  turnaround t ~write:true;
+  let start = Float.max now t.bus_free in
+  t.claims <- t.claims +. (bytes /. t.cfg.Config.bus_bytes_per_cycle);
+  t.bus_free <- start +. (bytes /. t.cfg.Config.bus_bytes_per_cycle)
+
+(* Dirty eviction out of L2 goes to memory over the bus (with the
+   configured burst-overhead factor). *)
+let l2_evicted t now = function
+  | Some _ ->
+    claim_bytes t now
+      (float_of_int (Cache.line_bytes t.l2) *. t.cfg.Config.wb_extra)
+  | None -> ()
+
+(* Dirty eviction out of L1 lands in L2 when the line is still there
+   (no bus traffic); otherwise it must go to memory. *)
+let l1_evicted t now = function
+  | Some addr ->
+    if Cache.probe t.l2 ~addr then
+      l2_evicted t now (Cache.insert t.l2 ~addr ~write:true)
+    else
+      claim_bytes t now
+        (float_of_int (Cache.line_bytes t.l1) *. t.cfg.Config.wb_extra)
+  | None -> ()
+
+(* Schedule a line fetch from memory; returns its arrival time.  If the
+   line is already in flight, returns (and augments) the existing
+   fill. *)
+let schedule_fetch t ~now ~fill_l1 ~fill_l2 ~l1_addr addr =
+  let line = l2_line t addr in
+  match Hashtbl.find_opt t.inflight line with
+  | Some f ->
+    f.fill_l1 <- f.fill_l1 || fill_l1;
+    f.fill_l2 <- f.fill_l2 || fill_l2;
+    if fill_l1 then f.l1_addr <- l1_addr;
+    f.arrival
+  | None ->
+    let start = claim_bus t now 1.0 in
+    (* prefetches lose memory-controller arbitration to demand reads *)
+    let arrival =
+      start
+      +. (float_of_int t.cfg.Config.mem_latency *. t.cfg.Config.pf_latency_factor)
+    in
+    Hashtbl.replace t.inflight line
+      { arrival; fill_l1; fill_l2; want_write = false; l1_addr; observed = false;
+        is_pf = true };
+    t.pf_inflight <- t.pf_inflight + 1;
+    Queue.push (line, true) t.fifo;
+    arrival
+
+(* Move an arrived fill into the caches. *)
+let settle t now line (f : fill) =
+  Hashtbl.remove t.inflight line;
+  if f.is_pf then t.pf_inflight <- t.pf_inflight - 1;
+  if f.fill_l2 then l2_evicted t now (Cache.insert t.l2 ~addr:line ~write:false);
+  if f.fill_l1 then begin
+    (* the transfer brought a whole (possibly wider) memory line;
+       install every L1-sized piece of it *)
+    let l1_bytes = Cache.line_bytes t.l1 in
+    let pieces = max 1 (Cache.line_bytes t.l2 / l1_bytes) in
+    for k = 0 to pieces - 1 do
+      let piece = line + (k * l1_bytes) in
+      let write = f.want_write && piece = f.l1_addr - (f.l1_addr mod l1_bytes) in
+      l1_evicted t now (Cache.insert t.l1 ~addr:piece ~write)
+    done
+  end
+  else if f.want_write then
+    ignore (Cache.insert t.l2 ~addr:line ~write:true : int option)
+
+(* Hardware stream prefetcher: trains on L2 demand misses, runs a few
+   lines ahead, never crosses a 4 KiB page. *)
+let hw_prefetch t ~now addr =
+  let cfg = t.cfg in
+  if cfg.Config.hw_prefetch_ahead > 0 then begin
+    let line_sz = Cache.line_bytes t.l2 in
+    let line = l2_line t addr in
+    let matched = ref false in
+    Array.iter
+      (fun s ->
+        if (not !matched) && s.expect = line then begin
+          matched := true;
+          s.expect <- line + (s.dir * line_sz);
+          for k = 1 to cfg.Config.hw_prefetch_ahead do
+            let target = line + (s.dir * k * line_sz) in
+            if page_of target = page_of line && not (Cache.probe t.l2 ~addr:target) then begin
+              t.hw_pf_issued <- t.hw_pf_issued + 1;
+              ignore
+                (schedule_fetch t ~now ~fill_l1:false ~fill_l2:true ~l1_addr:target target
+                  : float)
+            end
+          done
+        end)
+      t.streams;
+    if not !matched then begin
+      let s = t.streams.(t.next_stream) in
+      t.next_stream <- (t.next_stream + 1) mod Array.length t.streams;
+      s.expect <- line + line_sz;
+      s.dir <- 1
+    end
+  end
+
+(* Take an MSHR slot for a demand miss requested at [now]; returns the
+   effective request time (delayed when all slots are busy). *)
+let mshr_admit t now =
+  let rec drain () =
+    match Queue.peek_opt t.mshr with
+    | Some c when c <= now ->
+      ignore (Queue.pop t.mshr : float);
+      drain ()
+    | _ -> ()
+  in
+  drain ();
+  if Queue.length t.mshr < t.cfg.Config.mshrs then now else Float.max now (Queue.pop t.mshr)
+
+let demand_fetch t ~now ~write addr =
+  hw_prefetch t ~now addr;
+  let t0 = mshr_admit t now in
+  let start = claim_bus t t0 1.0 in
+  let arrival = start +. float_of_int t.cfg.Config.mem_latency in
+  Queue.push arrival t.mshr;
+  let line = l2_line t addr in
+  Hashtbl.replace t.inflight line
+    { arrival; fill_l1 = true; fill_l2 = true; want_write = write; l1_addr = addr;
+      observed = true; is_pf = false };
+  Queue.push (line, false) t.fifo;
+  arrival
+
+(* Advance the consumption frontier and settle every fill it passed:
+   a line is architecturally in the cache once its arrival time is
+   behind the furthest completion the core has seen. *)
+let tick t time =
+  if time > t.clock then t.clock <- time;
+  let rec sweep () =
+    match Queue.peek_opt t.fifo with
+    | Some (line, _) -> (
+      match Hashtbl.find_opt t.inflight line with
+      | None ->
+        ignore (Queue.pop t.fifo : int * bool);
+        sweep ()
+      | Some f when f.arrival <= t.clock ->
+        ignore (Queue.pop t.fifo : int * bool);
+        settle t t.clock line f;
+        sweep ()
+      | Some _ -> ())
+    | None -> ()
+  in
+  sweep ()
+
+(* The stream prefetcher also observes the first touch of a line it
+   (or a software prefetch) brought in, so coverage is continuous
+   rather than retraining every few lines. *)
+let observe t ~now (f : fill) line =
+  if not f.observed then begin
+    f.observed <- true;
+    hw_prefetch t ~now line
+  end
+
+let load t ~addr ~now =
+  let cfg = t.cfg in
+  let l1_lat = float_of_int cfg.Config.l1.Config.latency in
+  let line = l2_line t addr in
+  tick t now;
+  match Hashtbl.find_opt t.inflight line with
+  | Some f when f.arrival > now ->
+    (* hit under fill: ride the outstanding fetch *)
+    f.fill_l1 <- true;
+    f.l1_addr <- addr;
+    observe t ~now f line;
+    tick t f.arrival;
+    Float.max (now +. l1_lat) f.arrival
+  | Some f ->
+    f.fill_l1 <- true;
+    f.l1_addr <- addr;
+    observe t ~now f line;
+    settle t now line f;
+    now +. l1_lat
+  | None ->
+    if Cache.access t.l1 ~addr ~write:false then now +. l1_lat
+    else if Cache.access t.l2 ~addr ~write:false then begin
+      l1_evicted t now (Cache.insert t.l1 ~addr ~write:false);
+      now +. float_of_int cfg.Config.l2.Config.latency
+    end
+    else begin
+      let arrival = demand_fetch t ~now ~write:false addr in
+      tick t arrival;
+      arrival
+    end
+
+let store t ~addr ~now =
+  let line = l2_line t addr in
+  tick t now;
+  match Hashtbl.find_opt t.inflight line with
+  | Some f when f.arrival > now ->
+    f.want_write <- true;
+    f.fill_l1 <- true;
+    f.l1_addr <- addr;
+    observe t ~now f line
+  | Some f ->
+    f.want_write <- true;
+    f.fill_l1 <- true;
+    f.l1_addr <- addr;
+    observe t ~now f line;
+    settle t now line f
+  | None ->
+    if Cache.access t.l1 ~addr ~write:true then ()
+    else if Cache.access t.l2 ~addr ~write:false then
+      l1_evicted t now (Cache.insert t.l1 ~addr ~write:true)
+    else
+      (* read-for-ownership: fetch the line, but do not stall *)
+      ignore (demand_fetch t ~now ~write:true addr : float)
+
+(* Flush the write-combining buffer: its contents cross the bus as one
+   write burst. *)
+let wc_flush t now =
+  if t.wc_bytes > 0.0 then begin
+    claim_bytes t now t.wc_bytes;
+    t.wc_bytes <- 0.0
+  end;
+  t.wc_line <- -1
+
+let nt_store t ~addr ~bytes ~now =
+  let cfg = t.cfg in
+  tick t now;
+  (* non-temporal stores gather in a write-combining buffer and go out
+     in full-line bursts — this is what keeps them off the bus's
+     read/write turnaround path *)
+  let line = l2_line t addr in
+  if line <> t.wc_line then begin
+    wc_flush t now;
+    t.wc_line <- line;
+    t.nt_lines <- t.nt_lines + 1
+  end;
+  t.wc_bytes <- t.wc_bytes +. float_of_int bytes;
+  (* coherence: a cached copy forces the streaming store through the
+     coherence protocol — a dirty copy must be flushed first, and the
+     round trip costs extra on some machines (this is where blind
+     non-temporal stores lose on the Opteron-like model).  The cached
+     copy stays usable for timing purposes: it now matches memory. *)
+  let in_l1 = Cache.probe t.l1 ~addr and in_l2 = Cache.probe t.l2 ~addr in
+  if in_l1 || in_l2 then begin
+    let dirty1 = if in_l1 then Cache.access t.l1 ~addr ~write:false else false in
+    ignore dirty1;
+    let stores_per_line = float_of_int (Cache.line_bytes t.l1 / max 1 bytes) in
+    let pen = cfg.Config.wnt_read_penalty /. stores_per_line in
+    t.bus_free <- Float.max now t.bus_free +. pen;
+    t.claims <- t.claims +. pen
+  end
+
+let bus_backlog t ~now = Float.max 0.0 (t.bus_free -. now)
+
+let prefetch t ~kind ~addr ~now =
+  let cfg = t.cfg in
+  tick t now;
+  if t.pf_inflight >= cfg.Config.pf_queue then
+    t.sw_pf_dropped <- t.sw_pf_dropped + 1
+  else begin
+    let fill_l1, fill_l2 =
+      match kind with
+      | Instr.T0 -> (true, true)
+      | Instr.T1 -> (false, true)
+      | Instr.Nta | Instr.W -> (true, false)
+    in
+    if not (Cache.probe t.l1 ~addr) then
+      if Cache.probe t.l2 ~addr then begin
+        if fill_l1 then
+          (* L2-resident: promote to L1 without bus traffic *)
+          l1_evicted t now (Cache.insert t.l1 ~addr ~write:false)
+      end
+      else begin
+        t.sw_pf_issued <- t.sw_pf_issued + 1;
+        ignore (schedule_fetch t ~now ~fill_l1 ~fill_l2 ~l1_addr:addr addr : float)
+      end
+  end
+
+let warm_l2 t ~addr = ignore (Cache.insert t.l2 ~addr ~write:false : int option)
+
+let warm_all t ~addr =
+  ignore (Cache.insert t.l2 ~addr ~write:false : int option);
+  ignore (Cache.insert t.l1 ~addr ~write:false : int option)
+
+let drain_time t ~now =
+  wc_flush t now;
+  Float.max now t.bus_free
+
+(* Cost (in bus cycles) of eventually writing back every dirty line the
+   run left in the hierarchy.  The out-of-cache timers charge this: for
+   working sets beyond L2 these writebacks happen inside the timed
+   window anyway, and charging them uniformly gives the steady-state
+   slope the extrapolation needs. *)
+let pending_writeback_cost t =
+  let l1b = Cache.dirty_lines t.l1 * Cache.line_bytes t.l1 in
+  let l2b = Cache.dirty_lines t.l2 * Cache.line_bytes t.l2 in
+  float_of_int (l1b + l2b) *. t.cfg.Config.wb_extra /. t.cfg.Config.bus_bytes_per_cycle
+
+let stats t =
+  let h1, m1 = Cache.stats t.l1 and h2, m2 = Cache.stats t.l2 in
+  Printf.sprintf
+    "L1 %d hit / %d miss; L2 %d hit / %d miss; swpf %d issued / %d dropped; hwpf %d; nt %d; bus %.0f"
+    h1 m1 h2 m2 t.sw_pf_issued t.sw_pf_dropped t.hw_pf_issued t.nt_lines t.claims

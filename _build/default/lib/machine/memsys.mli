@@ -1,0 +1,58 @@
+(** The memory system: two cache levels, a bandwidth-limited memory
+    bus, an MSHR-limited miss pipe, a page-bounded hardware stream
+    prefetcher, software prefetch, and the non-temporal store path.
+
+    All functions take and return times in cycles (floats).  The CPU
+    model calls [load]/[store]/[nt_store]/[prefetch] with the current
+    dispatch time and uses the returned completion time for dependent
+    instructions; bandwidth and miss-parallelism limits emerge from the
+    evolving bus and MSHR state. *)
+
+type t
+
+val create : Config.t -> t
+
+val reset : t -> flush:bool -> unit
+(** Zero the clock-dependent state (bus, MSHRs, in-flight fills,
+    prefetch streams, statistics); additionally empty both caches when
+    [flush] is set — the timers' out-of-cache context. *)
+
+val load : t -> addr:int -> now:float -> float
+(** Completion time of a load whose line contains [addr]. *)
+
+val store : t -> addr:int -> now:float -> unit
+(** Regular (write-allocate) store: generates read-for-ownership
+    traffic on miss and dirty-writeback traffic on eviction, but never
+    stalls the pipeline (store-buffer semantics). *)
+
+val nt_store : t -> addr:int -> bytes:int -> now:float -> unit
+(** Non-temporal store: write-combining traffic straight to memory, no
+    allocation, no read-for-ownership; pays the configured penalty when
+    the line is cached (it must be invalidated and flushed). *)
+
+val prefetch : t -> kind:Instr.pf_kind -> addr:int -> now:float -> unit
+(** Software prefetch.  Dropped silently when the bus is backed up by
+    more than the configured slack, as real implementations do. *)
+
+val warm_l2 : t -> addr:int -> unit
+(** Install the line containing [addr] in L2 without any timing effect
+    (the timers' in-L2 context setup). *)
+
+val warm_all : t -> addr:int -> unit
+(** Install in both levels (used to model a fully warm working set). *)
+
+val bus_backlog : t -> now:float -> float
+(** How many cycles of transfers are queued on the bus. *)
+
+val drain_time : t -> now:float -> float
+(** Time at which all queued bus traffic has drained; timing runs end
+    no earlier than this (outstanding writebacks are real work). *)
+
+val pending_writeback_cost : t -> float
+(** Bus cycles needed to write back every dirty line still cached; the
+    out-of-cache timers add this to the measured cycles so that store
+    traffic is charged at its steady-state rate regardless of whether
+    the sampled problem size exceeds L2. *)
+
+val stats : t -> string
+(** Human-readable hit/miss/drop counters (for the CLI's -v mode). *)

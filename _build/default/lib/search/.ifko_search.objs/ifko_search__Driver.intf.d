@@ -1,0 +1,1 @@
+lib/search/driver.mli: Cfg Ifko_analysis Ifko_codegen Ifko_machine Ifko_sim Ifko_transform

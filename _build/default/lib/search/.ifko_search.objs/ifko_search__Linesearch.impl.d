@@ -1,0 +1,1 @@
+lib/search/linesearch.ml: Hashtbl Ifko_analysis Ifko_transform List Params Space

@@ -1,0 +1,1 @@
+lib/search/linesearch.mli: Ifko_analysis Ifko_machine Ifko_transform

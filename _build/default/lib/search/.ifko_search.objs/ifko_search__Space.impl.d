@@ -1,0 +1,1 @@
+lib/search/space.ml: Config Ifko_analysis Ifko_machine Instr List

@@ -1,0 +1,44 @@
+open Ifko_machine
+
+type tuned = {
+  report : Ifko_analysis.Report.t;
+  default_params : Ifko_transform.Params.t;
+  best_params : Ifko_transform.Params.t;
+  fko_mflops : float;
+  ifko_mflops : float;
+  best_func : Cfg.func;
+  contributions : (string * float) list;
+  evaluations : int;
+}
+
+let compile_point ~cfg compiled params =
+  let c =
+    Ifko_transform.Pipeline.apply ~line_bytes:cfg.Config.prefetchable_line compiled params
+  in
+  c.Ifko_codegen.Lower.func
+
+let tune ?(extensions = false) ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
+  let report = Ifko_analysis.Report.analyze compiled in
+  let default_params =
+    Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
+  in
+  let probe params =
+    match compile_point ~cfg compiled params with
+    | exception _ -> neg_infinity (* an illegal point is just skipped *)
+    | func ->
+      if not (test func) then neg_infinity
+      else
+        let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
+        Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles
+  in
+  let result = Linesearch.run ~extensions ~cfg ~report ~init:default_params probe in
+  {
+    report;
+    default_params;
+    best_params = result.Linesearch.best;
+    fko_mflops = result.Linesearch.start_perf;
+    ifko_mflops = result.Linesearch.best_perf;
+    best_func = compile_point ~cfg compiled result.Linesearch.best;
+    contributions = result.Linesearch.contributions;
+    evaluations = result.Linesearch.evaluations;
+  }

@@ -1,0 +1,41 @@
+(** The ifko driver: analysis, iterative search, timers and testers
+    wired together (the paper's Figure 1).
+
+    For each probed parameter point the driver (1) invokes the FKO
+    pipeline, (2) runs the tester against the reference results —
+    points that compute wrong answers are discarded outright — and
+    (3) times the survivor in the requested machine/context, feeding
+    MFLOPS back to the modified line search. *)
+
+type tuned = {
+  report : Ifko_analysis.Report.t;
+  default_params : Ifko_transform.Params.t;
+  best_params : Ifko_transform.Params.t;
+  fko_mflops : float;  (** the default (un-searched) FKO point *)
+  ifko_mflops : float;  (** the searched point *)
+  best_func : Cfg.func;  (** fully compiled best kernel *)
+  contributions : (string * float) list;  (** Figure-7 decomposition *)
+  evaluations : int;
+}
+
+val compile_point :
+  cfg:Ifko_machine.Config.t ->
+  Ifko_codegen.Lower.compiled ->
+  Ifko_transform.Params.t ->
+  Cfg.func
+(** One FKO invocation at an explicit parameter point. *)
+
+val tune :
+  ?extensions:bool ->
+  cfg:Ifko_machine.Config.t ->
+  context:Ifko_sim.Timer.context ->
+  spec:Ifko_sim.Timer.spec ->
+  n:int ->
+  flops_per_n:float ->
+  test:(Cfg.func -> bool) ->
+  Ifko_codegen.Lower.compiled ->
+  tuned
+(** Run the full iterative and empirical compilation of a lowered
+    kernel for problem size [n] in the given machine and context.
+    [extensions] also searches the future-work transformations (block
+    fetch, CISC indexing); defaults to the paper's published FKO. *)

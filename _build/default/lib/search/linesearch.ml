@@ -1,0 +1,146 @@
+open Ifko_transform
+
+type probe = Params.t -> float
+
+type result = {
+  best : Params.t;
+  best_perf : float;
+  start_perf : float;
+  contributions : (string * float) list;
+  evaluations : int;
+}
+
+type state = {
+  probe : probe;
+  cache : (Params.t, float) Hashtbl.t;
+  mutable evals : int;
+  mutable cur : Params.t;
+  mutable cur_perf : float;
+}
+
+let eval st p =
+  match Hashtbl.find_opt st.cache p with
+  | Some v -> v
+  | None ->
+    st.evals <- st.evals + 1;
+    let v = st.probe p in
+    Hashtbl.replace st.cache p v;
+    v
+
+(* Try every candidate produced by [variants]; keep the best. *)
+let sweep st variants =
+  List.iter
+    (fun p ->
+      let v = eval st p in
+      if v > st.cur_perf then begin
+        st.cur <- p;
+        st.cur_perf <- v
+      end)
+    variants
+
+let set_pf_dist (p : Params.t) name dist =
+  {
+    p with
+    Params.prefetch =
+      List.map
+        (fun (a, (s : Params.pf_param)) ->
+          if a = name then (a, { s with Params.pf_dist = dist }) else (a, s))
+        p.Params.prefetch;
+  }
+
+let set_pf_ins (p : Params.t) name ins =
+  {
+    p with
+    Params.prefetch =
+      List.map
+        (fun (a, (s : Params.pf_param)) ->
+          if a = name then (a, { s with Params.pf_ins = ins }) else (a, s))
+        p.Params.prefetch;
+  }
+
+let run ?(extensions = false) ~cfg ~report ~init probe =
+  let st = { probe; cache = Hashtbl.create 64; evals = 0; cur = init; cur_perf = probe init } in
+  st.evals <- 1;
+  Hashtbl.replace st.cache init st.cur_perf;
+  let start_perf = st.cur_perf in
+  let contributions = ref [] in
+  let tuned name f =
+    let before = st.cur_perf in
+    f ();
+    let ratio = if before > 0.0 then st.cur_perf /. before else 1.0 in
+    contributions := (name, ratio) :: !contributions
+  in
+  let arrays = List.map fst init.Params.prefetch in
+  (* SV: confirm the default choice (cheap: two points). *)
+  tuned "SV" (fun () ->
+      sweep st
+        (List.map (fun sv -> { st.cur with Params.sv = sv }) (Space.sv_candidates report)));
+  (* WNT *)
+  tuned "WNT" (fun () ->
+      sweep st
+        (List.map (fun wnt -> { st.cur with Params.wnt = wnt }) (Space.wnt_candidates report)));
+  (* Prefetch distance, one array at a time (including "no prefetch"
+     via the instruction dimension below). *)
+  tuned "PF DST" (fun () ->
+      List.iter
+        (fun name ->
+          sweep st (List.map (set_pf_dist st.cur name) (Space.pf_dist_candidates cfg)))
+        arrays);
+  (* Prefetch instruction flavour per array. *)
+  tuned "PF INS" (fun () ->
+      List.iter
+        (fun name ->
+          sweep st (List.map (set_pf_ins st.cur name) (Space.pf_ins_candidates cfg)))
+        arrays);
+  (* Unrolling. *)
+  tuned "UR" (fun () ->
+      sweep st
+        (List.map (fun u -> { st.cur with Params.unroll = u }) (Space.unroll_candidates report)));
+  (* Accumulator expansion. *)
+  tuned "AE" (fun () ->
+      sweep st
+        (List.map (fun ae -> { st.cur with Params.ae = ae }) (Space.ae_candidates report)));
+  (* Extension dimensions (paper future work), when enabled. *)
+  if extensions then begin
+    tuned "BF" (fun () ->
+        sweep st
+          (List.map
+             (fun bf -> { st.cur with Params.bf = bf })
+             (Space.bf_candidates ~extensions report)));
+    tuned "CISC" (fun () ->
+        sweep st
+          (List.map
+             (fun cisc -> { st.cur with Params.cisc })
+             (Space.cisc_candidates ~extensions report)))
+  end;
+  (* Restricted 2-D refinement over the known UR x AE interaction. *)
+  tuned "UR*AE" (fun () ->
+      let u0 = st.cur.Params.unroll in
+      let urs =
+        List.sort_uniq compare
+          (List.filter (fun u -> u >= 1 && u <= report.Ifko_analysis.Report.max_unroll)
+             [ u0 / 2; u0; u0 * 2 ])
+      in
+      let aes = List.filter (fun a -> a = 0 || a >= 2) (Space.ae_candidates report) in
+      sweep st
+        (List.concat_map
+           (fun u -> List.map (fun ae -> { st.cur with Params.unroll = u; Params.ae = ae }) aes)
+           urs));
+  (* Re-polish the prefetch pair after the computational shape settled
+     (a second, shorter pass — the "defacto expert system / search
+     hybrid" the paper describes): UR and AE change how many issue
+     slots prefetch costs, so both the instruction (including "none")
+     and the distance are revisited. *)
+  tuned "PF2" (fun () ->
+      List.iter
+        (fun name ->
+          sweep st (List.map (set_pf_ins st.cur name) (Space.pf_ins_candidates cfg));
+          sweep st (List.map (set_pf_dist st.cur name) (Space.pf_dist_candidates cfg)))
+        arrays);
+  {
+    best = st.cur;
+    best_perf = st.cur_perf;
+    start_perf;
+    contributions = List.rev !contributions;
+    evaluations = st.evals;
+  }

@@ -1,0 +1,41 @@
+(** The modified line search (paper Section 2.3).
+
+    A pure line search splits the N-dimensional optimization space into
+    N separate 1-D searches from a knowledgeable starting point (FKO's
+    defaults).  Our modification, as in the paper, relaxes the strict
+    1-D structure where transformations are known to interact: a
+    restricted 2-D refinement is run over (UR, AE) — unrolling changes
+    how many adds there are to rotate accumulators over — and the
+    prefetch instruction/distance pair is re-polished per array after
+    both 1-D passes.
+
+    Dimensions are tuned in the order the paper reports contributions:
+    WNT, prefetch distance, prefetch instruction, UR, AE (SV is
+    confirmed first).  Every probe's performance is memoized, and the
+    per-dimension improvement is recorded to regenerate Figure 7.
+
+    [extensions] additionally searches the paper's future-work
+    transformations (block fetch, CISC two-array indexing); off by
+    default so the reproduction matches FKO as published. *)
+
+type probe = Ifko_transform.Params.t -> float
+(** Performance of one parameter point (higher is better); the driver
+    wires compilation, testing and timing into this. *)
+
+type result = {
+  best : Ifko_transform.Params.t;
+  best_perf : float;
+  start_perf : float;  (** performance of the starting (default) point *)
+  contributions : (string * float) list;
+      (** per-dimension speedup factor, in tuned order: e.g.
+          [("PF DST", 1.26)] means distance tuning alone bought 26% *)
+  evaluations : int;  (** distinct parameter points compiled and timed *)
+}
+
+val run :
+  ?extensions:bool ->
+  cfg:Ifko_machine.Config.t ->
+  report:Ifko_analysis.Report.t ->
+  init:Ifko_transform.Params.t ->
+  probe ->
+  result

@@ -1,0 +1,58 @@
+(** The optimization space the iterative search explores.
+
+    The analysis phase (together with any user mark-up) establishes the
+    space: vectorizability gates SV, detected accumulators gate AE, the
+    prefetch-target arrays each get an (instruction, distance) pair,
+    and the machine's line size anchors the distance grid. *)
+
+open Ifko_machine
+
+(** Candidate unroll factors, bounded by the reported maximum safe
+    unrolling. *)
+let unroll_candidates (report : Ifko_analysis.Report.t) =
+  List.filter
+    (fun u -> u <= report.Ifko_analysis.Report.max_unroll)
+    [ 1; 2; 3; 4; 5; 8; 12; 16; 24; 32; 64; 128 ]
+
+(** Candidate accumulator counts ([0] = off); pointless without any
+    accumulator. *)
+let ae_candidates (report : Ifko_analysis.Report.t) =
+  if report.Ifko_analysis.Report.accumulators = [] then [ 0 ]
+  else [ 0; 2; 3; 4; 5; 6; 8 ]
+
+(** Prefetch instruction flavours available on the machine ([W] is the
+    3DNow! prefetch, absent on the P4E-like machine). *)
+let pf_ins_candidates (cfg : Config.t) =
+  let base = [ None; Some Instr.Nta; Some Instr.T0; Some Instr.T1 ] in
+  if cfg.Config.name = "Opteron" then base @ [ Some Instr.W ] else base
+
+(** Prefetch distance grid in bytes: multiples of the prefetchable line
+    size up to 2 KiB and a few beyond, as in the paper's Table 3. *)
+let pf_dist_candidates (cfg : Config.t) =
+  let line = cfg.Config.prefetchable_line in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun k ->
+         let d = k * line in
+         if d <= 4096 then Some d else None)
+       [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 14; 16; 20; 24; 30; 32 ])
+
+let wnt_candidates (report : Ifko_analysis.Report.t) =
+  if report.Ifko_analysis.Report.output_arrays = [] then [ false ] else [ false; true ]
+
+let sv_candidates (report : Ifko_analysis.Report.t) =
+  if report.Ifko_analysis.Report.vectorizable then [ true; false ] else [ false ]
+
+(* ---- extension dimensions (paper future work; see Params) ---- *)
+
+(** Block-fetch block sizes tried when the extended search is enabled. *)
+let bf_candidates ~extensions (report : Ifko_analysis.Report.t) =
+  if extensions && report.Ifko_analysis.Report.prefetch_arrays <> [] then
+    [ 0; 2048; 4096; 8192 ]
+  else [ 0 ]
+
+(** CISC two-array indexing on/off under the extended search. *)
+let cisc_candidates ~extensions (report : Ifko_analysis.Report.t) =
+  if extensions && List.length report.Ifko_analysis.Report.prefetch_arrays >= 2 then
+    [ false; true ]
+  else [ false ]

@@ -1,0 +1,1 @@
+lib/sim/env.ml: Array Bytes Hashtbl Instr Int32 Int64 Printf

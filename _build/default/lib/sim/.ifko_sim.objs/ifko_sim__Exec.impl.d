@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Block Bytes Cfg Config Env Float Hashtbl Ifko_machine Instr Int32 Int64 List Memsys Option Printf Reg

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Cfg Env Ifko_machine Instr

@@ -1,0 +1,1 @@
+lib/sim/timer.ml: Config Env Exec Float Ifko_machine Ifko_util Instr Memsys

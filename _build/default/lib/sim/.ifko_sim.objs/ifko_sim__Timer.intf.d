@@ -1,0 +1,1 @@
+lib/sim/timer.mli: Cfg Env Ifko_machine Instr

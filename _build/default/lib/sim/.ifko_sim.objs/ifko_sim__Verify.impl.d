@@ -1,0 +1,1 @@
+lib/sim/verify.ml: Array Env Exec Float List Printf

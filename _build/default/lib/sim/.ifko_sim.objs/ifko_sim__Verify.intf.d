@@ -1,0 +1,1 @@
+lib/sim/verify.mli: Cfg Env Exec Instr Stdlib

@@ -1,0 +1,87 @@
+type array_info = { addr : int; len : int; fsize : Instr.fsize }
+
+type binding =
+  | Int_arg of int
+  | Fp_arg of Instr.fsize * float
+  | Array_arg of array_info
+
+type t = {
+  memory : Bytes.t;
+  stack : int;
+  mutable cursor : int;
+  mutable array_count : int;
+  table : (string, binding) Hashtbl.t;
+}
+
+let stack_bytes = 4096
+
+let create ?(mem_bytes = 4 * 1024 * 1024) () =
+  {
+    memory = Bytes.make mem_bytes '\000';
+    stack = 64;
+    cursor = 64 + stack_bytes;
+    array_count = 0;
+    table = Hashtbl.create 8;
+  }
+
+let mem t = t.memory
+let stack_base t = t.stack
+let bind_int t name v = Hashtbl.replace t.table name (Int_arg v)
+let bind_fp t name fsize v = Hashtbl.replace t.table name (Fp_arg (fsize, v))
+
+let round_up v align = (v + align - 1) / align * align
+
+let alloc_array t name fsize len =
+  (* page-align, then stagger successive arrays by three cache lines so
+     they never share L1 sets element-for-element *)
+  let base = round_up t.cursor 4096 + (t.array_count * 192) in
+  let bytes = len * Instr.fsize_bytes fsize in
+  if base + bytes + 64 > Bytes.length t.memory then
+    invalid_arg "Env.alloc_array: out of simulated memory";
+  t.cursor <- base + bytes;
+  t.array_count <- t.array_count + 1;
+  Hashtbl.replace t.table name (Array_arg { addr = base; len; fsize })
+
+let binding t name = Hashtbl.find t.table name
+let bindings t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+
+let array_exn t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Array_arg a) -> a
+  | _ -> invalid_arg (Printf.sprintf "Env: %S is not a bound array" name)
+
+let set_elem t name i v =
+  let a = array_exn t name in
+  if i < 0 || i >= a.len then invalid_arg "Env.set_elem: index out of bounds";
+  match a.fsize with
+  | Instr.D -> Bytes.set_int64_le t.memory (a.addr + (8 * i)) (Int64.bits_of_float v)
+  | Instr.S -> Bytes.set_int32_le t.memory (a.addr + (4 * i)) (Int32.bits_of_float v)
+
+let get_elem t name i =
+  let a = array_exn t name in
+  if i < 0 || i >= a.len then invalid_arg "Env.get_elem: index out of bounds";
+  match a.fsize with
+  | Instr.D -> Int64.float_of_bits (Bytes.get_int64_le t.memory (a.addr + (8 * i)))
+  | Instr.S -> Int32.float_of_bits (Bytes.get_int32_le t.memory (a.addr + (4 * i)))
+
+let fill t name f =
+  let a = array_exn t name in
+  for i = 0 to a.len - 1 do
+    set_elem t name i (f i)
+  done
+
+let to_array t name =
+  let a = array_exn t name in
+  Array.init a.len (get_elem t name)
+
+let iter_array_lines t ~line f =
+  Hashtbl.iter
+    (fun _ b ->
+      match b with
+      | Array_arg a ->
+        let first = a.addr / line and last = (a.addr + (a.len * Instr.fsize_bytes a.fsize) - 1) / line in
+        for l = first to last do
+          f (l * line)
+        done
+      | Int_arg _ | Fp_arg _ -> ())
+    t.table

@@ -1,0 +1,52 @@
+(** Memory images and argument bindings for simulated kernel runs.
+
+    An environment owns a flat byte-addressed memory holding the
+    kernel's vectors and its stack/spill area, plus the values bound to
+    each kernel parameter.  Arrays are 16-byte aligned (the vector ISA
+    requires it) and staggered across pages so distinct operands do not
+    collide pathologically in the low-associativity L1. *)
+
+type array_info = { addr : int; len : int; fsize : Instr.fsize }
+
+type binding =
+  | Int_arg of int
+  | Fp_arg of Instr.fsize * float
+  | Array_arg of array_info
+
+type t
+
+val create : ?mem_bytes:int -> unit -> t
+(** Fresh environment; default memory size fits the paper's N=80000
+    double-precision workloads with room to spare. *)
+
+val mem : t -> Bytes.t
+val stack_base : t -> int
+
+val bind_int : t -> string -> int -> unit
+val bind_fp : t -> string -> Instr.fsize -> float -> unit
+
+val alloc_array : t -> string -> Instr.fsize -> int -> unit
+(** [alloc_array t name fsize len] reserves and binds an array.
+    @raise Invalid_argument when memory is exhausted. *)
+
+val binding : t -> string -> binding
+(** @raise Not_found for unbound names. *)
+
+val bindings : t -> (string * binding) list
+
+val set_elem : t -> string -> int -> float -> unit
+(** Write element [i] of a bound array (rounding to single precision
+    for single-precision arrays). *)
+
+val get_elem : t -> string -> int -> float
+(** Read element [i] of a bound array. *)
+
+val fill : t -> string -> (int -> float) -> unit
+(** Initialize a whole array from an index function. *)
+
+val to_array : t -> string -> float array
+(** Snapshot a bound array's current contents. *)
+
+val iter_array_lines : t -> line:int -> (int -> unit) -> unit
+(** Apply a function to the base address of every [line]-byte line of
+    every bound array — the timers' cache-warming hook. *)

@@ -1,0 +1,732 @@
+open Ifko_machine
+
+type ret_val = Rint of int | Rfp of float
+
+type result = {
+  ret : ret_val option;
+  cycles : float;
+  instr_count : int;
+  uop_count : int;
+}
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+(* ---------- architectural state ---------- *)
+
+type state = {
+  mutable gpr : int array;
+  mutable gcap : int;
+  mutable xmm : Bytes.t;  (* 16 bytes per register *)
+  mutable xcap : int;
+  memm : Bytes.t;
+}
+
+(* Physical registers occupy slots 0..7; virtual register [i] lives in
+   slot [8+i], so allocated and unallocated code both run. *)
+let slot (r : Reg.t) = if r.Reg.phys then r.Reg.id else r.Reg.id + 8
+
+let ensure_gpr st n =
+  if n >= st.gcap then begin
+    let cap = max (n + 1) (2 * st.gcap) in
+    let a = Array.make cap 0 in
+    Array.blit st.gpr 0 a 0 st.gcap;
+    st.gpr <- a;
+    st.gcap <- cap
+  end
+
+let ensure_xmm st n =
+  if n >= st.xcap then begin
+    let cap = max (n + 1) (2 * st.xcap) in
+    let b = Bytes.make (cap * 16) '\000' in
+    Bytes.blit st.xmm 0 b 0 (st.xcap * 16);
+    st.xmm <- b;
+    st.xcap <- cap
+  end
+
+let gget st r =
+  let i = slot r in
+  ensure_gpr st i;
+  st.gpr.(i)
+
+let gset st r v =
+  let i = slot r in
+  ensure_gpr st i;
+  st.gpr.(i) <- v
+
+let round32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let xget64 st r lane =
+  let i = slot r in
+  ensure_xmm st i;
+  Int64.float_of_bits (Bytes.get_int64_le st.xmm ((i * 16) + (lane * 8)))
+
+let xset64 st r lane v =
+  let i = slot r in
+  ensure_xmm st i;
+  Bytes.set_int64_le st.xmm ((i * 16) + (lane * 8)) (Int64.bits_of_float v)
+
+let xget32 st r lane =
+  let i = slot r in
+  ensure_xmm st i;
+  Int32.float_of_bits (Bytes.get_int32_le st.xmm ((i * 16) + (lane * 4)))
+
+let xset32 st r lane v =
+  let i = slot r in
+  ensure_xmm st i;
+  Bytes.set_int32_le st.xmm ((i * 16) + (lane * 4)) (Int32.bits_of_float v)
+
+let xlane st sz r lane =
+  match sz with Instr.D -> xget64 st r lane | Instr.S -> xget32 st r lane
+
+let set_xlane st sz r lane v =
+  match sz with Instr.D -> xset64 st r lane v | Instr.S -> xset32 st r lane (round32 v)
+
+let xzero st r =
+  let i = slot r in
+  ensure_xmm st i;
+  Bytes.fill st.xmm (i * 16) 16 '\000'
+
+let xcopy st d s =
+  let di = slot d and si = slot s in
+  ensure_xmm st (max di si);
+  Bytes.blit st.xmm (si * 16) st.xmm (di * 16) 16
+
+(* ---------- memory access ---------- *)
+
+let addr_of st (m : Instr.mem) =
+  let base = gget st m.Instr.base in
+  let idx = match m.Instr.index with Some r -> gget st r * m.Instr.scale | None -> 0 in
+  base + idx + m.Instr.disp
+
+let check_bounds st addr bytes =
+  if addr < 0 || addr + bytes > Bytes.length st.memm then
+    trap "memory access out of range: addr=%d size=%d" addr bytes
+
+let load_f st sz addr =
+  match sz with
+  | Instr.D ->
+    check_bounds st addr 8;
+    Int64.float_of_bits (Bytes.get_int64_le st.memm addr)
+  | Instr.S ->
+    check_bounds st addr 4;
+    Int32.float_of_bits (Bytes.get_int32_le st.memm addr)
+
+let store_f st sz addr v =
+  match sz with
+  | Instr.D ->
+    check_bounds st addr 8;
+    Bytes.set_int64_le st.memm addr (Int64.bits_of_float v)
+  | Instr.S ->
+    check_bounds st addr 4;
+    Bytes.set_int32_le st.memm addr (Int32.bits_of_float (round32 v))
+
+let vload st r addr =
+  check_bounds st addr 16;
+  if addr mod 16 <> 0 then trap "unaligned vector load at %d" addr;
+  let i = slot r in
+  ensure_xmm st i;
+  Bytes.blit st.memm addr st.xmm (i * 16) 16
+
+let vstore st addr r =
+  check_bounds st addr 16;
+  if addr mod 16 <> 0 then trap "unaligned vector store at %d" addr;
+  let i = slot r in
+  ensure_xmm st i;
+  Bytes.blit st.xmm (i * 16) st.memm addr 16
+
+(* ---------- arithmetic ---------- *)
+
+let fop_eval op a b =
+  match op with
+  | Instr.Fadd -> a +. b
+  | Instr.Fsub -> a -. b
+  | Instr.Fmul -> a *. b
+  | Instr.Fdiv -> a /. b
+  | Instr.Fmax -> Float.max a b
+  | Instr.Fmin -> Float.min a b
+
+let iop_eval op a b =
+  match op with
+  | Instr.Iadd -> a + b
+  | Instr.Isub -> a - b
+  | Instr.Imul -> a * b
+  | Instr.Iand -> a land b
+  | Instr.Ior -> a lor b
+  | Instr.Ishl -> a lsl b
+  | Instr.Ishr -> a asr b
+
+let cmp_eval_i op a b =
+  match op with
+  | Instr.Lt -> a < b
+  | Instr.Le -> a <= b
+  | Instr.Gt -> a > b
+  | Instr.Ge -> a >= b
+  | Instr.Eq -> a = b
+  | Instr.Ne -> a <> b
+
+let cmp_eval_f op a b =
+  match op with
+  | Instr.Lt -> a < b
+  | Instr.Le -> a <= b
+  | Instr.Gt -> a > b
+  | Instr.Ge -> a >= b
+  | Instr.Eq -> a = b
+  | Instr.Ne -> a <> b
+
+(* ---------- timing model ---------- *)
+
+(* functional units *)
+let u_alu = 0
+and u_load = 1
+and u_store = 2
+and u_fpadd = 3
+and u_fpmul = 4
+and u_fpdiv = 5
+and u_branch = 6
+
+let n_units = 7
+
+type timing = {
+  cfg : Config.t;
+  ms : Memsys.t;
+  mutable front : float;
+  mutable gready : float array;
+  mutable gr_cap : int;
+  mutable xready : float array;
+  mutable xr_cap : int;
+  unit_free : float array;
+  service : float array;
+  predictor : (string, bool) Hashtbl.t;
+  rob : float array;  (** completion times, circular; bounds issue depth *)
+  mutable rob_idx : int;
+  mutable last : float;
+  mutable uops : int;
+}
+
+let make_timing cfg ms =
+  let service = Array.make n_units 1.0 in
+  service.(u_alu) <- 0.5;
+  service.(u_fpdiv) <- float_of_int cfg.Config.fdiv_lat;
+  {
+    cfg;
+    ms;
+    front = 0.0;
+    gready = Array.make 32 0.0;
+    gr_cap = 32;
+    xready = Array.make 32 0.0;
+    xr_cap = 32;
+    unit_free = Array.make n_units 0.0;
+    service;
+    predictor = Hashtbl.create 16;
+    rob = Array.make (max 8 cfg.Config.rob_size) 0.0;
+    rob_idx = 0;
+    last = 0.0;
+    uops = 0;
+  }
+
+let ensure_ready tm cls n =
+  match cls with
+  | Reg.Gpr ->
+    if n >= tm.gr_cap then begin
+      let cap = max (n + 1) (2 * tm.gr_cap) in
+      let a = Array.make cap 0.0 in
+      Array.blit tm.gready 0 a 0 tm.gr_cap;
+      tm.gready <- a;
+      tm.gr_cap <- cap
+    end
+  | Reg.Xmm ->
+    if n >= tm.xr_cap then begin
+      let cap = max (n + 1) (2 * tm.xr_cap) in
+      let a = Array.make cap 0.0 in
+      Array.blit tm.xready 0 a 0 tm.xr_cap;
+      tm.xready <- a;
+      tm.xr_cap <- cap
+    end
+
+let ready tm (r : Reg.t) =
+  let i = slot r in
+  ensure_ready tm r.Reg.cls i;
+  match r.Reg.cls with Reg.Gpr -> tm.gready.(i) | Reg.Xmm -> tm.xready.(i)
+
+(* Record the completion time of the instruction just dispatched (one
+   ROB slot per instruction — a close-enough approximation). *)
+let retire tm completion =
+  tm.rob.(tm.rob_idx) <- completion;
+  tm.rob_idx <- (tm.rob_idx + 1) mod Array.length tm.rob;
+  if completion > tm.last then tm.last <- completion
+
+let set_ready tm (r : Reg.t) v =
+  let i = slot r in
+  ensure_ready tm r.Reg.cls i;
+  (match r.Reg.cls with Reg.Gpr -> tm.gready.(i) <- v | Reg.Xmm -> tm.xready.(i) <- v);
+  retire tm v
+
+let srcs_ready tm regs = List.fold_left (fun acc r -> Float.max acc (ready tm r)) 0.0 regs
+
+(* Dispatch [uops] micro-ops on [unit]; returns the execution start.
+   Issue cannot proceed past a full reorder buffer: the slot about to
+   be reused holds the completion time of the µop issued rob_size ago. *)
+let acquire tm unit ~srcs ~uops =
+  tm.uops <- tm.uops + uops;
+  tm.front <- Float.max tm.front (tm.rob.(tm.rob_idx));
+  let start = Float.max (Float.max tm.front srcs) tm.unit_free.(unit) in
+  tm.unit_free.(unit) <- start +. (tm.service.(unit) *. float_of_int uops);
+  tm.front <- tm.front +. (float_of_int uops /. float_of_int tm.cfg.Config.issue_width);
+  start
+
+
+let fp_unit op = match op with Instr.Fmul -> u_fpmul | Instr.Fdiv -> u_fpdiv | _ -> u_fpadd
+
+let fp_lat tm op =
+  match op with
+  | Instr.Fmul -> float_of_int tm.cfg.Config.fmul_lat
+  | Instr.Fdiv -> float_of_int tm.cfg.Config.fdiv_lat
+  | _ -> float_of_int tm.cfg.Config.fadd_lat
+
+let mem_regs (m : Instr.mem) = Instr.mem_uses m
+
+(* ---------- the walker ---------- *)
+
+let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func) (env : Env.t) =
+  let st =
+    {
+      gpr = Array.make 32 0;
+      gcap = 32;
+      xmm = Bytes.make (32 * 16) '\000';
+      xcap = 32;
+      memm = Env.mem env;
+    }
+  in
+  let tm = Option.map (fun (cfg, ms) -> make_timing cfg ms) timing in
+  (* Bind parameters and the frame pointer. *)
+  gset st Reg.frame_ptr (Env.stack_base env);
+  gset st Reg.stack_ptr (Env.stack_base env);
+  List.iter
+    (fun (name, r) ->
+      match Env.binding env name with
+      | Env.Int_arg v -> gset st r v
+      | Env.Array_arg { addr; _ } -> gset st r addr
+      | Env.Fp_arg (sz, v) ->
+        xzero st r;
+        set_xlane st sz r 0 v
+      | exception Not_found -> trap "no binding for parameter %S" name)
+    f.Cfg.params;
+  let blocks : (string, Instr.t array * Block.term) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace blocks b.Block.label (Array.of_list b.Block.instrs, b.Block.term))
+    f.Cfg.blocks;
+  let instr_count = ref 0 in
+  let lanes = Instr.lanes in
+  (* Execute one instruction: semantics always, timing when enabled. *)
+  let step i =
+    incr instr_count;
+    if !instr_count > max_instrs then trap "instruction budget exceeded";
+    match i with
+    | Instr.Ild (d, m) ->
+      let addr = addr_of st m in
+      check_bounds st addr 8;
+      gset st d (Int64.to_int (Bytes.get_int64_le st.memm addr));
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          set_ready tm d (Memsys.load tm.ms ~addr ~now:start))
+        tm
+    | Instr.Ist (m, s) ->
+      let addr = addr_of st m in
+      check_bounds st addr 8;
+      Bytes.set_int64_le st.memm addr (Int64.of_int (gget st s));
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
+          Memsys.store tm.ms ~addr ~now:start;
+          retire tm (start +. 1.0))
+        tm
+    | Instr.Imov (d, s) ->
+      gset st d (gget st s);
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_alu ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Ildi (d, v) ->
+      gset st d v;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_alu ~srcs:0.0 ~uops:1 in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Iop (op, d, a, b) ->
+      let bv = match b with Instr.Oreg r -> gget st r | Instr.Oimm k -> k in
+      gset st d (iop_eval op (gget st a) bv);
+      Option.iter
+        (fun tm ->
+          let srcs =
+            Float.max (ready tm a)
+              (match b with Instr.Oreg r -> ready tm r | Instr.Oimm _ -> 0.0)
+          in
+          let lat = match op with Instr.Imul -> 3.0 | _ -> 1.0 in
+          let start = acquire tm u_alu ~srcs ~uops:1 in
+          set_ready tm d (start +. lat))
+        tm
+    | Instr.Lea (d, m) ->
+      gset st d (addr_of st m);
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_alu ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Fld (sz, d, m) ->
+      let addr = addr_of st m in
+      xzero st d;
+      set_xlane st sz d 0 (load_f st sz addr);
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          set_ready tm d (Memsys.load tm.ms ~addr ~now:start))
+        tm
+    | Instr.Fst (sz, m, s) ->
+      let addr = addr_of st m in
+      store_f st sz addr (xlane st sz s 0);
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
+          Memsys.store tm.ms ~addr ~now:start;
+          retire tm (start +. 1.0))
+        tm
+    | Instr.Fstnt (sz, m, s) ->
+      let addr = addr_of st m in
+      store_f st sz addr (xlane st sz s 0);
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
+          Memsys.nt_store tm.ms ~addr ~bytes:(Instr.fsize_bytes sz) ~now:start;
+          retire tm (start +. 1.0))
+        tm
+    | Instr.Fmov (_, d, s) ->
+      xcopy st d s;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Fldi (sz, d, c) ->
+      xzero st d;
+      set_xlane st sz d 0 c;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_load ~srcs:0.0 ~uops:1 in
+          set_ready tm d (start +. float_of_int tm.cfg.Config.l1.Config.latency))
+        tm
+    | Instr.Fop (sz, op, d, a, b) ->
+      set_xlane st sz d 0 (fop_eval op (xlane st sz a 0) (xlane st sz b 0));
+      Option.iter
+        (fun tm ->
+          let start =
+            acquire tm (fp_unit op) ~srcs:(Float.max (ready tm a) (ready tm b)) ~uops:1
+          in
+          set_ready tm d (start +. fp_lat tm op))
+        tm
+    | Instr.Fopm (sz, op, d, a, m) ->
+      let addr = addr_of st m in
+      set_xlane st sz d 0 (fop_eval op (xlane st sz a 0) (load_f st sz addr));
+      Option.iter
+        (fun tm ->
+          let lstart = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          let data = Memsys.load tm.ms ~addr ~now:lstart in
+          let start =
+            acquire tm (fp_unit op) ~srcs:(Float.max data (ready tm a)) ~uops:1
+          in
+          set_ready tm d (start +. fp_lat tm op))
+        tm
+    | Instr.Fabs (sz, d, s) ->
+      set_xlane st sz d 0 (Float.abs (xlane st sz s 0));
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Fsqrt (sz, d, s) ->
+      set_xlane st sz d 0 (Float.sqrt (xlane st sz s 0));
+      Option.iter
+        (fun tm ->
+          (* square root shares the unpipelined divider *)
+          let start = acquire tm u_fpdiv ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. float_of_int tm.cfg.Config.fdiv_lat))
+        tm
+    | Instr.Fneg (sz, d, s) ->
+      set_xlane st sz d 0 (-.xlane st sz s 0);
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Vld (_, d, m) ->
+      let addr = addr_of st m in
+      vload st d addr;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          set_ready tm d (Memsys.load tm.ms ~addr ~now:start))
+        tm
+    | Instr.Vst (_, m, s) ->
+      let addr = addr_of st m in
+      vstore st addr s;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
+          Memsys.store tm.ms ~addr ~now:start;
+          retire tm (start +. 1.0))
+        tm
+    | Instr.Vstnt (_, m, s) ->
+      let addr = addr_of st m in
+      vstore st addr s;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
+          Memsys.nt_store tm.ms ~addr ~bytes:16 ~now:start;
+          retire tm (start +. 1.0))
+        tm
+    | Instr.Vmov (_, d, s) ->
+      xcopy st d s;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Vbcast (sz, d, s) ->
+      let v = xlane st sz s 0 in
+      for lane = 0 to lanes sz - 1 do
+        set_xlane st sz d lane v
+      done;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 2.0))
+        tm
+    | Instr.Vldi (sz, d, c) ->
+      for lane = 0 to lanes sz - 1 do
+        set_xlane st sz d lane c
+      done;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_load ~srcs:0.0 ~uops:1 in
+          set_ready tm d (start +. float_of_int tm.cfg.Config.l1.Config.latency))
+        tm
+    | Instr.Vop (sz, op, d, a, b) ->
+      for lane = 0 to lanes sz - 1 do
+        set_xlane st sz d lane (fop_eval op (xlane st sz a lane) (xlane st sz b lane))
+      done;
+      Option.iter
+        (fun tm ->
+          let uops = tm.cfg.Config.vec_uops in
+          let start =
+            acquire tm (fp_unit op) ~srcs:(Float.max (ready tm a) (ready tm b)) ~uops
+          in
+          set_ready tm d (start +. fp_lat tm op))
+        tm
+    | Instr.Vopm (sz, op, d, a, m) ->
+      let addr = addr_of st m in
+      if addr mod 16 <> 0 then trap "unaligned vector operand at %d" addr;
+      check_bounds st addr 16;
+      for lane = 0 to lanes sz - 1 do
+        let mv = load_f st sz (addr + (lane * Instr.fsize_bytes sz)) in
+        set_xlane st sz d lane (fop_eval op (xlane st sz a lane) mv)
+      done;
+      Option.iter
+        (fun tm ->
+          let lstart = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          let data = Memsys.load tm.ms ~addr ~now:lstart in
+          let uops = tm.cfg.Config.vec_uops in
+          let start = acquire tm (fp_unit op) ~srcs:(Float.max data (ready tm a)) ~uops in
+          set_ready tm d (start +. fp_lat tm op))
+        tm
+    | Instr.Vabs (sz, d, s) ->
+      for lane = 0 to lanes sz - 1 do
+        set_xlane st sz d lane (Float.abs (xlane st sz s lane))
+      done;
+      Option.iter
+        (fun tm ->
+          let uops = tm.cfg.Config.vec_uops in
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops in
+          set_ready tm d (start +. 1.0))
+        tm
+    | Instr.Vsqrt (sz, d, s) ->
+      for lane = 0 to lanes sz - 1 do
+        set_xlane st sz d lane (Float.sqrt (xlane st sz s lane))
+      done;
+      Option.iter
+        (fun tm ->
+          let uops = tm.cfg.Config.vec_uops in
+          let start = acquire tm u_fpdiv ~srcs:(ready tm s) ~uops in
+          set_ready tm d (start +. float_of_int tm.cfg.Config.fdiv_lat))
+        tm
+    | Instr.Vcmp (sz, cmp, d, a, b) ->
+      for lane = 0 to lanes sz - 1 do
+        let t = cmp_eval_f cmp (xlane st sz a lane) (xlane st sz b lane) in
+        let i = slot d in
+        ensure_xmm st i;
+        (match sz with
+        | Instr.D ->
+          Bytes.set_int64_le st.xmm ((i * 16) + (lane * 8))
+            (if t then Int64.minus_one else 0L)
+        | Instr.S ->
+          Bytes.set_int32_le st.xmm ((i * 16) + (lane * 4))
+            (if t then Int32.minus_one else 0l))
+      done;
+      Option.iter
+        (fun tm ->
+          let uops = tm.cfg.Config.vec_uops in
+          let start = acquire tm u_fpadd ~srcs:(Float.max (ready tm a) (ready tm b)) ~uops in
+          set_ready tm d (start +. 3.0))
+        tm
+    | Instr.Vmovmsk (sz, d, s) ->
+      let mask = ref 0 in
+      let i = slot s in
+      ensure_xmm st i;
+      for lane = 0 to lanes sz - 1 do
+        let top =
+          match sz with
+          | Instr.D ->
+            Int64.to_int
+              (Int64.shift_right_logical (Bytes.get_int64_le st.xmm ((i * 16) + (lane * 8))) 63)
+          | Instr.S ->
+            Int32.to_int
+              (Int32.shift_right_logical (Bytes.get_int32_le st.xmm ((i * 16) + (lane * 4))) 31)
+        in
+        if top land 1 = 1 then mask := !mask lor (1 lsl lane)
+      done;
+      gset st d !mask;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 2.0))
+        tm
+    | Instr.Vextract (sz, d, s, lane) ->
+      let v = xlane st sz s lane in
+      xzero st d;
+      set_xlane st sz d 0 v;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_fpadd ~srcs:(ready tm s) ~uops:1 in
+          set_ready tm d (start +. 2.0))
+        tm
+    | Instr.Vreduce (sz, op, d, s) ->
+      let acc = ref (xlane st sz s 0) in
+      for lane = 1 to lanes sz - 1 do
+        acc := fop_eval op !acc (xlane st sz s lane);
+        if sz = Instr.S then acc := round32 !acc
+      done;
+      let v = !acc in
+      xzero st d;
+      set_xlane st sz d 0 v;
+      Option.iter
+        (fun tm ->
+          let start = acquire tm (fp_unit op) ~srcs:(ready tm s) ~uops:2 in
+          set_ready tm d (start +. (2.0 *. fp_lat tm op)))
+        tm
+    | Instr.Touch (sz, m) ->
+      let addr = addr_of st m in
+      check_bounds st addr (Instr.fsize_bytes sz);
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          let done_ = Memsys.load tm.ms ~addr ~now:start in
+          retire tm done_)
+        tm
+    | Instr.Prefetch (kind, m) ->
+      let addr = addr_of st m in
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
+          if addr >= 0 && addr < Bytes.length st.memm then
+            Memsys.prefetch tm.ms ~kind ~addr ~now:start;
+          retire tm (start +. 1.0))
+        tm
+    | Instr.Nop -> ()
+  in
+  (* Terminator execution; returns the next label or the return value. *)
+  let terminate label term =
+    match term with
+    | Block.Jmp l ->
+      Option.iter
+        (fun tm ->
+          let start = acquire tm u_branch ~srcs:0.0 ~uops:1 in
+          retire tm (start +. 1.0))
+        tm;
+      `Goto l
+    | Block.Br { cmp; lhs; rhs; ifso; ifnot; dec } ->
+      if dec > 0 then gset st lhs (gget st lhs - dec);
+      let rv = match rhs with Instr.Oreg r -> gget st r | Instr.Oimm k -> k in
+      let taken = cmp_eval_i cmp (gget st lhs) rv in
+      Option.iter
+        (fun tm ->
+          let srcs =
+            Float.max (ready tm lhs)
+              (match rhs with Instr.Oreg r -> ready tm r | Instr.Oimm _ -> 0.0)
+          in
+          let start = acquire tm u_branch ~srcs ~uops:1 in
+          let resolve = start +. 1.0 in
+          if dec > 0 then set_ready tm lhs resolve else retire tm resolve;
+          let predicted =
+            match Hashtbl.find_opt tm.predictor label with Some p -> p | None -> true
+          in
+          if predicted <> taken then
+            tm.front <- Float.max tm.front (resolve +. float_of_int tm.cfg.Config.branch_misp_penalty);
+          Hashtbl.replace tm.predictor label taken)
+        tm;
+      `Goto (if taken then ifso else ifnot)
+    | Block.Fbr { fsize; cmp; lhs; rhs; ifso; ifnot } ->
+      let taken = cmp_eval_f cmp (xlane st fsize lhs 0) (xlane st fsize rhs 0) in
+      Option.iter
+        (fun tm ->
+          let srcs = Float.max (ready tm lhs) (ready tm rhs) in
+          let start = acquire tm u_branch ~srcs ~uops:2 in
+          let resolve = start +. 3.0 in
+          retire tm resolve;
+          let predicted =
+            match Hashtbl.find_opt tm.predictor label with Some p -> p | None -> false
+          in
+          if predicted <> taken then
+            tm.front <- Float.max tm.front (resolve +. float_of_int tm.cfg.Config.branch_misp_penalty);
+          Hashtbl.replace tm.predictor label taken)
+        tm;
+      `Goto (if taken then ifso else ifnot)
+    | Block.Ret r -> `Return r
+  in
+  let rec go label =
+    match Hashtbl.find_opt blocks label with
+    | None -> trap "jump to unknown block %S" label
+    | Some (instrs, term) ->
+      Array.iter step instrs;
+      (match terminate label term with
+      | `Goto l -> go l
+      | `Return r -> r)
+  in
+  let ret_reg = go (Cfg.entry f).Block.label in
+  let ret =
+    Option.map
+      (fun (r : Reg.t) ->
+        match r.Reg.cls with
+        | Reg.Gpr -> Rint (gget st r)
+        | Reg.Xmm -> Rfp (xlane st ret_fsize r 0))
+      ret_reg
+  in
+  let cycles =
+    match tm with
+    | None -> 0.0
+    | Some tm ->
+      let finish =
+        Float.max tm.front
+          (match ret_reg with Some r -> ready tm r | None -> tm.last)
+      in
+      Memsys.drain_time tm.ms ~now:(Float.max finish tm.last)
+  in
+  {
+    ret;
+    cycles;
+    instr_count = !instr_count;
+    uop_count = (match tm with Some tm -> tm.uops | None -> !instr_count);
+  }

@@ -1,0 +1,39 @@
+(** The LIL executor: architectural semantics plus (optionally) the
+    cycle-approximate timing model.
+
+    One walker implements both concerns so timing can never diverge
+    from semantics: branch directions, addresses and values come from
+    the same interpretation that the correctness tester checks.  The
+    timing model is a greedy out-of-order scheduler — a width-limited
+    front end, per-unit service times, register-ready times for true
+    (read-after-write) dependencies only (register renaming removes
+    the false ones, as on the modelled machines), memory completion
+    times from {!Ifko_machine.Memsys}, and a one-bit branch
+    predictor. *)
+
+type ret_val = Rint of int | Rfp of float
+
+type result = {
+  ret : ret_val option;
+  cycles : float;  (** 0 when run without timing *)
+  instr_count : int;
+  uop_count : int;
+}
+
+exception Trap of string
+(** Raised on semantic violations: unaligned vector access, jump to a
+    missing label, instruction budget exceeded.  A trap indicates a
+    compiler bug, and the test suite treats it as such. *)
+
+val run :
+  ?timing:Ifko_machine.Config.t * Ifko_machine.Memsys.t ->
+  ?max_instrs:int ->
+  ?ret_fsize:Instr.fsize ->
+  Cfg.func ->
+  Env.t ->
+  result
+(** Execute [func] (virtual or physical registers both work) against
+    [env].  Parameters are initialized from the environment's bindings
+    by name; the frame pointer is set to the environment's stack.
+    [ret_fsize] selects how a floating-point return register is read
+    (default double).  Default [max_instrs] is 200 million. *)

@@ -1,0 +1,52 @@
+open Ifko_machine
+
+type context = Out_of_cache | In_l2
+
+let context_name = function Out_of_cache -> "out-of-cache" | In_l2 -> "in-L2"
+
+type spec = { make_env : int -> Env.t; ret_fsize : Instr.fsize }
+
+let run_once ~cfg ~context ~spec ~n func =
+  let env = spec.make_env n in
+  let ms = Memsys.create cfg in
+  (match context with
+  | Out_of_cache -> Memsys.reset ms ~flush:true
+  | In_l2 ->
+    Memsys.reset ms ~flush:true;
+    Env.iter_array_lines env ~line:cfg.Config.l2.Config.line (fun addr ->
+        Memsys.warm_l2 ms ~addr));
+  let result = Exec.run ~timing:(cfg, ms) ~ret_fsize:spec.ret_fsize func env in
+  match context with
+  | Out_of_cache -> result.Exec.cycles +. Memsys.pending_writeback_cost ms
+  | In_l2 -> result.Exec.cycles
+
+let exact ~cfg ~context ~spec ~n func = run_once ~cfg ~context ~spec ~n func
+
+(* Problem sizes for the steady-state extrapolation: multiples of the
+   number of elements in a 4 KiB page for either precision, so page
+   effects (hardware-prefetcher retraining) appear in both samples at
+   the same per-element rate. *)
+let sample_lo = 4096
+let sample_hi = 8192
+
+let measure ?(reps = 1) ~cfg ~context ~spec ~n func =
+  let once n = run_once ~cfg ~context ~spec ~n func in
+  let one_rep () =
+    match context with
+    | In_l2 -> once n
+    | Out_of_cache ->
+      if n <= sample_hi then once n
+      else begin
+        let c_lo = once sample_lo and c_hi = once sample_hi in
+        let rate = (c_hi -. c_lo) /. float_of_int (sample_hi - sample_lo) in
+        c_hi +. (rate *. float_of_int (n - sample_hi))
+      end
+  in
+  let rec repeat best k = if k = 0 then best else repeat (Float.min best (one_rep ())) (k - 1) in
+  let first = one_rep () in
+  repeat first (max 0 (reps - 1))
+
+let mflops ~cfg ~flops_per_n ~n ~cycles =
+  Ifko_util.Stats.mflops
+    ~flops:(flops_per_n *. float_of_int n)
+    ~cycles ~ghz:cfg.Config.ghz

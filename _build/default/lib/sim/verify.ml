@@ -1,0 +1,37 @@
+type expectation = {
+  arrays : (string * float array) list;
+  ret : Exec.ret_val option;
+}
+
+let close ?(tol = 1e-5) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check ?(tol = 1e-5) ~ret_fsize func env expectation =
+  match Exec.run ~ret_fsize func env with
+  | exception Exec.Trap msg -> Error (Printf.sprintf "trap: %s" msg)
+  | result -> (
+    let mismatch = ref None in
+    let note msg = if !mismatch = None then mismatch := Some msg in
+    List.iter
+      (fun (name, expected) ->
+        let got = Env.to_array env name in
+        if Array.length got <> Array.length expected then
+          note (Printf.sprintf "array %s: length %d, expected %d" name (Array.length got)
+                  (Array.length expected))
+        else
+          Array.iteri
+            (fun i e ->
+              if !mismatch = None && not (close ~tol e got.(i)) then
+                note (Printf.sprintf "array %s[%d]: got %.17g, expected %.17g" name i got.(i) e))
+            expected)
+      expectation.arrays;
+    (match (expectation.ret, result.Exec.ret) with
+    | None, _ -> ()
+    | Some (Exec.Rint e), Some (Exec.Rint g) ->
+      if e <> g then note (Printf.sprintf "return: got %d, expected %d" g e)
+    | Some (Exec.Rfp e), Some (Exec.Rfp g) ->
+      if not (close ~tol e g) then note (Printf.sprintf "return: got %.17g, expected %.17g" g e)
+    | Some _, Some _ -> note "return: kind mismatch"
+    | Some _, None -> note "return: kernel returned nothing");
+    match !mismatch with None -> Ok () | Some msg -> Error msg)

@@ -1,0 +1,26 @@
+(** The tester of the iterative framework.
+
+    For each candidate transformation point, the compiled kernel is
+    executed (without timing) and compared against expected results —
+    "unnecessary in theory, but useful in practice" (paper,
+    Section 2.1).  Floating-point comparison uses a relative tolerance
+    scaled by problem size, because vectorization and accumulator
+    expansion legitimately reassociate reductions. *)
+
+type expectation = {
+  arrays : (string * float array) list;  (** expected final array contents *)
+  ret : Exec.ret_val option;  (** expected return value *)
+}
+
+val close : ?tol:float -> float -> float -> bool
+(** Relative/absolute closeness test used for array elements. *)
+
+val check :
+  ?tol:float ->
+  ret_fsize:Instr.fsize ->
+  Cfg.func ->
+  Env.t ->
+  expectation ->
+  (unit, string) Stdlib.result
+(** Run the kernel on [env] and compare against [expectation]; the
+    error string pinpoints the first mismatch. *)

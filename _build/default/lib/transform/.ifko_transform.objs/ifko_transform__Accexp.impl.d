@@ -1,0 +1,1 @@
+lib/transform/accexp.ml: Accuminfo Array Block Cfg Edit Ifko_analysis Ifko_codegen Instr List Loopnest Lower Reg

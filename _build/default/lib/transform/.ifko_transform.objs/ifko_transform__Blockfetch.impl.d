@@ -1,0 +1,1 @@
+lib/transform/blockfetch.ml: Block Cfg Ifko_analysis Ifko_codegen Instr List Loopnest Lower Ptrinfo Reg

@@ -1,0 +1,1 @@
+lib/transform/branchopt.ml: Block Cfg Hashtbl List Option

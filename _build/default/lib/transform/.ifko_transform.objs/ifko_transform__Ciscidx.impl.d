@@ -1,0 +1,1 @@
+lib/transform/ciscidx.ml: Block Cfg Edit Ifko_analysis Ifko_codegen Instr List Loopnest Lower Ptrinfo Reg

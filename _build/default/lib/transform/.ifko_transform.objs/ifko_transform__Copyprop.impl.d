@@ -1,0 +1,1 @@
+lib/transform/copyprop.ml: Block Cfg Hashtbl Instr List Reg

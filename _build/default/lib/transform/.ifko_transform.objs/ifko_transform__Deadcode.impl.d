@@ -1,0 +1,1 @@
+lib/transform/deadcode.ml: Block Cfg Hashtbl Ifko_analysis Instr List Liveness Reg

@@ -1,0 +1,1 @@
+lib/transform/edit.ml: Block List

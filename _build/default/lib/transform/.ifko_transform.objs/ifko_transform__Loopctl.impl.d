@@ -1,0 +1,1 @@
+lib/transform/loopctl.ml: Block Cfg Ifko_codegen Instr List Loopnest Lower Reg

@@ -1,0 +1,1 @@
+lib/transform/maxloc.ml: Array Block Cfg Edit Ifko_codegen Instr List Loopnest Lower Option Reg

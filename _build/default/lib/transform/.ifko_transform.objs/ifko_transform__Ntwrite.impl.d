@@ -1,0 +1,1 @@
+lib/transform/ntwrite.ml: Block Cfg Ifko_codegen Instr List Lower Reg

@@ -1,0 +1,1 @@
+lib/transform/params.ml: Ifko_analysis Ifko_codegen Instr List Printf String

@@ -1,0 +1,1 @@
+lib/transform/peephole.ml: Array Block Cfg Ifko_analysis Instr List Liveness Reg

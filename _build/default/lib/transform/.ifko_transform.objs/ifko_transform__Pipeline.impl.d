@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Accexp Blockfetch Branchopt Cfg Ciscidx Copyprop Deadcode Ifko_codegen Loopctl Loopnest Lower Ntwrite Option Params Peephole Prefetch_xform Regalloc Simd Unroll Validate

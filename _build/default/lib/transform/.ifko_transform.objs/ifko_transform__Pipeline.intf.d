@@ -1,0 +1,1 @@
+lib/transform/pipeline.mli: Cfg Ifko_codegen Params

@@ -1,0 +1,1 @@
+lib/transform/prefetch_xform.ml: Block Cfg Ifko_analysis Ifko_codegen Instr List Loopnest Lower Params Ptrinfo

@@ -1,0 +1,1 @@
+lib/transform/regalloc.ml: Block Cfg Fun Hashtbl Ifko_analysis Ifko_util Instr List Liveness Option Reg

@@ -1,0 +1,1 @@
+lib/transform/regalloc.mli: Cfg

@@ -1,0 +1,1 @@
+lib/transform/simd.ml: Block Cfg Edit Hashtbl Ifko_analysis Ifko_codegen Instr List Loopnest Lower Maxloc Reg Vecinfo

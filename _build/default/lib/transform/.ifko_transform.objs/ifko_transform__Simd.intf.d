@@ -1,0 +1,1 @@
+lib/transform/simd.mli: Ifko_codegen

@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Block Cfg Edit Hashtbl Ifko_analysis Ifko_codegen Instr List Loopnest Lower Printf Ptrinfo Reg

@@ -1,0 +1,97 @@
+(** Accumulator expansion (AE).
+
+    A loop that accumulates into a single register serializes on the
+    floating-point add latency: each add must wait for the previous
+    one.  AE breaks the dependence by rotating the adds of the
+    (unrolled, possibly vectorized) body over [k] accumulators, which
+    are summed back into the original register in the [mid] block
+    before the scalar cleanup runs.
+
+    The transformation applies to every scalar reported by
+    {!Ifko_analysis.Accuminfo} on the {e current} body, so it composes
+    with SV (vector accumulators) and UR (more adds to rotate over).
+    [k] is clamped to the number of adds present. *)
+
+open Ifko_codegen
+open Ifko_analysis
+
+let apply (compiled : Lower.compiled) k =
+  match compiled.Lower.loopnest with
+  | None -> ()
+  | Some _ when k <= 1 -> ()
+  | Some ln ->
+    let f = compiled.Lower.func in
+    let accums = Accuminfo.analyze compiled in
+    let body_labels = Loopnest.body_labels f ln in
+    let preheader = Cfg.find_block_exn f ln.Loopnest.preheader in
+    let mid = Cfg.find_block_exn f ln.Loopnest.mid in
+    List.iter
+      (fun (a : Accuminfo.accum) ->
+        let k = min k a.Accuminfo.adds in
+        if k > 1 then begin
+          let r = a.Accuminfo.reg and sz = a.Accuminfo.fsize in
+          (* Is [r] used as a vector (SV ran) or a scalar accumulator? *)
+          let vectorial = ref false in
+          List.iter
+            (fun l ->
+              List.iter
+                (fun i ->
+                  match i with
+                  | Instr.Vop (_, _, d, _, _) when Reg.equal d r -> vectorial := true
+                  | Instr.Vopm (_, _, d, _, _) when Reg.equal d r -> vectorial := true
+                  | _ -> ())
+                (Cfg.find_block_exn f l).Block.instrs)
+            body_labels;
+          let extras = List.init (k - 1) (fun _ -> Cfg.fresh_reg f Reg.Xmm) in
+          let ring = Array.of_list (r :: extras) in
+          (* Zero-initialize the extra accumulators in the preheader. *)
+          Edit.append_instrs preheader
+            (List.map
+               (fun e ->
+                 if !vectorial then Instr.Vldi (sz, e, 0.0) else Instr.Fldi (sz, e, 0.0))
+               extras);
+          (* Rotate the accumulating adds over the ring. *)
+          let occurrence = ref 0 in
+          let rewrite i =
+            let rotate d a =
+              if Reg.equal d r && Reg.equal a r then begin
+                let nth = ring.(!occurrence mod k) in
+                incr occurrence;
+                Some nth
+              end
+              else None
+            in
+            match i with
+            | Instr.Fop (sz', Instr.Fadd, d, a, b) -> (
+              match rotate d a with
+              | Some acc -> Instr.Fop (sz', Instr.Fadd, acc, acc, b)
+              | None -> i)
+            | Instr.Fopm (sz', Instr.Fadd, d, a, m) -> (
+              match rotate d a with
+              | Some acc -> Instr.Fopm (sz', Instr.Fadd, acc, acc, m)
+              | None -> i)
+            | Instr.Vop (sz', Instr.Fadd, d, a, b) -> (
+              match rotate d a with
+              | Some acc -> Instr.Vop (sz', Instr.Fadd, acc, acc, b)
+              | None -> i)
+            | Instr.Vopm (sz', Instr.Fadd, d, a, m) -> (
+              match rotate d a with
+              | Some acc -> Instr.Vopm (sz', Instr.Fadd, acc, acc, m)
+              | None -> i)
+            | i -> i
+          in
+          List.iter
+            (fun l ->
+              let b = Cfg.find_block_exn f l in
+              b.Block.instrs <- List.map rewrite b.Block.instrs)
+            body_labels;
+          (* Fold the extras back into [r] before any vector reduction
+             already queued in the mid block. *)
+          Edit.prepend_instrs mid
+            (List.map
+               (fun e ->
+                 if !vectorial then Instr.Vop (sz, Instr.Fadd, r, r, e)
+                 else Instr.Fop (sz, Instr.Fadd, r, r, e))
+               extras)
+        end)
+      accums

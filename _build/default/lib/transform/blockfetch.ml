@@ -1,0 +1,112 @@
+(** Block fetch (BF) — the paper's named future-work transformation.
+
+    "The only other routine where ifko is significantly slower is in
+    P4E/dcopy, where the hand-tuned assembly uses a technique called
+    block fetch.  This technique can be performed generally and safely
+    in a compiler, and we are planning to add it to FKO."
+    (paper, Section 3.3; the technique is AMD's, reference [14].)
+
+    The transformation restructures the main loop into blocks: before
+    running the computation over a block's worth of elements, one load
+    per cache line touches every input array's portion of the block,
+    batching all bus reads together.  Combined with non-temporal writes
+    this separates read and write bursts on the bus, amortizing its
+    direction-turnaround penalty — which is exactly why the hand-tuned
+    [dcopy*] wins on the P4E-like machine.
+
+    Applied after UR/LC/AE and before prefetch insertion.  The original
+    loop is kept as the remainder path, so correctness never depends on
+    the block size dividing the trip count.  Off by default: FKO as
+    published does not have it (enable with {!Params.t.bf}). *)
+
+open Ifko_codegen
+open Ifko_analysis
+
+let fetch_line_bytes = 64
+
+(* The transformation needs a straight-line main body over unit-stride
+   arrays — the same shape the vectorizer accepts. *)
+let apply (compiled : Lower.compiled) block_bytes =
+  match compiled.Lower.loopnest with
+  | None -> ()
+  | Some _ when block_bytes <= 0 -> ()
+  | Some ln -> (
+    let f = compiled.Lower.func in
+    let moving = Ptrinfo.analyze compiled in
+    let elem =
+      match compiled.Lower.arrays with
+      | a :: _ -> Instr.fsize_bytes a.Lower.a_elem
+      | [] -> 8
+    in
+    let per_iter = ln.Loopnest.per_iter in
+    let block_elems = block_bytes / elem / per_iter * per_iter in
+    match Loopnest.body_labels f ln with
+    | [ body_label ]
+      when block_elems >= per_iter
+           && moving <> []
+           && (Cfg.find_block_exn f body_label).Block.term = Block.Jmp ln.Loopnest.latch ->
+      let body = Cfg.find_block_exn f body_label in
+      (* one fetch touch per line of every array that is read *)
+      let fetch_instrs =
+        List.concat_map
+          (fun (m : Ptrinfo.moving) ->
+            if m.Ptrinfo.loads = 0 || m.Ptrinfo.stride = 0 then []
+            else begin
+              let reg = m.Ptrinfo.array.Lower.a_reg in
+              let sz = m.Ptrinfo.array.Lower.a_elem in
+              let bytes = block_elems * Instr.fsize_bytes sz in
+              List.init
+                ((bytes + fetch_line_bytes - 1) / fetch_line_bytes)
+                (fun k -> Instr.Touch (sz, Instr.mk_mem ~disp:(k * fetch_line_bytes) reg))
+            end)
+          moving
+      in
+      if fetch_instrs = [] then ()
+      else begin
+        let bfh = Cfg.fresh_label f "bf_head" in
+        let bfetch = Cfg.fresh_label f "bf_fetch" in
+        let bbody = Cfg.fresh_label f "bf_body" in
+        let blk = Cfg.fresh_reg f Reg.Gpr in
+        let cnt = ln.Loopnest.cnt in
+        (* the block's inner loop is a clone of the main body with its
+           own latch comparing the countdown against the block target *)
+        let latch_block = Cfg.find_block_exn f ln.Loopnest.latch in
+        let inner_latch_instrs =
+          List.filter
+            (fun i ->
+              match i with
+              | Instr.Iop (Instr.Isub, d, s, Instr.Oimm _)
+                when Reg.equal d cnt && Reg.equal s cnt -> false
+              | _ -> true)
+            latch_block.Block.instrs
+        in
+        let inner_body =
+          Block.make bbody
+            ~instrs:(body.Block.instrs @ inner_latch_instrs)
+            ~term:
+              (Block.Br
+                 { cmp = Instr.Gt; lhs = cnt; rhs = Instr.Oreg blk; ifso = bbody;
+                   ifnot = bfh; dec = per_iter })
+        in
+        let fetch_block =
+          Block.make bfetch
+            ~instrs:(fetch_instrs @ [ Instr.Iop (Instr.Isub, blk, cnt, Instr.Oimm block_elems) ])
+            ~term:(Block.Jmp bbody)
+        in
+        let head_block =
+          Block.make bfh
+            ~term:
+              (Block.Br
+                 { cmp = Instr.Lt; lhs = cnt; rhs = Instr.Oimm block_elems;
+                   ifso = ln.Loopnest.header; ifnot = bfetch; dec = 0 })
+        in
+        (* route the preheader through the block loop; the original loop
+           (and its cleanup) handles the tail *)
+        let preheader = Cfg.find_block_exn f ln.Loopnest.preheader in
+        preheader.Block.term <-
+          Block.map_term_labels
+            (fun l -> if l = ln.Loopnest.header then bfh else l)
+            preheader.Block.term;
+        Cfg.insert_after f ~after:ln.Loopnest.preheader [ head_block; fetch_block; inner_body ]
+      end
+    | _ -> ())

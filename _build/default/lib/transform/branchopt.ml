@@ -1,0 +1,77 @@
+(** Control-flow cleanup: branch chaining, useless-jump and
+    useless-label elimination, and basic-block merging — "which, when
+    applied together, merge basic blocks (critical after extensive
+    loop unrolling)" (paper, Section 2.2.4). *)
+
+(* Follow chains of empty blocks ending in unconditional jumps. *)
+let rec resolve f seen label =
+  if List.mem label seen then label
+  else
+    match Cfg.find_block f label with
+    | Some { Block.instrs = []; term = Block.Jmp next; _ } ->
+      resolve f (label :: seen) next
+    | _ -> label
+
+let thread_jumps (f : Cfg.func) =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      let retarget l =
+        let l' = resolve f [ b.Block.label ] l in
+        if l' <> l then changed := true;
+        l'
+      in
+      b.Block.term <- Block.map_term_labels retarget b.Block.term)
+    f.Cfg.blocks;
+  !changed
+
+let drop_unreachable (f : Cfg.func) =
+  let reachable = Hashtbl.create 16 in
+  let rec walk label =
+    if not (Hashtbl.mem reachable label) then begin
+      Hashtbl.replace reachable label ();
+      match Cfg.find_block f label with
+      | Some b -> List.iter walk (Block.successors b.Block.term)
+      | None -> ()
+    end
+  in
+  walk (Cfg.entry f).Block.label;
+  let before = List.length f.Cfg.blocks in
+  f.Cfg.blocks <- List.filter (fun b -> Hashtbl.mem reachable b.Block.label) f.Cfg.blocks;
+  List.length f.Cfg.blocks <> before
+
+(* Merge [a -> Jmp b] when [b] has exactly one predecessor and is not
+   protected (loop-structure labels must survive for later passes). *)
+let merge_blocks (f : Cfg.func) ~protect =
+  let changed = ref false in
+  let preds = Cfg.predecessors f in
+  let pred_count l = List.length (Option.value ~default:[] (Hashtbl.find_opt preds l)) in
+  let rec merge_into (a : Block.t) =
+    match a.Block.term with
+    | Block.Jmp next
+      when next <> a.Block.label
+           && (not (List.mem next protect))
+           && pred_count next = 1 -> (
+      match Cfg.find_block f next with
+      | Some b ->
+        a.Block.instrs <- a.Block.instrs @ b.Block.instrs;
+        a.Block.term <- b.Block.term;
+        Cfg.remove_block f next;
+        changed := true;
+        merge_into a
+      | None -> ())
+    | _ -> ()
+  in
+  (* Iterate by label and re-fetch: merging removes blocks, and a block
+     already absorbed elsewhere must not steal its successor. *)
+  List.iter
+    (fun label ->
+      match Cfg.find_block f label with Some b -> merge_into b | None -> ())
+    (List.map (fun b -> b.Block.label) f.Cfg.blocks);
+  !changed
+
+let run ?(protect = []) (f : Cfg.func) =
+  let c1 = thread_jumps f in
+  let c2 = drop_unreachable f in
+  let c3 = merge_blocks f ~protect in
+  c1 || c2 || c3

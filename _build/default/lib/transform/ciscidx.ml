@@ -1,0 +1,70 @@
+(** CISC two-array indexing — the other technique the paper's loss
+    analysis names: "FKO presently does not exploit the opportunity to
+    use x86 CISC indexing to index both arrays using a register, which
+    avoids an additional pointer increment at the end of the loop"
+    (this is why ifko was a hair slower on out-of-cache Opteron scopy).
+
+    Implemented as a post-unroll rewrite: all moving arrays are
+    addressed [ptr + idx] off one shared index register, the pointers
+    stay fixed until the loop exits, and only the index is bumped.
+    Used by ATLAS's hand-tuned kernels; exposed to FKO itself as an
+    extension via {!Params.t.cisc} (off by default, as published). *)
+
+open Ifko_codegen
+open Ifko_analysis
+
+(* Rewrite the straight-line main body so that all moving arrays are
+   addressed as [ptr + idx] off a single index register which is the
+   only thing incremented; the pointers themselves stay fixed until the
+   loop exits (where they are materialized for the cleanup loop). *)
+let apply (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | None -> ()
+  | Some ln -> (
+    let f = compiled.Lower.func in
+    let moving = Ptrinfo.analyze compiled in
+    match (Loopnest.body_labels f ln, moving) with
+    | [ body_label ], (_ :: _ :: _ as movers)
+      when List.for_all
+             (fun (m : Ptrinfo.moving) -> m.Ptrinfo.stride = (List.hd movers).Ptrinfo.stride)
+             movers -> (
+      let body = Cfg.find_block_exn f body_label in
+      match body.Block.term with
+      | Block.Br _ | Block.Jmp _ ->
+        let stride = (List.hd movers).Ptrinfo.stride in
+        let regs = List.map (fun m -> m.Ptrinfo.array.Lower.a_reg) movers in
+        let is_mover r = List.exists (Reg.equal r) regs in
+        let idx = Cfg.fresh_reg f Reg.Gpr in
+        let rewrite_mem (m : Instr.mem) =
+          if is_mover m.Instr.base && m.Instr.index = None then
+            { m with Instr.index = Some idx; scale = 1 }
+          else m
+        in
+        let rewrite instr =
+          match instr with
+          | Instr.Iop (Instr.Iadd, d, s, Instr.Oimm k)
+            when Reg.equal d s && is_mover d && k = stride ->
+            None (* pointer bump replaced by the shared index update *)
+          | Instr.Fld (sz, d, m) -> Some (Instr.Fld (sz, d, rewrite_mem m))
+          | Instr.Fst (sz, m, s) -> Some (Instr.Fst (sz, rewrite_mem m, s))
+          | Instr.Fstnt (sz, m, s) -> Some (Instr.Fstnt (sz, rewrite_mem m, s))
+          | Instr.Fopm (sz, op, d, a, m) -> Some (Instr.Fopm (sz, op, d, a, rewrite_mem m))
+          | Instr.Vld (sz, d, m) -> Some (Instr.Vld (sz, d, rewrite_mem m))
+          | Instr.Vst (sz, m, s) -> Some (Instr.Vst (sz, rewrite_mem m, s))
+          | Instr.Vstnt (sz, m, s) -> Some (Instr.Vstnt (sz, rewrite_mem m, s))
+          | Instr.Vopm (sz, op, d, a, m) -> Some (Instr.Vopm (sz, op, d, a, rewrite_mem m))
+          | Instr.Prefetch (k, m) -> Some (Instr.Prefetch (k, rewrite_mem m))
+          | i -> Some i
+        in
+        body.Block.instrs <-
+          List.filter_map rewrite body.Block.instrs
+          @ [ Instr.Iop (Instr.Iadd, idx, idx, Instr.Oimm stride) ];
+        (* Initialize the index and materialize final pointer values for
+           the cleanup loop. *)
+        let preheader = Cfg.find_block_exn f ln.Loopnest.preheader in
+        Edit.append_instrs preheader [ Instr.Ildi (idx, 0) ];
+        let mid = Cfg.find_block_exn f ln.Loopnest.mid in
+        Edit.prepend_instrs mid
+          (List.map (fun r -> Instr.Iop (Instr.Iadd, r, r, Instr.Oreg idx)) regs)
+      | Block.Fbr _ | Block.Ret _ -> ())
+    | _ -> ())

@@ -1,0 +1,51 @@
+(** Block-local forward copy propagation.
+
+    Replaces uses of a copied register with its source until either
+    side is redefined.  Run inside the repeatable-optimization block
+    (paper Section 2.2.4), where it synergizes with dead-code
+    elimination: propagation turns the copy dead, elimination removes
+    it. *)
+
+let run_block (b : Block.t) =
+  let changed = ref false in
+  (* active copies: dst id -> src reg *)
+  let copies : (int, Reg.t) Hashtbl.t = Hashtbl.create 8 in
+  let kill (r : Reg.t) =
+    Hashtbl.remove copies r.Reg.id;
+    (* any copy whose source is [r] dies too *)
+    let stale =
+      Hashtbl.fold (fun d s acc -> if Reg.equal s r then d :: acc else acc) copies []
+    in
+    List.iter (Hashtbl.remove copies) stale
+  in
+  let subst (r : Reg.t) =
+    match Hashtbl.find_opt copies r.Reg.id with
+    | Some s when s.Reg.cls = r.Reg.cls ->
+      changed := true;
+      s
+    | _ -> r
+  in
+  let new_instrs =
+    List.map
+      (fun i ->
+        let i' = Instr.map_regs_uses_only subst i in
+        List.iter kill (Instr.defs i');
+        (match i' with
+        | Instr.Imov (d, s) | Instr.Fmov (_, d, s) | Instr.Vmov (_, d, s) ->
+          if not (Reg.equal d s) then Hashtbl.replace copies d.Reg.id s
+        | _ -> ());
+        i')
+      b.Block.instrs
+  in
+  b.Block.instrs <- new_instrs;
+  (* Propagate into the terminator too — but never rename the counter a
+     fused branch writes. *)
+  b.Block.term <-
+    (match b.Block.term with
+    | Block.Br t when t.dec > 0 ->
+      Block.Br
+        { t with rhs = (match t.rhs with Instr.Oreg r -> Instr.Oreg (subst r) | imm -> imm) }
+    | t -> Block.map_term_regs subst t);
+  !changed
+
+let run (f : Cfg.func) = List.fold_left (fun acc b -> run_block b || acc) false f.Cfg.blocks

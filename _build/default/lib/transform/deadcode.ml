@@ -1,0 +1,75 @@
+(** Dead-code elimination.
+
+    Removes instructions whose results are never used (per global
+    liveness) and that have no side effect.  Together with copy
+    propagation this cleans the naive lowering output and, after loop
+    transformations, removes index maintenance the body no longer
+    needs. *)
+
+open Ifko_analysis
+
+let has_side_effect i =
+  Instr.is_store i || (match i with Instr.Prefetch _ -> true | _ -> false)
+
+(* Faint-code elimination: a register whose only uses are its own pure
+   self-updates ([r <- r op imm]) keeps itself alive through the loop,
+   so liveness-based elimination never removes it (the unrolled loop's
+   unused index maintenance is the canonical case).  Remove such
+   updates directly. *)
+let remove_faint (f : Cfg.func) =
+  let self_update r i =
+    match i with
+    | Instr.Iop (_, d, s, Instr.Oimm _) -> Reg.equal d r && Reg.equal s r
+    | _ -> false
+  in
+  let foreign_use : (Reg.t, unit) Hashtbl.t = Hashtbl.create 32 in
+  let note r = Hashtbl.replace foreign_use r () in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i -> List.iter (fun r -> if not (self_update r i) then note r) (Instr.uses i))
+        b.Block.instrs;
+      List.iter note (Block.term_uses b.Block.term);
+      List.iter note (Block.term_defs b.Block.term))
+    f.Cfg.blocks;
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      b.Block.instrs <-
+        List.filter
+          (fun i ->
+            match i with
+            | Instr.Iop (_, d, s, Instr.Oimm _)
+              when Reg.equal d s && not (Hashtbl.mem foreign_use d) ->
+              changed := true;
+              false
+            | _ -> true)
+          b.Block.instrs)
+    f.Cfg.blocks;
+  !changed
+
+let run (f : Cfg.func) =
+  let faint = remove_faint f in
+  let live = Liveness.compute f in
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      let annotated = Liveness.live_before_each live b in
+      let kept =
+        List.filter_map
+          (fun (i, live_after) ->
+            let dead =
+              (not (has_side_effect i))
+              && Instr.defs i <> []
+              && List.for_all (fun d -> not (Reg.Set.mem d live_after)) (Instr.defs i)
+            in
+            if dead then begin
+              changed := true;
+              None
+            end
+            else Some i)
+          annotated
+      in
+      b.Block.instrs <- kept)
+    f.Cfg.blocks;
+  faint || !changed

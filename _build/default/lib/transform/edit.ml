@@ -1,0 +1,7 @@
+(** Tiny block-editing helpers shared by the transformations. *)
+
+let append_instrs (b : Block.t) instrs = b.Block.instrs <- b.Block.instrs @ instrs
+let prepend_instrs (b : Block.t) instrs = b.Block.instrs <- instrs @ b.Block.instrs
+
+(** Map every instruction of block [b] through [f], dropping [None]s. *)
+let filter_map_instrs (b : Block.t) f = b.Block.instrs <- List.filter_map f b.Block.instrs

@@ -1,0 +1,55 @@
+(** Loop-control optimization (LC).
+
+    Rearranges the loop's control so the per-iteration overhead drops
+    from three micro-operations (counter subtract, compare-and-branch
+    in the header, jump back) to a single fused count-down-and-branch
+    at the bottom of the loop — the x86 [sub/jcc] macro-fusion (or
+    [dec/jnz]) idiom.  The header test is kept as a one-time guard, so
+    the transformation is always legal on the canonical loop shape.
+
+    Applied to the main loop and, when present, the scalar cleanup
+    loop. *)
+
+open Ifko_codegen
+
+(* Invert one canonical loop given its header and latch labels and the
+   per-iteration consumption [k]. *)
+let invert f ~header ~latch ~cnt k =
+  let header_block = Cfg.find_block_exn f header in
+  match header_block.Block.term with
+  | Block.Br { cmp = Instr.Lt; lhs; rhs = Instr.Oimm _; ifso = exit_l; ifnot = entry; dec = 0 }
+    when Reg.equal lhs cnt -> (
+    let latch_block = Cfg.find_block_exn f latch in
+    match latch_block.Block.term with
+    | Block.Jmp back when back = header ->
+      (* Drop the counter subtract from the latch; fuse it into the
+         back branch.  The index update (if any) stays. *)
+      latch_block.Block.instrs <-
+        List.filter
+          (fun i ->
+            match i with
+            | Instr.Iop (Instr.Isub, d, s, Instr.Oimm _)
+              when Reg.equal d cnt && Reg.equal s cnt -> false
+            | _ -> true)
+          latch_block.Block.instrs;
+      latch_block.Block.term <-
+        Block.Br
+          { cmp = Instr.Ge; lhs = cnt; rhs = Instr.Oimm k; ifso = entry; ifnot = exit_l; dec = k };
+      true
+    | _ -> false)
+  | _ -> false
+
+let apply (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | None -> ()
+  | Some ln ->
+    let f = compiled.Lower.func in
+    let fused =
+      invert f ~header:ln.Loopnest.header ~latch:ln.Loopnest.latch ~cnt:ln.Loopnest.cnt
+        ln.Loopnest.per_iter
+    in
+    (match ln.Loopnest.cleanup with
+    | Some (cheader, clatch) ->
+      ignore (invert f ~header:cheader ~latch:clatch ~cnt:ln.Loopnest.cnt 1 : bool)
+    | None -> ());
+    if fused then ln.Loopnest.lc_fused <- true

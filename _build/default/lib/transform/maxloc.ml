@@ -1,0 +1,189 @@
+(** Speculative vectorization of max-with-index reductions.
+
+    The paper's remaining open problem: neither FKO nor icc vectorizes
+    iamax automatically, and "it seems almost certain that we can
+    overcome this problem in a narrow way, for instance by having the
+    user supply us with markup indicating how to address the
+    dependency".  This transformation is that narrow way: when the
+    tunable loop carries the [SPECULATE] mark-up and its body is the
+    canonical max-with-index idiom
+
+    {v
+    x = P[0];  x = ABS x;          (ABS optional)
+    IF (x > amax) THEN amax = x; imax = i; ENDIF
+    P += 1;
+    v}
+
+    the loop is rewritten with the compare-mask scheme the hand-tuned
+    assembly uses: blocks of [4*veclen] elements are reduced with
+    vector max against a broadcast of the current maximum; only when
+    the lane mask fires (logarithmically often on random data) does a
+    scalar re-scan of the block run, preserving exact first-index
+    semantics.  The original scalar loop remains as the tail. *)
+
+open Ifko_codegen
+
+type pattern = {
+  ptr : Reg.t;
+  sz : Instr.fsize;
+  has_abs : bool;
+  amax : Reg.t;
+  imax : Reg.t;
+}
+
+(* Match the lowered shape of the idiom: entry (load, optional abs,
+   compare-branch), then-block (update amax and imax from the index),
+   empty else-block, join (single pointer bump). *)
+let recognize (f : Cfg.func) (ln : Loopnest.t) =
+  match (Loopnest.body_labels f ln, ln.Loopnest.index) with
+  | [ _; _; _; _ ], Some index when ln.Loopnest.step = 1 -> (
+    let entry_label =
+      match (Cfg.find_block_exn f ln.Loopnest.header).Block.term with
+      | Block.Br { ifnot; _ } -> ifnot
+      | _ -> ""
+    in
+    match Cfg.find_block f entry_label with
+    | None -> None
+    | Some entry -> (
+      let loaded =
+        match entry.Block.instrs with
+        | [ Instr.Fld (sz, x, m) ] when m.Instr.index = None && m.Instr.disp = 0 ->
+          Some (sz, x, m.Instr.base, false)
+        | [ Instr.Fld (sz, t, m); Instr.Fabs (sz', x, t') ]
+          when sz = sz' && Reg.equal t t' && m.Instr.index = None && m.Instr.disp = 0 ->
+          Some (sz, x, m.Instr.base, true)
+        | _ -> None
+      in
+      match (loaded, entry.Block.term) with
+      | ( Some (sz, x, ptr, has_abs),
+          Block.Fbr { cmp = Instr.Gt; lhs; rhs = amax; ifso; ifnot; _ } )
+        when Reg.equal lhs x -> (
+        match (Cfg.find_block f ifso, Cfg.find_block f ifnot) with
+        | Some then_b, Some else_b -> (
+          match (then_b.Block.instrs, then_b.Block.term, else_b.Block.instrs, else_b.Block.term)
+          with
+          | ( [ Instr.Fmov (_, amax', x'); Instr.Imov (imax, idx) ],
+              Block.Jmp join1,
+              [],
+              Block.Jmp join2 )
+            when join1 = join2 && Reg.equal amax' amax && Reg.equal x' x
+                 && Reg.equal idx index -> (
+            match Cfg.find_block f join1 with
+            | Some join_b -> (
+              match (join_b.Block.instrs, join_b.Block.term) with
+              | [ Instr.Iop (Instr.Iadd, p1, p2, Instr.Oimm eb) ], Block.Jmp l
+                when l = ln.Loopnest.latch && Reg.equal p1 ptr && Reg.equal p2 ptr
+                     && eb = Instr.fsize_bytes sz ->
+                Some { ptr; sz; has_abs; amax; imax }
+              | _ -> None)
+            | None -> None)
+          | _ -> None)
+        | _ -> None)
+      | _ -> None))
+  | _ -> None
+
+(* Emit the compare-mask block loop in front of the scalar loop. *)
+let rewrite (f : Cfg.func) (ln : Loopnest.t) (p : pattern) =
+  let sz = p.sz in
+  let eb = Instr.fsize_bytes sz in
+  let veclen = Instr.lanes sz in
+  let blk = 4 * veclen in
+  let blkb = blk * eb in
+  let cnt = ln.Loopnest.cnt in
+  let index = Option.get ln.Loopnest.index in
+  let mem ?(disp = 0) ?index ?(scale = 1) base = Instr.mk_mem ?index ~scale ~disp base in
+  let bmax = Cfg.fresh_reg f Reg.Xmm in
+  let v = Array.init 4 (fun _ -> Cfg.fresh_reg f Reg.Xmm) in
+  let xs = Cfg.fresh_reg f Reg.Xmm in
+  let xa = Cfg.fresh_reg f Reg.Xmm in
+  let msk = Cfg.fresh_reg f Reg.Gpr in
+  let j = Cfg.fresh_reg f Reg.Gpr in
+  let mxh = Cfg.fresh_label f "mx_head" in
+  let mxb = Cfg.fresh_label f "mx_body" in
+  let mxn = Cfg.fresh_label f "mx_next" in
+  let rescan = Cfg.fresh_label f "mx_rescan" in
+  let rb = Cfg.fresh_label f "mx_rb" in
+  let upd = Cfg.fresh_label f "mx_upd" in
+  let rn = Cfg.fresh_label f "mx_rn" in
+  let abs_or_move k =
+    if p.has_abs then Instr.Vabs (sz, v.(k), v.(k)) else Instr.Vmov (sz, v.(k), v.(k))
+  in
+  let head =
+    Block.make mxh
+      ~term:
+        (Block.Br
+           { cmp = Instr.Lt; lhs = cnt; rhs = Instr.Oimm blk; ifso = ln.Loopnest.header;
+             ifnot = mxb; dec = 0 })
+  in
+  let body =
+    Block.make mxb
+      ~instrs:
+        (List.concat (List.init 4 (fun k -> [ Instr.Vld (sz, v.(k), mem ~disp:(k * 16) p.ptr); abs_or_move k ]))
+        @ [ Instr.Vop (sz, Instr.Fmax, v.(0), v.(0), v.(1));
+            Instr.Vop (sz, Instr.Fmax, v.(2), v.(2), v.(3));
+            Instr.Vop (sz, Instr.Fmax, v.(0), v.(0), v.(2));
+            Instr.Vcmp (sz, Instr.Gt, v.(1), v.(0), bmax);
+            Instr.Vmovmsk (sz, msk, v.(1));
+          ])
+      ~term:
+        (Block.Br
+           { cmp = Instr.Ne; lhs = msk; rhs = Instr.Oimm 0; ifso = rescan; ifnot = mxn;
+             dec = 0 })
+  in
+  let next =
+    Block.make mxn
+      ~instrs:
+        [ Instr.Iop (Instr.Iadd, p.ptr, p.ptr, Instr.Oimm blkb);
+          Instr.Iop (Instr.Iadd, index, index, Instr.Oimm blk);
+          Instr.Iop (Instr.Isub, cnt, cnt, Instr.Oimm blk);
+        ]
+      ~term:(Block.Jmp mxh)
+  in
+  let rescan_b = Block.make rescan ~instrs:[ Instr.Ildi (j, 0) ] ~term:(Block.Jmp rb) in
+  let rb_b =
+    Block.make rb
+      ~instrs:
+        ([ Instr.Fld (sz, xs, mem ~index:j ~scale:eb p.ptr) ]
+        @ if p.has_abs then [ Instr.Fabs (sz, xa, xs) ] else [ Instr.Fmov (sz, xa, xs) ])
+      ~term:
+        (Block.Fbr
+           { fsize = sz; cmp = Instr.Gt; lhs = xa; rhs = p.amax; ifso = upd; ifnot = rn })
+  in
+  let upd_b =
+    Block.make upd
+      ~instrs:
+        [ Instr.Fmov (sz, p.amax, xa);
+          Instr.Vbcast (sz, bmax, p.amax);
+          Instr.Iop (Instr.Iadd, p.imax, index, Instr.Oreg j);
+        ]
+      ~term:(Block.Jmp rn)
+  in
+  let rn_b =
+    Block.make rn
+      ~instrs:[ Instr.Iop (Instr.Iadd, j, j, Instr.Oimm 1) ]
+      ~term:
+        (Block.Br { cmp = Instr.Lt; lhs = j; rhs = Instr.Oimm blk; ifso = rb; ifnot = mxn; dec = 0 })
+  in
+  (* broadcast the incoming maximum, route the preheader through the
+     block loop, and leave the scalar loop as the tail *)
+  let preheader = Cfg.find_block_exn f ln.Loopnest.preheader in
+  Edit.append_instrs preheader [ Instr.Vbcast (sz, bmax, p.amax) ];
+  preheader.Block.term <-
+    Block.map_term_labels
+      (fun l -> if l = ln.Loopnest.header then mxh else l)
+      preheader.Block.term;
+  Cfg.insert_after f ~after:ln.Loopnest.preheader
+    [ head; body; next; rescan_b; rb_b; upd_b; rn_b ]
+
+(** [try_apply compiled] rewrites the loop when the [SPECULATE] mark-up
+    licenses it and the body matches the idiom; returns whether it
+    fired. *)
+let try_apply (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | Some ln when ln.Loopnest.speculate -> (
+    match recognize compiled.Lower.func ln with
+    | Some p ->
+      rewrite compiled.Lower.func ln p;
+      true
+    | None -> false)
+  | _ -> false

@@ -1,0 +1,32 @@
+(** Non-temporal writes (WNT).
+
+    Rewrites the stores to the kernel's output arrays into their
+    non-temporal forms ([movntps]/[movntpd]-style).  These carry a hint
+    that the stored data need not be retained in cache; how the hint is
+    honoured varies strongly by architecture — on the P4E-like model a
+    streaming store avoids the read-for-ownership, while the
+    Opteron-like model penalizes non-temporal stores to lines that are
+    also read (see {!Ifko_machine.Config}) — which is precisely why
+    the paper leaves the decision to the empirical search. *)
+
+open Ifko_codegen
+
+let apply (compiled : Lower.compiled) =
+  let outputs =
+    List.filter_map
+      (fun (a : Lower.array_param) -> if a.Lower.a_output then Some a.Lower.a_reg else None)
+      compiled.Lower.arrays
+  in
+  if outputs <> [] then
+    let is_output (m : Instr.mem) = List.exists (Reg.equal m.Instr.base) outputs in
+    List.iter
+      (fun b ->
+        b.Block.instrs <-
+          List.map
+            (fun i ->
+              match i with
+              | Instr.Fst (sz, m, r) when is_output m -> Instr.Fstnt (sz, m, r)
+              | Instr.Vst (sz, m, r) when is_output m -> Instr.Vstnt (sz, m, r)
+              | i -> i)
+            b.Block.instrs)
+      compiled.Lower.func.Cfg.blocks

@@ -1,0 +1,79 @@
+(** Empirically tunable parameters of the fundamental transformations.
+
+    One value of this record describes one point in the optimization
+    space the iterative search explores.  FKO's built-in defaults (the
+    paper's Section 2.3) are produced by {!default}: SV on, WNT off,
+    [prefetchnta] at distance [2*L] on every prefetchable array,
+    unrolling to one cache line of elements, AE off. *)
+
+(** Prefetch setting for one array: instruction flavour and distance in
+    bytes ahead of the current position ([None] = no prefetch). *)
+type pf_param = { pf_ins : Instr.pf_kind option; pf_dist : int }
+
+type t = {
+  sv : bool;  (** SIMD-vectorize the tunable loop *)
+  unroll : int;  (** unroll factor [N_u >= 1] *)
+  lc : bool;  (** optimize loop control (fused count-down branch) *)
+  ae : int;  (** accumulator expansion: number of accumulators, [<= 1] = off *)
+  prefetch : (string * pf_param) list;  (** per array name *)
+  wnt : bool;  (** non-temporal writes on the output arrays *)
+  bf : int;
+      (** block fetch: block size in bytes, [0] = off.  A paper
+          future-work extension — FKO as published lacks it, so the
+          defaults and the reproduction studies keep it off. *)
+  cisc : bool;
+      (** CISC two-array indexing — likewise an extension (the paper's
+          hand-tuned kernels have it; published FKO does not). *)
+}
+
+let no_prefetch = { pf_ins = None; pf_dist = 0 }
+
+(** [default ~line_bytes report] is FKO's default parameter point for a
+    kernel with the given analysis report, on a machine whose first
+    prefetchable cache has [line_bytes]-byte lines. *)
+let default ~line_bytes (report : Ifko_analysis.Report.t) =
+  let elem_bytes =
+    match report.Ifko_analysis.Report.precision with
+    | Some sz -> Instr.fsize_bytes sz
+    | None -> 8
+  in
+  {
+    sv = report.Ifko_analysis.Report.vectorizable;
+    unroll = max 1 (line_bytes / elem_bytes);
+    lc = true;
+    ae = 0;
+    prefetch =
+      List.map
+        (fun (m : Ifko_analysis.Ptrinfo.moving) ->
+          ( m.Ifko_analysis.Ptrinfo.array.Ifko_codegen.Lower.a_name,
+            { pf_ins = Some Instr.Nta; pf_dist = 2 * line_bytes } ))
+        report.Ifko_analysis.Report.prefetch_arrays;
+    wnt = false;
+    bf = 0;
+    cisc = false;
+  }
+
+let pf_kind_to_string = function
+  | Instr.Nta -> "nta"
+  | Instr.T0 -> "t0"
+  | Instr.T1 -> "t1"
+  | Instr.W -> "w"
+
+let pf_to_string = function
+  | { pf_ins = None; _ } -> "none:0"
+  | { pf_ins = Some k; pf_dist } -> Printf.sprintf "%s:%d" (pf_kind_to_string k) pf_dist
+
+(** Render in the style of the paper's Table 3:
+    ["SV:WNT  pfX pfY  UR:AE"]. *)
+let to_string t =
+  let yn b = if b then "Y" else "N" in
+  let pf =
+    match t.prefetch with
+    | [] -> "-"
+    | ps -> String.concat " " (List.map (fun (a, p) -> a ^ "=" ^ pf_to_string p) ps)
+  in
+  let ext =
+    (if t.bf > 0 then Printf.sprintf " bf=%d" t.bf else "")
+    ^ if t.cisc then " cisc" else ""
+  in
+  Printf.sprintf "%s:%s %s %d:%d%s" (yn t.sv) (yn t.wnt) pf t.unroll t.ae ext

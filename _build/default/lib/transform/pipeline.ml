@@ -1,0 +1,82 @@
+open Ifko_codegen
+
+let snapshot (compiled : Lower.compiled) =
+  let func = Cfg.copy compiled.Lower.func in
+  let loopnest =
+    Option.map
+      (fun (ln : Loopnest.t) ->
+        Loopnest.
+          {
+            preheader = ln.preheader;
+            header = ln.header;
+            latch = ln.latch;
+            mid = ln.mid;
+            exit = ln.exit;
+            cleanup = ln.cleanup;
+            cnt = ln.cnt;
+            index = ln.index;
+            step = ln.step;
+            per_iter = ln.per_iter;
+            vectorized = ln.vectorized;
+            unrolled = ln.unrolled;
+            lc_fused = ln.lc_fused;
+            speculate = ln.speculate;
+            template = ln.template;
+          })
+      compiled.Lower.loopnest
+  in
+  { compiled with Lower.func; loopnest }
+
+let protected_labels (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | None -> []
+  | Some ln ->
+    let fixed =
+      [ ln.Loopnest.preheader; ln.Loopnest.header; ln.Loopnest.latch; ln.Loopnest.mid;
+        ln.Loopnest.exit ]
+    in
+    (match ln.Loopnest.cleanup with
+    | Some (h, l) -> h :: l :: fixed
+    | None -> fixed)
+
+let repeatable ?(protect = []) (f : Cfg.func) =
+  let rec go n =
+    let changed =
+      let c1 = Copyprop.run f in
+      let c2 = Peephole.run f in
+      let c3 = Deadcode.run f in
+      let c4 = Branchopt.run ~protect f in
+      c1 || c2 || c3 || c4
+    in
+    if changed && n < 20 then go (n + 1) else n + 1
+  in
+  go 0
+
+let apply ?(skip_regalloc = false) ~line_bytes (compiled : Lower.compiled) (params : Params.t) =
+  let c = snapshot compiled in
+  let f = c.Lower.func in
+  (* Fundamental transformations, fixed order. *)
+  if params.Params.sv then Simd.apply c;
+  if params.Params.unroll > 1 then Unroll.apply c params.Params.unroll;
+  if params.Params.cisc then Ciscidx.apply c;
+  if params.Params.lc then Loopctl.apply c;
+  if params.Params.ae > 1 then Accexp.apply c params.Params.ae;
+  if params.Params.bf > 0 then Blockfetch.apply c params.Params.bf;
+  if params.Params.prefetch <> [] then
+    Prefetch_xform.apply c ~line_bytes params.Params.prefetch;
+  if params.Params.wnt then Ntwrite.apply c;
+  (* Repeatable block to fixed point, then allocation, then a final
+     cleanup of any trivialities the spill code introduced. *)
+  ignore (repeatable ~protect:(protected_labels c) f : int);
+  (* Final unprotected control-flow cleanup: nothing needs the loop
+     bookkeeping labels any more, so the body can absorb the latch
+     (removing a jump per iteration).  The loop-nest labels in [c] may
+     go stale here; only the code matters from this point on. *)
+  ignore (Branchopt.run f : bool);
+  Validate.check f;
+  if not skip_regalloc then begin
+    Regalloc.run f;
+    ignore (Peephole.run f : bool);
+    Validate.check_physical f
+  end;
+  c

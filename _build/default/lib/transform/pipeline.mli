@@ -1,0 +1,29 @@
+(** The FKO optimization pipeline.
+
+    Applies the fundamental transformations in their fixed order
+    (SV, UR, LC, AE, PF, WNT — paper Section 2.2.3), then iterates the
+    repeatable block (copy propagation, peephole, dead code, control
+    flow cleanup) to a fixed point, allocates registers, and runs a
+    final cleanup.  The input [compiled] kernel is never mutated; each
+    call works on a fresh copy so the search can probe many parameter
+    points from one lowering. *)
+
+val snapshot : Ifko_codegen.Lower.compiled -> Ifko_codegen.Lower.compiled
+(** Deep-copy a compiled kernel (blocks and loop-nest bookkeeping). *)
+
+val repeatable : ?protect:string list -> Cfg.func -> int
+(** Iterate the repeatable-transformation block until nothing changes;
+    returns the number of iterations taken (at least 1). *)
+
+val apply :
+  ?skip_regalloc:bool ->
+  line_bytes:int ->
+  Ifko_codegen.Lower.compiled ->
+  Params.t ->
+  Ifko_codegen.Lower.compiled
+(** [apply ~line_bytes compiled params] produces a fresh, fully
+    transformed and register-allocated copy.  [skip_regalloc] leaves
+    the result in virtual-register form (used by tests and the [-S]
+    CLI mode before allocation).  The result validates under
+    {!Validate.check_physical} (or {!Validate.check} when allocation
+    is skipped). *)

@@ -1,0 +1,69 @@
+(** Software prefetch insertion (PF).
+
+    For each selected array, inserts prefetches of the chosen flavour
+    at the chosen byte distance ahead of the current position.  One
+    prefetch request is emitted per cache line the unrolled body
+    consumes (each x86 prefetch fetches a single line), and the
+    requests are spread evenly through the body: many machines drop
+    prefetches issued while the bus is busy, so their placement is the
+    one scheduling decision that still matters on out-of-order x86
+    (paper, Section 2.2.3). *)
+
+open Ifko_codegen
+open Ifko_analysis
+
+(* Insert [extra] instructions into [instrs] at evenly spaced points. *)
+let spread instrs extra =
+  match extra with
+  | [] -> instrs
+  | _ ->
+    let n = List.length instrs and k = List.length extra in
+    if n = 0 then extra
+    else begin
+      let gap = max 1 (n / k) in
+      let rec go i pending remaining =
+        match (pending, remaining) with
+        | [], _ -> remaining
+        | _, [] -> pending
+        | p :: ps, r :: rs ->
+          if i mod gap = 0 then p :: go (i + 1) ps (r :: rs) else r :: go (i + 1) pending rs
+      in
+      go 1 extra instrs
+    end
+
+let apply (compiled : Lower.compiled) ~line_bytes (settings : (string * Params.pf_param) list) =
+  match compiled.Lower.loopnest with
+  | None -> ()
+  | Some ln ->
+    let f = compiled.Lower.func in
+    let moving = Ptrinfo.analyze compiled in
+    let entry_label =
+      match (Cfg.find_block_exn f ln.Loopnest.header).Block.term with
+      | Block.Br { ifnot; _ } -> ifnot
+      | _ -> invalid_arg "Prefetch_xform: malformed loop header"
+    in
+    let body = Cfg.find_block_exn f entry_label in
+    let prefetches =
+      List.concat_map
+        (fun (name, (p : Params.pf_param)) ->
+          match p.Params.pf_ins with
+          | None -> []
+          | Some kind -> (
+            match
+              List.find_opt
+                (fun (m : Ptrinfo.moving) -> m.Ptrinfo.array.Lower.a_name = name)
+                moving
+            with
+            | None -> []
+            | Some m when m.Ptrinfo.stride = 0 -> []
+            | Some m ->
+              let stride = m.Ptrinfo.stride in
+              let reg = m.Ptrinfo.array.Lower.a_reg in
+              let lines = max 1 ((abs stride + line_bytes - 1) / line_bytes) in
+              List.init lines (fun j ->
+                  let ahead = p.Params.pf_dist + (j * line_bytes) in
+                  let disp = if stride >= 0 then ahead else -ahead in
+                  Instr.Prefetch (kind, Instr.mk_mem ~disp reg))))
+        settings
+    in
+    body.Block.instrs <- spread body.Block.instrs prefetches

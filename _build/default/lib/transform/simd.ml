@@ -1,0 +1,79 @@
+open Ifko_codegen
+open Ifko_analysis
+
+let applied (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | Some ln -> ln.Loopnest.vectorized <> None
+  | None -> false
+
+let apply (compiled : Lower.compiled) =
+  let vec = Vecinfo.analyze compiled in
+  match (compiled.Lower.loopnest, vec.Vecinfo.vectorizable, vec.Vecinfo.precision) with
+  | None, _, _ -> ()
+  | Some _, false, _ | Some _, _, None ->
+    (* the analysis refuses; the SPECULATE mark-up may still license
+       the compare-mask vectorization of a max-with-index reduction *)
+    ignore (Maxloc.try_apply compiled : bool)
+  | Some ln, true, Some sz ->
+    let f = compiled.Lower.func in
+    let veclen = Instr.lanes sz in
+    (* The remainder of the trip count needs a scalar loop. *)
+    Loopnest.materialize_cleanup f ln;
+    let body_label =
+      match Loopnest.body_labels f ln with
+      | [ l ] -> l
+      | _ -> invalid_arg "Simd.apply: vectorizable loop must have a single body block"
+    in
+    let body = Cfg.find_block_exn f body_label in
+    let preheader = Cfg.find_block_exn f ln.Loopnest.preheader in
+    let mid = Cfg.find_block_exn f ln.Loopnest.mid in
+    (* Map every scalar Xmm register of the body to a vector register,
+       with setup/teardown depending on its class. *)
+    let mapping = Hashtbl.create 8 in
+    let pre_instrs = ref [] and mid_instrs = ref [] in
+    List.iter
+      (fun (r, cls) ->
+        let vr = Cfg.fresh_reg f Reg.Xmm in
+        Hashtbl.replace mapping r.Reg.id vr;
+        match cls with
+        | Vecinfo.Reduction ->
+          pre_instrs := Instr.Vldi (sz, vr, 0.0) :: !pre_instrs;
+          let tmp = Cfg.fresh_reg f Reg.Xmm in
+          mid_instrs :=
+            !mid_instrs
+            @ [ Instr.Vreduce (sz, Instr.Fadd, tmp, vr);
+                Instr.Fop (sz, Instr.Fadd, r, r, tmp);
+              ]
+        | Vecinfo.Invariant -> pre_instrs := Instr.Vbcast (sz, vr, r) :: !pre_instrs
+        | Vecinfo.Temp -> ())
+      vec.Vecinfo.classes;
+    let vreg r =
+      match Hashtbl.find_opt mapping r.Reg.id with
+      | Some vr when r.Reg.cls = Reg.Xmm -> vr
+      | _ -> r
+    in
+    let widen i =
+      match i with
+      | Instr.Fld (s, d, m) -> Instr.Vld (s, vreg d, m)
+      | Instr.Fst (s, m, r) -> Instr.Vst (s, m, vreg r)
+      | Instr.Fstnt (s, m, r) -> Instr.Vstnt (s, m, vreg r)
+      | Instr.Fmov (s, d, r) -> Instr.Vmov (s, vreg d, vreg r)
+      | Instr.Fldi (s, d, c) -> Instr.Vldi (s, vreg d, c)
+      | Instr.Fop (s, op, d, a, b) -> Instr.Vop (s, op, vreg d, vreg a, vreg b)
+      | Instr.Fopm (s, op, d, a, m) -> Instr.Vopm (s, op, vreg d, vreg a, m)
+      | Instr.Fabs (s, d, r) -> Instr.Vabs (s, vreg d, vreg r)
+      | Instr.Fsqrt (s, d, r) -> Instr.Vsqrt (s, vreg d, vreg r)
+      | Instr.Iop (Instr.Iadd, d, s', Instr.Oimm k) when Reg.equal d s' ->
+        (* pointer bump: one vector iteration advances [veclen] elements *)
+        Instr.Iop (Instr.Iadd, d, s', Instr.Oimm (k * veclen))
+      | i -> i
+    in
+    body.Block.instrs <- List.map widen body.Block.instrs;
+    (* Setup goes at the end of the preheader (its terminator jumps to
+       the loop header); teardown at the front of the mid block, before
+       anything a later transformation may have put there. *)
+    preheader.Block.instrs <- preheader.Block.instrs @ List.rev !pre_instrs;
+    Edit.prepend_instrs mid !mid_instrs;
+    ln.Loopnest.per_iter <- ln.Loopnest.per_iter * veclen;
+    ln.Loopnest.vectorized <- Some sz;
+    Loopnest.refresh_loop_control f ln

@@ -1,0 +1,19 @@
+(** SIMD vectorization (SV).
+
+    Transforms the tunable loop from scalar to 16-byte-vector
+    instructions when {!Ifko_analysis.Vecinfo} proves it legal.  The
+    instruction count in the loop stays the same but each iteration
+    now computes [veclen] elements (4 single / 2 double), "similar to
+    unrolling by the vector length" as the paper puts it.  A scalar
+    cleanup loop consumes the remainder iterations and reduction
+    accumulators are summed into their scalar originals in the [mid]
+    block. *)
+
+val apply : Ifko_codegen.Lower.compiled -> unit
+(** Vectorize in place.  When the conservative analysis refuses but the
+    loop carries the [SPECULATE] mark-up, {!Maxloc.try_apply} is given
+    a chance (the paper's user-assisted path for iamax).  No-op when
+    neither applies or there is no tunable loop. *)
+
+val applied : Ifko_codegen.Lower.compiled -> bool
+(** Whether the compiled kernel's loop is currently vectorized. *)

@@ -1,0 +1,162 @@
+open Ifko_codegen
+open Ifko_analysis
+
+(* Is [reg] one of the moving array pointers? *)
+let moving_stride moving reg =
+  List.find_map
+    (fun (m : Ptrinfo.moving) ->
+      if Reg.equal m.Ptrinfo.array.Lower.a_reg reg then Some m.Ptrinfo.stride else None)
+    moving
+
+let bump_of moving i =
+  match i with
+  | Instr.Iop (Instr.Iadd, d, s, Instr.Oimm k) when Reg.equal d s -> (
+    match moving_stride moving d with Some _ -> Some (d, k) | None -> None)
+  | _ -> None
+
+(* Unroll a straight-line body: concatenate [n_u] copies, folding
+   pointer bumps into displacements; emit one bump per pointer at the
+   end.  [index] (the HIL loop index) is rewritten to a per-copy
+   adjusted temporary when the body reads it. *)
+let unroll_straightline f (ln : Loopnest.t) moving body n_u =
+  let uses_index r i = List.exists (Reg.equal r) (Instr.uses i) in
+  let index_used =
+    match ln.Loopnest.index with
+    | None -> false
+    | Some idx -> List.exists (uses_index idx) body.Block.instrs
+  in
+  let offsets : (int, Reg.t * int) Hashtbl.t = Hashtbl.create 4 in
+  let offset_of (r : Reg.t) =
+    match Hashtbl.find_opt offsets r.Reg.id with Some (_, d) -> d | None -> 0
+  in
+  let shift_mem (m : Instr.mem) =
+    let d = offset_of m.Instr.base in
+    if d = 0 then m else { m with Instr.disp = m.Instr.disp + d }
+  in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  for copy = 0 to n_u - 1 do
+    (* Per-copy index adjustment, only when the body reads the index. *)
+    let subst =
+      match (ln.Loopnest.index, index_used, copy) with
+      | Some idx, true, c when c > 0 ->
+        let t = Cfg.fresh_reg f Reg.Gpr in
+        emit (Instr.Iop (Instr.Iadd, t, idx, Instr.Oimm (c * ln.Loopnest.step)));
+        fun r -> if Reg.equal r idx then t else r
+      | _ -> fun r -> r
+    in
+    List.iter
+      (fun i ->
+        match bump_of moving i with
+        | Some (p, k) -> Hashtbl.replace offsets p.Reg.id (p, offset_of p + k)
+        | None ->
+          let i = Instr.map_regs subst i in
+          let i =
+            match i with
+            | Instr.Ild (d, m) -> Instr.Ild (d, shift_mem m)
+            | Instr.Ist (m, s) -> Instr.Ist (shift_mem m, s)
+            | Instr.Lea (d, m) -> Instr.Lea (d, shift_mem m)
+            | Instr.Fld (sz, d, m) -> Instr.Fld (sz, d, shift_mem m)
+            | Instr.Fst (sz, m, s) -> Instr.Fst (sz, shift_mem m, s)
+            | Instr.Fstnt (sz, m, s) -> Instr.Fstnt (sz, shift_mem m, s)
+            | Instr.Fopm (sz, op, d, a, m) -> Instr.Fopm (sz, op, d, a, shift_mem m)
+            | Instr.Vld (sz, d, m) -> Instr.Vld (sz, d, shift_mem m)
+            | Instr.Vst (sz, m, s) -> Instr.Vst (sz, shift_mem m, s)
+            | Instr.Vstnt (sz, m, s) -> Instr.Vstnt (sz, shift_mem m, s)
+            | Instr.Vopm (sz, op, d, a, m) -> Instr.Vopm (sz, op, d, a, shift_mem m)
+            | Instr.Prefetch (k, m) -> Instr.Prefetch (k, shift_mem m)
+            | i -> i
+          in
+          emit i)
+      body.Block.instrs
+  done;
+  (* Single pointer update per array at the end of the unrolled body;
+     [offsets] already accumulated the bumps of every copy. *)
+  let bumps =
+    Hashtbl.fold (fun _ (reg, total) acc -> (reg, total) :: acc) offsets []
+    |> List.sort (fun (a, _) (b, _) -> compare a.Reg.id b.Reg.id)
+  in
+  List.iter
+    (fun ((reg : Reg.t), total) -> emit (Instr.Iop (Instr.Iadd, reg, reg, Instr.Oimm total)))
+    bumps;
+  body.Block.instrs <- List.rev !out
+
+(* Generic unrolling by block duplication for bodies with internal
+   control flow.  Copy [c]'s edges to the latch are redirected to copy
+   [c+1]'s entry; per-copy pointer bumps are retained. *)
+let unroll_blocks f (ln : Loopnest.t) n_u =
+  let body_labels = Loopnest.body_labels f ln in
+  let blocks = List.filter_map (Cfg.find_block f) body_labels in
+  let entry_label =
+    let header = Cfg.find_block_exn f ln.Loopnest.header in
+    match header.Block.term with
+    | Block.Br { ifnot; _ } -> ifnot
+    | _ -> invalid_arg "Unroll: malformed loop header"
+  in
+  let index_used_by b r =
+    List.exists (fun i -> List.exists (Reg.equal r) (Instr.uses i)) b.Block.instrs
+    || List.exists (Reg.equal r) (Block.term_uses b.Block.term)
+  in
+  (* Build copies last-to-first so each copy can point at the next. *)
+  let next_entry = ref ln.Loopnest.latch in
+  let copies = ref [] in
+  for copy = n_u - 1 downto 1 do
+    let clones, mapping = Loopnest.clone_blocks f ~suffix:(Printf.sprintf "_u%d" copy) blocks in
+    let centry = List.assoc entry_label mapping in
+    (* Redirect latch edges to the next copy (or the real latch). *)
+    let target = !next_entry in
+    List.iter
+      (fun b ->
+        b.Block.term <-
+          Block.map_term_labels
+            (fun l -> if l = ln.Loopnest.latch then target else l)
+            b.Block.term)
+      clones;
+    (* Per-copy index adjustment when the body reads the index. *)
+    (match ln.Loopnest.index with
+    | Some idx when List.exists (fun b -> index_used_by b idx) blocks ->
+      let t = Cfg.fresh_reg f Reg.Gpr in
+      let subst r = if Reg.equal r idx then t else r in
+      List.iter
+        (fun b ->
+          b.Block.instrs <- List.map (Instr.map_regs subst) b.Block.instrs;
+          b.Block.term <- Block.map_term_regs subst b.Block.term)
+        clones;
+      let first = List.find (fun b -> b.Block.label = centry) clones in
+      Edit.prepend_instrs first
+        [ Instr.Iop (Instr.Iadd, t, idx, Instr.Oimm (copy * ln.Loopnest.step)) ]
+    | _ -> ());
+    copies := clones @ !copies;
+    next_entry := centry
+  done;
+  (* Copy 0 is the original body: its latch edges go to copy 1. *)
+  if n_u > 1 then begin
+    let target = !next_entry in
+    List.iter
+      (fun b ->
+        b.Block.term <-
+          Block.map_term_labels
+            (fun l -> if l = ln.Loopnest.latch then target else l)
+            b.Block.term)
+      blocks
+  end;
+  (match List.rev body_labels with
+  | last :: _ -> Cfg.insert_after f ~after:last !copies
+  | [] -> invalid_arg "Unroll: loop has no body blocks")
+
+let apply (compiled : Lower.compiled) n_u =
+  match compiled.Lower.loopnest with
+  | None -> ()
+  | Some _ when n_u <= 1 -> ()
+  | Some ln ->
+    let f = compiled.Lower.func in
+    Loopnest.materialize_cleanup f ln;
+    let moving = Ptrinfo.analyze compiled in
+    (match Loopnest.body_labels f ln with
+    | [ body_label ]
+      when (Cfg.find_block_exn f body_label).Block.term = Block.Jmp ln.Loopnest.latch ->
+      unroll_straightline f ln moving (Cfg.find_block_exn f body_label) n_u
+    | _ -> unroll_blocks f ln n_u);
+    ln.Loopnest.per_iter <- ln.Loopnest.per_iter * n_u;
+    ln.Loopnest.unrolled <- n_u;
+    Loopnest.refresh_loop_control f ln

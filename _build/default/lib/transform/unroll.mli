@@ -1,0 +1,17 @@
+(** Loop unrolling (UR).
+
+    Duplicates the tunable loop's body [N_u] times "avoiding repetitive
+    index and pointer updates": for straight-line bodies the pointer
+    bumps of all copies are folded into memory-operand displacements
+    with a single update per pointer at the end (the CISC-displacement
+    idiom), and the count-down/index updates happen once per unrolled
+    iteration.  Bodies with internal control flow (iamax) are unrolled
+    by block duplication, retaining per-copy pointer updates.
+
+    Because UR runs after SIMD vectorization, the computational unroll
+    is [N_u * veclen] when both are applied.  A scalar cleanup loop is
+    materialized (once) to consume remainder iterations. *)
+
+val apply : Ifko_codegen.Lower.compiled -> int -> unit
+(** [apply compiled n_u] unrolls in place.  No-op when [n_u <= 1] or
+    there is no tunable loop. *)

@@ -1,0 +1,11 @@
+type t = { mutable counter : int }
+
+let create ?(start = 0) () = { counter = start }
+
+let next g =
+  let id = g.counter in
+  g.counter <- id + 1;
+  id
+
+let peek g = g.counter
+let reserve g n = if g.counter < n then g.counter <- n

@@ -1,0 +1,25 @@
+(** Fresh-identifier generation.
+
+    Several IR layers (virtual registers, basic-block labels, temporaries)
+    need unique integer identifiers.  A generator is an isolated mutable
+    counter so that independent compilations do not interfere and tests
+    remain deterministic. *)
+
+type t
+(** A fresh-identifier generator. *)
+
+val create : ?start:int -> unit -> t
+(** [create ()] returns a generator whose first identifier is [start]
+    (default [0]). *)
+
+val next : t -> int
+(** [next g] returns the next identifier and advances [g]. *)
+
+val peek : t -> int
+(** [peek g] returns the identifier [next] would return, without
+    advancing [g]. *)
+
+val reserve : t -> int -> unit
+(** [reserve g n] ensures every identifier later produced by [g] is
+    [>= n].  Used when splicing externally numbered entities into a
+    function. *)

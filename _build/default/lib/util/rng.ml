@@ -1,0 +1,33 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = int64 g }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to 62 bits so the value is a non-negative OCaml int *)
+  let v = Int64.to_int (Int64.logand (int64 g) 0x3FFF_FFFF_FFFF_FFFFL) in
+  v mod bound
+
+let uniform g =
+  (* 53 high-quality bits into the mantissa. *)
+  let bits = Int64.shift_right_logical (int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float g x = uniform g *. x
+
+let sign_float g x =
+  let v = float g x in
+  if int g 2 = 0 then v else -.v

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All stochastic inputs in this repository (workload vectors, property
+    tests' auxiliary data) flow through this module so that every run of
+    the benchmarks and tests is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from a seed.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split g] derives an independent generator; [g] advances. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val sign_float : t -> float -> float
+(** [sign_float g x] is uniform in [(-x, x)], exercising both signs (the
+    BLAS kernels, notably [asum] and [iamax], are sensitive to sign). *)

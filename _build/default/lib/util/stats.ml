@@ -1,0 +1,25 @@
+let min_float_list = function
+  | [] -> invalid_arg "Stats.min_float_list: empty"
+  | x :: rest -> List.fold_left min x rest
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let mflops ~flops ~cycles ~ghz =
+  if cycles <= 0.0 then 0.0 else flops *. ghz *. 1e3 /. cycles
+
+let percent_of ~best v = if best <= 0.0 then 0.0 else 100.0 *. v /. best
+let round1 x = Float.round (x *. 10.0) /. 10.0

@@ -1,0 +1,24 @@
+(** Small numeric helpers for timing results and report tables. *)
+
+val min_float_list : float list -> float
+(** Minimum of a non-empty list.  The paper's methodology takes the
+    minimum of six repeated wall timings; raises [Invalid_argument] on
+    the empty list. *)
+
+val mean : float list -> float
+(** Arithmetic mean of a non-empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of a non-empty list of positive values. *)
+
+val mflops : flops:float -> cycles:float -> ghz:float -> float
+(** [mflops ~flops ~cycles ~ghz] converts a cycle count measured on a
+    machine clocked at [ghz] into MFLOPS, the unit used throughout the
+    paper's evaluation. *)
+
+val percent_of : best:float -> float -> float
+(** [percent_of ~best v] is [100 * v / best]; the figures report every
+    tuning method as a percentage of the best observed performance. *)
+
+val round1 : float -> float
+(** Round to one decimal digit (for table printing). *)

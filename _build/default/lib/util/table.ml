@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  mutable aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title headers =
+  let n = List.length headers in
+  let aligns = Array.make (max n 1) Right in
+  if n > 0 then aligns.(0) <- Left;
+  { title; headers; aligns; rows = [] }
+
+let set_align t i a = t.aligns.(i) <- a
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_cells cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad t.aligns.(i) widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  hline ();
+  emit_cells t.headers;
+  hline ();
+  List.iter (function Cells c -> emit_cells c | Sep -> hline ()) rows;
+  hline ();
+  Buffer.contents buf
+
+let cell_f1 x = Printf.sprintf "%.1f" x
+let cell_pct x = Printf.sprintf "%.1f%%" x
+
+let bar ~width ~frac =
+  let frac = Float.max 0.0 (Float.min 1.0 frac) in
+  let n = int_of_float (Float.round (frac *. float_of_int width)) in
+  String.make n '#' ^ String.make (width - n) ' '

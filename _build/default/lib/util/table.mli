@@ -1,0 +1,38 @@
+(** ASCII table rendering for the benchmark harness.
+
+    The paper's evaluation is presented as tables and bar charts; the
+    bench executable reproduces each as a fixed-width text table so the
+    rows/series can be compared against the paper directly. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with one column per header.
+    Columns default to right alignment except the first. *)
+
+val set_align : t -> int -> align -> unit
+(** Override the alignment of column [i] (0-based). *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are headers. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render the table, including title, header rule, and outer frame. *)
+
+val cell_f1 : float -> string
+(** Format a float with one decimal digit, the convention used in every
+    reproduced table. *)
+
+val cell_pct : float -> string
+(** Format a percentage with one decimal digit. *)
+
+val bar : width:int -> frac:float -> string
+(** [bar ~width ~frac] renders a horizontal bar filling [frac] (clamped
+    to [0,1]) of [width] characters — used to echo the paper's bar
+    charts in text form. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Accuminfo Alcotest Block Cfg Defs Hil_sources Ifko_analysis Ifko_blas Ifko_codegen Ifko_hil Instr List Liveness Printf Ptrinfo Reg Report Test_util Vecinfo

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Block Cfg Config Defs Hil_sources Ifko_analysis Ifko_baselines Ifko_blas Ifko_codegen Ifko_machine Ifko_sim Ifko_transform Instr List Printf Validate Workload

@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Defs Float Hil_sources Ifko_blas Ifko_codegen Ifko_sim Instr Int32 List QCheck QCheck_alcotest Ref_impl Workload

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Block Cfg Defs Hil_sources Ifko_blas Ifko_codegen Ifko_hil Ifko_sim Instr List Printf Reg Validate Workload

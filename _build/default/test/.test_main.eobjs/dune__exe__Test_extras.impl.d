@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Extras Float Ifko_analysis Ifko_blas Ifko_codegen Ifko_hil Ifko_machine Ifko_search Ifko_sim Ifko_transform Instr Int32 List QCheck QCheck_alcotest Validate

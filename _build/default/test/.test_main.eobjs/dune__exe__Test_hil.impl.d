@@ -1,0 +1,1 @@
+test/test_hil.ml: Alcotest Ast Format Ifko_blas Ifko_hil Instr Lexer List Parser Pp Printf Typecheck

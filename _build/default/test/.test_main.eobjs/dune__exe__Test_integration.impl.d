@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Defs Hil_sources Ifko_analysis Ifko_blas Ifko_eval Ifko_machine Ifko_search Ifko_sim Ifko_transform Instr Lazy List Test_util Workload

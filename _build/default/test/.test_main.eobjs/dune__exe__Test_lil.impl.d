@@ -1,0 +1,1 @@
+test/test_lil.ml: Alcotest Block Cfg Format Hashtbl Ifko_util Instr List Option Reg Test_util Validate

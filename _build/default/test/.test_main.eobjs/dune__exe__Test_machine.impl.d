@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cache Config Float Ifko_machine Instr Memsys Printf

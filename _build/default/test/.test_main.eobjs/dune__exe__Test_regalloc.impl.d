@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Cfg Defs Hil_sources Ifko_analysis Ifko_blas Ifko_codegen Ifko_sim Ifko_transform Instr List Params Pipeline Reg Validate Workload

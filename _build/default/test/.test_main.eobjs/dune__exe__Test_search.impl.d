@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Defs Hashtbl Hil_sources Ifko_analysis Ifko_blas Ifko_machine Ifko_search Ifko_sim Ifko_transform Instr List Params Validate Workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Block Bytes Cfg Float Ifko_analysis Ifko_blas Ifko_machine Ifko_search Ifko_sim Ifko_transform Instr Int32 List Printf Reg Test_util

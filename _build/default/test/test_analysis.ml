@@ -1,0 +1,152 @@
+(* Analysis tests: liveness on hand-built CFGs, vectorizability
+   verdicts, accumulator and moving-pointer detection, and the report
+   the search consumes. *)
+open Ifko_blas
+open Ifko_analysis
+
+let gpr i = Reg.virt Reg.Gpr i
+let xmm i = Reg.virt Reg.Xmm i
+let mem base = Instr.mk_mem base
+
+let test_liveness_straightline () =
+  let f = Cfg.create ~name:"t" ~params:[] in
+  f.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Ildi (gpr 0, 1);
+            Instr.Ildi (gpr 1, 2);
+            Instr.Iop (Instr.Iadd, gpr 2, gpr 0, Instr.Oreg (gpr 1));
+          ]
+        ~term:(Block.Ret (Some (gpr 2)));
+    ];
+  let live = Liveness.compute f in
+  Alcotest.(check bool) "nothing live into entry" true
+    (Reg.Set.is_empty (Liveness.live_in live "entry"));
+  let per = Liveness.live_before_each live (Cfg.entry f) in
+  (match per with
+  | [ (_, l1); (_, l2); (_, l3) ] ->
+    Alcotest.(check bool) "g0 live after its def" true (Reg.Set.mem (gpr 0) l1);
+    Alcotest.(check bool) "g0,g1 live before add" true
+      (Reg.Set.mem (gpr 0) l2 && Reg.Set.mem (gpr 1) l2);
+    Alcotest.(check bool) "only g2 lives to the ret" true
+      (Reg.Set.mem (gpr 2) l3 && not (Reg.Set.mem (gpr 0) l3))
+  | _ -> Alcotest.fail "3 instrs expected")
+
+let test_liveness_loop () =
+  (* a loop-carried register must be live throughout the loop *)
+  let f = Cfg.create ~name:"t" ~params:[] in
+  f.Cfg.blocks <-
+    [ Block.make "entry" ~instrs:[ Instr.Ildi (gpr 0, 10); Instr.Ildi (gpr 1, 0) ]
+        ~term:(Block.Jmp "head");
+      Block.make "head"
+        ~term:
+          (Block.Br
+             { cmp = Instr.Lt; lhs = gpr 0; rhs = Instr.Oimm 1; ifso = "out"; ifnot = "body";
+               dec = 0 });
+      Block.make "body"
+        ~instrs:
+          [ Instr.Iop (Instr.Iadd, gpr 1, gpr 1, Instr.Oimm 1);
+            Instr.Iop (Instr.Isub, gpr 0, gpr 0, Instr.Oimm 1);
+          ]
+        ~term:(Block.Jmp "head");
+      Block.make "out" ~term:(Block.Ret (Some (gpr 1)));
+    ];
+  let live = Liveness.compute f in
+  Alcotest.(check bool) "accumulator live into head" true
+    (Reg.Set.mem (gpr 1) (Liveness.live_in live "head"));
+  Alcotest.(check bool) "counter live into body" true
+    (Reg.Set.mem (gpr 0) (Liveness.live_in live "body"));
+  Alcotest.(check bool) "counter dead after exit" true
+    (not (Reg.Set.mem (gpr 0) (Liveness.live_in live "out")))
+
+let vec id = Vecinfo.analyze (Hil_sources.compile id)
+
+let test_vectorizable_verdicts () =
+  List.iter
+    (fun id ->
+      let v = vec id in
+      let expected = id.Defs.routine <> Defs.Iamax in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s vectorizable=%b" (Defs.name id) expected)
+        expected v.Vecinfo.vectorizable)
+    Defs.all
+
+let test_iamax_reason () =
+  let v = vec { Defs.routine = Defs.Iamax; prec = Instr.D } in
+  Alcotest.(check bool) "reason mentions control flow" true
+    (Test_util.contains v.Vecinfo.reason "control flow")
+
+let test_vec_classes () =
+  let v = vec { Defs.routine = Defs.Axpy; prec = Instr.S } in
+  let count cls = List.length (List.filter (fun (_, c) -> c = cls) v.Vecinfo.classes) in
+  Alcotest.(check int) "alpha is the only invariant" 1 (count Vecinfo.Invariant);
+  Alcotest.(check int) "no reductions in axpy" 0 (count Vecinfo.Reduction);
+  let vdot = vec { Defs.routine = Defs.Dot; prec = Instr.S } in
+  Alcotest.(check int) "dot has one reduction" 1
+    (List.length (List.filter (fun (_, c) -> c = Vecinfo.Reduction) vdot.Vecinfo.classes))
+
+let test_accumulators () =
+  let accs id = Accuminfo.analyze (Hil_sources.compile id) in
+  Alcotest.(check int) "dot has one accumulator" 1
+    (List.length (accs { Defs.routine = Defs.Dot; prec = Instr.D }));
+  Alcotest.(check int) "asum has one accumulator" 1
+    (List.length (accs { Defs.routine = Defs.Asum; prec = Instr.S }));
+  Alcotest.(check int) "swap has none" 0
+    (List.length (accs { Defs.routine = Defs.Swap; prec = Instr.D }));
+  Alcotest.(check int) "copy has none" 0
+    (List.length (accs { Defs.routine = Defs.Copy; prec = Instr.D }))
+
+let test_ptrinfo () =
+  let moving = Ptrinfo.analyze (Hil_sources.compile { Defs.routine = Defs.Axpy; prec = Instr.D }) in
+  Alcotest.(check int) "two moving arrays" 2 (List.length moving);
+  List.iter
+    (fun (m : Ptrinfo.moving) ->
+      Alcotest.(check int) "stride is one double" 8 m.Ptrinfo.stride)
+    moving;
+  let y = List.find (fun m -> m.Ptrinfo.array.Ifko_codegen.Lower.a_name = "Y") moving in
+  Alcotest.(check int) "y loads" 1 y.Ptrinfo.loads;
+  Alcotest.(check int) "y stores" 1 y.Ptrinfo.stores
+
+let test_noprefetch_markup () =
+  let src =
+    {|KERNEL t(N : int, X : ptr double NOPREFETCH, Y : ptr double OUTPUT)
+VARS x : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    Y[0] = x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+END|}
+  in
+  let c =
+    Ifko_codegen.Lower.lower (Ifko_hil.Typecheck.check (Ifko_hil.Parser.parse_kernel src))
+  in
+  let targets = Ptrinfo.prefetch_targets c in
+  Alcotest.(check (list string)) "only Y is a prefetch target" [ "Y" ]
+    (List.map (fun m -> m.Ptrinfo.array.Ifko_codegen.Lower.a_name) targets)
+
+let test_report () =
+  let r = Report.analyze (Hil_sources.compile { Defs.routine = Defs.Dot; prec = Instr.S }) in
+  Alcotest.(check bool) "vectorizable" true r.Report.vectorizable;
+  Alcotest.(check (list string)) "no outputs" [] r.Report.output_arrays;
+  Alcotest.(check int) "two prefetch arrays" 2 (List.length r.Report.prefetch_arrays);
+  let s = Report.to_string r in
+  Alcotest.(check bool) "renders" true (Test_util.contains s "SIMD vectorizable: yes");
+  let r2 = Report.analyze (Hil_sources.compile { Defs.routine = Defs.Swap; prec = Instr.S }) in
+  Alcotest.(check bool) "swap outputs X and Y" true
+    (List.sort compare r2.Report.output_arrays = [ "X"; "Y" ])
+
+let suite =
+  [ Alcotest.test_case "liveness straightline" `Quick test_liveness_straightline;
+    Alcotest.test_case "liveness loop" `Quick test_liveness_loop;
+    Alcotest.test_case "vectorizable verdicts" `Quick test_vectorizable_verdicts;
+    Alcotest.test_case "iamax reason" `Quick test_iamax_reason;
+    Alcotest.test_case "scalar classes" `Quick test_vec_classes;
+    Alcotest.test_case "accumulators" `Quick test_accumulators;
+    Alcotest.test_case "moving pointers" `Quick test_ptrinfo;
+    Alcotest.test_case "NOPREFETCH markup" `Quick test_noprefetch_markup;
+    Alcotest.test_case "analysis report" `Quick test_report;
+  ]

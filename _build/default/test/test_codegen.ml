@@ -1,0 +1,194 @@
+(* Lowering tests: canonical loop shape, metadata, and executable
+   correctness of the naive (untransformed) code. *)
+open Ifko_blas
+
+let compile id = Hil_sources.compile id
+
+let test_lower_all_validates () =
+  List.iter
+    (fun id -> Validate.check (compile id).Ifko_codegen.Lower.func)
+    Defs.all
+
+let test_loopnest_present () =
+  List.iter
+    (fun id ->
+      let c = compile id in
+      Alcotest.(check bool)
+        (Defs.name id ^ " has loopnest")
+        true
+        (c.Ifko_codegen.Lower.loopnest <> None))
+    Defs.all
+
+let test_canonical_shape () =
+  let c = compile { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let f = c.Ifko_codegen.Lower.func in
+  match c.Ifko_codegen.Lower.loopnest with
+  | None -> Alcotest.fail "no loopnest"
+  | Some ln ->
+    List.iter
+      (fun l ->
+        Alcotest.(check bool) (l ^ " exists") true (Cfg.find_block f l <> None))
+      [ ln.Ifko_codegen.Loopnest.preheader; ln.Ifko_codegen.Loopnest.header;
+        ln.Ifko_codegen.Loopnest.latch; ln.Ifko_codegen.Loopnest.mid;
+        ln.Ifko_codegen.Loopnest.exit ];
+    Alcotest.(check int) "per_iter starts at 1" 1 ln.Ifko_codegen.Loopnest.per_iter;
+    Alcotest.(check int) "dot body is one block" 1
+      (List.length (Ifko_codegen.Loopnest.body_labels f ln));
+    (* header guards with a < comparison on the countdown register *)
+    (match (Cfg.find_block_exn f ln.Ifko_codegen.Loopnest.header).Block.term with
+    | Block.Br { cmp = Instr.Lt; lhs; rhs = Instr.Oimm 1; _ } ->
+      Alcotest.(check bool) "counts the countdown reg" true
+        (Reg.equal lhs ln.Ifko_codegen.Loopnest.cnt)
+    | _ -> Alcotest.fail "header shape");
+    Alcotest.(check bool) "template captured" true
+      (ln.Ifko_codegen.Loopnest.template <> [])
+
+let test_iamax_natural_loop_includes_newmax () =
+  let c = compile { Defs.routine = Defs.Iamax; prec = Instr.S } in
+  let f = c.Ifko_codegen.Lower.func in
+  match c.Ifko_codegen.Lower.loopnest with
+  | None -> Alcotest.fail "no loopnest"
+  | Some ln ->
+    let body = Ifko_codegen.Loopnest.body_labels f ln in
+    Alcotest.(check bool) "multi-block body" true (List.length body > 2);
+    Alcotest.(check bool) "NEWMAX inside the natural loop" true
+      (List.mem "NEWMAX" body)
+
+let test_arrays_metadata () =
+  let c = compile { Defs.routine = Defs.Axpy; prec = Instr.S } in
+  let arrays = c.Ifko_codegen.Lower.arrays in
+  Alcotest.(check int) "two arrays" 2 (List.length arrays);
+  let y = List.find (fun (a : Ifko_codegen.Lower.array_param) -> a.Ifko_codegen.Lower.a_name = "Y") arrays in
+  Alcotest.(check bool) "Y is output" true y.Ifko_codegen.Lower.a_output;
+  let x = List.find (fun (a : Ifko_codegen.Lower.array_param) -> a.Ifko_codegen.Lower.a_name = "X") arrays in
+  Alcotest.(check bool) "X is input" false x.Ifko_codegen.Lower.a_output;
+  Alcotest.(check bool) "single precision" true (x.Ifko_codegen.Lower.a_elem = Instr.S)
+
+(* The naive lowering must already compute correct results. *)
+let test_naive_execution_all () =
+  List.iter
+    (fun id ->
+      List.iter
+        (fun n ->
+          let env = Workload.make_env id ~seed:3 n in
+          let expect = Workload.expectation id ~seed:3 n in
+          let tol = Workload.tolerance id ~n in
+          match
+            Ifko_sim.Verify.check ~tol ~ret_fsize:id.Defs.prec
+              (compile id).Ifko_codegen.Lower.func env expect
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Printf.sprintf "%s n=%d: %s" (Defs.name id) n e))
+        [ 0; 1; 2; 17 ])
+    Defs.all
+
+let test_lower_rejects_int_division () =
+  let src =
+    {|KERNEL t(N : int) RETURNS int
+VARS a : int;
+BEGIN
+  a = N / 2;
+  RETURN a;
+END|}
+  in
+  match
+    Ifko_codegen.Lower.lower (Ifko_hil.Typecheck.check (Ifko_hil.Parser.parse_kernel src))
+  with
+  | exception Ifko_codegen.Lower.Error _ -> ()
+  | _ -> Alcotest.fail "integer division should be rejected"
+
+let test_descending_loop_trip () =
+  (* LOOP i = N, 0, -1 runs exactly N times *)
+  let src =
+    {|KERNEL t(N : int, X : ptr double OUTPUT)
+VARS x : double;
+BEGIN
+  OPTLOOP i = N, 0, -1
+  LOOP_BODY
+    x = X[0];
+    x = x + 1.0;
+    X[0] = x;
+    X += 1;
+  LOOP_END
+END|}
+  in
+  let c =
+    Ifko_codegen.Lower.lower (Ifko_hil.Typecheck.check (Ifko_hil.Parser.parse_kernel src))
+  in
+  let env = Ifko_sim.Env.create () in
+  Ifko_sim.Env.bind_int env "N" 5;
+  Ifko_sim.Env.alloc_array env "X" Instr.D 8;
+  Ifko_sim.Env.fill env "X" (fun i -> float_of_int i);
+  ignore (Ifko_sim.Exec.run c.Ifko_codegen.Lower.func env : Ifko_sim.Exec.result);
+  for i = 0 to 7 do
+    let expect = if i < 5 then float_of_int i +. 1.0 else float_of_int i in
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "X[%d]" i)
+      expect
+      (Ifko_sim.Env.get_elem env "X" i)
+  done
+
+let test_scoped_if_semantics () =
+  (* if/else diamond including the else branch *)
+  let src =
+    {|KERNEL t(N : int, X : ptr double OUTPUT)
+VARS x : double;
+BEGIN
+  LOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    IF (x < 0.0) THEN
+      x = 0.0 - x;
+    ELSE
+      x = x * 2.0;
+    ENDIF
+    X[0] = x;
+    X += 1;
+  LOOP_END
+END|}
+  in
+  let c =
+    Ifko_codegen.Lower.lower (Ifko_hil.Typecheck.check (Ifko_hil.Parser.parse_kernel src))
+  in
+  let env = Ifko_sim.Env.create () in
+  Ifko_sim.Env.bind_int env "N" 6;
+  Ifko_sim.Env.alloc_array env "X" Instr.D 6;
+  Ifko_sim.Env.fill env "X" (fun i -> if i mod 2 = 0 then -.float_of_int i else float_of_int i);
+  ignore (Ifko_sim.Exec.run c.Ifko_codegen.Lower.func env : Ifko_sim.Exec.result);
+  for i = 0 to 5 do
+    let expect = if i mod 2 = 0 then float_of_int i else 2.0 *. float_of_int i in
+    Alcotest.(check (float 1e-12)) (Printf.sprintf "X[%d]" i) expect
+      (Ifko_sim.Env.get_elem env "X" i)
+  done
+
+let test_straightforward_iamax_agrees () =
+  (* the scoped-if iamax computes the same answers as Figure 6(b) *)
+  List.iter
+    (fun prec ->
+      let id = { Defs.routine = Defs.Iamax; prec } in
+      let a = Hil_sources.compile id and b = Hil_sources.compile_straightforward id in
+      List.iter
+        (fun n ->
+          let run c =
+            let env = Workload.make_env id ~seed:8 n in
+            (Ifko_sim.Exec.run ~ret_fsize:prec c.Ifko_codegen.Lower.func env).Ifko_sim.Exec.ret
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d same index" n)
+            true
+            (run a = run b))
+        [ 0; 1; 2; 33; 400 ])
+    [ Instr.S; Instr.D ]
+
+let suite =
+  [ Alcotest.test_case "lowered code validates" `Quick test_lower_all_validates;
+    Alcotest.test_case "loopnest present" `Quick test_loopnest_present;
+    Alcotest.test_case "canonical loop shape" `Quick test_canonical_shape;
+    Alcotest.test_case "iamax natural loop" `Quick test_iamax_natural_loop_includes_newmax;
+    Alcotest.test_case "array metadata" `Quick test_arrays_metadata;
+    Alcotest.test_case "naive execution correct" `Quick test_naive_execution_all;
+    Alcotest.test_case "int division rejected" `Quick test_lower_rejects_int_division;
+    Alcotest.test_case "descending loop trips" `Quick test_descending_loop_trip;
+    Alcotest.test_case "scoped if semantics" `Quick test_scoped_if_semantics;
+    Alcotest.test_case "straightforward iamax" `Quick test_straightforward_iamax_agrees;
+  ]

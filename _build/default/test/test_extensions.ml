@@ -1,0 +1,256 @@
+(* Tests for the paper's future-work extensions implemented in FKO:
+   block fetch (BF) and CISC two-array indexing, plus the extended
+   search that exercises them. *)
+open Ifko_blas
+open Ifko_transform
+
+let verify id params =
+  let c = Pipeline.apply ~line_bytes:128 (Hil_sources.compile id) params in
+  Validate.check_physical c.Ifko_codegen.Lower.func;
+  List.iter
+    (fun n ->
+      let env = Workload.make_env id ~seed:61 n in
+      let expect = Workload.expectation id ~seed:61 n in
+      let tol = Workload.tolerance id ~n in
+      match
+        Ifko_sim.Verify.check ~tol ~ret_fsize:id.Defs.prec c.Ifko_codegen.Lower.func env
+          expect
+      with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "%s %s n=%d: %s" (Defs.name id) (Params.to_string params) n e)
+    (* block boundaries: 512 doubles/1024 singles per 4 KiB block *)
+    [ 0; 1; 7; 511; 512; 513; 1024; 1500; 3000 ];
+  c
+
+let default_for id =
+  Params.default ~line_bytes:128 (Ifko_analysis.Report.analyze (Hil_sources.compile id))
+
+let count_instrs pred (f : Cfg.func) =
+  List.fold_left
+    (fun acc b -> acc + List.length (List.filter pred b.Block.instrs))
+    0 f.Cfg.blocks
+
+let test_bf_correct_many_kernels () =
+  List.iter
+    (fun routine ->
+      List.iter
+        (fun prec ->
+          let id = { Defs.routine; prec } in
+          let d = default_for id in
+          ignore (verify id { d with Params.bf = 4096; prefetch = [] });
+          ignore (verify id { d with Params.bf = 2048; wnt = true }))
+        [ Instr.S; Instr.D ])
+    [ Defs.Copy; Defs.Scal; Defs.Dot; Defs.Asum; Defs.Axpy; Defs.Swap ]
+
+let test_bf_structure () =
+  let id = { Defs.routine = Defs.Copy; prec = Instr.D } in
+  let d = default_for id in
+  let c = verify id { d with Params.bf = 4096; prefetch = [] } in
+  let f = c.Ifko_codegen.Lower.func in
+  (* one touch per 64-byte line of the read array's 4 KiB block *)
+  Alcotest.(check int) "64 fetch touches" 64
+    (count_instrs (function Instr.Touch _ -> true | _ -> false) f);
+  (* dot reads two arrays: twice as many touches *)
+  let cd =
+    verify { Defs.routine = Defs.Dot; prec = Instr.D }
+      { (default_for { Defs.routine = Defs.Dot; prec = Instr.D }) with
+        Params.bf = 4096;
+        prefetch = []
+      }
+  in
+  Alcotest.(check int) "two arrays, 128 touches" 128
+    (count_instrs (function Instr.Touch _ -> true | _ -> false) cd.Ifko_codegen.Lower.func)
+
+let test_bf_noop_on_control_flow () =
+  let id = { Defs.routine = Defs.Iamax; prec = Instr.S } in
+  let d = default_for id in
+  let c = verify id { d with Params.bf = 4096; prefetch = [] } in
+  Alcotest.(check int) "iamax gets no fetch blocks" 0
+    (count_instrs (function Instr.Touch _ -> true | _ -> false) c.Ifko_codegen.Lower.func)
+
+let test_bf_beats_prefetch_for_copy_on_p4e () =
+  (* the whole point of the extension: with BF, FKO closes the gap to
+     the hand-tuned block-fetch dcopy* on the P4E-like machine *)
+  let cfg = Ifko_machine.Config.p4e in
+  let id = { Defs.routine = Defs.Copy; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let d = default_for id in
+  let spec = Workload.timer_spec id ~seed:61 in
+  let time p =
+    let f = Ifko_search.Driver.compile_point ~cfg compiled p in
+    let cycles =
+      Ifko_sim.Timer.measure ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000 f
+    in
+    Ifko_sim.Timer.mflops ~cfg ~flops_per_n:1.0 ~n:80000 ~cycles
+  in
+  let with_bf = time { d with Params.bf = 8192; wnt = true; prefetch = [] } in
+  let with_pf =
+    time
+      { d with
+        Params.prefetch =
+          List.map
+            (fun (a, (s : Params.pf_param)) -> (a, { s with Params.pf_dist = 1536 }))
+            d.Params.prefetch
+      }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "block fetch %.0f > prefetch %.0f MFLOPS" with_bf with_pf)
+    true (with_bf > 1.2 *. with_pf)
+
+let test_cisc_correct () =
+  List.iter
+    (fun routine ->
+      let id = { Defs.routine; prec = Instr.D } in
+      let d = default_for id in
+      ignore (verify id { d with Params.cisc = true });
+      ignore (verify id { d with Params.cisc = true; sv = false; unroll = 3 }))
+    [ Defs.Copy; Defs.Swap; Defs.Axpy; Defs.Dot ]
+
+let test_cisc_structure () =
+  let id = { Defs.routine = Defs.Copy; prec = Instr.D } in
+  let d = default_for id in
+  let c =
+    Pipeline.apply ~line_bytes:128 ~skip_regalloc:true (Hil_sources.compile id)
+      { d with Params.cisc = true; prefetch = [] }
+  in
+  let indexed = ref 0 in
+  Cfg.iter_instrs c.Ifko_codegen.Lower.func (fun i ->
+      match i with
+      | Instr.Vld (_, _, m) | Instr.Vst (_, m, _) ->
+        if m.Instr.index <> None then incr indexed
+      | _ -> ());
+  Alcotest.(check bool) "vector accesses go through the shared index" true (!indexed > 0)
+
+let test_cisc_single_array_noop () =
+  (* nothing to share with one array; must be a no-op, still correct *)
+  let id = { Defs.routine = Defs.Asum; prec = Instr.D } in
+  let d = default_for id in
+  ignore (verify id { d with Params.cisc = true })
+
+let test_extended_search_uses_bf () =
+  let cfg = Ifko_machine.Config.p4e in
+  let id = { Defs.routine = Defs.Copy; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let spec = Workload.timer_spec id ~seed:61 in
+  let test _ = true in
+  let published =
+    Ifko_search.Driver.tune ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000
+      ~flops_per_n:1.0 ~test compiled
+  in
+  let extended =
+    Ifko_search.Driver.tune ~extensions:true ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec
+      ~n:80000 ~flops_per_n:1.0 ~test compiled
+  in
+  Alcotest.(check bool) "published search never selects BF" true
+    (published.Ifko_search.Driver.best_params.Params.bf = 0);
+  Alcotest.(check bool) "extended search selects BF for copy" true
+    (extended.Ifko_search.Driver.best_params.Params.bf > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "extended %.0f beats published %.0f" extended.Ifko_search.Driver.ifko_mflops
+       published.Ifko_search.Driver.ifko_mflops)
+    true
+    (extended.Ifko_search.Driver.ifko_mflops > published.Ifko_search.Driver.ifko_mflops)
+
+let test_speculative_iamax_correct () =
+  List.iter
+    (fun prec ->
+      let id = { Defs.routine = Defs.Iamax; prec } in
+      let c0 = Hil_sources.compile_speculative id in
+      let report = Ifko_analysis.Report.analyze c0 in
+      let d =
+        { (Params.default ~line_bytes:128 report) with Params.sv = true; prefetch = [] }
+      in
+      let c = Pipeline.apply ~line_bytes:128 c0 d in
+      Validate.check_physical c.Ifko_codegen.Lower.func;
+      (* vector instructions present: the mark-up licensed them *)
+      let has_vcmp = ref false in
+      Cfg.iter_instrs c.Ifko_codegen.Lower.func (fun i ->
+          match i with Instr.Vcmp _ -> has_vcmp := true | _ -> ());
+      Alcotest.(check bool) "compare-mask emitted" true !has_vcmp;
+      List.iter
+        (fun n ->
+          let env = Workload.make_env id ~seed:71 n in
+          let expect = Workload.expectation id ~seed:71 n in
+          match
+            Ifko_sim.Verify.check ~tol:(Workload.tolerance id ~n) ~ret_fsize:prec
+              c.Ifko_codegen.Lower.func env expect
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s n=%d: %s" (Defs.name id) n e)
+        [ 0; 1; 7; 15; 16; 17; 100; 1000 ])
+    [ Instr.S; Instr.D ]
+
+let test_speculative_first_index_ties () =
+  (* equal maxima: the first index must win, exactly as the scalar
+     semantics demand — the re-scan preserves this *)
+  let id = { Defs.routine = Defs.Iamax; prec = Instr.D } in
+  let c0 = Hil_sources.compile_speculative id in
+  let d = Params.default ~line_bytes:128 (Ifko_analysis.Report.analyze c0) in
+  let c = Pipeline.apply ~line_bytes:128 c0 { d with Params.sv = true; prefetch = [] } in
+  let env = Ifko_sim.Env.create () in
+  let n = 64 in
+  Ifko_sim.Env.bind_int env "N" n;
+  Ifko_sim.Env.alloc_array env "X" Instr.D n;
+  (* the maximum magnitude 9.0 appears at indices 17 and 49 *)
+  Ifko_sim.Env.fill env "X" (fun i -> if i = 17 then -9.0 else if i = 49 then 9.0 else 1.0);
+  (match (Ifko_sim.Exec.run c.Ifko_codegen.Lower.func env).Ifko_sim.Exec.ret with
+  | Some (Ifko_sim.Exec.Rint i) -> Alcotest.(check int) "first of ties" 17 i
+  | _ -> Alcotest.fail "no result")
+
+let test_speculative_faster_than_scalar () =
+  let cfg = Ifko_machine.Config.p4e in
+  let id = { Defs.routine = Defs.Iamax; prec = Instr.S } in
+  let spec = Workload.timer_spec id ~seed:71 in
+  let time c =
+    Ifko_sim.Timer.measure ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000
+      c.Ifko_codegen.Lower.func
+  in
+  let d =
+    Params.default ~line_bytes:128
+      (Ifko_analysis.Report.analyze (Hil_sources.compile_speculative id))
+  in
+  let vec =
+    Pipeline.apply ~line_bytes:128 (Hil_sources.compile_speculative id)
+      { d with Params.sv = true; prefetch = [] }
+  in
+  let scalar =
+    Pipeline.apply ~line_bytes:128 (Hil_sources.compile id)
+      { d with Params.unroll = 8; prefetch = [] }
+  in
+  Alcotest.(check bool) "speculative vectorization pays" true (time vec < 0.7 *. time scalar)
+
+let test_speculate_markup_required () =
+  (* without the mark-up, FKO must keep refusing to vectorize iamax *)
+  let id = { Defs.routine = Defs.Iamax; prec = Instr.S } in
+  let c0 = Hil_sources.compile_straightforward id in
+  let d = Params.default ~line_bytes:128 (Ifko_analysis.Report.analyze c0) in
+  let c = Pipeline.apply ~line_bytes:128 c0 { d with Params.sv = true; prefetch = [] } in
+  let has_vec = ref false in
+  Cfg.iter_instrs c.Ifko_codegen.Lower.func (fun i ->
+      match i with Instr.Vld _ | Instr.Vcmp _ -> has_vec := true | _ -> ());
+  Alcotest.(check bool) "no vectorization without mark-up" false !has_vec
+
+let test_params_to_string_extensions () =
+  let d = default_for { Defs.routine = Defs.Copy; prec = Instr.D } in
+  let s = Params.to_string { d with Params.bf = 4096; cisc = true } in
+  Alcotest.(check bool) "mentions bf" true (Test_util.contains s "bf=4096");
+  Alcotest.(check bool) "mentions cisc" true (Test_util.contains s "cisc");
+  Alcotest.(check bool) "defaults silent" false
+    (Test_util.contains (Params.to_string d) "bf=")
+
+let suite =
+  [ Alcotest.test_case "BF correct everywhere" `Slow test_bf_correct_many_kernels;
+    Alcotest.test_case "BF structure" `Quick test_bf_structure;
+    Alcotest.test_case "BF no-op on control flow" `Quick test_bf_noop_on_control_flow;
+    Alcotest.test_case "BF beats prefetch for copy" `Quick test_bf_beats_prefetch_for_copy_on_p4e;
+    Alcotest.test_case "CISC indexing correct" `Quick test_cisc_correct;
+    Alcotest.test_case "CISC structure" `Quick test_cisc_structure;
+    Alcotest.test_case "CISC single-array no-op" `Quick test_cisc_single_array_noop;
+    Alcotest.test_case "extended search uses BF" `Slow test_extended_search_uses_bf;
+    Alcotest.test_case "params printing" `Quick test_params_to_string_extensions;
+    Alcotest.test_case "speculative iamax correct" `Quick test_speculative_iamax_correct;
+    Alcotest.test_case "speculative first-index ties" `Quick test_speculative_first_index_ties;
+    Alcotest.test_case "speculative pays off" `Quick test_speculative_faster_than_scalar;
+    Alcotest.test_case "markup required" `Quick test_speculate_markup_required;
+  ]

@@ -1,0 +1,141 @@
+(* Tests for the extended BLAS (rot, nrm2, strided dot/axpy) and the
+   SQRT / runtime-stride front-end features they exercise. *)
+open Ifko_blas
+
+let verify ?(incx = 1) ?(incy = 1) id func =
+  List.iter
+    (fun n ->
+      let env = Extras.make_env id ~seed:91 ~incx ~incy n in
+      let expect = Extras.expectation id ~seed:91 ~incx ~incy n in
+      let tol = Extras.tolerance id ~n in
+      match Ifko_sim.Verify.check ~tol ~ret_fsize:id.Extras.prec func env expect with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "%s inc=(%d,%d) n=%d: %s" (Extras.name id) incx incy n e)
+    [ 0; 1; 2; 17; 64; 333 ]
+
+let test_naive_correct () =
+  List.iter (fun id -> verify id (Extras.compile id).Ifko_codegen.Lower.func) Extras.all
+
+let test_strided_correct () =
+  List.iter
+    (fun routine ->
+      List.iter
+        (fun (incx, incy) ->
+          let id = { Extras.routine; prec = Instr.D } in
+          verify ~incx ~incy id (Extras.compile id).Ifko_codegen.Lower.func)
+        [ (2, 1); (1, 3); (2, 3); (4, 4) ])
+    [ Extras.Dot_strided; Extras.Axpy_strided ]
+
+let test_transformed_correct () =
+  (* full pipeline at an aggressive point, all extras *)
+  List.iter
+    (fun id ->
+      let compiled = Extras.compile id in
+      let d =
+        Ifko_transform.Params.default ~line_bytes:128
+          (Ifko_analysis.Report.analyze compiled)
+      in
+      let c =
+        Ifko_transform.Pipeline.apply ~line_bytes:128 compiled
+          { d with Ifko_transform.Params.unroll = 8; ae = 3 }
+      in
+      Validate.check_physical c.Ifko_codegen.Lower.func;
+      verify id c.Ifko_codegen.Lower.func)
+    Extras.all
+
+let test_strided_transformed () =
+  (* unrolling a strided loop must re-execute the LEA per copy *)
+  let id = { Extras.routine = Extras.Dot_strided; prec = Instr.D } in
+  let compiled = Extras.compile id in
+  let d =
+    Ifko_transform.Params.default ~line_bytes:128 (Ifko_analysis.Report.analyze compiled)
+  in
+  let c =
+    Ifko_transform.Pipeline.apply ~line_bytes:128 compiled
+      { d with Ifko_transform.Params.unroll = 4; lc = true }
+  in
+  verify ~incx:3 ~incy:2 id c.Ifko_codegen.Lower.func
+
+let test_vectorizability () =
+  let vec routine =
+    (Ifko_analysis.Vecinfo.analyze (Extras.compile { Extras.routine; prec = Instr.S }))
+      .Ifko_analysis.Vecinfo.vectorizable
+  in
+  Alcotest.(check bool) "rot vectorizes" true (vec Extras.Rot);
+  Alcotest.(check bool) "nrm2 vectorizes" true (vec Extras.Nrm2);
+  Alcotest.(check bool) "strided dot does not" false (vec Extras.Dot_strided);
+  Alcotest.(check bool) "strided axpy does not" false (vec Extras.Axpy_strided)
+
+let test_sqrt_semantics () =
+  (* the SQRT operator end to end, single-precision rounding included *)
+  let src =
+    {|KERNEL t(N : int, X : ptr single) RETURNS single
+VARS r : single;
+BEGIN
+  r = SQRT X[0];
+  RETURN r;
+END|}
+  in
+  let c =
+    Ifko_codegen.Lower.lower (Ifko_hil.Typecheck.check (Ifko_hil.Parser.parse_kernel src))
+  in
+  let env = Ifko_sim.Env.create () in
+  Ifko_sim.Env.bind_int env "N" 1;
+  Ifko_sim.Env.alloc_array env "X" Instr.S 1;
+  Ifko_sim.Env.set_elem env "X" 0 2.0;
+  match (Ifko_sim.Exec.run ~ret_fsize:Instr.S c.Ifko_codegen.Lower.func env).Ifko_sim.Exec.ret with
+  | Some (Ifko_sim.Exec.Rfp v) ->
+    Alcotest.(check (float 0.0)) "binary32 sqrt(2)"
+      (Int32.float_of_bits (Int32.bits_of_float (Float.sqrt 2.0)))
+      v
+  | _ -> Alcotest.fail "no result"
+
+let test_nrm2_tunes () =
+  (* the tuning loop works on the extended routines too *)
+  let id = { Extras.routine = Extras.Nrm2; prec = Instr.D } in
+  let compiled = Extras.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let spec = Extras.timer_spec id ~seed:91 in
+  let test func =
+    (try
+       verify id func;
+       true
+     with _ -> false)
+  in
+  let tuned =
+    Ifko_search.Driver.tune ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000
+      ~flops_per_n:2.0 ~test compiled
+  in
+  Alcotest.(check bool) "tuning improves nrm2" true
+    (tuned.Ifko_search.Driver.ifko_mflops > tuned.Ifko_search.Driver.fko_mflops);
+  Alcotest.(check bool) "nrm2 tracks asum-like rates" true
+    (tuned.Ifko_search.Driver.ifko_mflops > 1000.0)
+
+let prop_rot_random_params =
+  QCheck.Test.make ~name:"rot: any parameter point is correct" ~count:10
+    QCheck.(triple bool (int_range 1 12) (int_range 0 6))
+    (fun (sv, unroll, ae) ->
+      let id = { Extras.routine = Extras.Rot; prec = Instr.S } in
+      let compiled = Extras.compile id in
+      let d =
+        Ifko_transform.Params.default ~line_bytes:128
+          (Ifko_analysis.Report.analyze compiled)
+      in
+      let c =
+        Ifko_transform.Pipeline.apply ~line_bytes:128 compiled
+          { d with Ifko_transform.Params.sv; unroll; ae }
+      in
+      verify id c.Ifko_codegen.Lower.func;
+      true)
+
+let suite =
+  [ Alcotest.test_case "naive correct" `Quick test_naive_correct;
+    Alcotest.test_case "strided correct" `Quick test_strided_correct;
+    Alcotest.test_case "transformed correct" `Quick test_transformed_correct;
+    Alcotest.test_case "strided transformed" `Quick test_strided_transformed;
+    Alcotest.test_case "vectorizability" `Quick test_vectorizability;
+    Alcotest.test_case "SQRT semantics" `Quick test_sqrt_semantics;
+    Alcotest.test_case "nrm2 tunes" `Slow test_nrm2_tunes;
+    QCheck_alcotest.to_alcotest prop_rot_random_params;
+  ]

@@ -1,0 +1,297 @@
+(* Front-end tests: lexer, parser, pretty-printer round-trip, and the
+   semantic checks of Typecheck. *)
+open Ifko_hil
+
+let token = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (Lexer.describe t)) ( = )
+
+let test_lexer_basics () =
+  let toks = List.map fst (Lexer.tokenize "x = X[0]; # comment\n dot += x * 1.5e2;") in
+  Alcotest.(check (list token)) "tokens"
+    [ Lexer.IDENT "x"; Lexer.EQ; Lexer.IDENT "X"; Lexer.LBRACK; Lexer.INT 0; Lexer.RBRACK;
+      Lexer.SEMI; Lexer.IDENT "dot"; Lexer.PLUSEQ; Lexer.IDENT "x"; Lexer.STAR;
+      Lexer.FLOAT 150.0; Lexer.SEMI; Lexer.EOF ]
+    toks
+
+let test_lexer_keywords () =
+  let toks = List.map fst (Lexer.tokenize "KERNEL LOOP OPTLOOP int ptr double OUTPUT") in
+  Alcotest.(check (list token)) "keywords"
+    [ Lexer.KERNEL; Lexer.LOOP; Lexer.OPTLOOP; Lexer.TINT; Lexer.TPTR; Lexer.TDOUBLE;
+      Lexer.OUTPUT; Lexer.EOF ]
+    toks
+
+let test_lexer_comparisons () =
+  let toks = List.map fst (Lexer.tokenize "< <= > >= == != // trailing comment") in
+  Alcotest.(check (list token)) "comparisons"
+    [ Lexer.CMP Ast.Lt; Lexer.CMP Ast.Le; Lexer.CMP Ast.Gt; Lexer.CMP Ast.Ge;
+      Lexer.CMP Ast.Eq; Lexer.CMP Ast.Ne; Lexer.EOF ]
+    toks
+
+let test_lexer_error () =
+  match Lexer.tokenize "x = @;" with
+  | exception Lexer.Error (_, 1) -> ()
+  | _ -> Alcotest.fail "expected a lexer error on '@'"
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "a\nb\nc" in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 3; 3 ] (List.map snd toks)
+
+let parse_ok src = Parser.parse_kernel src
+
+let test_parse_all_blas () =
+  List.iter
+    (fun id ->
+      let k = parse_ok (Ifko_blas.Hil_sources.source id) in
+      Alcotest.(check string) "name" (Ifko_blas.Defs.name id) k.Ast.k_name)
+    Ifko_blas.Defs.all
+
+let test_roundtrip_all_blas () =
+  (* parse -> pretty-print -> parse must be the identity on the AST *)
+  List.iter
+    (fun id ->
+      let k = parse_ok (Ifko_blas.Hil_sources.source id) in
+      let k2 = parse_ok (Pp.kernel_to_string k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" (Ifko_blas.Defs.name id))
+        true (k = k2))
+    Ifko_blas.Defs.all
+
+let test_parse_structure () =
+  let k =
+    parse_ok
+      {|KERNEL t(N : int, X : ptr single NOPREFETCH MAYALIAS)
+VARS a, b : single = 1.5;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    a = X[2];
+    X += 1;
+  LOOP_END
+END|}
+  in
+  (match k.Ast.k_params with
+  | [ p1; p2 ] ->
+    Alcotest.(check string) "p1" "N" p1.Ast.p_name;
+    Alcotest.(check bool) "flags" true
+      (List.mem Ast.No_prefetch p2.Ast.p_flags && List.mem Ast.May_alias p2.Ast.p_flags)
+  | _ -> Alcotest.fail "2 params expected");
+  (match k.Ast.k_locals with
+  | [ d ] ->
+    Alcotest.(check (list string)) "names" [ "a"; "b" ] d.Ast.d_names;
+    Alcotest.(check (option (float 0.0))) "init" (Some 1.5) d.Ast.d_init
+  | _ -> Alcotest.fail "1 decl expected");
+  match k.Ast.k_body with
+  | [ Ast.Loop lp ] ->
+    Alcotest.(check bool) "opt" true lp.Ast.loop_opt;
+    Alcotest.(check int) "step" 1 lp.Ast.loop_step;
+    Alcotest.(check int) "body stmts" 2 (List.length lp.Ast.loop_body)
+  | _ -> Alcotest.fail "single loop expected"
+
+let test_parse_precedence () =
+  let k =
+    parse_ok
+      {|KERNEL t(N : int) RETURNS int
+VARS a, b, c : int;
+BEGIN
+  a = a + b * c;
+  b = (a + b) * c;
+  RETURN a;
+END|}
+  in
+  match k.Ast.k_body with
+  | [ Ast.Assign (_, e1); Ast.Assign (_, e2); _ ] ->
+    (match e1 with
+    | Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, _, _)) -> ()
+    | _ -> Alcotest.fail "mul binds tighter than add");
+    (match e2 with
+    | Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, _, _), Ast.Var "c") -> ()
+    | _ -> Alcotest.fail "parens respected")
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_parse_error () =
+  match Parser.parse_kernel "KERNEL t(N : int BEGIN END" with
+  | exception Parser.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let expect_check_error src =
+  match Typecheck.check (Parser.parse_kernel src) with
+  | exception Typecheck.Error _ -> ()
+  | _ -> Alcotest.fail ("expected a type error for:\n" ^ src)
+
+let test_check_all_blas () =
+  List.iter
+    (fun id ->
+      ignore
+        (Typecheck.check (Parser.parse_kernel (Ifko_blas.Hil_sources.source id))
+          : Typecheck.checked))
+    Ifko_blas.Defs.all
+
+let test_check_unbound () =
+  expect_check_error {|KERNEL t(N : int)
+BEGIN
+  y = 1;
+END|}
+
+let test_check_duplicate () =
+  expect_check_error {|KERNEL t(N : int, N : int)
+BEGIN
+END|}
+
+let test_check_bad_goto () =
+  expect_check_error {|KERNEL t(N : int)
+BEGIN
+  GOTO nowhere;
+END|}
+
+let test_check_pointer_assign () =
+  expect_check_error
+    {|KERNEL t(N : int, X : ptr double)
+VARS x : double;
+BEGIN
+  X = x;
+END|}
+
+let test_check_pointer_inc_forms () =
+  (* integer-variable strides are legal (the BLAS incX case)... *)
+  (match
+     Typecheck.check
+       (Parser.parse_kernel {|KERNEL t(N : int, X : ptr double)
+BEGIN
+  X += N;
+END|})
+   with
+  | { Typecheck.kernel = { Ast.k_body = [ Ast.Ptr_inc_var ("X", "N") ]; _ }; _ } -> ()
+  | _ -> Alcotest.fail "int-variable stride should normalize to Ptr_inc_var"
+  | exception Typecheck.Error e -> Alcotest.fail e);
+  (* ...but arbitrary expressions and non-int strides are not *)
+  expect_check_error
+    {|KERNEL t(N : int, X : ptr double)
+BEGIN
+  X += N + 1;
+END|};
+  expect_check_error
+    {|KERNEL t(N : int, a : double, X : ptr double)
+BEGIN
+  X += a;
+END|}
+
+let test_check_return_mismatch () =
+  expect_check_error {|KERNEL t(N : int)
+BEGIN
+  RETURN N;
+END|};
+  expect_check_error {|KERNEL t(N : int) RETURNS int
+BEGIN
+  RETURN;
+END|}
+
+let test_check_nested_optloop () =
+  expect_check_error
+    {|KERNEL t(N : int, X : ptr double OUTPUT)
+VARS x : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    LOOP j = 0, N
+    LOOP_BODY
+      x = X[0];
+    LOOP_END
+  LOOP_END
+END|}
+
+let test_check_mixed_precision () =
+  expect_check_error
+    {|KERNEL t(N : int, X : ptr double, Y : ptr single)
+VARS x : double;
+BEGIN
+  x = X[0] + Y[0];
+END|}
+
+let test_scoped_if_parse () =
+  let k =
+    parse_ok
+      {|KERNEL t(N : int) RETURNS int
+VARS a, b : int;
+BEGIN
+  IF (a > b) THEN
+    a = 1;
+  ELSE
+    IF (b > 3) THEN
+      a = 2;
+    ENDIF
+  ENDIF
+  RETURN a;
+END|}
+  in
+  (match k.Ast.k_body with
+  | [ Ast.If_then (Ast.Gt, _, _, [ _ ], [ Ast.If_then (_, _, _, [ _ ], []) ]); _ ] -> ()
+  | _ -> Alcotest.fail "scoped if structure");
+  (* roundtrips through the pretty-printer *)
+  let k2 = parse_ok (Pp.kernel_to_string k) in
+  Alcotest.(check bool) "roundtrip" true (k = k2)
+
+let test_scoped_if_typecheck () =
+  ignore
+    (Typecheck.check
+       (parse_ok (Ifko_blas.Hil_sources.straightforward_iamax
+                    { Ifko_blas.Defs.routine = Ifko_blas.Defs.Iamax; prec = Ifko_hil.Ast.Single |> fun _ -> Instr.S }))
+      : Typecheck.checked);
+  expect_check_error
+    {|KERNEL t(N : int)
+BEGIN
+  IF (y > 1) THEN
+  ENDIF
+END|}
+
+let test_check_normalizes_ptr_inc () =
+  let checked =
+    Typecheck.check
+      (Parser.parse_kernel
+         {|KERNEL t(N : int, X : ptr double)
+BEGIN
+  X += 2;
+  X -= 1;
+END|})
+  in
+  match checked.Typecheck.kernel.Ast.k_body with
+  | [ Ast.Ptr_inc ("X", 2); Ast.Ptr_inc ("X", -1) ] -> ()
+  | _ -> Alcotest.fail "pointer updates should normalize to Ptr_inc"
+
+let test_check_loop_var_auto_int () =
+  let checked =
+    Typecheck.check
+      (Parser.parse_kernel
+         {|KERNEL t(N : int)
+BEGIN
+  LOOP i = 0, N
+  LOOP_BODY
+  LOOP_END
+END|})
+  in
+  Alcotest.(check bool) "i : int" true
+    (Typecheck.lookup checked.Typecheck.env "i" = Ast.Int)
+
+let suite =
+  [ Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer keywords" `Quick test_lexer_keywords;
+    Alcotest.test_case "lexer comparisons" `Quick test_lexer_comparisons;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "lexer line numbers" `Quick test_lexer_line_numbers;
+    Alcotest.test_case "parse all BLAS" `Quick test_parse_all_blas;
+    Alcotest.test_case "pp/parse roundtrip" `Quick test_roundtrip_all_blas;
+    Alcotest.test_case "parse structure" `Quick test_parse_structure;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse error" `Quick test_parse_error;
+    Alcotest.test_case "check all BLAS" `Quick test_check_all_blas;
+    Alcotest.test_case "check unbound" `Quick test_check_unbound;
+    Alcotest.test_case "check duplicate" `Quick test_check_duplicate;
+    Alcotest.test_case "check bad goto" `Quick test_check_bad_goto;
+    Alcotest.test_case "check pointer assign" `Quick test_check_pointer_assign;
+    Alcotest.test_case "check pointer inc forms" `Quick test_check_pointer_inc_forms;
+    Alcotest.test_case "check return mismatch" `Quick test_check_return_mismatch;
+    Alcotest.test_case "check nested optloop" `Quick test_check_nested_optloop;
+    Alcotest.test_case "check mixed precision" `Quick test_check_mixed_precision;
+    Alcotest.test_case "scoped if parse" `Quick test_scoped_if_parse;
+    Alcotest.test_case "scoped if typecheck" `Quick test_scoped_if_typecheck;
+    Alcotest.test_case "check ptr_inc normalization" `Quick test_check_normalizes_ptr_inc;
+    Alcotest.test_case "loop var auto int" `Quick test_check_loop_var_auto_int;
+  ]

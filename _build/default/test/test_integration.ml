@@ -1,0 +1,123 @@
+(* End-to-end integration: a miniature study through the evaluation
+   harness, figure rendering, and the headline claims. *)
+open Ifko_blas
+
+let mini_study =
+  lazy
+    (Ifko_eval.Eval.run_study
+       ~kernels:
+         [ { Defs.routine = Defs.Asum; prec = Instr.D };
+           { Defs.routine = Defs.Copy; prec = Instr.D };
+           { Defs.routine = Defs.Iamax; prec = Instr.S };
+         ]
+       ~cfg:Ifko_machine.Config.p4e ~context:Ifko_sim.Timer.Out_of_cache ~n:80000 ~seed:77 ())
+
+let test_study_verified () =
+  let study = Lazy.force mini_study in
+  List.iter
+    (fun (r : Ifko_eval.Eval.kernel_result) ->
+      Alcotest.(check bool) (r.Ifko_eval.Eval.display_name ^ " verified") true
+        r.Ifko_eval.Eval.verified)
+    study.Ifko_eval.Eval.results
+
+let test_every_method_positive () =
+  let study = Lazy.force mini_study in
+  List.iter
+    (fun (r : Ifko_eval.Eval.kernel_result) ->
+      List.iter
+        (fun (_, v) -> Alcotest.(check bool) "positive MFLOPS" true (v > 0.0))
+        r.Ifko_eval.Eval.mflops)
+    study.Ifko_eval.Eval.results
+
+let test_ifko_beats_fko () =
+  let study = Lazy.force mini_study in
+  List.iter
+    (fun (r : Ifko_eval.Eval.kernel_result) ->
+      Alcotest.(check bool)
+        (r.Ifko_eval.Eval.display_name ^ ": search never loses to defaults")
+        true
+        (List.assoc Ifko_eval.Eval.Ifko r.Ifko_eval.Eval.mflops
+        >= List.assoc Ifko_eval.Eval.Fko r.Ifko_eval.Eval.mflops -. 1e-9))
+    study.Ifko_eval.Eval.results
+
+let test_atlas_wins_iamax () =
+  let study = Lazy.force mini_study in
+  let iamax =
+    List.find
+      (fun (r : Ifko_eval.Eval.kernel_result) -> r.Ifko_eval.Eval.kernel.Defs.routine = Defs.Iamax)
+      study.Ifko_eval.Eval.results
+  in
+  Alcotest.(check bool) "hand-tuned assembly wins iamax" true
+    (List.assoc Ifko_eval.Eval.Atlas iamax.Ifko_eval.Eval.mflops
+    > List.assoc Ifko_eval.Eval.Ifko iamax.Ifko_eval.Eval.mflops);
+  Alcotest.(check string) "starred" "isamax*" iamax.Ifko_eval.Eval.display_name
+
+let test_percentages () =
+  let study = Lazy.force mini_study in
+  let r = List.hd study.Ifko_eval.Eval.results in
+  let best = Ifko_eval.Eval.best_mflops r in
+  Alcotest.(check bool) "best is max" true
+    (List.for_all (fun (_, v) -> v <= best) r.Ifko_eval.Eval.mflops);
+  Alcotest.(check bool) "percent bounded" true
+    (List.for_all
+       (fun m ->
+         let p = Ifko_eval.Eval.percent r m in
+         p > 0.0 && p <= 100.0 +. 1e-9)
+       Ifko_eval.Eval.methods);
+  Alcotest.(check bool) "someone is at 100%" true
+    (List.exists (fun m -> Ifko_eval.Eval.percent r m > 99.99) Ifko_eval.Eval.methods)
+
+let test_figure_renderers () =
+  let study = Lazy.force mini_study in
+  let fig = Ifko_eval.Figures.relative_figure ~title:"t" study in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("figure mentions " ^ needle) true (Test_util.contains fig needle))
+    [ "AVG"; "VAVG"; "ifko"; "ATLAS"; "isamax*" ];
+  let t3 = Ifko_eval.Figures.table3 [ ("test", study) ] in
+  Alcotest.(check bool) "table3 mentions UR:AE" true (Test_util.contains t3 "UR:AE");
+  let f7 = Ifko_eval.Figures.fig7 [ ("test", study) ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("fig7 mentions " ^ needle) true (Test_util.contains f7 needle))
+    [ "PF DST"; "WNT"; "Average contribution" ];
+  Alcotest.(check bool) "table1 renders" true
+    (Test_util.contains (Ifko_eval.Figures.table1 ()) "sum += fabs(x[i])");
+  Alcotest.(check bool) "table2 renders" true
+    (Test_util.contains (Ifko_eval.Figures.table2 ()) "P4E")
+
+let test_fko_defaults_all_kernels_both_machines () =
+  (* the statically-tuned FKO point must be buildable and correct for
+     every kernel on both machine configurations *)
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun id ->
+          let compiled = Hil_sources.compile id in
+          let d =
+            Ifko_transform.Params.default
+              ~line_bytes:cfg.Ifko_machine.Config.prefetchable_line
+              (Ifko_analysis.Report.analyze compiled)
+          in
+          let f = Ifko_search.Driver.compile_point ~cfg compiled d in
+          let env = Workload.make_env id ~seed:55 200 in
+          let expect = Workload.expectation id ~seed:55 200 in
+          match
+            Ifko_sim.Verify.check ~tol:(Workload.tolerance id ~n:200) ~ret_fsize:id.Defs.prec
+              f env expect
+          with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "%s on %s: %s" (Defs.name id) cfg.Ifko_machine.Config.name e)
+        Defs.all)
+    Ifko_machine.Config.all
+
+let suite =
+  [ Alcotest.test_case "study verified" `Slow test_study_verified;
+    Alcotest.test_case "all methods run" `Slow test_every_method_positive;
+    Alcotest.test_case "ifko >= FKO" `Slow test_ifko_beats_fko;
+    Alcotest.test_case "ATLAS wins iamax" `Slow test_atlas_wins_iamax;
+    Alcotest.test_case "percent arithmetic" `Slow test_percentages;
+    Alcotest.test_case "figure renderers" `Slow test_figure_renderers;
+    Alcotest.test_case "FKO defaults everywhere" `Slow test_fko_defaults_all_kernels_both_machines;
+  ]

@@ -1,0 +1,230 @@
+(* Machine-model tests: cache behaviour, memory-system timing
+   mechanisms (latency, bandwidth, MSHR limit, prefetch, non-temporal
+   stores, bus turnaround, writeback accounting). *)
+open Ifko_machine
+
+let small_level = { Config.size = 1024; line = 64; assoc = 2; latency = 3 }
+
+let test_cache_hit_miss () =
+  let c = Cache.create small_level in
+  Alcotest.(check bool) "cold miss" false (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.insert c ~addr:0 ~write:false : int option);
+  Alcotest.(check bool) "hit after insert" true (Cache.access c ~addr:32 ~write:false);
+  Alcotest.(check bool) "distinct line misses" false (Cache.access c ~addr:64 ~write:false);
+  let h, m = Cache.stats c in
+  Alcotest.(check (pair int int)) "stats" (1, 2) (h, m)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create small_level in
+  (* 1024/64/2 = 8 sets; set 0 holds lines 0 and 512 etc. *)
+  ignore (Cache.insert c ~addr:0 ~write:true : int option);
+  ignore (Cache.insert c ~addr:512 ~write:false : int option);
+  ignore (Cache.access c ~addr:0 ~write:false : bool);
+  (* touch 0 so 512 is LRU *)
+  (match Cache.insert c ~addr:1024 ~write:false with
+  | Some _ -> Alcotest.fail "victim 512 was clean"
+  | None -> ());
+  Alcotest.(check bool) "0 still present" true (Cache.probe c ~addr:0);
+  Alcotest.(check bool) "512 evicted" false (Cache.probe c ~addr:512);
+  (* now evict the dirty line 0 *)
+  ignore (Cache.access c ~addr:1024 ~write:false : bool);
+  (match Cache.insert c ~addr:1536 ~write:false with
+  | Some 0 -> ()
+  | Some a -> Alcotest.failf "wrong dirty victim %d" a
+  | None -> Alcotest.fail "expected dirty eviction of line 0")
+
+let test_cache_invalidate_flush () =
+  let c = Cache.create small_level in
+  ignore (Cache.insert c ~addr:0 ~write:true : int option);
+  Alcotest.(check bool) "invalidate reports dirty" true (Cache.invalidate c ~addr:0);
+  Alcotest.(check bool) "gone" false (Cache.probe c ~addr:0);
+  ignore (Cache.insert c ~addr:64 ~write:true : int option);
+  Alcotest.(check int) "one dirty line" 1 (Cache.dirty_lines c);
+  Cache.flush c;
+  Alcotest.(check int) "flush clears dirty" 0 (Cache.dirty_lines c);
+  Alcotest.(check bool) "flush empties" false (Cache.probe c ~addr:64)
+
+let fresh_ms cfg =
+  let ms = Memsys.create cfg in
+  Memsys.reset ms ~flush:true;
+  ms
+
+let test_load_latencies () =
+  let cfg = Config.p4e in
+  let ms = fresh_ms cfg in
+  let t1 = Memsys.load ms ~addr:4096 ~now:0.0 in
+  Alcotest.(check bool) "cold load pays full memory latency" true
+    (t1 >= float_of_int cfg.Config.mem_latency);
+  (* after the fill settles, the same line is an L1 hit *)
+  let t2 = Memsys.load ms ~addr:4096 ~now:(t1 +. 1.0) in
+  Alcotest.(check (float 1e-9)) "L1 hit latency"
+    (t1 +. 1.0 +. float_of_int cfg.Config.l1.Config.latency)
+    t2
+
+let test_bandwidth_bound () =
+  let cfg = Config.p4e in
+  let ms = fresh_ms cfg in
+  (* stream 64 KiB of demand loads issued as fast as possible *)
+  let bytes = 65536 in
+  let finish = ref 0.0 in
+  let now = ref 0.0 in
+  for i = 0 to (bytes / 8) - 1 do
+    finish := Float.max !finish (Memsys.load ms ~addr:(4096 + (i * 8)) ~now:!now);
+    now := !now +. 0.5
+  done;
+  let min_cycles = float_of_int bytes /. cfg.Config.bus_bytes_per_cycle in
+  Alcotest.(check bool) "cannot beat the bus" true (!finish >= min_cycles)
+
+let test_prefetch_hides_latency () =
+  let cfg = Config.p4e in
+  let run ~pf =
+    let ms = fresh_ms cfg in
+    let now = ref 0.0 and finish = ref 0.0 in
+    for i = 0 to 4095 do
+      let addr = 4096 + (i * 8) in
+      if pf then Memsys.prefetch ms ~kind:Instr.Nta ~addr:(addr + 2048) ~now:!now;
+      let c = Memsys.load ms ~addr ~now:!now in
+      finish := Float.max !finish c;
+      (* consumer paced by data arrival, like a ROB-limited core *)
+      now := Float.max (!now +. 2.0) (c -. 200.0)
+    done;
+    !finish
+  in
+  let without = run ~pf:false and with_pf = run ~pf:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "prefetch helps (%.0f vs %.0f)" with_pf without)
+    true (with_pf < without)
+
+let test_nt_store_penalty_when_cached () =
+  let cfg = Config.opteron in
+  let ms = fresh_ms cfg in
+  (* load brings the line into cache; an NT store to it must pay *)
+  let _ = Memsys.load ms ~addr:4096 ~now:0.0 in
+  let before = Memsys.bus_backlog ms ~now:10000.0 in
+  Memsys.nt_store ms ~addr:4096 ~bytes:8 ~now:10000.0;
+  let cached_cost = Memsys.bus_backlog ms ~now:10000.0 -. before in
+  let ms2 = fresh_ms cfg in
+  Memsys.nt_store ms2 ~addr:4096 ~bytes:8 ~now:10000.0;
+  let cold_cost = Memsys.bus_backlog ms2 ~now:10000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "penalty %.1f > streaming %.1f" cached_cost cold_cost)
+    true (cached_cost > cold_cost)
+
+let test_bus_turnaround () =
+  let cfg = Config.p4e in
+  (* alternating read/write claims cost more bus time than batched *)
+  let alternating =
+    let ms = fresh_ms cfg in
+    for i = 0 to 31 do
+      let _ = Memsys.load ms ~addr:(4096 + (i * 128)) ~now:0.0 in
+      Memsys.nt_store ms ~addr:(65536 + (i * 128)) ~bytes:64 ~now:0.0
+    done;
+    Memsys.bus_backlog ms ~now:0.0
+  in
+  let batched =
+    let ms = fresh_ms cfg in
+    for i = 0 to 31 do
+      ignore (Memsys.load ms ~addr:(4096 + (i * 128)) ~now:0.0 : float)
+    done;
+    for i = 0 to 31 do
+      Memsys.nt_store ms ~addr:(65536 + (i * 128)) ~bytes:64 ~now:0.0
+    done;
+    Memsys.bus_backlog ms ~now:0.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "alternating %.0f > batched %.0f" alternating batched)
+    true (alternating > batched +. (30.0 *. cfg.Config.bus_turnaround))
+
+let test_hw_prefetcher_covers_stream () =
+  (* stream one line per step with a data-paced consumer; the stream
+     prefetcher must make it significantly faster than with the
+     prefetcher disabled, and full-latency misses must become rare *)
+  let run cfg =
+    let ms = fresh_ms cfg in
+    let lines = 256 in
+    let full_misses = ref 0 in
+    let now = ref 0.0 in
+    for i = 0 to lines - 1 do
+      let addr = 4096 + (i * 64) in
+      let c = Memsys.load ms ~addr ~now:!now in
+      if c -. !now >= float_of_int cfg.Config.mem_latency then incr full_misses;
+      now := Float.max (!now +. 20.0) c
+    done;
+    (!now, !full_misses)
+  in
+  let cfg = Config.opteron in
+  let with_pf, full_misses = run cfg in
+  let without_pf, _ = run { cfg with Config.hw_prefetch_ahead = 0 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "prefetcher speeds the stream (%.0f vs %.0f)" with_pf without_pf)
+    true
+    (with_pf < 0.8 *. without_pf);
+  Alcotest.(check bool)
+    (Printf.sprintf "few full-latency misses (%d/256)" full_misses)
+    true (full_misses < 128)
+
+let test_wc_batching () =
+  (* consecutive NT stores within one line gather in the WC buffer and
+     claim the bus once, when the buffer switches lines *)
+  let cfg = Config.p4e in
+  let ms = fresh_ms cfg in
+  for i = 0 to 7 do
+    Memsys.nt_store ms ~addr:(4096 + (i * 8)) ~bytes:8 ~now:0.0
+  done;
+  Alcotest.(check (float 1e-9)) "still buffered" 0.0 (Memsys.bus_backlog ms ~now:0.0);
+  Memsys.nt_store ms ~addr:8192 ~bytes:8 ~now:0.0;
+  let after_switch = Memsys.bus_backlog ms ~now:0.0 in
+  Alcotest.(check bool) "line flushed on switch" true
+    (after_switch >= 64.0 /. cfg.Config.bus_bytes_per_cycle)
+
+let test_touch_is_demand_priority () =
+  (* a Touch completes like a demand load (full priority), while a
+     software prefetch of the same line lands later (lazy latency) *)
+  let cfg = Config.p4e in
+  let ms1 = fresh_ms cfg in
+  let demand = Memsys.load ms1 ~addr:4096 ~now:0.0 in
+  let ms2 = fresh_ms cfg in
+  Memsys.prefetch ms2 ~kind:Instr.Nta ~addr:4096 ~now:0.0;
+  let via_pf = Memsys.load ms2 ~addr:4096 ~now:1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "prefetched arrival %.0f later than demand %.0f" via_pf demand)
+    true (via_pf > demand)
+
+let test_warm_l2 () =
+  let cfg = Config.p4e in
+  let ms = fresh_ms cfg in
+  Memsys.warm_l2 ms ~addr:4096;
+  let t = Memsys.load ms ~addr:4096 ~now:0.0 in
+  Alcotest.(check bool) "L2-warm load is fast" true
+    (t <= float_of_int (cfg.Config.l2.Config.latency + 1))
+
+let test_pending_writeback_cost () =
+  let cfg = Config.p4e in
+  let ms = fresh_ms cfg in
+  Alcotest.(check (float 1e-9)) "clean = 0" 0.0 (Memsys.pending_writeback_cost ms);
+  (* dirty a line via a store to a warm line *)
+  Memsys.warm_all ms ~addr:4096;
+  Memsys.store ms ~addr:4096 ~now:0.0;
+  Alcotest.(check bool) "dirty lines cost" true (Memsys.pending_writeback_cost ms > 0.0)
+
+let test_elems_per_line () =
+  Alcotest.(check int) "P4E doubles" 16 (Config.elems_per_line Config.p4e Instr.D);
+  Alcotest.(check int) "P4E singles" 32 (Config.elems_per_line Config.p4e Instr.S);
+  Alcotest.(check int) "Opteron doubles" 8 (Config.elems_per_line Config.opteron Instr.D)
+
+let suite =
+  [ Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache invalidate/flush" `Quick test_cache_invalidate_flush;
+    Alcotest.test_case "load latencies" `Quick test_load_latencies;
+    Alcotest.test_case "bandwidth bound" `Quick test_bandwidth_bound;
+    Alcotest.test_case "prefetch hides latency" `Quick test_prefetch_hides_latency;
+    Alcotest.test_case "nt store penalty" `Quick test_nt_store_penalty_when_cached;
+    Alcotest.test_case "bus turnaround" `Quick test_bus_turnaround;
+    Alcotest.test_case "hw prefetcher" `Quick test_hw_prefetcher_covers_stream;
+    Alcotest.test_case "WC batching" `Quick test_wc_batching;
+    Alcotest.test_case "touch vs prefetch priority" `Quick test_touch_is_demand_priority;
+    Alcotest.test_case "warm L2" `Quick test_warm_l2;
+    Alcotest.test_case "pending writebacks" `Quick test_pending_writeback_cost;
+    Alcotest.test_case "elems per line" `Quick test_elems_per_line;
+  ]

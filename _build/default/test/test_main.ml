@@ -1,0 +1,20 @@
+(* The aggregated test runner: `dune runtest` executes every suite. *)
+
+let () =
+  Alcotest.run "ifko"
+    [ ("util", Test_util.suite);
+      ("hil", Test_hil.suite);
+      ("lil", Test_lil.suite);
+      ("codegen", Test_codegen.suite);
+      ("analysis", Test_analysis.suite);
+      ("machine", Test_machine.suite);
+      ("sim", Test_sim.suite);
+      ("transform", Test_transform.suite);
+      ("regalloc", Test_regalloc.suite);
+      ("search", Test_search.suite);
+      ("extensions", Test_extensions.suite);
+      ("extras", Test_extras.suite);
+      ("blas", Test_blas.suite);
+      ("baselines", Test_baselines.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,134 @@
+(* Search tests: the modified line search on synthetic objectives, its
+   memoization, and the end-to-end driver on a real kernel. *)
+open Ifko_blas
+open Ifko_transform
+
+let report_for id = Ifko_analysis.Report.analyze (Hil_sources.compile id)
+
+let test_space_gates () =
+  let dot = report_for { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let iamax = report_for { Defs.routine = Defs.Iamax; prec = Instr.D } in
+  Alcotest.(check (list bool)) "dot can disable SV" [ true; false ]
+    (Ifko_search.Space.sv_candidates dot);
+  Alcotest.(check (list bool)) "iamax never vectorizes" [ false ]
+    (Ifko_search.Space.sv_candidates iamax);
+  Alcotest.(check (list int)) "no accumulators, no AE" [ 0 ]
+    (Ifko_search.Space.ae_candidates (report_for { Defs.routine = Defs.Copy; prec = Instr.D }));
+  Alcotest.(check bool) "W prefetch only on Opteron" true
+    (List.mem (Some Instr.W) (Ifko_search.Space.pf_ins_candidates Ifko_machine.Config.opteron)
+    && not (List.mem (Some Instr.W) (Ifko_search.Space.pf_ins_candidates Ifko_machine.Config.p4e)));
+  Alcotest.(check (list bool)) "no outputs, no WNT" [ false ]
+    (Ifko_search.Space.wnt_candidates dot)
+
+(* Synthetic objective: reward a specific parameter combination; the
+   search must find it from the default starting point. *)
+let test_linesearch_finds_optimum () =
+  let id = { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let report = report_for id in
+  let cfg = Ifko_machine.Config.p4e in
+  let init = Params.default ~line_bytes:128 report in
+  let evals = ref 0 in
+  let probe (p : Params.t) =
+    incr evals;
+    let score = ref 100.0 in
+    if p.Params.unroll = 8 then score := !score +. 50.0;
+    if p.Params.ae = 3 then score := !score +. 25.0;
+    (match List.assoc_opt "X" p.Params.prefetch with
+    | Some { Params.pf_ins = ins; pf_dist = dist } ->
+      if ins = Some Instr.T0 then score := !score +. 40.0;
+      if dist = 1280 then score := !score +. 40.0
+    | None -> ());
+    if not p.Params.wnt then score := !score +. 5.0;
+    !score
+  in
+  let r = Ifko_search.Linesearch.run ~cfg ~report ~init probe in
+  Alcotest.(check int) "finds UR" 8 r.Ifko_search.Linesearch.best.Params.unroll;
+  Alcotest.(check int) "finds AE" 3 r.Ifko_search.Linesearch.best.Params.ae;
+  (match List.assoc "X" r.Ifko_search.Linesearch.best.Params.prefetch with
+  | { Params.pf_ins = Some Instr.T0; pf_dist = 1280 } -> ()
+  | _ -> Alcotest.fail "prefetch optimum missed");
+  Alcotest.(check (float 1e-9)) "best score" 260.0 r.Ifko_search.Linesearch.best_perf;
+  Alcotest.(check int) "eval accounting" !evals r.Ifko_search.Linesearch.evaluations
+
+let test_linesearch_memoizes () =
+  let id = { Defs.routine = Defs.Asum; prec = Instr.S } in
+  let report = report_for id in
+  let init = Params.default ~line_bytes:128 report in
+  let seen = Hashtbl.create 64 in
+  let dup = ref 0 in
+  let probe p =
+    if Hashtbl.mem seen p then incr dup else Hashtbl.replace seen p ();
+    1.0
+  in
+  let r = Ifko_search.Linesearch.run ~cfg:Ifko_machine.Config.p4e ~report ~init probe in
+  Alcotest.(check int) "no duplicate probes" 0 !dup;
+  Alcotest.(check bool) "a real search happened" true (r.Ifko_search.Linesearch.evaluations > 20)
+
+let test_linesearch_contributions_multiply () =
+  let id = { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let report = report_for id in
+  let init = Params.default ~line_bytes:128 report in
+  let probe (p : Params.t) =
+    1.0 +. (0.1 *. float_of_int p.Params.unroll) +. if p.Params.wnt then -0.5 else 0.0
+  in
+  let r = Ifko_search.Linesearch.run ~cfg:Ifko_machine.Config.p4e ~report ~init probe in
+  let product =
+    List.fold_left (fun acc (_, ratio) -> acc *. ratio) 1.0
+      r.Ifko_search.Linesearch.contributions
+  in
+  Alcotest.(check (float 1e-6)) "contributions compose to the total"
+    (r.Ifko_search.Linesearch.best_perf /. r.Ifko_search.Linesearch.start_perf)
+    product
+
+let test_driver_improves_and_verifies () =
+  let id = { Defs.routine = Defs.Asum; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let spec = Workload.timer_spec id ~seed:13 in
+  let rejected = ref 0 in
+  let test func =
+    let env = Workload.make_env id ~seed:17 77 in
+    let expect = Workload.expectation id ~seed:17 77 in
+    let ok =
+      Ifko_sim.Verify.check ~tol:(Workload.tolerance id ~n:77) ~ret_fsize:id.Defs.prec func
+        env expect
+      = Ok ()
+    in
+    if not ok then incr rejected;
+    ok
+  in
+  let tuned =
+    Ifko_search.Driver.tune ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000
+      ~flops_per_n:2.0 ~test compiled
+  in
+  Alcotest.(check int) "no candidate computed wrong answers" 0 !rejected;
+  Alcotest.(check bool) "search never loses to the default" true
+    (tuned.Ifko_search.Driver.ifko_mflops >= tuned.Ifko_search.Driver.fko_mflops);
+  Alcotest.(check bool) "asum gains from tuning on P4E" true
+    (tuned.Ifko_search.Driver.ifko_mflops > 1.2 *. tuned.Ifko_search.Driver.fko_mflops);
+  Validate.check_physical tuned.Ifko_search.Driver.best_func
+
+let test_driver_rejects_wrong_answers () =
+  (* a tester that rejects everything forces the search to keep the
+     default point *)
+  let id = { Defs.routine = Defs.Scal; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let spec = Workload.timer_spec id ~seed:13 in
+  let tuned =
+    Ifko_search.Driver.tune ~cfg:Ifko_machine.Config.p4e ~context:Ifko_sim.Timer.Out_of_cache
+      ~spec ~n:80000 ~flops_per_n:1.0
+      ~test:(fun _ -> false)
+      compiled
+  in
+  Alcotest.(check bool) "nothing accepted" true
+    (tuned.Ifko_search.Driver.ifko_mflops = neg_infinity
+    || tuned.Ifko_search.Driver.ifko_mflops = tuned.Ifko_search.Driver.fko_mflops)
+
+let suite =
+  [ Alcotest.test_case "space gating" `Quick test_space_gates;
+    Alcotest.test_case "linesearch finds optimum" `Quick test_linesearch_finds_optimum;
+    Alcotest.test_case "linesearch memoizes" `Quick test_linesearch_memoizes;
+    Alcotest.test_case "contributions multiply" `Quick test_linesearch_contributions_multiply;
+    Alcotest.test_case "driver improves and verifies" `Slow test_driver_improves_and_verifies;
+    Alcotest.test_case "driver rejects wrong answers" `Quick test_driver_rejects_wrong_answers;
+  ]

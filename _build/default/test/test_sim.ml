@@ -1,0 +1,439 @@
+(* Executor semantics: every instruction class, precision rounding,
+   branches, traps, the environment, and timer consistency. *)
+
+let gpr i = Reg.virt Reg.Gpr i
+let xmm i = Reg.virt Reg.Xmm i
+let mem ?(disp = 0) ?index ?(scale = 1) base = Instr.mk_mem ?index ~scale ~disp base
+
+(* run a single-block function returning [ret] *)
+let run_ret ?env instrs ret =
+  let env = match env with Some e -> e | None -> Ifko_sim.Env.create () in
+  let f = Cfg.create ~name:"t" ~params:[] in
+  f.Cfg.blocks <- [ Block.make "entry" ~instrs ~term:(Block.Ret (Some ret)) ];
+  (Ifko_sim.Exec.run f env).Ifko_sim.Exec.ret
+
+let check_int msg expected result =
+  match result with
+  | Some (Ifko_sim.Exec.Rint v) -> Alcotest.(check int) msg expected v
+  | _ -> Alcotest.fail (msg ^ ": expected an integer result")
+
+let check_fp ?(tol = 1e-12) msg expected result =
+  match result with
+  | Some (Ifko_sim.Exec.Rfp v) -> Alcotest.(check (float tol)) msg expected v
+  | _ -> Alcotest.fail (msg ^ ": expected a float result")
+
+let test_int_ops () =
+  let t op a b = run_ret [ Instr.Ildi (gpr 0, a); Instr.Ildi (gpr 1, b);
+                           Instr.Iop (op, gpr 2, gpr 0, Instr.Oreg (gpr 1)) ] (gpr 2) in
+  check_int "add" 7 (t Instr.Iadd 3 4);
+  check_int "sub" (-1) (t Instr.Isub 3 4);
+  check_int "mul" 12 (t Instr.Imul 3 4);
+  check_int "and" 2 (t Instr.Iand 3 6);
+  check_int "or" 7 (t Instr.Ior 3 6);
+  check_int "shl" 24 (t Instr.Ishl 3 3);
+  check_int "shr" 2 (t Instr.Ishr 16 3);
+  check_int "imm operand" 9
+    (run_ret [ Instr.Ildi (gpr 0, 4); Instr.Iop (Instr.Iadd, gpr 1, gpr 0, Instr.Oimm 5) ] (gpr 1))
+
+let test_lea_imov () =
+  check_int "lea" 4242
+    (run_ret
+       [ Instr.Ildi (gpr 0, 4000); Instr.Ildi (gpr 1, 121);
+         Instr.Lea (gpr 2, mem ~index:(gpr 1) ~scale:2 ~disp:0 (gpr 0)) ]
+       (gpr 2));
+  check_int "imov" 5 (run_ret [ Instr.Ildi (gpr 0, 5); Instr.Imov (gpr 1, gpr 0) ] (gpr 1))
+
+let test_fp_ops () =
+  let t op a b =
+    run_ret
+      [ Instr.Fldi (Instr.D, xmm 0, a); Instr.Fldi (Instr.D, xmm 1, b);
+        Instr.Fop (Instr.D, op, xmm 2, xmm 0, xmm 1) ]
+      (xmm 2)
+  in
+  check_fp "fadd" 7.5 (t Instr.Fadd 3.25 4.25);
+  check_fp "fsub" (-1.0) (t Instr.Fsub 3.25 4.25);
+  check_fp "fmul" 13.8125 (t Instr.Fmul 3.25 4.25);
+  check_fp "fdiv" 0.5 (t Instr.Fdiv 2.0 4.0);
+  check_fp "fmax" 4.25 (t Instr.Fmax 3.25 4.25);
+  check_fp "fmin" 3.25 (t Instr.Fmin 3.25 4.25)
+
+let test_single_rounding () =
+  (* 0.1 is not representable in binary32: check results are rounded *)
+  let r =
+    run_ret
+      [ Instr.Fldi (Instr.S, xmm 0, 0.1); Instr.Fldi (Instr.S, xmm 1, 0.2);
+        Instr.Fop (Instr.S, Instr.Fadd, xmm 2, xmm 0, xmm 1) ]
+      (xmm 2)
+  in
+  match r with
+  | Some (Ifko_sim.Exec.Rfp _) ->
+    (* re-read through the S lane in a fresh run and compare to the
+       Int32-rounded reference *)
+    let expected =
+      let r32 x = Int32.float_of_bits (Int32.bits_of_float x) in
+      r32 (r32 0.1 +. r32 0.2)
+    in
+    let f = Cfg.create ~name:"t" ~params:[] in
+    f.Cfg.blocks <-
+      [ Block.make "entry"
+          ~instrs:
+            [ Instr.Fldi (Instr.S, xmm 0, 0.1); Instr.Fldi (Instr.S, xmm 1, 0.2);
+              Instr.Fop (Instr.S, Instr.Fadd, xmm 2, xmm 0, xmm 1) ]
+          ~term:(Block.Ret (Some (xmm 2)));
+      ];
+    let res = Ifko_sim.Exec.run ~ret_fsize:Instr.S f (Ifko_sim.Env.create ()) in
+    (match res.Ifko_sim.Exec.ret with
+    | Some (Ifko_sim.Exec.Rfp v) -> Alcotest.(check (float 0.0)) "exact binary32" expected v
+    | _ -> Alcotest.fail "no result")
+  | _ -> Alcotest.fail "no result"
+
+let test_abs_neg () =
+  check_fp "fabs" 2.5
+    (run_ret [ Instr.Fldi (Instr.D, xmm 0, -2.5); Instr.Fabs (Instr.D, xmm 1, xmm 0) ] (xmm 1));
+  check_fp "fneg" 2.5
+    (run_ret [ Instr.Fldi (Instr.D, xmm 0, -2.5); Instr.Fneg (Instr.D, xmm 1, xmm 0) ] (xmm 1))
+
+let vector_env () =
+  let env = Ifko_sim.Env.create () in
+  Ifko_sim.Env.alloc_array env "A" Instr.D 8;
+  Ifko_sim.Env.fill env "A" (fun i -> float_of_int (i + 1));
+  let addr = match Ifko_sim.Env.binding env "A" with
+    | Ifko_sim.Env.Array_arg a -> a.Ifko_sim.Env.addr
+    | _ -> assert false
+  in
+  (env, addr)
+
+let test_vector_ops () =
+  let env, _ = vector_env () in
+  let f = Cfg.create ~name:"t" ~params:[ ("A", gpr 0) ] in
+  f.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Vld (Instr.D, xmm 0, mem (gpr 0));        (* [1;2] *)
+            Instr.Vld (Instr.D, xmm 1, mem ~disp:16 (gpr 0));(* [3;4] *)
+            Instr.Vop (Instr.D, Instr.Fmul, xmm 2, xmm 0, xmm 1); (* [3;8] *)
+            Instr.Vreduce (Instr.D, Instr.Fadd, xmm 3, xmm 2)     (* 11 *)
+          ]
+        ~term:(Block.Ret (Some (xmm 3)));
+    ];
+  (match (Ifko_sim.Exec.run f env).Ifko_sim.Exec.ret with
+  | Some (Ifko_sim.Exec.Rfp v) -> Alcotest.(check (float 1e-12)) "vreduce dot" 11.0 v
+  | _ -> Alcotest.fail "no result")
+
+let test_vector_store_bcast () =
+  let env, _ = vector_env () in
+  let f = Cfg.create ~name:"t" ~params:[ ("A", gpr 0) ] in
+  f.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Fldi (Instr.D, xmm 0, 9.0);
+            Instr.Vbcast (Instr.D, xmm 1, xmm 0);
+            Instr.Vst (Instr.D, mem ~disp:16 (gpr 0), xmm 1);
+            Instr.Vldi (Instr.S, xmm 2, 3.0);
+            Instr.Vstnt (Instr.S, mem ~disp:32 (gpr 0), xmm 2);
+          ]
+        ~term:(Block.Ret None);
+    ];
+  ignore (Ifko_sim.Exec.run f env : Ifko_sim.Exec.result);
+  Alcotest.(check (float 0.0)) "bcast lane 2" 9.0 (Ifko_sim.Env.get_elem env "A" 2);
+  Alcotest.(check (float 0.0)) "bcast lane 3" 9.0 (Ifko_sim.Env.get_elem env "A" 3);
+  (* the four 3.0f singles occupy one double-slot pair *)
+  let bits = Bytes.get_int32_le (Ifko_sim.Env.mem env)
+      ((match Ifko_sim.Env.binding env "A" with
+        | Ifko_sim.Env.Array_arg a -> a.Ifko_sim.Env.addr
+        | _ -> assert false) + 32) in
+  Alcotest.(check (float 0.0)) "vstnt single lane" 3.0 (Int32.float_of_bits bits)
+
+let test_vcmp_movmsk_extract () =
+  let f = Cfg.create ~name:"t" ~params:[] in
+  f.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Vldi (Instr.S, xmm 0, 2.0);
+            Instr.Vldi (Instr.S, xmm 1, 1.0);
+            (* make lane 2 of xmm1 bigger than 2.0 via extract trickery is
+               complex; instead compare equal vectors lane-wise *)
+            Instr.Vcmp (Instr.S, Instr.Gt, xmm 2, xmm 0, xmm 1);
+            Instr.Vmovmsk (Instr.S, gpr 0, xmm 2);
+          ]
+        ~term:(Block.Ret (Some (gpr 0)));
+    ];
+  check_int "all four lanes true" 0b1111 (Ifko_sim.Exec.run f (Ifko_sim.Env.create ())).Ifko_sim.Exec.ret;
+  let f2 = Cfg.create ~name:"t" ~params:[] in
+  f2.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Vldi (Instr.D, xmm 0, 1.0);
+            Instr.Vldi (Instr.D, xmm 1, 2.0);
+            Instr.Vcmp (Instr.D, Instr.Gt, xmm 2, xmm 0, xmm 1);
+            Instr.Vmovmsk (Instr.D, gpr 0, xmm 2);
+          ]
+        ~term:(Block.Ret (Some (gpr 0)));
+    ];
+  check_int "no lane true" 0 (Ifko_sim.Exec.run f2 (Ifko_sim.Env.create ())).Ifko_sim.Exec.ret;
+  let env, _ = vector_env () in
+  let f3 = Cfg.create ~name:"t" ~params:[ ("A", gpr 0) ] in
+  f3.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Vld (Instr.D, xmm 0, mem (gpr 0));
+            Instr.Vextract (Instr.D, xmm 1, xmm 0, 1);
+          ]
+        ~term:(Block.Ret (Some (xmm 1)));
+    ];
+  check_fp "extract lane 1" 2.0 (Ifko_sim.Exec.run f3 env).Ifko_sim.Exec.ret
+
+let test_branches () =
+  let f = Cfg.create ~name:"t" ~params:[] in
+  f.Cfg.blocks <-
+    [ Block.make "entry" ~instrs:[ Instr.Ildi (gpr 0, 10); Instr.Ildi (gpr 1, 0) ]
+        ~term:(Block.Jmp "loop");
+      Block.make "loop"
+        ~instrs:[ Instr.Iop (Instr.Iadd, gpr 1, gpr 1, Instr.Oimm 3) ]
+        ~term:
+          (Block.Br
+             { cmp = Instr.Ge; lhs = gpr 0; rhs = Instr.Oimm 2; ifso = "loop"; ifnot = "out";
+               dec = 2 });
+      Block.make "out" ~term:(Block.Ret (Some (gpr 1)));
+    ];
+  (* counter 10: decremented by 2 per pass, continues while >= 2:
+     passes at 8,6,4,2 then exits at 0 -> 5 additions of 3 *)
+  check_int "fused countdown" 15 (Ifko_sim.Exec.run f (Ifko_sim.Env.create ())).Ifko_sim.Exec.ret
+
+let test_fbr () =
+  let f = Cfg.create ~name:"t" ~params:[] in
+  f.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:[ Instr.Fldi (Instr.D, xmm 0, 1.5); Instr.Fldi (Instr.D, xmm 1, 2.5) ]
+        ~term:
+          (Block.Fbr
+             { fsize = Instr.D; cmp = Instr.Lt; lhs = xmm 0; rhs = xmm 1; ifso = "yes";
+               ifnot = "no" });
+      Block.make "yes" ~instrs:[ Instr.Ildi (gpr 0, 1) ] ~term:(Block.Ret (Some (gpr 0)));
+      Block.make "no" ~instrs:[ Instr.Ildi (gpr 0, 0) ] ~term:(Block.Ret (Some (gpr 0)));
+    ];
+  check_int "float branch taken" 1 (Ifko_sim.Exec.run f (Ifko_sim.Env.create ())).Ifko_sim.Exec.ret
+
+let expect_trap name f env =
+  match Ifko_sim.Exec.run f env with
+  | exception Ifko_sim.Exec.Trap _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected a trap")
+
+let test_traps () =
+  let env, _ = vector_env () in
+  let f = Cfg.create ~name:"t" ~params:[ ("A", gpr 0) ] in
+  f.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:[ Instr.Vld (Instr.D, xmm 0, mem ~disp:8 (gpr 0)) ]
+        ~term:(Block.Ret None);
+    ];
+  expect_trap "unaligned vector load" f env;
+  let f2 = Cfg.create ~name:"t" ~params:[] in
+  f2.Cfg.blocks <- [ Block.make "entry" ~term:(Block.Jmp "nowhere") ];
+  expect_trap "unknown label" f2 (Ifko_sim.Env.create ());
+  let f3 = Cfg.create ~name:"t" ~params:[] in
+  f3.Cfg.blocks <-
+    [ Block.make "entry" ~instrs:[ Instr.Ildi (gpr 0, 0) ] ~term:(Block.Jmp "entry") ];
+  (match Ifko_sim.Exec.run ~max_instrs:100 f3 (Ifko_sim.Env.create ()) with
+  | exception Ifko_sim.Exec.Trap msg ->
+    Alcotest.(check bool) "budget trap" true (Test_util.contains msg "budget")
+  | _ -> Alcotest.fail "expected instruction-budget trap");
+  let f4 = Cfg.create ~name:"t" ~params:[ ("A", gpr 0) ] in
+  f4.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:[ Instr.Fld (Instr.D, xmm 0, mem ~disp:(1 lsl 30) (gpr 0)) ]
+        ~term:(Block.Ret None);
+    ];
+  expect_trap "out of bounds" f4 env
+
+let test_spill_roundtrip () =
+  (* frame-slot traffic through the reserved frame pointer *)
+  let env = Ifko_sim.Env.create () in
+  let f = Cfg.create ~name:"t" ~params:[] in
+  f.Cfg.frame_slots <- 2;
+  f.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Ildi (gpr 0, 1234);
+            Instr.Ist (mem ~disp:16 Reg.frame_ptr, gpr 0);
+            Instr.Ildi (gpr 0, 0);
+            Instr.Ild (gpr 1, mem ~disp:16 Reg.frame_ptr);
+          ]
+        ~term:(Block.Ret (Some (gpr 1)));
+    ];
+  check_int "int spill roundtrip" 1234 (Ifko_sim.Exec.run f env).Ifko_sim.Exec.ret;
+  let f2 = Cfg.create ~name:"t" ~params:[] in
+  f2.Cfg.blocks <-
+    [ Block.make "entry"
+        ~instrs:
+          [ Instr.Vldi (Instr.S, xmm 0, 7.5);
+            Instr.Vst (Instr.D, mem Reg.frame_ptr, xmm 0);
+            Instr.Vldi (Instr.S, xmm 0, 0.0);
+            Instr.Vld (Instr.D, xmm 1, mem Reg.frame_ptr);
+            Instr.Vreduce (Instr.S, Instr.Fadd, xmm 2, xmm 1);
+          ]
+        ~term:(Block.Ret (Some (xmm 2)));
+    ];
+  let res = Ifko_sim.Exec.run ~ret_fsize:Instr.S f2 (Ifko_sim.Env.create ()) in
+  (match res.Ifko_sim.Exec.ret with
+  | Some (Ifko_sim.Exec.Rfp v) ->
+    Alcotest.(check (float 1e-6)) "xmm spill keeps all 4 single lanes" 30.0 v
+  | _ -> Alcotest.fail "no result")
+
+let test_env () =
+  let env = Ifko_sim.Env.create ~mem_bytes:(1 lsl 20) () in
+  Ifko_sim.Env.alloc_array env "A" Instr.S 10;
+  Ifko_sim.Env.alloc_array env "B" Instr.D 10;
+  (match (Ifko_sim.Env.binding env "A", Ifko_sim.Env.binding env "B") with
+  | Ifko_sim.Env.Array_arg a, Ifko_sim.Env.Array_arg b ->
+    Alcotest.(check bool) "16-byte aligned" true
+      (a.Ifko_sim.Env.addr mod 16 = 0 && b.Ifko_sim.Env.addr mod 16 = 0);
+    Alcotest.(check bool) "disjoint" true
+      (b.Ifko_sim.Env.addr >= a.Ifko_sim.Env.addr + 40
+      || a.Ifko_sim.Env.addr >= b.Ifko_sim.Env.addr + 80)
+  | _ -> Alcotest.fail "array bindings");
+  Ifko_sim.Env.set_elem env "B" 3 1.25;
+  Alcotest.(check (float 0.0)) "set/get" 1.25 (Ifko_sim.Env.get_elem env "B" 3);
+  Ifko_sim.Env.set_elem env "A" 0 0.1;
+  Alcotest.(check (float 0.0)) "single rounding on store"
+    (Int32.float_of_bits (Int32.bits_of_float 0.1))
+    (Ifko_sim.Env.get_elem env "A" 0);
+  Alcotest.check_raises "oob get" (Invalid_argument "Env.get_elem: index out of bounds")
+    (fun () -> ignore (Ifko_sim.Env.get_elem env "A" 10 : float))
+
+let test_verify_tolerance () =
+  Alcotest.(check bool) "close" true (Ifko_sim.Verify.close ~tol:1e-6 1.0 (1.0 +. 1e-8));
+  Alcotest.(check bool) "not close" false (Ifko_sim.Verify.close ~tol:1e-9 1.0 1.1)
+
+let test_timer_extrapolation_close () =
+  (* the extrapolated timing must track full simulation closely *)
+  let id = { Ifko_blas.Defs.routine = Ifko_blas.Defs.Dot; prec = Instr.D } in
+  let compiled = Ifko_blas.Hil_sources.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let params = Ifko_transform.Params.default ~line_bytes:128 (Ifko_analysis.Report.analyze compiled) in
+  let func = Ifko_search.Driver.compile_point ~cfg compiled params in
+  let spec = Ifko_blas.Workload.timer_spec id ~seed:5 in
+  let n = 20000 in
+  let extrap = Ifko_sim.Timer.measure ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n func in
+  let exact = Ifko_sim.Timer.exact ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n func in
+  let err = Float.abs (extrap -. exact) /. exact in
+  if err > 0.05 then
+    Alcotest.failf "extrapolation error %.1f%% (extrap %.0f vs exact %.0f)" (100.0 *. err)
+      extrap exact
+
+(* ---------- timing-model sanity ---------- *)
+
+let timed_run f =
+  let cfg = Ifko_machine.Config.p4e in
+  let ms = Ifko_machine.Memsys.create cfg in
+  Ifko_machine.Memsys.reset ms ~flush:true;
+  (Ifko_sim.Exec.run ~timing:(cfg, ms) f (Ifko_sim.Env.create ())).Ifko_sim.Exec.cycles
+
+let test_timing_dependent_chain () =
+  (* n dependent adds serialize on the add latency; n independent adds
+     pipeline at the unit's throughput *)
+  let cfg = Ifko_machine.Config.p4e in
+  let n = 64 in
+  let chain =
+    let f = Cfg.create ~name:"t" ~params:[] in
+    f.Cfg.blocks <-
+      [ Block.make "entry"
+          ~instrs:
+            (Instr.Fldi (Instr.D, xmm 0, 1.0)
+            :: List.init n (fun _ -> Instr.Fop (Instr.D, Instr.Fadd, xmm 0, xmm 0, xmm 0)))
+          ~term:(Block.Ret (Some (xmm 0)));
+      ];
+    timed_run f
+  in
+  let parallel =
+    let f = Cfg.create ~name:"t" ~params:[] in
+    f.Cfg.blocks <-
+      [ Block.make "entry"
+          ~instrs:
+            (Instr.Fldi (Instr.D, xmm 0, 1.0)
+            :: List.init n (fun i ->
+                   Instr.Fop (Instr.D, Instr.Fadd, xmm (1 + (i mod 7)), xmm 0, xmm 0)))
+          ~term:(Block.Ret (Some (xmm 1)));
+      ];
+    timed_run f
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain %.0f >= n*lat" chain)
+    true
+    (chain >= float_of_int (n * cfg.Ifko_machine.Config.fadd_lat));
+  Alcotest.(check bool)
+    (Printf.sprintf "independent %.0f much faster than chain %.0f" parallel chain)
+    true
+    (parallel < chain /. 2.0)
+
+let test_timing_mispredict () =
+  (* an alternating branch defeats the one-bit predictor; a monotone
+     branch does not *)
+  let run_pattern flip =
+    let f = Cfg.create ~name:"t" ~params:[] in
+    f.Cfg.blocks <-
+      [ Block.make "entry"
+          ~instrs:[ Instr.Ildi (gpr 0, 200); Instr.Ildi (gpr 1, 0) ]
+          ~term:(Block.Jmp "loop");
+        Block.make "loop"
+          ~instrs:
+            (if flip then
+               [ Instr.Iop (Instr.Iand, gpr 2, gpr 0, Instr.Oimm 1) ]
+             else [ Instr.Ildi (gpr 2, 0) ])
+          ~term:
+            (Block.Br
+               { cmp = Instr.Eq; lhs = gpr 2; rhs = Instr.Oimm 1; ifso = "odd"; ifnot = "even";
+                 dec = 0 });
+        Block.make "odd" ~instrs:[ Instr.Iop (Instr.Iadd, gpr 1, gpr 1, Instr.Oimm 1) ]
+          ~term:(Block.Jmp "next");
+        Block.make "even" ~term:(Block.Jmp "next");
+        Block.make "next"
+          ~term:
+            (Block.Br
+               { cmp = Instr.Ge; lhs = gpr 0; rhs = Instr.Oimm 1; ifso = "loop"; ifnot = "out";
+                 dec = 1 });
+        Block.make "out" ~term:(Block.Ret (Some (gpr 1)));
+      ];
+    timed_run f
+  in
+  let alternating = run_pattern true and steady = run_pattern false in
+  Alcotest.(check bool)
+    (Printf.sprintf "mispredicts cost (%.0f vs %.0f)" alternating steady)
+    true
+    (alternating > steady +. 100.0)
+
+let test_timing_mshr_limit () =
+  (* more outstanding misses than MSHRs: completions spread out *)
+  let cfg = Ifko_machine.Config.p4e in
+  let ms = Ifko_machine.Memsys.create cfg in
+  Ifko_machine.Memsys.reset ms ~flush:true;
+  (* use far-apart addresses so the stream prefetcher stays out of it *)
+  let completions =
+    List.init 16 (fun i -> Ifko_machine.Memsys.load ms ~addr:(65536 * (i + 1)) ~now:0.0)
+  in
+  let first = List.hd completions and last = List.nth completions 15 in
+  Alcotest.(check bool)
+    (Printf.sprintf "16 misses cannot all overlap (%.0f .. %.0f)" first last)
+    true
+    (last -. first > 100.0)
+
+let suite =
+  [ Alcotest.test_case "int ops" `Quick test_int_ops;
+    Alcotest.test_case "lea/imov" `Quick test_lea_imov;
+    Alcotest.test_case "fp ops" `Quick test_fp_ops;
+    Alcotest.test_case "single rounding" `Quick test_single_rounding;
+    Alcotest.test_case "abs/neg" `Quick test_abs_neg;
+    Alcotest.test_case "vector ops" `Quick test_vector_ops;
+    Alcotest.test_case "vector store/bcast" `Quick test_vector_store_bcast;
+    Alcotest.test_case "vcmp/movmsk/extract" `Quick test_vcmp_movmsk_extract;
+    Alcotest.test_case "fused countdown branch" `Quick test_branches;
+    Alcotest.test_case "float branch" `Quick test_fbr;
+    Alcotest.test_case "traps" `Quick test_traps;
+    Alcotest.test_case "spill roundtrip" `Quick test_spill_roundtrip;
+    Alcotest.test_case "environment" `Quick test_env;
+    Alcotest.test_case "verify tolerance" `Quick test_verify_tolerance;
+    Alcotest.test_case "timer extrapolation" `Quick test_timer_extrapolation_close;
+    Alcotest.test_case "timing: dependency chains" `Quick test_timing_dependent_chain;
+    Alcotest.test_case "timing: mispredicts" `Quick test_timing_mispredict;
+    Alcotest.test_case "timing: MSHR limit" `Quick test_timing_mshr_limit;
+  ]

@@ -1,0 +1,105 @@
+(* Unit and property tests for Ifko_util. *)
+open Ifko_util
+
+let test_ids () =
+  let g = Ids.create () in
+  Alcotest.(check int) "first" 0 (Ids.next g);
+  Alcotest.(check int) "second" 1 (Ids.next g);
+  Alcotest.(check int) "peek does not advance" 2 (Ids.peek g);
+  Alcotest.(check int) "peek stable" 2 (Ids.peek g);
+  Ids.reserve g 10;
+  Alcotest.(check int) "reserve raises floor" 10 (Ids.next g);
+  Ids.reserve g 5;
+  Alcotest.(check int) "reserve never lowers" 11 (Ids.next g);
+  let g2 = Ids.create ~start:42 () in
+  Alcotest.(check int) "custom start" 42 (Ids.next g2)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done;
+  let c = Rng.create 8 in
+  Alcotest.(check bool) "different seed differs" true (Rng.int64 a <> Rng.int64 c)
+
+let test_rng_split () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams are independent" true (xs <> ys)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"Rng.int within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Rng.create seed in
+      let v = Rng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_rng_uniform_range =
+  QCheck.Test.make ~name:"Rng.uniform in [0,1)" ~count:500 QCheck.small_int (fun seed ->
+      let g = Rng.create seed in
+      let v = Rng.uniform g in
+      v >= 0.0 && v < 1.0)
+
+let prop_sign_float =
+  QCheck.Test.make ~name:"Rng.sign_float both signs and bounded" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let g = Rng.create seed in
+      let vs = List.init 200 (fun _ -> Rng.sign_float g 1.0) in
+      List.for_all (fun v -> Float.abs v < 1.0) vs
+      && List.exists (fun v -> v < 0.0) vs
+      && List.exists (fun v -> v > 0.0) vs)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_float_list [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-6)) "mflops" 1000.0
+    (Stats.mflops ~flops:1000.0 ~cycles:1000.0 ~ghz:1.0);
+  Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent_of ~best:10.0 5.0);
+  Alcotest.(check (float 1e-9)) "round1" 1.2 (Stats.round1 1.24);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.min_float_list: empty")
+    (fun () -> ignore (Stats.min_float_list [] : float))
+
+(* naive substring test, used across the suites *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table () =
+  let t = Table.create ~title:"T" [ "a"; "bb" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title present" true (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "contains cell" true (contains s "22");
+  Alcotest.(check bool) "has separators" true (contains s "+--")
+
+let test_table_mismatch () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_bar () =
+  Alcotest.(check string) "empty" "          " (Table.bar ~width:10 ~frac:0.0);
+  Alcotest.(check string) "full" "##########" (Table.bar ~width:10 ~frac:1.0);
+  Alcotest.(check string) "clamped" "##########" (Table.bar ~width:10 ~frac:3.0);
+  Alcotest.(check string) "half" "#####     " (Table.bar ~width:10 ~frac:0.5)
+
+let suite =
+  [ Alcotest.test_case "ids" `Quick test_ids;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split" `Quick test_rng_split;
+    QCheck_alcotest.to_alcotest prop_rng_int_range;
+    QCheck_alcotest.to_alcotest prop_rng_uniform_range;
+    QCheck_alcotest.to_alcotest prop_sign_float;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "table render" `Quick test_table;
+    Alcotest.test_case "table mismatch" `Quick test_table_mismatch;
+    Alcotest.test_case "bar" `Quick test_bar;
+  ]
