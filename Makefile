@@ -1,0 +1,25 @@
+# Convenience targets; `make check` is what CI runs.
+
+.PHONY: all build test fmt check bench
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Formatting check: `dune build @fmt` requires ocamlformat, which not
+# every environment has — skip with a notice rather than fail there.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: build fmt test
+
+bench:
+	dune exec bench/main.exe

@@ -3,6 +3,7 @@
    Subcommands:
      ifko analyze  FILE            -- FKO's analysis report for a HIL kernel
      ifko compile  FILE [flags]    -- one FKO invocation; prints assembly
+     ifko lint     FILE [flags]    -- static checks + per-pass validation
      ifko tune     FILE [flags]    -- the full iterative/empirical search
 
    Timing requires knowing how to build workloads for the kernel's
@@ -109,40 +110,104 @@ let analyze_cmd =
 let machine_arg =
   Arg.(value & opt string "p4e" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"p4e or opteron")
 
+let sv_arg = Arg.(value & opt bool true & info [ "sv" ] ~doc:"SIMD vectorization")
+let ur_arg = Arg.(value & opt int 0 & info [ "ur" ] ~doc:"unroll factor (0 = default)")
+let ae_arg = Arg.(value & opt int 0 & info [ "ae" ] ~doc:"accumulator expansion")
+let wnt_arg = Arg.(value & opt bool false & info [ "wnt" ] ~doc:"non-temporal writes")
+
+let pf_arg =
+  Arg.(value & opt int (-1) & info [ "pf-dist" ] ~doc:"prefetch distance in bytes (-1 = default)")
+
+(* The parameter point the compile/lint flags select, starting from
+   FKO's defaults for this kernel on this machine. *)
+let point_of_flags ~cfg compiled sv ur ae wnt pf_dist =
+  let d = Ifko.default_params ~cfg compiled in
+  {
+    d with
+    Ifko.Params.sv = sv && d.Ifko.Params.sv;
+    unroll = (if ur > 0 then ur else d.Ifko.Params.unroll);
+    ae;
+    wnt;
+    prefetch =
+      (if pf_dist < 0 then d.Ifko.Params.prefetch
+       else
+         List.map
+           (fun (a, (s : Ifko.Params.pf_param)) -> (a, { s with Ifko.Params.pf_dist }))
+           d.Ifko.Params.prefetch);
+  }
+
 let compile_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let sv = Arg.(value & opt bool true & info [ "sv" ] ~doc:"SIMD vectorization") in
-  let ur = Arg.(value & opt int 0 & info [ "ur" ] ~doc:"unroll factor (0 = default)") in
-  let ae = Arg.(value & opt int 0 & info [ "ae" ] ~doc:"accumulator expansion") in
-  let wnt = Arg.(value & opt bool false & info [ "wnt" ] ~doc:"non-temporal writes") in
-  let pf = Arg.(value & opt int (-1) & info [ "pf-dist" ] ~doc:"prefetch distance in bytes (-1 = default)") in
   let run file machine sv ur ae wnt pf_dist =
     let cfg = machine_of machine in
     let compiled = load file in
-    let d = Ifko.default_params ~cfg compiled in
-    let params =
-      {
-        d with
-        Ifko.Params.sv = sv && d.Ifko.Params.sv;
-        unroll = (if ur > 0 then ur else d.Ifko.Params.unroll);
-        ae;
-        wnt;
-        prefetch =
-          (if pf_dist < 0 then d.Ifko.Params.prefetch
-           else
-             List.map
-               (fun (a, (s : Ifko.Params.pf_param)) ->
-                 (a, { s with Ifko.Params.pf_dist }))
-               d.Ifko.Params.prefetch);
-      }
-    in
+    let params = point_of_flags ~cfg compiled sv ur ae wnt pf_dist in
     let func = Ifko.compile_point ~cfg compiled params in
     Printf.printf "; machine %s, parameters %s\n%s" cfg.Ifko.Config.name
       (Ifko.Params.to_string params) (Cfg.to_string func)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"run FKO once at a parameter point and print the assembly")
-    Term.(const run $ file $ machine_arg $ sv $ ur $ ae $ wnt $ pf)
+    Term.(const run $ file $ machine_arg $ sv_arg $ ur_arg $ ae_arg $ wnt_arg $ pf_arg)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let no_pipeline =
+    Arg.(value & flag & info [ "no-pipeline" ] ~doc:"lint only the lowered kernel; skip per-pass validation")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"also print info-severity diagnostics")
+  in
+  let run file machine sv ur ae wnt pf_dist no_pipeline verbose =
+    let cfg = machine_of machine in
+    let line_bytes = cfg.Ifko.Config.prefetchable_line in
+    let compiled = load file in
+    let shown diags =
+      if verbose then diags
+      else List.filter (fun (d : Ifko.Diag.t) -> d.Ifko.Diag.severity <> Ifko.Diag.Info) diags
+    in
+    let print_diags diags =
+      match shown diags with
+      | [] -> ()
+      | ds -> print_endline (Ifko.Diag.list_to_string ds)
+    in
+    (* Stage 1: the lowered kernel itself. *)
+    let lowered = Ifko.Lint.check ~pass:"lowering" ~line_bytes compiled in
+    print_diags lowered;
+    (* Stage 2: the full pipeline at the selected parameter point, with
+       lint + translation validation after every pass. *)
+    let pipeline_broken =
+      if no_pipeline then false
+      else begin
+        let params = point_of_flags ~cfg compiled sv ur ae wnt pf_dist in
+        let check = Ifko.Passcheck.generic ~line_bytes compiled in
+        match Ifko.Pipeline.apply ~check ~line_bytes compiled params with
+        | exception Ifko.Passcheck.Pass_failed { pass; failure } ->
+          Printf.printf "pass %s broke the kernel:\n%s\n" pass
+            (Ifko.Passcheck.failure_to_string failure);
+          true
+        | c ->
+          let final = Ifko.Lint.check ~pass:"pipeline" ~line_bytes c in
+          print_diags final;
+          Printf.printf "%s: every pass validated at point %s\n"
+            compiled.Ifko.Lower.source.Ifko.Hil.Ast.k_name (Ifko.Params.to_string params);
+          not (Ifko.Diag.is_clean final)
+      end
+    in
+    let errors = not (Ifko.Diag.is_clean lowered) || pipeline_broken in
+    Printf.printf "lint: %s\n" (if errors then "errors found" else "clean");
+    if errors then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "run the static-analysis suite on a HIL kernel, then validate every \
+          transformation pass (lint + translation validation) at a parameter point")
+    Term.(
+      const run $ file $ machine_arg $ sv_arg $ ur_arg $ ae_arg $ wnt_arg $ pf_arg
+      $ no_pipeline $ verbose)
 
 (* ---- tune ---- *)
 
@@ -156,14 +221,22 @@ let tune_cmd =
     Arg.(value & opt float 2.0 & info [ "flops-per-n" ] ~doc:"FLOPs per element for MFLOPS")
   in
   let asm = Arg.(value & flag & info [ "S"; "asm" ] ~doc:"print the tuned assembly") in
-  let run file machine context n flops_per_n asm =
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check-each-pass" ]
+          ~doc:
+            "validate every transformation pass of every probed point (lint + \
+             translation validation); the tune aborts naming the offending pass")
+  in
+  let run file machine context n flops_per_n asm check_each_pass =
     let cfg = machine_of machine in
     let context = context_of context in
     let compiled = load file in
     let spec = generic_spec compiled in
     let tuned =
-      Ifko.tune ~cfg ~context ~spec ~n ~flops_per_n ~test:(generic_test compiled spec)
-        compiled
+      Ifko.tune ~check_each_pass ~cfg ~context ~spec ~n ~flops_per_n
+        ~test:(generic_test compiled spec) compiled
     in
     print_string (Ifko.Report.to_string tuned.Ifko.Driver.report);
     Printf.printf "\nFKO default point : %8.1f MFLOPS  (%s)\n"
@@ -182,8 +255,10 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"iteratively and empirically tune a HIL kernel")
-    Term.(const run $ file $ machine_arg $ context $ n $ flops $ asm)
+    Term.(const run $ file $ machine_arg $ context $ n $ flops $ asm $ check)
 
 let () =
   let doc = "iterative floating point kernel optimizer (paper reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "ifko" ~doc) [ analyze_cmd; compile_cmd; tune_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ifko" ~doc) [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd ]))

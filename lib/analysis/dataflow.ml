@@ -1,0 +1,130 @@
+(** A generic iterative dataflow engine over LIL control-flow graphs.
+
+    Analyses are parameterized by a join-semilattice [DOMAIN] and run
+    either [Forward] (values flow entry -> exit along CFG edges) or
+    [Backward] (exit -> entry).  The engine is worklist-based: a block
+    is re-transferred only when the value on its incoming side changed,
+    so sparse CFG updates converge without re-sweeping the whole
+    function.  {!Liveness} and the {!Lint} checkers are built on it. *)
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  (** The identity of {!join}; also the value assumed on the incoming
+      side of blocks the analysis has not reached yet. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    at_entry : (string, D.t) Hashtbl.t;  (** value at each block's entry *)
+    at_exit : (string, D.t) Hashtbl.t;  (** value at each block's exit *)
+  }
+
+  let get tbl label = Option.value ~default:D.bottom (Hashtbl.find_opt tbl label)
+  let entry_value r label = get r.at_entry label
+  let exit_value r label = get r.at_exit label
+
+  (** [run ~direction ~boundary ~transfer f] iterates [transfer] to a
+      fixpoint.  [transfer b v] maps the value on [b]'s incoming side
+      (entry when forward, exit when backward) to the outgoing side.
+      [boundary] is the value entering the CFG: joined into the entry
+      block's input when forward, into every [Ret] block's output when
+      backward. *)
+  let run ~direction ?(boundary = D.bottom) ~transfer (f : Cfg.func) =
+    let n = List.length f.Cfg.blocks in
+    let at_entry = Hashtbl.create n and at_exit = Hashtbl.create n in
+    let preds = Cfg.predecessors f in
+    let succs b = Block.successors b.Block.term in
+    let by_label = Hashtbl.create n in
+    List.iter (fun b -> Hashtbl.replace by_label b.Block.label b) f.Cfg.blocks;
+    let entry_label =
+      match f.Cfg.blocks with [] -> None | b :: _ -> Some b.Block.label
+    in
+    (* Worklist: a queue plus a membership flag so a block is enqueued
+       at most once between visits.  Seeded with every block in an
+       order matching the direction, for fast first-sweep convergence. *)
+    let queue = Queue.create () in
+    let queued = Hashtbl.create n in
+    let enqueue label =
+      if Hashtbl.mem by_label label && not (Hashtbl.mem queued label) then begin
+        Hashtbl.replace queued label ();
+        Queue.add label queue
+      end
+    in
+    let seed =
+      match direction with
+      | Forward -> f.Cfg.blocks
+      | Backward -> List.rev f.Cfg.blocks
+    in
+    List.iter (fun b -> enqueue b.Block.label) seed;
+    while not (Queue.is_empty queue) do
+      let label = Queue.pop queue in
+      Hashtbl.remove queued label;
+      let b = Hashtbl.find by_label label in
+      match direction with
+      | Forward ->
+        let inn =
+          List.fold_left
+            (fun acc p -> D.join acc (get at_exit p))
+            (if entry_label = Some label then boundary else D.bottom)
+            (Option.value ~default:[] (Hashtbl.find_opt preds label))
+        in
+        Hashtbl.replace at_entry label inn;
+        let out = transfer b inn in
+        if not (D.equal out (get at_exit label)) then begin
+          Hashtbl.replace at_exit label out;
+          List.iter enqueue (succs b)
+        end
+      | Backward ->
+        let out =
+          List.fold_left
+            (fun acc s -> D.join acc (get at_entry s))
+            (match b.Block.term with Block.Ret _ -> boundary | _ -> D.bottom)
+            (succs b)
+        in
+        Hashtbl.replace at_exit label out;
+        let inn = transfer b out in
+        if not (D.equal inn (get at_entry label)) then begin
+          Hashtbl.replace at_entry label inn;
+          List.iter enqueue
+            (Option.value ~default:[] (Hashtbl.find_opt preds label))
+        end
+    done;
+    { at_entry; at_exit }
+end
+
+(** The workhorse domain: sets of registers under union (liveness,
+    reaching definitions as a may-analysis, ...). *)
+module Reg_set_domain = struct
+  type t = Reg.Set.t
+
+  let bottom = Reg.Set.empty
+  let equal = Reg.Set.equal
+  let join = Reg.Set.union
+end
+
+(** A must-analysis domain over register sets: the join is
+    intersection, with [Top] standing for "no path reached yet" (the
+    intersection identity).  Used by the def-before-use checker. *)
+module Reg_must_domain = struct
+  type t = Top | Known of Reg.Set.t
+
+  let bottom = Top
+
+  let equal a b =
+    match (a, b) with
+    | Top, Top -> true
+    | Known x, Known y -> Reg.Set.equal x y
+    | Top, Known _ | Known _, Top -> false
+
+  let join a b =
+    match (a, b) with
+    | Top, v | v, Top -> v
+    | Known x, Known y -> Known (Reg.Set.inter x y)
+end

@@ -1,0 +1,70 @@
+(** Structured diagnostics for the static-analysis suite.
+
+    Every checker in {!Lint} and every per-pass validation failure in
+    the transformation pipeline reports through this type instead of
+    raising on first failure, so a single run can surface everything
+    that is wrong with a kernel and name the pass that introduced it.
+
+    Diagnostic codes (stable, for tests and grepping):
+    - [IFK001] malformed CFG (duplicate label, unknown branch target,
+      missing return, empty function)
+    - [IFK002] malformed instruction (operand register class, memory
+      scale, vector lane range, negative fused decrement)
+    - [IFK003] virtual register used before any definition reaches it
+    - [IFK004] dead store: a register definition never read
+    - [IFK005] block unreachable from the entry
+    - [IFK006] 16-byte vector memory access that cannot be aligned
+    - [IFK007] suspicious prefetch distance vs the loop's advance
+    - [IFK008] register pressure exceeds the architectural file
+    - [IFK009] repeatable-transform fixpoint not reached
+    - [IFK010] translation validation: a pass changed kernel semantics *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  pass : string option;  (** transformation pass that produced the code *)
+  block : string option;  (** block label the diagnostic anchors to *)
+  instr : int option;  (** 0-based instruction index within the block *)
+  message : string;
+}
+
+let make ?pass ?block ?instr severity code message =
+  { severity; code; pass; block; instr; message }
+
+let error ?pass ?block ?instr code fmt =
+  Printf.ksprintf (make ?pass ?block ?instr Error code) fmt
+
+let warning ?pass ?block ?instr code fmt =
+  Printf.ksprintf (make ?pass ?block ?instr Warning code) fmt
+
+let info ?pass ?block ?instr code fmt =
+  Printf.ksprintf (make ?pass ?block ?instr Info code) fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(** Errors first, then warnings, then infos; stable within a rank so
+    checkers' own ordering (block order) is preserved. *)
+let sort diags =
+  List.stable_sort (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity)) diags
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+let is_clean diags = errors diags = []
+
+let to_string d =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "%s[%s]" (severity_name d.severity) d.code);
+  Option.iter (fun p -> Buffer.add_string buf (Printf.sprintf " after %s" p)) d.pass;
+  (match (d.block, d.instr) with
+  | Some b, Some i -> Buffer.add_string buf (Printf.sprintf " %s:%d" b i)
+  | Some b, None -> Buffer.add_string buf (Printf.sprintf " %s" b)
+  | None, _ -> ());
+  Buffer.add_string buf ": ";
+  Buffer.add_string buf d.message;
+  Buffer.contents buf
+
+let list_to_string diags =
+  String.concat "\n" (List.map to_string (sort diags))

@@ -1,0 +1,414 @@
+(** The LIL lint suite: dataflow-based static checkers producing
+    {!Diag} diagnostics instead of first-failure exceptions.
+
+    The search pays for every point it times; a transform bug that
+    produces a wrong-but-runnable kernel silently corrupts the whole
+    tuning run.  These checkers catch the cheap-to-detect breakages
+    statically — before any simulation — and the pipeline can run them
+    after every pass ({!Pipeline.apply}'s [~check] mode) to name the
+    exact transform that broke an invariant.
+
+    Checkers (codes documented in {!Diag}):
+    - CFG well-formedness: labels, branch targets, return, operand
+      register classes, memory scales, vector lanes (IFK001/IFK002) —
+      the collected-diagnostics form of {!Validate.check}
+    - def-before-use of virtual registers, as a forward must-analysis
+      on the {!Dataflow} engine (IFK003)
+    - dead stores: register definitions never read (IFK004)
+    - blocks unreachable from the entry (IFK005)
+    - 16-byte vector accesses whose displacement or per-iteration
+      stride breaks alignment (IFK006)
+    - prefetch distances that are useless (behind the moving pointer)
+      or absurd (tens of lines ahead) (IFK007)
+    - per-block register-pressure estimates against the architectural
+      file, reported back to the search (IFK008) *)
+
+open Ifko_codegen
+
+(* ---------- CFG and instruction well-formedness (IFK001/IFK002) ---------- *)
+
+let class_name = function Reg.Gpr -> "a GPR" | Reg.Xmm -> "an XMM register"
+
+let check_instr_classes ?pass ~block ~instr i =
+  let diags = ref [] in
+  let bad fmt =
+    Printf.ksprintf
+      (fun msg ->
+        diags :=
+          Diag.error ?pass ~block ~instr "IFK002" "%s: %s" (Instr.to_string i) msg :: !diags)
+      fmt
+  in
+  let want cls (r : Reg.t) =
+    if r.Reg.cls <> cls then bad "register %s should be %s" (Reg.to_string r) (class_name cls)
+  in
+  let gpr = want Reg.Gpr and xmm = want Reg.Xmm in
+  let mem (m : Instr.mem) =
+    gpr m.Instr.base;
+    Option.iter gpr m.Instr.index;
+    match m.Instr.scale with
+    | 1 | 2 | 4 | 8 -> ()
+    | s -> bad "invalid scale %d" s
+  in
+  (match i with
+  | Instr.Ild (d, m) -> gpr d; mem m
+  | Ist (m, s) -> gpr s; mem m
+  | Imov (d, s) -> gpr d; gpr s
+  | Ildi (d, _) -> gpr d
+  | Iop (_, d, a, b) ->
+    gpr d;
+    gpr a;
+    (match b with Instr.Oreg r -> gpr r | Instr.Oimm _ -> ())
+  | Lea (d, m) -> gpr d; mem m
+  | Fld (_, d, m) | Vld (_, d, m) -> xmm d; mem m
+  | Fst (_, m, s) | Fstnt (_, m, s) | Vst (_, m, s) | Vstnt (_, m, s) -> xmm s; mem m
+  | Fmov (_, d, s)
+  | Vmov (_, d, s)
+  | Vbcast (_, d, s)
+  | Fabs (_, d, s)
+  | Fsqrt (_, d, s)
+  | Fneg (_, d, s)
+  | Vabs (_, d, s)
+  | Vsqrt (_, d, s)
+  | Vreduce (_, _, d, s) -> xmm d; xmm s
+  | Fldi (_, d, _) | Vldi (_, d, _) -> xmm d
+  | Fop (_, _, d, a, b) | Vop (_, _, d, a, b) | Vcmp (_, _, d, a, b) ->
+    xmm d; xmm a; xmm b
+  | Fopm (_, _, d, a, m) | Vopm (_, _, d, a, m) -> xmm d; xmm a; mem m
+  | Vmovmsk (_, d, s) -> gpr d; xmm s
+  | Vextract (sz, d, s, lane) ->
+    xmm d;
+    xmm s;
+    if lane < 0 || lane >= Instr.lanes sz then
+      bad "lane %d out of range for precision" lane
+  | Touch (_, m) | Prefetch (_, m) -> mem m
+  | Nop -> ());
+  List.rev !diags
+
+let check_structure ?pass (f : Cfg.func) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if f.Cfg.blocks = [] then
+    add (Diag.error ?pass "IFK001" "function %s has no blocks" f.Cfg.fname)
+  else begin
+    let labels = Hashtbl.create (List.length f.Cfg.blocks) in
+    List.iter
+      (fun b ->
+        let l = b.Block.label in
+        if Hashtbl.mem labels l then
+          add (Diag.error ?pass ~block:l "IFK001" "duplicate block label %S" l)
+        else Hashtbl.add labels l ())
+      f.Cfg.blocks;
+    List.iter
+      (fun b ->
+        let block = b.Block.label in
+        List.iteri
+          (fun instr i -> List.iter add (check_instr_classes ?pass ~block ~instr i))
+          b.Block.instrs;
+        List.iter
+          (fun l ->
+            if not (Hashtbl.mem labels l) then
+              add (Diag.error ?pass ~block "IFK001" "terminator targets unknown block %S" l))
+          (Block.successors b.Block.term);
+        match b.Block.term with
+        | Block.Br { lhs; rhs; dec; _ } ->
+          if lhs.Reg.cls <> Reg.Gpr then
+            add
+              (Diag.error ?pass ~block "IFK002" "branch compares %s which is not a GPR"
+                 (Reg.to_string lhs));
+          (match rhs with
+          | Instr.Oreg r when r.Reg.cls <> Reg.Gpr ->
+            add
+              (Diag.error ?pass ~block "IFK002" "branch compares %s which is not a GPR"
+                 (Reg.to_string r))
+          | Instr.Oreg _ | Instr.Oimm _ -> ());
+          if dec < 0 then
+            add (Diag.error ?pass ~block "IFK002" "negative fused decrement %d" dec)
+        | Block.Fbr { lhs; rhs; _ } ->
+          List.iter
+            (fun (r : Reg.t) ->
+              if r.Reg.cls <> Reg.Xmm then
+                add
+                  (Diag.error ?pass ~block "IFK002" "FP branch compares %s which is not XMM"
+                     (Reg.to_string r)))
+            [ lhs; rhs ]
+        | Block.Jmp _ | Block.Ret _ -> ())
+      f.Cfg.blocks;
+    let has_ret =
+      List.exists
+        (fun b -> match b.Block.term with Block.Ret _ -> true | _ -> false)
+        f.Cfg.blocks
+    in
+    if not has_ret then
+      add (Diag.error ?pass "IFK001" "function %s never returns" f.Cfg.fname)
+  end;
+  List.rev !diags
+
+(* ---------- def-before-use of virtual registers (IFK003) ---------- *)
+
+module Must = Dataflow.Make (Dataflow.Reg_must_domain)
+
+let check_def_before_use ?pass (f : Cfg.func) =
+  let open Dataflow.Reg_must_domain in
+  let block_defs (b : Block.t) =
+    List.fold_left
+      (fun acc i -> List.fold_left (fun acc r -> Reg.Set.add r acc) acc (Instr.defs i))
+      Reg.Set.empty b.Block.instrs
+    |> fun s ->
+    List.fold_left (fun acc r -> Reg.Set.add r acc) s (Block.term_defs b.Block.term)
+  in
+  let transfer b = function
+    | Top -> Top
+    | Known s -> Known (Reg.Set.union s (block_defs b))
+  in
+  let boundary =
+    Known
+      (Reg.Set.add Reg.frame_ptr
+         (Reg.Set.add Reg.stack_ptr
+            (Reg.Set.of_list (List.map snd f.Cfg.params))))
+  in
+  let r = Must.run ~direction:Dataflow.Forward ~boundary ~transfer f in
+  let diags = ref [] and reported = ref Reg.Set.empty in
+  let use ~block ~instr what defined reg =
+    if
+      (not reg.Reg.phys)
+      && (not (Reg.Set.mem reg defined))
+      && not (Reg.Set.mem reg !reported)
+    then begin
+      reported := Reg.Set.add reg !reported;
+      diags :=
+        Diag.error ?pass ~block ?instr "IFK003"
+          "%s reads %s, but no definition reaches it" what (Reg.to_string reg)
+        :: !diags
+    end
+  in
+  List.iter
+    (fun b ->
+      let block = b.Block.label in
+      match Must.entry_value r block with
+      | Top -> () (* unreachable; IFK005 reports it *)
+      | Known entry ->
+        let defined = ref entry in
+        List.iteri
+          (fun idx i ->
+            List.iter (use ~block ~instr:(Some idx) (Instr.to_string i) !defined) (Instr.uses i);
+            List.iter (fun d -> defined := Reg.Set.add d !defined) (Instr.defs i))
+          b.Block.instrs;
+        List.iter
+          (use ~block ~instr:None "terminator" !defined)
+          (Block.term_uses b.Block.term))
+    f.Cfg.blocks;
+  List.rev !diags
+
+(* ---------- dead stores (IFK004) ---------- *)
+
+let check_dead_stores ?pass (f : Cfg.func) =
+  let live = Liveness.compute f in
+  let diags = ref [] in
+  List.iter
+    (fun b ->
+      List.iteri
+        (fun idx (i, live_after) ->
+          match Instr.defs i with
+          | [ d ] when (not d.Reg.phys) && not (Reg.Set.mem d live_after) ->
+            diags :=
+              Diag.warning ?pass ~block:b.Block.label ~instr:idx "IFK004"
+                "%s defines %s, which is never read" (Instr.to_string i) (Reg.to_string d)
+              :: !diags
+          | _ -> ())
+        (Liveness.live_before_each live b))
+    f.Cfg.blocks;
+  List.rev !diags
+
+(* ---------- unreachable blocks (IFK005) ---------- *)
+
+let check_reachability ?pass (f : Cfg.func) =
+  match f.Cfg.blocks with
+  | [] -> []
+  | entry :: _ ->
+    let reached = Hashtbl.create 16 in
+    let by_label = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace by_label b.Block.label b) f.Cfg.blocks;
+    let rec walk label =
+      if not (Hashtbl.mem reached label) then begin
+        Hashtbl.replace reached label ();
+        match Hashtbl.find_opt by_label label with
+        | Some b -> List.iter walk (Block.successors b.Block.term)
+        | None -> ()
+      end
+    in
+    walk entry.Block.label;
+    List.filter_map
+      (fun b ->
+        if Hashtbl.mem reached b.Block.label then None
+        else
+          Some
+            (Diag.warning ?pass ~block:b.Block.label "IFK005"
+               "block is unreachable from the entry"))
+      f.Cfg.blocks
+
+(* ---------- register pressure (IFK008) ---------- *)
+
+let count_classes set =
+  Reg.Set.fold
+    (fun (r : Reg.t) (g, x) ->
+      match r.Reg.cls with Reg.Gpr -> (g + 1, x) | Reg.Xmm -> (g, x + 1))
+    set (0, 0)
+
+(** [pressure f] estimates, per block, the maximum number of
+    simultaneously live GPR and XMM registers at any instruction
+    boundary — the quantity register allocation has to fit into the
+    architectural file, and what the search wants to know before
+    committing to an unroll/accumulator point. *)
+let pressure (f : Cfg.func) =
+  let live = Liveness.compute f in
+  List.map
+    (fun b ->
+      let worst =
+        List.fold_left
+          (fun (g, x) (_, set) ->
+            let g', x' = count_classes set in
+            (max g g', max x x'))
+          (count_classes (Liveness.live_in live b.Block.label))
+          (Liveness.live_before_each live b)
+      in
+      (b.Block.label, worst))
+    f.Cfg.blocks
+
+(** Function-wide maximum of {!pressure}: [(gpr, xmm)]. *)
+let max_pressure (f : Cfg.func) =
+  List.fold_left
+    (fun (g, x) (_, (g', x')) -> (max g g', max x x'))
+    (0, 0) (pressure f)
+
+let check_pressure ?pass (f : Cfg.func) =
+  List.filter_map
+    (fun (label, (g, x)) ->
+      let over_gpr = g > Reg.allocatable Reg.Gpr
+      and over_xmm = x > Reg.allocatable Reg.Xmm in
+      if over_gpr || over_xmm then
+        Some
+          (Diag.info ?pass ~block:label "IFK008"
+             "register pressure %d GPR / %d XMM exceeds the file (%d/%d): spills likely" g x
+             (Reg.allocatable Reg.Gpr) (Reg.allocatable Reg.Xmm))
+      else None)
+    (pressure f)
+
+(* ---------- loop-aware checkers (IFK006/IFK007) ---------- *)
+
+(** Map from a moving array's pointer register to its name and
+    per-iteration advance in bytes, via {!Ptrinfo}. *)
+let moving_by_reg (compiled : Lower.compiled) =
+  List.map
+    (fun (m : Ptrinfo.moving) ->
+      (m.Ptrinfo.array.Lower.a_reg, (m.Ptrinfo.array.Lower.a_name, m.Ptrinfo.stride)))
+    (Ptrinfo.analyze compiled)
+
+let vector_mem = function
+  | Instr.Vld (_, _, m) | Instr.Vst (_, m, _) | Instr.Vstnt (_, m, _)
+  | Instr.Vopm (_, _, _, _, m) -> Some m
+  | _ -> None
+
+(** Simulated arrays are 16-byte aligned and their pointers advance by
+    the loop stride, so an aligned 16-byte access stays aligned iff the
+    displacement and the stride are both multiples of 16.  A violation
+    is an error: the simulator (like real SSE [movaps]) faults on it. *)
+let check_vector_alignment ?pass moving (f : Cfg.func) =
+  let diags = ref [] in
+  List.iter
+    (fun b ->
+      List.iteri
+        (fun idx i ->
+          match vector_mem i with
+          | Some m when m.Instr.index = None -> (
+            match List.assoc_opt m.Instr.base moving with
+            | Some (name, stride) ->
+              if m.Instr.disp mod 16 <> 0 then
+                diags :=
+                  Diag.error ?pass ~block:b.Block.label ~instr:idx "IFK006"
+                    "%s: 16-byte access to %s at displacement %d is unaligned"
+                    (Instr.to_string i) name m.Instr.disp
+                  :: !diags
+              else if stride mod 16 <> 0 then
+                diags :=
+                  Diag.error ?pass ~block:b.Block.label ~instr:idx "IFK006"
+                    "%s: %s advances %d B/iteration, so this 16-byte access drifts off \
+                     alignment"
+                    (Instr.to_string i) name stride
+                  :: !diags
+            | None -> ())
+          | Some _ | None -> ())
+        b.Block.instrs)
+    f.Cfg.blocks;
+  List.rev !diags
+
+(** A prefetch is useful when it lands ahead of the moving pointer by
+    at least one iteration's advance and no more than a few dozen cache
+    lines (past that the line is evicted again before use). *)
+let check_prefetch_distance ?pass ?line_bytes moving (f : Cfg.func) =
+  let diags = ref [] in
+  List.iter
+    (fun b ->
+      List.iteri
+        (fun idx i ->
+          match i with
+          | Instr.Prefetch (_, m) when m.Instr.index = None -> (
+            match List.assoc_opt m.Instr.base moving with
+            | Some (name, stride) ->
+              let dist = m.Instr.disp in
+              let warn fmt =
+                Printf.ksprintf
+                  (fun msg ->
+                    diags :=
+                      Diag.warning ?pass ~block:b.Block.label ~instr:idx "IFK007" "%s: %s"
+                        (Instr.to_string i) msg
+                      :: !diags)
+                  fmt
+              in
+              if stride = 0 then warn "prefetches %s, which never advances" name
+              else if dist <= 0 then
+                warn "prefetch distance %d B is behind the moving pointer %s" dist name
+              else if dist < abs stride then
+                warn
+                  "prefetch distance %d B is inside the current iteration of %s (advance \
+                   %d B)"
+                  dist name (abs stride)
+              else
+                Option.iter
+                  (fun line ->
+                    if dist > 32 * line then
+                      warn
+                        "prefetch distance %d B for %s is more than 32 lines (%d B) ahead"
+                        dist name (32 * line))
+                  line_bytes
+            | None -> ())
+          | _ -> ())
+        b.Block.instrs)
+    f.Cfg.blocks;
+  List.rev !diags
+
+(* ---------- entry points ---------- *)
+
+(** [check_func f] runs every checker that needs only the CFG.  If the
+    structure itself is broken (IFK001 errors) the dataflow checkers
+    are skipped — their results would be meaningless. *)
+let check_func ?pass (f : Cfg.func) =
+  let structure = check_structure ?pass f in
+  if not (Diag.is_clean structure) then structure
+  else
+    structure
+    @ check_def_before_use ?pass f
+    @ check_dead_stores ?pass f
+    @ check_reachability ?pass f
+    @ check_pressure ?pass f
+
+(** [check ?line_bytes compiled] is {!check_func} plus the loop-aware
+    checkers that need to know which pointers move and by how much. *)
+let check ?pass ?line_bytes (compiled : Lower.compiled) =
+  let f = compiled.Lower.func in
+  let base = check_func ?pass f in
+  if not (Diag.is_clean base) then base
+  else
+    let moving = moving_by_reg compiled in
+    base
+    @ check_vector_alignment ?pass moving f
+    @ check_prefetch_distance ?pass ?line_bytes moving f

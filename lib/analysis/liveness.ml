@@ -1,3 +1,6 @@
+(** Per-block liveness, as an instance of the generic {!Dataflow}
+    engine: a backward may-analysis over register sets. *)
+
 type t = {
   live_in : (string, Reg.Set.t) Hashtbl.t;
   live_out : (string, Reg.Set.t) Hashtbl.t;
@@ -20,35 +23,19 @@ let block_summary (b : Block.t) =
   List.iter def (Block.term_defs b.Block.term);
   (!uses, !defs)
 
+module Engine = Dataflow.Make (Dataflow.Reg_set_domain)
+
 let compute (f : Cfg.func) =
-  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
-  let summaries =
-    List.map (fun b -> (b.Block.label, (b, block_summary b))) f.Cfg.blocks
+  let summaries = Hashtbl.create 16 in
+  List.iter
+    (fun b -> Hashtbl.replace summaries b.Block.label (block_summary b))
+    f.Cfg.blocks;
+  let transfer (b : Block.t) out =
+    let uses, defs = Hashtbl.find summaries b.Block.label in
+    Reg.Set.union uses (Reg.Set.diff out defs)
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    (* Iterate in reverse block order for fast convergence. *)
-    List.iter
-      (fun (label, (b, (uses, defs))) ->
-        let out =
-          List.fold_left
-            (fun acc succ -> Reg.Set.union acc (get live_in succ))
-            Reg.Set.empty
-            (Block.successors b.Block.term)
-        in
-        let inn = Reg.Set.union uses (Reg.Set.diff out defs) in
-        if not (Reg.Set.equal out (get live_out label)) then begin
-          Hashtbl.replace live_out label out;
-          changed := true
-        end;
-        if not (Reg.Set.equal inn (get live_in label)) then begin
-          Hashtbl.replace live_in label inn;
-          changed := true
-        end)
-      (List.rev summaries)
-  done;
-  { live_in; live_out }
+  let r = Engine.run ~direction:Dataflow.Backward ~transfer f in
+  { live_in = r.Engine.at_entry; live_out = r.Engine.at_exit }
 
 let live_in t label = get t.live_in label
 let live_out t label = get t.live_out label

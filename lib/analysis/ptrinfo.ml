@@ -12,13 +12,20 @@ let loop_blocks (compiled : Lower.compiled) =
   | None -> []
   | Some ln ->
     let labels = (ln.Loopnest.header :: Loopnest.body_labels compiled.Lower.func ln) @ [ ln.Loopnest.latch ] in
-    List.filter_map (Cfg.find_block compiled.Lower.func) labels
+    let blocks = List.filter_map (Cfg.find_block compiled.Lower.func) labels in
+    (* The pipeline's final control-flow cleanup may merge the loop
+       bookkeeping blocks away, leaving the loopnest labels stale.
+       Partial information would misreport every stride as 0, so a
+       stale loopnest is treated as no loop at all. *)
+    if List.length blocks < List.length labels then [] else blocks
 
 let analyze (compiled : Lower.compiled) =
   match compiled.Lower.loopnest with
   | None -> []
   | Some _ ->
-    let blocks = loop_blocks compiled in
+    match loop_blocks compiled with
+    | [] -> []
+    | blocks ->
     let stat (a : Lower.array_param) =
       let reg = a.Lower.a_reg in
       let stride = ref 0 and loads = ref 0 and stores = ref 0 in

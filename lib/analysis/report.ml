@@ -10,10 +10,13 @@ type t = {
   accumulators : Accuminfo.accum list;
   prefetch_arrays : Ptrinfo.moving list;
   output_arrays : string list;
+  gpr_pressure : int;
+  xmm_pressure : int;
 }
 
 let analyze (compiled : Lower.compiled) =
   let vec = Vecinfo.analyze compiled in
+  let gpr_pressure, xmm_pressure = Lint.max_pressure compiled.Lower.func in
   {
     kernel_name = compiled.Lower.source.Ifko_hil.Ast.k_name;
     has_opt_loop = compiled.Lower.loopnest <> None;
@@ -27,6 +30,8 @@ let analyze (compiled : Lower.compiled) =
       List.filter_map
         (fun (a : Lower.array_param) -> if a.Lower.a_output then Some a.Lower.a_name else None)
         compiled.Lower.arrays;
+    gpr_pressure;
+    xmm_pressure;
   }
 
 let to_string t =
@@ -42,6 +47,7 @@ let to_string t =
   | None -> ());
   add "max safe unroll  : %d\n" t.max_unroll;
   add "accumulators     : %d\n" (List.length t.accumulators);
+  add "register pressure: %d GPR, %d XMM\n" t.gpr_pressure t.xmm_pressure;
   add "output arrays    : %s\n"
     (if t.output_arrays = [] then "-" else String.concat ", " t.output_arrays);
   List.iter

@@ -17,6 +17,10 @@ type t = {
   accumulators : Accuminfo.accum list;
   prefetch_arrays : Ptrinfo.moving list;
   output_arrays : string list;  (** candidates for non-temporal writes *)
+  gpr_pressure : int;
+      (** peak simultaneously-live GPRs in the lowered kernel (per-block
+          maximum from {!Lint.pressure}) *)
+  xmm_pressure : int;  (** likewise for XMM registers *)
 }
 
 val analyze : Ifko_codegen.Lower.compiled -> t

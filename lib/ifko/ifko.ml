@@ -18,6 +18,10 @@ end
 module Lower = Ifko_codegen.Lower
 module Loopnest = Ifko_codegen.Loopnest
 module Report = Ifko_analysis.Report
+module Dataflow = Ifko_analysis.Dataflow
+module Diag = Ifko_analysis.Diag
+module Lint = Ifko_analysis.Lint
+module Passcheck = Ifko_transform.Passcheck
 module Params = Ifko_transform.Params
 module Pipeline = Ifko_transform.Pipeline
 module Config = Ifko_machine.Config

@@ -11,19 +11,35 @@ type tuned = {
   evaluations : int;
 }
 
-let compile_point ~cfg compiled params =
+let compile_point ?check ~cfg compiled params =
   let c =
-    Ifko_transform.Pipeline.apply ~line_bytes:cfg.Config.prefetchable_line compiled params
+    Ifko_transform.Pipeline.apply ?check ~line_bytes:cfg.Config.prefetchable_line compiled
+      params
   in
   c.Ifko_codegen.Lower.func
 
-let tune ?(extensions = false) ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
+(* Small deterministic workloads for per-pass translation validation:
+   a remainder-heavy size and one spanning several unrolled bodies. *)
+let check_sizes = [ 5; 34 ]
+
+let tune ?(extensions = false) ?(check_each_pass = false) ~cfg ~context ~spec ~n
+    ~flops_per_n ~test compiled =
   let report = Ifko_analysis.Report.analyze compiled in
   let default_params =
     Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
   in
+  let check =
+    if not check_each_pass then None
+    else
+      Some
+        (Ifko_transform.Passcheck.of_envs ~line_bytes:cfg.Config.prefetchable_line
+           ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize
+           (List.map (fun n () -> spec.Ifko_sim.Timer.make_env n) check_sizes))
+  in
   let probe params =
-    match compile_point ~cfg compiled params with
+    match compile_point ?check ~cfg compiled params with
+    | exception (Ifko_transform.Passcheck.Pass_failed _ as broken) ->
+      raise broken (* fail fast: a transform miscompiled this point *)
     | exception _ -> neg_infinity (* an illegal point is just skipped *)
     | func ->
       if not (test func) then neg_infinity

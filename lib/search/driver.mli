@@ -19,14 +19,18 @@ type tuned = {
 }
 
 val compile_point :
+  ?check:Ifko_transform.Passcheck.t ->
   cfg:Ifko_machine.Config.t ->
   Ifko_codegen.Lower.compiled ->
   Ifko_transform.Params.t ->
   Cfg.func
-(** One FKO invocation at an explicit parameter point. *)
+(** One FKO invocation at an explicit parameter point.  [check]
+    enables per-pass lint + translation validation
+    ({!Ifko_transform.Pipeline.apply}). *)
 
 val tune :
   ?extensions:bool ->
+  ?check_each_pass:bool ->
   cfg:Ifko_machine.Config.t ->
   context:Ifko_sim.Timer.context ->
   spec:Ifko_sim.Timer.spec ->
@@ -38,4 +42,10 @@ val tune :
 (** Run the full iterative and empirical compilation of a lowered
     kernel for problem size [n] in the given machine and context.
     [extensions] also searches the future-work transformations (block
-    fetch, CISC indexing); defaults to the paper's published FKO. *)
+    fetch, CISC indexing); defaults to the paper's published FKO.
+
+    [check_each_pass] runs the lint suite and translation validation
+    after every transformation pass of every probed point: instead of
+    silently discarding a miscompiled point (or worse, timing it), the
+    tune fails fast with {!Ifko_transform.Passcheck.Pass_failed}
+    naming the offending pass. *)

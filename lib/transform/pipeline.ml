@@ -39,44 +39,100 @@ let protected_labels (compiled : Lower.compiled) =
     | Some (h, l) -> h :: l :: fixed
     | None -> fixed)
 
-let repeatable ?(protect = []) (f : Cfg.func) =
+(** Maximum rounds of the repeatable block before giving up on the
+    fixpoint. *)
+let max_repeat = 20
+
+(** [repeatable ?on_pass f] runs the repeatable transformations to a
+    fixpoint; [on_pass] is invoked with a pass name after every
+    sub-pass that changed the function (the per-pass checking hook).
+    If the fixpoint is not reached within {!max_repeat} rounds a
+    diagnostic is emitted on stderr instead of stopping silently. *)
+let repeatable ?on_pass ?(protect = []) (f : Cfg.func) =
+  let notify name = match on_pass with Some cb -> cb name | None -> () in
+  let sub round name run =
+    let changed = run f in
+    if changed then notify (Printf.sprintf "%s (round %d)" name round);
+    changed
+  in
   let rec go n =
-    let changed =
-      let c1 = Copyprop.run f in
-      let c2 = Peephole.run f in
-      let c3 = Deadcode.run f in
-      let c4 = Branchopt.run ~protect f in
-      c1 || c2 || c3 || c4
-    in
-    if changed && n < 20 then go (n + 1) else n + 1
+    let c1 = sub n "copyprop" Copyprop.run in
+    let c2 = sub n "peephole" Peephole.run in
+    let c3 = sub n "deadcode" Deadcode.run in
+    let c4 = sub n "branchopt" (Branchopt.run ~protect) in
+    let changed = c1 || c2 || c3 || c4 in
+    if changed && n < max_repeat then go (n + 1)
+    else begin
+      if changed then
+        prerr_endline
+          (Ifko_analysis.Diag.to_string
+             (Ifko_analysis.Diag.warning "IFK009"
+                "repeatable transforms on %s still changing after %d rounds; fixpoint \
+                 not reached"
+                f.Cfg.fname max_repeat));
+      n + 1
+    end
   in
   go 0
 
-let apply ?(skip_regalloc = false) ~line_bytes (compiled : Lower.compiled) (params : Params.t) =
+(** [apply ?check ?inject ~line_bytes compiled params] is one FKO
+    invocation: the fundamental transformations in fixed order, the
+    repeatable block to a fixpoint, register allocation.
+
+    With [?check] (a {!Passcheck.t}), the lint suite and translation
+    validation run after {e each} pass, raising
+    {!Passcheck.Pass_failed} naming the first pass that broke an
+    invariant.  [?inject] is fault injection for testing that
+    machinery: [(pass, break)] runs [break] on the compiled kernel
+    right after the named pass, simulating a bug in it. *)
+let apply ?(skip_regalloc = false) ?check ?inject ~line_bytes (compiled : Lower.compiled)
+    (params : Params.t) =
   let c = snapshot compiled in
   let f = c.Lower.func in
+  let reference =
+    Option.map (fun ck -> Passcheck.capture ck ~pass:"lowering" c) check
+  in
+  let checked pass =
+    (match inject with
+    | Some (target, break) when target = pass -> break c
+    | _ -> ());
+    match (check, reference) with
+    | Some ck, Some reference -> Passcheck.verify ck ~pass ~reference c
+    | _ -> ()
+  in
+  let fundamental pass enabled run =
+    if enabled then begin
+      run ();
+      checked pass
+    end
+  in
   (* Fundamental transformations, fixed order. *)
-  if params.Params.sv then Simd.apply c;
-  if params.Params.unroll > 1 then Unroll.apply c params.Params.unroll;
-  if params.Params.cisc then Ciscidx.apply c;
-  if params.Params.lc then Loopctl.apply c;
-  if params.Params.ae > 1 then Accexp.apply c params.Params.ae;
-  if params.Params.bf > 0 then Blockfetch.apply c params.Params.bf;
-  if params.Params.prefetch <> [] then
-    Prefetch_xform.apply c ~line_bytes params.Params.prefetch;
-  if params.Params.wnt then Ntwrite.apply c;
+  fundamental "SV" params.Params.sv (fun () -> Simd.apply c);
+  fundamental "UR" (params.Params.unroll > 1) (fun () -> Unroll.apply c params.Params.unroll);
+  fundamental "CISC" params.Params.cisc (fun () -> Ciscidx.apply c);
+  fundamental "LC" params.Params.lc (fun () -> Loopctl.apply c);
+  fundamental "AE" (params.Params.ae > 1) (fun () -> Accexp.apply c params.Params.ae);
+  fundamental "BF" (params.Params.bf > 0) (fun () -> Blockfetch.apply c params.Params.bf);
+  fundamental "PF"
+    (params.Params.prefetch <> [])
+    (fun () -> Prefetch_xform.apply c ~line_bytes params.Params.prefetch);
+  fundamental "WNT" params.Params.wnt (fun () -> Ntwrite.apply c);
   (* Repeatable block to fixed point, then allocation, then a final
      cleanup of any trivialities the spill code introduced. *)
-  ignore (repeatable ~protect:(protected_labels c) f : int);
+  let on_pass = if check = None then None else Some checked in
+  ignore (repeatable ?on_pass ~protect:(protected_labels c) f : int);
   (* Final unprotected control-flow cleanup: nothing needs the loop
      bookkeeping labels any more, so the body can absorb the latch
      (removing a jump per iteration).  The loop-nest labels in [c] may
      go stale here; only the code matters from this point on. *)
   ignore (Branchopt.run f : bool);
+  checked "branchopt (final)";
   Validate.check f;
   if not skip_regalloc then begin
     Regalloc.run f;
+    checked "regalloc";
     ignore (Peephole.run f : bool);
+    checked "peephole (post-regalloc)";
     Validate.check_physical f
   end;
   c

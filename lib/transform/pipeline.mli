@@ -11,12 +11,22 @@
 val snapshot : Ifko_codegen.Lower.compiled -> Ifko_codegen.Lower.compiled
 (** Deep-copy a compiled kernel (blocks and loop-nest bookkeeping). *)
 
-val repeatable : ?protect:string list -> Cfg.func -> int
+val max_repeat : int
+(** Round budget of the repeatable block (a diagnostic is emitted when
+    the fixpoint is not reached within it). *)
+
+val repeatable : ?on_pass:(string -> unit) -> ?protect:string list -> Cfg.func -> int
 (** Iterate the repeatable-transformation block until nothing changes;
-    returns the number of iterations taken (at least 1). *)
+    returns the number of iterations taken (at least 1).  [on_pass] is
+    called with a pass name (e.g. ["deadcode (round 2)"]) after every
+    sub-pass that changed the function — the per-pass checking hook.
+    If {!max_repeat} rounds do not reach the fixpoint, an [IFK009]
+    diagnostic is printed to stderr. *)
 
 val apply :
   ?skip_regalloc:bool ->
+  ?check:Passcheck.t ->
+  ?inject:string * (Ifko_codegen.Lower.compiled -> unit) ->
   line_bytes:int ->
   Ifko_codegen.Lower.compiled ->
   Params.t ->
@@ -26,4 +36,14 @@ val apply :
     the result in virtual-register form (used by tests and the [-S]
     CLI mode before allocation).  The result validates under
     {!Validate.check_physical} (or {!Validate.check} when allocation
-    is skipped). *)
+    is skipped).
+
+    [check] enables per-pass checking: after each fundamental
+    transform, each repeatable sub-pass that fired, and each
+    post-allocation step, the {!Ifko_analysis.Lint} suite and
+    {!Passcheck} translation validation run, raising
+    {!Passcheck.Pass_failed} naming the first offending pass.
+
+    [inject] is test-only fault injection: [(pass, break)] applies
+    [break] right after the named pass so tests can assert that the
+    checker localizes a deliberately broken transform. *)

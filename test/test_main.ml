@@ -7,6 +7,7 @@ let () =
       ("lil", Test_lil.suite);
       ("codegen", Test_codegen.suite);
       ("analysis", Test_analysis.suite);
+      ("lint", Test_lint.suite);
       ("machine", Test_machine.suite);
       ("sim", Test_sim.suite);
       ("transform", Test_transform.suite);
