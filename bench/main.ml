@@ -7,6 +7,11 @@
      dune exec bench/main.exe -- --quick      -- double precision only
      dune exec bench/main.exe -- --bechamel   -- Bechamel micro-benchmarks
                                                  of the harness machinery
+     --store PATH   persistent tuning store (default BENCH_store.jsonl;
+                    a second run is answered mostly from the journal)
+     --no-store     disable the store
+     --jobs N       parallel probe evaluation (bit-identical results)
+     --json PATH    machine-readable run report (default BENCH_results.json)
 
    Experiments: table1 table2 fig2 fig3 fig4 fig5a fig5b table3 fig7
                 opteron_l2 ablations all *)
@@ -19,11 +24,16 @@ let seed = 20050614 (* ICPP 2005 *)
 let quick = ref false
 let selected : string list ref = ref []
 let bechamel_mode = ref false
+let store_path = ref (Some "BENCH_store.jsonl")
+let json_path = ref "BENCH_results.json"
+let jobs = ref 1
+let store : Ifko_store.Store.t option ref = ref None
 
 let kernels () =
   if !quick then List.filter (fun k -> k.Defs.prec = Instr.D) Defs.all else Defs.all
 
-(* Studies are expensive; compute each (machine, context) pair once. *)
+(* Studies are expensive; compute each (machine, context) pair once per
+   process — and, through the store, once per journal. *)
 let study_cache : (string, Ifko_eval.Eval.study) Hashtbl.t = Hashtbl.create 4
 
 let study ~cfg ~context ~n =
@@ -35,7 +45,7 @@ let study ~cfg ~context ~n =
     let s =
       Ifko_eval.Eval.run_study ~kernels:(kernels ())
         ~progress:(fun line -> Printf.printf "      %s\n%!" line)
-        ~cfg ~context ~n ~seed ()
+        ?store:!store ~jobs:!jobs ~cfg ~context ~n ~seed ()
     in
     Hashtbl.replace study_cache key s;
     s
@@ -98,8 +108,8 @@ let ablation_search () =
       let flops_per_n = Defs.flops_per_n id.Defs.routine in
       let test _ = true in
       let tuned =
-        Ifko_search.Driver.tune ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000
-          ~flops_per_n ~test compiled
+        Ifko_search.Driver.tune ?store:!store ~jobs:!jobs ~seed ~cfg
+          ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000 ~flops_per_n ~test compiled
       in
       (* the pure-1-D result is the state before the UR*AE / PF2 refinements *)
       let pure_1d =
@@ -129,10 +139,25 @@ let ablation_prefetch_model () =
       let flops = Defs.flops_per_n id.Defs.routine in
       let time p =
         let f = Ifko_search.Driver.compile_point ~cfg compiled p in
-        let cycles =
-          Ifko_sim.Timer.measure ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000 f
-        in
-        Ifko_sim.Timer.mflops ~cfg ~flops_per_n:flops ~n:80000 ~cycles
+        match
+          Ifko_store.Store.cached ?store:!store
+            ~key:
+              (Ifko_store.Store.timing_key ~kind:"ablation2" ~func:(Cfg.to_string f)
+                 ~machine:cfg.Config.name ~context:"out-of-cache" ~n:80000 ~seed)
+            ~params:(Ifko_transform.Params.to_string p)
+            ~prov:(Printf.sprintf "ablation2:%s" (Defs.name id))
+            (fun () ->
+              let cycles =
+                Ifko_sim.Timer.measure ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec
+                  ~n:80000 f
+              in
+              Ifko_store.Store.Timed
+                { cycles;
+                  mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n:flops ~n:80000 ~cycles
+                })
+        with
+        | Ifko_store.Store.Timed { mflops; _ } -> mflops
+        | _ -> neg_infinity
       in
       let best =
         List.fold_left
@@ -201,10 +226,27 @@ let ablation_extrapolation () =
       let f = Ifko_search.Driver.compile_point ~cfg compiled d in
       let spec = Workload.timer_spec id ~seed in
       let n = 80000 in
-      let extrap =
-        Ifko_sim.Timer.measure ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n f
+      let cached_cycles kind run =
+        match
+          Ifko_store.Store.cached ?store:!store
+            ~key:
+              (Ifko_store.Store.timing_key ~kind ~func:(Cfg.to_string f)
+                 ~machine:cfg.Config.name ~context:"out-of-cache" ~n ~seed)
+            ~params:kind
+            ~prov:(Printf.sprintf "ablation4:%s" (Defs.name id))
+            (fun () -> Ifko_store.Store.Timed { cycles = run (); mflops = 0.0 })
+        with
+        | Ifko_store.Store.Timed { cycles; _ } -> cycles
+        | _ -> nan
       in
-      let exact = Ifko_sim.Timer.exact ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n f in
+      let extrap =
+        cached_cycles "ablation4-extrap" (fun () ->
+            Ifko_sim.Timer.measure ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n f)
+      in
+      let exact =
+        cached_cycles "ablation4-exact" (fun () ->
+            Ifko_sim.Timer.exact ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n f)
+      in
       Printf.printf "  %-7s extrapolated=%.0f exact=%.0f cycles (error %+.2f%%)\n"
         (Defs.name id) extrap exact
         (100.0 *. ((extrap -. exact) /. exact)))
@@ -221,15 +263,15 @@ let ablation_future_work () =
   let spec = Workload.timer_spec id ~seed in
   let test _ = true in
   let tune ~extensions =
-    (Ifko_search.Driver.tune ~extensions ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec
-       ~n:80000 ~flops_per_n:1.0 ~test compiled)
+    (Ifko_search.Driver.tune ~extensions ?store:!store ~jobs:!jobs ~seed ~cfg
+       ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000 ~flops_per_n:1.0 ~test compiled)
       .Ifko_search.Driver.ifko_mflops
   in
   let published = tune ~extensions:false in
   let extended = tune ~extensions:true in
   let atlas =
-    (Ifko_baselines.Atlas_search.select ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~n:80000
-       ~seed id)
+    (Ifko_baselines.Atlas_search.select ?store:!store ~cfg
+       ~context:Ifko_sim.Timer.Out_of_cache ~n:80000 ~seed id)
       .Ifko_baselines.Atlas_search.mflops
   in
   Printf.printf
@@ -241,15 +283,16 @@ let ablation_future_work () =
   let idv = { Defs.routine = Defs.Iamax; prec = Instr.S } in
   let specv = Workload.timer_spec idv ~seed in
   let tune_iamax compiled =
-    (Ifko_search.Driver.tune ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec:specv ~n:80000
-       ~flops_per_n:2.0 ~test compiled)
+    (Ifko_search.Driver.tune ?store:!store ~jobs:!jobs ~seed ~cfg
+       ~context:Ifko_sim.Timer.Out_of_cache ~spec:specv ~n:80000 ~flops_per_n:2.0 ~test
+       compiled)
       .Ifko_search.Driver.ifko_mflops
   in
   let scalar = tune_iamax (Hil_sources.compile idv) in
   let speculative = tune_iamax (Hil_sources.compile_speculative idv) in
   let atlas_iamax =
-    (Ifko_baselines.Atlas_search.select ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~n:80000
-       ~seed idv)
+    (Ifko_baselines.Atlas_search.select ?store:!store ~cfg
+       ~context:Ifko_sim.Timer.Out_of_cache ~n:80000 ~seed idv)
       .Ifko_baselines.Atlas_search.mflops
   in
   Printf.printf
@@ -321,6 +364,46 @@ let experiments =
     ("fig7", exp_fig7); ("opteron_l2", exp_opteron_l2); ("ablations", exp_ablations);
   ]
 
+(* Per-experiment record for BENCH_results.json: wall-clock plus the
+   store traffic the experiment generated (misses = probes actually
+   compiled/verified/timed this run; hits = answered from the journal). *)
+type exp_stats = { exp_name : string; seconds : float; exp_hits : int; exp_misses : int }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_results_json ~path ~total_seconds (stats : exp_stats list) =
+  let oc = open_out path in
+  let rate h m = if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m) in
+  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"quick\": %b,\n  \"jobs\": %d,\n" !quick !jobs;
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  (match !store with
+  | Some st ->
+    Printf.fprintf oc "  \"store\": \"%s\",\n" (json_escape (Ifko_store.Store.path st));
+    Printf.fprintf oc "  \"store_entries\": %d,\n" (Ifko_store.Store.entries st)
+  | None -> Printf.fprintf oc "  \"store\": null,\n");
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"experiments\": [\n" total_seconds;
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"seconds\": %.3f, \"probes_computed\": %d, \
+         \"store_hits\": %d, \"hit_rate\": %.4f}%s\n"
+        (json_escape s.exp_name) s.seconds s.exp_misses s.exp_hits
+        (rate s.exp_hits s.exp_misses)
+        (if i = List.length stats - 1 then "" else ","))
+    stats;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 let () =
   let rec parse = function
     | [] -> ()
@@ -333,6 +416,18 @@ let () =
     | "--exp" :: name :: rest ->
       selected := !selected @ [ name ];
       parse rest
+    | "--store" :: path :: rest ->
+      store_path := Some path;
+      parse rest
+    | "--no-store" :: rest ->
+      store_path := None;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := path;
+      parse rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %S\n" arg;
       exit 2
@@ -340,21 +435,48 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !bechamel_mode then run_bechamel ()
   else begin
+    store := Option.map (Ifko_store.Store.open_ ~seed) !store_path;
     let to_run =
       match !selected with
       | [] | [ "all" ] -> List.map fst experiments
       | l -> l
     in
-    List.iter
-      (fun name ->
-        match List.assoc_opt name experiments with
-        | Some f ->
-          Printf.printf "\n================ %s ================\n%!" name;
-          f ();
-          print_newline ()
-        | None ->
-          Printf.eprintf "unknown experiment %S (known: %s)\n" name
-            (String.concat ", " (List.map fst experiments));
-          exit 2)
-      to_run
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f ->
+            Printf.printf "\n================ %s ================\n%!" name;
+            let h0, m0 =
+              match !store with
+              | Some st -> (Ifko_store.Store.hits st, Ifko_store.Store.misses st)
+              | None -> (0, 0)
+            in
+            let start = Unix.gettimeofday () in
+            f ();
+            let seconds = Unix.gettimeofday () -. start in
+            let h1, m1 =
+              match !store with
+              | Some st -> (Ifko_store.Store.hits st, Ifko_store.Store.misses st)
+              | None -> (0, 0)
+            in
+            print_newline ();
+            { exp_name = name; seconds; exp_hits = h1 - h0; exp_misses = m1 - m0 }
+          | None ->
+            Printf.eprintf "unknown experiment %S (known: %s)\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        to_run
+    in
+    let total_seconds = Unix.gettimeofday () -. t0 in
+    write_results_json ~path:!json_path ~total_seconds stats;
+    (match !store with
+    | Some st ->
+      Printf.printf "store %s: %d entries, %d hits / %d computed this run\n"
+        (Ifko_store.Store.path st) (Ifko_store.Store.entries st) (Ifko_store.Store.hits st)
+        (Ifko_store.Store.misses st);
+      Ifko_store.Store.close st
+    | None -> ());
+    Printf.printf "results written to %s (%.1f s total)\n" !json_path total_seconds
   end

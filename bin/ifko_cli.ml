@@ -5,6 +5,9 @@
      ifko compile  FILE [flags]    -- one FKO invocation; prints assembly
      ifko lint     FILE [flags]    -- static checks + per-pass validation
      ifko tune     FILE [flags]    -- the full iterative/empirical search
+                                      (--store PATH resumes/persists results,
+                                       --jobs N evaluates probes in parallel)
+     ifko store    stat/compact/clear PATH -- tuning-store maintenance
 
    Timing requires knowing how to build workloads for the kernel's
    parameters; the CLI binds every `ptr` parameter to a fresh random
@@ -32,8 +35,10 @@ let context_of = function
   | "l2" -> Ifko_sim.Timer.In_l2
   | other -> failwith (Printf.sprintf "unknown context %S (oc|l2)" other)
 
-(* Generic workload builder from the kernel's signature. *)
-let generic_spec (compiled : Ifko.Lower.compiled) =
+(* Generic workload builder from the kernel's signature.  [seed] makes
+   the random vectors reproducible — and is the seed the tuning store
+   keys on, so journaled results never alias across workloads. *)
+let generic_spec ?(seed = 0) (compiled : Ifko.Lower.compiled) =
   let prec =
     match compiled.Ifko.Lower.arrays with
     | a :: _ -> a.Ifko.Lower.a_elem
@@ -44,7 +49,7 @@ let generic_spec (compiled : Ifko.Lower.compiled) =
       max (1 lsl 20) ((List.length compiled.Ifko.Lower.arrays * n * 8) + (1 lsl 16))
     in
     let env = Ifko_sim.Env.create ~mem_bytes:bytes () in
-    let rng = Ifko_util.Rng.create (n + 17) in
+    let rng = Ifko_util.Rng.create (seed + (31 * n) + 17) in
     List.iter
       (fun (p : Ifko_hil.Ast.param) ->
         match p.Ifko_hil.Ast.p_ty with
@@ -229,15 +234,45 @@ let tune_cmd =
             "validate every transformation pass of every probed point (lint + \
              translation validation); the tune aborts naming the offending pass")
   in
-  let run file machine context n flops_per_n asm check_each_pass =
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"PATH"
+          ~doc:
+            "persistent tuning store (JSON-lines journal): probe outcomes are \
+             journaled as they are computed and repeat probes — including those of a \
+             previously killed tune — are answered from it")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "evaluate probe batches on $(docv) worker domains; results are \
+             bit-identical to --jobs 1")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 20050614
+      & info [ "seed" ] ~docv:"SEED" ~doc:"workload seed (part of the store key)")
+  in
+  let run file machine context n flops_per_n asm check_each_pass store_path jobs seed =
     let cfg = machine_of machine in
     let context = context_of context in
     let compiled = load file in
-    let spec = generic_spec compiled in
+    let spec = generic_spec ~seed compiled in
+    let store = Option.map (Ifko.Store.open_ ~seed) store_path in
     let tuned =
-      Ifko.tune ~check_each_pass ~cfg ~context ~spec ~n ~flops_per_n
+      Ifko.tune ~check_each_pass ?store ~jobs ~seed ~cfg ~context ~spec ~n ~flops_per_n
         ~test:(generic_test compiled spec) compiled
     in
+    (match store with
+    | Some st ->
+      Printf.printf "store %s: %d probes answered from the journal, %d computed\n"
+        (Ifko.Store.path st) (Ifko.Store.hits st) (Ifko.Store.misses st);
+      Ifko.Store.close st
+    | None -> ());
     print_string (Ifko.Report.to_string tuned.Ifko.Driver.report);
     Printf.printf "\nFKO default point : %8.1f MFLOPS  (%s)\n"
       tuned.Ifko.Driver.fko_mflops
@@ -255,10 +290,47 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"iteratively and empirically tune a HIL kernel")
-    Term.(const run $ file $ machine_arg $ context $ n $ flops $ asm $ check)
+    Term.(
+      const run $ file $ machine_arg $ context $ n $ flops $ asm $ check $ store_arg
+      $ jobs_arg $ seed_arg)
+
+(* ---- store ---- *)
+
+let store_cmd =
+  let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
+  let stat =
+    Cmd.v
+      (Cmd.info "stat" ~doc:"summarize a tuning-store journal")
+      Term.(const (fun p -> print_string (Ifko.Store.stat_string p)) $ path_arg)
+  in
+  let compact =
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"rewrite the journal with one record per key (atomic rename)")
+      Term.(
+        const (fun p ->
+            if not (Sys.file_exists p) then begin
+              Printf.eprintf "%s: no store\n" p;
+              Stdlib.exit 1
+            end;
+            let st = Ifko.Store.open_ p in
+            Ifko.Store.compact st;
+            Ifko.Store.close st;
+            print_string (Ifko.Store.stat_string p))
+        $ path_arg)
+  in
+  let clear =
+    Cmd.v
+      (Cmd.info "clear" ~doc:"delete the journal")
+      Term.(const Ifko.Store.clear $ path_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"maintain a persistent tuning store")
+    [ stat; compact; clear ]
 
 let () =
   let doc = "iterative floating point kernel optimizer (paper reproduction)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "ifko" ~doc) [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd ]))
+       (Cmd.group (Cmd.info "ifko" ~doc)
+          [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd; store_cmd ]))

@@ -25,9 +25,10 @@ let pf_grid (cfg : Config.t) =
   let line = cfg.Config.prefetchable_line in
   [ None; Some (Instr.Nta, 8 * line) ]
 
-let select ~cfg ~context ~n ~seed (id : Defs.kernel_id) =
+let select ?store ~cfg ~context ~n ~seed (id : Defs.kernel_id) =
   let spec = Workload.timer_spec id ~seed in
   let flops_per_n = Defs.flops_per_n id.Defs.routine in
+  let context_name = Ifko_sim.Timer.context_name context in
   let best = ref None in
   List.iter
     (fun (cand : Atlas_kernels.candidate) ->
@@ -38,8 +39,36 @@ let select ~cfg ~context ~n ~seed (id : Defs.kernel_id) =
               match cand.Atlas_kernels.build ~cfg ~pf ~wnt with
               | exception _ -> () (* a candidate that fails to build is skipped *)
               | func ->
-                let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
-                let mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles in
+                (* building is construction, timing is simulation: only
+                   the timing is worth journaling, keyed by the built
+                   code itself (so editing a hand-tuned kernel misses) *)
+                let mflops =
+                  match
+                    Ifko_store.Store.cached ?store
+                      ~key:
+                        (Ifko_store.Store.timing_key ~kind:"atlas"
+                           ~func:(Cfg.to_string func) ~machine:cfg.Config.name
+                           ~context:context_name ~n ~seed)
+                      ~params:
+                        (Printf.sprintf "%s pf=%s wnt=%b" cand.Atlas_kernels.cand_name
+                           (match pf with
+                           | None -> "none"
+                           | Some (_, d) -> string_of_int d)
+                           wnt)
+                      ~prov:
+                        (Printf.sprintf "atlas:%s@%s/%s/n=%d" (Defs.name id)
+                           cfg.Config.name context_name n)
+                      (fun () ->
+                        let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
+                        Ifko_store.Store.Timed
+                          { cycles;
+                            mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles
+                          })
+                  with
+                  | Ifko_store.Store.Timed { mflops; _ } -> mflops
+                  | Ifko_store.Store.Test_failed | Ifko_store.Store.Illegal ->
+                    neg_infinity
+                in
                 let better =
                   match !best with None -> true | Some (m, _, _) -> mflops > m
                 in

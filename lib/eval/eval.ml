@@ -43,11 +43,24 @@ let make_test id ~seed =
         Ifko_sim.Verify.check ~tol ~ret_fsize:id.Defs.prec func env expect = Ok ())
       sizes
 
-let time_func ~cfg ~context ~spec ~n ~flops_per_n func =
-  let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
-  Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles
+let time_func ?store ~kind ~prov ~seed ~cfg ~context ~spec ~n ~flops_per_n func =
+  match
+    Ifko_store.Store.cached ?store
+      ~key:
+        (Ifko_store.Store.timing_key ~kind ~func:(Cfg.to_string func)
+           ~machine:cfg.Config.name
+           ~context:(Ifko_sim.Timer.context_name context)
+           ~n ~seed)
+      ~params:kind ~prov
+      (fun () ->
+        let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
+        Ifko_store.Store.Timed
+          { cycles; mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles })
+  with
+  | Ifko_store.Store.Timed { mflops; _ } -> mflops
+  | Ifko_store.Store.Test_failed | Ifko_store.Store.Illegal -> neg_infinity
 
-let run_kernel ~cfg ~context ~n ~seed id =
+let run_kernel ?store ?jobs ~cfg ~context ~n ~seed id =
   let compiled = Hil_sources.compile id in
   (* per the paper (§3.2.1), the native compilers get the
      straightforward scoped-if formulation of iamax *)
@@ -58,7 +71,11 @@ let run_kernel ~cfg ~context ~n ~seed id =
   let spec = Workload.timer_spec id ~seed in
   let flops_per_n = Defs.flops_per_n id.Defs.routine in
   let test = make_test id ~seed in
-  let time = time_func ~cfg ~context ~spec ~n ~flops_per_n in
+  let prov =
+    Printf.sprintf "%s@%s/%s/n=%d" (Defs.name id) cfg.Config.name
+      (Ifko_sim.Timer.context_name context) n
+  in
+  let time ~kind = time_func ?store ~kind ~prov ~seed ~cfg ~context ~spec ~n ~flops_per_n in
   let verified = ref true in
   let check func = if not (test func) then verified := false in
   (* native-compiler models *)
@@ -67,16 +84,18 @@ let run_kernel ~cfg ~context ~n ~seed id =
       (fun (m : Ifko_baselines.Compiler_model.t) ->
         let func = Ifko_baselines.Compiler_model.compile m ~cfg ~context compiled_for_cc in
         check func;
-        (m.Ifko_baselines.Compiler_model.name, time func))
+        ( m.Ifko_baselines.Compiler_model.name,
+          time ~kind:("model:" ^ m.Ifko_baselines.Compiler_model.name) func ))
       Ifko_baselines.Compiler_model.all
   in
   let of_model name = List.assoc name compiler_models in
   (* ATLAS's own empirical search over its hand-tuned collection *)
-  let atlas = Ifko_baselines.Atlas_search.select ~cfg ~context ~n ~seed id in
+  let atlas = Ifko_baselines.Atlas_search.select ?store ~cfg ~context ~n ~seed id in
   check atlas.Ifko_baselines.Atlas_search.func;
   (* the iterative and empirical compilation *)
   let tuned =
-    Ifko_search.Driver.tune ~cfg ~context ~spec ~n ~flops_per_n ~test compiled
+    Ifko_search.Driver.tune ?store ?jobs ~seed ~cfg ~context ~spec ~n ~flops_per_n ~test
+      compiled
   in
   check tuned.Ifko_search.Driver.best_func;
   {
@@ -95,11 +114,12 @@ let run_kernel ~cfg ~context ~n ~seed id =
     verified = !verified;
   }
 
-let run_study ?(kernels = Defs.all) ?(progress = fun _ -> ()) ~cfg ~context ~n ~seed () =
+let run_study ?(kernels = Defs.all) ?(progress = fun _ -> ()) ?store ?jobs ~cfg ~context
+    ~n ~seed () =
   let results =
     List.map
       (fun id ->
-        let r = run_kernel ~cfg ~context ~n ~seed id in
+        let r = run_kernel ?store ?jobs ~cfg ~context ~n ~seed id in
         progress
           (Printf.sprintf "%s/%s %-8s best=%s ifko=%.0f MFLOPS%s" cfg.Config.name
              (Ifko_sim.Timer.context_name context)

@@ -32,6 +32,8 @@ type study = {
 val run_study :
   ?kernels:Ifko_blas.Defs.kernel_id list ->
   ?progress:(string -> unit) ->
+  ?store:Ifko_store.Store.t ->
+  ?jobs:int ->
   cfg:Ifko_machine.Config.t ->
   context:Ifko_sim.Timer.context ->
   n:int ->
@@ -39,7 +41,11 @@ val run_study :
   unit ->
   study
 (** Tune and time everything.  [progress] receives one line per kernel
-    (the studies take tens of seconds; the bench uses this to narrate). *)
+    (the studies take tens of seconds; the bench uses this to narrate).
+    [store] journals every probe and baseline timing persistently, so a
+    rerun of the same study is answered from disk; [jobs] parallelizes
+    the ifko search's probe evaluation (see {!Ifko_search.Driver.tune}
+    — results are bit-identical for any [jobs]). *)
 
 val best_mflops : kernel_result -> float
 (** The best performance any method achieved on this kernel (the 100%

@@ -32,6 +32,8 @@ module Timer = Ifko_sim.Timer
 module Verify = Ifko_sim.Verify
 module Search = Ifko_search.Linesearch
 module Driver = Ifko_search.Driver
+module Store = Ifko_store.Store
+module Par = Ifko_par.Par
 module Blas = struct
   module Defs = Ifko_blas.Defs
   module Ref_impl = Ifko_blas.Ref_impl

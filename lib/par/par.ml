@@ -1,0 +1,104 @@
+let available_jobs () = Domain.recommended_domain_count ()
+
+module Pool = struct
+  type task = unit -> unit
+
+  type t = {
+    jobs : int;
+    mutex : Mutex.t;
+    work : Condition.t;  (** workers wait here for tasks (or shutdown) *)
+    finished : Condition.t;  (** the submitter waits here for the batch *)
+    queue : task Queue.t;
+    mutable pending : int;  (** tasks of the current batch not yet completed *)
+    mutable stop : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let rec worker pool =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.work pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* shutdown *)
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.mutex;
+      worker pool
+    end
+
+  let create ~jobs =
+    let jobs = max 1 (min jobs 64) in
+    let pool =
+      {
+        jobs;
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        finished = Condition.create ();
+        queue = Queue.create ();
+        pending = 0;
+        stop = false;
+        workers = [||];
+      }
+    in
+    if jobs > 1 then
+      pool.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool
+
+  let jobs t = t.jobs
+
+  (* Tasks never raise: each writes an Ok/Error slot, and the submitter
+     re-raises the lowest-index Error once the batch has settled, so
+     failure behaviour does not depend on scheduling. *)
+  let run t n f =
+    if n <= 0 then [||]
+    else if t.jobs <= 1 || n = 1 then begin
+      let results = Array.make n (f 0) in
+      for i = 1 to n - 1 do
+        results.(i) <- f i
+      done;
+      results
+    end
+    else begin
+      let slots = Array.make n None in
+      Mutex.lock t.mutex;
+      t.pending <- t.pending + n;
+      for i = 0 to n - 1 do
+        Queue.add (fun () -> slots.(i) <- Some (try Ok (f i) with e -> Error e)) t.queue
+      done;
+      Condition.broadcast t.work;
+      while t.pending > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      for i = 0 to n - 1 do
+        match slots.(i) with Some (Error e) -> raise e | _ -> ()
+      done;
+      Array.init n (fun i ->
+          match slots.(i) with Some (Ok v) -> v | _ -> assert false)
+    end
+
+  let map t f xs =
+    let arr = Array.of_list xs in
+    Array.to_list (run t (Array.length arr) (fun i -> f arr.(i)))
+
+  let shutdown t =
+    if t.workers <> [||] then begin
+      Mutex.lock t.mutex;
+      t.stop <- true;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      Array.iter Domain.join t.workers;
+      t.workers <- [||]
+    end
+
+  let with_pool ~jobs f =
+    let t = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+let map ~jobs f xs = Pool.with_pool ~jobs (fun p -> Pool.map p f xs)

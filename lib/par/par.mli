@@ -1,0 +1,56 @@
+(** Domain-based parallel evaluation with deterministic result order.
+
+    The empirical search spends essentially all of its time in probe
+    evaluation (compile + verify + time); probes are pure with respect
+    to each other — every probe snapshots the kernel and builds its own
+    {!Ifko_sim.Env}/{!Ifko_machine.Memsys} state — so whole candidate
+    batches can be evaluated concurrently.  This module provides the
+    substrate: a persistent pool of worker domains and an order-
+    preserving [map], so callers get bit-identical results regardless
+    of [jobs] (results come back in submission order; ties are then
+    broken exactly as in the sequential code).
+
+    Exceptions raised by tasks are re-raised in the submitting domain;
+    when several tasks of one batch fail, the {e lowest-index} failure
+    is chosen, so even error behaviour is deterministic. *)
+
+val available_jobs : unit -> int
+(** The runtime's recommended domain count for this machine. *)
+
+module Pool : sig
+  type t
+  (** A pool of worker domains.  With [jobs <= 1] no domains are
+      spawned and every batch runs inline in the submitting domain —
+      the two paths are observationally identical for pure tasks.
+
+      Batches must be submitted from one domain at a time (the search
+      is sequential between sweeps); the pool is not a general
+      multi-producer executor. *)
+
+  val create : jobs:int -> t
+  (** [create ~jobs] clamps [jobs] to [\[1, 64\]] and, when [jobs > 1],
+      spawns [jobs] worker domains that sleep until work arrives. *)
+
+  val jobs : t -> int
+  (** The (clamped) parallelism degree. *)
+
+  val run : t -> int -> (int -> 'a) -> 'a array
+  (** [run t n f] evaluates [f 0 .. f (n-1)] (concurrently when the
+      pool has workers) and returns the results indexed by input:
+      [(run t n f).(i) = f i].  Re-raises the lowest-index exception
+      after the whole batch has settled. *)
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** Order-preserving parallel [List.map] built on {!run}. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the worker domains.  Idempotent.  The pool must be
+      idle (no batch in flight). *)
+
+  val with_pool : jobs:int -> (t -> 'a) -> 'a
+  (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts the pool
+      down afterwards, whether [f] returns or raises. *)
+end
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [Pool.with_pool ~jobs (fun p -> Pool.map p f xs)]. *)

@@ -22,8 +22,31 @@ let compile_point ?check ~cfg compiled params =
    a remainder-heavy size and one spanning several unrolled bodies. *)
 let check_sizes = [ 5; 34 ]
 
-let tune ?(extensions = false) ?(check_each_pass = false) ~cfg ~context ~spec ~n
-    ~flops_per_n ~test compiled =
+(* Everything a probe outcome depends on, rendered for content
+   addressing: the untransformed lowered LIL plus the array metadata
+   the transformations and the prefetch search consume.  Editing the
+   kernel source changes this, so stale store entries simply miss. *)
+let kernel_fingerprint (compiled : Ifko_codegen.Lower.compiled) =
+  let arrays =
+    String.concat ";"
+      (List.map
+         (fun (a : Ifko_codegen.Lower.array_param) ->
+           Printf.sprintf "%s:%s%s%s" a.Ifko_codegen.Lower.a_name
+             (match a.Ifko_codegen.Lower.a_elem with Instr.S -> "s" | Instr.D -> "d")
+             (if a.Ifko_codegen.Lower.a_output then ":out" else "")
+             (if a.Ifko_codegen.Lower.a_noprefetch then ":nopf" else ""))
+         compiled.Ifko_codegen.Lower.arrays)
+  in
+  Printf.sprintf "%s\n%s\n%s"
+    compiled.Ifko_codegen.Lower.source.Ifko_hil.Ast.k_name arrays
+    (Cfg.to_string compiled.Ifko_codegen.Lower.func)
+
+let score = function
+  | Ifko_store.Store.Timed { mflops; _ } -> mflops
+  | Ifko_store.Store.Test_failed | Ifko_store.Store.Illegal -> neg_infinity
+
+let tune ?(extensions = false) ?(check_each_pass = false) ?store ?(jobs = 1) ?(seed = 0)
+    ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
   let report = Ifko_analysis.Report.analyze compiled in
   let default_params =
     Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
@@ -36,25 +59,67 @@ let tune ?(extensions = false) ?(check_each_pass = false) ~cfg ~context ~spec ~n
            ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize
            (List.map (fun n () -> spec.Ifko_sim.Timer.make_env n) check_sizes))
   in
-  let probe params =
+  let kernel = kernel_fingerprint compiled in
+  let prov =
+    Printf.sprintf "%s@%s/%s/n=%d"
+      compiled.Ifko_codegen.Lower.source.Ifko_hil.Ast.k_name cfg.Config.name
+      (Ifko_sim.Timer.context_name context) n
+  in
+  (* Functions compiled (and validated) by this run's probes, kept so
+     the winning point's code is reused instead of being recompiled —
+     and recompiled *unchecked* — at the end. *)
+  let funcs : (Ifko_transform.Params.t, Cfg.func) Hashtbl.t = Hashtbl.create 64 in
+  let funcs_mutex = Mutex.create () in
+  let compute params =
     match compile_point ?check ~cfg compiled params with
     | exception (Ifko_transform.Passcheck.Pass_failed _ as broken) ->
       raise broken (* fail fast: a transform miscompiled this point *)
-    | exception _ -> neg_infinity (* an illegal point is just skipped *)
+    | exception _ -> Ifko_store.Store.Illegal (* an illegal point is just skipped *)
     | func ->
-      if not (test func) then neg_infinity
+      Mutex.lock funcs_mutex;
+      Hashtbl.replace funcs params func;
+      Mutex.unlock funcs_mutex;
+      if not (test func) then Ifko_store.Store.Test_failed
       else
         let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
-        Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles
+        Ifko_store.Store.Timed
+          { cycles; mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles }
   in
-  let result = Linesearch.run ~extensions ~cfg ~report ~init:default_params probe in
+  let probe params =
+    let key =
+      Ifko_store.Store.probe_key ~kernel ~machine:cfg.Config.name
+        ~context:(Ifko_sim.Timer.context_name context) ~n ~seed ~check:check_each_pass
+        ~params:(Ifko_transform.Params.canonical params)
+    in
+    score
+      (Ifko_store.Store.cached ?store ~key
+         ~params:(Ifko_transform.Params.to_string params) ~prov (fun () -> compute params))
+  in
+  let search map_batch =
+    Linesearch.run ~extensions ?map_batch ~cfg ~report ~init:default_params probe
+  in
+  let result =
+    if jobs <= 1 then search None
+    else
+      Ifko_par.Par.Pool.with_pool ~jobs (fun pool ->
+          search (Some (fun f xs -> Ifko_par.Par.Pool.map pool f xs)))
+  in
+  let best = result.Linesearch.best in
+  let best_func =
+    match Hashtbl.find_opt funcs best with
+    | Some func -> func
+    | None ->
+      (* every probe of this run was answered from the store — compile
+         the winner once, under the same per-pass checking regime *)
+      compile_point ?check ~cfg compiled best
+  in
   {
     report;
     default_params;
-    best_params = result.Linesearch.best;
+    best_params = best;
     fko_mflops = result.Linesearch.start_perf;
     ifko_mflops = result.Linesearch.best_perf;
-    best_func = compile_point ~cfg compiled result.Linesearch.best;
+    best_func;
     contributions = result.Linesearch.contributions;
     evaluations = result.Linesearch.evaluations;
   }

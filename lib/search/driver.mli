@@ -28,9 +28,17 @@ val compile_point :
     enables per-pass lint + translation validation
     ({!Ifko_transform.Pipeline.apply}). *)
 
+val kernel_fingerprint : Ifko_codegen.Lower.compiled -> string
+(** The canonical rendering of a lowered kernel (name, array metadata,
+    LIL text) that probe store keys digest: any source edit that could
+    change a probe outcome changes this string. *)
+
 val tune :
   ?extensions:bool ->
   ?check_each_pass:bool ->
+  ?store:Ifko_store.Store.t ->
+  ?jobs:int ->
+  ?seed:int ->
   cfg:Ifko_machine.Config.t ->
   context:Ifko_sim.Timer.context ->
   spec:Ifko_sim.Timer.spec ->
@@ -48,4 +56,16 @@ val tune :
     after every transformation pass of every probed point: instead of
     silently discarding a miscompiled point (or worse, timing it), the
     tune fails fast with {!Ifko_transform.Passcheck.Pass_failed}
-    naming the offending pass. *)
+    naming the offending pass.
+
+    [store] journals every probe outcome in a persistent
+    content-addressed store and answers repeat probes from it, so a
+    killed tune resumes without re-paying completed evaluations and a
+    second identical tune costs only hash lookups.  [seed] must be the
+    workload seed baked into [spec]/[test] — it is part of the store
+    key, so results from differently seeded workloads never alias.
+
+    [jobs] evaluates each line-search sweep's candidates concurrently
+    on a domain pool.  Probes are mutually independent and tie-breaking
+    stays sequential first-wins, so [~jobs:4] returns bit-identical
+    [best_params], [ifko_mflops] and [evaluations] to [~jobs:1]. *)

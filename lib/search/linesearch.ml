@@ -10,28 +10,48 @@ type result = {
   evaluations : int;
 }
 
+type batch_map = (Params.t -> float) -> Params.t list -> float list
+
 type state = {
   probe : probe;
+  map_batch : batch_map;
   cache : (Params.t, float) Hashtbl.t;
   mutable evals : int;
   mutable cur : Params.t;
   mutable cur_perf : float;
 }
 
-let eval st p =
-  match Hashtbl.find_opt st.cache p with
-  | Some v -> v
-  | None ->
-    st.evals <- st.evals + 1;
-    let v = st.probe p in
-    Hashtbl.replace st.cache p v;
-    v
+(* Explicit left-to-right map, so the sequential path has a defined
+   probe order to be bit-identical with. *)
+let seq_map f xs = List.rev (List.rev_map f xs)
 
-(* Try every candidate produced by [variants]; keep the best. *)
+(* Try every candidate produced by [variants]; keep the best.
+
+   Candidates are independent of each other (each probe sees only its
+   own parameter point, never [cur]), so the batch's not-yet-memoized
+   points can be evaluated together through [map_batch] — concurrently,
+   when the driver supplies a domain pool.  The winner is then selected
+   by a sequential left-to-right fold with a strict [>], exactly as the
+   original one-at-a-time loop did: the first candidate wins ties, so
+   the search trajectory does not depend on the parallelism degree. *)
 let sweep st variants =
+  let batched = Hashtbl.create 8 in
+  let rec fresh_of = function
+    | [] -> []
+    | p :: rest ->
+      if Hashtbl.mem st.cache p || Hashtbl.mem batched p then fresh_of rest
+      else begin
+        Hashtbl.replace batched p ();
+        p :: fresh_of rest
+      end
+  in
+  let fresh = fresh_of variants in
+  let vals = st.map_batch st.probe fresh in
+  List.iter2 (fun p v -> Hashtbl.replace st.cache p v) fresh vals;
+  st.evals <- st.evals + List.length fresh;
   List.iter
     (fun p ->
-      let v = eval st p in
+      let v = Hashtbl.find st.cache p in
       if v > st.cur_perf then begin
         st.cur <- p;
         st.cur_perf <- v
@@ -58,8 +78,11 @@ let set_pf_ins (p : Params.t) name ins =
         p.Params.prefetch;
   }
 
-let run ?(extensions = false) ~cfg ~report ~init probe =
-  let st = { probe; cache = Hashtbl.create 64; evals = 0; cur = init; cur_perf = probe init } in
+let run ?(extensions = false) ?(map_batch = seq_map) ~cfg ~report ~init probe =
+  let st =
+    { probe; map_batch; cache = Hashtbl.create 64; evals = 0; cur = init;
+      cur_perf = probe init }
+  in
   st.evals <- 1;
   Hashtbl.replace st.cache init st.cur_perf;
   let start_perf = st.cur_perf in

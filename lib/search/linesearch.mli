@@ -22,6 +22,14 @@ type probe = Ifko_transform.Params.t -> float
 (** Performance of one parameter point (higher is better); the driver
     wires compilation, testing and timing into this. *)
 
+type batch_map = (Ifko_transform.Params.t -> float) -> Ifko_transform.Params.t list -> float list
+(** How to evaluate one sweep's worth of fresh candidates.  The default
+    is a sequential left-to-right map; the driver substitutes a domain
+    pool's order-preserving map to parallelize.  Candidates within a
+    batch are mutually independent, and the winner is always selected
+    by a sequential first-wins fold over the returned values, so any
+    order-preserving [batch_map] yields bit-identical search results. *)
+
 type result = {
   best : Ifko_transform.Params.t;
   best_perf : float;
@@ -34,6 +42,7 @@ type result = {
 
 val run :
   ?extensions:bool ->
+  ?map_batch:batch_map ->
   cfg:Ifko_machine.Config.t ->
   report:Ifko_analysis.Report.t ->
   init:Ifko_transform.Params.t ->

@@ -1,0 +1,401 @@
+type outcome =
+  | Timed of { mflops : float; cycles : float }
+  | Test_failed
+  | Illegal
+
+(* ---------------------------------------------------------------- *)
+(* Minimal JSON for the journal: flat objects of string / number /
+   bool fields.  Self-contained so the store adds no dependency. *)
+
+module Json = struct
+  type value = S of string | N of float | B of bool
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* %.17g round-trips every finite double, so reloaded MFLOPS compare
+     bit-identically with freshly computed ones. *)
+  let number f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let render fields =
+    let buf = Buffer.create 128 in
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        match v with
+        | S s ->
+          Buffer.add_char buf '"';
+          escape buf s;
+          Buffer.add_char buf '"'
+        | N f -> Buffer.add_string buf (number f)
+        | B b -> Buffer.add_string buf (if b then "true" else "false"))
+      fields;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  exception Bad
+
+  (* Parser for exactly the shape [render] produces (plus whitespace).
+     Any deviation raises [Bad]; the loader maps that to "corrupt". *)
+  let parse line =
+    let n = String.length line in
+    let pos = ref 0 in
+    let peek () = if !pos >= n then raise Bad else line.[!pos] in
+    let next () =
+      let c = peek () in
+      incr pos;
+      c
+    in
+    let skip_ws () =
+      while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let expect c = if next () <> c then raise Bad in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 32 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          (match next () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            let hex = Bytes.create 4 in
+            for i = 0 to 3 do
+              Bytes.set hex i (next ())
+            done;
+            let code = int_of_string ("0x" ^ Bytes.to_string hex) in
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else raise Bad (* the writer only escapes control chars *)
+          | _ -> raise Bad);
+          go ()
+        | c -> Buffer.add_char buf c; go ()
+      in
+      go ()
+    in
+    let parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> S (parse_string ())
+      | 't' ->
+        if n - !pos >= 4 && String.sub line !pos 4 = "true" then (pos := !pos + 4; B true)
+        else raise Bad
+      | 'f' ->
+        if n - !pos >= 5 && String.sub line !pos 5 = "false" then (pos := !pos + 5; B false)
+        else raise Bad
+      | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && match line.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false
+        do
+          incr pos
+        done;
+        if !pos = start then raise Bad;
+        (try N (float_of_string (String.sub line start (!pos - start)))
+         with _ -> raise Bad)
+    in
+    skip_ws ();
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if peek () = '}' then (ignore (next ()); [])
+    else begin
+      let rec members () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | _ -> raise Bad
+      in
+      members ();
+      skip_ws ();
+      if !pos <> n then raise Bad;
+      List.rev !fields
+    end
+end
+
+(* ---------------------------------------------------------------- *)
+
+type entry = { outcome : outcome; params : string; prov : string }
+
+type t = {
+  store_path : string;
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable oc : out_channel option;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable corrupt_count : int;
+  mutable header_seed : int option;
+}
+
+let schema_version = 1
+
+let header_line ~seed =
+  Json.render
+    ([ ("ifko_store", Json.N (float_of_int schema_version)) ]
+    @ match seed with None -> [] | Some s -> [ ("seed", Json.N (float_of_int s)) ])
+
+let entry_line key e =
+  let outcome_fields =
+    match e.outcome with
+    | Timed { mflops; cycles } ->
+      [ ("o", Json.S "timed"); ("mflops", Json.N mflops); ("cycles", Json.N cycles) ]
+    | Test_failed -> [ ("o", Json.S "test_failed") ]
+    | Illegal -> [ ("o", Json.S "illegal") ]
+  in
+  Json.render
+    ((("k", Json.S key) :: outcome_fields)
+    @ [ ("params", Json.S e.params); ("prov", Json.S e.prov) ])
+
+let parse_entry fields =
+  let str k = match List.assoc_opt k fields with Some (Json.S s) -> Some s | _ -> None in
+  let num k = match List.assoc_opt k fields with Some (Json.N f) -> Some f | _ -> None in
+  match str "k" with
+  | None -> None
+  | Some key ->
+    let params = Option.value ~default:"" (str "params") in
+    let prov = Option.value ~default:"" (str "prov") in
+    (match str "o" with
+    | Some "timed" ->
+      (match (num "mflops", num "cycles") with
+      | Some mflops, Some cycles ->
+        Some (key, { outcome = Timed { mflops; cycles }; params; prov })
+      | _ -> None)
+    | Some "test_failed" -> Some (key, { outcome = Test_failed; params; prov })
+    | Some "illegal" -> Some (key, { outcome = Illegal; params; prov })
+    | _ -> None)
+
+(* Load every parseable record; count (but survive) anything else —
+   in particular the torn trailing line a crash mid-append leaves. *)
+let load_lines t path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            match Json.parse line with
+            | exception Json.Bad -> t.corrupt_count <- t.corrupt_count + 1
+            | fields ->
+              (match List.assoc_opt "ifko_store" fields with
+              | Some (Json.N _) ->
+                (match List.assoc_opt "seed" fields with
+                | Some (Json.N s) when t.header_seed = None ->
+                  t.header_seed <- Some (int_of_float s)
+                | _ -> ())
+              | _ ->
+                (match parse_entry fields with
+                | Some (key, e) -> Hashtbl.replace t.table key e
+                | None -> t.corrupt_count <- t.corrupt_count + 1))
+          end
+        done
+      with End_of_file -> ())
+
+(* A crash mid-append can leave a torn line with no trailing newline;
+   appending straight after it would glue the next record onto the torn
+   one.  Start a fresh line whenever the journal does not end in \n. *)
+let ends_in_newline path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let ok =
+    len = 0
+    ||
+    (seek_in ic (len - 1);
+     input_char ic = '\n')
+  in
+  close_in_noerr ic;
+  ok
+
+let append_channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+    let needs_nl = Sys.file_exists t.store_path && not (ends_in_newline t.store_path) in
+    let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.store_path in
+    if needs_nl then output_char oc '\n';
+    t.oc <- Some oc;
+    oc
+
+let open_ ?seed path =
+  let t =
+    {
+      store_path = path;
+      mutex = Mutex.create ();
+      table = Hashtbl.create 256;
+      oc = None;
+      hit_count = 0;
+      miss_count = 0;
+      corrupt_count = 0;
+      header_seed = None;
+    }
+  in
+  let existed = Sys.file_exists path in
+  if existed then load_lines t path;
+  if (not existed) || (t.header_seed = None && Hashtbl.length t.table = 0) then begin
+    let oc = append_channel t in
+    output_string oc (header_line ~seed ^ "\n");
+    flush oc;
+    t.header_seed <- seed
+  end;
+  t
+
+let close t =
+  Mutex.lock t.mutex;
+  (match t.oc with
+  | Some oc ->
+    flush oc;
+    close_out_noerr oc;
+    t.oc <- None
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let path t = t.store_path
+let seed t = t.header_seed
+
+let find t ~key =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.table key in
+  (match r with
+  | Some _ -> t.hit_count <- t.hit_count + 1
+  | None -> t.miss_count <- t.miss_count + 1);
+  Mutex.unlock t.mutex;
+  Option.map (fun e -> e.outcome) r
+
+let add t ~key ~params ~prov outcome =
+  let e = { outcome; params; prov } in
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.table key e;
+  let oc = append_channel t in
+  output_string oc (entry_line key e ^ "\n");
+  flush oc;
+  Mutex.unlock t.mutex
+
+let cached ?store ~key ~params ~prov f =
+  match store with
+  | None -> f ()
+  | Some t ->
+    (match find t ~key with
+    | Some o -> o
+    | None ->
+      let o = f () in
+      add t ~key ~params ~prov o;
+      o)
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+let entries t = Hashtbl.length t.table
+let corrupt t = t.corrupt_count
+
+let compact t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      (match t.oc with
+      | Some oc ->
+        flush oc;
+        close_out_noerr oc;
+        t.oc <- None
+      | None -> ());
+      let tmp = t.store_path ^ ".compact.tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc (header_line ~seed:t.header_seed ^ "\n");
+      let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table []) in
+      List.iter
+        (fun k -> output_string oc (entry_line k (Hashtbl.find t.table k) ^ "\n"))
+        keys;
+      close_out oc;
+      Sys.rename tmp t.store_path)
+
+(* ---------------------------------------------------------------- *)
+(* Keys: hex MD5 of length-prefixed fields (no boundary aliasing). *)
+
+let digest fields =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (string_of_int (String.length f));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf f)
+    fields;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let probe_key ~kernel ~machine ~context ~n ~seed ~check ~params =
+  digest
+    [ "probe"; kernel; machine; context; string_of_int n; string_of_int seed;
+      (if check then "check" else "nocheck"); params ]
+
+let timing_key ~kind ~func ~machine ~context ~n ~seed =
+  digest [ "timing"; kind; func; machine; context; string_of_int n; string_of_int seed ]
+
+(* ---------------------------------------------------------------- *)
+
+let stat_string p =
+  if not (Sys.file_exists p) then Printf.sprintf "%s: no store\n" p
+  else begin
+    let t = open_ p in
+    close t;
+    let timed = ref 0 and failed = ref 0 and illegal = ref 0 in
+    Hashtbl.iter
+      (fun _ e ->
+        match e.outcome with
+        | Timed _ -> incr timed
+        | Test_failed -> incr failed
+        | Illegal -> incr illegal)
+      t.table;
+    let size =
+      let ic = open_in_bin p in
+      let n = in_channel_length ic in
+      close_in_noerr ic;
+      n
+    in
+    Printf.sprintf
+      "%s: %d entries (%d timed, %d test-failed, %d illegal), %d corrupt line%s \
+       skipped, %d bytes%s\n"
+      p (entries t) !timed !failed !illegal (corrupt t)
+      (if corrupt t = 1 then "" else "s")
+      size
+      (match seed t with
+      | Some s -> Printf.sprintf ", seed %d" s
+      | None -> "")
+  end
+
+let clear p = if Sys.file_exists p then Sys.remove p

@@ -1,0 +1,118 @@
+(** Persistent, content-addressed store of empirical tuning results.
+
+    Every probed point of the search costs a full FKO invocation plus a
+    verification run and a simulated timing — the expensive part of the
+    whole framework.  This store makes those results durable: the key
+    is a digest of everything the outcome depends on (the lowered LIL
+    kernel, the machine configuration, the timing context, the problem
+    size, the workload seed and the parameter point), the value is the
+    probe outcome with provenance.
+
+    On disk the store is an append-only JSON-lines journal: one header
+    line recording the schema version and workload seed, then one
+    self-contained record per probed point.  Appends are a single
+    buffered write + flush under a mutex, so worker domains can share
+    one handle; a crash mid-write leaves at most one torn trailing
+    line, which the loader tolerates (corrupt or truncated lines are
+    counted and skipped, never fatal).  [compact] rewrites the journal
+    with one record per key (last wins) via a temp file + atomic
+    rename. *)
+
+(** Outcome of one probe, as journaled. *)
+type outcome =
+  | Timed of { mflops : float; cycles : float }
+      (** compiled, verified, timed; [mflops] is derived from [cycles]
+          but both are stored so either view reloads exactly *)
+  | Test_failed  (** compiled but computed wrong answers *)
+  | Illegal  (** the pipeline rejected the parameter point *)
+
+type t
+(** An open store: the in-memory index plus the append channel. *)
+
+val open_ : ?seed:int -> string -> t
+(** [open_ ?seed path] loads the journal at [path] (creating it, with a
+    header recording [seed], if absent).  Corrupt lines are skipped and
+    counted, so a journal truncated by a crash loads fine. *)
+
+val close : t -> unit
+(** Flush and close the append channel.  Further [add]s reopen it. *)
+
+val path : t -> string
+
+val seed : t -> int option
+(** The workload seed recorded in the journal header, if any. *)
+
+val find : t -> key:string -> outcome option
+(** Thread-safe lookup; maintains the {!hits}/{!misses} counters. *)
+
+val add : t -> key:string -> params:string -> prov:string -> outcome -> unit
+(** Thread-safe insert + journal append (one flushed line).  [params]
+    and [prov] are human-readable provenance (the parameter point and
+    "kernel\@machine/context/N"); they do not affect lookup. *)
+
+val cached : ?store:t -> key:string -> params:string -> prov:string ->
+  (unit -> outcome) -> outcome
+(** [cached ?store ~key ... f] is [f ()] memoized through the store;
+    with [?store] absent it is just [f ()]. *)
+
+val hits : t -> int
+(** [find]s answered from the store since [open_]. *)
+
+val misses : t -> int
+(** [find]s that missed since [open_]. *)
+
+val entries : t -> int
+(** Distinct keys currently held. *)
+
+val corrupt : t -> int
+(** Journal lines skipped as corrupt/truncated during [open_]. *)
+
+val compact : t -> unit
+(** Rewrite the journal as header + one line per key, atomically
+    (temp file in the same directory, then rename). *)
+
+(** {2 Keys}
+
+    Keys are hex MD5 digests of a canonical encoding of the inputs.
+    Content addressing gives invalidation for free: editing the kernel
+    changes its lowered LIL, hence the digest, hence the key. *)
+
+val digest : string list -> string
+(** Digest of a list of fields (length-prefixed, so field boundaries
+    cannot alias). *)
+
+val probe_key :
+  kernel:string ->
+  machine:string ->
+  context:string ->
+  n:int ->
+  seed:int ->
+  check:bool ->
+  params:string ->
+  string
+(** Key of one search probe.  [kernel] is the lowered-LIL rendering of
+    the untransformed function (plus array metadata), [params] the
+    canonical parameter-point encoding ({!Ifko_transform.Params.canonical}),
+    [check] whether per-pass validation was on (it changes how broken
+    points surface). *)
+
+val timing_key :
+  kind:string ->
+  func:string ->
+  machine:string ->
+  context:string ->
+  n:int ->
+  seed:int ->
+  string
+(** Key of a raw timing of an already-built function ([func] is its
+    LIL rendering) — used to journal the ATLAS-search and
+    compiler-model baseline timings. [kind] namespaces the caller. *)
+
+(** {2 Maintenance (on a path, without a live handle)} *)
+
+val stat_string : string -> string
+(** Human-readable summary of the journal at a path: entry and outcome
+    counts, corrupt lines, header seed, file size. *)
+
+val clear : string -> unit
+(** Delete the journal file if it exists. *)

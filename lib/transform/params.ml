@@ -63,6 +63,19 @@ let pf_to_string = function
   | { pf_ins = None; _ } -> "none:0"
   | { pf_ins = Some k; pf_dist } -> Printf.sprintf "%s:%d" (pf_kind_to_string k) pf_dist
 
+(** Canonical full encoding of a parameter point, for content-addressed
+    store keys: unlike {!to_string} (a display format) it includes every
+    field — notably [lc] — so two points are equal iff their canonical
+    strings are. *)
+let canonical t =
+  let b v = if v then "1" else "0" in
+  Printf.sprintf "sv=%s;ur=%d;lc=%s;ae=%d;wnt=%s;bf=%d;cisc=%s;pf=%s" (b t.sv) t.unroll
+    (b t.lc) t.ae (b t.wnt) t.bf (b t.cisc)
+    (String.concat ","
+       (List.map
+          (fun (a, p) -> Printf.sprintf "%s:%s" a (pf_to_string p))
+          (List.sort (fun (a, _) (b, _) -> compare a b) t.prefetch)))
+
 (** Render in the style of the paper's Table 3:
     ["SV:WNT  pfX pfY  UR:AE"]. *)
 let to_string t =

@@ -12,6 +12,8 @@ let () =
       ("sim", Test_sim.suite);
       ("transform", Test_transform.suite);
       ("regalloc", Test_regalloc.suite);
+      ("par", Test_par.suite);
+      ("store", Test_store.suite);
       ("search", Test_search.suite);
       ("extensions", Test_extensions.suite);
       ("extras", Test_extras.suite);

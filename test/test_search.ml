@@ -124,6 +124,165 @@ let test_driver_rejects_wrong_answers () =
     (tuned.Ifko_search.Driver.ifko_mflops = neg_infinity
     || tuned.Ifko_search.Driver.ifko_mflops = tuned.Ifko_search.Driver.fko_mflops)
 
+(* ---- parallel evaluation and the persistent store ---- *)
+
+let params_t : Params.t Alcotest.testable =
+  Alcotest.testable (fun fmt p -> Format.pp_print_string fmt (Params.canonical p)) ( = )
+
+(* The synthetic objective used for the parallel/sequential comparison:
+   pure (no shared state), so it can run on worker domains. *)
+let synthetic_probe (p : Params.t) =
+  let score = ref (10.0 +. (0.7 *. float_of_int p.Params.unroll)) in
+  if p.Params.ae = 4 then score := !score +. 11.0;
+  if p.Params.sv then score := !score +. 3.0;
+  (match List.assoc_opt "X" p.Params.prefetch with
+  | Some { Params.pf_ins = Some Instr.T1; pf_dist } ->
+    score := !score +. (float_of_int pf_dist /. 100.0)
+  | _ -> ());
+  !score
+
+let test_linesearch_parallel_matches_sequential () =
+  let id = { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let report = report_for id in
+  let cfg = Ifko_machine.Config.p4e in
+  let init = Params.default ~line_bytes:128 report in
+  let seq = Ifko_search.Linesearch.run ~cfg ~report ~init synthetic_probe in
+  let par =
+    Ifko_par.Par.Pool.with_pool ~jobs:4 (fun pool ->
+        Ifko_search.Linesearch.run
+          ~map_batch:(fun f xs -> Ifko_par.Par.Pool.map pool f xs)
+          ~cfg ~report ~init synthetic_probe)
+  in
+  Alcotest.check params_t "same best point" seq.Ifko_search.Linesearch.best
+    par.Ifko_search.Linesearch.best;
+  Alcotest.(check (float 0.0)) "same best perf" seq.Ifko_search.Linesearch.best_perf
+    par.Ifko_search.Linesearch.best_perf;
+  Alcotest.(check int) "same evaluation count" seq.Ifko_search.Linesearch.evaluations
+    par.Ifko_search.Linesearch.evaluations
+
+(* A real end-to-end tune, sequential vs. 4 worker domains: the paper's
+   whole search must come out bit-identical. *)
+let test_driver_jobs_bit_identical () =
+  let id = { Defs.routine = Defs.Asum; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let spec = Workload.timer_spec id ~seed:13 in
+  let tune ~jobs =
+    Ifko_search.Driver.tune ~jobs ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000
+      ~flops_per_n:1.0
+      ~test:(fun _ -> true)
+      compiled
+  in
+  let t1 = tune ~jobs:1 and t4 = tune ~jobs:4 in
+  Alcotest.check params_t "same best_params" t1.Ifko_search.Driver.best_params
+    t4.Ifko_search.Driver.best_params;
+  Alcotest.(check (float 0.0)) "same MFLOPS" t1.Ifko_search.Driver.ifko_mflops
+    t4.Ifko_search.Driver.ifko_mflops;
+  Alcotest.(check int) "same evaluations" t1.Ifko_search.Driver.evaluations
+    t4.Ifko_search.Driver.evaluations;
+  Alcotest.(check (list (pair string (float 0.0)))) "same contributions"
+    t1.Ifko_search.Driver.contributions t4.Ifko_search.Driver.contributions
+
+let with_tmp_store_path f =
+  let path = Filename.temp_file "ifko_search_store" ".jsonl" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> Ifko_store.Store.clear path) (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+
+(* A tune killed mid-search leaves a journal of completed probes; a
+   resumed tune must re-evaluate only what is missing and land on the
+   same answer.  Simulated by truncating the journal to its first half
+   (exactly the on-disk state of a mid-search kill — the append order
+   is the probe order). *)
+let test_driver_store_resume () =
+  let id = { Defs.routine = Defs.Scal; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let spec = Workload.timer_spec id ~seed:13 in
+  let tune ?store () =
+    Ifko_search.Driver.tune ?store ~seed:13 ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec
+      ~n:80000 ~flops_per_n:1.0
+      ~test:(fun _ -> true)
+      compiled
+  in
+  let plain = tune () in
+  with_tmp_store_path (fun path ->
+      (* cold run: every probe is computed and journaled *)
+      let st = Ifko_store.Store.open_ ~seed:13 path in
+      let cold = tune ~store:st () in
+      let cold_misses = Ifko_store.Store.misses st in
+      Alcotest.(check int) "cold run computes every distinct point"
+        cold.Ifko_search.Driver.evaluations cold_misses;
+      Alcotest.(check int) "cold run hits nothing" 0 (Ifko_store.Store.hits st);
+      Alcotest.check params_t "store does not change the answer"
+        plain.Ifko_search.Driver.best_params cold.Ifko_search.Driver.best_params;
+      Alcotest.(check (float 0.0)) "store does not change the MFLOPS"
+        plain.Ifko_search.Driver.ifko_mflops cold.Ifko_search.Driver.ifko_mflops;
+      Ifko_store.Store.close st;
+      (* warm rerun: everything is answered from the journal *)
+      let st2 = Ifko_store.Store.open_ path in
+      let warm = tune ~store:st2 () in
+      Alcotest.(check int) "warm rerun recomputes nothing" 0 (Ifko_store.Store.misses st2);
+      Alcotest.(check int) "warm rerun is all journal hits"
+        warm.Ifko_search.Driver.evaluations (Ifko_store.Store.hits st2);
+      Alcotest.check params_t "warm best_params identical"
+        cold.Ifko_search.Driver.best_params warm.Ifko_search.Driver.best_params;
+      Alcotest.(check (float 0.0)) "warm MFLOPS identical"
+        cold.Ifko_search.Driver.ifko_mflops warm.Ifko_search.Driver.ifko_mflops;
+      Alcotest.(check int) "warm evaluations identical"
+        cold.Ifko_search.Driver.evaluations warm.Ifko_search.Driver.evaluations;
+      Ifko_store.Store.close st2;
+      (* kill mid-search: keep the header and the first half of the
+         journaled probes, resume from there *)
+      (match read_lines path with
+      | header :: entries ->
+        let keep = List.filteri (fun i _ -> i < List.length entries / 2) entries in
+        let oc = open_out_bin path in
+        List.iter (fun l -> output_string oc (l ^ "\n")) (header :: keep);
+        close_out oc
+      | [] -> Alcotest.fail "journal is empty");
+      let st3 = Ifko_store.Store.open_ path in
+      let resumed = tune ~store:st3 () in
+      Alcotest.(check bool) "resume re-evaluates only the lost tail" true
+        (Ifko_store.Store.misses st3 > 0 && Ifko_store.Store.misses st3 < cold_misses);
+      Alcotest.(check int) "journaled points are not re-evaluated"
+        (cold_misses - Ifko_store.Store.misses st3)
+        (Ifko_store.Store.hits st3);
+      Alcotest.check params_t "resumed best_params identical"
+        cold.Ifko_search.Driver.best_params resumed.Ifko_search.Driver.best_params;
+      Alcotest.(check (float 0.0)) "resumed MFLOPS identical"
+        cold.Ifko_search.Driver.ifko_mflops resumed.Ifko_search.Driver.ifko_mflops;
+      Ifko_store.Store.close st3)
+
+(* A store keyed on one kernel must miss for an edited kernel: tuning
+   ddot against a journal full of dasum results computes everything. *)
+let test_store_invalidation_on_kernel_edit () =
+  let cfg = Ifko_machine.Config.p4e in
+  let tune ~store id =
+    let compiled = Hil_sources.compile id in
+    let spec = Workload.timer_spec id ~seed:13 in
+    Ifko_search.Driver.tune ~store ~seed:13 ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec
+      ~n:80000 ~flops_per_n:1.0
+      ~test:(fun _ -> true)
+      compiled
+  in
+  with_tmp_store_path (fun path ->
+      let st = Ifko_store.Store.open_ ~seed:13 path in
+      let a = tune ~store:st { Defs.routine = Defs.Asum; prec = Instr.D } in
+      let after_a = Ifko_store.Store.misses st in
+      Alcotest.(check int) "first kernel all computed" a.Ifko_search.Driver.evaluations
+        after_a;
+      let b = tune ~store:st { Defs.routine = Defs.Dot; prec = Instr.D } in
+      Alcotest.(check int) "different kernel shares nothing"
+        (after_a + b.Ifko_search.Driver.evaluations)
+        (Ifko_store.Store.misses st);
+      Ifko_store.Store.close st)
+
 let suite =
   [ Alcotest.test_case "space gating" `Quick test_space_gates;
     Alcotest.test_case "linesearch finds optimum" `Quick test_linesearch_finds_optimum;

@@ -1,0 +1,189 @@
+(* Tuning-store tests: content-addressed keys (and their invalidation
+   on kernel edits), journal round-trips, truncated/corrupt-journal
+   recovery, compaction, and concurrent writers from the domain pool. *)
+
+module Store = Ifko_store.Store
+
+let tmp_store () =
+  let path = Filename.temp_file "ifko_store_test" ".jsonl" in
+  Sys.remove path;
+  path
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let outcome : Store.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun fmt o ->
+      match o with
+      | Store.Timed { mflops; cycles } ->
+        Format.fprintf fmt "Timed(%.17g,%.17g)" mflops cycles
+      | Store.Test_failed -> Format.fprintf fmt "Test_failed"
+      | Store.Illegal -> Format.fprintf fmt "Illegal")
+    ( = )
+
+let test_keys () =
+  let key ?(kernel = "lil-A") ?(machine = "P4E") ?(n = 80000) ?(seed = 7) ?(check = false)
+      ?(params = "p1") () =
+    Store.probe_key ~kernel ~machine ~context:"out-of-cache" ~n ~seed ~check ~params
+  in
+  Alcotest.(check string) "deterministic" (key ()) (key ());
+  List.iter
+    (fun (label, other) ->
+      Alcotest.(check bool) (label ^ " changes the key") false (key () = other))
+    [ ("kernel edit", key ~kernel:"lil-B" ());
+      ("machine", key ~machine:"Opteron" ());
+      ("problem size", key ~n:1024 ());
+      ("workload seed", key ~seed:8 ());
+      ("per-pass checking", key ~check:true ());
+      ("parameter point", key ~params:"p2" ());
+    ];
+  (* length-prefixed digesting: shifting a boundary must not alias *)
+  Alcotest.(check bool) "no field-boundary aliasing" false
+    (Store.digest [ "ab"; "c" ] = Store.digest [ "a"; "bc" ])
+
+let test_round_trip () =
+  let path = tmp_store () in
+  let st = Store.open_ ~seed:42 path in
+  Alcotest.(check (option int)) "seed in header" (Some 42) (Store.seed st);
+  let mflops = 1234.5678901234567 in
+  Store.add st ~key:"k-timed" ~params:"SV:N" ~prov:"ddot@P4E" (Store.Timed { mflops; cycles = 9.75e6 });
+  Store.add st ~key:"k-fail" ~params:"" ~prov:"" Store.Test_failed;
+  Store.add st ~key:"k-illegal" ~params:"" ~prov:"" Store.Illegal;
+  Store.close st;
+  let st2 = Store.open_ path in
+  Alcotest.(check (option int)) "seed survives reopen" (Some 42) (Store.seed st2);
+  Alcotest.(check int) "entries" 3 (Store.entries st2);
+  Alcotest.(check int) "no corrupt lines" 0 (Store.corrupt st2);
+  Alcotest.(check (option outcome)) "timed reloads bit-identically"
+    (Some (Store.Timed { mflops; cycles = 9.75e6 }))
+    (Store.find st2 ~key:"k-timed");
+  Alcotest.(check (option outcome)) "test-failed" (Some Store.Test_failed)
+    (Store.find st2 ~key:"k-fail");
+  Alcotest.(check (option outcome)) "illegal" (Some Store.Illegal)
+    (Store.find st2 ~key:"k-illegal");
+  Alcotest.(check (option outcome)) "miss" None (Store.find st2 ~key:"absent");
+  Alcotest.(check int) "hit counter" 3 (Store.hits st2);
+  Alcotest.(check int) "miss counter" 1 (Store.misses st2);
+  Store.close st2;
+  Store.clear path
+
+let test_escaping () =
+  let path = tmp_store () in
+  let st = Store.open_ path in
+  let key = "odd \"key\"\twith\nnewline \\ backslash" in
+  Store.add st ~key ~params:"p \"q\"\n" ~prov:"x\\y" Store.Illegal;
+  Store.close st;
+  let st2 = Store.open_ path in
+  Alcotest.(check int) "no corrupt lines" 0 (Store.corrupt st2);
+  Alcotest.(check (option outcome)) "escaped key round-trips" (Some Store.Illegal)
+    (Store.find st2 ~key);
+  Store.close st2;
+  Store.clear path
+
+let test_truncated_journal_recovery () =
+  let path = tmp_store () in
+  let st = Store.open_ ~seed:1 path in
+  Store.add st ~key:"a" ~params:"" ~prov:"" (Store.Timed { mflops = 1.0; cycles = 2.0 });
+  Store.add st ~key:"b" ~params:"" ~prov:"" Store.Test_failed;
+  Store.close st;
+  (* a crash mid-append leaves a torn trailing line *)
+  append_raw path "{\"k\":\"c\",\"o\":\"timed\",\"mflo";
+  let st2 = Store.open_ path in
+  Alcotest.(check int) "intact entries survive" 2 (Store.entries st2);
+  Alcotest.(check int) "torn line counted" 1 (Store.corrupt st2);
+  (* the store stays appendable after recovery *)
+  Store.add st2 ~key:"d" ~params:"" ~prov:"" Store.Illegal;
+  Store.close st2;
+  let st3 = Store.open_ path in
+  Alcotest.(check int) "append after recovery persisted" 3 (Store.entries st3);
+  Alcotest.(check (option outcome)) "new entry" (Some Store.Illegal)
+    (Store.find st3 ~key:"d");
+  Store.close st3;
+  Store.clear path
+
+let test_corrupt_middle_line () =
+  let path = tmp_store () in
+  let st = Store.open_ path in
+  Store.add st ~key:"a" ~params:"" ~prov:"" Store.Illegal;
+  Store.close st;
+  append_raw path "complete garbage, not json\n";
+  append_raw path "{\"k\":\"b\",\"o\":\"timed\",\"mflops\":3.5,\"cycles\":7,\"params\":\"\",\"prov\":\"\"}\n";
+  let st2 = Store.open_ path in
+  Alcotest.(check int) "good lines around the bad one load" 2 (Store.entries st2);
+  Alcotest.(check int) "bad line counted" 1 (Store.corrupt st2);
+  Alcotest.(check (option outcome)) "record after the bad line loads"
+    (Some (Store.Timed { mflops = 3.5; cycles = 7.0 }))
+    (Store.find st2 ~key:"b");
+  Store.close st2;
+  Store.clear path
+
+let test_compact () =
+  let path = tmp_store () in
+  let st = Store.open_ ~seed:9 path in
+  (* rewrite the same key several times: the journal grows, the index
+     keeps the last value *)
+  for i = 1 to 5 do
+    Store.add st ~key:"hot" ~params:"" ~prov:""
+      (Store.Timed { mflops = float_of_int i; cycles = 1.0 })
+  done;
+  Store.add st ~key:"cold" ~params:"" ~prov:"" Store.Test_failed;
+  Alcotest.(check int) "journal has one line per append" 7 (List.length (read_lines path));
+  Store.compact st;
+  Alcotest.(check int) "compacted to header + one line per key" 3
+    (List.length (read_lines path));
+  (* the handle stays usable after the atomic rename *)
+  Store.add st ~key:"late" ~params:"" ~prov:"" Store.Illegal;
+  Store.close st;
+  let st2 = Store.open_ path in
+  Alcotest.(check int) "entries preserved" 3 (Store.entries st2);
+  Alcotest.(check (option int)) "header seed preserved" (Some 9) (Store.seed st2);
+  Alcotest.(check (option outcome)) "last write wins"
+    (Some (Store.Timed { mflops = 5.0; cycles = 1.0 }))
+    (Store.find st2 ~key:"hot");
+  Alcotest.(check (option outcome)) "append after compact persisted" (Some Store.Illegal)
+    (Store.find st2 ~key:"late");
+  Store.close st2;
+  Store.clear path;
+  Alcotest.(check bool) "clear removes the journal" false (Sys.file_exists path)
+
+let test_concurrent_writers () =
+  let path = tmp_store () in
+  let st = Store.open_ path in
+  let n = 200 in
+  let _ : unit list =
+    Ifko_par.Par.map ~jobs:4
+      (fun i ->
+        Store.add st ~key:(Printf.sprintf "key-%03d" i) ~params:"" ~prov:""
+          (Store.Timed { mflops = float_of_int i; cycles = float_of_int (2 * i) }))
+      (List.init n (fun i -> i))
+  in
+  Store.close st;
+  let st2 = Store.open_ path in
+  Alcotest.(check int) "every domain's appends persisted" n (Store.entries st2);
+  Alcotest.(check int) "no interleaving corrupted a line" 0 (Store.corrupt st2);
+  for i = 0 to n - 1 do
+    Alcotest.(check (option outcome)) "value intact"
+      (Some (Store.Timed { mflops = float_of_int i; cycles = float_of_int (2 * i) }))
+      (Store.find st2 ~key:(Printf.sprintf "key-%03d" i))
+  done;
+  Store.close st2;
+  Store.clear path
+
+let suite =
+  [ Alcotest.test_case "content-addressed keys" `Quick test_keys;
+    Alcotest.test_case "journal round-trip" `Quick test_round_trip;
+    Alcotest.test_case "escaping round-trip" `Quick test_escaping;
+    Alcotest.test_case "truncated-journal recovery" `Quick test_truncated_journal_recovery;
+    Alcotest.test_case "corrupt middle line" `Quick test_corrupt_middle_line;
+    Alcotest.test_case "compaction" `Quick test_compact;
+    Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
+  ]
