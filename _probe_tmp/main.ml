@@ -1,0 +1,22 @@
+let () =
+  (* inf/nan serialization *)
+  let p = "/tmp/t_store.jsonl" in
+  (try Sys.remove p with _ -> ());
+  let s = Ifko_store.Store.open_ ~seed:1 p in
+  Ifko_store.Store.add s ~key:"k1" ~params:"p" ~prov:"x"
+    (Ifko_store.Store.Timed { mflops = infinity; cycles = nan });
+  Ifko_store.Store.close s;
+  let s2 = Ifko_store.Store.open_ p in
+  Printf.printf "entries=%d corrupt=%d\n" (Ifko_store.Store.entries s2) (Ifko_store.Store.corrupt s2);
+  Ifko_store.Store.close s2;
+  (* repeated open of seedless empty journal *)
+  let q = "/tmp/t_store2.jsonl" in
+  (try Sys.remove q with _ -> ());
+  let a = Ifko_store.Store.open_ q in Ifko_store.Store.close a;
+  let a = Ifko_store.Store.open_ q in Ifko_store.Store.close a;
+  let a = Ifko_store.Store.open_ q in Ifko_store.Store.close a;
+  let ic = open_in q in
+  let lines = ref 0 in
+  (try while true do ignore (input_line ic); incr lines done with End_of_file -> ());
+  close_in ic;
+  Printf.printf "seedless journal lines after 3 opens: %d\n" !lines
