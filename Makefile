@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test fmt check bench
+.PHONY: all build test fmt check bench fuzz
 
 all: build
 
@@ -23,3 +23,8 @@ check: build fmt test
 
 bench:
 	dune exec bench/main.exe
+
+# Deterministic fuzz smoke (CI runs the same seed; the nightly
+# workflow explores a fresh date-derived seed at a larger budget).
+fuzz:
+	dune exec bin/ifko_cli.exe -- fuzz --seed 42 --count 200

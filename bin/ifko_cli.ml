@@ -7,6 +7,8 @@
      ifko tune     FILE [flags]    -- the full iterative/empirical search
                                       (--store PATH resumes/persists results,
                                        --jobs N evaluates probes in parallel)
+     ifko fuzz     [flags]         -- differential fuzzing of the pipeline
+                                      (--replay PATH re-runs saved reproducers)
      ifko store    stat/compact/clear PATH -- tuning-store maintenance
 
    Timing requires knowing how to build workloads for the kernel's
@@ -294,6 +296,88 @@ let tune_cmd =
       const run $ file $ machine_arg $ context $ n $ flops $ asm $ check $ store_arg
       $ jobs_arg $ seed_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"deterministic fuzz seed")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"number of kernels to generate")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "max-size" ] ~docv:"K" ~doc:"maximum idioms per generated loop body")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "points-per-kernel" ] ~docv:"P" ~doc:"parameter points probed per kernel")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"write shrunk reproducers into $(docv) (content-addressed file names)")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check-each-pass" ]
+          ~doc:
+            "additionally validate every pipeline pass of every probed point (lint + \
+             translation validation) — slower, catches bugs even when the final \
+             output happens to agree")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "instead of fuzzing, re-run the reproducer file (or every *.repro in the \
+             directory) $(docv) against the current pipeline")
+  in
+  let run machine seed count max_size points_per_kernel corpus check_each_pass replay =
+    let cfg = machine_of machine in
+    match replay with
+    | Some path ->
+      let results =
+        if Sys.file_exists path && Sys.is_directory path then
+          Ifko.Fuzz.replay_dir ~check_each_pass ~cfg path
+        else [ (path, Ifko.Fuzz.replay ~check_each_pass ~cfg path) ]
+      in
+      let failed = ref 0 in
+      List.iter
+        (fun (p, r) ->
+          match r with
+          | Ok () -> Printf.printf "ok   %s\n" p
+          | Error e ->
+            incr failed;
+            Printf.printf "FAIL %s: %s\n" p e)
+        results;
+      Printf.printf "replay: %d reproducers, %d failing\n" (List.length results) !failed;
+      if !failed > 0 then exit 1
+    | None ->
+      let stats =
+        Ifko.Fuzz.run ~points_per_kernel ~max_size ~check_each_pass ?corpus
+          ~log:print_endline ~cfg ~seed ~count ()
+      in
+      print_endline (Ifko.Fuzz.stats_to_string stats);
+      if stats.Ifko.Fuzz.bugs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "differentially fuzz the transformation pipeline: generate random well-typed \
+          kernels, probe random parameter points, compare simulated results against \
+          the untransformed lowering, shrink and persist any divergence")
+    Term.(
+      const run $ machine_arg $ seed_arg $ count_arg $ max_size_arg $ points_arg
+      $ corpus_arg $ check $ replay_arg)
+
 (* ---- store ---- *)
 
 let store_cmd =
@@ -333,4 +417,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ifko" ~doc)
-          [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd; store_cmd ]))
+          [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd; fuzz_cmd; store_cmd ]))

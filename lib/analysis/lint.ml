@@ -311,8 +311,13 @@ let vector_mem = function
 (** Simulated arrays are 16-byte aligned and their pointers advance by
     the loop stride, so an aligned 16-byte access stays aligned iff the
     displacement and the stride are both multiples of 16.  A violation
-    is an error: the simulator (like real SSE [movaps]) faults on it. *)
-let check_vector_alignment ?pass moving (f : Cfg.func) =
+    is an error: the simulator (like real SSE [movaps]) faults on it.
+
+    Only the loopnest blocks the stride was measured over are checked —
+    a sibling loop (e.g. the speculative maxloc vector loop, whose
+    pointer advances a full block per trip) moves the same register at
+    a different rate, so the stride says nothing about it. *)
+let check_vector_alignment ?pass moving (blocks : Block.t list) =
   let diags = ref [] in
   List.iter
     (fun b ->
@@ -338,13 +343,14 @@ let check_vector_alignment ?pass moving (f : Cfg.func) =
             | None -> ())
           | Some _ | None -> ())
         b.Block.instrs)
-    f.Cfg.blocks;
+    blocks;
   List.rev !diags
 
 (** A prefetch is useful when it lands ahead of the moving pointer by
     at least one iteration's advance and no more than a few dozen cache
-    lines (past that the line is evicted again before use). *)
-let check_prefetch_distance ?pass ?line_bytes moving (f : Cfg.func) =
+    lines (past that the line is evicted again before use).  Scoped to
+    the loopnest blocks for the same reason as IFK006. *)
+let check_prefetch_distance ?pass ?line_bytes moving (blocks : Block.t list) =
   let diags = ref [] in
   List.iter
     (fun b ->
@@ -383,7 +389,7 @@ let check_prefetch_distance ?pass ?line_bytes moving (f : Cfg.func) =
             | None -> ())
           | _ -> ())
         b.Block.instrs)
-    f.Cfg.blocks;
+    blocks;
   List.rev !diags
 
 (* ---------- entry points ---------- *)
@@ -409,6 +415,7 @@ let check ?pass ?line_bytes (compiled : Lower.compiled) =
   if not (Diag.is_clean base) then base
   else
     let moving = moving_by_reg compiled in
+    let loop = Ptrinfo.loop_blocks compiled in
     base
-    @ check_vector_alignment ?pass moving f
-    @ check_prefetch_distance ?pass ?line_bytes moving f
+    @ check_vector_alignment ?pass moving loop
+    @ check_prefetch_distance ?pass ?line_bytes moving loop

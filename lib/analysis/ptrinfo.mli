@@ -15,6 +15,12 @@ type moving = {
   stores : int;  (** memory writes to this array per iteration *)
 }
 
+val loop_blocks : Ifko_codegen.Lower.compiled -> Block.t list
+(** The blocks of the current tunable loop (header, bodies, latch) the
+    stride analysis is performed over — and hence the only blocks where
+    a reported stride is meaningful.  [[]] when the kernel has no
+    tunable loop or the loopnest labels have gone stale. *)
+
 val analyze : Ifko_codegen.Lower.compiled -> moving list
 (** Analyze the current main loop of the compiled kernel.  Arrays whose
     pointer register is updated by anything other than constant

@@ -1,0 +1,91 @@
+open Ifko_hil
+
+type case = {
+  kernel : Ast.kernel;
+  params : Ifko_transform.Params.t;
+  meta : (string * string) list;
+}
+
+(* Meta values may come from multi-line diagnostics; everything must
+   stay on the comment line or the kernel source below is corrupted. *)
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string c =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "# ifko-fuzz reproducer v1\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "# %s: %s\n" (one_line k) (one_line v)))
+    c.meta;
+  Buffer.add_string b ("PARAMS " ^ Ifko_transform.Params.canonical c.params ^ "\n");
+  let src = Pp.kernel_to_string c.kernel in
+  Buffer.add_string b src;
+  if src = "" || src.[String.length src - 1] <> '\n' then Buffer.add_char b '\n';
+  Buffer.contents b
+
+let of_string s =
+  let meta = ref [] and params = ref None in
+  let src = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '#' then begin
+        let body = String.sub line 1 (String.length line - 1) in
+        match String.index_opt body ':' with
+        | Some i ->
+          let k = String.trim (String.sub body 0 i) in
+          let v = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+          meta := (k, v) :: !meta
+        | None -> ()
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "PARAMS " then
+        params :=
+          Some
+            (Ifko_transform.Params.of_canonical
+               (String.trim (String.sub line 7 (String.length line - 7))))
+      else begin
+        Buffer.add_string src line;
+        Buffer.add_char src '\n'
+      end)
+    (String.split_on_char '\n' s);
+  match !params with
+  | None -> failwith "corpus: missing PARAMS line"
+  | Some p ->
+    { kernel = Parser.parse_kernel (Buffer.contents src); params = p; meta = List.rev !meta }
+
+let file_name c =
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (Ifko_transform.Params.canonical c.params ^ "\n" ^ Pp.kernel_to_string c.kernel))
+  in
+  Printf.sprintf "%s-%s.repro" c.kernel.Ast.k_name (String.sub digest 0 12)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write ~dir c =
+  mkdir_p dir;
+  let path = Filename.concat dir (file_name c) in
+  let oc = open_out_bin path in
+  output_string oc (to_string c);
+  close_out oc;
+  path
+
+let read path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  try of_string s
+  with e -> failwith (Printf.sprintf "%s: %s" path (Printexc.to_string e))
+
+let files ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)

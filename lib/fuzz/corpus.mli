@@ -1,0 +1,34 @@
+(** Reproducer corpus: every bug the fuzzer ever finds becomes a file,
+    and every file becomes a permanent regression test.
+
+    A reproducer is a small text file: provenance comments ([# key:
+    value]), one [PARAMS] line holding the canonical parameter-point
+    encoding ({!Ifko_transform.Params.canonical}), then the kernel in
+    ordinary HIL concrete syntax (re-parsed by
+    {!Ifko_hil.Parser.parse_kernel} on replay).  File names are
+    content-addressed ([<kernel>-<digest12>.repro]), so re-finding the
+    same shrunk bug overwrites rather than duplicates. *)
+
+type case = {
+  kernel : Ifko_hil.Ast.kernel;
+  params : Ifko_transform.Params.t;
+  meta : (string * string) list;
+      (** provenance: seed, kernel index, machine, LIL fingerprint,
+          first mismatch detail — informational only *)
+}
+
+val to_string : case -> string
+val of_string : string -> case
+(** @raise Failure on a malformed reproducer. *)
+
+val file_name : case -> string
+(** Content-addressed basename: [<kernel>-<hex12>.repro]. *)
+
+val write : dir:string -> case -> string
+(** Serialize into [dir] (created if missing); returns the path. *)
+
+val read : string -> case
+
+val files : dir:string -> string list
+(** Sorted paths of every [*.repro] in [dir] ([] if the directory does
+    not exist). *)

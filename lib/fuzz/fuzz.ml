@@ -1,0 +1,129 @@
+open Ifko_codegen
+module Rng = Ifko_util.Rng
+
+type stats = {
+  kernels : int;
+  points : int;
+  agree : int;
+  rejected : int;
+  gen_failed : int;
+  bugs : (Corpus.case * string) list;
+  written : string list;
+}
+
+let stats_to_string s =
+  Printf.sprintf "fuzz: kernels=%d points=%d agree=%d rejected=%d gen-failed=%d bugs=%d"
+    s.kernels s.points s.agree s.rejected s.gen_failed (List.length s.bugs)
+
+(* Typecheck, lower, and lint-gate a kernel.  The lint gate matters for
+   the shrinker: statement removal can orphan a variable into a
+   read-before-write (undefined behaviour, where the reference and the
+   transformed code may legitimately disagree), and such a candidate
+   must count as invalid rather than as a minimal "bug". *)
+let compile k =
+  let c = Lower.lower (Ifko_hil.Typecheck.check k) in
+  let diags = Ifko_analysis.Lint.check ~pass:"fuzz" c in
+  if not (Ifko_analysis.Diag.is_clean diags) then
+    failwith
+      ("unsound kernel: "
+      ^ Ifko_analysis.Diag.list_to_string (Ifko_analysis.Diag.errors diags));
+  c
+
+let run ?(points_per_kernel = 3) ?(max_size = 5) ?(check_each_pass = false) ?corpus
+    ?inject ?sizes ?(log = ignore) ~cfg ~seed ~count () =
+  let master = Rng.create seed in
+  let line_bytes = cfg.Ifko_machine.Config.prefetchable_line in
+  let stats =
+    ref
+      {
+        kernels = 0;
+        points = 0;
+        agree = 0;
+        rejected = 0;
+        gen_failed = 0;
+        bugs = [];
+        written = [];
+      }
+  in
+  for i = 0 to count - 1 do
+    let krng = Rng.split master in
+    let kernel = Gen.kernel krng ~name:(Printf.sprintf "fz%d" i) ~max_size in
+    stats := { !stats with kernels = !stats.kernels + 1 };
+    match compile kernel with
+    | exception e ->
+      log (Printf.sprintf "gen-failed fz%d: %s" i (Printexc.to_string e));
+      stats := { !stats with gen_failed = !stats.gen_failed + 1 }
+    | compiled ->
+      let report = Ifko_analysis.Report.analyze compiled in
+      for _p = 0 to points_per_kernel - 1 do
+        let params = Sample.point krng ~line_bytes ~report in
+        stats := { !stats with points = !stats.points + 1 };
+        match Oracle.check ~check_each_pass ?inject ?sizes ~cfg ~seed compiled params with
+        | Oracle.Agree -> stats := { !stats with agree = !stats.agree + 1 }
+        | Oracle.Rejected _ -> stats := { !stats with rejected = !stats.rejected + 1 }
+        | Oracle.Mismatch { size; detail } ->
+          let fails k p =
+            match compile k with
+            | exception _ -> false
+            | c -> (
+              match Oracle.check ~check_each_pass ?inject ?sizes ~cfg ~seed c p with
+              | Oracle.Mismatch _ -> true
+              | Oracle.Agree | Oracle.Rejected _ -> false)
+          in
+          let k', p' = Shrink.minimize ~fails kernel params in
+          let fingerprint =
+            match compile k' with
+            | exception _ -> "unavailable"
+            | c -> Cfg.fingerprint c.Lower.func
+          in
+          let case =
+            {
+              Corpus.kernel = k';
+              params = p';
+              meta =
+                [
+                  ("seed", string_of_int seed);
+                  ("kernel-index", string_of_int i);
+                  ("machine", cfg.Ifko_machine.Config.name);
+                  ("lil-fingerprint", fingerprint);
+                  ("detail", detail);
+                  ("size", string_of_int size);
+                ];
+            }
+          in
+          log
+            (Printf.sprintf "BUG fz%d size=%d %s (params %s)" i size detail
+               (Ifko_transform.Params.canonical p'));
+          stats := { !stats with bugs = (case, detail) :: !stats.bugs };
+          (match corpus with
+          | None -> ()
+          | Some dir ->
+            let path = Corpus.write ~dir case in
+            if not (List.mem path !stats.written) then begin
+              log (Printf.sprintf "wrote %s" path);
+              stats := { !stats with written = path :: !stats.written }
+            end)
+      done
+  done;
+  !stats
+
+let replay ?(check_each_pass = false) ?sizes ~cfg path =
+  let case = Corpus.read path in
+  let seed =
+    match List.assoc_opt "seed" case.Corpus.meta with
+    | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0)
+    | None -> 0
+  in
+  match compile case.Corpus.kernel with
+  | exception e ->
+    Error (Printf.sprintf "reproducer no longer compiles: %s" (Printexc.to_string e))
+  | compiled -> (
+    match Oracle.check ~check_each_pass ?sizes ~cfg ~seed compiled case.Corpus.params with
+    | Oracle.Agree | Oracle.Rejected _ -> Ok ()
+    | Oracle.Mismatch { size; detail } ->
+      Error (Printf.sprintf "mismatch at n=%d: %s" size detail))
+
+let replay_dir ?check_each_pass ?sizes ~cfg dir =
+  List.map
+    (fun path -> (path, replay ?check_each_pass ?sizes ~cfg path))
+    (Corpus.files ~dir)

@@ -1,0 +1,71 @@
+(** The differential fuzzing loop: generate → sample → compare →
+    shrink → persist.
+
+    Everything is deterministic from [seed]: the kernel stream, the
+    sampled parameter points, the workloads the oracle runs, and hence
+    the full log/corpus output — two runs with equal arguments are
+    byte-identical.  Replaying the corpus turns every bug the fuzzer
+    ever found into an ordinary regression test ([test/test_fuzz.ml]
+    registers one alcotest case per reproducer). *)
+
+type stats = {
+  kernels : int;  (** kernels generated *)
+  points : int;  (** parameter points probed *)
+  agree : int;  (** differentially verified points *)
+  rejected : int;  (** points the pipeline refused (boundary values) *)
+  gen_failed : int;  (** generated kernels that failed to lower — always 0
+                         unless the generator itself regressed *)
+  bugs : (Corpus.case * string) list;  (** shrunk failures, latest first *)
+  written : string list;  (** reproducer paths written, latest first *)
+}
+
+val stats_to_string : stats -> string
+(** One-line deterministic summary. *)
+
+val compile : Ifko_hil.Ast.kernel -> Ifko_codegen.Lower.compiled
+(** Typecheck, lower, and lint-gate a kernel; raises if any stage
+    reports an error.  The lint gate keeps the shrinker honest: a
+    candidate whose statement removal orphans a variable into a
+    read-before-write (undefined behaviour) is invalid, not a smaller
+    bug. *)
+
+val run :
+  ?points_per_kernel:int ->
+  ?max_size:int ->
+  ?check_each_pass:bool ->
+  ?corpus:string ->
+  ?inject:string * (Ifko_codegen.Lower.compiled -> unit) ->
+  ?sizes:int list ->
+  ?log:(string -> unit) ->
+  cfg:Ifko_machine.Config.t ->
+  seed:int ->
+  count:int ->
+  unit ->
+  stats
+(** Fuzz [count] kernels at [points_per_kernel] (default 3) parameter
+    points each.  Each mismatch is shrunk ({!Shrink.minimize}) and, when
+    [corpus] names a directory, written there as a reproducer.  [inject]
+    forwards test-only fault injection to every pipeline invocation,
+    including the shrinker's — so the minimized reproducer still
+    triggers the injected bug.  [log] receives progress lines (bugs,
+    generator failures); it never receives timestamps, keeping output
+    deterministic. *)
+
+val replay :
+  ?check_each_pass:bool ->
+  ?sizes:int list ->
+  cfg:Ifko_machine.Config.t ->
+  string ->
+  (unit, string) result
+(** Re-run one reproducer file through the current pipeline.  [Ok] if
+    the kernel now verifies differentially at the recorded point (or
+    the pipeline now cleanly rejects the point); [Error] with the
+    mismatch otherwise. *)
+
+val replay_dir :
+  ?check_each_pass:bool ->
+  ?sizes:int list ->
+  cfg:Ifko_machine.Config.t ->
+  string ->
+  (string * (unit, string) result) list
+(** {!replay} every [*.repro] in a directory, sorted by path. *)

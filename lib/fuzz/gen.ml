@@ -1,0 +1,266 @@
+open Ifko_hil
+module B = Builder
+module Rng = Ifko_util.Rng
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+(* One pointer parameter of the kernel under construction. *)
+type arr = {
+  a_name : string;
+  a_prec : Ast.fptype;
+  mutable a_out : bool;  (* stored through -> OUTPUT mark-up *)
+  a_nopf : bool;
+  a_stride : [ `Lit of int | `Var ];  (* per-iteration advance; `Var uses local "inc" *)
+}
+
+let kernel rng ~name ~max_size =
+  let max_size = max 1 max_size in
+  let arr_names = [| "X"; "Y"; "Z" |] in
+  let n_arr = 1 + Rng.int rng 3 in
+  let arrs =
+    List.init n_arr (fun i ->
+        {
+          a_name = arr_names.(i);
+          a_prec = (if Rng.int rng 2 = 0 then Ast.Double else Ast.Single);
+          a_out = false;
+          a_nopf = Rng.int rng 8 = 0;
+          a_stride =
+            (match Rng.int rng 12 with 0 -> `Var | 1 -> `Lit 2 | _ -> `Lit 1);
+        })
+  in
+  let any_var_stride = List.exists (fun a -> a.a_stride = `Var) arrs in
+  (* Locals and extra fp-scalar parameters, accumulated on demand. *)
+  let locals : (string * Ast.ty * float option) list ref = ref [] in
+  let extra_params : Ast.param list ref = ref [] in
+  let add_local n ty init =
+    if not (List.exists (fun (m, _, _) -> m = n) !locals) then
+      locals := !locals @ [ (n, ty, init) ]
+  in
+  let alpha p =
+    let n = match p with Ast.Single -> "alpha_s" | Ast.Double -> "alpha_d" in
+    if not (List.exists (fun (q : Ast.param) -> q.Ast.p_name = n) !extra_params) then
+      extra_params := !extra_params @ [ B.param n (Ast.Fp p) ];
+    n
+  in
+  let tmp_id = ref 0 in
+  let tmp p =
+    let n = Printf.sprintf "t%d" !tmp_id in
+    incr tmp_id;
+    add_local n (Ast.Fp p) None;
+    n
+  in
+  let acc p =
+    let n = match p with Ast.Single -> "acc_s" | Ast.Double -> "acc_d" in
+    add_local n (Ast.Fp p) (Some 0.0);
+    n
+  in
+  (* Arrays referenced inside the tunable loop (need a pointer advance). *)
+  let used : (string, arr) Hashtbl.t = Hashtbl.create 8 in
+  let use a = Hashtbl.replace used a.a_name a in
+  let partner a =
+    match List.filter (fun b -> b.a_name <> a.a_name && b.a_prec = a.a_prec) arrs with
+    | [] -> None
+    | bs -> Some (pick rng bs)
+  in
+  let coef p =
+    if Rng.int rng 2 = 0 then Ast.Var (alpha p)
+    else Ast.Fp_lit (pick rng [ 0.5; 0.75; 1.25; -0.5; 2.0 ])
+  in
+  let up = Rng.int rng 10 < 7 in
+  let maxloc_used = ref false in
+  let cnt_used = ref false in
+  let accs_used : Ast.fptype list ref = ref [] in
+  let use_acc p =
+    if not (List.mem p !accs_used) then accs_used := !accs_used @ [ p ];
+    acc p
+  in
+  (* Each idiom is a self-contained, well-typed statement group over
+     arrays of one precision. *)
+  let idiom () =
+    let a = pick rng arrs in
+    use a;
+    let p = a.a_prec in
+    let dst_of b = (match b with Some b when Rng.int rng 2 = 0 -> b | _ -> a) in
+    match Rng.int rng 10 with
+    | 0 ->
+      (* copy: t = A[0]; D[0] = t *)
+      let t = tmp p and d = dst_of (partner a) in
+      use d;
+      d.a_out <- true;
+      [ B.(t <-- ld a.a_name 0); B.store d.a_name 0 (B.v t) ]
+    | 1 ->
+      (* scale: t = A[0] * c; D[0] = t *)
+      let t = tmp p and d = dst_of (partner a) in
+      use d;
+      d.a_out <- true;
+      [ Ast.Assign (t, Ast.Binop (Ast.Mul, Ast.Load (a.a_name, 0), coef p));
+        B.store d.a_name 0 (B.v t) ]
+    | 2 ->
+      (* axpy: t = A[0] * c; t = t + B[0]; B[0] = t *)
+      let t = tmp p in
+      let b = match partner a with Some b -> b | None -> a in
+      use b;
+      b.a_out <- true;
+      [ Ast.Assign (t, Ast.Binop (Ast.Mul, Ast.Load (a.a_name, 0), coef p));
+        Ast.Assign (t, Ast.Binop (Ast.Add, Ast.Var t, Ast.Load (b.a_name, 0)));
+        B.store b.a_name 0 (B.v t) ]
+    | 3 ->
+      (* dot: acc += A[0] * B[0] *)
+      let b = match partner a with Some b -> b | None -> a in
+      use b;
+      [ Ast.Assign_op
+          (Ast.Add, use_acc p, Ast.Binop (Ast.Mul, Ast.Load (a.a_name, 0), Ast.Load (b.a_name, 0))) ]
+    | 4 ->
+      (* asum: acc += ABS A[0] *)
+      [ Ast.Assign_op (Ast.Add, use_acc p, Ast.Abs (Ast.Load (a.a_name, 0))) ]
+    | 5 ->
+      (* sum of squares: t = A[0]; acc += t * t *)
+      let t = tmp p in
+      [ B.(t <-- ld a.a_name 0);
+        Ast.Assign_op (Ast.Add, use_acc p, Ast.Binop (Ast.Mul, Ast.Var t, Ast.Var t)) ]
+    | 6 ->
+      (* sqrt map: t = SQRT (ABS A[0]); D[0] = t *)
+      let t = tmp p and d = dst_of (partner a) in
+      use d;
+      d.a_out <- true;
+      [ Ast.Assign (t, Ast.Sqrt (Ast.Abs (Ast.Load (a.a_name, 0))));
+        B.store d.a_name 0 (B.v t) ]
+    | 7 ->
+      (* division map: t = A[0] / (ABS B[0] + 1.5); D[0] = t *)
+      let t = tmp p in
+      let b = match partner a with Some b -> b | None -> a in
+      use b;
+      let d = dst_of (Some b) in
+      use d;
+      d.a_out <- true;
+      [ Ast.Assign
+          ( t,
+            Ast.Binop
+              ( Ast.Div,
+                Ast.Load (a.a_name, 0),
+                Ast.Binop (Ast.Add, Ast.Abs (Ast.Load (b.a_name, 0)), Ast.Fp_lit 1.5) ) );
+        B.store d.a_name 0 (B.v t) ]
+    | 8 when up && not !maxloc_used ->
+      (* conditional maxloc (the iamax idiom) *)
+      maxloc_used := true;
+      add_local "amax" (Ast.Fp p) (Some (-1.0));
+      add_local "imax" Ast.Int (Some 0.0);
+      let x = tmp p in
+      [ B.(x <-- ld a.a_name 0);
+        Ast.Assign (x, Ast.Abs (Ast.Var x));
+        B.if_then Ast.Gt (B.v x) (B.v "amax")
+          [ B.("amax" <-- v x); B.("imax" <-- v "i") ] ]
+    | 8 ->
+      (* trip counter: cnt += 1 *)
+      cnt_used := true;
+      add_local "cnt" Ast.Int (Some 0.0);
+      [ Ast.Assign_op (Ast.Add, "cnt", Ast.Int_lit 1) ]
+    | _ ->
+      (* clip: t = A[0]; IF (t < 0.0) THEN t = -t [ELSE t = t * 0.5]; D[0] = t *)
+      let t = tmp p and d = dst_of (partner a) in
+      use d;
+      d.a_out <- true;
+      let else_ =
+        if Rng.int rng 2 = 0 then []
+        else [ Ast.Assign (t, Ast.Binop (Ast.Mul, Ast.Var t, Ast.Fp_lit 0.5)) ]
+      in
+      [ B.(t <-- ld a.a_name 0);
+        B.if_then ~else_ Ast.Lt (B.v t) (Ast.Fp_lit 0.0) [ Ast.Assign (t, Ast.Neg (Ast.Var t)) ];
+        B.store d.a_name 0 (B.v t) ]
+  in
+  let n_idioms = 1 + Rng.int rng max_size in
+  let body_groups = List.init n_idioms (fun _ -> idiom ()) in
+  (* Pointer advances, in declaration order of the arrays actually used. *)
+  let advances =
+    List.filter_map
+      (fun a ->
+        if not (Hashtbl.mem used a.a_name) then None
+        else
+          Some
+            (match a.a_stride with
+            | `Lit k -> B.ptr_inc a.a_name k
+            | `Var -> B.ptr_inc_var a.a_name "inc"))
+      arrs
+  in
+  let loop_body = List.concat body_groups @ advances in
+  let opt = Rng.int rng 10 < 9 in
+  let speculate = !maxloc_used && Rng.int rng 2 = 0 in
+  let main_loop =
+    if up then B.loop ~opt ~speculate "i" ~from:(B.i 0) ~to_:(B.v "N") loop_body
+    else B.loop ~opt ~speculate ~step:(-1) "i" ~from:(B.v "N") ~to_:(B.i 0) loop_body
+  in
+  let preamble =
+    (if any_var_stride then begin
+       add_local "inc" Ast.Int None;
+       [ Ast.Assign ("inc", Ast.Int_lit (1 + Rng.int rng 2)) ]
+     end
+     else [])
+    @
+    if Rng.int rng 7 = 0 then begin
+      (* scalar warm-up loop: dead-ish code for the repeatable block *)
+      add_local "pre" Ast.Int (Some 0.0);
+      [ B.loop "w" ~from:(B.i 0) ~to_:(B.i 3) [ Ast.Assign_op (Ast.Add, "pre", Ast.Int_lit 1) ] ]
+    end
+    else []
+  in
+  (* Return value: one of the results the body produced, or nothing. *)
+  let ret_candidates =
+    (if !maxloc_used then [ ("imax", Ast.Int) ] else [])
+    @ (if !cnt_used then [ ("cnt", Ast.Int) ] else [])
+    @ List.map
+        (fun p ->
+          ((match p with Ast.Single -> "acc_s" | Ast.Double -> "acc_d"), Ast.Fp p))
+        !accs_used
+  in
+  let ret =
+    match ret_candidates with
+    | [] -> None
+    | cs -> if Rng.int rng 4 = 0 then None else Some (pick rng cs)
+  in
+  let body =
+    preamble @ [ main_loop ]
+    @ match ret with Some (r, _) -> [ B.return (Some (B.v r)) ] | None -> []
+  in
+  let params =
+    B.param "N" Ast.Int
+    :: List.map
+         (fun a ->
+           let flags =
+             (if a.a_out then [ Ast.Output ] else [])
+             @ if a.a_nopf then [ Ast.No_prefetch ] else []
+           in
+           B.param ~flags a.a_name (Ast.Ptr a.a_prec))
+         arrs
+    @ !extra_params
+  in
+  let locals =
+    List.map (fun (n, ty, init) -> { Ast.d_names = [ n ]; d_ty = ty; d_init = init }) !locals
+  in
+  {
+    Ast.k_name = name;
+    k_params = params;
+    k_locals = locals;
+    k_ret = Option.map snd ret;
+    k_body = body;
+  }
+
+let has_fp_reduction (k : Ast.kernel) =
+  let fp = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Ast.param) ->
+      match p.Ast.p_ty with Ast.Fp _ -> Hashtbl.replace fp p.Ast.p_name () | _ -> ())
+    k.Ast.k_params;
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.Ast.d_ty with
+      | Ast.Fp _ -> List.iter (fun n -> Hashtbl.replace fp n ()) d.Ast.d_names
+      | _ -> ())
+    k.Ast.k_locals;
+  let rec stmt in_loop = function
+    | Ast.Assign_op (_, x, _) -> in_loop && Hashtbl.mem fp x
+    | Ast.Loop l -> List.exists (stmt true) l.Ast.loop_body
+    | Ast.If_then (_, _, _, a, b) ->
+      List.exists (stmt in_loop) a || List.exists (stmt in_loop) b
+    | _ -> false
+  in
+  List.exists (stmt false) k.Ast.k_body

@@ -1,0 +1,26 @@
+(** Random-but-well-typed HIL kernel generation.
+
+    The generator covers the shapes the typechecker admits and the
+    backend supports: a (usually [OPTLOOP]-marked) counted loop over
+    mixed single/double arrays, element-wise maps (copy, scale, axpy,
+    sqrt, division, scoped-if clipping), floating-point reductions
+    (dot, asum, sum of squares), the conditional maxloc idiom (with
+    occasional [SPECULATE] mark-up), integer trip counters, strided
+    pointer advances (literal and runtime [Ptr_inc_var] strides), and
+    optional scalar warm-up loops.  Everything is driven by one
+    {!Ifko_util.Rng.t}, so equal seeds generate equal kernels.
+
+    Kernels are valid by construction: they typecheck and lower (the
+    test suite sweeps the generator to enforce this). *)
+
+val kernel : Ifko_util.Rng.t -> name:string -> max_size:int -> Ifko_hil.Ast.kernel
+(** [kernel rng ~name ~max_size] generates one kernel named [name]
+    whose tunable-loop body holds at most [max_size] idioms (each
+    idiom is 1-3 statements). *)
+
+val has_fp_reduction : Ifko_hil.Ast.kernel -> bool
+(** Whether the kernel accumulates into a floating-point variable
+    inside a loop ([+=]/[*=] on an fp scalar) — the one case where
+    vectorization and accumulator expansion legitimately reassociate
+    arithmetic, so the differential oracle must compare ULP-tolerantly
+    instead of exactly. *)

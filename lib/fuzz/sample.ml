@@ -1,0 +1,37 @@
+open Ifko_transform
+module Rng = Ifko_util.Rng
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+let point rng ~line_bytes ~(report : Ifko_analysis.Report.t) =
+  let unroll = pick rng [ 0; 1; 1; 2; 2; 3; 4; 4; 5; 6; 8; 12; 16; 17 ] in
+  let kinds = [ Instr.Nta; Instr.T0; Instr.T1; Instr.W ] in
+  let prefetch =
+    List.filter_map
+      (fun (m : Ifko_analysis.Ptrinfo.moving) ->
+        let name = m.Ifko_analysis.Ptrinfo.array.Ifko_codegen.Lower.a_name in
+        match Rng.int rng 4 with
+        | 0 -> None
+        | 1 ->
+          Some (name, { Params.pf_ins = Some (pick rng kinds); pf_dist = 2 * line_bytes })
+        | _ ->
+          Some
+            ( name,
+              {
+                Params.pf_ins = Some (pick rng kinds);
+                pf_dist = pick rng [ 0; 1; 64; 128; 256; 640; 2048; 1 lsl 20 ];
+              } ))
+      report.Ifko_analysis.Report.prefetch_arrays
+  in
+  {
+    Params.sv =
+      (if report.Ifko_analysis.Report.vectorizable then Rng.int rng 10 < 6
+       else Rng.int rng 10 < 2);
+    unroll;
+    lc = Rng.int rng 2 = 0;
+    ae = pick rng [ 0; 0; 0; 1; 2; 2; 3; 4; 6; 8 ];
+    wnt = Rng.int rng 10 < 3;
+    bf = pick rng [ 0; 0; 0; 0; 0; 2048; 4096 ];
+    cisc = Rng.int rng 8 = 0;
+    prefetch;
+  }

@@ -1,0 +1,15 @@
+(** Random parameter-point sampling over {!Ifko_transform.Params.t}.
+
+    Points are drawn over the full fundamental-transform space the
+    search may legally visit (SV/UR/LC/AE/PF/WNT plus the block-fetch
+    and CISC extensions), deliberately including invalid-adjacent
+    boundary values — unroll 0, accumulator expansion 1, prefetch
+    distance 0/1/huge, SV forced on non-vectorizable kernels — which
+    the pipeline must either compile correctly or cleanly reject
+    (anything else is a bug the oracle reports). *)
+
+val point :
+  Ifko_util.Rng.t ->
+  line_bytes:int ->
+  report:Ifko_analysis.Report.t ->
+  Ifko_transform.Params.t

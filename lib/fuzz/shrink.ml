@@ -1,0 +1,142 @@
+open Ifko_hil
+module P = Ifko_transform.Params
+
+(* ---------- kernel shrinking ---------- *)
+
+let expr_shrinks = function
+  | Ast.Binop (_, a, b) -> [ a; b ]
+  | Ast.Abs a | Ast.Sqrt a | Ast.Neg a -> [ a ]
+  | Ast.Int_lit _ | Ast.Fp_lit _ | Ast.Var _ | Ast.Load _ -> []
+
+(* Every way to replace one statement by a (usually smaller) statement
+   list: removal, branch flattening, one-step expression shrinks. *)
+let rec stmt_shrinks (s : Ast.stmt) : Ast.stmt list list =
+  match s with
+  | Ast.Loop lp ->
+    ([] :: List.map (fun b -> [ Ast.Loop { lp with Ast.loop_body = b } ]) (body_shrinks lp.Ast.loop_body))
+    @ (if lp.Ast.loop_speculate then [ [ Ast.Loop { lp with Ast.loop_speculate = false } ] ] else [])
+  | Ast.If_then (op, a, b, t, e) ->
+    [ []; t; e ]
+    @ List.map (fun t' -> [ Ast.If_then (op, a, b, t', e) ]) (body_shrinks t)
+    @ List.map (fun e' -> [ Ast.If_then (op, a, b, t, e') ]) (body_shrinks e)
+  | Ast.Assign (x, e) -> [] :: List.map (fun e' -> [ Ast.Assign (x, e') ]) (expr_shrinks e)
+  | Ast.Assign_op (op, x, e) ->
+    [] :: List.map (fun e' -> [ Ast.Assign_op (op, x, e') ]) (expr_shrinks e)
+  | Ast.Store (p, k, e) -> [] :: List.map (fun e' -> [ Ast.Store (p, k, e') ]) (expr_shrinks e)
+  | Ast.Ptr_inc _ | Ast.Ptr_inc_var _ | Ast.If_goto _ | Ast.Goto _ | Ast.Label _
+  | Ast.Return _ ->
+    [ [] ]
+
+and body_shrinks (body : Ast.stmt list) : Ast.stmt list list =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         let before = List.filteri (fun j _ -> j < i) body in
+         let after = List.filteri (fun j _ -> j > i) body in
+         List.map (fun repl -> before @ repl @ after) (stmt_shrinks s))
+       body)
+
+(* Names referenced anywhere in a statement list (reads, writes, loop
+   bounds and indices) — declarations of anything else can go. *)
+let referenced (body : Ast.stmt list) =
+  let used = Hashtbl.create 16 in
+  let mark n = Hashtbl.replace used n () in
+  let rec expr = function
+    | Ast.Var x -> mark x
+    | Ast.Load (p, _) -> mark p
+    | Ast.Binop (_, a, b) -> expr a; expr b
+    | Ast.Abs e | Ast.Sqrt e | Ast.Neg e -> expr e
+    | Ast.Int_lit _ | Ast.Fp_lit _ -> ()
+  in
+  let rec stmt = function
+    | Ast.Assign (x, e) | Ast.Assign_op (_, x, e) -> mark x; expr e
+    | Ast.Store (p, _, e) -> mark p; expr e
+    | Ast.Ptr_inc (p, _) -> mark p
+    | Ast.Ptr_inc_var (p, v) -> mark p; mark v
+    | Ast.Loop lp ->
+      mark lp.Ast.loop_var;
+      expr lp.Ast.loop_from;
+      expr lp.Ast.loop_to;
+      List.iter stmt lp.Ast.loop_body
+    | Ast.If_goto (_, a, b, _) -> expr a; expr b
+    | Ast.If_then (_, a, b, t, e) -> expr a; expr b; List.iter stmt t; List.iter stmt e
+    | Ast.Goto _ | Ast.Label _ -> ()
+    | Ast.Return (Some e) -> expr e
+    | Ast.Return None -> ()
+  in
+  List.iter stmt body;
+  used
+
+let prune (k : Ast.kernel) =
+  let used = referenced k.Ast.k_body in
+  let keep n = Hashtbl.mem used n in
+  {
+    k with
+    Ast.k_params = List.filter (fun (p : Ast.param) -> keep p.Ast.p_name) k.Ast.k_params;
+    k_locals =
+      List.filter_map
+        (fun (d : Ast.decl) ->
+          match List.filter keep d.Ast.d_names with
+          | [] -> None
+          | names -> Some { d with Ast.d_names = names })
+        k.Ast.k_locals;
+  }
+
+let kernel_candidates (k : Ast.kernel) =
+  List.map (fun body -> prune { k with Ast.k_body = body }) (body_shrinks k.Ast.k_body)
+
+(* ---------- parameter shrinking ---------- *)
+
+let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
+
+let params_candidates (p : P.t) =
+  let cands = ref [] in
+  let add c = if c <> p then cands := c :: !cands in
+  if p.P.sv then add { p with P.sv = false };
+  if p.P.wnt then add { p with P.wnt = false };
+  if p.P.cisc then add { p with P.cisc = false };
+  if p.P.bf <> 0 then add { p with P.bf = 0 };
+  if p.P.prefetch <> [] then begin
+    add { p with P.prefetch = [] };
+    if List.length p.P.prefetch > 1 then
+      List.iteri (fun i _ -> add { p with P.prefetch = remove_nth i p.P.prefetch }) p.P.prefetch
+  end;
+  if p.P.ae <> 0 then begin
+    add { p with P.ae = 0 };
+    if p.P.ae > 3 then add { p with P.ae = p.P.ae / 2 }
+  end;
+  if p.P.lc then add { p with P.lc = false };
+  if p.P.unroll <> 1 then begin
+    add { p with P.unroll = 1 };
+    if p.P.unroll > 2 then add { p with P.unroll = p.P.unroll / 2 }
+  end;
+  List.rev !cands
+
+(* ---------- the greedy loop ---------- *)
+
+let minimize ?(max_attempts = 400) ~fails kernel params =
+  let attempts = ref max_attempts in
+  let still_fails k p =
+    if !attempts <= 0 then false
+    else begin
+      decr attempts;
+      try fails k p with _ -> false
+    end
+  in
+  let rec go k p =
+    let candidate =
+      let rec first = function
+        | [] -> None
+        | `Point p' :: rest -> if still_fails k p' then Some (k, p') else first rest
+        | `Kernel k' :: rest -> if still_fails k' p then Some (k', p) else first rest
+      in
+      first
+        (List.map (fun x -> `Point x) (params_candidates p)
+        @ List.map (fun x -> `Kernel x) (kernel_candidates k))
+    in
+    match candidate with
+    | Some (k', p') when !attempts > 0 -> go k' p'
+    | Some (k', p') -> (k', p')
+    | None -> (k, p)
+  in
+  go kernel params

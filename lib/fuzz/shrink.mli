@@ -1,0 +1,29 @@
+(** Greedy minimization of fuzz failures.
+
+    Both halves of a failing case shrink: the kernel AST (statement
+    removal, branch flattening, expression simplification, pruning of
+    now-unused declarations) and the parameter point (each transform
+    pushed toward its identity value — off, unroll 1, no prefetch —
+    one field at a time).  A candidate is adopted only if the failure
+    predicate still holds; the result is a local fixpoint, so
+    re-shrinking an already-shrunk case returns it unchanged (checked
+    in the test suite). *)
+
+val kernel_candidates : Ifko_hil.Ast.kernel -> Ifko_hil.Ast.kernel list
+(** One-step-smaller kernels, in deterministic order, each with unused
+    locals/parameters pruned.  Candidates need not typecheck — callers
+    filter through their failure predicate. *)
+
+val params_candidates : Ifko_transform.Params.t -> Ifko_transform.Params.t list
+(** One-step-closer-to-identity parameter points, deterministic order. *)
+
+val minimize :
+  ?max_attempts:int ->
+  fails:(Ifko_hil.Ast.kernel -> Ifko_transform.Params.t -> bool) ->
+  Ifko_hil.Ast.kernel ->
+  Ifko_transform.Params.t ->
+  Ifko_hil.Ast.kernel * Ifko_transform.Params.t
+(** [minimize ~fails k p] greedily applies the first still-failing
+    candidate until none applies (or [max_attempts] predicate calls,
+    default 400, are spent).  [fails] must be total; exceptions it
+    raises count as "does not fail". *)

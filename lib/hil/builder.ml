@@ -31,6 +31,7 @@ let loop ?(opt = false) ?(speculate = false) ?(step = 1) var ~from ~to_ body =
     }
 
 let if_goto op a b l = If_goto (op, a, b, l)
+let if_then ?(else_:stmt list = []) op a b then_body = If_then (op, a, b, then_body, else_)
 let goto l = Goto l
 let label l = Label l
 let return e = Return e

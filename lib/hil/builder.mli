@@ -37,6 +37,12 @@ val loop :
 (** [loop ~opt:true "i" ~from ~to_ body] builds an (opt-)loop. *)
 
 val if_goto : cmpop -> expr -> expr -> string -> stmt
+
+val if_then : ?else_:stmt list -> cmpop -> expr -> expr -> stmt list -> stmt
+(** [if_then op a b then_body] is the scoped conditional
+    [IF (a op b) THEN then_body ELSE else_ ENDIF].
+    @param else_ the else branch (default empty) *)
+
 val goto : string -> stmt
 val label : string -> stmt
 val return : expr option -> stmt

@@ -34,6 +34,17 @@ module Search = Ifko_search.Linesearch
 module Driver = Ifko_search.Driver
 module Store = Ifko_store.Store
 module Par = Ifko_par.Par
+
+(** Differential fuzzing of the full pipeline (generator, parameter
+    sampler, oracle, shrinker, reproducer corpus). *)
+module Fuzz = struct
+  module Gen = Ifko_fuzz.Gen
+  module Sample = Ifko_fuzz.Sample
+  module Oracle = Ifko_fuzz.Oracle
+  module Shrink = Ifko_fuzz.Shrink
+  module Corpus = Ifko_fuzz.Corpus
+  include Ifko_fuzz.Fuzz
+end
 module Blas = struct
   module Defs = Ifko_blas.Defs
   module Ref_impl = Ifko_blas.Ref_impl

@@ -125,3 +125,10 @@ let to_string f =
       Buffer.add_string buf ("        " ^ Block.term_to_string b.Block.term ^ "\n"))
     f.blocks;
   Buffer.contents buf
+
+(** [fingerprint f] is a short stable content digest (hex MD5) of the
+    function's printed form.  Fuzz reproducers record it so a corpus
+    file can be recognized as stale when the lowering of its kernel
+    changes (the replay still runs; the fingerprint is provenance, not
+    a key). *)
+let fingerprint f = Digest.to_hex (Digest.string (to_string f))

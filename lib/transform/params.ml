@@ -76,6 +76,60 @@ let canonical t =
           (fun (a, p) -> Printf.sprintf "%s:%s" a (pf_to_string p))
           (List.sort (fun (a, _) (b, _) -> compare a b) t.prefetch)))
 
+(** [of_canonical s] parses a {!canonical} rendering back into a
+    parameter point — the inverse the fuzz-corpus reproducer files rely
+    on ([of_canonical (canonical p) = p] for every [p]; checked in the
+    test suite).  @raise Failure on malformed input. *)
+let of_canonical s =
+  let err fmt = Printf.ksprintf failwith fmt in
+  let field kv =
+    match String.index_opt kv '=' with
+    | Some i -> (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+    | None -> err "Params.of_canonical: missing '=' in %S" kv
+  in
+  let fields = List.map field (String.split_on_char ';' s) in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> err "Params.of_canonical: missing field %S in %S" k s
+  in
+  let bool_of k v =
+    match v with "1" -> true | "0" -> false | _ -> err "Params.of_canonical: bad %s=%S" k v
+  in
+  let int_of k v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> err "Params.of_canonical: bad %s=%S" k v
+  in
+  let pf_of entry =
+    match String.split_on_char ':' entry with
+    | [ name; kind; dist ] ->
+      let pf_ins =
+        match kind with
+        | "none" -> None
+        | "nta" -> Some Instr.Nta
+        | "t0" -> Some Instr.T0
+        | "t1" -> Some Instr.T1
+        | "w" -> Some Instr.W
+        | _ -> err "Params.of_canonical: bad prefetch kind %S" kind
+      in
+      (name, { pf_ins; pf_dist = int_of "pf_dist" dist })
+    | _ -> err "Params.of_canonical: bad prefetch entry %S" entry
+  in
+  {
+    sv = bool_of "sv" (get "sv");
+    unroll = int_of "ur" (get "ur");
+    lc = bool_of "lc" (get "lc");
+    ae = int_of "ae" (get "ae");
+    wnt = bool_of "wnt" (get "wnt");
+    bf = int_of "bf" (get "bf");
+    cisc = bool_of "cisc" (get "cisc");
+    prefetch =
+      (match get "pf" with
+      | "" -> []
+      | pf -> List.map pf_of (String.split_on_char ',' pf));
+  }
+
 (** Render in the style of the paper's Table 3:
     ["SV:WNT  pfX pfY  UR:AE"]. *)
 let to_string t =

@@ -16,6 +16,7 @@ let () =
       ("store", Test_store.suite);
       ("search", Test_search.suite);
       ("extensions", Test_extensions.suite);
+      ("fuzz", Test_fuzz.suite);
       ("extras", Test_extras.suite);
       ("blas", Test_blas.suite);
       ("baselines", Test_baselines.suite);
