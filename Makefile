@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test fmt check bench fuzz
+.PHONY: all build test fmt check bench simbench fuzz
 
 all: build
 
@@ -23,6 +23,11 @@ check: build fmt test
 
 bench:
 	dune exec bench/main.exe
+
+# Simulator-throughput report: interpreted MIPS of the reference
+# walker vs. the threaded-code engine on every BLAS kernel.
+simbench:
+	dune exec bench/main.exe -- --exp simbench --no-store
 
 # Deterministic fuzz smoke (CI runs the same seed; the nightly
 # workflow explores a fresh date-derived seed at a larger budget).

@@ -14,7 +14,7 @@
      --json PATH    machine-readable run report (default BENCH_results.json)
 
    Experiments: table1 table2 fig2 fig3 fig4 fig5a fig5b table3 fig7
-                opteron_l2 ablations all *)
+                opteron_l2 ablations simbench all *)
 
 open Ifko_blas
 open Ifko_machine
@@ -306,6 +306,97 @@ let exp_ablations () =
   ablation_extrapolation ();
   ablation_future_work ()
 
+(* ---------- simulator throughput (simbench) ---------- *)
+
+(* Interpreted-instructions-per-second of the two execution engines on
+   every BLAS kernel at its tuned default point: the reference
+   tree-walking interpreter vs. the pre-decoded threaded-code engine,
+   untimed (pure semantics) and timed (full pipeline model).  The
+   compiled engine decodes once outside the measurement loop — exactly
+   how Timer/Driver/Oracle use it. *)
+
+type simbench_row = {
+  sb_kernel : string;
+  sb_ref_untimed : float; (* MIPS *)
+  sb_new_untimed : float;
+  sb_ref_timed : float;
+  sb_new_timed : float;
+}
+
+let simbench_rows : simbench_row list ref = ref []
+let simbench_n = 8192
+
+let exp_simbench () =
+  let cfg = Config.p4e in
+  let n = simbench_n in
+  let min_time = if !quick then 0.1 else 0.4 in
+  (* steady-state rate: one warm-up run, then repeat until [min_time]
+     has elapsed; returns interpreted MIPS *)
+  let rate run =
+    let (_ : int) = run () in
+    let t0 = Unix.gettimeofday () in
+    let instrs = ref 0 and elapsed = ref 0.0 in
+    while !elapsed < min_time do
+      instrs := !instrs + run ();
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    float_of_int !instrs /. !elapsed /. 1e6
+  in
+  Printf.printf "Simulator throughput, P4E default points, N=%d (interpreted MIPS)\n" n;
+  Printf.printf "  %-7s %14s %14s %8s %14s %14s %8s\n" "kernel" "walker-untimed"
+    "threaded-untimed" "speedup" "walker-timed" "threaded-timed" "speedup";
+  let rows =
+    List.map
+      (fun id ->
+        let compiled = Hil_sources.compile id in
+        let report = Ifko_analysis.Report.analyze compiled in
+        let params =
+          Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
+        in
+        let func = Ifko_search.Driver.compile_point ~cfg compiled params in
+        let cf = Ifko_sim.Exec.compile func in
+        let spec = Workload.timer_spec id ~seed in
+        let env = spec.Ifko_sim.Timer.make_env n in
+        let rfs = spec.Ifko_sim.Timer.ret_fsize in
+        let ms = Ifko_machine.Memsys.create cfg in
+        let timing () =
+          Ifko_machine.Memsys.reset ms ~flush:true;
+          (cfg, ms)
+        in
+        let row =
+          {
+            sb_kernel = Defs.name id;
+            sb_ref_untimed =
+              rate (fun () ->
+                  (Ifko_sim.Exec.run_reference ~ret_fsize:rfs func env)
+                    .Ifko_sim.Exec.instr_count);
+            sb_new_untimed =
+              rate (fun () ->
+                  (Ifko_sim.Exec.exec ~ret_fsize:rfs cf env).Ifko_sim.Exec.instr_count);
+            sb_ref_timed =
+              rate (fun () ->
+                  (Ifko_sim.Exec.run_reference ~timing:(timing ()) ~ret_fsize:rfs func env)
+                    .Ifko_sim.Exec.instr_count);
+            sb_new_timed =
+              rate (fun () ->
+                  (Ifko_sim.Exec.exec ~timing:(timing ()) ~ret_fsize:rfs cf env)
+                    .Ifko_sim.Exec.instr_count);
+          }
+        in
+        Printf.printf "  %-7s %14.1f %16.1f %7.1fx %14.1f %14.1f %7.1fx\n" row.sb_kernel
+          row.sb_ref_untimed row.sb_new_untimed
+          (row.sb_new_untimed /. row.sb_ref_untimed)
+          row.sb_ref_timed row.sb_new_timed
+          (row.sb_new_timed /. row.sb_ref_timed);
+        row)
+      (kernels ())
+  in
+  let geo f = Ifko_util.Stats.geomean (List.map f rows) in
+  Printf.printf "  geomean speedup: %.1fx untimed, %.1fx timed\n"
+    (geo (fun r -> r.sb_new_untimed /. r.sb_ref_untimed))
+    (geo (fun r -> r.sb_new_timed /. r.sb_ref_timed));
+  simbench_rows := rows
+
 (* ---------- bechamel micro-benchmarks of the harness machinery ---------- *)
 
 let bechamel_tests () =
@@ -362,6 +453,7 @@ let experiments =
   [ ("table1", exp_table1); ("table2", exp_table2); ("fig2", exp_fig2); ("fig3", exp_fig3);
     ("fig4", exp_fig4); ("fig5a", exp_fig5a); ("fig5b", exp_fig5b); ("table3", exp_table3);
     ("fig7", exp_fig7); ("opteron_l2", exp_opteron_l2); ("ablations", exp_ablations);
+    ("simbench", exp_simbench);
   ]
 
 (* Per-experiment record for BENCH_results.json: wall-clock plus the
@@ -391,6 +483,28 @@ let write_results_json ~path ~total_seconds (stats : exp_stats list) =
     Printf.fprintf oc "  \"store\": \"%s\",\n" (json_escape (Ifko_store.Store.path st));
     Printf.fprintf oc "  \"store_entries\": %d,\n" (Ifko_store.Store.entries st)
   | None -> Printf.fprintf oc "  \"store\": null,\n");
+  (match !simbench_rows with
+  | [] -> ()
+  | rows ->
+    let geo f = Ifko_util.Stats.geomean (List.map f rows) in
+    Printf.fprintf oc "  \"simbench\": {\n";
+    Printf.fprintf oc "    \"machine\": \"P4E\",\n    \"n\": %d,\n" simbench_n;
+    Printf.fprintf oc "    \"geomean_speedup_untimed\": %.2f,\n"
+      (geo (fun r -> r.sb_new_untimed /. r.sb_ref_untimed));
+    Printf.fprintf oc "    \"geomean_speedup_timed\": %.2f,\n"
+      (geo (fun r -> r.sb_new_timed /. r.sb_ref_timed));
+    Printf.fprintf oc "    \"kernels\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "      {\"kernel\": \"%s\", \"walker_untimed_mips\": %.2f, \
+           \"threaded_untimed_mips\": %.2f, \"walker_timed_mips\": %.2f, \
+           \"threaded_timed_mips\": %.2f}%s\n"
+          (json_escape r.sb_kernel) r.sb_ref_untimed r.sb_new_untimed r.sb_ref_timed
+          r.sb_new_timed
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "    ]\n  },\n");
   Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"experiments\": [\n" total_seconds;
   List.iteri
     (fun i s ->

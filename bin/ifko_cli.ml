@@ -72,15 +72,19 @@ let generic_spec ?(seed = 0) (compiled : Ifko.Lower.compiled) =
 
 (* A generic tester: the untransformed lowering is the semantic
    reference for arbitrary user kernels. *)
-let generic_test (compiled : Ifko.Lower.compiled) spec func =
+let generic_test (compiled : Ifko.Lower.compiled) spec =
+  (* The reference side is decoded once per tune, each candidate once
+     per test — not once per test size. *)
+  let cf_ref = Ifko_sim.Exec.compile compiled.Ifko.Lower.func in
+  fun func ->
+  let cf_opt = Ifko_sim.Exec.compile func in
   List.for_all
     (fun n ->
       let env_ref = spec.Ifko_sim.Timer.make_env n in
       let env_opt = spec.Ifko_sim.Timer.make_env n in
       match
-        ( Ifko_sim.Exec.run ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize
-            compiled.Ifko.Lower.func env_ref,
-          Ifko_sim.Exec.run ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize func env_opt )
+        ( Ifko_sim.Exec.exec ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize cf_ref env_ref,
+          Ifko_sim.Exec.exec ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize cf_opt env_opt )
       with
       | exception Ifko_sim.Exec.Trap _ -> false
       | r_ref, r_opt ->

@@ -35,12 +35,13 @@ type study = {
 let make_test id ~seed =
   let sizes = [ 0; 1; 5; 63; 64; 257 ] in
   fun func ->
+    let cf = Ifko_sim.Exec.compile func in
     List.for_all
       (fun n ->
         let env = Workload.make_env id ~seed:(seed + 1) n in
         let expect = Workload.expectation id ~seed:(seed + 1) n in
         let tol = Workload.tolerance id ~n in
-        Ifko_sim.Verify.check ~tol ~ret_fsize:id.Defs.prec func env expect = Ok ())
+        Ifko_sim.Verify.check_compiled ~tol ~ret_fsize:id.Defs.prec cf env expect = Ok ())
       sizes
 
 let time_func ?store ~kind ~prov ~seed ~cfg ~context ~spec ~n ~flops_per_n func =
@@ -136,7 +137,10 @@ let run_study ?(kernels = Defs.all) ?(progress = fun _ -> ()) ?store ?jobs ~cfg 
   in
   { cfg; context; n; seed; results }
 
-let best_mflops r = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 r.mflops
+(* Start from neg_infinity, matching run_study's best-method fold: a
+   kernel whose every method failed timing yields neg_infinity, which
+   Stats.percent_of guards (rather than a silent divide by 0.0). *)
+let best_mflops r = List.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity r.mflops
 
 let percent r m =
   Ifko_util.Stats.percent_of ~best:(best_mflops r) (List.assoc m r.mflops)

@@ -102,16 +102,20 @@ let check ?(check_each_pass = false) ?inject ?(sizes = default_sizes) ~cfg ~seed
   | exception e -> Rejected (Printexc.to_string e)
   | opt ->
     let rfs = ret_fsize compiled in
+    (* Decode each side once; the compiled form is reused across every
+       oracle size. *)
+    let cf_ref = Ifko_sim.Exec.compile compiled.Lower.func in
+    let cf_opt = Ifko_sim.Exec.compile opt.Lower.func in
     let rec go = function
       | [] -> Agree
       | n :: rest -> (
         let env_ref = make_env ~seed compiled n in
         let env_opt = make_env ~seed compiled n in
-        match Ifko_sim.Exec.run ~ret_fsize:rfs compiled.Lower.func env_ref with
+        match Ifko_sim.Exec.exec ~ret_fsize:rfs cf_ref env_ref with
         | exception Ifko_sim.Exec.Trap m ->
           Rejected (Printf.sprintf "reference trap at n=%d: %s" n m)
         | r_ref -> (
-          match Ifko_sim.Exec.run ~ret_fsize:rfs opt.Lower.func env_opt with
+          match Ifko_sim.Exec.exec ~ret_fsize:rfs cf_opt env_opt with
           | exception Ifko_sim.Exec.Trap m ->
             Mismatch { size = n; detail = Printf.sprintf "trap: %s" m }
           | r_opt -> (

@@ -2,6 +2,8 @@ type t = {
   line : int;
   sets : int;
   assoc : int;
+  line_shift : int;  (** log2 line when a power of two, else -1 *)
+  set_mask : int;  (** sets - 1 when a power of two, else -1 *)
   tags : int array;  (** -1 = invalid; indexed [set * assoc + way] *)
   dirty : bool array;
   lru : int array;  (** higher = more recently used *)
@@ -10,6 +12,10 @@ type t = {
   mutable misses : int;
 }
 
+let log2_exact n =
+  let rec go k = if 1 lsl k = n then k else if 1 lsl k > n then -1 else go (k + 1) in
+  if n > 0 then go 0 else -1
+
 let create (lvl : Config.cache_level) =
   let sets = max 1 (lvl.Config.size / (lvl.Config.line * lvl.Config.assoc)) in
   let ways = sets * lvl.Config.assoc in
@@ -17,6 +23,8 @@ let create (lvl : Config.cache_level) =
     line = lvl.Config.line;
     sets;
     assoc = lvl.Config.assoc;
+    line_shift = log2_exact lvl.Config.line;
+    set_mask = (if log2_exact sets >= 0 then sets - 1 else -1);
     tags = Array.make ways (-1);
     dirty = Array.make ways false;
     lru = Array.make ways 0;
@@ -26,34 +34,50 @@ let create (lvl : Config.cache_level) =
   }
 
 let line_bytes t = t.line
-let set_of t addr = addr / t.line mod t.sets
-let tag_of t addr = addr / t.line
 
+(* Addresses are non-negative (the simulator bounds-checks before any
+   cache traffic), so shift/mask agree with the division forms on
+   every address that reaches us; odd-sized configs fall back. *)
+let[@inline] tag_of t addr =
+  if t.line_shift >= 0 then addr asr t.line_shift else addr / t.line
+
+let[@inline] set_of t addr =
+  if t.set_mask >= 0 then tag_of t addr land t.set_mask else tag_of t addr mod t.sets
+
+let[@inline] line_base t addr =
+  if t.line_shift >= 0 then addr land lnot (t.line - 1) else addr - (addr mod t.line)
+
+(* Returns the way index, or -1 on a miss.  An int sentinel rather
+   than an option: this runs once or twice per simulated memory
+   instruction, and a [Some] per lookup is allocation the hot loop
+   can't afford. *)
 let find_way t addr =
   let base = set_of t addr * t.assoc and tag = tag_of t addr in
   let rec go w =
-    if w >= t.assoc then None
-    else if t.tags.(base + w) = tag then Some (base + w)
+    if w >= t.assoc then -1
+    else if Array.unsafe_get t.tags (base + w) = tag then base + w
     else go (w + 1)
   in
   go 0
 
-let touch t idx =
+let[@inline] touch t idx =
   t.clock <- t.clock + 1;
   t.lru.(idx) <- t.clock
 
 let access t ~addr ~write =
-  match find_way t addr with
-  | Some idx ->
+  let idx = find_way t addr in
+  if idx >= 0 then begin
     t.hits <- t.hits + 1;
     if write then t.dirty.(idx) <- true;
     touch t idx;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     false
+  end
 
-let probe t ~addr = find_way t addr <> None
+let probe t ~addr = find_way t addr >= 0
 
 let victim_way t addr =
   let base = set_of t addr * t.assoc in
@@ -65,12 +89,13 @@ let victim_way t addr =
   !best
 
 let insert t ~addr ~write =
-  match find_way t addr with
-  | Some idx ->
+  let idx = find_way t addr in
+  if idx >= 0 then begin
     if write then t.dirty.(idx) <- true;
     touch t idx;
     None
-  | None ->
+  end
+  else begin
     let idx = victim_way t addr in
     let evicted =
       if t.tags.(idx) <> -1 && t.dirty.(idx) then Some (t.tags.(idx) * t.line) else None
@@ -79,15 +104,17 @@ let insert t ~addr ~write =
     t.dirty.(idx) <- write;
     touch t idx;
     evicted
+  end
 
 let invalidate t ~addr =
-  match find_way t addr with
-  | Some idx ->
+  let idx = find_way t addr in
+  if idx >= 0 then begin
     let was_dirty = t.dirty.(idx) in
     t.tags.(idx) <- -1;
     t.dirty.(idx) <- false;
     was_dirty
-  | None -> false
+  end
+  else false
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

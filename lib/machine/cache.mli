@@ -11,6 +11,10 @@ type t
 val create : Config.cache_level -> t
 val line_bytes : t -> int
 
+val line_base : t -> int -> int
+(** [line_base t addr] is the base address of the line containing
+    [addr] (a shift/mask when the line size is a power of two). *)
+
 val access : t -> addr:int -> write:bool -> bool
 (** [access t ~addr ~write] is [true] on a hit (updating LRU and the
     dirty bit).  On a miss nothing changes except the statistics. *)

@@ -10,36 +10,176 @@ type fill = {
 
 type stream = { mutable expect : int; mutable dir : int }
 
+(* The four hot clocks live in one float array rather than mutable
+   float fields: float fields of a mixed record box on every write,
+   and these are written on every simulated memory operation. *)
+let f_bus = 0 (* bus_free: earliest time the bus is idle *)
+and f_claims = 1 (* total bus cycles claimed *)
+and f_clock = 2 (* consumption frontier: max issue/completion seen *)
+and f_wc = 3 (* bytes pending in the WC buffer *)
+and f_now = 4 (* unboxed-call channel: the caller's clock *)
+and f_ret = 5 (* unboxed-call channel: the completion time *)
+
 type t = {
   cfg : Config.t;
   l1 : Cache.t;
   l2 : Cache.t;
-  mutable bus_free : float;
-  mshr : float Queue.t;  (** completion times of in-flight demand misses *)
-  inflight : (int, fill) Hashtbl.t;  (** keyed by L2-line base address *)
+  fl : float array;  (** [f_bus]/[f_claims]/[f_clock]/[f_wc] *)
+  mshr : float array;  (** ring of completion times of in-flight demand misses *)
+  mutable mshr_head : int;
+  mutable mshr_len : int;
+  (* In-flight fills, keyed by L2-line base address: an open-addressed
+     table with linear probing.  A generic [Hashtbl] costs a [caml_hash]
+     C call per lookup, and the all-miss phase of an out-of-cache run
+     looks the line up two or three times per memory instruction. *)
+  mutable if_keys : int array;  (* -1 empty, -2 tombstone *)
+  mutable if_vals : fill array;
+  mutable if_n : int;  (* live entries *)
+  mutable if_used : int;  (* live entries + tombstones *)
+  if_shift : int;  (* log2 of the L2 line size (0 for odd sizes) *)
   streams : stream array;
   mutable next_stream : int;
   mutable sw_pf_issued : int;
   mutable sw_pf_dropped : int;
   mutable hw_pf_issued : int;
   mutable nt_lines : int;
-  mutable claims : float;  (* total bus cycles claimed *)
   mutable pf_inflight : int;  (* prefetched lines not yet settled *)
-  fifo : (int * bool) Queue.t;  (* inflight lines in arrival order, with is_pf *)
-  mutable clock : float;  (* consumption frontier: max issue/completion time seen *)
+  mutable fifo : int array;  (* ring: inflight lines in arrival order *)
+  mutable fifo_head : int;
+  mutable fifo_len : int;
   mutable last_dir_write : bool;  (* direction of the last bus transfer *)
   mutable wc_line : int;  (* write-combining buffer: current NT line *)
-  mutable wc_bytes : float;  (* bytes pending in the WC buffer *)
 }
+
+(* Same max as the timing model's: times are finite and non-negative,
+   so this agrees with [Float.max] while staying inlinable. *)
+let[@inline] fmax (a : float) (b : float) = if a >= b then a else b
+
+(* Ring-buffer helpers.  [Queue] allocates a cell per push (and a
+   [Some] per [peek_opt]); the all-miss phase of an out-of-cache run
+   pushes one fifo entry and one MSHR slot per missed line, so both
+   live in flat reusable buffers instead.  The fifo capacity is kept a
+   power of two; the MSHR ring never exceeds the configured slot
+   count. *)
+let[@inline] fifo_push t v =
+  let cap = Array.length t.fifo in
+  if t.fifo_len = cap then begin
+    let buf = Array.make (2 * cap) 0 in
+    for i = 0 to t.fifo_len - 1 do
+      buf.(i) <- t.fifo.((t.fifo_head + i) land (cap - 1))
+    done;
+    t.fifo <- buf;
+    t.fifo_head <- 0
+  end;
+  let mask = Array.length t.fifo - 1 in
+  t.fifo.((t.fifo_head + t.fifo_len) land mask) <- v;
+  t.fifo_len <- t.fifo_len + 1
+
+let[@inline] fifo_pop t =
+  t.fifo_head <- (t.fifo_head + 1) land (Array.length t.fifo - 1);
+  t.fifo_len <- t.fifo_len - 1
+
+let[@inline] mshr_push t v =
+  let cap = Array.length t.mshr in
+  t.mshr.((t.mshr_head + t.mshr_len) mod cap) <- v;
+  t.mshr_len <- t.mshr_len + 1
+
+let[@inline] mshr_pop t =
+  let v = t.mshr.(t.mshr_head) in
+  t.mshr_head <- (t.mshr_head + 1) mod Array.length t.mshr;
+  t.mshr_len <- t.mshr_len - 1;
+  v
+
+(* Sentinel for "no fill in flight": lets the hot lookups avoid
+   allocating an option.  Never mutated — callers compare against it
+   (physically) before touching any field. *)
+let no_fill =
+  { arrival = 0.0; fill_l1 = false; fill_l2 = false; want_write = false;
+    l1_addr = -1; observed = true; is_pf = false }
+
+(* The in-flight table.  Keys are L2-line bases, so [line asr if_shift]
+   is dense and sequential for streaming kernels — taken modulo a
+   power-of-two capacity it spreads perfectly without any mixing.
+   Callers only insert after a failed lookup (a line is in flight at
+   most once), which keeps the probe logic trivial. *)
+
+let[@inline] if_home t line = (line asr t.if_shift) land (Array.length t.if_keys - 1)
+
+let if_find t line =
+  let mask = Array.length t.if_keys - 1 in
+  let rec go i =
+    let k = Array.unsafe_get t.if_keys i in
+    if k = line then Array.unsafe_get t.if_vals i
+    else if k = -1 then no_fill
+    else go ((i + 1) land mask)
+  in
+  go (if_home t line)
+
+let if_grow t =
+  let keys = t.if_keys and vals = t.if_vals in
+  t.if_keys <- Array.make (2 * Array.length keys) (-1);
+  t.if_vals <- Array.make (2 * Array.length vals) no_fill;
+  t.if_used <- t.if_n;
+  let mask = Array.length t.if_keys - 1 in
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let rec place j =
+          if t.if_keys.(j) = -1 then begin
+            t.if_keys.(j) <- k;
+            t.if_vals.(j) <- vals.(i)
+          end
+          else place ((j + 1) land mask)
+        in
+        place (if_home t k)
+      end)
+    keys
+
+let if_insert t line f =
+  if 2 * t.if_used >= Array.length t.if_keys then if_grow t;
+  let mask = Array.length t.if_keys - 1 in
+  let rec go i =
+    let k = Array.unsafe_get t.if_keys i in
+    if k = -1 || k = -2 then begin
+      if k = -1 then t.if_used <- t.if_used + 1;
+      t.if_keys.(i) <- line;
+      t.if_vals.(i) <- f;
+      t.if_n <- t.if_n + 1
+    end
+    else go ((i + 1) land mask)
+  in
+  go (if_home t line)
+
+let if_remove t line =
+  let mask = Array.length t.if_keys - 1 in
+  let rec go i =
+    let k = Array.unsafe_get t.if_keys i in
+    if k = line then begin
+      t.if_keys.(i) <- -2;
+      t.if_vals.(i) <- no_fill;
+      t.if_n <- t.if_n - 1
+    end
+    else if k <> -1 then go ((i + 1) land mask)
+  in
+  go (if_home t line)
 
 let create (cfg : Config.t) =
   {
     cfg;
     l1 = Cache.create cfg.Config.l1;
     l2 = Cache.create cfg.Config.l2;
-    bus_free = 0.0;
-    mshr = Queue.create ();
-    inflight = Hashtbl.create 64;
+    fl = Array.make 6 0.0;
+    mshr = Array.make (max 1 cfg.Config.mshrs) 0.0;
+    mshr_head = 0;
+    mshr_len = 0;
+    if_keys = Array.make 256 (-1);
+    if_vals = Array.make 256 no_fill;
+    if_n = 0;
+    if_used = 0;
+    if_shift =
+      (let line = cfg.Config.l2.Config.line in
+       let rec go k = if 1 lsl k >= line then k else go (k + 1) in
+       if line > 1 then go 0 else 0);
     streams =
       Array.init cfg.Config.hw_prefetch_streams (fun _ -> { expect = -1; dir = 1 });
     next_stream = 0;
@@ -47,31 +187,32 @@ let create (cfg : Config.t) =
     sw_pf_dropped = 0;
     hw_pf_issued = 0;
     nt_lines = 0;
-    claims = 0.0;
     pf_inflight = 0;
-    fifo = Queue.create ();
-    clock = 0.0;
+    fifo = Array.make 64 0;
+    fifo_head = 0;
+    fifo_len = 0;
     last_dir_write = false;
     wc_line = -1;
-    wc_bytes = 0.0;
   }
 
 let reset t ~flush =
-  t.bus_free <- 0.0;
-  Queue.clear t.mshr;
-  Hashtbl.reset t.inflight;
+  Array.fill t.fl 0 6 0.0;
+  t.mshr_head <- 0;
+  t.mshr_len <- 0;
+  Array.fill t.if_keys 0 (Array.length t.if_keys) (-1);
+  Array.fill t.if_vals 0 (Array.length t.if_vals) no_fill;
+  t.if_n <- 0;
+  t.if_used <- 0;
   Array.iter (fun s -> s.expect <- -1) t.streams;
   t.sw_pf_issued <- 0;
   t.sw_pf_dropped <- 0;
   t.hw_pf_issued <- 0;
   t.nt_lines <- 0;
-  t.claims <- 0.0;
   t.pf_inflight <- 0;
-  Queue.clear t.fifo;
-  t.clock <- 0.0;
+  t.fifo_head <- 0;
+  t.fifo_len <- 0;
   t.last_dir_write <- false;
   t.wc_line <- -1;
-  t.wc_bytes <- 0.0;
   Cache.reset_stats t.l1;
   Cache.reset_stats t.l2;
   if flush then begin
@@ -79,7 +220,7 @@ let reset t ~flush =
     Cache.flush t.l2
   end
 
-let l2_line t addr = addr - (addr mod Cache.line_bytes t.l2)
+let[@inline] l2_line t addr = Cache.line_base t.l2 addr
 let page_of addr = addr / 4096
 let occupancy t = float_of_int (Cache.line_bytes t.l2) /. t.cfg.Config.bus_bytes_per_cycle
 
@@ -88,25 +229,25 @@ let occupancy t = float_of_int (Cache.line_bytes t.l2) /. t.cfg.Config.bus_bytes
 let turnaround t ~write =
   if t.last_dir_write <> write then begin
     t.last_dir_write <- write;
-    t.bus_free <- t.bus_free +. t.cfg.Config.bus_turnaround;
-    t.claims <- t.claims +. t.cfg.Config.bus_turnaround
+    t.fl.(f_bus) <- t.fl.(f_bus) +. t.cfg.Config.bus_turnaround;
+    t.fl.(f_claims) <- t.fl.(f_claims) +. t.cfg.Config.bus_turnaround
   end
 
 (* Claim the bus for [extra] read-line transfers starting no earlier
    than [now]; returns the transfer start. *)
 let claim_bus t now extra =
   turnaround t ~write:false;
-  let start = Float.max now t.bus_free in
-  t.claims <- t.claims +. (occupancy t *. extra);
-  t.bus_free <- start +. (occupancy t *. extra);
+  let start = fmax now t.fl.(f_bus) in
+  t.fl.(f_claims) <- t.fl.(f_claims) +. (occupancy t *. extra);
+  t.fl.(f_bus) <- start +. (occupancy t *. extra);
   start
 
 (* Write-direction traffic (writebacks, non-temporal stores). *)
 let claim_bytes t now bytes =
   turnaround t ~write:true;
-  let start = Float.max now t.bus_free in
-  t.claims <- t.claims +. (bytes /. t.cfg.Config.bus_bytes_per_cycle);
-  t.bus_free <- start +. (bytes /. t.cfg.Config.bus_bytes_per_cycle)
+  let start = fmax now t.fl.(f_bus) in
+  t.fl.(f_claims) <- t.fl.(f_claims) +. (bytes /. t.cfg.Config.bus_bytes_per_cycle);
+  t.fl.(f_bus) <- start +. (bytes /. t.cfg.Config.bus_bytes_per_cycle)
 
 (* Dirty eviction out of L2 goes to memory over the bus (with the
    configured burst-overhead factor). *)
@@ -132,29 +273,31 @@ let l1_evicted t now = function
    fill. *)
 let schedule_fetch t ~now ~fill_l1 ~fill_l2 ~l1_addr addr =
   let line = l2_line t addr in
-  match Hashtbl.find_opt t.inflight line with
-  | Some f ->
+  let f = if_find t line in
+  if f != no_fill then begin
     f.fill_l1 <- f.fill_l1 || fill_l1;
     f.fill_l2 <- f.fill_l2 || fill_l2;
     if fill_l1 then f.l1_addr <- l1_addr;
     f.arrival
-  | None ->
+  end
+  else begin
     let start = claim_bus t now 1.0 in
     (* prefetches lose memory-controller arbitration to demand reads *)
     let arrival =
       start
       +. (float_of_int t.cfg.Config.mem_latency *. t.cfg.Config.pf_latency_factor)
     in
-    Hashtbl.replace t.inflight line
+    if_insert t line
       { arrival; fill_l1; fill_l2; want_write = false; l1_addr; observed = false;
         is_pf = true };
     t.pf_inflight <- t.pf_inflight + 1;
-    Queue.push (line, true) t.fifo;
+    fifo_push t line;
     arrival
+  end
 
 (* Move an arrived fill into the caches. *)
 let settle t now line (f : fill) =
-  Hashtbl.remove t.inflight line;
+  if_remove t line;
   if f.is_pf then t.pf_inflight <- t.pf_inflight - 1;
   if f.fill_l2 then l2_evicted t now (Cache.insert t.l2 ~addr:line ~write:false);
   if f.fill_l1 then begin
@@ -178,26 +321,29 @@ let hw_prefetch t ~now addr =
   if cfg.Config.hw_prefetch_ahead > 0 then begin
     let line_sz = Cache.line_bytes t.l2 in
     let line = l2_line t addr in
-    let matched = ref false in
-    Array.iter
-      (fun s ->
-        if (not !matched) && s.expect = line then begin
-          matched := true;
-          s.expect <- line + (s.dir * line_sz);
-          for k = 1 to cfg.Config.hw_prefetch_ahead do
-            let target = line + (s.dir * k * line_sz) in
-            if page_of target = page_of line && not (Cache.probe t.l2 ~addr:target) then begin
-              t.hw_pf_issued <- t.hw_pf_issued + 1;
-              ignore
-                (schedule_fetch t ~now ~fill_l1:false ~fill_l2:true ~l1_addr:target target
-                  : float)
-            end
-          done
-        end)
-      t.streams;
-    if not !matched then begin
+    let ns = Array.length t.streams in
+    (* first stream expecting this line, if any (no closure: this runs
+       on every demand miss and first touch of a prefetched line) *)
+    let rec find k =
+      if k >= ns then -1 else if t.streams.(k).expect = line then k else find (k + 1)
+    in
+    let m = find 0 in
+    if m >= 0 then begin
+      let s = t.streams.(m) in
+      s.expect <- line + (s.dir * line_sz);
+      for k = 1 to cfg.Config.hw_prefetch_ahead do
+        let target = line + (s.dir * k * line_sz) in
+        if page_of target = page_of line && not (Cache.probe t.l2 ~addr:target) then begin
+          t.hw_pf_issued <- t.hw_pf_issued + 1;
+          ignore
+            (schedule_fetch t ~now ~fill_l1:false ~fill_l2:true ~l1_addr:target target
+              : float)
+        end
+      done
+    end
+    else begin
       let s = t.streams.(t.next_stream) in
-      t.next_stream <- (t.next_stream + 1) mod Array.length t.streams;
+      t.next_stream <- (t.next_stream + 1) mod ns;
       s.expect <- line + line_sz;
       s.dir <- 1
     end
@@ -206,49 +352,47 @@ let hw_prefetch t ~now addr =
 (* Take an MSHR slot for a demand miss requested at [now]; returns the
    effective request time (delayed when all slots are busy). *)
 let mshr_admit t now =
-  let rec drain () =
-    match Queue.peek_opt t.mshr with
-    | Some c when c <= now ->
-      ignore (Queue.pop t.mshr : float);
-      drain ()
-    | _ -> ()
-  in
-  drain ();
-  if Queue.length t.mshr < t.cfg.Config.mshrs then now else Float.max now (Queue.pop t.mshr)
+  while t.mshr_len > 0 && t.mshr.(t.mshr_head) <= now do
+    ignore (mshr_pop t : float)
+  done;
+  if t.mshr_len < t.cfg.Config.mshrs then now else fmax now (mshr_pop t)
 
 let demand_fetch t ~now ~write addr =
   hw_prefetch t ~now addr;
   let t0 = mshr_admit t now in
   let start = claim_bus t t0 1.0 in
   let arrival = start +. float_of_int t.cfg.Config.mem_latency in
-  Queue.push arrival t.mshr;
+  mshr_push t arrival;
   let line = l2_line t addr in
-  Hashtbl.replace t.inflight line
+  if_insert t line
     { arrival; fill_l1 = true; fill_l2 = true; want_write = write; l1_addr = addr;
       observed = true; is_pf = false };
-  Queue.push (line, false) t.fifo;
+  fifo_push t line;
   arrival
 
 (* Advance the consumption frontier and settle every fill it passed:
    a line is architecturally in the cache once its arrival time is
    behind the furthest completion the core has seen. *)
-let tick t time =
-  if time > t.clock then t.clock <- time;
-  let rec sweep () =
-    match Queue.peek_opt t.fifo with
-    | Some (line, _) -> (
-      match Hashtbl.find_opt t.inflight line with
-      | None ->
-        ignore (Queue.pop t.fifo : int * bool);
-        sweep ()
-      | Some f when f.arrival <= t.clock ->
-        ignore (Queue.pop t.fifo : int * bool);
-        settle t t.clock line f;
-        sweep ()
-      | Some _ -> ())
-    | None -> ()
-  in
-  sweep ()
+let rec sweep t =
+  if t.fifo_len > 0 then begin
+    let line = Array.unsafe_get t.fifo t.fifo_head in
+    let f = if_find t line in
+    if f == no_fill then begin
+      (* stale entry: the fill already settled via a hit-under-fill *)
+      fifo_pop t;
+      sweep t
+    end
+    else if f.arrival <= t.fl.(f_clock) then begin
+      fifo_pop t;
+      settle t t.fl.(f_clock) line f;
+      sweep t
+    end
+  end
+
+let[@inline] tick t time =
+  if time > t.fl.(f_clock) then t.fl.(f_clock) <- time;
+  (* fast path: nothing in flight (every cache-resident phase) *)
+  if t.fifo_len > 0 then sweep t
 
 (* The stream prefetcher also observes the first touch of a line it
    (or a software prefetch) brought in, so coverage is continuous
@@ -259,66 +403,87 @@ let observe t ~now (f : fill) line =
     hw_prefetch t ~now line
   end
 
-let load t ~addr ~now =
+(* The hot calling convention: the caller's clock comes in through
+   [fl.(f_now)] and the completion time goes out through [fl.(f_ret)].
+   Passing them as float argument/return would box both on every
+   simulated memory instruction (the labelled wrappers below do
+   exactly that, for callers off the hot path). *)
+let load_io t addr =
+  let now = Array.unsafe_get t.fl f_now in
   let cfg = t.cfg in
   let l1_lat = float_of_int cfg.Config.l1.Config.latency in
   let line = l2_line t addr in
   tick t now;
-  match Hashtbl.find_opt t.inflight line with
-  | Some f when f.arrival > now ->
-    (* hit under fill: ride the outstanding fetch *)
+  (* hashing the line is pointless when nothing is in flight, which is
+     every access of a cache-resident phase *)
+  let f =
+    if t.if_n = 0 then no_fill else if_find t line
+  in
+  if f != no_fill then begin
     f.fill_l1 <- true;
     f.l1_addr <- addr;
     observe t ~now f line;
-    tick t f.arrival;
-    Float.max (now +. l1_lat) f.arrival
-  | Some f ->
-    f.fill_l1 <- true;
-    f.l1_addr <- addr;
-    observe t ~now f line;
-    settle t now line f;
-    now +. l1_lat
-  | None ->
-    if Cache.access t.l1 ~addr ~write:false then now +. l1_lat
-    else if Cache.access t.l2 ~addr ~write:false then begin
-      l1_evicted t now (Cache.insert t.l1 ~addr ~write:false);
-      now +. float_of_int cfg.Config.l2.Config.latency
+    if f.arrival > now then begin
+      (* hit under fill: ride the outstanding fetch *)
+      tick t f.arrival;
+      t.fl.(f_ret) <- fmax (now +. l1_lat) f.arrival
     end
     else begin
-      let arrival = demand_fetch t ~now ~write:false addr in
-      tick t arrival;
-      arrival
+      settle t now line f;
+      t.fl.(f_ret) <- now +. l1_lat
     end
+  end
+  else if Cache.access t.l1 ~addr ~write:false then t.fl.(f_ret) <- now +. l1_lat
+  else if Cache.access t.l2 ~addr ~write:false then begin
+    l1_evicted t now (Cache.insert t.l1 ~addr ~write:false);
+    t.fl.(f_ret) <- now +. float_of_int cfg.Config.l2.Config.latency
+  end
+  else begin
+    let arrival = demand_fetch t ~now ~write:false addr in
+    tick t arrival;
+    t.fl.(f_ret) <- arrival
+  end
 
-let store t ~addr ~now =
+let load t ~addr ~now =
+  t.fl.(f_now) <- now;
+  load_io t addr;
+  t.fl.(f_ret)
+
+let store_io t addr =
+  let now = Array.unsafe_get t.fl f_now in
   let line = l2_line t addr in
   tick t now;
-  match Hashtbl.find_opt t.inflight line with
-  | Some f when f.arrival > now ->
-    f.want_write <- true;
-    f.fill_l1 <- true;
-    f.l1_addr <- addr;
-    observe t ~now f line
-  | Some f ->
+  let f =
+    if t.if_n = 0 then no_fill else if_find t line
+  in
+  if f != no_fill then begin
     f.want_write <- true;
     f.fill_l1 <- true;
     f.l1_addr <- addr;
     observe t ~now f line;
-    settle t now line f
-  | None ->
-    if Cache.access t.l1 ~addr ~write:true then ()
-    else if Cache.access t.l2 ~addr ~write:false then
-      l1_evicted t now (Cache.insert t.l1 ~addr ~write:true)
-    else
-      (* read-for-ownership: fetch the line, but do not stall *)
-      ignore (demand_fetch t ~now ~write:true addr : float)
+    if f.arrival <= now then settle t now line f
+  end
+  else if Cache.access t.l1 ~addr ~write:true then ()
+  else if Cache.access t.l2 ~addr ~write:false then
+    l1_evicted t now (Cache.insert t.l1 ~addr ~write:true)
+  else
+    (* read-for-ownership: fetch the line, but do not stall *)
+    ignore (demand_fetch t ~now ~write:true addr : float)
+
+let store t ~addr ~now =
+  t.fl.(f_now) <- now;
+  store_io t addr
+
+let io t = t.fl
+let io_now = f_now
+let io_ret = f_ret
 
 (* Flush the write-combining buffer: its contents cross the bus as one
    write burst. *)
 let wc_flush t now =
-  if t.wc_bytes > 0.0 then begin
-    claim_bytes t now t.wc_bytes;
-    t.wc_bytes <- 0.0
+  if t.fl.(f_wc) > 0.0 then begin
+    claim_bytes t now t.fl.(f_wc);
+    t.fl.(f_wc) <- 0.0
   end;
   t.wc_line <- -1
 
@@ -334,7 +499,7 @@ let nt_store t ~addr ~bytes ~now =
     t.wc_line <- line;
     t.nt_lines <- t.nt_lines + 1
   end;
-  t.wc_bytes <- t.wc_bytes +. float_of_int bytes;
+  t.fl.(f_wc) <- t.fl.(f_wc) +. float_of_int bytes;
   (* coherence: a cached copy forces the streaming store through the
      coherence protocol — a dirty copy must be flushed first, and the
      round trip costs extra on some machines (this is where blind
@@ -346,11 +511,11 @@ let nt_store t ~addr ~bytes ~now =
     ignore dirty1;
     let stores_per_line = float_of_int (Cache.line_bytes t.l1 / max 1 bytes) in
     let pen = cfg.Config.wnt_read_penalty /. stores_per_line in
-    t.bus_free <- Float.max now t.bus_free +. pen;
-    t.claims <- t.claims +. pen
+    t.fl.(f_bus) <- fmax now t.fl.(f_bus) +. pen;
+    t.fl.(f_claims) <- t.fl.(f_claims) +. pen
   end
 
-let bus_backlog t ~now = Float.max 0.0 (t.bus_free -. now)
+let bus_backlog t ~now = fmax 0.0 (t.fl.(f_bus) -. now)
 
 let prefetch t ~kind ~addr ~now =
   let cfg = t.cfg in
@@ -384,7 +549,7 @@ let warm_all t ~addr =
 
 let drain_time t ~now =
   wc_flush t now;
-  Float.max now t.bus_free
+  fmax now t.fl.(f_bus)
 
 (* Cost (in bus cycles) of eventually writing back every dirty line the
    run left in the hierarchy.  The out-of-cache timers charge this: for
@@ -400,4 +565,4 @@ let stats t =
   let h1, m1 = Cache.stats t.l1 and h2, m2 = Cache.stats t.l2 in
   Printf.sprintf
     "L1 %d hit / %d miss; L2 %d hit / %d miss; swpf %d issued / %d dropped; hwpf %d; nt %d; bus %.0f"
-    h1 m1 h2 m2 t.sw_pf_issued t.sw_pf_dropped t.hw_pf_issued t.nt_lines t.claims
+    h1 m1 h2 m2 t.sw_pf_issued t.sw_pf_dropped t.hw_pf_issued t.nt_lines t.fl.(f_claims)

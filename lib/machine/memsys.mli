@@ -25,6 +25,26 @@ val store : t -> addr:int -> now:float -> unit
     traffic on miss and dirty-writeback traffic on eviction, but never
     stalls the pipeline (store-buffer semantics). *)
 
+(** {2 Unboxed calling convention}
+
+    The simulator calls [load]/[store] once per simulated memory
+    instruction, and a float argument or return value crossing a module
+    boundary is boxed on every call.  The [_io] variants move both
+    times through a reusable float array instead: write the dispatch
+    time at index [io_now], call, read the completion time at [io_ret].
+    Semantically identical to the labelled functions above. *)
+
+val io : t -> float array
+val io_now : int
+val io_ret : int
+
+val load_io : t -> int -> unit
+(** [load t ~addr] with [now] read from [io_now] and the completion
+    time written to [io_ret]. *)
+
+val store_io : t -> int -> unit
+(** [store t ~addr] with [now] read from [io_now]. *)
+
 val nt_store : t -> addr:int -> bytes:int -> now:float -> unit
 (** Non-temporal store: write-combining traffic straight to memory, no
     allocation, no read-for-ownership; pays the configured penalty when

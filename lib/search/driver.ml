@@ -81,7 +81,10 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?(jobs = 1) ?(s
       Mutex.unlock funcs_mutex;
       if not (test func) then Ifko_store.Store.Test_failed
       else
-        let cycles = Ifko_sim.Timer.measure ~cfg ~context ~spec ~n func in
+        (* decode once per candidate; the timer reuses the threaded
+           code across extrapolation samples and reps *)
+        let cf = Ifko_sim.Exec.compile func in
+        let cycles = Ifko_sim.Timer.measure_compiled ~cfg ~context ~spec ~n cf in
         Ifko_store.Store.Timed
           { cycles; mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles }
   in

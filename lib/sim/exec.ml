@@ -104,6 +104,13 @@ let check_bounds st addr bytes =
   if addr < 0 || addr + bytes > Bytes.length st.memm then
     trap "memory access out of range: addr=%d size=%d" addr bytes
 
+(* All 16-byte vector accesses trap in the same order: range first,
+   then alignment — so an address that is both out of range and
+   unaligned reports the same (range) message on every vector op. *)
+let check_vec_access st ~what addr =
+  check_bounds st addr 16;
+  if addr mod 16 <> 0 then trap "unaligned vector %s at %d" what addr
+
 let load_f st sz addr =
   match sz with
   | Instr.D ->
@@ -123,15 +130,13 @@ let store_f st sz addr v =
     Bytes.set_int32_le st.memm addr (Int32.bits_of_float (round32 v))
 
 let vload st r addr =
-  check_bounds st addr 16;
-  if addr mod 16 <> 0 then trap "unaligned vector load at %d" addr;
+  check_vec_access st ~what:"load" addr;
   let i = slot r in
   ensure_xmm st i;
   Bytes.blit st.memm addr st.xmm (i * 16) 16
 
 let vstore st addr r =
-  check_bounds st addr 16;
-  if addr mod 16 <> 0 then trap "unaligned vector store at %d" addr;
+  check_vec_access st ~what:"store" addr;
   let i = slot r in
   ensure_xmm st i;
   Bytes.blit st.xmm (i * 16) st.memm addr 16
@@ -188,20 +193,34 @@ and u_branch = 6
 
 let n_units = 7
 
+(* The two mutable clocks (issue frontier and furthest completion)
+   live in a float array rather than mutable float fields: float
+   fields of a mixed record box on every write, and these are written
+   on every simulated instruction. *)
+let k_front = 0
+and k_last = 1
+
 type timing = {
   cfg : Config.t;
   ms : Memsys.t;
-  mutable front : float;
+  msio : float array;  (** [Memsys.io ms]: unboxed load/store time channel *)
+  clk : float array;  (** [k_front] = issue frontier; [k_last] = furthest completion *)
   mutable gready : float array;
   mutable gr_cap : int;
   mutable xready : float array;
   mutable xr_cap : int;
   unit_free : float array;
   service : float array;
+  issue_cost : float array;  (** [uops /. issue_width], precomputed per uop count *)
+  fadd_l : float;
+  fmul_l : float;
+  fdiv_l : float;
+  l1_l : float;
+  misp : float;
+  vuops : int;
   predictor : (string, bool) Hashtbl.t;
   rob : float array;  (** completion times, circular; bounds issue depth *)
   mutable rob_idx : int;
-  mutable last : float;
   mutable uops : int;
 }
 
@@ -212,17 +231,25 @@ let make_timing cfg ms =
   {
     cfg;
     ms;
-    front = 0.0;
+    msio = Memsys.io ms;
+    clk = Array.make 2 0.0;
     gready = Array.make 32 0.0;
     gr_cap = 32;
     xready = Array.make 32 0.0;
     xr_cap = 32;
     unit_free = Array.make n_units 0.0;
     service;
+    issue_cost =
+      Array.init 33 (fun u -> float_of_int u /. float_of_int cfg.Config.issue_width);
+    fadd_l = float_of_int cfg.Config.fadd_lat;
+    fmul_l = float_of_int cfg.Config.fmul_lat;
+    fdiv_l = float_of_int cfg.Config.fdiv_lat;
+    l1_l = float_of_int cfg.Config.l1.Config.latency;
+    misp = float_of_int cfg.Config.branch_misp_penalty;
+    vuops = cfg.Config.vec_uops;
     predictor = Hashtbl.create 16;
     rob = Array.make (max 8 cfg.Config.rob_size) 0.0;
     rob_idx = 0;
-    last = 0.0;
     uops = 0;
   }
 
@@ -250,12 +277,19 @@ let ready tm (r : Reg.t) =
   ensure_ready tm r.Reg.cls i;
   match r.Reg.cls with Reg.Gpr -> tm.gready.(i) | Reg.Xmm -> tm.xready.(i)
 
+(* Timing-clock maximum.  Cycle counts are finite and non-negative
+   (never NaN, never -0.0), so this agrees with [Float.max] on every
+   value the model produces while staying inlinable — [Float.max]
+   crosses a module boundary and boxes both floats per call. *)
+let[@inline] fmax (a : float) (b : float) = if a >= b then a else b
+
 (* Record the completion time of the instruction just dispatched (one
    ROB slot per instruction — a close-enough approximation). *)
-let retire tm completion =
+let[@inline] retire tm completion =
   tm.rob.(tm.rob_idx) <- completion;
-  tm.rob_idx <- (tm.rob_idx + 1) mod Array.length tm.rob;
-  if completion > tm.last then tm.last <- completion
+  let i = tm.rob_idx + 1 in
+  tm.rob_idx <- (if i = Array.length tm.rob then 0 else i);
+  if completion > tm.clk.(k_last) then tm.clk.(k_last) <- completion
 
 let set_ready tm (r : Reg.t) v =
   let i = slot r in
@@ -263,17 +297,33 @@ let set_ready tm (r : Reg.t) v =
   (match r.Reg.cls with Reg.Gpr -> tm.gready.(i) <- v | Reg.Xmm -> tm.xready.(i) <- v);
   retire tm v
 
-let srcs_ready tm regs = List.fold_left (fun acc r -> Float.max acc (ready tm r)) 0.0 regs
+let srcs_ready tm regs = List.fold_left (fun acc r -> fmax acc (ready tm r)) 0.0 regs
+
+(* Memory traffic through the memory system's unboxed calling
+   convention: dispatch time in, completion time out, via a float
+   array rather than boxed float argument/return. *)
+let[@inline] mload tm addr (start : float) =
+  Array.unsafe_set tm.msio Memsys.io_now start;
+  Memsys.load_io tm.ms addr;
+  Array.unsafe_get tm.msio Memsys.io_ret
+
+let[@inline] mstore tm addr (start : float) =
+  Array.unsafe_set tm.msio Memsys.io_now start;
+  Memsys.store_io tm.ms addr
 
 (* Dispatch [uops] micro-ops on [unit]; returns the execution start.
    Issue cannot proceed past a full reorder buffer: the slot about to
    be reused holds the completion time of the µop issued rob_size ago. *)
-let acquire tm unit ~srcs ~uops =
+let[@inline] acquire tm unit ~srcs ~uops =
   tm.uops <- tm.uops + uops;
-  tm.front <- Float.max tm.front (tm.rob.(tm.rob_idx));
-  let start = Float.max (Float.max tm.front srcs) tm.unit_free.(unit) in
+  let front = fmax tm.clk.(k_front) tm.rob.(tm.rob_idx) in
+  let start = fmax (fmax front srcs) tm.unit_free.(unit) in
   tm.unit_free.(unit) <- start +. (tm.service.(unit) *. float_of_int uops);
-  tm.front <- tm.front +. (float_of_int uops /. float_of_int tm.cfg.Config.issue_width);
+  tm.clk.(k_front) <-
+    front
+    +.
+    (if uops < 33 then tm.issue_cost.(uops)
+     else float_of_int uops /. float_of_int tm.cfg.Config.issue_width);
   start
 
 
@@ -287,20 +337,9 @@ let fp_lat tm op =
 
 let mem_regs (m : Instr.mem) = Instr.mem_uses m
 
-(* ---------- the walker ---------- *)
+(* ---------- parameter binding (shared by both engines) ---------- *)
 
-let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func) (env : Env.t) =
-  let st =
-    {
-      gpr = Array.make 32 0;
-      gcap = 32;
-      xmm = Bytes.make (32 * 16) '\000';
-      xcap = 32;
-      memm = Env.mem env;
-    }
-  in
-  let tm = Option.map (fun (cfg, ms) -> make_timing cfg ms) timing in
-  (* Bind parameters and the frame pointer. *)
+let bind_args st (f : Cfg.func) env =
   gset st Reg.frame_ptr (Env.stack_base env);
   gset st Reg.stack_ptr (Env.stack_base env);
   List.iter
@@ -312,7 +351,23 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
         xzero st r;
         set_xlane st sz r 0 v
       | exception Not_found -> trap "no binding for parameter %S" name)
-    f.Cfg.params;
+    f.Cfg.params
+
+(* ---------- the reference walker ---------- *)
+
+let run_reference ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func)
+    (env : Env.t) =
+  let st =
+    {
+      gpr = Array.make 32 0;
+      gcap = 32;
+      xmm = Bytes.make (32 * 16) '\000';
+      xcap = 32;
+      memm = Env.mem env;
+    }
+  in
+  let tm = Option.map (fun (cfg, ms) -> make_timing cfg ms) timing in
+  bind_args st f env;
   let blocks : (string, Instr.t array * Block.term) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun b ->
@@ -332,7 +387,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
-          set_ready tm d (Memsys.load tm.ms ~addr ~now:start))
+          set_ready tm d (mload tm addr start))
         tm
     | Instr.Ist (m, s) ->
       let addr = addr_of st m in
@@ -341,7 +396,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
-          Memsys.store tm.ms ~addr ~now:start;
+          mstore tm addr start;
           retire tm (start +. 1.0))
         tm
     | Instr.Imov (d, s) ->
@@ -385,7 +440,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
-          set_ready tm d (Memsys.load tm.ms ~addr ~now:start))
+          set_ready tm d (mload tm addr start))
         tm
     | Instr.Fst (sz, m, s) ->
       let addr = addr_of st m in
@@ -393,7 +448,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
-          Memsys.store tm.ms ~addr ~now:start;
+          mstore tm addr start;
           retire tm (start +. 1.0))
         tm
     | Instr.Fstnt (sz, m, s) ->
@@ -435,7 +490,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let lstart = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
-          let data = Memsys.load tm.ms ~addr ~now:lstart in
+          let data = mload tm addr lstart in
           let start =
             acquire tm (fp_unit op) ~srcs:(Float.max data (ready tm a)) ~uops:1
           in
@@ -469,7 +524,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
-          set_ready tm d (Memsys.load tm.ms ~addr ~now:start))
+          set_ready tm d (mload tm addr start))
         tm
     | Instr.Vst (_, m, s) ->
       let addr = addr_of st m in
@@ -477,7 +532,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
-          Memsys.store tm.ms ~addr ~now:start;
+          mstore tm addr start;
           retire tm (start +. 1.0))
         tm
     | Instr.Vstnt (_, m, s) ->
@@ -529,8 +584,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
         tm
     | Instr.Vopm (sz, op, d, a, m) ->
       let addr = addr_of st m in
-      if addr mod 16 <> 0 then trap "unaligned vector operand at %d" addr;
-      check_bounds st addr 16;
+      check_vec_access st ~what:"operand" addr;
       for lane = 0 to lanes sz - 1 do
         let mv = load_f st sz (addr + (lane * Instr.fsize_bytes sz)) in
         set_xlane st sz d lane (fop_eval op (xlane st sz a lane) mv)
@@ -538,7 +592,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let lstart = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
-          let data = Memsys.load tm.ms ~addr ~now:lstart in
+          let data = mload tm addr lstart in
           let uops = tm.cfg.Config.vec_uops in
           let start = acquire tm (fp_unit op) ~srcs:(Float.max data (ready tm a)) ~uops in
           set_ready tm d (start +. fp_lat tm op))
@@ -633,7 +687,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
       Option.iter
         (fun tm ->
           let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
-          let done_ = Memsys.load tm.ms ~addr ~now:start in
+          let done_ = mload tm addr start in
           retire tm done_)
         tm
     | Instr.Prefetch (kind, m) ->
@@ -674,7 +728,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
             match Hashtbl.find_opt tm.predictor label with Some p -> p | None -> true
           in
           if predicted <> taken then
-            tm.front <- Float.max tm.front (resolve +. float_of_int tm.cfg.Config.branch_misp_penalty);
+            tm.clk.(k_front) <- fmax tm.clk.(k_front) (resolve +. tm.misp);
           Hashtbl.replace tm.predictor label taken)
         tm;
       `Goto (if taken then ifso else ifnot)
@@ -690,7 +744,7 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
             match Hashtbl.find_opt tm.predictor label with Some p -> p | None -> false
           in
           if predicted <> taken then
-            tm.front <- Float.max tm.front (resolve +. float_of_int tm.cfg.Config.branch_misp_penalty);
+            tm.clk.(k_front) <- fmax tm.clk.(k_front) (resolve +. tm.misp);
           Hashtbl.replace tm.predictor label taken)
         tm;
       `Goto (if taken then ifso else ifnot)
@@ -719,10 +773,10 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
     | None -> 0.0
     | Some tm ->
       let finish =
-        Float.max tm.front
-          (match ret_reg with Some r -> ready tm r | None -> tm.last)
+        fmax tm.clk.(k_front)
+          (match ret_reg with Some r -> ready tm r | None -> tm.clk.(k_last))
       in
-      Memsys.drain_time tm.ms ~now:(Float.max finish tm.last)
+      Memsys.drain_time tm.ms ~now:(fmax finish tm.clk.(k_last))
   in
   {
     ret;
@@ -730,3 +784,1077 @@ let run ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f : Cfg.func
     instr_count = !instr_count;
     uop_count = (match tm with Some tm -> tm.uops | None -> !instr_count);
   }
+
+(* ---------- the threaded-code engine ----------
+
+   [compile] decodes a function once into per-block closure arrays:
+   labels become integer block indices, register slots and memory
+   operand shapes are resolved at decode time, and every instruction
+   is specialized into two closures built from the same decode — pure
+   semantics for untimed runs and semantics+timing for timed runs — so
+   neither path pays for the other's dispatch.  [exec] then replays
+   the closures; it must stay observably bit-identical to
+   [run_reference]: same values, same trap messages raised at the same
+   points, same [cycles]/[instr_count]/[uop_count]. *)
+
+type cblock = {
+  c_pure : (state -> unit) array;
+  c_timed : (state -> timing -> unit) array;
+  c_pterm : state -> int;
+  c_tterm : state -> timing -> int array -> int;
+}
+
+type compiled = {
+  c_func : Cfg.func;
+  c_blocks : cblock array;
+  c_entry : int;
+  c_rets : Reg.t option array;  (* terminator code [-1 - k] returns [c_rets.(k)] *)
+  c_ngpr : int;
+  c_nxmm : int;
+}
+
+let func c = c.c_func
+
+(* Decode-time operand specialization.  Register files are pre-sized
+   by [compile], so closures index the flat arrays directly with
+   decode-resolved slots.
+
+   Everything below is written so that the decoded closures contain
+   only inlined primitives: a composed closure that returns a [float]
+   boxes it on every call, so lane reads, lane writes, arithmetic, and
+   readiness lookups are expanded *inside* each instruction's closure
+   body, where the native compiler keeps the intermediates unboxed. *)
+
+(* 16-byte register moves as two 64-bit primitive accesses:
+   [Bytes.blit]/[Bytes.fill] are C calls, far slower at this width.
+   Register slots are 16-aligned, so source and destination are either
+   identical or disjoint; both words are read before either write, so
+   the copy matches blit semantics in every case. *)
+let[@inline] copy16 dst dof src sof =
+  let w0 = Bytes.get_int64_le src sof in
+  let w1 = Bytes.get_int64_le src (sof + 8) in
+  Bytes.set_int64_le dst dof w0;
+  Bytes.set_int64_le dst (dof + 8) w1
+
+let[@inline] zero16 b o =
+  Bytes.set_int64_le b o 0L;
+  Bytes.set_int64_le b (o + 8) 0L
+
+let[@inline] getd b o = Int64.float_of_bits (Bytes.get_int64_le b o)
+let[@inline] setd b o v = Bytes.set_int64_le b o (Int64.bits_of_float v)
+let[@inline] gets b o = Int32.float_of_bits (Bytes.get_int32_le b o)
+
+(* Writing the 32-bit image of [v] IS the round-to-single of
+   [set_xlane]: [bits_of_float (round32 v)] = [bits_of_float v]. *)
+let[@inline] sets b o v = Bytes.set_int32_le b o (Int32.bits_of_float v)
+
+let xoff (r : Reg.t) = slot r * 16
+
+(* Effective address with decode-resolved slots.  When there is no
+   index register the decoder reuses the base slot with scale 0, so a
+   single closure shape serves both operand forms. *)
+let maddr (m : Instr.mem) =
+  let b = slot m.Instr.base in
+  match m.Instr.index with
+  | None -> (b, b, 0, m.Instr.disp)
+  | Some r -> (b, slot r, m.Instr.scale, m.Instr.disp)
+
+let[@inline] ea g b i s d = Array.unsafe_get g b + (Array.unsafe_get g i * s) + d
+
+(* Readiness (class, slot) pairs of a mem operand; with no index the
+   base is duplicated — [fmax x x = x], so the combined readiness is
+   bit-identical to the walker's fold over [mem_uses]. *)
+let mready (m : Instr.mem) =
+  let bc = m.Instr.base.Reg.cls and b = slot m.Instr.base in
+  match m.Instr.index with
+  | None -> (bc, b, bc, b)
+  | Some r -> (bc, b, r.Reg.cls, slot r)
+
+(* Monomorphic arithmetic/comparison on decode-captured operators.
+   The annotations matter: they turn the generic structural compare of
+   the walker's [cmp_eval_*] into immediate int/float compares (the
+   two agree on every int and on NaN for all six operators), and the
+   match on an immediate constructor costs a branch, not a call. *)
+
+let[@inline] fop_x op (a : float) (b : float) =
+  match op with
+  | Instr.Fadd -> a +. b
+  | Instr.Fsub -> a -. b
+  | Instr.Fmul -> a *. b
+  | Instr.Fdiv -> a /. b
+  | Instr.Fmax -> Float.max a b
+  | Instr.Fmin -> Float.min a b
+
+let[@inline] iop_x op (a : int) (b : int) =
+  match op with
+  | Instr.Iadd -> a + b
+  | Instr.Isub -> a - b
+  | Instr.Imul -> a * b
+  | Instr.Iand -> a land b
+  | Instr.Ior -> a lor b
+  | Instr.Ishl -> a lsl b
+  | Instr.Ishr -> a asr b
+
+let[@inline] cmpi_x op (a : int) (b : int) =
+  match op with
+  | Instr.Lt -> a < b
+  | Instr.Le -> a <= b
+  | Instr.Gt -> a > b
+  | Instr.Ge -> a >= b
+  | Instr.Eq -> a = b
+  | Instr.Ne -> a <> b
+
+let[@inline] cmpf_x op (a : float) (b : float) =
+  match op with
+  | Instr.Lt -> a < b
+  | Instr.Le -> a <= b
+  | Instr.Gt -> a > b
+  | Instr.Ge -> a >= b
+  | Instr.Eq -> a = b
+  | Instr.Ne -> a <> b
+
+let[@inline] flat tm op =
+  match op with Instr.Fmul -> tm.fmul_l | Instr.Fdiv -> tm.fdiv_l | _ -> tm.fadd_l
+
+(* Timing readiness with decode-resolved (class, slot): the ready
+   arrays are pre-grown to the function's register extent by [exec],
+   so indexing is unchecked; [wr] inlines [set_ready]. *)
+
+let[@inline] rd tm (cls : Reg.cls) i =
+  match cls with
+  | Reg.Gpr -> Array.unsafe_get tm.gready i
+  | Reg.Xmm -> Array.unsafe_get tm.xready i
+
+let[@inline] wr tm (cls : Reg.cls) i v =
+  (match cls with
+  | Reg.Gpr -> Array.unsafe_set tm.gready i v
+  | Reg.Xmm -> Array.unsafe_set tm.xready i v);
+  retire tm v
+
+(* Decode one instruction into its (pure, timed) closure pair.  Timed
+   closures for memory ops compute the address exactly once and
+   interleave semantics with timing the way the walker does — the
+   semantic destination may alias the address base (e.g. Ild d,[d]).
+
+   The float size is matched at decode time, so each closure body is a
+   straight line of inlined primitives over the flat register files:
+   no lane-accessor closures, no boxed floats in flight.  Vector lanes
+   are unrolled (D = 2 lanes, S = 4) in the walker's lane order, which
+   preserves aliasing behaviour when the destination overlaps a
+   source. *)
+let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
+  match ins with
+  | Instr.Ild (d, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let di = slot d and dc = d.Reg.cls in
+    ( (fun st ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_bounds st addr 8;
+        st.gpr.(di) <- Int64.to_int (Bytes.get_int64_le st.memm addr)),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_bounds st addr 8;
+        st.gpr.(di) <- Int64.to_int (Bytes.get_int64_le st.memm addr);
+        let start =
+          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+        in
+        wr tm dc di (mload tm addr start) )
+  | Instr.Ist (m, s) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let si = slot s and sc = s.Reg.cls in
+    ( (fun st ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_bounds st addr 8;
+        Bytes.set_int64_le st.memm addr (Int64.of_int st.gpr.(si))),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_bounds st addr 8;
+        Bytes.set_int64_le st.memm addr (Int64.of_int st.gpr.(si));
+        let start =
+          acquire tm u_store
+            ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
+            ~uops:1
+        in
+        mstore tm addr start;
+        retire tm (start +. 1.0) )
+  | Instr.Imov (d, s) ->
+    let di = slot d and dc = d.Reg.cls and si = slot s and sc = s.Reg.cls in
+    ( (fun st -> st.gpr.(di) <- st.gpr.(si)),
+      fun st tm ->
+        st.gpr.(di) <- st.gpr.(si);
+        let start = acquire tm u_alu ~srcs:(rd tm sc si) ~uops:1 in
+        wr tm dc di (start +. 1.0) )
+  | Instr.Ildi (d, v) ->
+    let di = slot d and dc = d.Reg.cls in
+    ( (fun st -> st.gpr.(di) <- v),
+      fun st tm ->
+        st.gpr.(di) <- v;
+        let start = acquire tm u_alu ~srcs:0.0 ~uops:1 in
+        wr tm dc di (start +. 1.0) )
+  | Instr.Iop (op, d, a, b) ->
+    let di = slot d and dc = d.Reg.cls and ai = slot a and ac = a.Reg.cls in
+    let lat = match op with Instr.Imul -> 3.0 | _ -> 1.0 in
+    (match b with
+    | Instr.Oreg r ->
+      let bi = slot r and bc = r.Reg.cls in
+      ( (fun st -> st.gpr.(di) <- iop_x op st.gpr.(ai) st.gpr.(bi)),
+        fun st tm ->
+          st.gpr.(di) <- iop_x op st.gpr.(ai) st.gpr.(bi);
+          let start =
+            acquire tm u_alu ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:1
+          in
+          wr tm dc di (start +. lat) )
+    | Instr.Oimm k ->
+      ( (fun st -> st.gpr.(di) <- iop_x op st.gpr.(ai) k),
+        fun st tm ->
+          st.gpr.(di) <- iop_x op st.gpr.(ai) k;
+          let start = acquire tm u_alu ~srcs:(rd tm ac ai) ~uops:1 in
+          wr tm dc di (start +. lat) ))
+  | Instr.Lea (d, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let di = slot d and dc = d.Reg.cls in
+    ( (fun st -> st.gpr.(di) <- ea st.gpr mb mx msc mdp),
+      fun st tm ->
+        st.gpr.(di) <- ea st.gpr mb mx msc mdp;
+        let start =
+          acquire tm u_alu ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+        in
+        wr tm dc di (start +. 1.0) )
+  | Instr.Fld (sz, d, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let xo = xoff d and di = slot d and dc = d.Reg.cls in
+    (match sz with
+    | Instr.D ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          zero16 st.xmm xo;
+          check_bounds st addr 8;
+          setd st.xmm xo (getd st.memm addr)),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          zero16 st.xmm xo;
+          check_bounds st addr 8;
+          setd st.xmm xo (getd st.memm addr);
+          let start =
+            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          in
+          wr tm dc di (mload tm addr start) )
+    | Instr.S ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          zero16 st.xmm xo;
+          check_bounds st addr 4;
+          sets st.xmm xo (gets st.memm addr)),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          zero16 st.xmm xo;
+          check_bounds st addr 4;
+          sets st.xmm xo (gets st.memm addr);
+          let start =
+            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          in
+          wr tm dc di (mload tm addr start) ))
+  | Instr.Fst (sz, m, s) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let so = xoff s and si = slot s and sc = s.Reg.cls in
+    (match sz with
+    | Instr.D ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 8;
+          setd st.memm addr (getd st.xmm so)),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 8;
+          setd st.memm addr (getd st.xmm so);
+          let start =
+            acquire tm u_store
+              ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
+              ~uops:1
+          in
+          mstore tm addr start;
+          retire tm (start +. 1.0) )
+    | Instr.S ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 4;
+          sets st.memm addr (gets st.xmm so)),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 4;
+          sets st.memm addr (gets st.xmm so);
+          let start =
+            acquire tm u_store
+              ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
+              ~uops:1
+          in
+          mstore tm addr start;
+          retire tm (start +. 1.0) ))
+  | Instr.Fstnt (sz, m, s) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let so = xoff s and si = slot s and sc = s.Reg.cls in
+    let bytes = Instr.fsize_bytes sz in
+    (match sz with
+    | Instr.D ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 8;
+          setd st.memm addr (getd st.xmm so)),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 8;
+          setd st.memm addr (getd st.xmm so);
+          let start =
+            acquire tm u_store
+              ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
+              ~uops:1
+          in
+          Memsys.nt_store tm.ms ~addr ~bytes ~now:start;
+          retire tm (start +. 1.0) )
+    | Instr.S ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 4;
+          sets st.memm addr (gets st.xmm so)),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 4;
+          sets st.memm addr (gets st.xmm so);
+          let start =
+            acquire tm u_store
+              ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
+              ~uops:1
+          in
+          Memsys.nt_store tm.ms ~addr ~bytes ~now:start;
+          retire tm (start +. 1.0) ))
+  | Instr.Fmov (_, d, s) | Instr.Vmov (_, d, s) ->
+    let doff = xoff d and soff = xoff s in
+    let di = slot d and dc = d.Reg.cls and si = slot s and sc = s.Reg.cls in
+    ( (fun st -> copy16 st.xmm doff st.xmm soff),
+      fun st tm ->
+        copy16 st.xmm doff st.xmm soff;
+        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        wr tm dc di (start +. 1.0) )
+  | Instr.Fldi (sz, d, c) ->
+    let xo = xoff d and di = slot d and dc = d.Reg.cls in
+    let sem =
+      (* the lane image of the constant is computed at decode time *)
+      match sz with
+      | Instr.D ->
+        let bits = Int64.bits_of_float c in
+        fun st ->
+          zero16 st.xmm xo;
+          Bytes.set_int64_le st.xmm xo bits
+      | Instr.S ->
+        let bits = Int32.bits_of_float c in
+        fun st ->
+          zero16 st.xmm xo;
+          Bytes.set_int32_le st.xmm xo bits
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm u_load ~srcs:0.0 ~uops:1 in
+        wr tm dc di (start +. tm.l1_l) )
+  | Instr.Fop (sz, op, d, a, b) ->
+    let ao = xoff a and bo = xoff b and dxo = xoff d in
+    let ai = slot a and ac = a.Reg.cls in
+    let bi = slot b and bc = b.Reg.cls in
+    let di = slot d and dc = d.Reg.cls in
+    let unit_ = fp_unit op in
+    (match sz with
+    | Instr.D ->
+      ( (fun st -> setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.xmm bo))),
+        fun st tm ->
+          setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.xmm bo));
+          let start =
+            acquire tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:1
+          in
+          wr tm dc di (start +. flat tm op) )
+    | Instr.S ->
+      ( (fun st -> sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.xmm bo))),
+        fun st tm ->
+          sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.xmm bo));
+          let start =
+            acquire tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:1
+          in
+          wr tm dc di (start +. flat tm op) ))
+  | Instr.Fopm (sz, op, d, a, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let ao = xoff a and dxo = xoff d in
+    let ai = slot a and ac = a.Reg.cls in
+    let di = slot d and dc = d.Reg.cls in
+    let unit_ = fp_unit op in
+    (match sz with
+    | Instr.D ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 8;
+          setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.memm addr))),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 8;
+          setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.memm addr));
+          let lstart =
+            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          in
+          let data = mload tm addr lstart in
+          let start = acquire tm unit_ ~srcs:(fmax data (rd tm ac ai)) ~uops:1 in
+          wr tm dc di (start +. flat tm op) )
+    | Instr.S ->
+      ( (fun st ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 4;
+          sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.memm addr))),
+        fun st tm ->
+          let addr = ea st.gpr mb mx msc mdp in
+          check_bounds st addr 4;
+          sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.memm addr));
+          let lstart =
+            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          in
+          let data = mload tm addr lstart in
+          let start = acquire tm unit_ ~srcs:(fmax data (rd tm ac ai)) ~uops:1 in
+          wr tm dc di (start +. flat tm op) ))
+  | Instr.Fabs (sz, d, s) ->
+    let so = xoff s and dxo = xoff d in
+    let si = slot s and sc = s.Reg.cls and di = slot d and dc = d.Reg.cls in
+    (match sz with
+    | Instr.D ->
+      ( (fun st -> setd st.xmm dxo (Float.abs (getd st.xmm so))),
+        fun st tm ->
+          setd st.xmm dxo (Float.abs (getd st.xmm so));
+          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          wr tm dc di (start +. 1.0) )
+    | Instr.S ->
+      ( (fun st -> sets st.xmm dxo (Float.abs (gets st.xmm so))),
+        fun st tm ->
+          sets st.xmm dxo (Float.abs (gets st.xmm so));
+          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          wr tm dc di (start +. 1.0) ))
+  | Instr.Fsqrt (sz, d, s) ->
+    let so = xoff s and dxo = xoff d in
+    let si = slot s and sc = s.Reg.cls and di = slot d and dc = d.Reg.cls in
+    (match sz with
+    | Instr.D ->
+      ( (fun st -> setd st.xmm dxo (Float.sqrt (getd st.xmm so))),
+        fun st tm ->
+          setd st.xmm dxo (Float.sqrt (getd st.xmm so));
+          (* square root shares the unpipelined divider *)
+          let start = acquire tm u_fpdiv ~srcs:(rd tm sc si) ~uops:1 in
+          wr tm dc di (start +. tm.fdiv_l) )
+    | Instr.S ->
+      ( (fun st -> sets st.xmm dxo (Float.sqrt (gets st.xmm so))),
+        fun st tm ->
+          sets st.xmm dxo (Float.sqrt (gets st.xmm so));
+          let start = acquire tm u_fpdiv ~srcs:(rd tm sc si) ~uops:1 in
+          wr tm dc di (start +. tm.fdiv_l) ))
+  | Instr.Fneg (sz, d, s) ->
+    let so = xoff s and dxo = xoff d in
+    let si = slot s and sc = s.Reg.cls and di = slot d and dc = d.Reg.cls in
+    (match sz with
+    | Instr.D ->
+      ( (fun st -> setd st.xmm dxo (-.getd st.xmm so)),
+        fun st tm ->
+          setd st.xmm dxo (-.getd st.xmm so);
+          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          wr tm dc di (start +. 1.0) )
+    | Instr.S ->
+      ( (fun st -> sets st.xmm dxo (-.gets st.xmm so)),
+        fun st tm ->
+          sets st.xmm dxo (-.gets st.xmm so);
+          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          wr tm dc di (start +. 1.0) ))
+  | Instr.Vld (_, d, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let doff = xoff d and di = slot d and dc = d.Reg.cls in
+    ( (fun st ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_vec_access st ~what:"load" addr;
+        copy16 st.xmm doff st.memm addr),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_vec_access st ~what:"load" addr;
+        copy16 st.xmm doff st.memm addr;
+        let start =
+          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+        in
+        wr tm dc di (mload tm addr start) )
+  | Instr.Vst (_, m, s) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let soff = xoff s and si = slot s and sc = s.Reg.cls in
+    ( (fun st ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_vec_access st ~what:"store" addr;
+        copy16 st.memm addr st.xmm soff),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_vec_access st ~what:"store" addr;
+        copy16 st.memm addr st.xmm soff;
+        let start =
+          acquire tm u_store
+            ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
+            ~uops:1
+        in
+        mstore tm addr start;
+        retire tm (start +. 1.0) )
+  | Instr.Vstnt (_, m, s) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let soff = xoff s and si = slot s and sc = s.Reg.cls in
+    ( (fun st ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_vec_access st ~what:"store" addr;
+        copy16 st.memm addr st.xmm soff),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_vec_access st ~what:"store" addr;
+        copy16 st.memm addr st.xmm soff;
+        let start =
+          acquire tm u_store
+            ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
+            ~uops:1
+        in
+        Memsys.nt_store tm.ms ~addr ~bytes:16 ~now:start;
+        retire tm (start +. 1.0) )
+  | Instr.Vbcast (sz, d, s) ->
+    let so = xoff s and dxo = xoff d in
+    let si = slot s and sc = s.Reg.cls and di = slot d and dc = d.Reg.cls in
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st ->
+          let bits = Bytes.get_int64_le st.xmm so in
+          Bytes.set_int64_le st.xmm dxo bits;
+          Bytes.set_int64_le st.xmm (dxo + 8) bits
+      | Instr.S ->
+        fun st ->
+          let bits = Bytes.get_int32_le st.xmm so in
+          Bytes.set_int32_le st.xmm dxo bits;
+          Bytes.set_int32_le st.xmm (dxo + 4) bits;
+          Bytes.set_int32_le st.xmm (dxo + 8) bits;
+          Bytes.set_int32_le st.xmm (dxo + 12) bits
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        wr tm dc di (start +. 2.0) )
+  | Instr.Vldi (sz, d, c) ->
+    let dxo = xoff d and di = slot d and dc = d.Reg.cls in
+    let sem =
+      match sz with
+      | Instr.D ->
+        let bits = Int64.bits_of_float c in
+        fun st ->
+          Bytes.set_int64_le st.xmm dxo bits;
+          Bytes.set_int64_le st.xmm (dxo + 8) bits
+      | Instr.S ->
+        let bits = Int32.bits_of_float c in
+        fun st ->
+          Bytes.set_int32_le st.xmm dxo bits;
+          Bytes.set_int32_le st.xmm (dxo + 4) bits;
+          Bytes.set_int32_le st.xmm (dxo + 8) bits;
+          Bytes.set_int32_le st.xmm (dxo + 12) bits
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm u_load ~srcs:0.0 ~uops:1 in
+        wr tm dc di (start +. tm.l1_l) )
+  | Instr.Vop (sz, op, d, a, b) ->
+    let ao = xoff a and bo = xoff b and dxo = xoff d in
+    let ai = slot a and ac = a.Reg.cls in
+    let bi = slot b and bc = b.Reg.cls in
+    let di = slot d and dc = d.Reg.cls in
+    let unit_ = fp_unit op in
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st ->
+          let x = st.xmm in
+          setd x dxo (fop_x op (getd x ao) (getd x bo));
+          setd x (dxo + 8) (fop_x op (getd x (ao + 8)) (getd x (bo + 8)))
+      | Instr.S ->
+        fun st ->
+          let x = st.xmm in
+          sets x dxo (fop_x op (gets x ao) (gets x bo));
+          sets x (dxo + 4) (fop_x op (gets x (ao + 4)) (gets x (bo + 4)));
+          sets x (dxo + 8) (fop_x op (gets x (ao + 8)) (gets x (bo + 8)));
+          sets x (dxo + 12) (fop_x op (gets x (ao + 12)) (gets x (bo + 12)))
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start =
+          acquire tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:tm.vuops
+        in
+        wr tm dc di (start +. flat tm op) )
+  | Instr.Vopm (sz, op, d, a, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let ao = xoff a and dxo = xoff d in
+    let ai = slot a and ac = a.Reg.cls in
+    let di = slot d and dc = d.Reg.cls in
+    let unit_ = fp_unit op in
+    (* [check_vec_access] proves the whole 16-byte operand in range, so
+       the walker's per-lane bounds checks are statically redundant and
+       dropped here. *)
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st addr ->
+          check_vec_access st ~what:"operand" addr;
+          let x = st.xmm and mm = st.memm in
+          setd x dxo (fop_x op (getd x ao) (getd mm addr));
+          setd x (dxo + 8) (fop_x op (getd x (ao + 8)) (getd mm (addr + 8)))
+      | Instr.S ->
+        fun st addr ->
+          check_vec_access st ~what:"operand" addr;
+          let x = st.xmm and mm = st.memm in
+          sets x dxo (fop_x op (gets x ao) (gets mm addr));
+          sets x (dxo + 4) (fop_x op (gets x (ao + 4)) (gets mm (addr + 4)));
+          sets x (dxo + 8) (fop_x op (gets x (ao + 8)) (gets mm (addr + 8)));
+          sets x (dxo + 12) (fop_x op (gets x (ao + 12)) (gets mm (addr + 12)))
+    in
+    ( (fun st -> sem st (ea st.gpr mb mx msc mdp)),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        sem st addr;
+        let lstart =
+          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+        in
+        let data = mload tm addr lstart in
+        let start =
+          acquire tm unit_ ~srcs:(fmax data (rd tm ac ai)) ~uops:tm.vuops
+        in
+        wr tm dc di (start +. flat tm op) )
+  | Instr.Vabs (sz, d, s) ->
+    let so = xoff s and dxo = xoff d in
+    let si = slot s and sc = s.Reg.cls and di = slot d and dc = d.Reg.cls in
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st ->
+          let x = st.xmm in
+          setd x dxo (Float.abs (getd x so));
+          setd x (dxo + 8) (Float.abs (getd x (so + 8)))
+      | Instr.S ->
+        fun st ->
+          let x = st.xmm in
+          sets x dxo (Float.abs (gets x so));
+          sets x (dxo + 4) (Float.abs (gets x (so + 4)));
+          sets x (dxo + 8) (Float.abs (gets x (so + 8)));
+          sets x (dxo + 12) (Float.abs (gets x (so + 12)))
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:tm.vuops in
+        wr tm dc di (start +. 1.0) )
+  | Instr.Vsqrt (sz, d, s) ->
+    let so = xoff s and dxo = xoff d in
+    let si = slot s and sc = s.Reg.cls and di = slot d and dc = d.Reg.cls in
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st ->
+          let x = st.xmm in
+          setd x dxo (Float.sqrt (getd x so));
+          setd x (dxo + 8) (Float.sqrt (getd x (so + 8)))
+      | Instr.S ->
+        fun st ->
+          let x = st.xmm in
+          sets x dxo (Float.sqrt (gets x so));
+          sets x (dxo + 4) (Float.sqrt (gets x (so + 4)));
+          sets x (dxo + 8) (Float.sqrt (gets x (so + 8)));
+          sets x (dxo + 12) (Float.sqrt (gets x (so + 12)))
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm u_fpdiv ~srcs:(rd tm sc si) ~uops:tm.vuops in
+        wr tm dc di (start +. tm.fdiv_l) )
+  | Instr.Vcmp (sz, cmp, d, a, b) ->
+    let ao = xoff a and bo = xoff b and doff = xoff d in
+    let ai = slot a and ac = a.Reg.cls in
+    let bi = slot b and bc = b.Reg.cls in
+    let di = slot d and dc = d.Reg.cls in
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st ->
+          let x = st.xmm in
+          let t0 = cmpf_x cmp (getd x ao) (getd x bo) in
+          Bytes.set_int64_le x doff (if t0 then Int64.minus_one else 0L);
+          let t1 = cmpf_x cmp (getd x (ao + 8)) (getd x (bo + 8)) in
+          Bytes.set_int64_le x (doff + 8) (if t1 then Int64.minus_one else 0L)
+      | Instr.S ->
+        fun st ->
+          let x = st.xmm in
+          for lane = 0 to 3 do
+            let o = lane * 4 in
+            let t = cmpf_x cmp (gets x (ao + o)) (gets x (bo + o)) in
+            Bytes.set_int32_le x (doff + o) (if t then Int32.minus_one else 0l)
+          done
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start =
+          acquire tm u_fpadd ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:tm.vuops
+        in
+        wr tm dc di (start +. 3.0) )
+  | Instr.Vmovmsk (sz, d, s) ->
+    let di = slot d and dc = d.Reg.cls in
+    let soff = xoff s and si = slot s and sc = s.Reg.cls in
+    let n = Instr.lanes sz in
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st ->
+          let mask = ref 0 in
+          for lane = 0 to n - 1 do
+            let top =
+              Int64.to_int
+                (Int64.shift_right_logical
+                   (Bytes.get_int64_le st.xmm (soff + (lane * 8)))
+                   63)
+            in
+            if top land 1 = 1 then mask := !mask lor (1 lsl lane)
+          done;
+          st.gpr.(di) <- !mask
+      | Instr.S ->
+        fun st ->
+          let mask = ref 0 in
+          for lane = 0 to n - 1 do
+            let top =
+              Int32.to_int
+                (Int32.shift_right_logical
+                   (Bytes.get_int32_le st.xmm (soff + (lane * 4)))
+                   31)
+            in
+            if top land 1 = 1 then mask := !mask lor (1 lsl lane)
+          done;
+          st.gpr.(di) <- !mask
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        wr tm dc di (start +. 2.0) )
+  | Instr.Vextract (sz, d, s, lane) ->
+    (* pure bit move: float_of_bits/bits_of_float round-trips are the
+       identity, so the lane is copied without decoding it *)
+    let doff = xoff d and di = slot d and dc = d.Reg.cls in
+    let si = slot s and sc = s.Reg.cls in
+    let sem =
+      match sz with
+      | Instr.D ->
+        let so = xoff s + (lane * 8) in
+        fun st ->
+          let bits = Bytes.get_int64_le st.xmm so in
+          zero16 st.xmm doff;
+          Bytes.set_int64_le st.xmm doff bits
+      | Instr.S ->
+        let so = xoff s + (lane * 4) in
+        fun st ->
+          let bits = Bytes.get_int32_le st.xmm so in
+          zero16 st.xmm doff;
+          Bytes.set_int32_le st.xmm doff bits
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        wr tm dc di (start +. 2.0) )
+  | Instr.Vreduce (sz, op, d, s) ->
+    let so = xoff s and doff = xoff d in
+    let si = slot s and sc = s.Reg.cls and di = slot d and dc = d.Reg.cls in
+    let unit_ = fp_unit op in
+    let sem =
+      match sz with
+      | Instr.D ->
+        fun st ->
+          let x = st.xmm in
+          let acc = fop_x op (getd x so) (getd x (so + 8)) in
+          zero16 x doff;
+          setd x doff acc
+      | Instr.S ->
+        (* single precision rounds after every fold step, as the
+           walker does *)
+        fun st ->
+          let x = st.xmm in
+          let acc = round32 (fop_x op (gets x so) (gets x (so + 4))) in
+          let acc = round32 (fop_x op acc (gets x (so + 8))) in
+          let acc = round32 (fop_x op acc (gets x (so + 12))) in
+          zero16 x doff;
+          sets x doff acc
+    in
+    ( sem,
+      fun st tm ->
+        sem st;
+        let start = acquire tm unit_ ~srcs:(rd tm sc si) ~uops:2 in
+        wr tm dc di (start +. (2.0 *. flat tm op)) )
+  | Instr.Touch (sz, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    let bytes = Instr.fsize_bytes sz in
+    ( (fun st -> check_bounds st (ea st.gpr mb mx msc mdp) bytes),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        check_bounds st addr bytes;
+        let start =
+          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+        in
+        retire tm (mload tm addr start) )
+  | Instr.Prefetch (kind, m) ->
+    let mb, mx, msc, mdp = maddr m in
+    let c1, s1, c2, s2 = mready m in
+    ( (fun _ -> ()),
+      fun st tm ->
+        let addr = ea st.gpr mb mx msc mdp in
+        let start =
+          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+        in
+        if addr >= 0 && addr < Bytes.length st.memm then
+          Memsys.prefetch tm.ms ~kind ~addr ~now:start;
+        retire tm (start +. 1.0) )
+  | Instr.Nop -> ((fun _ -> ()), fun _ _ -> ())
+
+(* Jump targets resolve to block indices at decode time; an unresolved
+   label compiles to a closure that traps only when executed, so a
+   never-taken branch to a missing block still runs (as in the
+   walker). *)
+let goto_fn lmap l : state -> int =
+  match Hashtbl.find_opt lmap l with
+  | Some i -> fun _ -> i
+  | None -> fun _ -> trap "jump to unknown block %S" l
+
+(* Terminator closures return the next block index, or [-1 - k] for
+   the [k]-th Ret site.  The branch predictor is an int array indexed
+   by block ([-1] = never seen); same one-bit policy as the walker's
+   label-keyed table. *)
+let decode_term ~bi ~lmap ~ret (t : Block.term) :
+    (state -> int) * (state -> timing -> int array -> int) =
+  match t with
+  | Block.Jmp l ->
+    let goto = goto_fn lmap l in
+    ( goto,
+      fun st tm _pred ->
+        let start = acquire tm u_branch ~srcs:0.0 ~uops:1 in
+        retire tm (start +. 1.0);
+        goto st )
+  | Block.Br { cmp; lhs; rhs; ifso; ifnot; dec } ->
+    let li = slot lhs and lc = lhs.Reg.cls in
+    let g_so = goto_fn lmap ifso and g_not = goto_fn lmap ifnot in
+    (match rhs with
+    | Instr.Oreg r ->
+      let ri = slot r and rc = r.Reg.cls in
+      ( (fun st ->
+          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
+          if cmpi_x cmp st.gpr.(li) st.gpr.(ri) then g_so st else g_not st),
+        fun st tm pred ->
+          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
+          let taken = cmpi_x cmp st.gpr.(li) st.gpr.(ri) in
+          let start =
+            acquire tm u_branch ~srcs:(fmax (rd tm lc li) (rd tm rc ri)) ~uops:1
+          in
+          let resolve = start +. 1.0 in
+          if dec > 0 then wr tm lc li resolve else retire tm resolve;
+          let predicted = match pred.(bi) with -1 -> true | p -> p = 1 in
+          if predicted <> taken then
+            tm.clk.(k_front) <- fmax tm.clk.(k_front) (resolve +. tm.misp);
+          pred.(bi) <- Bool.to_int taken;
+          if taken then g_so st else g_not st )
+    | Instr.Oimm k ->
+      ( (fun st ->
+          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
+          if cmpi_x cmp st.gpr.(li) k then g_so st else g_not st),
+        fun st tm pred ->
+          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
+          let taken = cmpi_x cmp st.gpr.(li) k in
+          let start = acquire tm u_branch ~srcs:(rd tm lc li) ~uops:1 in
+          let resolve = start +. 1.0 in
+          if dec > 0 then wr tm lc li resolve else retire tm resolve;
+          let predicted = match pred.(bi) with -1 -> true | p -> p = 1 in
+          if predicted <> taken then
+            tm.clk.(k_front) <- fmax tm.clk.(k_front) (resolve +. tm.misp);
+          pred.(bi) <- Bool.to_int taken;
+          if taken then g_so st else g_not st ))
+  | Block.Fbr { fsize; cmp; lhs; rhs; ifso; ifnot } ->
+    let lo = xoff lhs and ro = xoff rhs in
+    let li = slot lhs and lc = lhs.Reg.cls in
+    let ri = slot rhs and rc = rhs.Reg.cls in
+    let g_so = goto_fn lmap ifso and g_not = goto_fn lmap ifnot in
+    let test =
+      match fsize with
+      | Instr.D -> fun st -> cmpf_x cmp (getd st.xmm lo) (getd st.xmm ro)
+      | Instr.S -> fun st -> cmpf_x cmp (gets st.xmm lo) (gets st.xmm ro)
+    in
+    ( (fun st -> if test st then g_so st else g_not st),
+      fun st tm pred ->
+        let taken = test st in
+        let start =
+          acquire tm u_branch ~srcs:(fmax (rd tm lc li) (rd tm rc ri)) ~uops:2
+        in
+        let resolve = start +. 3.0 in
+        retire tm resolve;
+        let predicted = match pred.(bi) with -1 -> false | p -> p = 1 in
+        if predicted <> taken then
+          tm.clk.(k_front) <- fmax tm.clk.(k_front) (resolve +. tm.misp);
+        pred.(bi) <- Bool.to_int taken;
+        if taken then g_so st else g_not st )
+  | Block.Ret r ->
+    let code = -1 - ret r in
+    ((fun _ -> code), fun _ _ _ -> code)
+
+let compile (f : Cfg.func) : compiled =
+  let blocks = Array.of_list f.Cfg.blocks in
+  (* Hashtbl.replace in block order: with duplicate labels the last
+     block wins, exactly as in the walker's block table. *)
+  let lmap = Hashtbl.create (max 16 (2 * Array.length blocks)) in
+  Array.iteri (fun i b -> Hashtbl.replace lmap b.Block.label i) blocks;
+  (* Pre-size the flat register files: at least the 8 physical slots
+     (frame/stack pointer live there), plus every slot the function
+     mentions anywhere. *)
+  let ngpr = ref 8 and nxmm = ref 8 in
+  let see (r : Reg.t) =
+    let s = slot r + 1 in
+    match r.Reg.cls with
+    | Reg.Gpr -> if s > !ngpr then ngpr := s
+    | Reg.Xmm -> if s > !nxmm then nxmm := s
+  in
+  Reg.Set.iter see (Cfg.all_regs f);
+  let rets = ref [] and nrets = ref 0 in
+  let ret r =
+    let k = !nrets in
+    incr nrets;
+    rets := r :: !rets;
+    k
+  in
+  let cblocks =
+    Array.mapi
+      (fun bi b ->
+        let decoded = List.map decode_instr b.Block.instrs in
+        let pterm, tterm = decode_term ~bi ~lmap ~ret b.Block.term in
+        {
+          c_pure = Array.of_list (List.map fst decoded);
+          c_timed = Array.of_list (List.map snd decoded);
+          c_pterm = pterm;
+          c_tterm = tterm;
+        })
+      blocks
+  in
+  let centry =
+    match Hashtbl.find_opt lmap (Cfg.entry f).Block.label with
+    | Some i -> i
+    | None -> assert false
+  in
+  {
+    c_func = f;
+    c_blocks = cblocks;
+    c_entry = centry;
+    c_rets = Array.of_list (List.rev !rets);
+    c_ngpr = !ngpr;
+    c_nxmm = !nxmm;
+  }
+
+let exec ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (c : compiled)
+    (env : Env.t) =
+  let st =
+    {
+      gpr = Array.make c.c_ngpr 0;
+      gcap = c.c_ngpr;
+      xmm = Bytes.make (c.c_nxmm * 16) '\000';
+      xcap = c.c_nxmm;
+      memm = Env.mem env;
+    }
+  in
+  bind_args st c.c_func env;
+  let blocks = c.c_blocks in
+  let icount = ref 0 in
+  let finish code tm =
+    let ret_reg = c.c_rets.(-1 - code) in
+    let ret =
+      Option.map
+        (fun (r : Reg.t) ->
+          match r.Reg.cls with
+          | Reg.Gpr -> Rint (gget st r)
+          | Reg.Xmm -> Rfp (xlane st ret_fsize r 0))
+        ret_reg
+    in
+    match tm with
+    | None -> { ret; cycles = 0.0; instr_count = !icount; uop_count = !icount }
+    | Some tm ->
+      let fin =
+        fmax tm.clk.(k_front)
+          (match ret_reg with Some r -> ready tm r | None -> tm.clk.(k_last))
+      in
+      let cycles = Memsys.drain_time tm.ms ~now:(fmax fin tm.clk.(k_last)) in
+      { ret; cycles; instr_count = !icount; uop_count = tm.uops }
+  in
+  (* Block-level budget: when a whole block fits in the remaining
+     budget it is charged up front and the body runs with no
+     per-instruction check.  [n <= max_instrs - !icount] is
+     overflow-safe ([!icount] never exceeds [max_instrs]), and the
+     slow path traps at exactly the same instruction as the walker. *)
+  match timing with
+  | None ->
+    let rec go bi =
+      let b = Array.unsafe_get blocks bi in
+      let code = b.c_pure in
+      let n = Array.length code in
+      if n <= max_instrs - !icount then begin
+        icount := !icount + n;
+        for i = 0 to n - 1 do
+          (Array.unsafe_get code i) st
+        done
+      end
+      else
+        for i = 0 to n - 1 do
+          incr icount;
+          if !icount > max_instrs then trap "instruction budget exceeded";
+          (Array.unsafe_get code i) st
+        done;
+      let nxt = b.c_pterm st in
+      if nxt >= 0 then go nxt else nxt
+    in
+    finish (go c.c_entry) None
+  | Some (cfg, ms) ->
+    let tm = make_timing cfg ms in
+    ensure_ready tm Reg.Gpr (c.c_ngpr - 1);
+    ensure_ready tm Reg.Xmm (c.c_nxmm - 1);
+    let pred = Array.make (Array.length blocks) (-1) in
+    let rec go bi =
+      let b = Array.unsafe_get blocks bi in
+      let code = b.c_timed in
+      let n = Array.length code in
+      if n <= max_instrs - !icount then begin
+        icount := !icount + n;
+        for i = 0 to n - 1 do
+          (Array.unsafe_get code i) st tm
+        done
+      end
+      else
+        for i = 0 to n - 1 do
+          incr icount;
+          if !icount > max_instrs then trap "instruction budget exceeded";
+          (Array.unsafe_get code i) st tm
+        done;
+      let nxt = b.c_tterm st tm pred in
+      if nxt >= 0 then go nxt else nxt
+    in
+    finish (go c.c_entry) (Some tm)
+
+let run ?timing ?max_instrs ?ret_fsize f env =
+  exec ?timing ?max_instrs ?ret_fsize (compile f) env

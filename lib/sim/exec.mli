@@ -1,15 +1,28 @@
 (** The LIL executor: architectural semantics plus (optionally) the
     cycle-approximate timing model.
 
-    One walker implements both concerns so timing can never diverge
-    from semantics: branch directions, addresses and values come from
-    the same interpretation that the correctness tester checks.  The
-    timing model is a greedy out-of-order scheduler — a width-limited
-    front end, per-unit service times, register-ready times for true
-    (read-after-write) dependencies only (register renaming removes
-    the false ones, as on the modelled machines), memory completion
-    times from {!Ifko_machine.Memsys}, and a one-bit branch
-    predictor. *)
+    Two engines share one semantics definition:
+
+    - {!run_reference}, the original tree-walking interpreter — one
+      [match] per executed instruction, labels looked up by string.
+      It stays as the oracle the compiled engine is checked against.
+    - {!compile}/{!exec}, a decode-once threaded-code engine: each
+      instruction is specialized into a closure at compile time
+      (operand slots, memory shapes, comparison/arithmetic functions
+      all resolved once), labels become integer block indices, and the
+      register files are pre-sized from a decode-time scan.  One
+      decode yields separate pure-semantics and semantics+timing
+      closure arrays, so untimed runs pay nothing for the timing
+      model.  The two engines are bit-identical: same values, same
+      trap messages at the same points, same
+      [cycles]/[instr_count]/[uop_count].
+
+    The timing model is a greedy out-of-order scheduler — a
+    width-limited front end, per-unit service times, register-ready
+    times for true (read-after-write) dependencies only (register
+    renaming removes the false ones, as on the modelled machines),
+    memory completion times from {!Ifko_machine.Memsys}, and a one-bit
+    branch predictor. *)
 
 type ret_val = Rint of int | Rfp of float
 
@@ -25,6 +38,31 @@ exception Trap of string
     missing label, instruction budget exceeded.  A trap indicates a
     compiler bug, and the test suite treats it as such. *)
 
+type compiled
+(** A function pre-decoded into threaded code.  Compile once per
+    candidate, then {!exec} across contexts, sample sizes and reps. *)
+
+val compile : Cfg.func -> compiled
+(** Decode [func] (virtual or physical registers both work) into
+    closure arrays.  Never traps itself: unresolvable jump targets
+    trap at execution, like the walker. *)
+
+val func : compiled -> Cfg.func
+(** The function a {!compiled} was decoded from. *)
+
+val exec :
+  ?timing:Ifko_machine.Config.t * Ifko_machine.Memsys.t ->
+  ?max_instrs:int ->
+  ?ret_fsize:Instr.fsize ->
+  compiled ->
+  Env.t ->
+  result
+(** Execute pre-decoded code against [env].  Parameters are
+    initialized from the environment's bindings by name; the frame
+    pointer is set to the environment's stack.  [ret_fsize] selects
+    how a floating-point return register is read (default double).
+    Default [max_instrs] is 200 million. *)
+
 val run :
   ?timing:Ifko_machine.Config.t * Ifko_machine.Memsys.t ->
   ?max_instrs:int ->
@@ -32,8 +70,17 @@ val run :
   Cfg.func ->
   Env.t ->
   result
-(** Execute [func] (virtual or physical registers both work) against
-    [env].  Parameters are initialized from the environment's bindings
-    by name; the frame pointer is set to the environment's stack.
-    [ret_fsize] selects how a floating-point return register is read
-    (default double).  Default [max_instrs] is 200 million. *)
+(** [compile] + [exec] in one call — the convenient form for
+    single-shot execution.  Callers that run the same function more
+    than once should compile once and use {!exec}. *)
+
+val run_reference :
+  ?timing:Ifko_machine.Config.t * Ifko_machine.Memsys.t ->
+  ?max_instrs:int ->
+  ?ret_fsize:Instr.fsize ->
+  Cfg.func ->
+  Env.t ->
+  result
+(** The original tree-walking interpreter, kept as the reference the
+    compiled engine is differentially tested against
+    (test/test_exec_compiled.ml). *)

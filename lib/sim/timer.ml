@@ -6,7 +6,10 @@ let context_name = function Out_of_cache -> "out-of-cache" | In_l2 -> "in-L2"
 
 type spec = { make_env : int -> Env.t; ret_fsize : Instr.fsize }
 
-let run_once ~cfg ~context ~spec ~n func =
+(* One simulation of pre-decoded code: the kernel is compiled once per
+   candidate (by [measure]/[exact]) and reused across contexts, sample
+   sizes and reps. *)
+let run_once ~cfg ~context ~spec ~n cf =
   let env = spec.make_env n in
   let ms = Memsys.create cfg in
   (match context with
@@ -15,12 +18,12 @@ let run_once ~cfg ~context ~spec ~n func =
     Memsys.reset ms ~flush:true;
     Env.iter_array_lines env ~line:cfg.Config.l2.Config.line (fun addr ->
         Memsys.warm_l2 ms ~addr));
-  let result = Exec.run ~timing:(cfg, ms) ~ret_fsize:spec.ret_fsize func env in
+  let result = Exec.exec ~timing:(cfg, ms) ~ret_fsize:spec.ret_fsize cf env in
   match context with
   | Out_of_cache -> result.Exec.cycles +. Memsys.pending_writeback_cost ms
   | In_l2 -> result.Exec.cycles
 
-let exact ~cfg ~context ~spec ~n func = run_once ~cfg ~context ~spec ~n func
+let exact ~cfg ~context ~spec ~n func = run_once ~cfg ~context ~spec ~n (Exec.compile func)
 
 (* Problem sizes for the steady-state extrapolation: multiples of the
    number of elements in a 4 KiB page for either precision, so page
@@ -29,8 +32,8 @@ let exact ~cfg ~context ~spec ~n func = run_once ~cfg ~context ~spec ~n func
 let sample_lo = 4096
 let sample_hi = 8192
 
-let measure ?(reps = 1) ~cfg ~context ~spec ~n func =
-  let once n = run_once ~cfg ~context ~spec ~n func in
+let measure_compiled ?(reps = 1) ~cfg ~context ~spec ~n cf =
+  let once n = run_once ~cfg ~context ~spec ~n cf in
   let one_rep () =
     match context with
     | In_l2 -> once n
@@ -45,6 +48,9 @@ let measure ?(reps = 1) ~cfg ~context ~spec ~n func =
   let rec repeat best k = if k = 0 then best else repeat (Float.min best (one_rep ())) (k - 1) in
   let first = one_rep () in
   repeat first (max 0 (reps - 1))
+
+let measure ?reps ~cfg ~context ~spec ~n func =
+  measure_compiled ?reps ~cfg ~context ~spec ~n (Exec.compile func)
 
 let mflops ~cfg ~flops_per_n ~n ~cycles =
   Ifko_util.Stats.mflops

@@ -36,7 +36,19 @@ val measure :
 (** Cycle count for problem size [n] under [context], using
     steady-state extrapolation for large out-of-cache problems.
     [reps] repeats each timing and keeps the minimum (default 1 — the
-    simulator is deterministic). *)
+    simulator is deterministic).  Compiles the function once and reuses
+    the decoded form across samples and reps. *)
+
+val measure_compiled :
+  ?reps:int ->
+  cfg:Ifko_machine.Config.t ->
+  context:context ->
+  spec:spec ->
+  n:int ->
+  Exec.compiled ->
+  float
+(** {!measure} for already-compiled code — for callers that time the
+    same candidate in several contexts or at several sizes. *)
 
 val mflops :
   cfg:Ifko_machine.Config.t -> flops_per_n:float -> n:int -> cycles:float -> float

@@ -33,8 +33,8 @@ let exact_fp a b = Float.equal a b || (Float.is_nan a && Float.is_nan b)
 let close_reduction ?fsize ?(ulps = 4096L) ?(abs_floor = 1e-6) a b =
   exact_fp a b || close_ulp ?fsize ~ulps a b || Float.abs (a -. b) <= abs_floor
 
-let check ?(tol = 1e-5) ~ret_fsize func env expectation =
-  match Exec.run ~ret_fsize func env with
+let check_compiled ?(tol = 1e-5) ~ret_fsize cf env expectation =
+  match Exec.exec ~ret_fsize cf env with
   | exception Exec.Trap msg -> Error (Printf.sprintf "trap: %s" msg)
   | result -> (
     let mismatch = ref None in
@@ -61,3 +61,6 @@ let check ?(tol = 1e-5) ~ret_fsize func env expectation =
     | Some _, Some _ -> note "return: kind mismatch"
     | Some _, None -> note "return: kernel returned nothing");
     match !mismatch with None -> Ok () | Some msg -> Error msg)
+
+let check ?tol ~ret_fsize func env expectation =
+  check_compiled ?tol ~ret_fsize (Exec.compile func) env expectation

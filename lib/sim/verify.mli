@@ -50,3 +50,13 @@ val check :
   (unit, string) Stdlib.result
 (** Run the kernel on [env] and compare against [expectation]; the
     error string pinpoints the first mismatch. *)
+
+val check_compiled :
+  ?tol:float ->
+  ret_fsize:Instr.fsize ->
+  Exec.compiled ->
+  Env.t ->
+  expectation ->
+  (unit, string) Stdlib.result
+(** {!check} for already-compiled code — testers that probe one
+    candidate at several sizes compile once and call this. *)

@@ -89,12 +89,11 @@ let generic ?(sizes = [ 5; 34 ]) ?tol ~line_bytes (compiled : Lower.compiled) =
 (** [capture t ~pass compiled] runs the kernel on every workload and
     records its observable outputs.  A trap is attributed to [pass]. *)
 let capture t ~pass (compiled : Lower.compiled) =
+  let cf = Ifko_sim.Exec.compile compiled.Lower.func in
   List.map
     (fun make ->
       let env = make () in
-      match
-        Ifko_sim.Exec.run ~ret_fsize:t.ret_fsize compiled.Lower.func env
-      with
+      match Ifko_sim.Exec.exec ~ret_fsize:t.ret_fsize cf env with
       | exception Ifko_sim.Exec.Trap msg ->
         raise (Pass_failed { pass; failure = Semantics (Printf.sprintf "trap: %s" msg) })
       | r ->

@@ -21,5 +21,10 @@ let geomean = function
 let mflops ~flops ~cycles ~ghz =
   if cycles <= 0.0 then 0.0 else flops *. ghz *. 1e3 /. cycles
 
-let percent_of ~best v = if best <= 0.0 then 0.0 else 100.0 *. v /. best
+(* Guard non-finite inputs as well as non-positive ones: a method that
+   failed timing reports neg_infinity, and 100*(-inf)/(-inf) or a
+   division by a failed best would otherwise leak NaN into tables. *)
+let percent_of ~best v =
+  if best <= 0.0 || not (Float.is_finite best) || not (Float.is_finite v) then 0.0
+  else 100.0 *. v /. best
 let round1 x = Float.round (x *. 10.0) /. 10.0

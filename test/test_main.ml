@@ -10,6 +10,7 @@ let () =
       ("lint", Test_lint.suite);
       ("machine", Test_machine.suite);
       ("sim", Test_sim.suite);
+      ("exec-compiled", Test_exec_compiled.suite);
       ("transform", Test_transform.suite);
       ("regalloc", Test_regalloc.suite);
       ("par", Test_par.suite);

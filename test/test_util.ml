@@ -60,6 +60,15 @@ let test_stats () =
   Alcotest.(check (float 1e-6)) "mflops" 1000.0
     (Stats.mflops ~flops:1000.0 ~cycles:1000.0 ~ghz:1.0);
   Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent_of ~best:10.0 5.0);
+  (* failed timings report neg_infinity; percent_of must not divide by
+     them or leak NaN into the figures *)
+  Alcotest.(check (float 1e-9)) "percent of failed best" 0.0
+    (Stats.percent_of ~best:neg_infinity 5.0);
+  Alcotest.(check (float 1e-9)) "percent of failed value" 0.0
+    (Stats.percent_of ~best:10.0 neg_infinity);
+  Alcotest.(check (float 1e-9)) "percent all failed" 0.0
+    (Stats.percent_of ~best:neg_infinity neg_infinity);
+  Alcotest.(check (float 1e-9)) "percent of zero best" 0.0 (Stats.percent_of ~best:0.0 5.0);
   Alcotest.(check (float 1e-9)) "round1" 1.2 (Stats.round1 1.24);
   Alcotest.check_raises "empty min" (Invalid_argument "Stats.min_float_list: empty")
     (fun () -> ignore (Stats.min_float_list [] : float))
