@@ -25,9 +25,13 @@ bench:
 	dune exec bench/main.exe
 
 # Simulator-throughput report: interpreted MIPS of the reference
-# walker vs. the threaded-code engine on every BLAS kernel.
+# walker vs. the threaded-code engine on every BLAS kernel, with
+# fast-path coverage and cycle attribution, guarded against the
+# committed results (>15% geomean regression fails the target; the
+# baseline is read before the results file is rewritten).
 simbench:
-	dune exec bench/main.exe -- --exp simbench --no-store
+	dune exec bench/main.exe -- --exp simbench --no-store --profile \
+		--baseline BENCH_results.json
 
 # Deterministic fuzz smoke (CI runs the same seed; the nightly
 # workflow explores a fresh date-derived seed at a larger budget).

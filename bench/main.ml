@@ -12,6 +12,11 @@
      --no-store     disable the store
      --jobs N       parallel probe evaluation (bit-identical results)
      --json PATH    machine-readable run report (default BENCH_results.json)
+     --profile      per-kernel fast-path coverage, superblock fusion and
+                    cycle-attribution counters in the simbench experiment
+     --baseline P   read geomean speedups from a previous results file
+                    (before anything is overwritten) and fail the run if
+                    the fresh simbench geomeans regress by more than 15%
 
    Experiments: table1 table2 fig2 fig3 fig4 fig5a fig5b table3 fig7
                 opteron_l2 ablations simbench all *)
@@ -28,6 +33,11 @@ let store_path = ref (Some "BENCH_store.jsonl")
 let json_path = ref "BENCH_results.json"
 let jobs = ref 1
 let store : Ifko_store.Store.t option ref = ref None
+let profile_mode = ref false
+
+(* (untimed, timed) geomean speedups of a previous run, captured at
+   argument-parse time — before this run overwrites the results file. *)
+let baseline : (float * float) option ref = ref None
 
 let kernels () =
   if !quick then List.filter (fun k -> k.Defs.prec = Instr.D) Defs.all else Defs.all
@@ -321,6 +331,14 @@ type simbench_row = {
   sb_new_untimed : float;
   sb_ref_timed : float;
   sb_new_timed : float;
+  (* fast-path coverage accumulated over the timed threaded reps *)
+  sb_loads : int;
+  sb_fast_loads : int;
+  sb_stores : int;
+  sb_fast_stores : int;
+  (* superblock fusion (static per compiled kernel) *)
+  sb_blocks : int;
+  sb_fused_instrs : int;
 }
 
 let simbench_rows : simbench_row list ref = ref []
@@ -363,24 +381,56 @@ let exp_simbench () =
           Ifko_machine.Memsys.reset ms ~flush:true;
           (cfg, ms)
         in
+        (* Memsys.reset clears the profile counters, so coverage is
+           accumulated per repetition during the timed threaded phase. *)
+        let loads = ref 0 and fast_loads = ref 0 in
+        let stores = ref 0 and fast_stores = ref 0 in
+        let demand = ref 0 and demand_cy = ref 0.0 and bus_cy = ref 0.0 in
+        let sw_pf = ref 0 and sw_drop = ref 0 and hw_pf = ref 0 in
+        let timed_threaded () =
+          let r = Ifko_sim.Exec.exec ~timing:(timing ()) ~ret_fsize:rfs cf env in
+          let p = Memsys.profile ms in
+          loads := !loads + p.Memsys.loads;
+          fast_loads := !fast_loads + p.Memsys.fast_loads;
+          stores := !stores + p.Memsys.stores;
+          fast_stores := !fast_stores + p.Memsys.fast_stores;
+          demand := !demand + p.Memsys.demand_misses;
+          demand_cy := !demand_cy +. p.Memsys.demand_cycles;
+          bus_cy := !bus_cy +. p.Memsys.bus_cycles;
+          sw_pf := !sw_pf + p.Memsys.sw_pf_issued;
+          sw_drop := !sw_drop + p.Memsys.sw_pf_dropped;
+          hw_pf := !hw_pf + p.Memsys.hw_pf_issued;
+          r.Ifko_sim.Exec.instr_count
+        in
+        let blocks, fused_instrs = Ifko_sim.Exec.fusion cf in
+        let ref_untimed =
+          rate (fun () ->
+              (Ifko_sim.Exec.run_reference ~ret_fsize:rfs func env)
+                .Ifko_sim.Exec.instr_count)
+        in
+        let new_untimed =
+          rate (fun () ->
+              (Ifko_sim.Exec.exec ~ret_fsize:rfs cf env).Ifko_sim.Exec.instr_count)
+        in
+        let ref_timed =
+          rate (fun () ->
+              (Ifko_sim.Exec.run_reference ~timing:(timing ()) ~ret_fsize:rfs func env)
+                .Ifko_sim.Exec.instr_count)
+        in
+        let new_timed = rate timed_threaded in
         let row =
           {
             sb_kernel = Defs.name id;
-            sb_ref_untimed =
-              rate (fun () ->
-                  (Ifko_sim.Exec.run_reference ~ret_fsize:rfs func env)
-                    .Ifko_sim.Exec.instr_count);
-            sb_new_untimed =
-              rate (fun () ->
-                  (Ifko_sim.Exec.exec ~ret_fsize:rfs cf env).Ifko_sim.Exec.instr_count);
-            sb_ref_timed =
-              rate (fun () ->
-                  (Ifko_sim.Exec.run_reference ~timing:(timing ()) ~ret_fsize:rfs func env)
-                    .Ifko_sim.Exec.instr_count);
-            sb_new_timed =
-              rate (fun () ->
-                  (Ifko_sim.Exec.exec ~timing:(timing ()) ~ret_fsize:rfs cf env)
-                    .Ifko_sim.Exec.instr_count);
+            sb_ref_untimed = ref_untimed;
+            sb_new_untimed = new_untimed;
+            sb_ref_timed = ref_timed;
+            sb_new_timed = new_timed;
+            sb_loads = !loads;
+            sb_fast_loads = !fast_loads;
+            sb_stores = !stores;
+            sb_fast_stores = !fast_stores;
+            sb_blocks = blocks;
+            sb_fused_instrs = fused_instrs;
           }
         in
         Printf.printf "  %-7s %14.1f %16.1f %7.1fx %14.1f %14.1f %7.1fx\n" row.sb_kernel
@@ -388,6 +438,18 @@ let exp_simbench () =
           (row.sb_new_untimed /. row.sb_ref_untimed)
           row.sb_ref_timed row.sb_new_timed
           (row.sb_new_timed /. row.sb_ref_timed);
+        if !profile_mode then begin
+          let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
+          Printf.printf
+            "          fast-path: loads %.1f%% of %d, stores %.1f%% of %d; fusion: %d \
+             bodies / %d instrs\n"
+            (pct !fast_loads !loads) !loads (pct !fast_stores !stores) !stores blocks
+            fused_instrs;
+          Printf.printf
+            "          attribution: %d demand misses (%.2e cy), bus %.2e cy, sw-pf \
+             %d issued / %d dropped, hw-pf %d\n"
+            !demand !demand_cy !bus_cy !sw_pf !sw_drop !hw_pf
+        end;
         row)
       (kernels ())
   in
@@ -496,12 +558,17 @@ let write_results_json ~path ~total_seconds (stats : exp_stats list) =
     Printf.fprintf oc "    \"kernels\": [\n";
     List.iteri
       (fun i r ->
+        let frac a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
         Printf.fprintf oc
           "      {\"kernel\": \"%s\", \"walker_untimed_mips\": %.2f, \
            \"threaded_untimed_mips\": %.2f, \"walker_timed_mips\": %.2f, \
-           \"threaded_timed_mips\": %.2f}%s\n"
+           \"threaded_timed_mips\": %.2f, \"fast_load_frac\": %.4f, \
+           \"fast_store_frac\": %.4f, \"fused_blocks\": %d, \"fused_instrs\": %d}%s\n"
           (json_escape r.sb_kernel) r.sb_ref_untimed r.sb_new_untimed r.sb_ref_timed
           r.sb_new_timed
+          (frac r.sb_fast_loads r.sb_loads)
+          (frac r.sb_fast_stores r.sb_stores)
+          r.sb_blocks r.sb_fused_instrs
           (if i = List.length rows - 1 then "" else ","))
       rows;
     Printf.fprintf oc "    ]\n  },\n");
@@ -517,6 +584,63 @@ let write_results_json ~path ~total_seconds (stats : exp_stats list) =
     stats;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
+
+(* Pull the simbench geomeans out of a previous results file.  The
+   writer above is the only producer, so a targeted scan is enough —
+   no JSON parser in the toolchain's stdlib. *)
+let read_baseline path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let field key =
+    let needle = Printf.sprintf "\"%s\":" key in
+    match
+      let rec find i =
+        if i + String.length needle > String.length s then None
+        else if String.sub s i (String.length needle) = needle then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> failwith (Printf.sprintf "%s: no %S field (not a results file?)" path key)
+    | Some i ->
+      let j = ref (i + String.length needle) in
+      while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\n') do incr j done;
+      let k = ref !j in
+      while
+        !k < String.length s
+        && (match s.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string (String.sub s !j (!k - !j))
+  in
+  (field "geomean_speedup_untimed", field "geomean_speedup_timed")
+
+(* The simbench regression guard: compare fresh geomeans against the
+   baseline captured at argument-parse time; a >15% drop on either
+   metric fails the run (CI runs this against the committed results
+   file).  The threshold rides well above the scheduler noise a busy
+   host adds to wall-clock rates. *)
+let check_baseline () =
+  match (!baseline, !simbench_rows) with
+  | None, _ | _, [] -> ()
+  | Some (base_untimed, base_timed), rows ->
+    let geo f = Ifko_util.Stats.geomean (List.map f rows) in
+    let untimed = geo (fun r -> r.sb_new_untimed /. r.sb_ref_untimed) in
+    let timed = geo (fun r -> r.sb_new_timed /. r.sb_ref_timed) in
+    let check name fresh base =
+      Printf.printf "baseline %s: %.2fx now vs %.2fx before (%+.1f%%)\n" name fresh base
+        (100.0 *. ((fresh /. base) -. 1.0));
+      fresh < 0.85 *. base
+    in
+    let bad_untimed = check "untimed" untimed base_untimed in
+    let bad_timed = check "timed" timed base_timed in
+    if bad_untimed || bad_timed then begin
+      Printf.eprintf "simbench geomean regressed by more than 15%% against the baseline\n";
+      exit 1
+    end
 
 let () =
   let rec parse = function
@@ -541,6 +665,12 @@ let () =
       parse rest
     | "--json" :: path :: rest ->
       json_path := path;
+      parse rest
+    | "--profile" :: rest ->
+      profile_mode := true;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline := Some (read_baseline path);
       parse rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %S\n" arg;
@@ -592,5 +722,6 @@ let () =
         (Ifko_store.Store.misses st);
       Ifko_store.Store.close st
     | None -> ());
-    Printf.printf "results written to %s (%.1f s total)\n" !json_path total_seconds
+    Printf.printf "results written to %s (%.1f s total)\n" !json_path total_seconds;
+    check_baseline ()
   end

@@ -9,6 +9,9 @@
                                        --jobs N evaluates probes in parallel)
      ifko fuzz     [flags]         -- differential fuzzing of the pipeline
                                       (--replay PATH re-runs saved reproducers)
+     ifko sim      FILE [flags]    -- one simulator run, both engines checked
+                                      bit-for-bit (--profile: fast-path coverage,
+                                      superblock fusion, cycle attribution)
      ifko store    stat/compact/clear PATH -- tuning-store maintenance
 
    Timing requires knowing how to build workloads for the kernel's
@@ -382,6 +385,139 @@ let fuzz_cmd =
       const run $ machine_arg $ seed_arg $ count_arg $ max_size_arg $ points_arg
       $ corpus_arg $ check $ replay_arg)
 
+(* ---- sim ---- *)
+
+let sim_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let context =
+    Arg.(value & opt string "oc" & info [ "c"; "context" ] ~docv:"CTX" ~doc:"oc or l2")
+  in
+  let n = Arg.(value & opt int 8192 & info [ "n" ] ~doc:"problem size to simulate") in
+  let untimed =
+    Arg.(value & flag & info [ "untimed" ] ~doc:"architectural semantics only, no timing model")
+  in
+  let engine =
+    Arg.(
+      value & opt string "both"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "threaded, walker, or both (run the pre-decoded engine and the reference \
+             tree-walker and check they agree bit-for-bit)")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "report fast-path coverage, superblock fusion, and per-component \
+             cycle-attribution counters for the run")
+  in
+  let seed_arg =
+    Arg.(value & opt int 20050614 & info [ "seed" ] ~docv:"SEED" ~doc:"workload seed")
+  in
+  let run file machine sv ur ae wnt pf_dist context n untimed engine profile seed =
+    let cfg = machine_of machine in
+    let context = context_of context in
+    let compiled = load file in
+    let params = point_of_flags ~cfg compiled sv ur ae wnt pf_dist in
+    let func = Ifko.compile_point ~cfg compiled params in
+    let cf = Ifko_sim.Exec.compile func in
+    let spec = generic_spec ~seed compiled in
+    (* Mirrors Timer.run_once, but keeps the memory system around so the
+       profile counters can be reported afterwards. *)
+    let run_engine exec_fn =
+      let env = spec.Ifko_sim.Timer.make_env n in
+      if untimed then (exec_fn ?timing:None env, None)
+      else begin
+        let ms = Ifko_machine.Memsys.create cfg in
+        (match context with
+        | Ifko_sim.Timer.Out_of_cache -> Ifko_machine.Memsys.reset ms ~flush:true
+        | Ifko_sim.Timer.In_l2 ->
+          Ifko_machine.Memsys.reset ms ~flush:true;
+          Ifko_sim.Env.iter_array_lines env ~line:cfg.Ifko.Config.l2.Ifko.Config.line
+            (fun addr -> Ifko_machine.Memsys.warm_l2 ms ~addr));
+        (exec_fn ?timing:(Some (cfg, ms)) env, Some ms)
+      end
+    in
+    let threaded ?timing env =
+      Ifko_sim.Exec.exec ?timing ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize cf env
+    in
+    let walker ?timing env =
+      Ifko_sim.Exec.run_reference ?timing ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize func env
+    in
+    let show name (r : Ifko_sim.Exec.result) =
+      Printf.printf "  %-8s %d instrs, %d uops%s%s\n" name r.Ifko_sim.Exec.instr_count
+        r.Ifko_sim.Exec.uop_count
+        (if untimed then "" else Printf.sprintf ", %.1f cycles" r.Ifko_sim.Exec.cycles)
+        (match r.Ifko_sim.Exec.ret with
+        | None -> ""
+        | Some (Ifko_sim.Exec.Rint i) -> Printf.sprintf ", ret %d" i
+        | Some (Ifko_sim.Exec.Rfp f) -> Printf.sprintf ", ret %.17g" f)
+    in
+    Printf.printf "%s: n=%d, %s, %s, %s\n"
+      compiled.Ifko.Lower.source.Ifko.Hil.Ast.k_name n cfg.Ifko.Config.name
+      (if untimed then "untimed" else Ifko_sim.Timer.context_name context)
+      (Ifko.Params.to_string params);
+    let result, ms =
+      match engine with
+      | "threaded" ->
+        let r, ms = run_engine threaded in
+        show "threaded" r;
+        (r, ms)
+      | "walker" ->
+        let r, ms = run_engine walker in
+        show "walker" r;
+        (r, ms)
+      | "both" ->
+        let r, ms = run_engine threaded in
+        let r_ref, _ = run_engine walker in
+        show "threaded" r;
+        if r = r_ref then print_endline "  walker   identical (bit-identity check passed)"
+        else begin
+          show "walker" r_ref;
+          prerr_endline "engines disagree: threaded result differs from the reference walker";
+          Stdlib.exit 1
+        end;
+        (r, ms)
+      | other -> failwith (Printf.sprintf "unknown engine %S (threaded|walker|both)" other)
+    in
+    ignore (result : Ifko_sim.Exec.result);
+    if profile then begin
+      let blocks, fused = Ifko_sim.Exec.fusion cf in
+      Printf.printf "  profile:\n";
+      Printf.printf "    superblocks: %d fused bodies covering %d instrs\n" blocks fused;
+      match ms with
+      | None -> print_endline "    (memory-system counters require a timed run)"
+      | Some ms ->
+        let p = Ifko_machine.Memsys.profile ms in
+        let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
+        Printf.printf "    loads  %d (fast-path %.1f%%)  stores %d (fast-path %.1f%%)\n"
+          p.Ifko_machine.Memsys.loads
+          (pct p.Ifko_machine.Memsys.fast_loads p.Ifko_machine.Memsys.loads)
+          p.Ifko_machine.Memsys.stores
+          (pct p.Ifko_machine.Memsys.fast_stores p.Ifko_machine.Memsys.stores);
+        Printf.printf "    L1 %d hits / %d misses   L2 %d hits / %d misses\n"
+          p.Ifko_machine.Memsys.l1_hits p.Ifko_machine.Memsys.l1_misses
+          p.Ifko_machine.Memsys.l2_hits p.Ifko_machine.Memsys.l2_misses;
+        Printf.printf
+          "    demand misses %d (%.1f cycles total latency)   bus cycles %.1f\n"
+          p.Ifko_machine.Memsys.demand_misses p.Ifko_machine.Memsys.demand_cycles
+          p.Ifko_machine.Memsys.bus_cycles;
+        Printf.printf "    sw prefetch %d issued / %d dropped   hw prefetch %d issued\n"
+          p.Ifko_machine.Memsys.sw_pf_issued p.Ifko_machine.Memsys.sw_pf_dropped
+          p.Ifko_machine.Memsys.hw_pf_issued
+    end
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "run a HIL kernel on the simulator at a parameter point; by default both \
+          execution engines run and their results are checked bit-for-bit; --profile \
+          reports fast-path coverage, superblock fusion and cycle attribution")
+    Term.(
+      const run $ file $ machine_arg $ sv_arg $ ur_arg $ ae_arg $ wnt_arg $ pf_arg
+      $ context $ n $ untimed $ engine $ profile $ seed_arg)
+
 (* ---- store ---- *)
 
 let store_cmd =
@@ -421,4 +557,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ifko" ~doc)
-          [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd; fuzz_cmd; store_cmd ]))
+          [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd; fuzz_cmd; sim_cmd; store_cmd ]))

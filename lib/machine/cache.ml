@@ -2,11 +2,25 @@ type t = {
   line : int;
   sets : int;
   assoc : int;
-  line_shift : int;  (** log2 line when a power of two, else -1 *)
-  set_mask : int;  (** sets - 1 when a power of two, else -1 *)
+  line_shift : int;  (** log2 line (geometry is validated to powers of two) *)
+  set_mask : int;  (** sets - 1 *)
   tags : int array;  (** -1 = invalid; indexed [set * assoc + way] *)
   dirty : bool array;
   lru : int array;  (** higher = more recently used *)
+  mru : int array;
+      (** per-set most-recently-used way — a pure acceleration hint.
+          [mru.(set)] is the way of the last hit or install in [set];
+          validity is re-checked against [tags] on every use, so a
+          stale hint can only cost a scan, never change behavior. *)
+  touched : int array;
+      (** way indices made valid since the last flush, so [flush] can
+          invalidate exactly those instead of filling every way of a
+          large cache (the timers reset per repetition, and a rep
+          usually touches a small fraction of L2).  [-1] in [n_touched]
+          means the log overflowed (possible only through repeated
+          invalidate/insert churn) and [flush] falls back to the full
+          fill. *)
+  mutable n_touched : int;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -16,18 +30,43 @@ let log2_exact n =
   let rec go k = if 1 lsl k = n then k else if 1 lsl k > n then -1 else go (k + 1) in
   if n > 0 then go 0 else -1
 
+(* Geometry is rejected up front rather than silently falling back to
+   division forms: a non-power-of-two line or set count used to take a
+   slower mis-matched path (and [log2_exact] returning -1 could
+   mis-index if a new call site forgot the fallback).  Every shift and
+   mask below now relies on this. *)
+let validate (lvl : Config.cache_level) =
+  let pow2 n = n > 0 && n land (n - 1) = 0 in
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if lvl.Config.assoc < 1 then fail "Cache: assoc %d < 1" lvl.Config.assoc;
+  if lvl.Config.latency < 0 then fail "Cache: negative latency %d" lvl.Config.latency;
+  if not (pow2 lvl.Config.line) then
+    fail "Cache: line size %d is not a power of two" lvl.Config.line;
+  let span = lvl.Config.line * lvl.Config.assoc in
+  if lvl.Config.size < span then
+    fail "Cache: size %d smaller than one set (line %d x assoc %d)" lvl.Config.size
+      lvl.Config.line lvl.Config.assoc;
+  let sets = lvl.Config.size / span in
+  if (not (pow2 sets)) || sets * span <> lvl.Config.size then
+    fail "Cache: size %d / (line %d x assoc %d) is not a power-of-two set count"
+      lvl.Config.size lvl.Config.line lvl.Config.assoc
+
 let create (lvl : Config.cache_level) =
-  let sets = max 1 (lvl.Config.size / (lvl.Config.line * lvl.Config.assoc)) in
+  validate lvl;
+  let sets = lvl.Config.size / (lvl.Config.line * lvl.Config.assoc) in
   let ways = sets * lvl.Config.assoc in
   {
     line = lvl.Config.line;
     sets;
     assoc = lvl.Config.assoc;
     line_shift = log2_exact lvl.Config.line;
-    set_mask = (if log2_exact sets >= 0 then sets - 1 else -1);
+    set_mask = sets - 1;
     tags = Array.make ways (-1);
     dirty = Array.make ways false;
     lru = Array.make ways 0;
+    mru = Array.make sets 0;
+    touched = Array.make (2 * ways) 0;
+    n_touched = 0;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -37,39 +76,72 @@ let line_bytes t = t.line
 
 (* Addresses are non-negative (the simulator bounds-checks before any
    cache traffic), so shift/mask agree with the division forms on
-   every address that reaches us; odd-sized configs fall back. *)
-let[@inline] tag_of t addr =
-  if t.line_shift >= 0 then addr asr t.line_shift else addr / t.line
-
-let[@inline] set_of t addr =
-  if t.set_mask >= 0 then tag_of t addr land t.set_mask else tag_of t addr mod t.sets
-
-let[@inline] line_base t addr =
-  if t.line_shift >= 0 then addr land lnot (t.line - 1) else addr - (addr mod t.line)
+   every address that reaches us. *)
+let[@inline] tag_of t addr = addr asr t.line_shift
+let[@inline] set_of t addr = tag_of t addr land t.set_mask
+let[@inline] line_base t addr = addr land lnot (t.line - 1)
 
 (* Returns the way index, or -1 on a miss.  An int sentinel rather
    than an option: this runs once or twice per simulated memory
    instruction, and a [Some] per lookup is allocation the hot loop
-   can't afford. *)
+   can't afford.  The set's MRU way is tried before the scan — for
+   streaming access patterns nearly every hit lands there. *)
 let find_way t addr =
-  let base = set_of t addr * t.assoc and tag = tag_of t addr in
-  let rec go w =
-    if w >= t.assoc then -1
-    else if Array.unsafe_get t.tags (base + w) = tag then base + w
-    else go (w + 1)
-  in
-  go 0
+  let tag = tag_of t addr in
+  let base = (tag land t.set_mask) * t.assoc in
+  let idx = base + Array.unsafe_get t.mru (tag land t.set_mask) in
+  if Array.unsafe_get t.tags idx = tag then idx
+  else
+    let rec go w =
+      if w >= t.assoc then -1
+      else if Array.unsafe_get t.tags (base + w) = tag then base + w
+      else go (w + 1)
+    in
+    go 0
 
 let[@inline] touch t idx =
   t.clock <- t.clock + 1;
-  t.lru.(idx) <- t.clock
+  Array.unsafe_set t.lru idx t.clock
+
+(* One-compare steady-state hit: check only the set's MRU way and, on a
+   match, perform exactly the updates [access] performs on a hit
+   (hit counter, dirty bit, LRU touch).  Returns false without touching
+   anything when the MRU way does not hold the line — the caller falls
+   back to the general path, which redoes the full lookup.  This is the
+   entry point for {!Memsys}'s open-coded fast path. *)
+let[@inline] hit_mru t addr ~write =
+  let tag = addr asr t.line_shift in
+  let set = tag land t.set_mask in
+  let idx = (set * t.assoc) + Array.unsafe_get t.mru set in
+  if Array.unsafe_get t.tags idx = tag then begin
+    t.hits <- t.hits + 1;
+    if write then Array.unsafe_set t.dirty idx true;
+    t.clock <- t.clock + 1;
+    Array.unsafe_set t.lru idx t.clock;
+    true
+  end
+  else false
 
 let access t ~addr ~write =
-  let idx = find_way t addr in
+  let tag = addr asr t.line_shift in
+  let set = tag land t.set_mask in
+  let base = set * t.assoc in
+  let idx =
+    let m = base + Array.unsafe_get t.mru set in
+    if Array.unsafe_get t.tags m = tag then m
+    else
+      let rec go w =
+        if w >= t.assoc then -1
+        else if Array.unsafe_get t.tags (base + w) = tag then base + w
+        else go (w + 1)
+      in
+      go 0
+  in
   if idx >= 0 then begin
     t.hits <- t.hits + 1;
-    if write then t.dirty.(idx) <- true;
+    if write then Array.unsafe_set t.dirty idx true;
     touch t idx;
+    Array.unsafe_set t.mru set (idx - base);
     true
   end
   else begin
@@ -82,17 +154,30 @@ let probe t ~addr = find_way t addr >= 0
 let victim_way t addr =
   let base = set_of t addr * t.assoc in
   let best = ref base in
-  for w = 1 to t.assoc - 1 do
-    if t.tags.(base + w) = -1 then (if t.tags.(!best) <> -1 then best := base + w)
-    else if t.tags.(!best) <> -1 && t.lru.(base + w) < t.lru.(!best) then best := base + w
-  done;
+  (* The first invalid way always wins and nothing can displace it, so
+     the scan stops as soon as one is found. *)
+  if t.tags.(base) <> -1 then begin
+    let w = ref 1 in
+    while !w < t.assoc do
+      let i = base + !w in
+      if t.tags.(i) = -1 then begin
+        best := i;
+        w := t.assoc
+      end
+      else if t.lru.(i) < t.lru.(!best) then best := i;
+      incr w
+    done
+  end;
   !best
 
 let insert t ~addr ~write =
+  let set = set_of t addr in
+  let base = set * t.assoc in
   let idx = find_way t addr in
   if idx >= 0 then begin
     if write then t.dirty.(idx) <- true;
     touch t idx;
+    t.mru.(set) <- idx - base;
     None
   end
   else begin
@@ -100,11 +185,42 @@ let insert t ~addr ~write =
     let evicted =
       if t.tags.(idx) <> -1 && t.dirty.(idx) then Some (t.tags.(idx) * t.line) else None
     in
+    (* log the way turning valid so flush can undo exactly this *)
+    if t.tags.(idx) = -1 && t.n_touched >= 0 then
+      if t.n_touched = Array.length t.touched then t.n_touched <- -1
+      else begin
+        t.touched.(t.n_touched) <- idx;
+        t.n_touched <- t.n_touched + 1
+      end;
     t.tags.(idx) <- tag_of t addr;
     t.dirty.(idx) <- write;
     touch t idx;
+    t.mru.(set) <- idx - base;
     evicted
   end
+
+(* [insert] for a line the caller has proven absent (e.g. it was just
+   removed from the in-flight table, and in-flight lines are never
+   cached): skips the present-line probe and goes straight to victim
+   selection.  Identical state updates to [insert]'s miss branch. *)
+let insert_new t ~addr ~write =
+  let set = set_of t addr in
+  let base = set * t.assoc in
+  let idx = victim_way t addr in
+  let evicted =
+    if t.tags.(idx) <> -1 && t.dirty.(idx) then Some (t.tags.(idx) * t.line) else None
+  in
+  if t.tags.(idx) = -1 && t.n_touched >= 0 then
+    if t.n_touched = Array.length t.touched then t.n_touched <- -1
+    else begin
+      t.touched.(t.n_touched) <- idx;
+      t.n_touched <- t.n_touched + 1
+    end;
+  t.tags.(idx) <- tag_of t addr;
+  t.dirty.(idx) <- write;
+  touch t idx;
+  t.mru.(set) <- idx - base;
+  evicted
 
 let invalidate t ~addr =
   let idx = find_way t addr in
@@ -116,9 +232,27 @@ let invalidate t ~addr =
   end
   else false
 
+let clear_mru t = Array.fill t.mru 0 (Array.length t.mru) 0
+
+(* Every valid way was logged in [touched] when it turned valid (all
+   lines are invalid right after a flush, and [insert] is the only
+   place a tag is written), so invalidating the logged ways is
+   observably identical to the full fill — untouched ways are already
+   invalid and clean, and stale LRU stamps on invalid ways were never
+   consulted by the full-fill version either. *)
 let flush t =
-  Array.fill t.tags 0 (Array.length t.tags) (-1);
-  Array.fill t.dirty 0 (Array.length t.dirty) false
+  if t.n_touched < 0 then begin
+    Array.fill t.tags 0 (Array.length t.tags) (-1);
+    Array.fill t.dirty 0 (Array.length t.dirty) false
+  end
+  else
+    for i = 0 to t.n_touched - 1 do
+      let idx = t.touched.(i) in
+      t.tags.(idx) <- -1;
+      t.dirty.(idx) <- false
+    done;
+  t.n_touched <- 0;
+  clear_mru t
 
 let stats t = (t.hits, t.misses)
 

@@ -8,7 +8,17 @@
 
 type t
 
+val validate : Config.cache_level -> unit
+(** Raises [Invalid_argument] unless the geometry is well-formed: line
+    size a power of two, associativity at least one, and a
+    power-of-two number of sets (size divisible by [line * assoc]).
+    Every shift/mask in this module relies on these invariants, so
+    ill-formed geometries are rejected up front instead of silently
+    mis-indexing. *)
+
 val create : Config.cache_level -> t
+(** Validates the geometry (see {!validate}), then builds the cache. *)
+
 val line_bytes : t -> int
 
 val line_base : t -> int -> int
@@ -19,6 +29,15 @@ val access : t -> addr:int -> write:bool -> bool
 (** [access t ~addr ~write] is [true] on a hit (updating LRU and the
     dirty bit).  On a miss nothing changes except the statistics. *)
 
+val hit_mru : t -> int -> write:bool -> bool
+(** [hit_mru t addr ~write] checks only the set's most-recently-used
+    way.  On a match it performs exactly the state updates [access]
+    performs on a hit (hit counter, dirty bit, LRU) and returns
+    [true]; otherwise it returns [false] having changed {e nothing} —
+    the caller must fall back to the general path.  One compare on the
+    common steady-state hit; never observably different from calling
+    [access]. *)
+
 val probe : t -> addr:int -> bool
 (** Non-destructive presence test (no LRU update, no statistics). *)
 
@@ -27,11 +46,22 @@ val insert : t -> addr:int -> write:bool -> int option
     Returns the byte address of a dirty line that had to be evicted, if
     any.  Installing a present line just updates LRU/dirty. *)
 
+val insert_new : t -> addr:int -> write:bool -> int option
+(** [insert] for a line the caller has proven absent: skips the
+    present-line probe.  Observably identical to [insert] whenever the
+    line is indeed not cached. *)
+
 val invalidate : t -> addr:int -> bool
 (** Drop the line if present; returns whether it was dirty. *)
 
 val flush : t -> unit
-(** Empty the cache (the timers' out-of-cache context). *)
+(** Empty the cache (the timers' out-of-cache context).  Also clears
+    the MRU way filter. *)
+
+val clear_mru : t -> unit
+(** Reset the per-set MRU way hints (keeping contents).  Part of
+    {!Memsys.reset}'s contract even when the caches are not flushed:
+    acceleration state never survives a reset. *)
 
 val dirty_lines : t -> int
 (** Number of valid dirty lines currently held. *)

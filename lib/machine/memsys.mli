@@ -45,6 +45,12 @@ val load_io : t -> int -> unit
 val store_io : t -> int -> unit
 (** [store t ~addr] with [now] read from [io_now]. *)
 
+val nt_store_io : t -> bytes:int -> int -> unit
+(** [nt_store] with [now] read from [io_now]. *)
+
+val prefetch_io : t -> kind:Instr.pf_kind -> int -> unit
+(** [prefetch] with [now] read from [io_now]. *)
+
 val nt_store : t -> addr:int -> bytes:int -> now:float -> unit
 (** Non-temporal store: write-combining traffic straight to memory, no
     allocation, no read-for-ownership; pays the configured penalty when
@@ -76,3 +82,29 @@ val pending_writeback_cost : t -> float
 
 val stats : t -> string
 (** Human-readable hit/miss/drop counters (for the CLI's -v mode). *)
+
+(** {2 Profiling}
+
+    Fast-path coverage and cycle-attribution counters, accumulated
+    since the last {!reset}.  The counters are always maintained (two
+    int bumps per memory operation); the [--profile] flags in the
+    bench driver and [ifko sim] only control reporting. *)
+
+type profile = {
+  loads : int;  (** total [load]/[load_io] calls *)
+  stores : int;
+  fast_loads : int;  (** loads served entirely by the open-coded fast path *)
+  fast_stores : int;
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  demand_misses : int;  (** demand fetches that went to memory *)
+  demand_cycles : float;  (** latency cycles those fetches cost (arrival - request) *)
+  bus_cycles : float;  (** total bus cycles claimed (transfers + turnarounds) *)
+  sw_pf_issued : int;
+  sw_pf_dropped : int;
+  hw_pf_issued : int;
+}
+
+val profile : t -> profile

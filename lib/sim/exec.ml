@@ -212,6 +212,7 @@ type timing = {
   unit_free : float array;
   service : float array;
   issue_cost : float array;  (** [uops /. issue_width], precomputed per uop count *)
+  icost1 : float;  (** [issue_cost.(1)]: the single-uop issue cost *)
   fadd_l : float;
   fmul_l : float;
   fdiv_l : float;
@@ -222,7 +223,18 @@ type timing = {
   rob : float array;  (** completion times, circular; bounds issue depth *)
   mutable rob_idx : int;
   mutable uops : int;
+  mutable tstate : state;
+      (** The architectural state the threaded engine is driving.  The
+          timed per-instruction closures take only [timing] — a one-
+          argument application of an unknown closure is a direct call
+          through the code pointer, where a two-argument one goes
+          through [caml_apply2]'s arity check on every instruction —
+          and reach the state through this field.  [exec] sets it
+          before entering the code; the walker never reads it. *)
 }
+
+let dummy_state =
+  { gpr = [||]; gcap = 0; xmm = Bytes.empty; xcap = 0; memm = Bytes.empty }
 
 let make_timing cfg ms =
   let service = Array.make n_units 1.0 in
@@ -241,6 +253,7 @@ let make_timing cfg ms =
     service;
     issue_cost =
       Array.init 33 (fun u -> float_of_int u /. float_of_int cfg.Config.issue_width);
+    icost1 = 1.0 /. float_of_int cfg.Config.issue_width;
     fadd_l = float_of_int cfg.Config.fadd_lat;
     fmul_l = float_of_int cfg.Config.fmul_lat;
     fdiv_l = float_of_int cfg.Config.fdiv_lat;
@@ -251,6 +264,7 @@ let make_timing cfg ms =
     rob = Array.make (max 8 cfg.Config.rob_size) 0.0;
     rob_idx = 0;
     uops = 0;
+    tstate = dummy_state;
   }
 
 let ensure_ready tm cls n =
@@ -286,10 +300,12 @@ let[@inline] fmax (a : float) (b : float) = if a >= b then a else b
 (* Record the completion time of the instruction just dispatched (one
    ROB slot per instruction — a close-enough approximation). *)
 let[@inline] retire tm completion =
-  tm.rob.(tm.rob_idx) <- completion;
+  (* [rob_idx] is always < length by construction (wrap below) *)
+  Array.unsafe_set tm.rob tm.rob_idx completion;
   let i = tm.rob_idx + 1 in
   tm.rob_idx <- (if i = Array.length tm.rob then 0 else i);
-  if completion > tm.clk.(k_last) then tm.clk.(k_last) <- completion
+  if completion > Array.unsafe_get tm.clk k_last then
+    Array.unsafe_set tm.clk k_last completion
 
 let set_ready tm (r : Reg.t) v =
   let i = slot r in
@@ -311,6 +327,14 @@ let[@inline] mstore tm addr (start : float) =
   Array.unsafe_set tm.msio Memsys.io_now start;
   Memsys.store_io tm.ms addr
 
+let[@inline] mnt_store tm addr ~bytes (start : float) =
+  Array.unsafe_set tm.msio Memsys.io_now start;
+  Memsys.nt_store_io tm.ms ~bytes addr
+
+let[@inline] mprefetch tm addr ~kind (start : float) =
+  Array.unsafe_set tm.msio Memsys.io_now start;
+  Memsys.prefetch_io tm.ms ~kind addr
+
 (* Dispatch [uops] micro-ops on [unit]; returns the execution start.
    Issue cannot proceed past a full reorder buffer: the slot about to
    be reused holds the completion time of the µop issued rob_size ago. *)
@@ -326,6 +350,18 @@ let[@inline] acquire tm unit ~srcs ~uops =
      else float_of_int uops /. float_of_int tm.cfg.Config.issue_width);
   start
 
+(* [acquire] specialized at decode time for the overwhelmingly common
+   single-uop dispatch: [service *. 1.0] is the identity and the issue
+   cost is the precomputed [icost1], so the general uop scaling (a
+   float conversion, a multiply, an array lookup and a range test)
+   drops out.  Bit-identical to [acquire ~uops:1] on every input. *)
+let[@inline] acquire1 tm unit ~srcs =
+  tm.uops <- tm.uops + 1;
+  let front = fmax (Array.unsafe_get tm.clk k_front) (Array.unsafe_get tm.rob tm.rob_idx) in
+  let start = fmax (fmax front srcs) (Array.unsafe_get tm.unit_free unit) in
+  Array.unsafe_set tm.unit_free unit (start +. Array.unsafe_get tm.service unit);
+  Array.unsafe_set tm.clk k_front (front +. tm.icost1);
+  start
 
 let fp_unit op = match op with Instr.Fmul -> u_fpmul | Instr.Fdiv -> u_fpdiv | _ -> u_fpadd
 
@@ -457,7 +493,7 @@ let run_reference ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f 
       Option.iter
         (fun tm ->
           let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
-          Memsys.nt_store tm.ms ~addr ~bytes:(Instr.fsize_bytes sz) ~now:start;
+          mnt_store tm addr ~bytes:(Instr.fsize_bytes sz) start;
           retire tm (start +. 1.0))
         tm
     | Instr.Fmov (_, d, s) ->
@@ -541,7 +577,7 @@ let run_reference ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f 
       Option.iter
         (fun tm ->
           let start = acquire tm u_store ~srcs:(srcs_ready tm (s :: mem_regs m)) ~uops:1 in
-          Memsys.nt_store tm.ms ~addr ~bytes:16 ~now:start;
+          mnt_store tm addr ~bytes:16 start;
           retire tm (start +. 1.0))
         tm
     | Instr.Vmov (_, d, s) ->
@@ -696,7 +732,7 @@ let run_reference ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f 
         (fun tm ->
           let start = acquire tm u_load ~srcs:(srcs_ready tm (mem_regs m)) ~uops:1 in
           if addr >= 0 && addr < Bytes.length st.memm then
-            Memsys.prefetch tm.ms ~kind ~addr ~now:start;
+            mprefetch tm addr ~kind start;
           retire tm (start +. 1.0))
         tm
     | Instr.Nop -> ()
@@ -799,7 +835,11 @@ let run_reference ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (f 
 
 type cblock = {
   c_pure : (state -> unit) array;
-  c_timed : (state -> timing -> unit) array;
+      (** per-instruction closures: the budget-constrained slow path *)
+  c_timed : (timing -> unit) array;
+  c_pure_all : state -> unit;  (** the whole straight-line body, fused *)
+  c_timed_all : timing -> unit;
+  c_len : int;
   c_pterm : state -> int;
   c_tterm : state -> timing -> int array -> int;
 }
@@ -815,6 +855,10 @@ type compiled = {
 
 let func c = c.c_func
 
+let fusion c =
+  let instrs = Array.fold_left (fun acc b -> acc + b.c_len) 0 c.c_blocks in
+  (Array.length c.c_blocks, instrs)
+
 (* Decode-time operand specialization.  Register files are pre-sized
    by [compile], so closures index the flat arrays directly with
    decode-resolved slots.
@@ -825,28 +869,52 @@ let func c = c.c_func
    readiness lookups are expanded *inside* each instruction's closure
    body, where the native compiler keeps the intermediates unboxed. *)
 
+(* Unchecked byte accessors.  Every decode-closure access is either
+   into the xmm file (pre-sized by [compile] to the function's full
+   register extent before any closure runs) or into simulated memory
+   at an offset an explicit [check_bounds]/[check_vec_access] has just
+   proved in range — so the stdlib accessors' own bounds checks are
+   statically redundant and dropped.  The byte-swap on big-endian
+   hosts mirrors [Bytes.get_int64_le]'s definition exactly. *)
+external b64_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external b64_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external b32_get : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external b32_set : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external swap64 : int64 -> int64 = "%bswap_int64"
+external swap32 : int32 -> int32 = "%bswap_int32"
+
+let[@inline] uget64 b o = if Sys.big_endian then swap64 (b64_get b o) else b64_get b o
+
+let[@inline] uset64 b o v =
+  if Sys.big_endian then b64_set b o (swap64 v) else b64_set b o v
+
+let[@inline] uget32 b o = if Sys.big_endian then swap32 (b32_get b o) else b32_get b o
+
+let[@inline] uset32 b o v =
+  if Sys.big_endian then b32_set b o (swap32 v) else b32_set b o v
+
 (* 16-byte register moves as two 64-bit primitive accesses:
    [Bytes.blit]/[Bytes.fill] are C calls, far slower at this width.
    Register slots are 16-aligned, so source and destination are either
    identical or disjoint; both words are read before either write, so
    the copy matches blit semantics in every case. *)
 let[@inline] copy16 dst dof src sof =
-  let w0 = Bytes.get_int64_le src sof in
-  let w1 = Bytes.get_int64_le src (sof + 8) in
-  Bytes.set_int64_le dst dof w0;
-  Bytes.set_int64_le dst (dof + 8) w1
+  let w0 = uget64 src sof in
+  let w1 = uget64 src (sof + 8) in
+  uset64 dst dof w0;
+  uset64 dst (dof + 8) w1
 
 let[@inline] zero16 b o =
-  Bytes.set_int64_le b o 0L;
-  Bytes.set_int64_le b (o + 8) 0L
+  uset64 b o 0L;
+  uset64 b (o + 8) 0L
 
-let[@inline] getd b o = Int64.float_of_bits (Bytes.get_int64_le b o)
-let[@inline] setd b o v = Bytes.set_int64_le b o (Int64.bits_of_float v)
-let[@inline] gets b o = Int32.float_of_bits (Bytes.get_int32_le b o)
+let[@inline] getd b o = Int64.float_of_bits (uget64 b o)
+let[@inline] setd b o v = uset64 b o (Int64.bits_of_float v)
+let[@inline] gets b o = Int32.float_of_bits (uget32 b o)
 
 (* Writing the 32-bit image of [v] IS the round-to-single of
    [set_xlane]: [bits_of_float (round32 v)] = [bits_of_float v]. *)
-let[@inline] sets b o v = Bytes.set_int32_le b o (Int32.bits_of_float v)
+let[@inline] sets b o v = uset32 b o (Int32.bits_of_float v)
 
 let xoff (r : Reg.t) = slot r * 16
 
@@ -942,7 +1010,13 @@ let[@inline] wr tm (cls : Reg.cls) i v =
    are unrolled (D = 2 lanes, S = 4) in the walker's lane order, which
    preserves aliasing behaviour when the destination overlaps a
    source. *)
-let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
+(* Unchecked register-file access for decode closures: [compile]
+   pre-sizes the gpr file to the function's full register extent, so
+   every decode-resolved slot is in range by construction. *)
+let[@inline] gu st i = Array.unsafe_get st.gpr i
+let[@inline] gput st i v = Array.unsafe_set st.gpr i v
+
+let decode_instr (ins : Instr.t) : (state -> unit) * (timing -> unit) =
   match ins with
   | Instr.Ild (d, m) ->
     let mb, mx, msc, mdp = maddr m in
@@ -951,13 +1025,13 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     ( (fun st ->
         let addr = ea st.gpr mb mx msc mdp in
         check_bounds st addr 8;
-        st.gpr.(di) <- Int64.to_int (Bytes.get_int64_le st.memm addr)),
-      fun st tm ->
+        gput st di @@ Int64.to_int (uget64 st.memm addr)),
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         check_bounds st addr 8;
-        st.gpr.(di) <- Int64.to_int (Bytes.get_int64_le st.memm addr);
+        gput st di @@ Int64.to_int (uget64 st.memm addr);
         let start =
-          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
         in
         wr tm dc di (mload tm addr start) )
   | Instr.Ist (m, s) ->
@@ -967,31 +1041,30 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     ( (fun st ->
         let addr = ea st.gpr mb mx msc mdp in
         check_bounds st addr 8;
-        Bytes.set_int64_le st.memm addr (Int64.of_int st.gpr.(si))),
-      fun st tm ->
+        uset64 st.memm addr (Int64.of_int (gu st si))),
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         check_bounds st addr 8;
-        Bytes.set_int64_le st.memm addr (Int64.of_int st.gpr.(si));
+        uset64 st.memm addr (Int64.of_int (gu st si));
         let start =
-          acquire tm u_store
+          acquire1 tm u_store
             ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
-            ~uops:1
         in
         mstore tm addr start;
         retire tm (start +. 1.0) )
   | Instr.Imov (d, s) ->
     let di = slot d and dc = d.Reg.cls and si = slot s and sc = s.Reg.cls in
-    ( (fun st -> st.gpr.(di) <- st.gpr.(si)),
-      fun st tm ->
-        st.gpr.(di) <- st.gpr.(si);
-        let start = acquire tm u_alu ~srcs:(rd tm sc si) ~uops:1 in
+    ( (fun st -> gput st di @@ (gu st si)),
+      fun tm -> let st = tm.tstate in
+        gput st di @@ (gu st si);
+        let start = acquire1 tm u_alu ~srcs:(rd tm sc si) in
         wr tm dc di (start +. 1.0) )
   | Instr.Ildi (d, v) ->
     let di = slot d and dc = d.Reg.cls in
-    ( (fun st -> st.gpr.(di) <- v),
-      fun st tm ->
-        st.gpr.(di) <- v;
-        let start = acquire tm u_alu ~srcs:0.0 ~uops:1 in
+    ( (fun st -> gput st di @@ v),
+      fun tm -> let st = tm.tstate in
+        gput st di @@ v;
+        let start = acquire1 tm u_alu ~srcs:0.0 in
         wr tm dc di (start +. 1.0) )
   | Instr.Iop (op, d, a, b) ->
     let di = slot d and dc = d.Reg.cls and ai = slot a and ac = a.Reg.cls in
@@ -999,28 +1072,28 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     (match b with
     | Instr.Oreg r ->
       let bi = slot r and bc = r.Reg.cls in
-      ( (fun st -> st.gpr.(di) <- iop_x op st.gpr.(ai) st.gpr.(bi)),
-        fun st tm ->
-          st.gpr.(di) <- iop_x op st.gpr.(ai) st.gpr.(bi);
+      ( (fun st -> gput st di @@ iop_x op (gu st ai) (gu st bi)),
+        fun tm -> let st = tm.tstate in
+          gput st di @@ iop_x op (gu st ai) (gu st bi);
           let start =
-            acquire tm u_alu ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:1
+            acquire1 tm u_alu ~srcs:(fmax (rd tm ac ai) (rd tm bc bi))
           in
           wr tm dc di (start +. lat) )
     | Instr.Oimm k ->
-      ( (fun st -> st.gpr.(di) <- iop_x op st.gpr.(ai) k),
-        fun st tm ->
-          st.gpr.(di) <- iop_x op st.gpr.(ai) k;
-          let start = acquire tm u_alu ~srcs:(rd tm ac ai) ~uops:1 in
+      ( (fun st -> gput st di @@ iop_x op (gu st ai) k),
+        fun tm -> let st = tm.tstate in
+          gput st di @@ iop_x op (gu st ai) k;
+          let start = acquire1 tm u_alu ~srcs:(rd tm ac ai) in
           wr tm dc di (start +. lat) ))
   | Instr.Lea (d, m) ->
     let mb, mx, msc, mdp = maddr m in
     let c1, s1, c2, s2 = mready m in
     let di = slot d and dc = d.Reg.cls in
-    ( (fun st -> st.gpr.(di) <- ea st.gpr mb mx msc mdp),
-      fun st tm ->
-        st.gpr.(di) <- ea st.gpr mb mx msc mdp;
+    ( (fun st -> gput st di @@ ea st.gpr mb mx msc mdp),
+      fun tm -> let st = tm.tstate in
+        gput st di @@ ea st.gpr mb mx msc mdp;
         let start =
-          acquire tm u_alu ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          acquire1 tm u_alu ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
         in
         wr tm dc di (start +. 1.0) )
   | Instr.Fld (sz, d, m) ->
@@ -1034,13 +1107,13 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           zero16 st.xmm xo;
           check_bounds st addr 8;
           setd st.xmm xo (getd st.memm addr)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           zero16 st.xmm xo;
           check_bounds st addr 8;
           setd st.xmm xo (getd st.memm addr);
           let start =
-            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+            acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
           in
           wr tm dc di (mload tm addr start) )
     | Instr.S ->
@@ -1049,13 +1122,13 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           zero16 st.xmm xo;
           check_bounds st addr 4;
           sets st.xmm xo (gets st.memm addr)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           zero16 st.xmm xo;
           check_bounds st addr 4;
           sets st.xmm xo (gets st.memm addr);
           let start =
-            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+            acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
           in
           wr tm dc di (mload tm addr start) ))
   | Instr.Fst (sz, m, s) ->
@@ -1068,14 +1141,13 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 8;
           setd st.memm addr (getd st.xmm so)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 8;
           setd st.memm addr (getd st.xmm so);
           let start =
-            acquire tm u_store
+            acquire1 tm u_store
               ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
-              ~uops:1
           in
           mstore tm addr start;
           retire tm (start +. 1.0) )
@@ -1084,14 +1156,13 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 4;
           sets st.memm addr (gets st.xmm so)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 4;
           sets st.memm addr (gets st.xmm so);
           let start =
-            acquire tm u_store
+            acquire1 tm u_store
               ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
-              ~uops:1
           in
           mstore tm addr start;
           retire tm (start +. 1.0) ))
@@ -1106,40 +1177,38 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 8;
           setd st.memm addr (getd st.xmm so)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 8;
           setd st.memm addr (getd st.xmm so);
           let start =
-            acquire tm u_store
+            acquire1 tm u_store
               ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
-              ~uops:1
           in
-          Memsys.nt_store tm.ms ~addr ~bytes ~now:start;
+          mnt_store tm addr ~bytes start;
           retire tm (start +. 1.0) )
     | Instr.S ->
       ( (fun st ->
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 4;
           sets st.memm addr (gets st.xmm so)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 4;
           sets st.memm addr (gets st.xmm so);
           let start =
-            acquire tm u_store
+            acquire1 tm u_store
               ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
-              ~uops:1
           in
-          Memsys.nt_store tm.ms ~addr ~bytes ~now:start;
+          mnt_store tm addr ~bytes start;
           retire tm (start +. 1.0) ))
   | Instr.Fmov (_, d, s) | Instr.Vmov (_, d, s) ->
     let doff = xoff d and soff = xoff s in
     let di = slot d and dc = d.Reg.cls and si = slot s and sc = s.Reg.cls in
     ( (fun st -> copy16 st.xmm doff st.xmm soff),
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         copy16 st.xmm doff st.xmm soff;
-        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
         wr tm dc di (start +. 1.0) )
   | Instr.Fldi (sz, d, c) ->
     let xo = xoff d and di = slot d and dc = d.Reg.cls in
@@ -1150,17 +1219,17 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
         let bits = Int64.bits_of_float c in
         fun st ->
           zero16 st.xmm xo;
-          Bytes.set_int64_le st.xmm xo bits
+          uset64 st.xmm xo bits
       | Instr.S ->
         let bits = Int32.bits_of_float c in
         fun st ->
           zero16 st.xmm xo;
-          Bytes.set_int32_le st.xmm xo bits
+          uset32 st.xmm xo bits
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
-        let start = acquire tm u_load ~srcs:0.0 ~uops:1 in
+        let start = acquire1 tm u_load ~srcs:0.0 in
         wr tm dc di (start +. tm.l1_l) )
   | Instr.Fop (sz, op, d, a, b) ->
     let ao = xoff a and bo = xoff b and dxo = xoff d in
@@ -1171,18 +1240,18 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     (match sz with
     | Instr.D ->
       ( (fun st -> setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.xmm bo))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.xmm bo));
           let start =
-            acquire tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:1
+            acquire1 tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi))
           in
           wr tm dc di (start +. flat tm op) )
     | Instr.S ->
       ( (fun st -> sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.xmm bo))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.xmm bo));
           let start =
-            acquire tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:1
+            acquire1 tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi))
           in
           wr tm dc di (start +. flat tm op) ))
   | Instr.Fopm (sz, op, d, a, m) ->
@@ -1198,30 +1267,30 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 8;
           setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.memm addr))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 8;
           setd st.xmm dxo (fop_x op (getd st.xmm ao) (getd st.memm addr));
           let lstart =
-            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+            acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
           in
           let data = mload tm addr lstart in
-          let start = acquire tm unit_ ~srcs:(fmax data (rd tm ac ai)) ~uops:1 in
+          let start = acquire1 tm unit_ ~srcs:(fmax data (rd tm ac ai)) in
           wr tm dc di (start +. flat tm op) )
     | Instr.S ->
       ( (fun st ->
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 4;
           sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.memm addr))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           let addr = ea st.gpr mb mx msc mdp in
           check_bounds st addr 4;
           sets st.xmm dxo (fop_x op (gets st.xmm ao) (gets st.memm addr));
           let lstart =
-            acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+            acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
           in
           let data = mload tm addr lstart in
-          let start = acquire tm unit_ ~srcs:(fmax data (rd tm ac ai)) ~uops:1 in
+          let start = acquire1 tm unit_ ~srcs:(fmax data (rd tm ac ai)) in
           wr tm dc di (start +. flat tm op) ))
   | Instr.Fabs (sz, d, s) ->
     let so = xoff s and dxo = xoff d in
@@ -1229,15 +1298,15 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     (match sz with
     | Instr.D ->
       ( (fun st -> setd st.xmm dxo (Float.abs (getd st.xmm so))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           setd st.xmm dxo (Float.abs (getd st.xmm so));
-          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
           wr tm dc di (start +. 1.0) )
     | Instr.S ->
       ( (fun st -> sets st.xmm dxo (Float.abs (gets st.xmm so))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           sets st.xmm dxo (Float.abs (gets st.xmm so));
-          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
           wr tm dc di (start +. 1.0) ))
   | Instr.Fsqrt (sz, d, s) ->
     let so = xoff s and dxo = xoff d in
@@ -1245,16 +1314,16 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     (match sz with
     | Instr.D ->
       ( (fun st -> setd st.xmm dxo (Float.sqrt (getd st.xmm so))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           setd st.xmm dxo (Float.sqrt (getd st.xmm so));
           (* square root shares the unpipelined divider *)
-          let start = acquire tm u_fpdiv ~srcs:(rd tm sc si) ~uops:1 in
+          let start = acquire1 tm u_fpdiv ~srcs:(rd tm sc si) in
           wr tm dc di (start +. tm.fdiv_l) )
     | Instr.S ->
       ( (fun st -> sets st.xmm dxo (Float.sqrt (gets st.xmm so))),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           sets st.xmm dxo (Float.sqrt (gets st.xmm so));
-          let start = acquire tm u_fpdiv ~srcs:(rd tm sc si) ~uops:1 in
+          let start = acquire1 tm u_fpdiv ~srcs:(rd tm sc si) in
           wr tm dc di (start +. tm.fdiv_l) ))
   | Instr.Fneg (sz, d, s) ->
     let so = xoff s and dxo = xoff d in
@@ -1262,15 +1331,15 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     (match sz with
     | Instr.D ->
       ( (fun st -> setd st.xmm dxo (-.getd st.xmm so)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           setd st.xmm dxo (-.getd st.xmm so);
-          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
           wr tm dc di (start +. 1.0) )
     | Instr.S ->
       ( (fun st -> sets st.xmm dxo (-.gets st.xmm so)),
-        fun st tm ->
+        fun tm -> let st = tm.tstate in
           sets st.xmm dxo (-.gets st.xmm so);
-          let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+          let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
           wr tm dc di (start +. 1.0) ))
   | Instr.Vld (_, d, m) ->
     let mb, mx, msc, mdp = maddr m in
@@ -1280,12 +1349,12 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
         let addr = ea st.gpr mb mx msc mdp in
         check_vec_access st ~what:"load" addr;
         copy16 st.xmm doff st.memm addr),
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         check_vec_access st ~what:"load" addr;
         copy16 st.xmm doff st.memm addr;
         let start =
-          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
         in
         wr tm dc di (mload tm addr start) )
   | Instr.Vst (_, m, s) ->
@@ -1296,14 +1365,13 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
         let addr = ea st.gpr mb mx msc mdp in
         check_vec_access st ~what:"store" addr;
         copy16 st.memm addr st.xmm soff),
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         check_vec_access st ~what:"store" addr;
         copy16 st.memm addr st.xmm soff;
         let start =
-          acquire tm u_store
+          acquire1 tm u_store
             ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
-            ~uops:1
         in
         mstore tm addr start;
         retire tm (start +. 1.0) )
@@ -1315,16 +1383,15 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
         let addr = ea st.gpr mb mx msc mdp in
         check_vec_access st ~what:"store" addr;
         copy16 st.memm addr st.xmm soff),
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         check_vec_access st ~what:"store" addr;
         copy16 st.memm addr st.xmm soff;
         let start =
-          acquire tm u_store
+          acquire1 tm u_store
             ~srcs:(fmax (rd tm sc si) (fmax (rd tm c1 s1) (rd tm c2 s2)))
-            ~uops:1
         in
-        Memsys.nt_store tm.ms ~addr ~bytes:16 ~now:start;
+        mnt_store tm addr ~bytes:16 start;
         retire tm (start +. 1.0) )
   | Instr.Vbcast (sz, d, s) ->
     let so = xoff s and dxo = xoff d in
@@ -1333,21 +1400,21 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
       match sz with
       | Instr.D ->
         fun st ->
-          let bits = Bytes.get_int64_le st.xmm so in
-          Bytes.set_int64_le st.xmm dxo bits;
-          Bytes.set_int64_le st.xmm (dxo + 8) bits
+          let bits = uget64 st.xmm so in
+          uset64 st.xmm dxo bits;
+          uset64 st.xmm (dxo + 8) bits
       | Instr.S ->
         fun st ->
-          let bits = Bytes.get_int32_le st.xmm so in
-          Bytes.set_int32_le st.xmm dxo bits;
-          Bytes.set_int32_le st.xmm (dxo + 4) bits;
-          Bytes.set_int32_le st.xmm (dxo + 8) bits;
-          Bytes.set_int32_le st.xmm (dxo + 12) bits
+          let bits = uget32 st.xmm so in
+          uset32 st.xmm dxo bits;
+          uset32 st.xmm (dxo + 4) bits;
+          uset32 st.xmm (dxo + 8) bits;
+          uset32 st.xmm (dxo + 12) bits
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
-        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
         wr tm dc di (start +. 2.0) )
   | Instr.Vldi (sz, d, c) ->
     let dxo = xoff d and di = slot d and dc = d.Reg.cls in
@@ -1356,20 +1423,20 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
       | Instr.D ->
         let bits = Int64.bits_of_float c in
         fun st ->
-          Bytes.set_int64_le st.xmm dxo bits;
-          Bytes.set_int64_le st.xmm (dxo + 8) bits
+          uset64 st.xmm dxo bits;
+          uset64 st.xmm (dxo + 8) bits
       | Instr.S ->
         let bits = Int32.bits_of_float c in
         fun st ->
-          Bytes.set_int32_le st.xmm dxo bits;
-          Bytes.set_int32_le st.xmm (dxo + 4) bits;
-          Bytes.set_int32_le st.xmm (dxo + 8) bits;
-          Bytes.set_int32_le st.xmm (dxo + 12) bits
+          uset32 st.xmm dxo bits;
+          uset32 st.xmm (dxo + 4) bits;
+          uset32 st.xmm (dxo + 8) bits;
+          uset32 st.xmm (dxo + 12) bits
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
-        let start = acquire tm u_load ~srcs:0.0 ~uops:1 in
+        let start = acquire1 tm u_load ~srcs:0.0 in
         wr tm dc di (start +. tm.l1_l) )
   | Instr.Vop (sz, op, d, a, b) ->
     let ao = xoff a and bo = xoff b and dxo = xoff d in
@@ -1393,7 +1460,7 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           sets x (dxo + 12) (fop_x op (gets x (ao + 12)) (gets x (bo + 12)))
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
         let start =
           acquire tm unit_ ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:tm.vuops
@@ -1427,11 +1494,11 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           sets x (dxo + 12) (fop_x op (gets x (ao + 12)) (gets mm (addr + 12)))
     in
     ( (fun st -> sem st (ea st.gpr mb mx msc mdp)),
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         sem st addr;
         let lstart =
-          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
         in
         let data = mload tm addr lstart in
         let start =
@@ -1457,7 +1524,7 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           sets x (dxo + 12) (Float.abs (gets x (so + 12)))
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
         let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:tm.vuops in
         wr tm dc di (start +. 1.0) )
@@ -1480,7 +1547,7 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           sets x (dxo + 12) (Float.sqrt (gets x (so + 12)))
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
         let start = acquire tm u_fpdiv ~srcs:(rd tm sc si) ~uops:tm.vuops in
         wr tm dc di (start +. tm.fdiv_l) )
@@ -1495,20 +1562,20 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
         fun st ->
           let x = st.xmm in
           let t0 = cmpf_x cmp (getd x ao) (getd x bo) in
-          Bytes.set_int64_le x doff (if t0 then Int64.minus_one else 0L);
+          uset64 x doff (if t0 then Int64.minus_one else 0L);
           let t1 = cmpf_x cmp (getd x (ao + 8)) (getd x (bo + 8)) in
-          Bytes.set_int64_le x (doff + 8) (if t1 then Int64.minus_one else 0L)
+          uset64 x (doff + 8) (if t1 then Int64.minus_one else 0L)
       | Instr.S ->
         fun st ->
           let x = st.xmm in
           for lane = 0 to 3 do
             let o = lane * 4 in
             let t = cmpf_x cmp (gets x (ao + o)) (gets x (bo + o)) in
-            Bytes.set_int32_le x (doff + o) (if t then Int32.minus_one else 0l)
+            uset32 x (doff + o) (if t then Int32.minus_one else 0l)
           done
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
         let start =
           acquire tm u_fpadd ~srcs:(fmax (rd tm ac ai) (rd tm bc bi)) ~uops:tm.vuops
@@ -1527,12 +1594,12 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
             let top =
               Int64.to_int
                 (Int64.shift_right_logical
-                   (Bytes.get_int64_le st.xmm (soff + (lane * 8)))
+                   (uget64 st.xmm (soff + (lane * 8)))
                    63)
             in
             if top land 1 = 1 then mask := !mask lor (1 lsl lane)
           done;
-          st.gpr.(di) <- !mask
+          gput st di @@ !mask
       | Instr.S ->
         fun st ->
           let mask = ref 0 in
@@ -1540,17 +1607,17 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
             let top =
               Int32.to_int
                 (Int32.shift_right_logical
-                   (Bytes.get_int32_le st.xmm (soff + (lane * 4)))
+                   (uget32 st.xmm (soff + (lane * 4)))
                    31)
             in
             if top land 1 = 1 then mask := !mask lor (1 lsl lane)
           done;
-          st.gpr.(di) <- !mask
+          gput st di @@ !mask
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
-        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
         wr tm dc di (start +. 2.0) )
   | Instr.Vextract (sz, d, s, lane) ->
     (* pure bit move: float_of_bits/bits_of_float round-trips are the
@@ -1562,20 +1629,20 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
       | Instr.D ->
         let so = xoff s + (lane * 8) in
         fun st ->
-          let bits = Bytes.get_int64_le st.xmm so in
+          let bits = uget64 st.xmm so in
           zero16 st.xmm doff;
-          Bytes.set_int64_le st.xmm doff bits
+          uset64 st.xmm doff bits
       | Instr.S ->
         let so = xoff s + (lane * 4) in
         fun st ->
-          let bits = Bytes.get_int32_le st.xmm so in
+          let bits = uget32 st.xmm so in
           zero16 st.xmm doff;
-          Bytes.set_int32_le st.xmm doff bits
+          uset32 st.xmm doff bits
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
-        let start = acquire tm u_fpadd ~srcs:(rd tm sc si) ~uops:1 in
+        let start = acquire1 tm u_fpadd ~srcs:(rd tm sc si) in
         wr tm dc di (start +. 2.0) )
   | Instr.Vreduce (sz, op, d, s) ->
     let so = xoff s and doff = xoff d in
@@ -1601,7 +1668,7 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
           sets x doff acc
     in
     ( sem,
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         sem st;
         let start = acquire tm unit_ ~srcs:(rd tm sc si) ~uops:2 in
         wr tm dc di (start +. (2.0 *. flat tm op)) )
@@ -1610,26 +1677,26 @@ let decode_instr (ins : Instr.t) : (state -> unit) * (state -> timing -> unit) =
     let c1, s1, c2, s2 = mready m in
     let bytes = Instr.fsize_bytes sz in
     ( (fun st -> check_bounds st (ea st.gpr mb mx msc mdp) bytes),
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         check_bounds st addr bytes;
         let start =
-          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
         in
         retire tm (mload tm addr start) )
   | Instr.Prefetch (kind, m) ->
     let mb, mx, msc, mdp = maddr m in
     let c1, s1, c2, s2 = mready m in
     ( (fun _ -> ()),
-      fun st tm ->
+      fun tm -> let st = tm.tstate in
         let addr = ea st.gpr mb mx msc mdp in
         let start =
-          acquire tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2)) ~uops:1
+          acquire1 tm u_load ~srcs:(fmax (rd tm c1 s1) (rd tm c2 s2))
         in
         if addr >= 0 && addr < Bytes.length st.memm then
-          Memsys.prefetch tm.ms ~kind ~addr ~now:start;
+          mprefetch tm addr ~kind start;
         retire tm (start +. 1.0) )
-  | Instr.Nop -> ((fun _ -> ()), fun _ _ -> ())
+  | Instr.Nop -> ((fun _ -> ()), fun _ -> ())
 
 (* Jump targets resolve to block indices at decode time; an unresolved
    label compiles to a closure that traps only when executed, so a
@@ -1651,7 +1718,7 @@ let decode_term ~bi ~lmap ~ret (t : Block.term) :
     let goto = goto_fn lmap l in
     ( goto,
       fun st tm _pred ->
-        let start = acquire tm u_branch ~srcs:0.0 ~uops:1 in
+        let start = acquire1 tm u_branch ~srcs:0.0 in
         retire tm (start +. 1.0);
         goto st )
   | Block.Br { cmp; lhs; rhs; ifso; ifnot; dec } ->
@@ -1661,13 +1728,13 @@ let decode_term ~bi ~lmap ~ret (t : Block.term) :
     | Instr.Oreg r ->
       let ri = slot r and rc = r.Reg.cls in
       ( (fun st ->
-          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
-          if cmpi_x cmp st.gpr.(li) st.gpr.(ri) then g_so st else g_not st),
+          if dec > 0 then gput st li @@ (gu st li) - dec;
+          if cmpi_x cmp (gu st li) (gu st ri) then g_so st else g_not st),
         fun st tm pred ->
-          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
-          let taken = cmpi_x cmp st.gpr.(li) st.gpr.(ri) in
+          if dec > 0 then gput st li @@ (gu st li) - dec;
+          let taken = cmpi_x cmp (gu st li) (gu st ri) in
           let start =
-            acquire tm u_branch ~srcs:(fmax (rd tm lc li) (rd tm rc ri)) ~uops:1
+            acquire1 tm u_branch ~srcs:(fmax (rd tm lc li) (rd tm rc ri))
           in
           let resolve = start +. 1.0 in
           if dec > 0 then wr tm lc li resolve else retire tm resolve;
@@ -1678,12 +1745,12 @@ let decode_term ~bi ~lmap ~ret (t : Block.term) :
           if taken then g_so st else g_not st )
     | Instr.Oimm k ->
       ( (fun st ->
-          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
-          if cmpi_x cmp st.gpr.(li) k then g_so st else g_not st),
+          if dec > 0 then gput st li @@ (gu st li) - dec;
+          if cmpi_x cmp (gu st li) k then g_so st else g_not st),
         fun st tm pred ->
-          if dec > 0 then st.gpr.(li) <- st.gpr.(li) - dec;
-          let taken = cmpi_x cmp st.gpr.(li) k in
-          let start = acquire tm u_branch ~srcs:(rd tm lc li) ~uops:1 in
+          if dec > 0 then gput st li @@ (gu st li) - dec;
+          let taken = cmpi_x cmp (gu st li) k in
+          let start = acquire1 tm u_branch ~srcs:(rd tm lc li) in
           let resolve = start +. 1.0 in
           if dec > 0 then wr tm lc li resolve else retire tm resolve;
           let predicted = match pred.(bi) with -1 -> true | p -> p = 1 in
@@ -1718,6 +1785,166 @@ let decode_term ~bi ~lmap ~ret (t : Block.term) :
     let code = -1 - ret r in
     ((fun _ -> code), fun _ _ _ -> code)
 
+(* ------------------------------------------------------------------ *)
+(* Superblock fusion.
+
+   The timed engine's hot loop used to make one indirect call per
+   instruction: [for i = 0 to n-1 do code.(i) st tm done].  Fusing a
+   block's straight-line run into a single closure turns that into one
+   dispatch per block — the calls between consecutive instructions
+   become direct (known) calls inside the fused closure's body.
+
+   The combinators below just sequence their arguments, so the fused
+   closure executes the exact same closures in the exact same order as
+   the per-instruction loop; a trap raised by instruction [i]
+   propagates after instructions [0..i-1] ran, same as before.  Lists
+   longer than eight are split into at most eight near-equal chunks
+   and fused recursively (arity-8 trees), so dispatch overhead is
+   O(n/8 + log n) calls per block instead of n.
+
+   The per-instruction arrays are kept alongside: the budget slow path
+   needs to count and trap at instruction granularity. *)
+
+let[@inline] pseq2 a b = fun st -> a st; b st
+let[@inline] pseq3 a b c = fun st -> a st; b st; c st
+let[@inline] pseq4 a b c d = fun st -> a st; b st; c st; d st
+let[@inline] pseq5 a b c d e = fun st -> a st; b st; c st; d st; e st
+let[@inline] pseq6 a b c d e f = fun st -> a st; b st; c st; d st; e st; f st
+let[@inline] pseq7 a b c d e f g =
+ fun st ->
+  a st;
+  b st;
+  c st;
+  d st;
+  e st;
+  f st;
+  g st
+
+let[@inline] pseq8 a b c d e f g h =
+ fun st ->
+  a st;
+  b st;
+  c st;
+  d st;
+  e st;
+  f st;
+  g st;
+  h st
+
+let[@inline] tseq2 a b = fun tm -> a tm; b tm
+let[@inline] tseq3 a b c = fun tm -> a tm; b tm; c tm
+let[@inline] tseq4 a b c d = fun tm -> a tm; b tm; c tm; d tm
+let[@inline] tseq5 a b c d e = fun tm -> a tm; b tm; c tm; d tm; e tm
+let[@inline] tseq6 a b c d e f = fun tm -> a tm; b tm; c tm; d tm; e tm; f tm
+
+let[@inline] tseq7 a b c d e f g =
+ fun tm ->
+  a tm;
+  b tm;
+  c tm;
+  d tm;
+  e tm;
+  f tm;
+  g tm
+
+let[@inline] tseq8 a b c d e f g h =
+ fun tm ->
+  a tm;
+  b tm;
+  c tm;
+  d tm;
+  e tm;
+  f tm;
+  g tm;
+  h tm
+
+let rec fuse_pure (code : (state -> unit) array) lo hi =
+  let n = hi - lo in
+  if n <= 8 then
+    match n with
+    | 0 -> fun _ -> ()
+    | 1 -> Array.unsafe_get code lo
+    | 2 -> pseq2 code.(lo) code.(lo + 1)
+    | 3 -> pseq3 code.(lo) code.(lo + 1) code.(lo + 2)
+    | 4 -> pseq4 code.(lo) code.(lo + 1) code.(lo + 2) code.(lo + 3)
+    | 5 -> pseq5 code.(lo) code.(lo + 1) code.(lo + 2) code.(lo + 3) code.(lo + 4)
+    | 6 ->
+      pseq6 code.(lo)
+        code.(lo + 1)
+        code.(lo + 2)
+        code.(lo + 3)
+        code.(lo + 4)
+        code.(lo + 5)
+    | 7 ->
+      pseq7 code.(lo)
+        code.(lo + 1)
+        code.(lo + 2)
+        code.(lo + 3)
+        code.(lo + 4)
+        code.(lo + 5)
+        code.(lo + 6)
+    | _ ->
+      pseq8 code.(lo)
+        code.(lo + 1)
+        code.(lo + 2)
+        code.(lo + 3)
+        code.(lo + 4)
+        code.(lo + 5)
+        code.(lo + 6)
+        code.(lo + 7)
+  else begin
+    (* at most eight chunks of ceil(n/8) each, fused bottom-up *)
+    let k = (n + 7) / 8 in
+    let parts =
+      Array.init ((n + k - 1) / k) (fun i ->
+          fuse_pure code (lo + (i * k)) (min hi (lo + ((i + 1) * k))))
+    in
+    fuse_pure parts 0 (Array.length parts)
+  end
+
+let rec fuse_timed (code : (timing -> unit) array) lo hi =
+  let n = hi - lo in
+  if n <= 8 then
+    match n with
+    | 0 -> fun _ -> ()
+    | 1 -> Array.unsafe_get code lo
+    | 2 -> tseq2 code.(lo) code.(lo + 1)
+    | 3 -> tseq3 code.(lo) code.(lo + 1) code.(lo + 2)
+    | 4 -> tseq4 code.(lo) code.(lo + 1) code.(lo + 2) code.(lo + 3)
+    | 5 -> tseq5 code.(lo) code.(lo + 1) code.(lo + 2) code.(lo + 3) code.(lo + 4)
+    | 6 ->
+      tseq6 code.(lo)
+        code.(lo + 1)
+        code.(lo + 2)
+        code.(lo + 3)
+        code.(lo + 4)
+        code.(lo + 5)
+    | 7 ->
+      tseq7 code.(lo)
+        code.(lo + 1)
+        code.(lo + 2)
+        code.(lo + 3)
+        code.(lo + 4)
+        code.(lo + 5)
+        code.(lo + 6)
+    | _ ->
+      tseq8 code.(lo)
+        code.(lo + 1)
+        code.(lo + 2)
+        code.(lo + 3)
+        code.(lo + 4)
+        code.(lo + 5)
+        code.(lo + 6)
+        code.(lo + 7)
+  else begin
+    let k = (n + 7) / 8 in
+    let parts =
+      Array.init ((n + k - 1) / k) (fun i ->
+          fuse_timed code (lo + (i * k)) (min hi (lo + ((i + 1) * k))))
+    in
+    fuse_timed parts 0 (Array.length parts)
+  end
+
 let compile (f : Cfg.func) : compiled =
   let blocks = Array.of_list f.Cfg.blocks in
   (* Hashtbl.replace in block order: with duplicate labels the last
@@ -1747,9 +1974,15 @@ let compile (f : Cfg.func) : compiled =
       (fun bi b ->
         let decoded = List.map decode_instr b.Block.instrs in
         let pterm, tterm = decode_term ~bi ~lmap ~ret b.Block.term in
+        let c_pure = Array.of_list (List.map fst decoded) in
+        let c_timed = Array.of_list (List.map snd decoded) in
+        let n = Array.length c_pure in
         {
-          c_pure = Array.of_list (List.map fst decoded);
-          c_timed = Array.of_list (List.map snd decoded);
+          c_pure;
+          c_timed;
+          c_pure_all = fuse_pure c_pure 0 n;
+          c_timed_all = fuse_timed c_timed 0 n;
+          c_len = n;
           c_pterm = pterm;
           c_tterm = tterm;
         })
@@ -1812,45 +2045,44 @@ let exec ?timing ?(max_instrs = 200_000_000) ?(ret_fsize = Instr.D) (c : compile
   | None ->
     let rec go bi =
       let b = Array.unsafe_get blocks bi in
-      let code = b.c_pure in
-      let n = Array.length code in
+      let n = b.c_len in
       if n <= max_instrs - !icount then begin
         icount := !icount + n;
-        for i = 0 to n - 1 do
-          (Array.unsafe_get code i) st
-        done
+        b.c_pure_all st
       end
-      else
+      else begin
+        let code = b.c_pure in
         for i = 0 to n - 1 do
           incr icount;
           if !icount > max_instrs then trap "instruction budget exceeded";
           (Array.unsafe_get code i) st
-        done;
+        done
+      end;
       let nxt = b.c_pterm st in
       if nxt >= 0 then go nxt else nxt
     in
     finish (go c.c_entry) None
   | Some (cfg, ms) ->
     let tm = make_timing cfg ms in
+    tm.tstate <- st;
     ensure_ready tm Reg.Gpr (c.c_ngpr - 1);
     ensure_ready tm Reg.Xmm (c.c_nxmm - 1);
     let pred = Array.make (Array.length blocks) (-1) in
     let rec go bi =
       let b = Array.unsafe_get blocks bi in
-      let code = b.c_timed in
-      let n = Array.length code in
+      let n = b.c_len in
       if n <= max_instrs - !icount then begin
         icount := !icount + n;
-        for i = 0 to n - 1 do
-          (Array.unsafe_get code i) st tm
-        done
+        b.c_timed_all tm
       end
-      else
+      else begin
+        let code = b.c_timed in
         for i = 0 to n - 1 do
           incr icount;
           if !icount > max_instrs then trap "instruction budget exceeded";
-          (Array.unsafe_get code i) st tm
-        done;
+          (Array.unsafe_get code i) tm
+        done
+      end;
       let nxt = b.c_tterm st tm pred in
       if nxt >= 0 then go nxt else nxt
     in

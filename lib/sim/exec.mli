@@ -50,6 +50,13 @@ val compile : Cfg.func -> compiled
 val func : compiled -> Cfg.func
 (** The function a {!compiled} was decoded from. *)
 
+val fusion : compiled -> int * int
+(** [(blocks, instrs)]: how many straight-line bodies were fused into
+    superblock closures and how many instructions they cover.  The
+    engines make one closure dispatch per body on the (common)
+    within-budget path instead of one per instruction; reported by the
+    [--profile] modes of the bench driver and [ifko sim]. *)
+
 val exec :
   ?timing:Ifko_machine.Config.t * Ifko_machine.Memsys.t ->
   ?max_instrs:int ->

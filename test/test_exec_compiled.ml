@@ -54,7 +54,7 @@ let outcome_to_string = function
 (* Run the same function on identically-built environments through
    both engines and insist on identical observable outcomes
    (including traps, message for message). *)
-let run_both ?max_instrs ~timed ~ret_fsize what func mkenv =
+let run_both ?max_instrs ?(cfg = cfg) ~timed ~ret_fsize what func mkenv =
   let timing ms = if timed then Some (cfg, ms) else None in
   let fresh_ms () =
     let ms = Memsys.create cfg in
@@ -84,7 +84,7 @@ let run_both ?max_instrs ~timed ~ret_fsize what func mkenv =
 
 (* ---------- BLAS suite: kernels x contexts x timed/untimed ---------- *)
 
-let timed_context context func spec n what =
+let timed_context ?(cfg = cfg) context func spec n what =
   (* Mirror Timer.run_once exactly for each engine, with its own
      memory system. *)
   let run exec_one =
@@ -159,6 +159,112 @@ let test_blas_equivalence () =
         points)
     Defs.all
 
+(* ---------- adversarial cache geometries ---------- *)
+
+(* Geometries chosen to defeat the memory system's acceleration state:
+   direct-mapped caches (the MRU way filter is the whole set, so every
+   conflict evicts through it), a tiny L1 (constant capacity misses and
+   eviction/writeback traffic at sizes the default geometry absorbs),
+   and a 16-byte L1 line under a 128-byte L2 line (one L2 fill spans
+   eight L1 lines, stressing the inclusive fill paths).  The engines
+   must stay bit-identical on all of them. *)
+let adversarial_cfgs =
+  [ ( "assoc1",
+      { Config.p4e with
+        Config.name = "p4e-assoc1";
+        l1 = { Config.p4e.Config.l1 with Config.assoc = 1 };
+        l2 = { Config.p4e.Config.l2 with Config.assoc = 1 }
+      } );
+    ( "tinyL1",
+      { Config.p4e with
+        Config.name = "p4e-tinyL1";
+        l1 = { Config.size = 1024; line = 64; assoc = 2; latency = 1 }
+      } );
+    ( "line16",
+      { Config.p4e with
+        Config.name = "p4e-line16";
+        l1 = { Config.size = 4096; line = 16; assoc = 2; latency = 1 }
+      } );
+  ]
+
+let test_adversarial_geometries () =
+  List.iter
+    (fun id ->
+      let name = Defs.name id in
+      let spec = Workload.timer_spec id ~seed in
+      let _, tuned, _ = blas_funcs id in
+      List.iter
+        (fun (gname, acfg) ->
+          run_both ~cfg:acfg ~timed:true ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize
+            (Printf.sprintf "%s %s timed n=257" name gname)
+            tuned
+            (fun () -> spec.Ifko_sim.Timer.make_env 257);
+          List.iter
+            (fun (cname, context) ->
+              timed_context ~cfg:acfg context tuned spec 257
+                (Printf.sprintf "%s %s timed %s n=257" name gname cname))
+            [ ("oc", Ifko_sim.Timer.Out_of_cache); ("l2", Ifko_sim.Timer.In_l2) ])
+        adversarial_cfgs)
+    [ { Defs.routine = Defs.Axpy; prec = Instr.D };
+      { Defs.routine = Defs.Copy; prec = Instr.S };
+      { Defs.routine = Defs.Iamax; prec = Instr.D };
+    ]
+
+(* ---------- memory-system reset and reuse ---------- *)
+
+(* Timer/Driver reuse one memory system across thousands of probes
+   (Memsys.reset per repetition), so a reused instance must be
+   bit-identical to a fresh one — including after churn has populated
+   the MRU filters, the touched-way logs and the in-flight table. *)
+let test_reset_reuse_identity () =
+  let id = { Defs.routine = Defs.Axpy; prec = Instr.D } in
+  let spec = Workload.timer_spec id ~seed in
+  let _, tuned, _ = blas_funcs id in
+  let cf = Exec.compile tuned in
+  let rfs = spec.Ifko_sim.Timer.ret_fsize in
+  let run ms n =
+    let env = spec.Ifko_sim.Timer.make_env n in
+    Memsys.reset ms ~flush:true;
+    (Exec.exec ~timing:(cfg, ms) ~ret_fsize:rfs cf env, env)
+  in
+  let ms = Memsys.create cfg in
+  let r_fresh, env_fresh = run ms 257 in
+  (* churn: different problem size, then an In_l2-style warm, leaving
+     in-flight fills, touched ways and MRU hints populated *)
+  let (_ : Exec.result * Env.t) = run ms 130 in
+  Env.iter_array_lines (spec.Ifko_sim.Timer.make_env 130) ~line:cfg.Config.l2.Config.line
+    (fun addr -> Memsys.warm_l2 ms ~addr);
+  let r_reused, env_reused = run ms 257 in
+  check_same_result "reused memsys after churn" r_fresh r_reused;
+  check_same_memory "reused memsys after churn" env_fresh env_reused
+
+(* reset ~flush:false keeps cache contents (the warm-cache episodes the
+   context-adaptation example runs): both engines must agree under the
+   same reuse pattern, and the warm second episode must not be slower
+   than the cold first. *)
+let test_reset_noflush_episodes () =
+  let id = { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let spec = Workload.timer_spec id ~seed in
+  let _, tuned, _ = blas_funcs id in
+  let cf = Exec.compile tuned in
+  let rfs = spec.Ifko_sim.Timer.ret_fsize in
+  let episodes exec_one =
+    let ms = Memsys.create cfg in
+    Memsys.reset ms ~flush:true;
+    let cold = exec_one ms (spec.Ifko_sim.Timer.make_env 130) in
+    Memsys.reset ms ~flush:false;
+    let warm = exec_one ms (spec.Ifko_sim.Timer.make_env 130) in
+    (cold, warm)
+  in
+  let w_cold, w_warm =
+    episodes (fun ms env -> Exec.run_reference ~timing:(cfg, ms) ~ret_fsize:rfs tuned env)
+  in
+  let t_cold, t_warm = episodes (fun ms env -> Exec.exec ~timing:(cfg, ms) ~ret_fsize:rfs cf env) in
+  check_same_result "cold episode" w_cold t_cold;
+  check_same_result "warm episode" w_warm t_warm;
+  Alcotest.(check bool) "warm episode is no slower" true
+    (t_warm.Exec.cycles <= t_cold.Exec.cycles)
+
 (* ---------- fuzz-corpus replay through both engines ---------- *)
 
 let corpus_cases =
@@ -192,6 +298,15 @@ let corpus_cases =
                     func mkenv;
                   run_both ~timed:true ~ret_fsize:rfs
                     (Printf.sprintf "%s %s timed n=%d" (Filename.basename path) what n)
+                    func mkenv;
+                  (* replay under an adversarial geometry too: corpus
+                     kernels are the pipeline's known hard cases, so
+                     they make the best probes of the fast-path guards *)
+                  run_both
+                    ~cfg:(List.assoc "tinyL1" adversarial_cfgs)
+                    ~timed:true ~ret_fsize:rfs
+                    (Printf.sprintf "%s %s timed tinyL1 n=%d" (Filename.basename path) what
+                       n)
                     func mkenv)
                 Ifko_fuzz.Oracle.default_sizes)
             funcs))
@@ -335,6 +450,9 @@ let test_predictor_parity () =
 
 let suite =
   [ Alcotest.test_case "BLAS kernels bit-identical" `Quick test_blas_equivalence;
+    Alcotest.test_case "adversarial cache geometries" `Quick test_adversarial_geometries;
+    Alcotest.test_case "reset-reuse bit-identity" `Quick test_reset_reuse_identity;
+    Alcotest.test_case "reset without flush episodes" `Quick test_reset_noflush_episodes;
     Alcotest.test_case "trap parity" `Quick test_trap_parity;
     Alcotest.test_case "vector trap order unified" `Quick test_vector_trap_order;
     Alcotest.test_case "lazy label resolution" `Quick test_lazy_label_resolution;

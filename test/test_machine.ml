@@ -44,6 +44,39 @@ let test_cache_invalidate_flush () =
   Alcotest.(check int) "flush clears dirty" 0 (Cache.dirty_lines c);
   Alcotest.(check bool) "flush empties" false (Cache.probe c ~addr:64)
 
+(* Geometry validation: every shift/mask in Cache relies on
+   power-of-two line sizes and set counts, so ill-formed levels must be
+   rejected at Config load instead of silently mis-indexing. *)
+let test_cache_geometry_validation () =
+  let rejects name lvl =
+    match Cache.create lvl with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  rejects "non-pow2 line" { Config.size = 1536; line = 48; assoc = 2; latency = 1 };
+  rejects "non-pow2 sets" { Config.size = 1536; line = 64; assoc = 2; latency = 1 };
+  rejects "assoc 0" { Config.size = 1024; line = 64; assoc = 0; latency = 1 };
+  rejects "negative latency" { Config.size = 1024; line = 64; assoc = 2; latency = -1 };
+  rejects "size below one set" { Config.size = 64; line = 64; assoc = 2; latency = 1 };
+  (* the boundary cases that must be accepted *)
+  ignore (Cache.create { Config.size = 128; line = 64; assoc = 2; latency = 1 } : Cache.t);
+  ignore (Cache.create { Config.size = 16; line = 16; assoc = 1; latency = 0 } : Cache.t)
+
+let test_memsys_geometry_validation () =
+  (* L1 lines must tile L2 lines for the inclusive fill paths *)
+  let cfg =
+    { Config.p4e with
+      Config.l1 = { Config.size = 16384; line = 128; assoc = 4; latency = 1 };
+      l2 = { Config.size = 1048576; line = 64; assoc = 8; latency = 18 }
+    }
+  in
+  (match Memsys.create cfg with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "l2 line < l1 line accepted");
+  match Memsys.create { cfg with Config.l1 = { cfg.Config.l1 with Config.line = 48 } } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-pow2 L1 line accepted"
+
 let fresh_ms cfg =
   let ms = Memsys.create cfg in
   Memsys.reset ms ~flush:true;
@@ -212,8 +245,45 @@ let test_elems_per_line () =
   Alcotest.(check int) "P4E singles" 32 (Config.elems_per_line Config.p4e Instr.S);
   Alcotest.(check int) "Opteron doubles" 8 (Config.elems_per_line Config.opteron Instr.D)
 
+(* The MRU way filter and the touched-way log are acceleration state:
+   a reused cache must behave exactly like a fresh one after flush, and
+   the filter must never survive a flush (a stale hint is re-validated,
+   but the contract is that flush clears it outright). *)
+let test_cache_flush_clears_acceleration () =
+  let lvl = { Config.size = 1024; line = 64; assoc = 2; latency = 1 } in
+  let reused = Cache.create lvl in
+  (* churn: fill beyond capacity, flush, refill *)
+  for i = 0 to 63 do
+    ignore (Cache.insert reused ~addr:(i * 64) ~write:(i land 1 = 0) : int option)
+  done;
+  Cache.flush reused;
+  Alcotest.(check int) "flush leaves nothing dirty" 0 (Cache.dirty_lines reused);
+  for i = 0 to 63 do
+    Alcotest.(check bool) "flush empties every line" false
+      (Cache.probe reused ~addr:(i * 64))
+  done;
+  Cache.reset_stats reused;
+  (* a fresh twin must now agree access-for-access, including the
+     eviction sequence (scan order depends on cleared LRU/MRU state) *)
+  let fresh = Cache.create lvl in
+  for i = 0 to 127 do
+    let addr = (i * 192) land 8191 in
+    let w = i land 3 = 0 in
+    Alcotest.(check bool) "access parity" (Cache.access fresh ~addr ~write:w)
+      (Cache.access reused ~addr ~write:w);
+    match (Cache.insert fresh ~addr ~write:w, Cache.insert reused ~addr ~write:w) with
+    | Some a, Some b -> Alcotest.(check int) "same victim" a b
+    | None, None -> ()
+    | _ -> Alcotest.fail "divergent eviction"
+  done;
+  Alcotest.(check (pair int int)) "same stats" (Cache.stats fresh) (Cache.stats reused)
+
 let suite =
   [ Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache geometry validation" `Quick test_cache_geometry_validation;
+    Alcotest.test_case "memsys geometry validation" `Quick test_memsys_geometry_validation;
+    Alcotest.test_case "flush clears acceleration state" `Quick
+      test_cache_flush_clears_acceleration;
     Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache invalidate/flush" `Quick test_cache_invalidate_flush;
     Alcotest.test_case "load latencies" `Quick test_load_latencies;
