@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test fmt check bench simbench fuzz
+.PHONY: all build test fmt check bench simbench fuzz lint-examples
 
 all: build
 
@@ -33,7 +33,33 @@ simbench:
 	dune exec bench/main.exe -- --exp simbench --no-store --profile \
 		--baseline BENCH_results.json
 
+# Golden lint gate: `ifko lint --json` over the example kernels and
+# the checked-in fuzz reproducers must match the committed *.lint.json
+# goldens byte for byte — a new finding (or a silently lost one) fails
+# the gate.  After an intentional linter change, regenerate with
+#   dune exec bin/ifko_cli.exe -- lint FILE --json > BASE.lint.json
+lint-examples: build
+	@fail=0; \
+	for f in examples/kernels/*.hil test/corpus/*.repro; do \
+		g="$${f%.*}.lint.json"; \
+		out=$$(dune exec --no-build bin/ifko_cli.exe -- lint "$$f" --json); \
+		code=$$?; \
+		if [ $$code -eq 2 ]; then \
+			echo "lint-examples: $$f: internal error"; fail=1; \
+		elif [ ! -f "$$g" ]; then \
+			echo "lint-examples: $$f: missing golden $$g"; fail=1; \
+		elif [ "$$out" != "$$(cat "$$g")" ]; then \
+			echo "lint-examples: $$f: diagnostics differ from $$g"; \
+			echo "  expected: $$(cat "$$g")"; \
+			echo "  got:      $$out"; fail=1; \
+		fi; \
+	done; \
+	[ $$fail -eq 0 ] && echo "lint-examples: all goldens match"; \
+	exit $$fail
+
 # Deterministic fuzz smoke (CI runs the same seed; the nightly
 # workflow explores a fresh date-derived seed at a larger budget).
+# --cross-check holds provably-independent kernels to bit-exact
+# array agreement against the dependence analysis.
 fuzz:
-	dune exec bin/ifko_cli.exe -- fuzz --seed 42 --count 200
+	dune exec bin/ifko_cli.exe -- fuzz --seed 42 --count 200 --cross-check

@@ -204,10 +204,10 @@ let ablation_repeatable () =
     }
   in
   let c = Ifko_transform.Pipeline.snapshot compiled in
-  Ifko_transform.Simd.apply c;
-  Ifko_transform.Unroll.apply c p.Ifko_transform.Params.unroll;
+  ignore (Ifko_transform.Simd.apply c : (unit, _) result);
+  ignore (Ifko_transform.Unroll.apply c p.Ifko_transform.Params.unroll : (unit, _) result);
   Ifko_transform.Loopctl.apply c;
-  Ifko_transform.Accexp.apply c p.Ifko_transform.Params.ae;
+  ignore (Ifko_transform.Accexp.apply c p.Ifko_transform.Params.ae : (unit, _) result);
   let f = c.Ifko_codegen.Lower.func in
   let count_instrs () =
     List.fold_left (fun a b -> a + List.length b.Block.instrs) 0 f.Cfg.blocks

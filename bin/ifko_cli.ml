@@ -28,7 +28,14 @@ let read_file path =
   close_in ic;
   s
 
-let load path = Ifko.compile_source (read_file path)
+(* Fuzz reproducers carry an already-parsed kernel; everything else is
+   HIL source.  Accepting both lets `ifko lint` sweep the checked-in
+   corpus with the same invocation as the example kernels. *)
+let load path =
+  if Filename.check_suffix path ".repro" then
+    (Ifko.Fuzz.Corpus.read path).Ifko.Fuzz.Corpus.kernel
+    |> Ifko.Hil.Typecheck.check |> Ifko.Lower.lower
+  else Ifko.compile_source (read_file path)
 
 let machine_of = function
   | "p4e" -> Ifko_machine.Config.p4e
@@ -174,45 +181,89 @@ let lint_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"also print info-severity diagnostics")
   in
-  let run file machine sv ur ae wnt pf_dist no_pipeline verbose =
-    let cfg = machine_of machine in
-    let line_bytes = cfg.Ifko.Config.prefetchable_line in
-    let compiled = load file in
-    let shown diags =
-      if verbose then diags
-      else List.filter (fun (d : Ifko.Diag.t) -> d.Ifko.Diag.severity <> Ifko.Diag.Info) diags
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "machine-readable output: one JSON array of diagnostic objects (severity, \
+             code, pass, block, instr, message).  Exit 0 when clean, 1 when any \
+             warning- or error-severity diagnostic was found, 2 on an internal \
+             failure (a pass broke the kernel, unreadable input)")
+  in
+  let run file machine sv ur ae wnt pf_dist no_pipeline verbose json =
+    (* --json contract: diagnostics are data, failures of the tool
+       itself are exit 2 — scripts can tell "kernel has findings" from
+       "lint could not run". *)
+    let internal_error msg =
+      if json then print_endline "[]";
+      Printf.eprintf "lint: %s\n" msg;
+      exit 2
     in
-    let print_diags diags =
-      match shown diags with
-      | [] -> ()
-      | ds -> print_endline (Ifko.Diag.list_to_string ds)
-    in
-    (* Stage 1: the lowered kernel itself. *)
-    let lowered = Ifko.Lint.check ~pass:"lowering" ~line_bytes compiled in
-    print_diags lowered;
-    (* Stage 2: the full pipeline at the selected parameter point, with
-       lint + translation validation after every pass. *)
-    let pipeline_broken =
-      if no_pipeline then false
-      else begin
-        let params = point_of_flags ~cfg compiled sv ur ae wnt pf_dist in
-        let check = Ifko.Passcheck.generic ~line_bytes compiled in
-        match Ifko.Pipeline.apply ~check ~line_bytes compiled params with
-        | exception Ifko.Passcheck.Pass_failed { pass; failure } ->
-          Printf.printf "pass %s broke the kernel:\n%s\n" pass
-            (Ifko.Passcheck.failure_to_string failure);
-          true
-        | c ->
-          let final = Ifko.Lint.check ~pass:"pipeline" ~line_bytes c in
-          print_diags final;
-          Printf.printf "%s: every pass validated at point %s\n"
-            compiled.Ifko.Lower.source.Ifko.Hil.Ast.k_name (Ifko.Params.to_string params);
-          not (Ifko.Diag.is_clean final)
-      end
-    in
-    let errors = not (Ifko.Diag.is_clean lowered) || pipeline_broken in
-    Printf.printf "lint: %s\n" (if errors then "errors found" else "clean");
-    if errors then exit 1
+    match
+      let cfg = machine_of machine in
+      let compiled = load file in
+      (cfg, compiled)
+    with
+    | exception e -> internal_error (Printexc.to_string e)
+    | cfg, compiled -> (
+      let line_bytes = cfg.Ifko.Config.prefetchable_line in
+      let shown diags =
+        if verbose || json then diags
+        else
+          List.filter (fun (d : Ifko.Diag.t) -> d.Ifko.Diag.severity <> Ifko.Diag.Info) diags
+      in
+      let print_diags diags =
+        if not json then
+          match shown diags with
+          | [] -> ()
+          | ds -> print_endline (Ifko.Diag.list_to_string ds)
+      in
+      (* Stage 1: the lowered kernel itself. *)
+      let lowered = Ifko.Lint.check ~pass:"lowering" ~line_bytes compiled in
+      print_diags lowered;
+      (* Stage 2: the full pipeline at the selected parameter point, with
+         lint + translation validation after every pass. *)
+      let pipeline =
+        if no_pipeline then Ok []
+        else begin
+          let params = point_of_flags ~cfg compiled sv ur ae wnt pf_dist in
+          let check = Ifko.Passcheck.generic ~line_bytes compiled in
+          let skips = ref [] in
+          match
+            Ifko.Pipeline.apply ~check ~on_skip:(fun d -> skips := d :: !skips)
+              ~line_bytes compiled params
+          with
+          | exception Ifko.Passcheck.Pass_failed { pass; failure } ->
+            Error
+              (Printf.sprintf "pass %s broke the kernel: %s" pass
+                 (Ifko.Passcheck.failure_to_string failure))
+          | c ->
+            let final = Ifko.Lint.check ~pass:"pipeline" ~line_bytes c in
+            print_diags (List.rev !skips @ final);
+            if not json then
+              Printf.printf "%s: every pass validated at point %s\n"
+                compiled.Ifko.Lower.source.Ifko.Hil.Ast.k_name
+                (Ifko.Params.to_string params);
+            Ok (List.rev !skips @ final)
+        end
+      in
+      match pipeline with
+      | Error msg ->
+        if json then print_endline (Ifko.Diag.list_to_json lowered);
+        internal_error msg
+      | Ok final ->
+        let all = lowered @ final in
+        if json then print_endline (Ifko.Diag.list_to_json all);
+        let findings =
+          List.exists (fun (d : Ifko.Diag.t) -> d.Ifko.Diag.severity <> Ifko.Diag.Info) all
+        in
+        if json then exit (if findings then 1 else 0)
+        else begin
+          let errors = not (Ifko.Diag.is_clean all) in
+          Printf.printf "lint: %s\n" (if errors then "errors found" else "clean");
+          if errors then exit 1
+        end)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -221,7 +272,7 @@ let lint_cmd =
           transformation pass (lint + translation validation) at a parameter point")
     Term.(
       const run $ file $ machine_arg $ sv_arg $ ur_arg $ ae_arg $ wnt_arg $ pf_arg
-      $ no_pipeline $ verbose)
+      $ no_pipeline $ verbose $ json)
 
 (* ---- tune ---- *)
 
@@ -347,7 +398,18 @@ let fuzz_cmd =
             "instead of fuzzing, re-run the reproducer file (or every *.repro in the \
              directory) $(docv) against the current pipeline")
   in
-  let run machine seed count max_size points_per_kernel corpus check_each_pass replay =
+  let cross_check_arg =
+    Arg.(
+      value & flag
+      & info [ "cross-check" ]
+          ~doc:
+            "tighten the oracle against the dependence analysis: kernels whose \
+             references are proven independent must agree bit-exactly on array \
+             contents (the reduction return keeps its ULP budget); a divergence \
+             convicts a transform or the independence claim itself")
+  in
+  let run machine seed count max_size points_per_kernel corpus check_each_pass cross_check
+      replay =
     let cfg = machine_of machine in
     match replay with
     | Some path ->
@@ -369,7 +431,7 @@ let fuzz_cmd =
       if !failed > 0 then exit 1
     | None ->
       let stats =
-        Ifko.Fuzz.run ~points_per_kernel ~max_size ~check_each_pass ?corpus
+        Ifko.Fuzz.run ~points_per_kernel ~max_size ~check_each_pass ~cross_check ?corpus
           ~log:print_endline ~cfg ~seed ~count ()
       in
       print_endline (Ifko.Fuzz.stats_to_string stats);
@@ -383,7 +445,7 @@ let fuzz_cmd =
           the untransformed lowering, shrink and persist any divergence")
     Term.(
       const run $ machine_arg $ seed_arg $ count_arg $ max_size_arg $ points_arg
-      $ corpus_arg $ check $ replay_arg)
+      $ corpus_arg $ check $ cross_check_arg $ replay_arg)
 
 (* ---- sim ---- *)
 

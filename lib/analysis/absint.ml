@@ -1,0 +1,387 @@
+(** Interval-with-stride abstract interpretation over the integer
+    registers of a LIL function, built on the {!Dataflow} engine.
+
+    Every GPR is mapped to an abstract value of the form
+    [anchor + offset] where the anchor is either the absolute integers
+    ([Abs], for values rooted in an [Ildi]) or the unknown entry value
+    of a function parameter ([Sym p], for pointers and sizes).  The
+    offset is an interval with a stride congruence: [offset] lies in
+    [\[lo, hi\]] and [offset = lo (mod stride)] whenever [lo] is
+    finite.  Pointer bumps inside a loop therefore converge to a value
+    like [Sym x + \[0, +inf) stride 8] — "x plus a non-negative
+    multiple of eight" — which is exactly what the dependence and
+    bounds tests in {!Depend} consume.
+
+    Termination: the interval join widens any bound it cannot keep
+    exact to its infinity, {e except} that a finite lower (upper)
+    bound may be inherited from a singleton operand — the loop-entry
+    constant.  Singletons are only produced on acyclic paths (a join
+    that grows a value is no longer a singleton), so each register's
+    value can strictly grow only a bounded number of times and the
+    worklist engine reaches its fixpoint without an explicit widening
+    pass; the widening-termination tests in [test_depend.ml] exercise
+    the adversarial cases. *)
+
+type anchor = Abs | Sym of Reg.t
+
+type bound = NegInf | Fin of int | PosInf
+
+type ival = { anchor : anchor; lo : bound; hi : bound; stride : int }
+
+type value = Top | Val of ival
+
+let anchor_equal a b =
+  match (a, b) with
+  | Abs, Abs -> true
+  | Sym x, Sym y -> Reg.equal x y
+  | Abs, Sym _ | Sym _, Abs -> false
+
+let const k = Val { anchor = Abs; lo = Fin k; hi = Fin k; stride = 0 }
+let param r = Val { anchor = Sym r; lo = Fin 0; hi = Fin 0; stride = 0 }
+
+let is_singleton = function
+  | Val { lo = Fin a; hi = Fin b; _ } -> a = b
+  | _ -> false
+
+let value_equal a b =
+  match (a, b) with
+  | Top, Top -> true
+  | Val x, Val y ->
+    anchor_equal x.anchor y.anchor && x.lo = y.lo && x.hi = y.hi && x.stride = y.stride
+  | Top, Val _ | Val _, Top -> false
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* ---------- bound arithmetic ---------- *)
+
+let bound_add a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (x + y)
+  | NegInf, PosInf | PosInf, NegInf -> invalid_arg "Absint.bound_add"
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, _ | _, PosInf -> PosInf
+
+let bound_neg = function NegInf -> PosInf | PosInf -> NegInf | Fin k -> Fin (-k)
+
+let bound_mul k = function
+  | Fin x -> Fin (k * x)
+  | b -> if k > 0 then b else if k < 0 then bound_neg b else Fin 0
+
+let bound_min a b =
+  match (a, b) with
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, x | x, PosInf -> x
+  | Fin x, Fin y -> Fin (min x y)
+
+let bound_max a b =
+  match (a, b) with
+  | PosInf, _ | _, PosInf -> PosInf
+  | NegInf, x | x, NegInf -> x
+  | Fin x, Fin y -> Fin (max x y)
+
+let bound_le a b =
+  match (a, b) with
+  | NegInf, _ | _, PosInf -> true
+  | _, NegInf | PosInf, _ -> false
+  | Fin x, Fin y -> x <= y
+
+(* ---------- value arithmetic (abstract transfer helpers) ---------- *)
+
+(** Stride of the union of two offset sets: congruent to both strides
+    and to the difference of any two representatives. *)
+let join_stride x y =
+  let diff =
+    match (x.lo, y.lo) with
+    | Fin a, Fin b -> abs (a - b)
+    | _ ->
+      (match (x.hi, y.hi) with Fin a, Fin b -> abs (a - b) | _ -> 0)
+  in
+  gcd (gcd x.stride y.stride) diff
+
+let add v1 v2 =
+  match (v1, v2) with
+  | Top, _ | _, Top -> Top
+  | Val x, Val y -> (
+    match (x.anchor, y.anchor) with
+    | Sym _, Sym _ -> Top
+    | _ ->
+      let anchor = match x.anchor with Abs -> y.anchor | a -> a in
+      Val
+        {
+          anchor;
+          lo = bound_add x.lo y.lo;
+          hi = bound_add x.hi y.hi;
+          stride = gcd x.stride y.stride;
+        })
+
+let neg = function
+  | Top -> Top
+  | Val x -> (
+    match x.anchor with
+    | Sym _ -> Top
+    | Abs -> Val { x with lo = bound_neg x.hi; hi = bound_neg x.lo })
+
+(** [sub v1 v2]; two values rooted at the {e same} symbolic anchor
+    cancel to an absolute difference. *)
+let sub v1 v2 =
+  match (v1, v2) with
+  | Val x, Val y when anchor_equal x.anchor y.anchor && x.anchor <> Abs ->
+    add
+      (Val { x with anchor = Abs })
+      (neg (Val { y with anchor = Abs }))
+  | _ -> add v1 (neg v2)
+
+let mul_const k = function
+  | Top -> Top
+  | Val _ when k = 0 -> const 0
+  | Val x -> (
+    match x.anchor with
+    | Sym _ -> Top
+    | Abs ->
+      let lo = bound_mul k x.lo and hi = bound_mul k x.hi in
+      Val
+        {
+          anchor = Abs;
+          lo = bound_min lo hi;
+          hi = bound_max lo hi;
+          stride = abs (k * x.stride);
+        })
+
+(** Is every concretization of [x] contained in [y]? *)
+let leq x y =
+  anchor_equal x.anchor y.anchor
+  && bound_le y.lo x.lo && bound_le x.hi y.hi
+  && (y.stride = 0
+      && x.stride = 0
+      && (match (x.lo, y.lo) with Fin a, Fin b -> a = b | _ -> true)
+     ||
+     y.stride <> 0
+     && x.stride mod y.stride = 0
+     &&
+     match (x.lo, y.lo) with
+     | Fin a, Fin b -> (a - b) mod y.stride = 0
+     | _ -> true)
+
+(** The widening join described in the module comment. *)
+let join_value v1 v2 =
+  match (v1, v2) with
+  | Top, _ | _, Top -> Top
+  | Val x, Val y ->
+    if not (anchor_equal x.anchor y.anchor) then Top
+    else if leq x y then v2
+    else if leq y x then v1
+    else
+      let stride = join_stride x y in
+      let keep_min kept other =
+        (* A lowered finite bound survives only when it comes from a
+           singleton (the loop-entry constant); anything else widens. *)
+        if kept = other then kept
+        else if
+          bound_le kept other
+          && (is_singleton (Val x) && kept = x.lo
+             || is_singleton (Val y) && kept = y.lo)
+        then kept
+        else NegInf
+      in
+      let keep_max kept other =
+        if kept = other then kept
+        else if
+          bound_le other kept
+          && (is_singleton (Val x) && kept = x.hi
+             || is_singleton (Val y) && kept = y.hi)
+        then kept
+        else PosInf
+      in
+      let lo = keep_min (bound_min x.lo y.lo) (bound_max x.lo y.lo) in
+      let hi = keep_max (bound_max x.hi y.hi) (bound_min x.hi y.hi) in
+      Val { anchor = x.anchor; lo; hi; stride }
+
+(* ---------- the dataflow domain: GPR id -> value ---------- *)
+
+module Imap = Map.Make (Int)
+
+module Domain = struct
+  (** [Unreached] is the engine's bottom; a missing key in an [Env]
+      means [Top] (the register holds something unanalyzable). *)
+  type t = Unreached | Env of value Imap.t
+
+  let bottom = Unreached
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env x, Env y -> Imap.equal value_equal x y
+    | Unreached, Env _ | Env _, Unreached -> false
+
+  let join a b =
+    match (a, b) with
+    | Unreached, v | v, Unreached -> v
+    | Env x, Env y ->
+      Env
+        (Imap.merge
+           (fun _ vx vy ->
+             match (vx, vy) with
+             | Some vx, Some vy -> (
+               match join_value vx vy with Top -> None | v -> Some v)
+             | _ -> None)
+           x y)
+end
+
+module Engine = Dataflow.Make (Domain)
+
+type t = { result : Engine.result; func : Cfg.func }
+
+let env_get env (r : Reg.t) =
+  if r.Reg.cls <> Reg.Gpr then Top
+  else match Imap.find_opt r.Reg.id env with Some v -> v | None -> Top
+
+let set env (r : Reg.t) v =
+  match v with Top -> Imap.remove r.Reg.id env | _ -> Imap.add r.Reg.id v env
+
+let eval_operand env = function
+  | Instr.Oimm k -> const k
+  | Instr.Oreg r -> env_get env r
+
+let eval_mem env (m : Instr.mem) =
+  let base = env_get env m.Instr.base in
+  let index =
+    match m.Instr.index with
+    | None -> const 0
+    | Some idx -> mul_const m.Instr.scale (env_get env idx)
+  in
+  add (add base index) (const m.Instr.disp)
+
+(** Abstract transfer of one instruction. *)
+let transfer_instr env i =
+  match i with
+  | Instr.Ildi (d, k) -> set env d (const k)
+  | Instr.Imov (d, s) -> set env d (env_get env s)
+  | Instr.Iop (op, d, a, b) ->
+    let va = env_get env a and vb = eval_operand env b in
+    let v =
+      match op with
+      | Instr.Iadd -> add va vb
+      | Instr.Isub -> sub va vb
+      | Instr.Imul -> (
+        match (va, vb) with
+        | _, Val { anchor = Abs; lo = Fin k; hi = Fin k'; _ } when k = k' -> mul_const k va
+        | Val { anchor = Abs; lo = Fin k; hi = Fin k'; _ }, _ when k = k' -> mul_const k vb
+        | _ -> Top)
+      | Instr.Ishl -> (
+        match vb with
+        | Val { anchor = Abs; lo = Fin k; hi = Fin k'; _ } when k = k' && k >= 0 && k < 30 ->
+          mul_const (1 lsl k) va
+        | _ -> Top)
+      | Instr.Iand | Instr.Ior | Instr.Ishr -> Top
+    in
+    set env d v
+  | Instr.Lea (d, m) -> set env d (eval_mem env m)
+  | Instr.Ild (d, _) | Instr.Vmovmsk (_, d, _) -> set env d Top
+  | i ->
+    (* FP instructions never define a GPR; be safe anyway. *)
+    List.fold_left
+      (fun env (r : Reg.t) -> if r.Reg.cls = Reg.Gpr then set env r Top else env)
+      env (Instr.defs i)
+
+let transfer_term env = function
+  | Block.Br { lhs; dec; _ } when dec > 0 ->
+    set env lhs (sub (env_get env lhs) (const dec))
+  | _ -> env
+
+(** After this many visits of one block, the transfer output is
+    widened against the previous output: any bound still changing goes
+    to its infinity (absorbing), so the fixpoint is reached even where
+    the precision-keeping join of {!join_value} would oscillate.
+    Well-behaved kernels converge in a handful of visits and never
+    feel it. *)
+let widen_after = 16
+
+let widen_value prev v =
+  match (prev, v) with
+  | Top, _ | _, Top -> Top
+  | Val x, Val y ->
+    if not (anchor_equal x.anchor y.anchor) then Top
+    else
+      Val
+        {
+          anchor = x.anchor;
+          lo = (if x.lo = y.lo then x.lo else NegInf);
+          hi = (if x.hi = y.hi then x.hi else PosInf);
+          stride = join_stride x y;
+        }
+
+let widen_env prev out =
+  match (prev, out) with
+  | Domain.Unreached, v | v, Domain.Unreached -> v
+  | Domain.Env p, Domain.Env o ->
+    Domain.Env
+      (Imap.merge
+         (fun _ pv ov ->
+           match (pv, ov) with
+           | Some pv, Some ov -> (
+             match widen_value pv ov with Top -> None | v -> Some v)
+           | None, _ | _, None -> None (* Top is absorbing *))
+         p o)
+
+let analyze (f : Cfg.func) =
+  let visits : (string, int * Domain.t) Hashtbl.t = Hashtbl.create 16 in
+  let transfer (b : Block.t) inn =
+    let out =
+      match inn with
+      | Domain.Unreached ->
+        (* An unreached block stays unreached until a predecessor flows
+           into it; transferring bottom must yield bottom or the entry
+           fact would leak into dead code. *)
+        Domain.Unreached
+      | Domain.Env env ->
+        let env = List.fold_left transfer_instr env b.Block.instrs in
+        Domain.Env (transfer_term env b.Block.term)
+    in
+    match Hashtbl.find_opt visits b.Block.label with
+    | Some (n, prev) when n >= widen_after ->
+      let w = widen_env prev out in
+      Hashtbl.replace visits b.Block.label (n + 1, w);
+      w
+    | Some (n, _) ->
+      Hashtbl.replace visits b.Block.label (n + 1, out);
+      out
+    | None ->
+      Hashtbl.add visits b.Block.label (1, out);
+      out
+  in
+  let boundary =
+    Domain.Env
+      (List.fold_left
+         (fun env (_, (r : Reg.t)) ->
+           if r.Reg.cls = Reg.Gpr then Imap.add r.Reg.id (param r) env else env)
+         Imap.empty f.Cfg.params)
+  in
+  let result = Engine.run ~direction:Dataflow.Forward ~boundary ~transfer f in
+  { result; func = f }
+
+(** Abstract value of [r] at the entry of block [label]. *)
+let at_entry t label (r : Reg.t) =
+  match Engine.entry_value t.result label with
+  | Domain.Unreached -> Top
+  | Domain.Env env -> env_get env r
+
+(** Abstract value of [r] at the exit of block [label]. *)
+let at_exit t label (r : Reg.t) =
+  match Engine.exit_value t.result label with
+  | Domain.Unreached -> Top
+  | Domain.Env env -> env_get env r
+
+(** Environment at the entry of block [label], for flow-sensitive
+    walks inside a block ([None] when the block is unreached). *)
+let env_at_entry t label =
+  match Engine.entry_value t.result label with
+  | Domain.Unreached -> None
+  | Domain.Env env -> Some env
+
+let to_string = function
+  | Top -> "T"
+  | Val { anchor; lo; hi; stride } ->
+    let b = function NegInf -> "-inf" | PosInf -> "+inf" | Fin k -> string_of_int k in
+    Printf.sprintf "%s[%s,%s]/%d"
+      (match anchor with Abs -> "" | Sym r -> Reg.to_string r ^ "+")
+      (b lo) (b hi) stride

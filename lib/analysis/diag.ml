@@ -17,7 +17,18 @@
     - [IFK007] suspicious prefetch distance vs the loop's advance
     - [IFK008] register pressure exceeds the architectural file
     - [IFK009] repeatable-transform fixpoint not reached
-    - [IFK010] translation validation: a pass changed kernel semantics *)
+    - [IFK010] provably out-of-bounds access: an unguarded affine
+      reference reads or writes below its array base
+    - [IFK011] overlapping write ranges: two stores (or one store
+      across iterations) hit the same bytes
+    - [IFK012] legality rejection: the {!Legality} oracle refused a
+      requested transform (fail-closed; the point compiles without it)
+    - [IFK013] array demoted from prefetch: its pointer moves
+      irregularly, so no stride can be attributed
+    - [IFK014] stride/interval contradiction between {!Ptrinfo}'s
+      syntactic strides and {!Absint}'s inferred congruences — or
+      stale loop-nest bookkeeping (info), which silently disables every
+      loop-aware analysis *)
 
 type severity = Error | Warning | Info
 
@@ -68,3 +79,38 @@ let to_string d =
 
 let list_to_string diags =
   String.concat "\n" (List.map to_string (sort diags))
+
+(* ---------- machine-readable output ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** One flat JSON object per diagnostic: [severity], [code], [pass],
+    [block], [instr] (null when absent) and [message] — the contract of
+    [ifko lint --json]. *)
+let to_json d =
+  let str_or_null = function
+    | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"severity\":\"%s\",\"code\":\"%s\",\"pass\":%s,\"block\":%s,\"instr\":%s,\"message\":\"%s\"}"
+    (severity_name d.severity) (json_escape d.code) (str_or_null d.pass)
+    (str_or_null d.block)
+    (match d.instr with Some i -> string_of_int i | None -> "null")
+    (json_escape d.message)
+
+let list_to_json diags =
+  Printf.sprintf "[%s]" (String.concat "," (List.map to_json (sort diags)))

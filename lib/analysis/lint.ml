@@ -21,7 +21,15 @@
     - prefetch distances that are useless (behind the moving pointer)
       or absurd (tens of lines ahead) (IFK007)
     - per-block register-pressure estimates against the architectural
-      file, reported back to the search (IFK008) *)
+      file, reported back to the search (IFK008)
+    - provable out-of-bounds accesses, via {!Depend}'s affine forms
+      (IFK010)
+    - overlapping write ranges, from {!Depend}'s distance/direction
+      vectors (IFK011)
+    - arrays silently demoted from prefetch by irregular pointer
+      motion (IFK013)
+    - stride/interval contradictions between {!Ptrinfo} and {!Absint},
+      and stale loop-nest bookkeeping (IFK014) *)
 
 open Ifko_codegen
 
@@ -319,6 +327,9 @@ let vector_mem = function
     a different rate, so the stride says nothing about it. *)
 let check_vector_alignment ?pass moving (blocks : Block.t list) =
   let diags = ref [] in
+  (* One diagnostic per array: an unrolled loop repeats the same broken
+     access once per copy, and repeating the finding drowns the rest. *)
+  let seen = Hashtbl.create 4 in
   List.iter
     (fun b ->
       List.iteri
@@ -326,20 +337,26 @@ let check_vector_alignment ?pass moving (blocks : Block.t list) =
           match vector_mem i with
           | Some m when m.Instr.index = None -> (
             match List.assoc_opt m.Instr.base moving with
+            | Some (name, _) when Hashtbl.mem seen name -> ()
             | Some (name, stride) ->
+              let emit fmt =
+                Printf.ksprintf
+                  (fun msg ->
+                    Hashtbl.replace seen name ();
+                    diags :=
+                      Diag.error ?pass ~block:b.Block.label ~instr:idx "IFK006" "%s: %s"
+                        (Instr.to_string i) msg
+                      :: !diags)
+                  fmt
+              in
               if m.Instr.disp mod 16 <> 0 then
-                diags :=
-                  Diag.error ?pass ~block:b.Block.label ~instr:idx "IFK006"
-                    "%s: 16-byte access to %s at displacement %d is unaligned"
-                    (Instr.to_string i) name m.Instr.disp
-                  :: !diags
+                emit "16-byte access to %s at displacement %d is unaligned" name
+                  m.Instr.disp
               else if stride mod 16 <> 0 then
-                diags :=
-                  Diag.error ?pass ~block:b.Block.label ~instr:idx "IFK006"
-                    "%s: %s advances %d B/iteration, so this 16-byte access drifts off \
-                     alignment"
-                    (Instr.to_string i) name stride
-                  :: !diags
+                emit
+                  "%s advances %d B/iteration, so this 16-byte access drifts off \
+                   alignment"
+                  name stride
             | None -> ())
           | Some _ | None -> ())
         b.Block.instrs)
@@ -352,6 +369,8 @@ let check_vector_alignment ?pass moving (blocks : Block.t list) =
     the loopnest blocks for the same reason as IFK006. *)
 let check_prefetch_distance ?pass ?line_bytes moving (blocks : Block.t list) =
   let diags = ref [] in
+  (* Like IFK006: one diagnostic per array, not one per unrolled copy. *)
+  let seen = Hashtbl.create 4 in
   List.iter
     (fun b ->
       List.iteri
@@ -359,11 +378,13 @@ let check_prefetch_distance ?pass ?line_bytes moving (blocks : Block.t list) =
           match i with
           | Instr.Prefetch (_, m) when m.Instr.index = None -> (
             match List.assoc_opt m.Instr.base moving with
+            | Some (name, _) when Hashtbl.mem seen name -> ()
             | Some (name, stride) ->
               let dist = m.Instr.disp in
               let warn fmt =
                 Printf.ksprintf
                   (fun msg ->
+                    Hashtbl.replace seen name ();
                     diags :=
                       Diag.warning ?pass ~block:b.Block.label ~instr:idx "IFK007" "%s: %s"
                         (Instr.to_string i) msg
@@ -392,6 +413,100 @@ let check_prefetch_distance ?pass ?line_bytes moving (blocks : Block.t list) =
     blocks;
   List.rev !diags
 
+(* ---------- dependence-based checkers (IFK010-IFK014) ---------- *)
+
+(** Provable out-of-bounds (IFK010, error).  An affine access touches
+    bytes [stride*i + disp .. +width) from its array base; HIL arrays
+    start at their pointer parameter, so any iteration reaching a
+    negative offset reads or writes memory the kernel does not own.
+    Guarded accesses are excluded — a conditional body may never
+    execute the reference on the offending iteration — as are
+    non-faulting prefetches.  Fires only when some executed iteration
+    provably goes below the base: the first one (any [stride >= 0] with
+    [disp < 0]) or, for descending accesses with a known trip count,
+    the last. *)
+let check_bounds ?pass (dep : Depend.t) =
+  if dep.Depend.trips = Some 0 then []
+  else
+    List.filter_map
+      (fun (a : Depend.access) ->
+        match a.Depend.affine with
+        | Some { Depend.stride; disp }
+          when a.Depend.faulting && not a.Depend.guarded ->
+          let worst =
+            if stride >= 0 then Some (disp, 0)
+            else
+              match dep.Depend.trips with
+              | Some u when u > 0 -> Some ((stride * (u - 1)) + disp, u - 1)
+              | _ -> None
+          in
+          (match worst with
+          | Some (off, iter) when off < 0 ->
+            Some
+              (Diag.error ?pass ~block:a.Depend.block ~instr:a.Depend.instr "IFK010"
+                 "%s reaches byte %d, %d B before the array base, on iteration %d"
+                 (Depend.access_name a) off (-off) iter)
+          | _ -> None)
+        | _ -> None)
+      dep.Depend.accesses
+
+(** Overlapping write ranges (IFK011, warning).  Two stores — or one
+    store re-visiting bytes across iterations — proven to hit the same
+    memory.  Legal, but it serializes the stores and usually signals a
+    kernel bug, so the search wants to know. *)
+let check_write_overlap ?pass (dep : Depend.t) =
+  List.filter_map
+    (fun (p : Depend.pair) ->
+      if not (p.Depend.src.Depend.store && p.Depend.dst.Depend.store) then None
+      else
+        match p.Depend.relation with
+        | Depend.Dependent _ ->
+          Some
+            (Diag.warning ?pass ~block:p.Depend.src.Depend.block
+               ~instr:p.Depend.src.Depend.instr "IFK011" "%s and %s overlap: %s"
+               (Depend.access_name p.Depend.src)
+               (Depend.access_name p.Depend.dst)
+               (Depend.relation_to_string p.Depend.relation))
+        | Depend.Independent | Depend.Unknown _ -> None)
+    dep.Depend.pairs
+
+(** Arrays silently demoted from prefetch (IFK013, info).  {!Ptrinfo}
+    drops arrays whose pointer moves irregularly; the prefetch
+    transform then skips them without a word.  Surface the demotion so
+    a kernel author who expected the array to be prefetched learns why
+    it is not. *)
+let check_prefetch_demotion ?pass (cls : Ptrinfo.classified) =
+  List.filter_map
+    (fun (a : Lower.array_param) ->
+      if a.Lower.a_noprefetch then None
+      else
+        Some
+          (Diag.info ?pass "IFK013"
+             "array %s: pointer is redefined non-incrementally in the loop; demoted from \
+              prefetch"
+             a.Lower.a_name))
+    cls.Ptrinfo.irregular
+
+(** Stride/interval contradictions and stale bookkeeping (IFK014).
+    A disagreement between {!Ptrinfo}'s syntactic strides and
+    {!Absint}'s congruences means one analysis is being fooled
+    (warning); stale loop-nest labels mean every loop-aware analysis
+    silently sees "no loop" (info — expected after the pipeline's
+    final cleanup, alarming on a fresh kernel). *)
+let check_stride_consistency ?pass (compiled : Lower.compiled)
+    (cls : Ptrinfo.classified) =
+  let stale =
+    if cls.Ptrinfo.stale then
+      [ Diag.info ?pass "IFK014"
+          "loop-nest labels are stale: loop-aware checkers and transforms are disabled" ]
+    else []
+  in
+  stale
+  @ List.map
+      (fun ((m : Ptrinfo.moving), reason) ->
+        Diag.warning ?pass "IFK014" "array %s: %s" m.Ptrinfo.array.Lower.a_name reason)
+      (Depend.stride_contradictions compiled)
+
 (* ---------- entry points ---------- *)
 
 (** [check_func f] runs every checker that needs only the CFG.  If the
@@ -416,6 +531,12 @@ let check ?pass ?line_bytes (compiled : Lower.compiled) =
   else
     let moving = moving_by_reg compiled in
     let loop = Ptrinfo.loop_blocks compiled in
+    let cls = Ptrinfo.classify compiled in
+    let dep = Depend.analyze compiled in
     base
     @ check_vector_alignment ?pass moving loop
     @ check_prefetch_distance ?pass ?line_bytes moving loop
+    @ check_bounds ?pass dep
+    @ check_write_overlap ?pass dep
+    @ check_prefetch_demotion ?pass cls
+    @ check_stride_consistency ?pass compiled cls

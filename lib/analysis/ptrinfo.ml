@@ -7,6 +7,17 @@ type moving = {
   stores : int;
 }
 
+type classified = {
+  moving : moving list;
+      (** arrays whose pointer advances only by constant self-increments *)
+  irregular : Lower.array_param list;
+      (** arrays whose pointer is redefined non-incrementally in the
+          loop: no stride can be attributed, so prefetch and any other
+          stride-trusting transform must skip them *)
+  stale : bool;
+      (** a loop nest was marked but its labels no longer resolve *)
+}
+
 let loop_blocks (compiled : Lower.compiled) =
   match compiled.Lower.loopnest with
   | None -> []
@@ -19,12 +30,12 @@ let loop_blocks (compiled : Lower.compiled) =
        stale loopnest is treated as no loop at all. *)
     if List.length blocks < List.length labels then [] else blocks
 
-let analyze (compiled : Lower.compiled) =
+let classify (compiled : Lower.compiled) =
   match compiled.Lower.loopnest with
-  | None -> []
+  | None -> { moving = []; irregular = []; stale = false }
   | Some _ ->
     match loop_blocks compiled with
-    | [] -> []
+    | [] -> { moving = []; irregular = []; stale = true }
     | blocks ->
     let stat (a : Lower.array_param) =
       let reg = a.Lower.a_reg in
@@ -54,10 +65,15 @@ let analyze (compiled : Lower.compiled) =
                   | _ -> []) then incr stores)
             b.Block.instrs)
         blocks;
-      if !irregular then None
-      else Some { array = a; stride = !stride; loads = !loads; stores = !stores }
+      if !irregular then Either.Right a
+      else Either.Left { array = a; stride = !stride; loads = !loads; stores = !stores }
     in
-    List.filter_map stat compiled.Lower.arrays
+    let moving, irregular = List.partition_map stat compiled.Lower.arrays in
+    { moving; irregular; stale = false }
+
+let analyze compiled = (classify compiled).moving
+
+let stale compiled = (classify compiled).stale
 
 let prefetch_targets compiled =
   analyze compiled

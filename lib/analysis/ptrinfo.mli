@@ -15,6 +15,29 @@ type moving = {
   stores : int;  (** memory writes to this array per iteration *)
 }
 
+type classified = {
+  moving : moving list;
+      (** arrays whose pointer advances only by constant self-increments *)
+  irregular : Ifko_codegen.Lower.array_param list;
+      (** arrays whose pointer register is redefined non-incrementally
+          inside the loop: no stride can be attributed, so prefetch and
+          any other stride-trusting transform skips them (surfaced as
+          IFK013 by {!Lint}) *)
+  stale : bool;
+      (** a loop nest was marked but its labels no longer resolve to
+          blocks (the pipeline's final cleanup merged them away) *)
+}
+
+val classify : Ifko_codegen.Lower.compiled -> classified
+(** Full classification of the kernel's array parameters against the
+    current tunable loop.  The one analysis behind {!analyze},
+    {!stale} and {!prefetch_targets}. *)
+
+val stale : Ifko_codegen.Lower.compiled -> bool
+(** Whether the kernel carries loop-nest bookkeeping whose labels have
+    gone stale — loop-aware analyses silently see "no loop" then, which
+    {!Lint} surfaces as an explicit diagnostic. *)
+
 val loop_blocks : Ifko_codegen.Lower.compiled -> Block.t list
 (** The blocks of the current tunable loop (header, bodies, latch) the
     stride analysis is performed over — and hence the only blocks where

@@ -12,11 +12,20 @@ type t = {
   output_arrays : string list;
   gpr_pressure : int;
   xmm_pressure : int;
+  dependence : Depend.t;
+  legal_sv : (unit, string) result;
+  legal_unroll : (unit, string) result;
+  legal_wnt : (unit, string) result;
 }
+
+let verdict = function
+  | Ok () -> Ok ()
+  | Error (d : Diag.t) -> Error d.Diag.message
 
 let analyze (compiled : Lower.compiled) =
   let vec = Vecinfo.analyze compiled in
   let gpr_pressure, xmm_pressure = Lint.max_pressure compiled.Lower.func in
+  let leg = Legality.analyze compiled in
   {
     kernel_name = compiled.Lower.source.Ifko_hil.Ast.k_name;
     has_opt_loop = compiled.Lower.loopnest <> None;
@@ -32,6 +41,10 @@ let analyze (compiled : Lower.compiled) =
         compiled.Lower.arrays;
     gpr_pressure;
     xmm_pressure;
+    dependence = Legality.depend leg;
+    legal_sv = verdict (Legality.vectorize leg);
+    legal_unroll = verdict (Legality.unroll leg);
+    legal_wnt = verdict (Legality.ntwrite leg);
   }
 
 let to_string t =
@@ -48,6 +61,28 @@ let to_string t =
   add "max safe unroll  : %d\n" t.max_unroll;
   add "accumulators     : %d\n" (List.length t.accumulators);
   add "register pressure: %d GPR, %d XMM\n" t.gpr_pressure t.xmm_pressure;
+  let legal what = function
+    | Ok () -> add "%s: yes\n" what
+    | Error why -> add "%s: no (%s)\n" what why
+  in
+  legal "SV legal         " t.legal_sv;
+  legal "UR legal         " t.legal_unroll;
+  legal "WNT legal        " t.legal_wnt;
+  (let dep = t.dependence in
+   if dep.Depend.has_loop then begin
+     let blocking = Depend.blocking dep in
+     add "dependence       : %d accesses, %d pairs, %d blocking\n"
+       (List.length dep.Depend.accesses)
+       (List.length dep.Depend.pairs)
+       (List.length blocking);
+     List.iter
+       (fun (p : Depend.pair) ->
+         add "  carried        : %s -> %s: %s\n"
+           (Depend.access_name p.Depend.src)
+           (Depend.access_name p.Depend.dst)
+           (Depend.relation_to_string p.Depend.relation))
+       blocking
+   end);
   add "output arrays    : %s\n"
     (if t.output_arrays = [] then "-" else String.concat ", " t.output_arrays);
   List.iter

@@ -21,6 +21,13 @@ type t = {
       (** peak simultaneously-live GPRs in the lowered kernel (per-block
           maximum from {!Lint.pressure}) *)
   xmm_pressure : int;  (** likewise for XMM registers *)
+  dependence : Depend.t;
+      (** the affine dependence analysis the legality verdicts rest on *)
+  legal_sv : (unit, string) result;
+      (** {!Legality.vectorize} verdict: [Error reason] points the
+          search away from SV points the pipeline would refuse anyway *)
+  legal_unroll : (unit, string) result;  (** {!Legality.unroll} verdict *)
+  legal_wnt : (unit, string) result;  (** {!Legality.ntwrite} verdict *)
 }
 
 val analyze : Ifko_codegen.Lower.compiled -> t

@@ -39,15 +39,15 @@ let pipeline_candidate ~name ~sv ~unroll ~ae ~two_array id =
        must be applied before register allocation, so replicate the
        pipeline staging here. *)
     let c = Ifko_transform.Pipeline.snapshot compiled in
-    if params.Ifko_transform.Params.sv then Ifko_transform.Simd.apply c;
-    if unroll > 1 then Ifko_transform.Unroll.apply c unroll;
+    if params.Ifko_transform.Params.sv then ignore (Ifko_transform.Simd.apply c : (unit, _) result);
+    if unroll > 1 then ignore (Ifko_transform.Unroll.apply c unroll : (unit, _) result);
     if params.Ifko_transform.Params.prefetch <> [] then
       Ifko_transform.Prefetch_xform.apply c
         ~line_bytes:cfg.Config.prefetchable_line params.Ifko_transform.Params.prefetch;
-    if params.Ifko_transform.Params.wnt then Ifko_transform.Ntwrite.apply c;
+    if params.Ifko_transform.Params.wnt then ignore (Ifko_transform.Ntwrite.apply c : (unit, _) result);
     if two_array then Atlas_idioms.two_array_indexing c;
     Ifko_transform.Loopctl.apply c;
-    if ae > 1 then Ifko_transform.Accexp.apply c ae;
+    if ae > 1 then ignore (Ifko_transform.Accexp.apply c ae : (unit, _) result);
     let f = c.Ifko_codegen.Lower.func in
     ignore
       (Ifko_transform.Pipeline.repeatable

@@ -6,6 +6,7 @@ type array_param = {
   a_elem : Instr.fsize;
   a_output : bool;
   a_noprefetch : bool;
+  a_mayalias : bool;
 }
 
 type compiled = {
@@ -442,6 +443,7 @@ let lower (checked : Typecheck.checked) =
               a_elem = fsize_of_prec prec;
               a_output = List.mem Ast.Output p.Ast.p_flags;
               a_noprefetch = List.mem Ast.No_prefetch p.Ast.p_flags;
+              a_mayalias = List.mem Ast.May_alias p.Ast.p_flags;
             }
         | _ -> None)
       k.Ast.k_params

@@ -15,6 +15,9 @@ type array_param = {
   a_elem : Instr.fsize;
   a_output : bool;  (** the kernel stores through it (WNT candidate) *)
   a_noprefetch : bool;  (** user mark-up: exclude from prefetch search *)
+  a_mayalias : bool;
+      (** user mark-up: may overlap other arrays; dependence analysis
+          must fail closed on every pair involving this array *)
 }
 
 (** Result of lowering: the LIL function plus the metadata every later

@@ -7,13 +7,17 @@ type stats = {
   agree : int;
   rejected : int;
   gen_failed : int;
+  cross_checked : int;
   bugs : (Corpus.case * string) list;
   written : string list;
 }
 
 let stats_to_string s =
-  Printf.sprintf "fuzz: kernels=%d points=%d agree=%d rejected=%d gen-failed=%d bugs=%d"
-    s.kernels s.points s.agree s.rejected s.gen_failed (List.length s.bugs)
+  Printf.sprintf
+    "fuzz: kernels=%d points=%d agree=%d rejected=%d gen-failed=%d cross-checked=%d \
+     bugs=%d"
+    s.kernels s.points s.agree s.rejected s.gen_failed s.cross_checked
+    (List.length s.bugs)
 
 (* Typecheck, lower, and lint-gate a kernel.  The lint gate matters for
    the shrinker: statement removal can orphan a variable into a
@@ -29,8 +33,14 @@ let compile k =
       ^ Ifko_analysis.Diag.list_to_string (Ifko_analysis.Diag.errors diags));
   c
 
-let run ?(points_per_kernel = 3) ?(max_size = 5) ?(check_each_pass = false) ?corpus
-    ?inject ?sizes ?(log = ignore) ~cfg ~seed ~count () =
+(* Sound bit-exact array comparison requires that no transform may
+   reorder the stores the reference performs — exactly what
+   {!Ifko_analysis.Depend} claims when every pair is independent. *)
+let provably_independent (compiled : Lower.compiled) =
+  Ifko_analysis.Depend.all_independent (Ifko_analysis.Depend.analyze compiled)
+
+let run ?(points_per_kernel = 3) ?(max_size = 5) ?(check_each_pass = false)
+    ?(cross_check = false) ?corpus ?inject ?sizes ?(log = ignore) ~cfg ~seed ~count () =
   let master = Rng.create seed in
   let line_bytes = cfg.Ifko_machine.Config.prefetchable_line in
   let stats =
@@ -41,6 +51,7 @@ let run ?(points_per_kernel = 3) ?(max_size = 5) ?(check_each_pass = false) ?cor
         agree = 0;
         rejected = 0;
         gen_failed = 0;
+        cross_checked = 0;
         bugs = [];
         written = [];
       }
@@ -55,10 +66,16 @@ let run ?(points_per_kernel = 3) ?(max_size = 5) ?(check_each_pass = false) ?cor
       stats := { !stats with gen_failed = !stats.gen_failed + 1 }
     | compiled ->
       let report = Ifko_analysis.Report.analyze compiled in
+      let strict_arrays = cross_check && provably_independent compiled in
+      if strict_arrays then
+        stats := { !stats with cross_checked = !stats.cross_checked + points_per_kernel };
       for _p = 0 to points_per_kernel - 1 do
         let params = Sample.point krng ~line_bytes ~report in
         stats := { !stats with points = !stats.points + 1 };
-        match Oracle.check ~check_each_pass ?inject ?sizes ~cfg ~seed compiled params with
+        match
+          Oracle.check ~check_each_pass ~strict_arrays ?inject ?sizes ~cfg ~seed compiled
+            params
+        with
         | Oracle.Agree -> stats := { !stats with agree = !stats.agree + 1 }
         | Oracle.Rejected _ -> stats := { !stats with rejected = !stats.rejected + 1 }
         | Oracle.Mismatch { size; detail } ->
@@ -66,7 +83,12 @@ let run ?(points_per_kernel = 3) ?(max_size = 5) ?(check_each_pass = false) ?cor
             match compile k with
             | exception _ -> false
             | c -> (
-              match Oracle.check ~check_each_pass ?inject ?sizes ~cfg ~seed c p with
+              (* the shrunk candidate earns strictness from its own
+                 dependence analysis, not the original's *)
+              let strict_arrays = cross_check && provably_independent c in
+              match
+                Oracle.check ~check_each_pass ~strict_arrays ?inject ?sizes ~cfg ~seed c p
+              with
               | Oracle.Mismatch _ -> true
               | Oracle.Agree | Oracle.Rejected _ -> false)
           in
@@ -88,7 +110,8 @@ let run ?(points_per_kernel = 3) ?(max_size = 5) ?(check_each_pass = false) ?cor
                   ("lil-fingerprint", fingerprint);
                   ("detail", detail);
                   ("size", string_of_int size);
-                ];
+                ]
+                @ (if strict_arrays then [ ("cross-check", "bit-exact") ] else []);
             }
           in
           log
@@ -118,7 +141,16 @@ let replay ?(check_each_pass = false) ?sizes ~cfg path =
   | exception e ->
     Error (Printf.sprintf "reproducer no longer compiles: %s" (Printexc.to_string e))
   | compiled -> (
-    match Oracle.check ~check_each_pass ?sizes ~cfg ~seed compiled case.Corpus.params with
+    (* A reproducer found under cross-check replays at the same
+       strictness — but only if its kernel still proves independent
+       (the analysis may have tightened since it was written). *)
+    let strict_arrays =
+      List.mem_assoc "cross-check" case.Corpus.meta && provably_independent compiled
+    in
+    match
+      Oracle.check ~check_each_pass ~strict_arrays ?sizes ~cfg ~seed compiled
+        case.Corpus.params
+    with
     | Oracle.Agree | Oracle.Rejected _ -> Ok ()
     | Oracle.Mismatch { size; detail } ->
       Error (Printf.sprintf "mismatch at n=%d: %s" size detail))

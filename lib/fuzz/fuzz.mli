@@ -15,6 +15,10 @@ type stats = {
   rejected : int;  (** points the pipeline refused (boundary values) *)
   gen_failed : int;  (** generated kernels that failed to lower — always 0
                          unless the generator itself regressed *)
+  cross_checked : int;
+      (** points compared with bit-exact arrays because {!run}'s
+          [cross_check] was on and {!Ifko_analysis.Depend} proved the
+          kernel's references independent *)
   bugs : (Corpus.case * string) list;  (** shrunk failures, latest first *)
   written : string list;  (** reproducer paths written, latest first *)
 }
@@ -33,6 +37,7 @@ val run :
   ?points_per_kernel:int ->
   ?max_size:int ->
   ?check_each_pass:bool ->
+  ?cross_check:bool ->
   ?corpus:string ->
   ?inject:string * (Ifko_codegen.Lower.compiled -> unit) ->
   ?sizes:int list ->
@@ -44,12 +49,17 @@ val run :
   stats
 (** Fuzz [count] kernels at [points_per_kernel] (default 3) parameter
     points each.  Each mismatch is shrunk ({!Shrink.minimize}) and, when
-    [corpus] names a directory, written there as a reproducer.  [inject]
-    forwards test-only fault injection to every pipeline invocation,
-    including the shrinker's — so the minimized reproducer still
-    triggers the injected bug.  [log] receives progress lines (bugs,
-    generator failures); it never receives timestamps, keeping output
-    deterministic. *)
+    [corpus] names a directory, written there as a reproducer.
+    [cross_check] tightens the oracle against the dependence analysis:
+    whenever {!Ifko_analysis.Depend} proves every reference of a
+    kernel independent, array contents must agree bit-exactly (the
+    reduction return keeps its ULP budget) — a divergence convicts
+    either a transform or the independence claim, and is persisted to
+    the corpus like any other bug.  [inject] forwards test-only fault
+    injection to every pipeline invocation, including the shrinker's —
+    so the minimized reproducer still triggers the injected bug.  [log]
+    receives progress lines (bugs, generator failures); it never
+    receives timestamps, keeping output deterministic. *)
 
 val replay :
   ?check_each_pass:bool ->

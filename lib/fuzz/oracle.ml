@@ -53,7 +53,7 @@ let fp_ok ~tolerant fsize a b =
   if tolerant then V.close_reduction ~fsize ~ulps:red_ulps ~abs_floor:(red_floor fsize) a b
   else V.exact_fp a b
 
-let compare_point ~tolerant ~rfs (compiled : Lower.compiled) env_ref env_opt
+let compare_point ~tolerant ~strict_arrays ~rfs (compiled : Lower.compiled) env_ref env_opt
     (r_ref : Ifko_sim.Exec.result) (r_opt : Ifko_sim.Exec.result) =
   let mismatch = ref None in
   let note msg = if !mismatch = None then mismatch := Some msg in
@@ -67,6 +67,13 @@ let compare_point ~tolerant ~rfs (compiled : Lower.compiled) env_ref env_opt
   | Some _, Some _ -> note "return: kind mismatch"
   | Some _, None -> note "return: transformed kernel returned nothing"
   | None, Some _ -> note "return: transformed kernel returned a value");
+  (* When the dependence analysis proved every array reference
+     independent, no legal transform may reassociate array contents —
+     only the scalar reduction return can change shape.  The
+     cross-check mode exploits that: array comparison drops to
+     bit-exactness, so any tolerance-masked divergence convicts either
+     a transform or the independence claim itself. *)
+  let array_tolerant = tolerant && not strict_arrays in
   List.iter
     (fun (a : Lower.array_param) ->
       if !mismatch = None then begin
@@ -75,15 +82,17 @@ let compare_point ~tolerant ~rfs (compiled : Lower.compiled) env_ref env_opt
         let xo = Ifko_sim.Env.to_array env_opt name in
         Array.iteri
           (fun i r ->
-            if !mismatch = None && not (fp_ok ~tolerant a.Lower.a_elem r xo.(i)) then
+            if !mismatch = None && not (fp_ok ~tolerant:array_tolerant a.Lower.a_elem r xo.(i))
+            then
               note (Printf.sprintf "array %s[%d]: ref=%.17g got=%.17g" name i r xo.(i)))
           xr
       end)
     compiled.Lower.arrays;
   !mismatch
 
-let check ?(check_each_pass = false) ?inject ?(sizes = default_sizes) ~cfg ~seed
-    (compiled : Lower.compiled) (params : Ifko_transform.Params.t) =
+let check ?(check_each_pass = false) ?(strict_arrays = false) ?inject
+    ?(sizes = default_sizes) ~cfg ~seed (compiled : Lower.compiled)
+    (params : Ifko_transform.Params.t) =
   let line_bytes = cfg.Ifko_machine.Config.prefetchable_line in
   let tolerant = Gen.has_fp_reduction compiled.Lower.source in
   let check =
@@ -119,7 +128,10 @@ let check ?(check_each_pass = false) ?inject ?(sizes = default_sizes) ~cfg ~seed
           | exception Ifko_sim.Exec.Trap m ->
             Mismatch { size = n; detail = Printf.sprintf "trap: %s" m }
           | r_opt -> (
-            match compare_point ~tolerant ~rfs compiled env_ref env_opt r_ref r_opt with
+            match
+              compare_point ~tolerant ~strict_arrays ~rfs compiled env_ref env_opt r_ref
+                r_opt
+            with
             | Some detail -> Mismatch { size = n; detail }
             | None -> go rest)))
     in

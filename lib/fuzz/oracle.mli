@@ -33,6 +33,7 @@ val make_env : seed:int -> Ifko_codegen.Lower.compiled -> int -> Ifko_sim.Env.t
 
 val check :
   ?check_each_pass:bool ->
+  ?strict_arrays:bool ->
   ?inject:string * (Ifko_codegen.Lower.compiled -> unit) ->
   ?sizes:int list ->
   cfg:Ifko_machine.Config.t ->
@@ -43,5 +44,9 @@ val check :
 (** Run the differential check.  [check_each_pass] additionally runs
     the lint + translation-validation suite after every pipeline pass
     ({!Ifko_transform.Passcheck.generic}); a [Pass_failed] surfaces as
-    [Mismatch] naming the pass.  [inject] is test-only fault injection
-    forwarded to {!Ifko_transform.Pipeline.apply}. *)
+    [Mismatch] naming the pass.  [strict_arrays] compares array
+    contents bit-exactly even for reduction kernels — sound exactly
+    when {!Ifko_analysis.Depend} proved every array reference
+    independent, which is the fuzzer's cross-check of that claim.
+    [inject] is test-only fault injection forwarded to
+    {!Ifko_transform.Pipeline.apply}. *)

@@ -21,6 +21,10 @@ module Report = Ifko_analysis.Report
 module Dataflow = Ifko_analysis.Dataflow
 module Diag = Ifko_analysis.Diag
 module Lint = Ifko_analysis.Lint
+module Absint = Ifko_analysis.Absint
+module Depend = Ifko_analysis.Depend
+module Legality = Ifko_analysis.Legality
+module Ptrinfo = Ifko_analysis.Ptrinfo
 module Passcheck = Ifko_transform.Passcheck
 module Params = Ifko_transform.Params
 module Pipeline = Ifko_transform.Pipeline

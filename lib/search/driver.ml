@@ -34,7 +34,8 @@ let kernel_fingerprint (compiled : Ifko_codegen.Lower.compiled) =
            Printf.sprintf "%s:%s%s%s" a.Ifko_codegen.Lower.a_name
              (match a.Ifko_codegen.Lower.a_elem with Instr.S -> "s" | Instr.D -> "d")
              (if a.Ifko_codegen.Lower.a_output then ":out" else "")
-             (if a.Ifko_codegen.Lower.a_noprefetch then ":nopf" else ""))
+             ((if a.Ifko_codegen.Lower.a_noprefetch then ":nopf" else "")
+             ^ if a.Ifko_codegen.Lower.a_mayalias then ":alias" else ""))
          compiled.Ifko_codegen.Lower.arrays)
   in
   Printf.sprintf "%s\n%s\n%s"

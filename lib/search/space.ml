@@ -8,11 +8,15 @@
 open Ifko_machine
 
 (** Candidate unroll factors, bounded by the reported maximum safe
-    unrolling. *)
+    unrolling and pruned entirely when the legality oracle would refuse
+    the transform anyway (probing refused points wastes simulator
+    time — the pipeline compiles them unchanged). *)
 let unroll_candidates (report : Ifko_analysis.Report.t) =
-  List.filter
-    (fun u -> u <= report.Ifko_analysis.Report.max_unroll)
-    [ 1; 2; 3; 4; 5; 8; 12; 16; 24; 32; 64; 128 ]
+  if report.Ifko_analysis.Report.legal_unroll <> Ok () then [ 1 ]
+  else
+    List.filter
+      (fun u -> u <= report.Ifko_analysis.Report.max_unroll)
+      [ 1; 2; 3; 4; 5; 8; 12; 16; 24; 32; 64; 128 ]
 
 (** Candidate accumulator counts ([0] = off); pointless without any
     accumulator. *)
@@ -38,10 +42,18 @@ let pf_dist_candidates (cfg : Config.t) =
        [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 14; 16; 20; 24; 30; 32 ])
 
 let wnt_candidates (report : Ifko_analysis.Report.t) =
-  if report.Ifko_analysis.Report.output_arrays = [] then [ false ] else [ false; true ]
+  if
+    report.Ifko_analysis.Report.output_arrays = []
+    || report.Ifko_analysis.Report.legal_wnt <> Ok ()
+  then [ false ]
+  else [ false; true ]
 
 let sv_candidates (report : Ifko_analysis.Report.t) =
-  if report.Ifko_analysis.Report.vectorizable then [ true; false ] else [ false ]
+  if
+    report.Ifko_analysis.Report.vectorizable
+    && report.Ifko_analysis.Report.legal_sv = Ok ()
+  then [ true; false ]
+  else [ false ]
 
 (* ---- extension dimensions (paper future work; see Params) ---- *)
 

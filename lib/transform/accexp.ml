@@ -17,9 +17,12 @@ open Ifko_analysis
 
 let apply (compiled : Lower.compiled) k =
   match compiled.Lower.loopnest with
-  | None -> ()
-  | Some _ when k <= 1 -> ()
-  | Some ln ->
+  | None -> Ok ()
+  | Some _ when k <= 1 -> Ok ()
+  | Some ln -> (
+    match Legality.accexp (Legality.analyze compiled) with
+    | Error d -> Error d
+    | Ok () ->
     let f = compiled.Lower.func in
     let accums = Accuminfo.analyze compiled in
     let body_labels = Loopnest.body_labels f ln in
@@ -94,4 +97,5 @@ let apply (compiled : Lower.compiled) k =
                  else Instr.Fop (sz, Instr.Fadd, r, r, e))
                extras)
         end)
-      accums
+      accums;
+    Ok ())

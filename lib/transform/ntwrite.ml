@@ -10,6 +10,7 @@
     the paper leaves the decision to the empirical search. *)
 
 open Ifko_codegen
+open Ifko_analysis
 
 let apply (compiled : Lower.compiled) =
   let outputs =
@@ -17,16 +18,23 @@ let apply (compiled : Lower.compiled) =
       (fun (a : Lower.array_param) -> if a.Lower.a_output then Some a.Lower.a_reg else None)
       compiled.Lower.arrays
   in
-  if outputs <> [] then
-    let is_output (m : Instr.mem) = List.exists (Reg.equal m.Instr.base) outputs in
-    List.iter
-      (fun b ->
-        b.Block.instrs <-
-          List.map
-            (fun i ->
-              match i with
-              | Instr.Fst (sz, m, r) when is_output m -> Instr.Fstnt (sz, m, r)
-              | Instr.Vst (sz, m, r) when is_output m -> Instr.Vstnt (sz, m, r)
-              | i -> i)
-            b.Block.instrs)
-      compiled.Lower.func.Cfg.blocks
+  if outputs = [] then Ok ()
+  else
+    (* the oracle must prove every store a pure affine streaming store
+       of an unaliased output array before the hint is sound *)
+    match Legality.ntwrite (Legality.analyze compiled) with
+    | Error d -> Error d
+    | Ok () ->
+      let is_output (m : Instr.mem) = List.exists (Reg.equal m.Instr.base) outputs in
+      List.iter
+        (fun b ->
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                match i with
+                | Instr.Fst (sz, m, r) when is_output m -> Instr.Fstnt (sz, m, r)
+                | Instr.Vst (sz, m, r) when is_output m -> Instr.Vstnt (sz, m, r)
+                | i -> i)
+              b.Block.instrs)
+        compiled.Lower.func.Cfg.blocks;
+      Ok ()

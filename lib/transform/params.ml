@@ -38,7 +38,9 @@ let default ~line_bytes (report : Ifko_analysis.Report.t) =
     | None -> 8
   in
   {
-    sv = report.Ifko_analysis.Report.vectorizable;
+    sv =
+      report.Ifko_analysis.Report.vectorizable
+      && report.Ifko_analysis.Report.legal_sv = Ok ();
     unroll = max 1 (line_bytes / elem_bytes);
     lc = true;
     ae = 0;

@@ -84,9 +84,15 @@ let repeatable ?on_pass ?(protect = []) (f : Cfg.func) =
     {!Passcheck.Pass_failed} naming the first pass that broke an
     invariant.  [?inject] is fault injection for testing that
     machinery: [(pass, break)] runs [break] on the compiled kernel
-    right after the named pass, simulating a bug in it. *)
-let apply ?(skip_regalloc = false) ?check ?inject ~line_bytes (compiled : Lower.compiled)
-    (params : Params.t) =
+    right after the named pass, simulating a bug in it.
+
+    A transform may refuse its requested parameters when the
+    {!Ifko_analysis.Legality} oracle cannot prove it safe; the point
+    then compiles {e without} that transform and [?on_skip] receives
+    the rejection diagnostic (IFK012) so callers can log or surface
+    it. *)
+let apply ?(skip_regalloc = false) ?check ?inject ?on_skip ~line_bytes
+    (compiled : Lower.compiled) (params : Params.t) =
   let c = snapshot compiled in
   let f = c.Lower.func in
   let reference =
@@ -102,20 +108,26 @@ let apply ?(skip_regalloc = false) ?check ?inject ~line_bytes (compiled : Lower.
   in
   let fundamental pass enabled run =
     if enabled then begin
-      run ();
+      (match run () with
+      | Ok () -> ()
+      | Error d -> (
+        match on_skip with
+        | Some cb -> cb d
+        | None -> ()));
       checked pass
     end
   in
+  let ok run () = run (); Ok () in
   (* Fundamental transformations, fixed order. *)
   fundamental "SV" params.Params.sv (fun () -> Simd.apply c);
   fundamental "UR" (params.Params.unroll > 1) (fun () -> Unroll.apply c params.Params.unroll);
-  fundamental "CISC" params.Params.cisc (fun () -> Ciscidx.apply c);
-  fundamental "LC" params.Params.lc (fun () -> Loopctl.apply c);
+  fundamental "CISC" params.Params.cisc (ok (fun () -> Ciscidx.apply c));
+  fundamental "LC" params.Params.lc (ok (fun () -> Loopctl.apply c));
   fundamental "AE" (params.Params.ae > 1) (fun () -> Accexp.apply c params.Params.ae);
-  fundamental "BF" (params.Params.bf > 0) (fun () -> Blockfetch.apply c params.Params.bf);
+  fundamental "BF" (params.Params.bf > 0) (ok (fun () -> Blockfetch.apply c params.Params.bf));
   fundamental "PF"
     (params.Params.prefetch <> [])
-    (fun () -> Prefetch_xform.apply c ~line_bytes params.Params.prefetch);
+    (ok (fun () -> Prefetch_xform.apply c ~line_bytes params.Params.prefetch));
   fundamental "WNT" params.Params.wnt (fun () -> Ntwrite.apply c);
   (* Repeatable block to fixed point, then allocation, then a final
      cleanup of any trivialities the spill code introduced. *)

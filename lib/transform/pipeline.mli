@@ -27,6 +27,7 @@ val apply :
   ?skip_regalloc:bool ->
   ?check:Passcheck.t ->
   ?inject:string * (Ifko_codegen.Lower.compiled -> unit) ->
+  ?on_skip:(Ifko_analysis.Diag.t -> unit) ->
   line_bytes:int ->
   Ifko_codegen.Lower.compiled ->
   Params.t ->
@@ -46,4 +47,8 @@ val apply :
 
     [inject] is test-only fault injection: [(pass, break)] applies
     [break] right after the named pass so tests can assert that the
-    checker localizes a deliberately broken transform. *)
+    checker localizes a deliberately broken transform.
+
+    [on_skip] receives the {!Ifko_analysis.Legality} rejection
+    diagnostic (IFK012) whenever a requested transform refused its
+    parameters; the point still compiles, without that transform. *)

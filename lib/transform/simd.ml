@@ -9,12 +9,18 @@ let applied (compiled : Lower.compiled) =
 let apply (compiled : Lower.compiled) =
   let vec = Vecinfo.analyze compiled in
   match (compiled.Lower.loopnest, vec.Vecinfo.vectorizable, vec.Vecinfo.precision) with
-  | None, _, _ -> ()
+  | None, _, _ -> Ok ()
   | Some _, false, _ | Some _, _, None ->
     (* the analysis refuses; the SPECULATE mark-up may still license
        the compare-mask vectorization of a max-with-index reduction *)
-    ignore (Maxloc.try_apply compiled : bool)
-  | Some ln, true, Some sz ->
+    ignore (Maxloc.try_apply compiled : bool);
+    Ok ()
+  | Some ln, true, Some sz -> (
+    (* the shape is vectorizable; the dependence oracle has the final
+       word (fail-closed: unproven independence refuses) *)
+    match Legality.vectorize (Legality.analyze compiled) with
+    | Error d -> Error d
+    | Ok () ->
     let f = compiled.Lower.func in
     let veclen = Instr.lanes sz in
     (* The remainder of the trip count needs a scalar loop. *)
@@ -76,4 +82,5 @@ let apply (compiled : Lower.compiled) =
     Edit.prepend_instrs mid !mid_instrs;
     ln.Loopnest.per_iter <- ln.Loopnest.per_iter * veclen;
     ln.Loopnest.vectorized <- Some sz;
-    Loopnest.refresh_loop_control f ln
+    Loopnest.refresh_loop_control f ln;
+    Ok ())

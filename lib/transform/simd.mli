@@ -9,8 +9,12 @@
     accumulators are summed into their scalar originals in the [mid]
     block. *)
 
-val apply : Ifko_codegen.Lower.compiled -> unit
-(** Vectorize in place.  When the conservative analysis refuses but the
+val apply :
+  Ifko_codegen.Lower.compiled -> (unit, Ifko_analysis.Diag.t) result
+(** Vectorize in place.  The {!Ifko_analysis.Legality} oracle has the
+    final word: a kernel whose references cannot be proven free of
+    carried dependences is refused with the rejection diagnostic
+    (fail-closed).  When the conservative analysis refuses but the
     loop carries the [SPECULATE] mark-up, {!Maxloc.try_apply} is given
     a chance (the paper's user-assisted path for iamax).  No-op when
     neither applies or there is no tunable loop. *)

@@ -146,17 +146,24 @@ let unroll_blocks f (ln : Loopnest.t) n_u =
 
 let apply (compiled : Lower.compiled) n_u =
   match compiled.Lower.loopnest with
-  | None -> ()
-  | Some _ when n_u <= 1 -> ()
-  | Some ln ->
-    let f = compiled.Lower.func in
-    Loopnest.materialize_cleanup f ln;
-    let moving = Ptrinfo.analyze compiled in
-    (match Loopnest.body_labels f ln with
-    | [ body_label ]
-      when (Cfg.find_block_exn f body_label).Block.term = Block.Jmp ln.Loopnest.latch ->
-      unroll_straightline f ln moving (Cfg.find_block_exn f body_label) n_u
-    | _ -> unroll_blocks f ln n_u);
-    ln.Loopnest.per_iter <- ln.Loopnest.per_iter * n_u;
-    ln.Loopnest.unrolled <- n_u;
-    Loopnest.refresh_loop_control f ln
+  | None -> Ok ()
+  | Some _ when n_u <= 1 -> Ok ()
+  | Some ln -> (
+    (* the oracle refuses when the loop bookkeeping is stale or the
+       syntactic strides contradict the inferred congruence — the
+       conditions under which bump folding would corrupt addresses *)
+    match Legality.unroll (Legality.analyze compiled) with
+    | Error d -> Error d
+    | Ok () ->
+      let f = compiled.Lower.func in
+      Loopnest.materialize_cleanup f ln;
+      let moving = Ptrinfo.analyze compiled in
+      (match Loopnest.body_labels f ln with
+      | [ body_label ]
+        when (Cfg.find_block_exn f body_label).Block.term = Block.Jmp ln.Loopnest.latch ->
+        unroll_straightline f ln moving (Cfg.find_block_exn f body_label) n_u
+      | _ -> unroll_blocks f ln n_u);
+      ln.Loopnest.per_iter <- ln.Loopnest.per_iter * n_u;
+      ln.Loopnest.unrolled <- n_u;
+      Loopnest.refresh_loop_control f ln;
+      Ok ())

@@ -12,6 +12,9 @@
     is [N_u * veclen] when both are applied.  A scalar cleanup loop is
     materialized (once) to consume remainder iterations. *)
 
-val apply : Ifko_codegen.Lower.compiled -> int -> unit
+val apply :
+  Ifko_codegen.Lower.compiled -> int -> (unit, Ifko_analysis.Diag.t) result
 (** [apply compiled n_u] unrolls in place.  No-op when [n_u <= 1] or
-    there is no tunable loop. *)
+    there is no tunable loop; refused (fail-closed, with the
+    {!Ifko_analysis.Legality} rejection diagnostic) when the loop
+    bookkeeping is stale or the pointer strides are contradictory. *)

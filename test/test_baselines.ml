@@ -114,7 +114,9 @@ let test_two_array_indexing_idiom () =
   let id = { Defs.routine = Defs.Copy; prec = Instr.D } in
   let compiled = Hil_sources.compile id in
   let c = Ifko_transform.Pipeline.snapshot compiled in
-  Ifko_transform.Unroll.apply c 4;
+  (match Ifko_transform.Unroll.apply c 4 with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Ifko_analysis.Diag.to_string d));
   Ifko_baselines.Atlas_idioms.two_array_indexing c;
   (* pointer bumps replaced by a single shared index update *)
   let f = c.Ifko_codegen.Lower.func in

@@ -1,0 +1,443 @@
+(* Affine dependence & bounds analysis: interval-stride domain
+   (Absint), distance/direction vectors (Depend), and the fail-closed
+   Legality oracle. *)
+
+open Ifko_codegen
+open Ifko_analysis
+
+let compile_src src =
+  src |> Ifko_hil.Parser.parse_kernel |> Ifko_hil.Typecheck.check |> Lower.lower
+
+let compile_blas id = Ifko_blas.Hil_sources.compile id
+
+(* ---------- Absint: the interval-with-stride domain ---------- *)
+
+let header_of (compiled : Lower.compiled) =
+  match compiled.Lower.loopnest with
+  | Some ln -> ln.Loopnest.header
+  | None -> Alcotest.fail "kernel has no loop nest"
+
+let array_reg (compiled : Lower.compiled) name =
+  match
+    List.find_opt (fun a -> a.Lower.a_name = name) compiled.Lower.arrays
+  with
+  | Some a -> a.Lower.a_reg
+  | None -> Alcotest.fail ("no array " ^ name)
+
+(* An ascending pointer must converge to [X + [0,+inf)/stride]: the
+   widening join keeps the loop-entry constant as the lower bound and
+   widens the upper bound, recording the bump as a stride. *)
+let test_widening_ascending () =
+  let compiled = compile_blas { Ifko_blas.Defs.routine = Ifko_blas.Defs.Scal; prec = Instr.D } in
+  let ai = Absint.analyze compiled.Lower.func in
+  let x = array_reg compiled "X" in
+  match Absint.at_entry ai (header_of compiled) x with
+  | Absint.Val { anchor = Absint.Sym p; lo = Absint.Fin 0; hi = Absint.PosInf; stride = 8 } ->
+    Alcotest.(check bool) "anchored at X" true (Reg.equal p x)
+  | v -> Alcotest.fail ("unexpected value: " ^ Absint.to_string v)
+
+(* A descending index converges to [N + (-inf, 0]/1]: the upper bound
+   (the entry value) survives, the lower bound widens. *)
+let test_widening_descending () =
+  let src =
+    {|KERNEL down(N : int, X : ptr double OUTPUT)
+VARS
+  x : double;
+BEGIN
+  OPTLOOP i = N, 0, -1
+  LOOP_BODY
+    x = X[0];
+    X[0] = x;
+    X += 1;
+  LOOP_END
+END
+|}
+  in
+  let compiled = compile_src src in
+  let ai = Absint.analyze compiled.Lower.func in
+  let x = array_reg compiled "X" in
+  (match Absint.at_entry ai (header_of compiled) x with
+  | Absint.Val { anchor = Absint.Sym _; lo = Absint.Fin 0; hi = Absint.PosInf; stride = 8 } -> ()
+  | v -> Alcotest.fail ("pointer: " ^ Absint.to_string v));
+  (* the analysis still proves the pointer affine: direction of the
+     HIL index does not matter, only the pointer bumps do *)
+  let dep = Depend.analyze compiled in
+  Alcotest.(check int) "accesses" 2 (List.length dep.Depend.accesses);
+  Alcotest.(check int) "non-affine" 0 (List.length dep.Depend.nonaffine)
+
+(* The join must reach a fixpoint (engine termination) even when two
+   pointers chase each other and a register is rebound mid-loop. *)
+let test_widening_termination () =
+  let src =
+    {|KERNEL chase(N : int, X : ptr double, Y : ptr double OUTPUT)
+VARS
+  a, b : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    a = X[0];
+    b = X[1];
+    Y[0] = a;
+    Y[1] = b;
+    X += 3;
+    Y += 2;
+    Y += 1;
+  LOOP_END
+END
+|}
+  in
+  let compiled = compile_src src in
+  let ai = Absint.analyze compiled.Lower.func in
+  let y = array_reg compiled "Y" in
+  match Absint.at_entry ai (header_of compiled) y with
+  | Absint.Val { lo = Absint.Fin 0; hi = Absint.PosInf; stride; _ } ->
+    (* two unconditional bumps per iteration, 16 + 8 bytes: at the
+       header the offset is always a multiple of 24 *)
+    Alcotest.(check int) "stride" 24 stride
+  | v -> Alcotest.fail ("unexpected value: " ^ Absint.to_string v)
+
+(* ---------- Depend: golden distance/direction vectors ---------- *)
+
+let pair_sig (p : Depend.pair) =
+  let side (a : Depend.access) =
+    Printf.sprintf "%s %s"
+      (if a.Depend.store then "st" else "ld")
+      (match a.Depend.array with Some ap -> ap.Lower.a_name | None -> "?")
+  in
+  Printf.sprintf "%s -> %s: %s" (side p.Depend.src) (side p.Depend.dst)
+    (Depend.relation_to_string p.Depend.relation)
+
+let check_pairs name expected compiled =
+  let dep = Depend.analyze compiled in
+  Alcotest.(check (list string)) name expected (List.map pair_sig dep.Depend.pairs)
+
+let blas id = { Ifko_blas.Defs.routine = id; prec = Instr.D }
+
+let test_golden_blas () =
+  (* swap: both arrays read then written at the same index: a
+     loop-independent (distance 0, direction =) pair each; the stores
+     never overlap themselves across iterations. *)
+  check_pairs "swap"
+    [ "ld Y -> st Y: distance 0 (=)";
+      "ld X -> st X: distance 0 (=)";
+      "st Y -> st Y: independent";
+      "st X -> st X: independent" ]
+    (compile_blas (blas Ifko_blas.Defs.Swap));
+  check_pairs "scal"
+    [ "ld X -> st X: distance 0 (=)"; "st X -> st X: independent" ]
+    (compile_blas (blas Ifko_blas.Defs.Scal));
+  (* copy: X and Y are distinct parameters, so the only conflict
+     candidate is the store against itself *)
+  check_pairs "copy" [ "st Y -> st Y: independent" ]
+    (compile_blas (blas Ifko_blas.Defs.Copy));
+  check_pairs "axpy"
+    [ "ld Y -> st Y: distance 0 (=)"; "st Y -> st Y: independent" ]
+    (compile_blas (blas Ifko_blas.Defs.Axpy));
+  (* reductions: loads only, nothing to conflict *)
+  check_pairs "dot" [] (compile_blas (blas Ifko_blas.Defs.Dot));
+  check_pairs "asum" [] (compile_blas (blas Ifko_blas.Defs.Asum));
+  check_pairs "iamax" [] (compile_blas (blas Ifko_blas.Defs.Iamax))
+
+let test_golden_all_independent () =
+  List.iter
+    (fun id ->
+      let dep = Depend.analyze (compile_blas id) in
+      Alcotest.(check bool)
+        (Ifko_blas.Defs.name id ^ " independent")
+        true (Depend.all_independent dep))
+    Ifko_blas.Defs.all
+
+(* ---------- adversarial kernels ---------- *)
+
+(* A read one element ahead of a store to the same array: a
+   loop-carried flow dependence at distance 1. *)
+let test_carried_distance_one () =
+  let src =
+    {|KERNEL shift(N : int, Y : ptr double OUTPUT)
+VARS
+  y : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    y = Y[1];
+    Y[0] = y;
+    Y += 1;
+  LOOP_END
+END
+|}
+  in
+  check_pairs "shift"
+    [ "ld Y -> st Y: distance 1 (<)"; "st Y -> st Y: independent" ]
+    (compile_src src)
+
+(* Two stores eight bytes apart with a stride of one element: the
+   second store this iteration lands where the first store of the next
+   iteration writes — an output dependence at distance -1 (>). *)
+let test_overlapping_stores () =
+  let src =
+    {|KERNEL smear(N : int, Y : ptr double OUTPUT)
+VARS
+  y : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    y = Y[0];
+    Y[0] = y;
+    Y[1] = y;
+    Y += 1;
+  LOOP_END
+END
+|}
+  in
+  let dep = Depend.analyze (compile_src src) in
+  Alcotest.(check bool) "not independent" false (Depend.all_independent dep);
+  let has_carried =
+    List.exists
+      (fun (p : Depend.pair) ->
+        match p.Depend.relation with
+        | Depend.Dependent { distance = Some d; _ } -> d <> 0
+        | _ -> false)
+      dep.Depend.pairs
+  in
+  Alcotest.(check bool) "carried store overlap" true has_carried
+
+(* MAYALIAS suppresses the no-alias rule: every pair involving the
+   marked array degrades to Unknown — the fail-closed verdict. *)
+let test_mayalias_unknown () =
+  let src =
+    {|KERNEL aliased(N : int, X : ptr double MAYALIAS, Y : ptr double OUTPUT MAYALIAS)
+VARS
+  x : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    Y[0] = x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+END
+|}
+  in
+  let dep = Depend.analyze (compile_src src) in
+  Alcotest.(check bool) "not independent" false (Depend.all_independent dep);
+  Alcotest.(check bool) "an Unknown pair exists" true
+    (List.exists
+       (fun (p : Depend.pair) ->
+         match p.Depend.relation with Depend.Unknown _ -> true | _ -> false)
+       dep.Depend.pairs)
+
+(* Without the mark-up the same kernel is provably independent. *)
+let test_no_alias_default () =
+  let src =
+    {|KERNEL unaliased(N : int, X : ptr double, Y : ptr double OUTPUT)
+VARS
+  x : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    Y[0] = x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+END
+|}
+  in
+  let dep = Depend.analyze (compile_src src) in
+  Alcotest.(check bool) "independent" true (Depend.all_independent dep)
+
+(* ---------- the Legality oracle gating the transforms ---------- *)
+
+let aliased_copy_src =
+  {|KERNEL aliased(N : int, X : ptr double MAYALIAS, Y : ptr double OUTPUT MAYALIAS)
+VARS
+  x : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    Y[0] = x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+END
+|}
+
+let unaliased_copy_src =
+  {|KERNEL plain(N : int, X : ptr double, Y : ptr double OUTPUT)
+VARS
+  x : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    x = X[0];
+    Y[0] = x;
+    X += 1;
+    Y += 1;
+  LOOP_END
+END
+|}
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let check_refused name result =
+  match result with
+  | Ok () -> Alcotest.fail (name ^ ": transform was not refused")
+  | Error (d : Diag.t) -> Alcotest.(check string) (name ^ " code") "IFK012" d.Diag.code
+
+(* SV used to be gated syntactically (Vecinfo shape only); the oracle
+   now refuses when independence cannot be proven. *)
+let test_sv_refused_on_mayalias () =
+  let c = compile_src aliased_copy_src in
+  check_refused "SV" (Ifko_transform.Simd.apply c);
+  Alcotest.(check bool) "loop stays scalar" false (Ifko_transform.Simd.applied c)
+
+(* WNT bypasses the cache on output stores; an output that may alias a
+   read array makes the write-combining reordering unprovable. *)
+let test_wnt_refused_on_mayalias () =
+  check_refused "WNT" (Ifko_transform.Ntwrite.apply (compile_src aliased_copy_src));
+  (* without the mark-up the same kernel converts cleanly *)
+  let c = compile_src unaliased_copy_src in
+  match Ifko_transform.Ntwrite.apply c with
+  | Ok () ->
+    let nt =
+      List.exists
+        (fun (b : Block.t) ->
+          List.exists
+            (function Instr.Fstnt _ | Instr.Vstnt _ -> true | _ -> false)
+            b.Block.instrs)
+        c.Lower.func.Cfg.blocks
+    in
+    Alcotest.(check bool) "non-temporal stores emitted" true nt
+  | Error d -> Alcotest.fail (Diag.to_string d)
+
+(* UR must refuse when the loop bookkeeping no longer matches the code
+   — unrolling against stale labels would duplicate the wrong blocks. *)
+let test_ur_refused_on_stale_loopnest () =
+  let c = compile_blas (blas Ifko_blas.Defs.Copy) in
+  (match c.Lower.loopnest with
+  | Some ln -> ln.Loopnest.header <- "gone_with_the_cleanup"
+  | None -> Alcotest.fail "copy has a loop nest");
+  match Ifko_transform.Unroll.apply c 4 with
+  | Ok () -> Alcotest.fail "UR accepted a stale loop nest"
+  | Error d ->
+    Alcotest.(check string) "code" "IFK012" d.Diag.code;
+    Alcotest.(check bool) "names the staleness" true
+      (contains ~sub:"stale" d.Diag.message)
+
+(* UR and AE also refuse when Ptrinfo's syntactic stride contradicts
+   the abstract interpretation: here a preheader copy re-anchors X's
+   pointer at Y, which IFK014 reports and the oracle rejects. *)
+let test_ur_refused_on_contradiction () =
+  let c = compile_blas (blas Ifko_blas.Defs.Copy) in
+  let x = array_reg c "X" and y = array_reg c "Y" in
+  (match c.Lower.loopnest with
+  | Some ln ->
+    let pre = Cfg.find_block_exn c.Lower.func ln.Loopnest.preheader in
+    pre.Block.instrs <- pre.Block.instrs @ [ Instr.Imov (x, y) ]
+  | None -> Alcotest.fail "copy has a loop nest");
+  Alcotest.(check bool) "contradiction detected" true
+    (Depend.stride_contradictions c <> []);
+  check_refused "UR" (Ifko_transform.Unroll.apply c 4);
+  check_refused "AE" (Ifko_transform.Accexp.apply c 4);
+  Alcotest.(check bool) "IFK014 reported" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "IFK014" && d.Diag.severity = Diag.Warning)
+       (Lint.check c))
+
+(* The pipeline compiles a refused point without the transform and
+   surfaces the rejection through [on_skip]. *)
+let test_pipeline_on_skip () =
+  let c = compile_src aliased_copy_src in
+  let skips = ref [] in
+  let params =
+    { (Ifko_transform.Params.default ~line_bytes:128 (Report.analyze c)) with
+      Ifko_transform.Params.sv = true }
+  in
+  let out =
+    Ifko_transform.Pipeline.apply ~on_skip:(fun d -> skips := d :: !skips)
+      ~line_bytes:128 c params
+  in
+  Alcotest.(check bool) "compiled" true (out.Lower.func.Cfg.blocks <> []);
+  match !skips with
+  | [ d ] -> Alcotest.(check string) "skip code" "IFK012" d.Diag.code
+  | ds -> Alcotest.failf "expected exactly one skip, got %d" (List.length ds)
+
+(* ---------- IFK010: provable out-of-bounds ---------- *)
+
+let test_oob_detected () =
+  let src =
+    {|KERNEL oob(N : int, Y : ptr double OUTPUT)
+VARS
+  y : double;
+BEGIN
+  OPTLOOP i = 0, N
+  LOOP_BODY
+    y = Y[-1];
+    Y[0] = y;
+    Y += 1;
+  LOOP_END
+END
+|}
+  in
+  let diags = Lint.check (compile_src src) in
+  Alcotest.(check bool) "IFK010 error" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "IFK010" && d.Diag.severity = Diag.Error)
+       diags)
+
+(* Every seed kernel and every checked-in fuzz reproducer stays clean
+   under the new dependence-based lints. *)
+let test_lint_clean_sweep () =
+  let new_code (d : Diag.t) =
+    List.mem d.Diag.code [ "IFK010"; "IFK011"; "IFK012"; "IFK013"; "IFK014" ]
+  in
+  let sweep name compiled =
+    match List.filter new_code (Lint.check compiled) with
+    | [] -> ()
+    | ds -> Alcotest.failf "%s: %s" name (Diag.list_to_string ds)
+  in
+  List.iter (fun id -> sweep (Ifko_blas.Defs.name id) (compile_blas id)) Ifko_blas.Defs.all;
+  List.iter
+    (fun path ->
+      let case = Ifko_fuzz.Corpus.read path in
+      sweep path (Ifko_fuzz.Fuzz.compile case.Ifko_fuzz.Corpus.kernel))
+    (Ifko_fuzz.Corpus.files ~dir:"corpus")
+
+(* ---------- machine-readable diagnostics ---------- *)
+
+let test_diag_json () =
+  let d = Diag.warning ~pass:"UR" ~block:"body_2" ~instr:3 "IFK011" "say \"%s\"" "hi" in
+  Alcotest.(check string) "object"
+    "{\"severity\":\"warning\",\"code\":\"IFK011\",\"pass\":\"UR\",\"block\":\"body_2\",\"instr\":3,\"message\":\"say \\\"hi\\\"\"}"
+    (Diag.to_json d);
+  let e = Diag.error "IFK001" "broken" in
+  Alcotest.(check string) "list sorts errors first"
+    (Printf.sprintf "[%s,%s]" (Diag.to_json e) (Diag.to_json d))
+    (Diag.list_to_json [ d; e ])
+
+let suite =
+  [ Alcotest.test_case "widening: ascending pointer" `Quick test_widening_ascending;
+    Alcotest.test_case "widening: descending index" `Quick test_widening_descending;
+    Alcotest.test_case "widening: termination" `Quick test_widening_termination;
+    Alcotest.test_case "golden BLAS vectors" `Quick test_golden_blas;
+    Alcotest.test_case "BLAS suite all independent" `Quick test_golden_all_independent;
+    Alcotest.test_case "carried distance 1" `Quick test_carried_distance_one;
+    Alcotest.test_case "overlapping stores" `Quick test_overlapping_stores;
+    Alcotest.test_case "MAYALIAS fails closed" `Quick test_mayalias_unknown;
+    Alcotest.test_case "no-alias default" `Quick test_no_alias_default;
+    Alcotest.test_case "legality: SV refused on MAYALIAS" `Quick test_sv_refused_on_mayalias;
+    Alcotest.test_case "legality: WNT refused on MAYALIAS" `Quick test_wnt_refused_on_mayalias;
+    Alcotest.test_case "legality: UR refused on stale loop nest" `Quick
+      test_ur_refused_on_stale_loopnest;
+    Alcotest.test_case "legality: UR/AE refused on stride contradiction" `Quick
+      test_ur_refused_on_contradiction;
+    Alcotest.test_case "pipeline surfaces skips" `Quick test_pipeline_on_skip;
+    Alcotest.test_case "IFK010 flags provable OOB" `Quick test_oob_detected;
+    Alcotest.test_case "seed suite + corpus lint-clean (IFK010-IFK014)" `Quick
+      test_lint_clean_sweep;
+    Alcotest.test_case "diag JSON encoding" `Quick test_diag_json ]

@@ -72,8 +72,19 @@ let test_clean_sweep () =
   Alcotest.(check int) "no bugs in the real pipeline" 0 (List.length stats.Fuzz.bugs);
   Alcotest.(check string) "summary line"
     (Fuzz.stats_to_string stats)
-    (Printf.sprintf "fuzz: kernels=30 points=%d agree=%d rejected=%d gen-failed=0 bugs=0"
+    (Printf.sprintf
+       "fuzz: kernels=30 points=%d agree=%d rejected=%d gen-failed=0 cross-checked=0 \
+        bugs=0"
        stats.Fuzz.points stats.Fuzz.agree stats.Fuzz.rejected)
+
+(* With cross-checking on, kernels whose references Depend proves
+   independent are held to bit-exact array agreement — and the real
+   pipeline passes at that tighter bar. *)
+let test_cross_check_sweep () =
+  let stats = Fuzz.run ~cross_check:true ~cfg ~seed:42 ~count:30 () in
+  Alcotest.(check int) "no bugs at the bit-exact bar" 0 (List.length stats.Fuzz.bugs);
+  Alcotest.(check bool) "some points were cross-checked" true
+    (stats.Fuzz.cross_checked > 0)
 
 let test_run_deterministic () =
   let log1 = Buffer.create 64 and log2 = Buffer.create 64 in
@@ -243,6 +254,7 @@ let suite =
   [ Alcotest.test_case "generator deterministic" `Quick test_gen_deterministic;
     Alcotest.test_case "generated kernels lower" `Quick test_gen_valid;
     Alcotest.test_case "clean sweep on real pipeline" `Quick test_clean_sweep;
+    Alcotest.test_case "cross-check sweep (bit-exact arrays)" `Quick test_cross_check_sweep;
     Alcotest.test_case "fuzz run deterministic" `Quick test_run_deterministic;
     Alcotest.test_case "injected bug caught+shrunk+written" `Quick test_injection_caught;
     Alcotest.test_case "shrinker idempotent" `Quick test_shrink_idempotent;

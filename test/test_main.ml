@@ -8,6 +8,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("analysis", Test_analysis.suite);
       ("lint", Test_lint.suite);
+      ("depend", Test_depend.suite);
       ("machine", Test_machine.suite);
       ("sim", Test_sim.suite);
       ("exec-compiled", Test_exec_compiled.suite);
