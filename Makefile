@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test fmt check bench simbench fuzz lint-examples
+.PHONY: all build test fmt check bench simbench servebench servesmoke fuzz lint-examples
 
 all: build
 
@@ -32,6 +32,20 @@ bench:
 simbench:
 	dune exec bench/main.exe -- --exp simbench --no-store --profile \
 		--baseline BENCH_results.json
+
+# Load generator against an in-process tuning daemon: zipf-skewed
+# tune/lookup mix from concurrent clients; reports throughput, tail
+# latency and warm hit rate, and fails unless the daemon's replies are
+# bit-identical to a sequential Driver.tune and the warm hit rate
+# clears 90%.
+servebench:
+	dune exec bench/main.exe -- --exp servebench --no-store
+
+# Tuning-service smoke: daemon on a Unix socket, cold tune, warm
+# lookup (must be a cache hit), stat, graceful shutdown — every step
+# timeout-bounded.
+servesmoke: build
+	sh scripts/serve_smoke.sh
 
 # Golden lint gate: `ifko lint --json` over the example kernels and
 # the checked-in fuzz reproducers must match the committed *.lint.json

@@ -19,7 +19,7 @@
                     the fresh simbench geomeans regress by more than 15%
 
    Experiments: table1 table2 fig2 fig3 fig4 fig5a fig5b table3 fig7
-                opteron_l2 ablations simbench all *)
+                opteron_l2 ablations simbench servebench all *)
 
 open Ifko_blas
 open Ifko_machine
@@ -459,6 +459,250 @@ let exp_simbench () =
     (geo (fun r -> r.sb_new_timed /. r.sb_ref_timed));
   simbench_rows := rows
 
+(* ---------- servebench: load generator against the tuning daemon ---------- *)
+
+module Serve_proto = Ifko_serve.Proto
+module Serve_server = Ifko_serve.Server
+module Serve_client = Ifko_serve.Client
+
+type servebench_summary = {
+  sv_clients : int;
+  sv_jobs : int;
+  sv_workpoints : int;
+  sv_requests : int; (* warm phase *)
+  sv_throughput : float; (* warm requests per second *)
+  sv_p50_ms : float;
+  sv_p95_ms : float;
+  sv_p99_ms : float;
+  sv_hit_rate : float; (* warm phase *)
+  sv_cold_seconds : float;
+  sv_bit_identical : bool;
+}
+
+let servebench : servebench_summary option ref = ref None
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let exp_servebench () =
+  (* Hot workpoints occupy the head of the zipf distribution and are all
+     tuned during the cold phase; the tail points are reached only
+     through the skewed sampler, so the warm phase still sees a few
+     genuine misses (a lookup on a never-tuned point, or the one tune
+     that first computes it) without dropping under the 90%% bar. *)
+  let dk routine = { Defs.routine; prec = Instr.D } in
+  let hot_kernels =
+    List.map dk
+      (if !quick then [ Defs.Dot; Defs.Asum ]
+       else [ Defs.Dot; Defs.Asum; Defs.Axpy; Defs.Copy; Defs.Scal ])
+  in
+  let hot_ns = if !quick then [ 400 ] else [ 400; 800 ] in
+  let point id n =
+    { (Serve_proto.default_args ~kernel:(Hil_sources.source id)) with
+      Serve_proto.n;
+      seed;
+      flops_per_n = Defs.flops_per_n id.Defs.routine;
+    }
+  in
+  let hot = List.concat_map (fun id -> List.map (point id) hot_ns) hot_kernels in
+  let tail =
+    List.map
+      (fun id -> point id 240)
+      (if !quick then [ dk Defs.Dot ] else [ dk Defs.Dot; dk Defs.Asum ])
+  in
+  let points = Array.of_list (hot @ tail) in
+  let clients = if !quick then 3 else 4 in
+  let warm_requests = if !quick then 600 else 3000 in
+  let daemon_jobs = max 2 !jobs in
+  (* zipf(1.1) over workpoint ranks *)
+  let weights =
+    Array.init (Array.length points) (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) 1.1)
+  in
+  let cum = Array.make (Array.length weights) 0.0 in
+  let _ =
+    Array.fold_left
+      (fun (i, acc) w ->
+        let acc = acc +. w in
+        cum.(i) <- acc;
+        (i + 1, acc))
+      (0, 0.0) weights
+  in
+  let total_w = cum.(Array.length cum - 1) in
+  let pick rng =
+    let x = Ifko_util.Rng.float rng total_w in
+    let rec find i = if x <= cum.(i) || i = Array.length cum - 1 then i else find (i + 1) in
+    points.(find 0)
+  in
+  (* in-process daemon on a temp Unix socket *)
+  let store_dir = Filename.temp_file "ifko_servebench" "" in
+  Sys.remove store_dir;
+  let sock = store_dir ^ ".sock" in
+  let listen = `Unix sock in
+  let config =
+    { (Serve_server.default_config ~store_dir listen) with
+      Serve_server.jobs = daemon_jobs;
+      shards = 4;
+    }
+  in
+  let ready_m = Mutex.create () and ready_cv = Condition.create () and up = ref false in
+  let daemon =
+    Thread.create
+      (fun () ->
+        Serve_server.run
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            up := true;
+            Condition.signal ready_cv;
+            Mutex.unlock ready_m)
+          config)
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !up do
+    Condition.wait ready_cv ready_m
+  done;
+  Mutex.unlock ready_m;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Serve_client.with_client listen (fun c -> ignore (Serve_client.shutdown c))
+       with _ -> ());
+      Thread.join daemon;
+      rm_rf store_dir)
+    (fun () ->
+      Printf.printf "Tuning service: %d clients, %d workpoints, jobs=%d, 4 shards\n%!"
+        clients (Array.length points) daemon_jobs;
+      (* cold phase: the hot set is tuned once, split across clients *)
+      let t0 = Unix.gettimeofday () in
+      let cold_threads =
+        Array.init clients (fun ci ->
+            Thread.create
+              (fun () ->
+                Serve_client.with_client listen (fun c ->
+                    List.iteri
+                      (fun i a ->
+                        if i mod clients = ci then
+                          match Serve_client.tune c a with
+                          | Ok _ -> ()
+                          | Error e -> failwith ("servebench cold tune: " ^ e))
+                      hot))
+              ())
+      in
+      Array.iter Thread.join cold_threads;
+      let cold_seconds = Unix.gettimeofday () -. t0 in
+      Printf.printf "  cold phase: %d tunes in %.1f s\n%!" (List.length hot) cold_seconds;
+      (* bit-identity spot check: the daemon's cached replies for the two
+         hottest points must equal a sequential, storeless Driver.tune *)
+      let identical =
+        List.for_all
+          (fun (a : Serve_proto.tune_args) ->
+            let compiled =
+              a.Serve_proto.kernel |> Ifko_hil.Parser.parse_kernel
+              |> Ifko_hil.Typecheck.check |> Ifko_codegen.Lower.lower
+            in
+            let spec = Ifko_search.Generic.spec ~seed:a.Serve_proto.seed compiled in
+            let t =
+              Ifko_search.Driver.tune ~seed:a.Serve_proto.seed ~cfg:Config.p4e
+                ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:a.Serve_proto.n
+                ~flops_per_n:a.Serve_proto.flops_per_n
+                ~test:(Ifko_search.Generic.test compiled spec)
+                compiled
+            in
+            match Serve_client.with_client listen (fun c -> Serve_client.lookup c a) with
+            | Ok (Some r) ->
+              r.Serve_proto.best
+              = Ifko_transform.Params.canonical t.Ifko_search.Driver.best_params
+              && Int64.bits_of_float r.Serve_proto.mflops
+                 = Int64.bits_of_float t.Ifko_search.Driver.ifko_mflops
+              && Int64.bits_of_float r.Serve_proto.fko_mflops
+                 = Int64.bits_of_float t.Ifko_search.Driver.fko_mflops
+              && r.Serve_proto.evaluations = t.Ifko_search.Driver.evaluations
+            | Ok None | Error _ -> false)
+          (List.filteri (fun i _ -> i < 2) hot)
+      in
+      if not identical then begin
+        Printf.eprintf "servebench: daemon replies are not bit-identical to Driver.tune\n";
+        exit 1
+      end;
+      Printf.printf "  bit-identity vs sequential Driver.tune: ok\n%!";
+      (* warm phase: zipf-skewed mix, 70%% lookups / 30%% tunes *)
+      let per_client = warm_requests / clients in
+      let lat = Array.init clients (fun _ -> ref []) in
+      let hits = Array.make clients 0 and misses = Array.make clients 0 in
+      let t1 = Unix.gettimeofday () in
+      let warm_threads =
+        Array.init clients (fun ci ->
+            Thread.create
+              (fun () ->
+                let rng = Ifko_util.Rng.create (seed + (7919 * (ci + 1))) in
+                Serve_client.with_client listen (fun c ->
+                    for _ = 1 to per_client do
+                      let a = pick rng in
+                      let tune = Ifko_util.Rng.uniform rng < 0.3 in
+                      let r0 = Unix.gettimeofday () in
+                      let hit =
+                        if tune then
+                          match Serve_client.tune c a with
+                          | Ok r -> r.Serve_proto.hit
+                          | Error e -> failwith ("servebench warm tune: " ^ e)
+                        else
+                          match Serve_client.lookup c a with
+                          | Ok (Some r) -> r.Serve_proto.hit
+                          | Ok None -> false
+                          | Error e -> failwith ("servebench warm lookup: " ^ e)
+                      in
+                      lat.(ci) := (Unix.gettimeofday () -. r0) :: !(lat.(ci));
+                      if hit then hits.(ci) <- hits.(ci) + 1
+                      else misses.(ci) <- misses.(ci) + 1
+                    done))
+              ())
+      in
+      Array.iter Thread.join warm_threads;
+      let warm_seconds = Unix.gettimeofday () -. t1 in
+      let requests = per_client * clients in
+      let all_lat = Array.of_list (List.concat_map ( ! ) (Array.to_list lat)) in
+      Array.sort compare all_lat;
+      let p50 = 1000.0 *. percentile all_lat 50.0 in
+      let p95 = 1000.0 *. percentile all_lat 95.0 in
+      let p99 = 1000.0 *. percentile all_lat 99.0 in
+      let hit_total = Array.fold_left ( + ) 0 hits in
+      let hit_rate = float_of_int hit_total /. float_of_int requests in
+      let throughput = float_of_int requests /. warm_seconds in
+      Printf.printf
+        "  warm phase: %d requests in %.2f s — %.0f req/s, p50 %.2f ms, p95 %.2f ms, \
+         p99 %.2f ms, hit rate %.1f%%\n"
+        requests warm_seconds throughput p50 p95 p99 (100.0 *. hit_rate);
+      if hit_rate < 0.9 then begin
+        Printf.eprintf "servebench: warm hit rate %.3f below the 0.90 bar\n" hit_rate;
+        exit 1
+      end;
+      servebench :=
+        Some
+          {
+            sv_clients = clients;
+            sv_jobs = daemon_jobs;
+            sv_workpoints = Array.length points;
+            sv_requests = requests;
+            sv_throughput = throughput;
+            sv_p50_ms = p50;
+            sv_p95_ms = p95;
+            sv_p99_ms = p99;
+            sv_hit_rate = hit_rate;
+            sv_cold_seconds = cold_seconds;
+            sv_bit_identical = identical;
+          })
+
 (* ---------- bechamel micro-benchmarks of the harness machinery ---------- *)
 
 let bechamel_tests () =
@@ -515,7 +759,7 @@ let experiments =
   [ ("table1", exp_table1); ("table2", exp_table2); ("fig2", exp_fig2); ("fig3", exp_fig3);
     ("fig4", exp_fig4); ("fig5a", exp_fig5a); ("fig5b", exp_fig5b); ("table3", exp_table3);
     ("fig7", exp_fig7); ("opteron_l2", exp_opteron_l2); ("ablations", exp_ablations);
-    ("simbench", exp_simbench);
+    ("simbench", exp_simbench); ("servebench", exp_servebench);
   ]
 
 (* Per-experiment record for BENCH_results.json: wall-clock plus the
@@ -572,6 +816,20 @@ let write_results_json ~path ~total_seconds (stats : exp_stats list) =
           (if i = List.length rows - 1 then "" else ","))
       rows;
     Printf.fprintf oc "    ]\n  },\n");
+  (match !servebench with
+  | None -> ()
+  | Some s ->
+    Printf.fprintf oc "  \"servebench\": {\n";
+    Printf.fprintf oc "    \"clients\": %d,\n    \"jobs\": %d,\n    \"shards\": 4,\n"
+      s.sv_clients s.sv_jobs;
+    Printf.fprintf oc "    \"workpoints\": %d,\n    \"warm_requests\": %d,\n"
+      s.sv_workpoints s.sv_requests;
+    Printf.fprintf oc "    \"throughput_rps\": %.1f,\n" s.sv_throughput;
+    Printf.fprintf oc "    \"p50_ms\": %.3f,\n    \"p95_ms\": %.3f,\n    \"p99_ms\": %.3f,\n"
+      s.sv_p50_ms s.sv_p95_ms s.sv_p99_ms;
+    Printf.fprintf oc "    \"hit_rate\": %.4f,\n" s.sv_hit_rate;
+    Printf.fprintf oc "    \"cold_seconds\": %.3f,\n" s.sv_cold_seconds;
+    Printf.fprintf oc "    \"bit_identical\": %b\n  },\n" s.sv_bit_identical);
   Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"experiments\": [\n" total_seconds;
   List.iteri
     (fun i s ->

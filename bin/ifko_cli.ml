@@ -47,73 +47,11 @@ let context_of = function
   | "l2" -> Ifko_sim.Timer.In_l2
   | other -> failwith (Printf.sprintf "unknown context %S (oc|l2)" other)
 
-(* Generic workload builder from the kernel's signature.  [seed] makes
-   the random vectors reproducible — and is the seed the tuning store
-   keys on, so journaled results never alias across workloads. *)
-let generic_spec ?(seed = 0) (compiled : Ifko.Lower.compiled) =
-  let prec =
-    match compiled.Ifko.Lower.arrays with
-    | a :: _ -> a.Ifko.Lower.a_elem
-    | [] -> Instr.D
-  in
-  let make_env n =
-    let bytes =
-      max (1 lsl 20) ((List.length compiled.Ifko.Lower.arrays * n * 8) + (1 lsl 16))
-    in
-    let env = Ifko_sim.Env.create ~mem_bytes:bytes () in
-    let rng = Ifko_util.Rng.create (seed + (31 * n) + 17) in
-    List.iter
-      (fun (p : Ifko_hil.Ast.param) ->
-        match p.Ifko_hil.Ast.p_ty with
-        | Ifko_hil.Ast.Int -> Ifko_sim.Env.bind_int env p.Ifko_hil.Ast.p_name n
-        | Ifko_hil.Ast.Fp fp ->
-          Ifko_sim.Env.bind_fp env p.Ifko_hil.Ast.p_name
-            (match fp with Ifko_hil.Ast.Single -> Instr.S | Ifko_hil.Ast.Double -> Instr.D)
-            0.77
-        | Ifko_hil.Ast.Ptr fp ->
-          let sz = match fp with Ifko_hil.Ast.Single -> Instr.S | Ifko_hil.Ast.Double -> Instr.D in
-          Ifko_sim.Env.alloc_array env p.Ifko_hil.Ast.p_name sz n;
-          Ifko_sim.Env.fill env p.Ifko_hil.Ast.p_name (fun _ ->
-              Ifko_util.Rng.sign_float rng 1.0))
-      compiled.Ifko.Lower.source.Ifko_hil.Ast.k_params;
-    env
-  in
-  { Ifko_sim.Timer.make_env; ret_fsize = prec }
-
-(* A generic tester: the untransformed lowering is the semantic
-   reference for arbitrary user kernels. *)
-let generic_test (compiled : Ifko.Lower.compiled) spec =
-  (* The reference side is decoded once per tune, each candidate once
-     per test — not once per test size. *)
-  let cf_ref = Ifko_sim.Exec.compile compiled.Ifko.Lower.func in
-  fun func ->
-  let cf_opt = Ifko_sim.Exec.compile func in
-  List.for_all
-    (fun n ->
-      let env_ref = spec.Ifko_sim.Timer.make_env n in
-      let env_opt = spec.Ifko_sim.Timer.make_env n in
-      match
-        ( Ifko_sim.Exec.exec ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize cf_ref env_ref,
-          Ifko_sim.Exec.exec ~ret_fsize:spec.Ifko_sim.Timer.ret_fsize cf_opt env_opt )
-      with
-      | exception Ifko_sim.Exec.Trap _ -> false
-      | r_ref, r_opt ->
-        let rets_ok =
-          match (r_ref.Ifko_sim.Exec.ret, r_opt.Ifko_sim.Exec.ret) with
-          | None, None -> true
-          | Some (Ifko_sim.Exec.Rint a), Some (Ifko_sim.Exec.Rint b) -> a = b
-          | Some (Ifko_sim.Exec.Rfp a), Some (Ifko_sim.Exec.Rfp b) ->
-            Ifko_sim.Verify.close ~tol:1e-4 a b
-          | _ -> false
-        in
-        rets_ok
-        && List.for_all
-             (fun (a : Ifko.Lower.array_param) ->
-               let xa = Ifko_sim.Env.to_array env_ref a.Ifko.Lower.a_name in
-               let xb = Ifko_sim.Env.to_array env_opt a.Ifko.Lower.a_name in
-               Array.for_all2 (fun u v -> Ifko_sim.Verify.close ~tol:1e-4 u v) xa xb)
-             compiled.Ifko.Lower.arrays)
-    [ 0; 1; 7; 130 ]
+(* Workloads and testers for arbitrary user kernels live in
+   {!Ifko.Generic}, shared with the serve daemon — both must build the
+   exact same seeded workload or their store keys would not agree. *)
+let generic_spec = Ifko.Generic.spec
+let generic_test = Ifko.Generic.test
 
 (* ---- analyze ---- *)
 
@@ -584,25 +522,79 @@ let sim_cmd =
 
 let store_cmd =
   let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
+  (* `stat` and `compact` accept either a single journal file or a
+     serve shard directory (store.meta + shard-NN.jsonl). *)
+  let shard_dir p = Sys.file_exists p && Sys.is_directory p in
   let stat =
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:
+              "machine-readable output: one JSON object with every field always \
+               present ([Diag.to_json] conventions); shard directories add a \
+               per_shard array of per-journal objects")
+    in
+    let run p json =
+      if shard_dir p then
+        match Ifko.Serve.Shard_store.stat_of_dir p with
+        | None ->
+          Printf.eprintf "%s: not a shard store (no valid store.meta)\n" p;
+          Stdlib.exit 1
+        | Some s ->
+          if json then print_endline (Ifko.Serve.Shard_store.stat_json s)
+          else begin
+            Printf.printf "%s: %d shards, %d entries, %d bytes" s.Ifko.Serve.Shard_store.sh_dir
+              (List.length s.Ifko.Serve.Shard_store.sh_shards)
+              s.Ifko.Serve.Shard_store.sh_entries s.Ifko.Serve.Shard_store.sh_bytes;
+            if s.Ifko.Serve.Shard_store.sh_corrupt > 0 then
+              Printf.printf ", %d corrupt lines" s.Ifko.Serve.Shard_store.sh_corrupt;
+            if s.Ifko.Serve.Shard_store.sh_torn > 0 then
+              Printf.printf ", %d torn lines" s.Ifko.Serve.Shard_store.sh_torn;
+            print_newline ();
+            List.iter
+              (fun st -> print_string (Ifko.Store.stat_to_string st))
+              s.Ifko.Serve.Shard_store.sh_shards
+          end
+      else if not (Sys.file_exists p) then begin
+        Printf.eprintf "%s: no store\n" p;
+        Stdlib.exit 1
+      end
+      else if json then begin
+        let st = Ifko.Store.open_ p in
+        let s = Ifko.Store.stat st in
+        Ifko.Store.close st;
+        print_endline (Ifko.Store.stat_json s)
+      end
+      else print_string (Ifko.Store.stat_string p)
+    in
     Cmd.v
-      (Cmd.info "stat" ~doc:"summarize a tuning-store journal")
-      Term.(const (fun p -> print_string (Ifko.Store.stat_string p)) $ path_arg)
+      (Cmd.info "stat" ~doc:"summarize a tuning-store journal or shard directory")
+      Term.(const run $ path_arg $ json)
   in
   let compact =
     Cmd.v
       (Cmd.info "compact"
-         ~doc:"rewrite the journal with one record per key (atomic rename)")
+         ~doc:"rewrite the journal(s) with one record per key (atomic rename)")
       Term.(
         const (fun p ->
-            if not (Sys.file_exists p) then begin
+            if shard_dir p then begin
+              let st = Ifko.Serve.Shard_store.open_ p in
+              Ifko.Serve.Shard_store.compact st;
+              let s = Ifko.Serve.Shard_store.stat st in
+              Ifko.Serve.Shard_store.close st;
+              print_endline (Ifko.Serve.Shard_store.stat_json s)
+            end
+            else if not (Sys.file_exists p) then begin
               Printf.eprintf "%s: no store\n" p;
               Stdlib.exit 1
-            end;
-            let st = Ifko.Store.open_ p in
-            Ifko.Store.compact st;
-            Ifko.Store.close st;
-            print_string (Ifko.Store.stat_string p))
+            end
+            else begin
+              let st = Ifko.Store.open_ p in
+              Ifko.Store.compact st;
+              Ifko.Store.close st;
+              print_string (Ifko.Store.stat_string p)
+            end)
         $ path_arg)
   in
   let clear =
@@ -614,9 +606,184 @@ let store_cmd =
     (Cmd.info "store" ~doc:"maintain a persistent tuning store")
     [ stat; compact; clear ]
 
+(* ---- serve / query ---- *)
+
+let listen_args =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+  in
+  let port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"TCP port")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with --port)")
+  in
+  let listen socket port host =
+    match (socket, port) with
+    | Some path, None -> `Unix path
+    | None, Some port -> `Tcp (host, port)
+    | Some _, Some _ -> failwith "--socket and --port are mutually exclusive"
+    | None, None -> failwith "one of --socket PATH or --port PORT is required"
+  in
+  Term.(const listen $ socket $ port $ host)
+
+let serve_cmd =
+  let store_dir =
+    Arg.(
+      value & opt string "ifko-store"
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:"shard-store directory (created on first run)")
+  in
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "journal shards when creating the store (an existing store keeps its \
+             geometry)")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "shared worker-domain pool: every in-flight tune's probe batches run on \
+             these $(docv) domains; replies stay bit-identical to --jobs 1")
+  in
+  let replica =
+    Arg.(
+      value & flag
+      & info [ "replica" ]
+          ~doc:
+            "share the store directory with other daemons: appends stay safe \
+             (single-line O_APPEND writes) and lookup misses re-read the journal \
+             tail before being conceded")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-store-bytes" ] ~docv:"BYTES"
+          ~doc:"evict oldest entries when the store exceeds $(docv)")
+  in
+  let max_age =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-store-age" ] ~docv:"SECONDS"
+          ~doc:"evict entries not re-journaled within $(docv) seconds")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"no event log on stderr") in
+  let run listen store_dir shards jobs replica max_bytes max_age quiet =
+    let log =
+      if quiet then ignore else fun line -> Printf.eprintf "ifko serve: %s\n%!" line
+    in
+    Ifko.Serve.Server.run
+      { Ifko.Serve.Server.listen; store_dir; shards; jobs; replica; max_bytes;
+        max_age; log }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the tuning daemon: newline-delimited JSON over a Unix or TCP socket \
+          (tune, lookup, stat, compact, shutdown), concurrent clients multiplexed \
+          onto one sharded probe store and one domain pool")
+    Term.(
+      const run $ listen_args $ store_dir $ shards $ jobs $ replica $ max_bytes
+      $ max_age $ quiet)
+
+let query_cmd =
+  let fail msg =
+    Printf.eprintf "ifko query: %s\n" msg;
+    Stdlib.exit 1
+  in
+  let tune_args_term =
+    let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+    let context =
+      Arg.(value & opt string "oc" & info [ "c"; "context" ] ~docv:"CTX" ~doc:"oc or l2")
+    in
+    let n = Arg.(value & opt int 80000 & info [ "n" ] ~doc:"problem size") in
+    let flops =
+      Arg.(
+        value & opt float 2.0 & info [ "flops-per-n" ] ~doc:"FLOPs per element for MFLOPS")
+    in
+    let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"workload seed") in
+    let check =
+      Arg.(value & flag & info [ "check-each-pass" ] ~doc:"per-pass validation of every probe")
+    in
+    let build file machine context n flops_per_n seed check =
+      { Ifko.Serve.Proto.kernel = read_file file; machine; context; n; seed;
+        flops_per_n; check }
+    in
+    Term.(const build $ file $ machine_arg $ context $ n $ flops $ seed $ check)
+  in
+  let print_reply verb (r : Ifko.Serve.Proto.tune_reply) =
+    Printf.printf "%s: %8.1f MFLOPS (fko %.1f, %d evaluations, %s)\nbest: %s\n" verb
+      r.Ifko.Serve.Proto.mflops r.Ifko.Serve.Proto.fko_mflops
+      r.Ifko.Serve.Proto.evaluations
+      (if r.Ifko.Serve.Proto.hit then "cache hit" else "computed")
+      r.Ifko.Serve.Proto.best
+  in
+  let tune =
+    let run listen args =
+      Ifko.Serve.Client.with_client listen (fun c ->
+          match Ifko.Serve.Client.tune c args with
+          | Ok r -> print_reply "tune" r
+          | Error msg -> fail msg)
+    in
+    Cmd.v
+      (Cmd.info "tune" ~doc:"tune a HIL kernel on the daemon")
+      Term.(const run $ listen_args $ tune_args_term)
+  in
+  let lookup =
+    let run listen args =
+      Ifko.Serve.Client.with_client listen (fun c ->
+          match Ifko.Serve.Client.lookup c args with
+          | Ok (Some r) -> print_reply "lookup" r
+          | Ok None ->
+            print_endline "miss";
+            Stdlib.exit 1
+          | Error msg -> fail msg)
+    in
+    Cmd.v
+      (Cmd.info "lookup"
+         ~doc:"query the daemon's result cache (never computes; exit 1 on a miss)")
+      Term.(const run $ listen_args $ tune_args_term)
+  in
+  let stat =
+    let run listen =
+      Ifko.Serve.Client.with_client listen (fun c ->
+          match Ifko.Serve.Client.stat c with
+          | Ok fields -> print_endline (Ifko.Serve.Proto.Json.render fields)
+          | Error msg -> fail msg)
+    in
+    Cmd.v (Cmd.info "stat" ~doc:"print the daemon's statistics as JSON")
+      Term.(const run $ listen_args)
+  in
+  let simple name doc op =
+    let run listen =
+      Ifko.Serve.Client.with_client listen (fun c ->
+          match op c with Ok () -> print_endline "ok" | Error msg -> fail msg)
+    in
+    Cmd.v (Cmd.info name ~doc) Term.(const run $ listen_args)
+  in
+  Cmd.group
+    (Cmd.info "query" ~doc:"talk to a running ifko serve daemon")
+    [ tune; lookup; stat;
+      simple "compact" "evict per the daemon's bounds and compact every shard"
+        Ifko.Serve.Client.compact;
+      simple "shutdown" "stop the daemon gracefully" Ifko.Serve.Client.shutdown;
+    ]
+
 let () =
   let doc = "iterative floating point kernel optimizer (paper reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ifko" ~doc)
-          [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd; fuzz_cmd; sim_cmd; store_cmd ]))
+          [ analyze_cmd; compile_cmd; lint_cmd; tune_cmd; fuzz_cmd; sim_cmd; store_cmd;
+            serve_cmd; query_cmd ]))

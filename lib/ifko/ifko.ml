@@ -36,8 +36,19 @@ module Timer = Ifko_sim.Timer
 module Verify = Ifko_sim.Verify
 module Search = Ifko_search.Linesearch
 module Driver = Ifko_search.Driver
+module Generic = Ifko_search.Generic
 module Store = Ifko_store.Store
 module Par = Ifko_par.Par
+
+(** Tuning as a service: the `ifko serve` daemon, its wire protocol,
+    the key-prefix-sharded probe store underneath it, and the blocking
+    client. *)
+module Serve = struct
+  module Proto = Ifko_serve.Proto
+  module Shard_store = Ifko_serve.Shard_store
+  module Server = Ifko_serve.Server
+  module Client = Ifko_serve.Client
+end
 
 (** Differential fuzzing of the full pipeline (generator, parameter
     sampler, oracle, shrinker, reproducer corpus). *)

@@ -7,9 +7,8 @@ module Pool = struct
     jobs : int;
     mutex : Mutex.t;
     work : Condition.t;  (** workers wait here for tasks (or shutdown) *)
-    finished : Condition.t;  (** the submitter waits here for the batch *)
+    finished : Condition.t;  (** submitters wait here for their batch *)
     queue : task Queue.t;
-    mutable pending : int;  (** tasks of the current batch not yet completed *)
     mutable stop : bool;
     mutable workers : unit Domain.t array;
   }
@@ -24,10 +23,6 @@ module Pool = struct
       let task = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
       task ();
-      Mutex.lock pool.mutex;
-      pool.pending <- pool.pending - 1;
-      if pool.pending = 0 then Condition.broadcast pool.finished;
-      Mutex.unlock pool.mutex;
       worker pool
     end
 
@@ -40,7 +35,6 @@ module Pool = struct
         work = Condition.create ();
         finished = Condition.create ();
         queue = Queue.create ();
-        pending = 0;
         stop = false;
         workers = [||];
       }
@@ -53,7 +47,12 @@ module Pool = struct
 
   (* Tasks never raise: each writes an Ok/Error slot, and the submitter
      re-raises the lowest-index Error once the batch has settled, so
-     failure behaviour does not depend on scheduling. *)
+     failure behaviour does not depend on scheduling.
+
+     Each batch carries its own [remaining] counter, so several
+     submitters — e.g. the serve daemon's concurrent tune requests —
+     can feed one pool at once: a submitter wakes as soon as *its*
+     tasks are done, while the workers interleave everyone's tasks. *)
   let run t n f =
     if n <= 0 then [||]
     else if t.jobs <= 1 || n = 1 then begin
@@ -65,13 +64,21 @@ module Pool = struct
     end
     else begin
       let slots = Array.make n None in
+      let remaining = ref n in
+      let task i () =
+        let r = try Ok (f i) with e -> Error e in
+        Mutex.lock t.mutex;
+        slots.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast t.finished;
+        Mutex.unlock t.mutex
+      in
       Mutex.lock t.mutex;
-      t.pending <- t.pending + n;
       for i = 0 to n - 1 do
-        Queue.add (fun () -> slots.(i) <- Some (try Ok (f i) with e -> Error e)) t.queue
+        Queue.add (task i) t.queue
       done;
       Condition.broadcast t.work;
-      while t.pending > 0 do
+      while !remaining > 0 do
         Condition.wait t.finished t.mutex
       done;
       Mutex.unlock t.mutex;

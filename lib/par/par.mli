@@ -23,9 +23,10 @@ module Pool : sig
       spawned and every batch runs inline in the submitting domain —
       the two paths are observationally identical for pure tasks.
 
-      Batches must be submitted from one domain at a time (the search
-      is sequential between sweeps); the pool is not a general
-      multi-producer executor. *)
+      Batches may be submitted concurrently from several domains or
+      threads (the serve daemon multiplexes every in-flight tune's
+      probe batches onto one pool): each batch completes independently,
+      and its submitter wakes as soon as its own tasks are done. *)
 
   val create : jobs:int -> t
   (** [create ~jobs] clamps [jobs] to [\[1, 64\]] and, when [jobs > 1],

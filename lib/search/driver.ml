@@ -46,8 +46,8 @@ let score = function
   | Ifko_store.Store.Timed { mflops; _ } -> mflops
   | Ifko_store.Store.Test_failed | Ifko_store.Store.Illegal -> neg_infinity
 
-let tune ?(extensions = false) ?(check_each_pass = false) ?store ?(jobs = 1) ?(seed = 0)
-    ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
+let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(jobs = 1)
+    ?(seed = 0) ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
   let report = Ifko_analysis.Report.analyze compiled in
   let default_params =
     Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
@@ -89,6 +89,15 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?(jobs = 1) ?(s
         Ifko_store.Store.Timed
           { cycles; mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles }
   in
+  (* [cache] generalizes the plain store: the serve daemon passes the
+     sharded store's single-flight memoizer here, so concurrent tunes
+     of the same kernel share in-flight probe computations. *)
+  let cached =
+    match cache with
+    | Some c -> c
+    | None ->
+      fun ~key ~params ~prov f -> Ifko_store.Store.cached ?store ~key ~params ~prov f
+  in
   let probe params =
     let key =
       Ifko_store.Store.probe_key ~kernel ~machine:cfg.Config.name
@@ -96,17 +105,20 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?(jobs = 1) ?(s
         ~params:(Ifko_transform.Params.canonical params)
     in
     score
-      (Ifko_store.Store.cached ?store ~key
-         ~params:(Ifko_transform.Params.to_string params) ~prov (fun () -> compute params))
+      (cached ~key ~params:(Ifko_transform.Params.to_string params) ~prov (fun () ->
+           compute params))
   in
   let search map_batch =
     Linesearch.run ~extensions ?map_batch ~cfg ~report ~init:default_params probe
   in
   let result =
-    if jobs <= 1 then search None
-    else
-      Ifko_par.Par.Pool.with_pool ~jobs (fun pool ->
-          search (Some (fun f xs -> Ifko_par.Par.Pool.map pool f xs)))
+    match pool with
+    | Some pool -> search (Some (fun f xs -> Ifko_par.Par.Pool.map pool f xs))
+    | None ->
+      if jobs <= 1 then search None
+      else
+        Ifko_par.Par.Pool.with_pool ~jobs (fun pool ->
+            search (Some (fun f xs -> Ifko_par.Par.Pool.map pool f xs)))
   in
   let best = result.Linesearch.best in
   let best_func =

@@ -37,6 +37,13 @@ val tune :
   ?extensions:bool ->
   ?check_each_pass:bool ->
   ?store:Ifko_store.Store.t ->
+  ?cache:
+    (key:string ->
+    params:string ->
+    prov:string ->
+    (unit -> Ifko_store.Store.outcome) ->
+    Ifko_store.Store.outcome) ->
+  ?pool:Ifko_par.Par.Pool.t ->
   ?jobs:int ->
   ?seed:int ->
   cfg:Ifko_machine.Config.t ->
@@ -68,4 +75,14 @@ val tune :
     [jobs] evaluates each line-search sweep's candidates concurrently
     on a domain pool.  Probes are mutually independent and tie-breaking
     stays sequential first-wins, so [~jobs:4] returns bit-identical
-    [best_params], [ifko_mflops] and [evaluations] to [~jobs:1]. *)
+    [best_params], [ifko_mflops] and [evaluations] to [~jobs:1].
+
+    [pool] substitutes an externally owned domain pool for the
+    [jobs]-spawned one (which is then not created; [jobs] is ignored) —
+    the serve daemon shares one pool across every in-flight tune, so
+    concurrent requests' probe compilations batch onto the same
+    workers.  [cache] overrides the [store] memoization with an
+    arbitrary one (the daemon passes the sharded store's single-flight
+    [cached]).  Neither affects results: probes are pure, so any
+    combination of [store]/[cache]/[pool]/[jobs] is bit-identical to a
+    sequential, storeless tune. *)

@@ -1,0 +1,116 @@
+(* Blocking client for the serve protocol.  One request at a time per
+   connection (the daemon answers in order anyway); ids are generated
+   as "c<pid>-<n>" so several clients sharing a log stay tellable
+   apart.  Protocol-level failures surface as [Error msg], transport
+   failures as the Unix exceptions they are. *)
+
+module Json = Ifko_store.Store.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect addr =
+  let domain, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 0;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with _ -> ());
+    try Unix.close t.fd with _ -> ()
+  end
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  Printf.sprintf "c%d-%d" (Unix.getpid ()) t.next_id
+
+(* One round trip.  A reply with a mismatched id is a protocol error:
+   this client never pipelines, so the next line must answer us. *)
+let roundtrip t request =
+  if t.closed then Error "client closed"
+  else begin
+    let req_id = fresh_id t in
+    output_string t.oc (Proto.render_request { Proto.req_id; request } ^ "\n");
+    flush t.oc;
+    match input_line t.ic with
+    | exception End_of_file -> Error "connection closed by daemon"
+    | line -> (
+      match Proto.parse_response line with
+      | Error msg -> Error (Printf.sprintf "bad response: %s" msg)
+      | Ok { Proto.resp_id; reply } ->
+        if resp_id <> req_id && resp_id <> "" then
+          Error
+            (Printf.sprintf "response id %S does not match request id %S" resp_id
+               req_id)
+        else Ok reply)
+  end
+
+let ( let* ) = Result.bind
+
+let tune t args =
+  let* reply = roundtrip t (Proto.Tune args) in
+  match reply with
+  | Proto.Tuned (_, r) -> Ok r
+  | Proto.Failed msg -> Error msg
+  | _ -> Error "unexpected reply to tune"
+
+let lookup t args =
+  let* reply = roundtrip t (Proto.Lookup args) in
+  match reply with
+  | Proto.Tuned (_, r) -> Ok (Some r)
+  | Proto.Miss -> Ok None
+  | Proto.Failed msg -> Error msg
+  | _ -> Error "unexpected reply to lookup"
+
+let stat t =
+  let* reply = roundtrip t Proto.Stat in
+  match reply with
+  | Proto.Stats fields -> Ok fields
+  | Proto.Failed msg -> Error msg
+  | _ -> Error "unexpected reply to stat"
+
+let compact t =
+  let* reply = roundtrip t Proto.Compact in
+  match reply with
+  | Proto.Done _ -> Ok ()
+  | Proto.Failed msg -> Error msg
+  | _ -> Error "unexpected reply to compact"
+
+let shutdown t =
+  let* reply = roundtrip t Proto.Shutdown in
+  match reply with
+  | Proto.Done _ -> Ok ()
+  | Proto.Failed msg -> Error msg
+  | _ -> Error "unexpected reply to shutdown"
+
+let with_client addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,73 @@
+(** The `ifko serve` wire protocol.
+
+    Newline-delimited JSON: the client writes one flat request object
+    per line, the daemon answers with one flat response object per line
+    (requests on one connection are answered in order), correlated by
+    the client-chosen [id].  Five ops:
+
+    - [tune]: full empirical tune of a HIL kernel; answered from the
+      service-level result cache when possible ([hit] says which).
+    - [lookup]: result-cache query only — never computes.
+    - [stat]: shard-aware store + server statistics as a JSON object.
+    - [compact]: apply the eviction policy and compact every shard.
+    - [shutdown]: stop the daemon gracefully.
+
+    Floats travel as [%.17g] (see {!Ifko_store.Store.Json.number}), so
+    a tune result served over the wire is bit-identical to the locally
+    computed one — the store's determinism guarantee survives the
+    protocol boundary. *)
+
+module Json = Ifko_store.Store.Json
+
+type tune_args = {
+  kernel : string;  (** HIL source text *)
+  machine : string;  (** "p4e" | "opteron" *)
+  context : string;  (** "oc" | "l2" *)
+  n : int;  (** problem size, > 0 *)
+  seed : int;  (** workload seed (part of every store key) *)
+  flops_per_n : float;  (** FLOPs per element for MFLOPS reporting *)
+  check : bool;  (** per-pass validation of every probe *)
+}
+
+val default_args : kernel:string -> tune_args
+(** p4e, out-of-cache, n = 80000, seed 0, 2 flops per element, no
+    per-pass checking — the wire-format defaults for omitted fields. *)
+
+type request =
+  | Tune of tune_args
+  | Lookup of tune_args
+  | Stat
+  | Compact
+  | Shutdown
+
+type req = { req_id : string; request : request }
+
+type tune_reply = {
+  best : string;  (** canonical parameter point *)
+  mflops : float;  (** the tuned point *)
+  fko_mflops : float;  (** the default (un-searched) point *)
+  evaluations : int;
+  hit : bool;  (** answered from the service-level result cache *)
+}
+
+type reply =
+  | Tuned of string * tune_reply  (** op ("tune"/"lookup") and payload *)
+  | Miss  (** lookup found nothing *)
+  | Stats of (string * Json.value) list
+  | Done of string  (** ack, echoing the op *)
+  | Failed of string
+
+type resp = { resp_id : string; reply : reply }
+
+val render_request : req -> string
+(** One line, no trailing newline. *)
+
+val render_response : resp -> string
+
+val parse_request : string -> (req, string * string) result
+(** [Error (id, msg)] on malformed input — [id] is the request id when
+    one could still be extracted (so the error reply stays
+    correlatable), [""] otherwise.  Never raises. *)
+
+val parse_response : string -> (resp, string) result
+(** Never raises. *)

@@ -1,0 +1,481 @@
+(* The `ifko serve` daemon: a socket front-end over Driver.tune.
+
+   One systhread per connection reads newline-delimited JSON requests
+   (Proto) and answers them in order.  All in-flight tunes share one
+   sharded probe store (single-flight per probe key) and one domain
+   pool, so concurrent clients' probe compilations batch onto the same
+   workers and identical cold tunes coalesce into one search.  Results
+   are cached as ordinary store entries under Store.tune_key, which
+   makes warm tunes and lookups O(hash lookup) and persists them across
+   daemon restarts.
+
+   The determinism contract: any reply computed here is bit-identical
+   to a sequential, storeless Driver.tune of the same request — probes
+   are pure, caching round-trips floats through %.17g, and the search
+   itself is order-preserving under the pool. *)
+
+module Store = Ifko_store.Store
+module Json = Store.Json
+module Driver = Ifko_search.Driver
+module Generic = Ifko_search.Generic
+module Config = Ifko_machine.Config
+module Timer = Ifko_sim.Timer
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : listen;
+  store_dir : string;
+  shards : int;
+  jobs : int;
+  replica : bool;
+  max_bytes : int option;  (** whole-store eviction budget *)
+  max_age : float option;  (** seconds; entries older are evictable *)
+  log : string -> unit;
+}
+
+let default_config ~store_dir listen =
+  {
+    listen;
+    store_dir;
+    shards = 8;
+    jobs = 1;
+    replica = false;
+    max_bytes = None;
+    max_age = None;
+    log = ignore;
+  }
+
+let machine_of = function
+  | "p4e" -> Ok Config.p4e
+  | "opteron" -> Ok Config.opteron
+  | other -> Error (Printf.sprintf "unknown machine %S (p4e|opteron)" other)
+
+let context_of = function
+  | "oc" -> Ok Timer.Out_of_cache
+  | "l2" -> Ok Timer.In_l2
+  | other -> Error (Printf.sprintf "unknown context %S (oc|l2)" other)
+
+(* ---------------- server state ---------------- *)
+
+type tune_cell = { mutable result : (Proto.tune_reply, string) result option }
+
+type t = {
+  cfg : config;
+  store : Shard_store.t;
+  pool : Ifko_par.Par.Pool.t option;
+  clock : unit -> float;
+  started : float;
+  wake_wr : Unix.file_descr;  (* self-pipe: unblocks the accept select *)
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable stopping : bool;
+  mutable active : int;  (* live connection threads *)
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  tune_flight : (string, tune_cell) Hashtbl.t;
+  mutable n_requests : int;
+  mutable n_tunes : int;  (* tune ops that ran the search *)
+  mutable n_tune_hits : int;  (* tune ops answered from the result cache *)
+  mutable n_lookups : int;
+  mutable n_errors : int;
+}
+
+let logf t fmt = Printf.ksprintf t.cfg.log fmt
+
+(* ---------------- tune / lookup ---------------- *)
+
+let compile_kernel src =
+  match
+    src |> Ifko_hil.Parser.parse_kernel |> Ifko_hil.Typecheck.check
+    |> Ifko_codegen.Lower.lower
+  with
+  | compiled -> Ok compiled
+  | exception Failure msg -> Error msg
+  | exception e -> Error (Printexc.to_string e)
+
+let ( let* ) = Result.bind
+
+(* A cached tune result is an ordinary store entry: outcome carries the
+   tuned MFLOPS, params a small JSON object with the rest of the reply.
+   Reusing the probe journal means sharding, replica refresh, eviction,
+   compaction and statistics all apply to results for free. *)
+let decode_result (outcome, params, _prov) =
+  match outcome with
+  | Store.Timed { mflops; _ } -> (
+    match Json.parse params with
+    | exception Json.Bad -> None
+    | fields -> (
+      match
+        (Json.str fields "best", Json.num fields "fko", Json.num fields "evals")
+      with
+      | Some best, Some fko, Some evals ->
+        Some
+          { Proto.best; mflops; fko_mflops = fko;
+            evaluations = int_of_float evals; hit = true }
+      | _ -> None))
+  | _ -> None
+
+let encode_result (tuned : Driver.tuned) =
+  let params =
+    Json.render
+      [ ("best", Json.S (Ifko_transform.Params.canonical tuned.Driver.best_params));
+        ("fko", Json.N tuned.Driver.fko_mflops);
+        ("evals", Json.N (float_of_int tuned.Driver.evaluations));
+      ]
+  in
+  let reply =
+    { Proto.best = Ifko_transform.Params.canonical tuned.Driver.best_params;
+      mflops = tuned.Driver.ifko_mflops;
+      fko_mflops = tuned.Driver.fko_mflops;
+      evaluations = tuned.Driver.evaluations;
+      hit = false;
+    }
+  in
+  (params, Store.Timed { mflops = tuned.Driver.ifko_mflops; cycles = 0.0 }, reply)
+
+(* Resolve a request's kernel text down to the result-cache key.  Any
+   source edit changes the lowered fingerprint, hence the key. *)
+let resolve (a : Proto.tune_args) =
+  let* cfgm = machine_of a.machine in
+  let* context = context_of a.context in
+  let* compiled = compile_kernel a.kernel in
+  let key =
+    Store.tune_key
+      ~kernel:(Driver.kernel_fingerprint compiled)
+      ~machine:cfgm.Config.name ~context:(Timer.context_name context) ~n:a.n
+      ~seed:a.seed ~check:a.check ~flops_per_n:a.flops_per_n
+  in
+  Ok (cfgm, context, compiled, key)
+
+let lookup_result t key =
+  match Shard_store.find_entry t.store ~key with
+  | None -> None
+  | Some entry -> decode_result entry
+
+let compute_tune t (a : Proto.tune_args) cfgm context compiled key =
+  match
+    let spec = Generic.spec ~seed:a.seed compiled in
+    Driver.tune ~check_each_pass:a.check
+      ~cache:(Shard_store.cached t.store)
+      ?pool:t.pool ~seed:a.seed ~cfg:cfgm ~context ~spec ~n:a.n
+      ~flops_per_n:a.flops_per_n
+      ~test:(Generic.test compiled spec)
+      compiled
+  with
+  | exception Failure msg -> Error msg
+  | exception e -> Error (Printexc.to_string e)
+  | tuned ->
+    let params, outcome, reply = encode_result tuned in
+    let prov =
+      Printf.sprintf "tune %s@%s/%s/n=%d"
+        compiled.Ifko_codegen.Lower.source.Ifko_hil.Ast.k_name a.machine a.context
+        a.n
+    in
+    Shard_store.add t.store ~key ~params ~prov outcome;
+    Ok reply
+
+(* Opportunistic maintenance: after every computed tune, apply the
+   configured bounds (age first, then size) — shards compact themselves
+   only when something was actually dropped, so a warm steady state
+   costs one stat per tune. *)
+let apply_bounds t =
+  match (t.cfg.max_bytes, t.cfg.max_age) with
+  | None, None -> ()
+  | max_bytes, max_age ->
+    let dropped =
+      Shard_store.evict ?max_bytes ?max_age ~now:(t.clock ()) t.store
+    in
+    if dropped > 0 then logf t "evicted %d entries" dropped
+
+(* Whole-tune single flight, mirroring Shard_store.cached: concurrent
+   cold tunes of the same request run the search once.  (Probe-level
+   single flight alone would dedup the probes but still replay the
+   line-search bookkeeping per client.) *)
+let rec tune_shared t (a : Proto.tune_args) cfgm context compiled key =
+  match lookup_result t key with
+  | Some r ->
+    Mutex.lock t.mu;
+    t.n_tune_hits <- t.n_tune_hits + 1;
+    Mutex.unlock t.mu;
+    Ok r
+  | None ->
+    Mutex.lock t.mu;
+    (match Hashtbl.find_opt t.tune_flight key with
+    | Some c ->
+      let rec wait () =
+        match c.result with
+        | Some r ->
+          (match r with
+          | Ok _ -> t.n_tune_hits <- t.n_tune_hits + 1
+          | Error _ -> ());
+          Mutex.unlock t.mu;
+          Result.map (fun (r : Proto.tune_reply) -> { r with Proto.hit = true }) r
+        | None ->
+          if not (Hashtbl.mem t.tune_flight key) then begin
+            Mutex.unlock t.mu;
+            tune_shared t a cfgm context compiled key
+          end
+          else begin
+            Condition.wait t.cv t.mu;
+            wait ()
+          end
+      in
+      wait ()
+    | None ->
+      let c = { result = None } in
+      Hashtbl.add t.tune_flight key c;
+      t.n_tunes <- t.n_tunes + 1;
+      Mutex.unlock t.mu;
+      let r = compute_tune t a cfgm context compiled key in
+      Mutex.lock t.mu;
+      c.result <- Some r;
+      Hashtbl.remove t.tune_flight key;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.mu;
+      if Result.is_ok r then apply_bounds t;
+      r)
+
+let do_tune t a =
+  let* cfgm, context, compiled, key = resolve a in
+  tune_shared t a cfgm context compiled key
+
+let do_lookup t a =
+  let* _, _, _, key = resolve a in
+  Mutex.lock t.mu;
+  t.n_lookups <- t.n_lookups + 1;
+  Mutex.unlock t.mu;
+  Ok (lookup_result t key)
+
+(* ---------------- stat ---------------- *)
+
+let stat_fields t =
+  let s = Shard_store.stat t.store in
+  Mutex.lock t.mu;
+  let server =
+    [ ("uptime_s", Json.N (Float.max 0.0 (t.clock () -. t.started)));
+      ("requests", Json.N (float_of_int t.n_requests));
+      ("tunes", Json.N (float_of_int t.n_tunes));
+      ("tune_hits", Json.N (float_of_int t.n_tune_hits));
+      ("lookups", Json.N (float_of_int t.n_lookups));
+      ("errors", Json.N (float_of_int t.n_errors));
+      ("inflight_tunes", Json.N (float_of_int (Hashtbl.length t.tune_flight)));
+      ("connections", Json.N (float_of_int t.active));
+      ("jobs", Json.N (float_of_int t.cfg.jobs));
+      ("shards", Json.N (float_of_int (Shard_store.shard_count t.store)));
+      ("replica", Json.B t.cfg.replica);
+    ]
+  in
+  Mutex.unlock t.mu;
+  [ ("store", Json.O (Shard_store.stat_fields s)); ("server", Json.O server) ]
+
+(* ---------------- shutdown ---------------- *)
+
+let shutdown_fd fd = try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ()
+
+(* Graceful stop: poke the accept loop awake through the self-pipe
+   (closing the listening fd would NOT unblock a thread already parked
+   in accept), then half-close every other connection for receive —
+   each connection thread finishes the request it is processing, sees
+   EOF on its next read, and exits.  [run] returns once the last thread
+   is gone. *)
+let initiate_shutdown t ~self =
+  Mutex.lock t.mu;
+  let first = not t.stopping in
+  t.stopping <- true;
+  let others =
+    Hashtbl.fold (fun fd () acc -> if Some fd = self then acc else fd :: acc) t.conns []
+  in
+  Mutex.unlock t.mu;
+  if first then begin
+    logf t "shutting down";
+    (try ignore (Unix.write t.wake_wr (Bytes.of_string "!") 0 1) with _ -> ());
+    List.iter shutdown_fd others
+  end
+
+(* ---------------- connections ---------------- *)
+
+let handle t ~fd (req : Proto.req) : Proto.reply =
+  match req.Proto.request with
+  | Proto.Tune a -> (
+    match do_tune t a with
+    | Ok r -> Proto.Tuned ("tune", r)
+    | Error msg -> Proto.Failed msg)
+  | Proto.Lookup a -> (
+    match do_lookup t a with
+    | Ok (Some r) -> Proto.Tuned ("lookup", r)
+    | Ok None -> Proto.Miss
+    | Error msg -> Proto.Failed msg)
+  | Proto.Stat -> Proto.Stats (stat_fields t)
+  | Proto.Compact ->
+    apply_bounds t;
+    Shard_store.compact t.store;
+    Proto.Done "compact"
+  | Proto.Shutdown ->
+    initiate_shutdown t ~self:(Some fd);
+    Proto.Done "shutdown"
+
+let serve_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+      Mutex.lock t.mu;
+      t.n_requests <- t.n_requests + 1;
+      Mutex.unlock t.mu;
+      let resp, stop =
+        match Proto.parse_request line with
+        | Error (id, msg) ->
+          Mutex.lock t.mu;
+          t.n_errors <- t.n_errors + 1;
+          Mutex.unlock t.mu;
+          ({ Proto.resp_id = id; reply = Proto.Failed msg }, false)
+        | Ok req ->
+          let reply = handle t ~fd req in
+          (match reply with
+          | Proto.Failed _ ->
+            Mutex.lock t.mu;
+            t.n_errors <- t.n_errors + 1;
+            Mutex.unlock t.mu
+          | _ -> ());
+          ( { Proto.resp_id = req.Proto.req_id; reply },
+            req.Proto.request = Proto.Shutdown )
+      in
+      (match output_string oc (Proto.render_response resp ^ "\n") with
+      | exception Sys_error _ -> ()
+      | () -> ( try flush oc with Sys_error _ -> ()));
+      if not stop then loop ()
+  in
+  (try loop () with _ -> ());
+  Mutex.lock t.mu;
+  Hashtbl.remove t.conns fd;
+  t.active <- t.active - 1;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu;
+  try Unix.close fd with _ -> ()
+
+(* ---------------- listener ---------------- *)
+
+let bind_listen = function
+  | `Unix path ->
+    if Sys.file_exists path then begin
+      (* only ever remove a stale socket, never a regular file *)
+      if (Unix.stat path).Unix.st_kind <> Unix.S_SOCK then
+        failwith (Printf.sprintf "%s exists and is not a socket" path);
+      Unix.unlink path
+    end;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    fd
+  | `Tcp (host, port) ->
+    let addr =
+      if host = "" || host = "*" then Unix.inet_addr_any
+      else
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    fd
+
+let listen_name = function
+  | `Unix path -> path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let run ?(clock = Unix.gettimeofday) ?(ready = ignore) config =
+  let store =
+    Shard_store.open_ ~shards:config.shards ~replica:config.replica ~clock
+      config.store_dir
+  in
+  let pool =
+    if config.jobs <= 1 then None
+    else Some (Ifko_par.Par.Pool.create ~jobs:config.jobs)
+  in
+  let wake_rd, wake_wr = Unix.pipe () in
+  let t =
+    {
+      cfg = config;
+      store;
+      pool;
+      clock;
+      started = clock ();
+      wake_wr;
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      stopping = false;
+      active = 0;
+      conns = Hashtbl.create 16;
+      tune_flight = Hashtbl.create 16;
+      n_requests = 0;
+      n_tunes = 0;
+      n_tune_hits = 0;
+      n_lookups = 0;
+      n_errors = 0;
+    }
+  in
+  let listen_fd = bind_listen config.listen in
+  Unix.listen listen_fd 64;
+  logf t "listening on %s (%d shards, jobs=%d%s)" (listen_name config.listen)
+    (Shard_store.shard_count store) config.jobs
+    (if config.replica then ", replica" else "");
+  ready ();
+  (* select-then-accept: the self-pipe makes shutdown from another
+     thread reliable (no race against a parked accept), and the
+     nonblocking listener makes a spurious wakeup harmless *)
+  Unix.set_nonblock listen_fd;
+  let stopping () =
+    Mutex.lock t.mu;
+    let s = t.stopping in
+    Mutex.unlock t.mu;
+    s
+  in
+  let rec accept_loop () =
+    if not (stopping ()) then begin
+      match Unix.select [ listen_fd; wake_rd ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception _ -> ()
+      | ready_fds, _, _ ->
+        if List.mem listen_fd ready_fds && not (stopping ()) then begin
+          match Unix.accept listen_fd with
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+            -> ()
+          | exception _ ->
+            Mutex.lock t.mu;
+            t.stopping <- true;
+            Mutex.unlock t.mu
+          | fd, _ ->
+            (try Unix.clear_nonblock fd with _ -> ());
+            Mutex.lock t.mu;
+            Hashtbl.replace t.conns fd ();
+            t.active <- t.active + 1;
+            Mutex.unlock t.mu;
+            ignore (Thread.create (fun () -> serve_conn t fd) ())
+        end;
+        if not (List.mem wake_rd ready_fds) then accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close listen_fd with _ -> ());
+  (* accept can also exit on an unexpected error; make sure connection
+     threads are told to finish either way *)
+  initiate_shutdown t ~self:None;
+  (try Unix.close wake_rd with _ -> ());
+  (try Unix.close wake_wr with _ -> ());
+  Mutex.lock t.mu;
+  while t.active > 0 do
+    Condition.wait t.cv t.mu
+  done;
+  Mutex.unlock t.mu;
+  Option.iter Ifko_par.Par.Pool.shutdown pool;
+  Shard_store.close store;
+  (match config.listen with
+  | `Unix path -> ( try Unix.unlink path with _ -> ())
+  | `Tcp _ -> ());
+  logf t "stopped"

@@ -1,0 +1,53 @@
+(** The `ifko serve` daemon.
+
+    A socket server (Unix-domain or TCP) speaking the newline-delimited
+    JSON protocol of {!Proto}: one systhread per connection, all
+    in-flight tunes multiplexed onto one sharded probe store
+    ({!Shard_store}) and one shared domain pool, with whole-tune results
+    cached as store entries under {!Ifko_store.Store.tune_key}.
+
+    Determinism contract: a [tune] reply is bit-identical to a local,
+    sequential, storeless {!Ifko_search.Driver.tune} of the same
+    request, whatever the daemon's [jobs]/[shards] settings, whichever
+    client asked first, and whether the reply was computed or served
+    from cache. *)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : listen;
+  store_dir : string;  (** shard directory, created on first run *)
+  shards : int;  (** only used when creating the directory *)
+  jobs : int;  (** shared domain pool size; 1 = no pool *)
+  replica : bool;  (** several daemons share [store_dir] *)
+  max_bytes : int option;  (** whole-store eviction budget *)
+  max_age : float option;  (** seconds; older entries are evictable *)
+  log : string -> unit;  (** one line per event; [ignore] to silence *)
+}
+
+val default_config : store_dir:string -> listen -> config
+(** 8 shards, jobs 1, no replica, no bounds, silent. *)
+
+val machine_of : string -> (Ifko_machine.Config.t, string) result
+(** ["p4e" | "opteron"]. *)
+
+val context_of : string -> (Ifko_sim.Timer.context, string) result
+(** ["oc" | "l2"]. *)
+
+val run : ?clock:(unit -> float) -> ?ready:(unit -> unit) -> config -> unit
+(** Bind, listen, and serve until a [shutdown] request (or a fatal
+    accept error).  Blocks the calling thread; spawn it in a
+    {!Thread.t} to run in-process (the bench and tests do).  [ready]
+    fires once the socket is listening.  [clock] (default
+    [Unix.gettimeofday]) stamps store entries for age-bounded eviction
+    and feeds the uptime statistic — tests pass a fake clock.
+
+    Shutdown is graceful: the listener closes first, every connection
+    finishes the request it is processing and is then half-closed, and
+    [run] returns when the last connection thread exits (Unix socket
+    path unlinked, store and pool released).
+
+    In a replica group, configure eviction bounds on {e one} daemon
+    only: compaction rewrites journals in place, which is safe against
+    concurrent [O_APPEND] writers only when a single process compacts
+    (see DESIGN.md §13). *)

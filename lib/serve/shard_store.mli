@@ -1,0 +1,98 @@
+(** A probe store sharded across N journal files by key prefix.
+
+    Each shard is an ordinary {!Ifko_store.Store.t} (its own journal,
+    its own internal mutex), picked by the first byte of the hex-digest
+    key modulo the shard count — MD5 keys spread uniformly, so shards
+    stay balanced and concurrent writers to different keys rarely touch
+    the same journal.  A [store.meta] file in the directory persists the
+    shard count; re-opening follows the directory's geometry regardless
+    of the [?shards] argument, so keys keep hashing to the journal that
+    holds them.
+
+    On top of the shards sits a single-flight table: concurrent
+    {!cached} misses on the same key coalesce into one computation
+    whose outcome all callers share.
+
+    In [replica] mode several daemon processes share one directory:
+    every journal write is a single complete [O_APPEND] line (see
+    {!Ifko_store.Store}), and a lookup miss triggers an incremental
+    re-read of the shard's journal tail before the miss is conceded.
+    Compaction/eviction in a replica group must be serialized through
+    one designated writer — see DESIGN.md §13. *)
+
+module Store = Ifko_store.Store
+
+type t
+
+val open_ :
+  ?seed:int -> ?shards:int -> ?replica:bool -> ?clock:(unit -> float) ->
+  string -> t
+(** [open_ dir] creates [dir] if needed.  [shards] (default 8, clamped
+    to 1..256) only matters when the directory is new; an existing
+    [store.meta] wins.  [clock] stamps new entries for age-bounded
+    eviction (default: the constant 0, which keeps journals
+    byte-deterministic and marks entries "arbitrarily old").
+    @raise Invalid_argument if [dir] exists and is not a directory. *)
+
+val close : t -> unit
+val dir : t -> string
+val shard_count : t -> int
+
+val find : t -> key:string -> Store.outcome option
+val find_entry : t -> key:string -> (Store.outcome * string * string) option
+(** Outcome, params, provenance.  Both count one hit or miss, and in
+    replica mode retry after refreshing the key's shard. *)
+
+val add : t -> key:string -> params:string -> prov:string -> Store.outcome -> unit
+
+val cached :
+  t -> key:string -> params:string -> prov:string ->
+  (unit -> Store.outcome) -> Store.outcome
+(** Memoize through the store with single-flight semantics: a hit (or a
+    completed concurrent flight) returns the stored outcome; the first
+    misser runs [f], journals the outcome, and wakes every waiter.  If
+    the leader raises, the exception propagates to it alone and one
+    waiter takes over the computation. *)
+
+val hits : t -> int
+val misses : t -> int
+val joins : t -> int
+(** Calls answered by joining another caller's in-flight computation. *)
+
+val entries : t -> int
+
+val refresh : t -> unit
+(** Replica mode only (no-op otherwise): fold in lines other processes
+    appended to every shard since it was last read. *)
+
+val compact : t -> unit
+(** Rewrite every shard's journal to one line per live key. *)
+
+val evict : ?max_bytes:int -> ?max_age:float -> now:float -> t -> int
+(** Apply {!Store.evict} shard by shard; [max_bytes] is a whole-store
+    budget split evenly across shards.  Returns entries dropped. *)
+
+type stat = {
+  sh_dir : string;
+  sh_shards : Store.stat list;  (** in shard order *)
+  sh_entries : int;
+  sh_bytes : int;
+  sh_corrupt : int;
+  sh_torn : int;
+  sh_hits : int;
+  sh_misses : int;
+  sh_joins : int;
+}
+
+val stat : t -> stat
+
+val stat_fields : stat -> (string * Store.Json.value) list
+(** Flat summary fields plus a ["per_shard"] array of per-shard
+    {!Store.stat_fields} objects — same always-present-fields convention
+    as [Diag.to_json]. *)
+
+val stat_json : stat -> string
+
+val stat_of_dir : string -> stat option
+(** Offline statistics for a shard directory (opens, reads, closes);
+    [None] if [dir] has no valid [store.meta]. *)

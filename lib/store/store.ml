@@ -4,11 +4,20 @@ type outcome =
   | Illegal
 
 (* ---------------------------------------------------------------- *)
-(* Minimal JSON for the journal: flat objects of string / number /
-   bool fields.  Self-contained so the store adds no dependency. *)
+(* Minimal JSON for the journal and the serve protocol.  The writer
+   side of journal records only ever emits flat objects of string /
+   number / bool fields; the parser accepts full nesting so protocol
+   responses (e.g. shard-store statistics) can embed objects and
+   arrays.  Self-contained so the store adds no dependency. *)
 
 module Json = struct
-  type value = S of string | N of float | B of bool
+  type value =
+    | S of string
+    | N of float
+    | B of bool
+    | Null
+    | O of (string * value) list
+    | A of value list
 
   let escape buf s =
     String.iter
@@ -30,8 +39,25 @@ module Json = struct
     if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
     else Printf.sprintf "%.17g" f
 
-  let render fields =
-    let buf = Buffer.create 128 in
+  let rec add_value buf = function
+    | S s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | N f -> Buffer.add_string buf (number f)
+    | B b -> Buffer.add_string buf (if b then "true" else "false")
+    | Null -> Buffer.add_string buf "null"
+    | O fields -> add_object buf fields
+    | A items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_value buf v)
+        items;
+      Buffer.add_char buf ']'
+
+  and add_object buf fields =
     Buffer.add_char buf '{';
     List.iteri
       (fun i (k, v) ->
@@ -39,24 +65,27 @@ module Json = struct
         Buffer.add_char buf '"';
         escape buf k;
         Buffer.add_string buf "\":";
-        match v with
-        | S s ->
-          Buffer.add_char buf '"';
-          escape buf s;
-          Buffer.add_char buf '"'
-        | N f -> Buffer.add_string buf (number f)
-        | B b -> Buffer.add_string buf (if b then "true" else "false"))
+        add_value buf v)
       fields;
-    Buffer.add_char buf '}';
+    Buffer.add_char buf '}'
+
+  let render fields =
+    let buf = Buffer.create 128 in
+    add_object buf fields;
+    Buffer.contents buf
+
+  let render_value v =
+    let buf = Buffer.create 128 in
+    add_value buf v;
     Buffer.contents buf
 
   exception Bad
 
-  (* Parser for exactly the shape [render] produces (plus whitespace).
-     Any deviation raises [Bad]; the loader maps that to "corrupt". *)
-  let parse line =
+  (* One-line parser for the subset [render]/[render_value] produce
+     (plus whitespace).  Any deviation raises [Bad]; the journal loader
+     maps that to "corrupt", the protocol maps it to an error reply. *)
+  let parse_value_at line pos =
     let n = String.length line in
-    let pos = ref 0 in
     let peek () = if !pos >= n then raise Bad else line.[!pos] in
     let next () =
       let c = peek () in
@@ -69,6 +98,10 @@ module Json = struct
       done
     in
     let expect c = if next () <> c then raise Bad in
+    let literal word =
+      let l = String.length word in
+      if n - !pos >= l && String.sub line !pos l = word then pos := !pos + l else raise Bad
+    in
     let parse_string () =
       expect '"';
       let buf = Buffer.create 32 in
@@ -90,7 +123,7 @@ module Json = struct
             for i = 0 to 3 do
               Bytes.set hex i (next ())
             done;
-            let code = int_of_string ("0x" ^ Bytes.to_string hex) in
+            let code = try int_of_string ("0x" ^ Bytes.to_string hex) with _ -> raise Bad in
             if code < 0x80 then Buffer.add_char buf (Char.chr code)
             else raise Bad (* the writer only escapes control chars *)
           | _ -> raise Bad);
@@ -99,16 +132,31 @@ module Json = struct
       in
       go ()
     in
-    let parse_value () =
+    let rec parse_value () =
       skip_ws ();
       match peek () with
       | '"' -> S (parse_string ())
-      | 't' ->
-        if n - !pos >= 4 && String.sub line !pos 4 = "true" then (pos := !pos + 4; B true)
-        else raise Bad
-      | 'f' ->
-        if n - !pos >= 5 && String.sub line !pos 5 = "false" then (pos := !pos + 5; B false)
-        else raise Bad
+      | 't' -> literal "true"; B true
+      | 'f' -> literal "false"; B false
+      | 'n' -> literal "null"; Null
+      | '{' -> O (parse_object ())
+      | '[' ->
+        ignore (next ());
+        skip_ws ();
+        if peek () = ']' then (ignore (next ()); A [])
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            items := parse_value () :: !items;
+            skip_ws ();
+            match next () with
+            | ',' -> elements ()
+            | ']' -> ()
+            | _ -> raise Bad
+          in
+          elements ();
+          A (List.rev !items)
+        end
       | _ ->
         let start = !pos in
         while
@@ -122,46 +170,70 @@ module Json = struct
         if !pos = start then raise Bad;
         (try N (float_of_string (String.sub line start (!pos - start)))
          with _ -> raise Bad)
-    in
-    skip_ws ();
-    expect '{';
-    let fields = ref [] in
-    skip_ws ();
-    if peek () = '}' then (ignore (next ()); [])
-    else begin
-      let rec members () =
-        skip_ws ();
-        let k = parse_string () in
-        skip_ws ();
-        expect ':';
-        let v = parse_value () in
-        fields := (k, v) :: !fields;
-        skip_ws ();
-        match next () with
-        | ',' -> members ()
-        | '}' -> ()
-        | _ -> raise Bad
-      in
-      members ();
+    and parse_object () =
       skip_ws ();
-      if !pos <> n then raise Bad;
-      List.rev !fields
-    end
+      expect '{';
+      skip_ws ();
+      if peek () = '}' then (ignore (next ()); [])
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match next () with
+          | ',' -> members ()
+          | '}' -> ()
+          | _ -> raise Bad
+        in
+        members ();
+        List.rev !fields
+      end
+    in
+    parse_value ()
+
+  let parse line =
+    let pos = ref 0 in
+    let v = match parse_value_at line pos with O fields -> fields | _ -> raise Bad in
+    let n = String.length line in
+    while !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos <> n then raise Bad;
+    v
+
+  let str fields k = match List.assoc_opt k fields with Some (S s) -> Some s | _ -> None
+  let num fields k = match List.assoc_opt k fields with Some (N f) -> Some f | _ -> None
+  let bool fields k = match List.assoc_opt k fields with Some (B b) -> Some b | _ -> None
 end
 
 (* ---------------------------------------------------------------- *)
 
-type entry = { outcome : outcome; params : string; prov : string }
+(* [e_ts] is the wall-clock insertion time from the store's [clock]
+   (0. under the default clock, in which case it is not journaled, so
+   offline journals stay byte-deterministic); [e_seq] is the in-memory
+   load/insert order, the tie-breaker that makes eviction ordering
+   total. *)
+type entry = { outcome : outcome; params : string; prov : string; e_ts : float; e_seq : int }
 
 type t = {
   store_path : string;
+  clock : unit -> float;
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
   mutable oc : out_channel option;
   mutable hit_count : int;
   mutable miss_count : int;
-  mutable corrupt_count : int;
+  mutable corrupt_count : int;  (** unparseable complete lines *)
+  mutable torn_count : int;  (** unparseable, newline-less trailing line *)
+  mutable loaded_bytes : int;  (** journal prefix already folded into [table] *)
+  mutable next_seq : int;
   mutable header_seed : int option;
+  mutable saw_header : bool;  (** a header line (even seedless) was loaded *)
 }
 
 let schema_version = 1
@@ -181,53 +253,91 @@ let entry_line key e =
   in
   Json.render
     ((("k", Json.S key) :: outcome_fields)
-    @ [ ("params", Json.S e.params); ("prov", Json.S e.prov) ])
+    @ [ ("params", Json.S e.params); ("prov", Json.S e.prov) ]
+    @ if e.e_ts > 0.0 then [ ("ts", Json.N e.e_ts) ] else [])
 
-let parse_entry fields =
-  let str k = match List.assoc_opt k fields with Some (Json.S s) -> Some s | _ -> None in
-  let num k = match List.assoc_opt k fields with Some (Json.N f) -> Some f | _ -> None in
+let parse_entry ~seq fields =
+  let str k = Json.str fields k in
+  let num k = Json.num fields k in
   match str "k" with
   | None -> None
   | Some key ->
     let params = Option.value ~default:"" (str "params") in
     let prov = Option.value ~default:"" (str "prov") in
+    let e_ts = Option.value ~default:0.0 (num "ts") in
+    let mk outcome = Some (key, { outcome; params; prov; e_ts; e_seq = seq }) in
     (match str "o" with
     | Some "timed" ->
       (match (num "mflops", num "cycles") with
-      | Some mflops, Some cycles ->
-        Some (key, { outcome = Timed { mflops; cycles }; params; prov })
+      | Some mflops, Some cycles -> mk (Timed { mflops; cycles })
       | _ -> None)
-    | Some "test_failed" -> Some (key, { outcome = Test_failed; params; prov })
-    | Some "illegal" -> Some (key, { outcome = Illegal; params; prov })
+    | Some "test_failed" -> mk Test_failed
+    | Some "illegal" -> mk Illegal
     | _ -> None)
 
-(* Load every parseable record; count (but survive) anything else —
-   in particular the torn trailing line a crash mid-append leaves. *)
-let load_lines t path =
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      try
-        while true do
-          let line = input_line ic in
-          if String.trim line <> "" then begin
-            match Json.parse line with
-            | exception Json.Bad -> t.corrupt_count <- t.corrupt_count + 1
-            | fields ->
-              (match List.assoc_opt "ifko_store" fields with
-              | Some (Json.N _) ->
-                (match List.assoc_opt "seed" fields with
-                | Some (Json.N s) when t.header_seed = None ->
-                  t.header_seed <- Some (int_of_float s)
-                | _ -> ())
-              | _ ->
-                (match parse_entry fields with
-                | Some (key, e) -> Hashtbl.replace t.table key e
-                | None -> t.corrupt_count <- t.corrupt_count + 1))
-          end
-        done
-      with End_of_file -> ())
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fold journal text from [from] into the table.  Complete lines that
+   do not parse are counted corrupt.  The trailing newline-less
+   fragment — what a crash (or, under replicas, a concurrent writer)
+   mid-append leaves — is handled per [torn]: [`Count] records it as
+   torn and consumes it, [`Leave] leaves it unconsumed so a later
+   {!refresh} can pick up the completed line.  Returns the number of
+   bytes consumed. *)
+let fold_lines t ~torn s from =
+  let n = String.length s in
+  let pos = ref from in
+  let consumed = ref from in
+  let take line =
+    if String.trim line <> "" then begin
+      match Json.parse line with
+      | exception Json.Bad -> t.corrupt_count <- t.corrupt_count + 1
+      | fields ->
+        (match List.assoc_opt "ifko_store" fields with
+        | Some (Json.N _) ->
+          t.saw_header <- true;
+          (match List.assoc_opt "seed" fields with
+          | Some (Json.N s) when t.header_seed = None ->
+            t.header_seed <- Some (int_of_float s)
+          | _ -> ())
+        | _ ->
+          let seq = t.next_seq in
+          t.next_seq <- t.next_seq + 1;
+          (match parse_entry ~seq fields with
+          | Some (key, e) -> Hashtbl.replace t.table key e
+          | None -> t.corrupt_count <- t.corrupt_count + 1))
+    end
+  in
+  while !pos < n do
+    match String.index_from_opt s !pos '\n' with
+    | Some nl ->
+      take (String.sub s !pos (nl - !pos));
+      pos := nl + 1;
+      consumed := !pos
+    | None ->
+      (* newline-less tail *)
+      let tail = String.sub s !pos (n - !pos) in
+      (match torn with
+      | `Count ->
+        if String.trim tail <> "" then begin
+          match Json.parse tail with
+          | exception Json.Bad -> t.torn_count <- t.torn_count + 1
+          | _ -> take tail (* complete record, the crash only ate the newline *)
+        end;
+        consumed := n
+      | `Leave -> ());
+      pos := n
+  done;
+  !consumed - from
+
+let load_journal t =
+  let s = read_file t.store_path in
+  let consumed = fold_lines t ~torn:`Count s 0 in
+  t.loaded_bytes <- consumed
 
 (* A crash mid-append can leave a torn line with no trailing newline;
    appending straight after it would glue the next record onto the torn
@@ -254,26 +364,32 @@ let append_channel t =
     t.oc <- Some oc;
     oc
 
-let open_ ?seed path =
+let open_ ?seed ?(clock = fun () -> 0.0) path =
   let t =
     {
       store_path = path;
+      clock;
       mutex = Mutex.create ();
       table = Hashtbl.create 256;
       oc = None;
       hit_count = 0;
       miss_count = 0;
       corrupt_count = 0;
+      torn_count = 0;
+      loaded_bytes = 0;
+      next_seq = 0;
       header_seed = None;
+      saw_header = false;
     }
   in
   let existed = Sys.file_exists path in
-  if existed then load_lines t path;
-  if (not existed) || (t.header_seed = None && Hashtbl.length t.table = 0) then begin
+  if existed then load_journal t;
+  if (not existed) || (not t.saw_header && Hashtbl.length t.table = 0) then begin
     let oc = append_channel t in
     output_string oc (header_line ~seed ^ "\n");
     flush oc;
-    t.header_seed <- seed
+    t.header_seed <- seed;
+    t.saw_header <- true
   end;
   t
 
@@ -299,11 +415,20 @@ let find t ~key =
   Mutex.unlock t.mutex;
   Option.map (fun e -> e.outcome) r
 
-let add t ~key ~params ~prov outcome =
-  let e = { outcome; params; prov } in
+let find_entry t ~key =
   Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.mutex;
+  Option.map (fun e -> (e.outcome, e.params, e.prov)) r
+
+let add t ~key ~params ~prov outcome =
+  Mutex.lock t.mutex;
+  let e = { outcome; params; prov; e_ts = t.clock (); e_seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
   Hashtbl.replace t.table key e;
   let oc = append_channel t in
+  (* one write of one complete line: under O_APPEND this is what makes
+     several replica processes able to share a journal *)
   output_string oc (entry_line key e ^ "\n");
   flush oc;
   Mutex.unlock t.mutex
@@ -319,31 +444,117 @@ let cached ?store ~key ~params ~prov f =
       add t ~key ~params ~prov o;
       o)
 
-let hits t = t.hit_count
-let misses t = t.miss_count
-let entries t = Hashtbl.length t.table
-let corrupt t = t.corrupt_count
-
-let compact t =
+(* Pick up records appended by other processes sharing the journal
+   (replica mode): parse any complete lines past the already-loaded
+   prefix.  A newline-less tail is left alone — it is another writer's
+   append in flight, not corruption — and re-examined next time.  A
+   file that shrank was compacted underneath us: reload it whole. *)
+let refresh t =
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
-      (match t.oc with
-      | Some oc ->
-        flush oc;
-        close_out_noerr oc;
-        t.oc <- None
-      | None -> ());
-      let tmp = t.store_path ^ ".compact.tmp" in
-      let oc = open_out_bin tmp in
-      output_string oc (header_line ~seed:t.header_seed ^ "\n");
-      let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table []) in
-      List.iter
-        (fun k -> output_string oc (entry_line k (Hashtbl.find t.table k) ^ "\n"))
-        keys;
-      close_out oc;
-      Sys.rename tmp t.store_path)
+      if not (Sys.file_exists t.store_path) then ()
+      else begin
+        let s = read_file t.store_path in
+        let len = String.length s in
+        if len < t.loaded_bytes then begin
+          Hashtbl.reset t.table;
+          t.loaded_bytes <- 0
+        end;
+        if len > t.loaded_bytes then
+          t.loaded_bytes <-
+            t.loaded_bytes + fold_lines t ~torn:`Leave s t.loaded_bytes
+      end)
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+let entries t = Hashtbl.length t.table
+let corrupt t = t.corrupt_count + t.torn_count
+let torn t = t.torn_count
+
+let file_bytes path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in_noerr ic;
+    n
+  end
+
+let bytes t = file_bytes t.store_path
+
+let compact_locked t =
+  (match t.oc with
+  | Some oc ->
+    flush oc;
+    close_out_noerr oc;
+    t.oc <- None
+  | None -> ());
+  let tmp = t.store_path ^ ".compact.tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (header_line ~seed:t.header_seed ^ "\n");
+  let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table []) in
+  List.iter
+    (fun k -> output_string oc (entry_line k (Hashtbl.find t.table k) ^ "\n"))
+    keys;
+  close_out oc;
+  Sys.rename tmp t.store_path;
+  t.loaded_bytes <- file_bytes t.store_path
+
+let compact t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> compact_locked t)
+
+let evict ?max_bytes ?max_age ~now t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let removed = ref 0 in
+      let remove k =
+        Hashtbl.remove t.table k;
+        incr removed
+      in
+      (* Age bound: entries journaled without a timestamp (e_ts = 0,
+         e.g. by offline tooling under the default clock) have unknown
+         age and are treated as arbitrarily old. *)
+      (match max_age with
+      | None -> ()
+      | Some age ->
+        let dead =
+          Hashtbl.fold
+            (fun k e acc -> if e.e_ts < now -. age then k :: acc else acc)
+            t.table []
+        in
+        List.iter remove dead);
+      (* Size bound on the *compacted* journal: oldest (ts, then load
+         order) entries go first until the live set fits. *)
+      (match max_bytes with
+      | None -> ()
+      | Some budget ->
+        let header = String.length (header_line ~seed:t.header_seed) + 1 in
+        let live = ref header in
+        let all =
+          Hashtbl.fold
+            (fun k e acc ->
+              let len = String.length (entry_line k e) + 1 in
+              live := !live + len;
+              (e.e_ts, e.e_seq, k, len) :: acc)
+            t.table []
+        in
+        if !live > budget then begin
+          let oldest_first = List.sort compare all in
+          List.iter
+            (fun (_, _, k, len) ->
+              if !live > budget then begin
+                remove k;
+                live := !live - len
+              end)
+            oldest_first
+        end);
+      if !removed > 0 then compact_locked t;
+      !removed)
 
 (* ---------------------------------------------------------------- *)
 (* Keys: hex MD5 of length-prefixed fields (no boundary aliasing). *)
@@ -366,36 +577,89 @@ let probe_key ~kernel ~machine ~context ~n ~seed ~check ~params =
 let timing_key ~kind ~func ~machine ~context ~n ~seed =
   digest [ "timing"; kind; func; machine; context; string_of_int n; string_of_int seed ]
 
+let tune_key ~kernel ~machine ~context ~n ~seed ~check ~flops_per_n =
+  digest
+    [ "tune"; kernel; machine; context; string_of_int n; string_of_int seed;
+      (if check then "check" else "nocheck"); Printf.sprintf "%.17g" flops_per_n ]
+
 (* ---------------------------------------------------------------- *)
+
+type stat = {
+  st_path : string;
+  st_entries : int;
+  st_timed : int;
+  st_failed : int;
+  st_illegal : int;
+  st_corrupt : int;
+  st_torn : int;
+  st_bytes : int;
+  st_seed : int option;
+  st_hits : int;
+  st_misses : int;
+}
+
+let stat t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let timed = ref 0 and failed = ref 0 and illegal = ref 0 in
+      Hashtbl.iter
+        (fun _ e ->
+          match e.outcome with
+          | Timed _ -> incr timed
+          | Test_failed -> incr failed
+          | Illegal -> incr illegal)
+        t.table;
+      {
+        st_path = t.store_path;
+        st_entries = Hashtbl.length t.table;
+        st_timed = !timed;
+        st_failed = !failed;
+        st_illegal = !illegal;
+        st_corrupt = t.corrupt_count;
+        st_torn = t.torn_count;
+        st_bytes = file_bytes t.store_path;
+        st_seed = t.header_seed;
+        st_hits = t.hit_count;
+        st_misses = t.miss_count;
+      })
+
+(* Follows the [Diag.to_json] conventions: one flat object, every field
+   always present, [null] for absent values. *)
+let stat_fields s =
+  [ ("path", Json.S s.st_path);
+    ("entries", Json.N (float_of_int s.st_entries));
+    ("timed", Json.N (float_of_int s.st_timed));
+    ("test_failed", Json.N (float_of_int s.st_failed));
+    ("illegal", Json.N (float_of_int s.st_illegal));
+    ("corrupt_lines", Json.N (float_of_int s.st_corrupt));
+    ("torn_lines", Json.N (float_of_int s.st_torn));
+    ("bytes", Json.N (float_of_int s.st_bytes));
+    ("seed", match s.st_seed with Some v -> Json.N (float_of_int v) | None -> Json.Null);
+    ("hits", Json.N (float_of_int s.st_hits));
+    ("misses", Json.N (float_of_int s.st_misses));
+  ]
+
+let stat_json s = Json.render (stat_fields s)
+
+let stat_to_string s =
+  Printf.sprintf
+    "%s: %d entries (%d timed, %d test-failed, %d illegal), %d corrupt + %d torn line%s \
+     skipped, %d bytes%s\n"
+    s.st_path s.st_entries s.st_timed s.st_failed s.st_illegal s.st_corrupt s.st_torn
+    (if s.st_corrupt + s.st_torn = 1 then "" else "s")
+    s.st_bytes
+    (match s.st_seed with
+    | Some v -> Printf.sprintf ", seed %d" v
+    | None -> "")
 
 let stat_string p =
   if not (Sys.file_exists p) then Printf.sprintf "%s: no store\n" p
   else begin
     let t = open_ p in
     close t;
-    let timed = ref 0 and failed = ref 0 and illegal = ref 0 in
-    Hashtbl.iter
-      (fun _ e ->
-        match e.outcome with
-        | Timed _ -> incr timed
-        | Test_failed -> incr failed
-        | Illegal -> incr illegal)
-      t.table;
-    let size =
-      let ic = open_in_bin p in
-      let n = in_channel_length ic in
-      close_in_noerr ic;
-      n
-    in
-    Printf.sprintf
-      "%s: %d entries (%d timed, %d test-failed, %d illegal), %d corrupt line%s \
-       skipped, %d bytes%s\n"
-      p (entries t) !timed !failed !illegal (corrupt t)
-      (if corrupt t = 1 then "" else "s")
-      size
-      (match seed t with
-      | Some s -> Printf.sprintf ", seed %d" s
-      | None -> "")
+    stat_to_string (stat t)
   end
 
 let clear p = if Sys.file_exists p then Sys.remove p

@@ -11,12 +11,46 @@
     On disk the store is an append-only JSON-lines journal: one header
     line recording the schema version and workload seed, then one
     self-contained record per probed point.  Appends are a single
-    buffered write + flush under a mutex, so worker domains can share
-    one handle; a crash mid-write leaves at most one torn trailing
-    line, which the loader tolerates (corrupt or truncated lines are
-    counted and skipped, never fatal).  [compact] rewrites the journal
-    with one record per key (last wins) via a temp file + atomic
-    rename. *)
+    flushed write of one complete line under a mutex, so worker domains
+    can share one handle — and, because the file is opened with
+    [O_APPEND], several {e processes} can append to the same journal
+    (replica mode; see {!refresh}).  A crash mid-write leaves at most
+    one torn trailing line, which the loader tolerates (corrupt or
+    truncated lines are counted and skipped, never fatal).  [compact]
+    rewrites the journal with one record per key (last wins) via a temp
+    file + atomic rename. *)
+
+(** Minimal JSON used for the journal and the serve protocol: the
+    writer emits flat objects of string/number/bool fields; the parser
+    accepts nested objects and arrays too. *)
+module Json : sig
+  type value =
+    | S of string
+    | N of float
+    | B of bool
+    | Null
+    | O of (string * value) list
+    | A of value list
+
+  val render : (string * value) list -> string
+  (** One-line rendering of an object (no trailing newline). *)
+
+  val render_value : value -> string
+
+  val number : float -> string
+  (** The number format [render] uses: integral floats print as
+      integers, everything else as [%.17g] (bit-exact round-trip). *)
+
+  exception Bad
+
+  val parse : string -> (string * value) list
+  (** Parse one line holding exactly one object.
+      @raise Bad on anything else. *)
+
+  val str : (string * value) list -> string -> string option
+  val num : (string * value) list -> string -> float option
+  val bool : (string * value) list -> string -> bool option
+end
 
 (** Outcome of one probe, as journaled. *)
 type outcome =
@@ -29,10 +63,13 @@ type outcome =
 type t
 (** An open store: the in-memory index plus the append channel. *)
 
-val open_ : ?seed:int -> string -> t
-(** [open_ ?seed path] loads the journal at [path] (creating it, with a
-    header recording [seed], if absent).  Corrupt lines are skipped and
-    counted, so a journal truncated by a crash loads fine. *)
+val open_ : ?seed:int -> ?clock:(unit -> float) -> string -> t
+(** [open_ ?seed ?clock path] loads the journal at [path] (creating it,
+    with a header recording [seed], if absent).  Corrupt lines are
+    skipped and counted, so a journal truncated by a crash loads fine.
+    [clock] (e.g. [Unix.time]) timestamps every subsequent {!add} for
+    the age-based {!evict} policy; the default clock stamps 0 and emits
+    no timestamp field, keeping offline journals byte-deterministic. *)
 
 val close : t -> unit
 (** Flush and close the append channel.  Further [add]s reopen it. *)
@@ -45,6 +82,11 @@ val seed : t -> int option
 val find : t -> key:string -> outcome option
 (** Thread-safe lookup; maintains the {!hits}/{!misses} counters. *)
 
+val find_entry : t -> key:string -> (outcome * string * string) option
+(** Like {!find} but returns [(outcome, params, prov)] and does {e not}
+    touch the hit/miss counters — for callers (the serve layer) that
+    keep their own service-level counters. *)
+
 val add : t -> key:string -> params:string -> prov:string -> outcome -> unit
 (** Thread-safe insert + journal append (one flushed line).  [params]
     and [prov] are human-readable provenance (the parameter point and
@@ -54,6 +96,13 @@ val cached : ?store:t -> key:string -> params:string -> prov:string ->
   (unit -> outcome) -> outcome
 (** [cached ?store ~key ... f] is [f ()] memoized through the store;
     with [?store] absent it is just [f ()]. *)
+
+val refresh : t -> unit
+(** Fold in any complete journal lines appended past the already-loaded
+    prefix — records written by {e other processes} sharing the file in
+    replica mode.  A trailing line still missing its newline is another
+    writer's append in flight and is left for the next refresh; a file
+    that shrank (compacted by another replica) is reloaded whole. *)
 
 val hits : t -> int
 (** [find]s answered from the store since [open_]. *)
@@ -65,11 +114,30 @@ val entries : t -> int
 (** Distinct keys currently held. *)
 
 val corrupt : t -> int
-(** Journal lines skipped as corrupt/truncated during [open_]. *)
+(** Journal lines skipped as unusable during loading: {!torn} plus the
+    mid-file corrupt lines. *)
+
+val torn : t -> int
+(** The subset of {!corrupt} that was a newline-less trailing line —
+    the signature of a crash mid-append. *)
+
+val bytes : t -> int
+(** Current journal size in bytes (0 if the file is gone). *)
 
 val compact : t -> unit
 (** Rewrite the journal as header + one line per key, atomically
-    (temp file in the same directory, then rename). *)
+    (temp file in the same directory, then rename).  Not safe while
+    another replica process is appending — serialize compaction through
+    one designated writer (the serve daemon does). *)
+
+val evict : ?max_bytes:int -> ?max_age:float -> now:float -> t -> int
+(** [evict ?max_bytes ?max_age ~now t] applies the retention policy and
+    compacts if anything was dropped; returns the number of entries
+    evicted.  [max_age] drops entries stamped before [now - max_age]
+    (entries journaled without a timestamp count as arbitrarily old);
+    [max_bytes] then drops oldest-first — ordered by (timestamp, load
+    order) — until the compacted journal would fit.  Same replica
+    caveat as {!compact}. *)
 
 (** {2 Keys}
 
@@ -108,11 +176,54 @@ val timing_key :
     LIL rendering) — used to journal the ATLAS-search and
     compiler-model baseline timings. [kind] namespaces the caller. *)
 
+val tune_key :
+  kernel:string ->
+  machine:string ->
+  context:string ->
+  n:int ->
+  seed:int ->
+  check:bool ->
+  flops_per_n:float ->
+  string
+(** Key of one {e complete tune} — the service-level result the serve
+    daemon caches on top of the per-probe entries.  [kernel] is the
+    {!Ifko_search.Driver.kernel_fingerprint}; [flops_per_n] is included
+    because it scales the reported MFLOPS. *)
+
+(** {2 Statistics} *)
+
+type stat = {
+  st_path : string;
+  st_entries : int;
+  st_timed : int;
+  st_failed : int;
+  st_illegal : int;
+  st_corrupt : int;  (** mid-file unparseable lines (excludes torn) *)
+  st_torn : int;  (** newline-less unparseable trailing line *)
+  st_bytes : int;
+  st_seed : int option;
+  st_hits : int;
+  st_misses : int;
+}
+
+val stat : t -> stat
+(** Snapshot of a live handle (thread-safe). *)
+
+val stat_fields : stat -> (string * Json.value) list
+(** The [stat] object's fields, for embedding into larger JSON
+    documents (the shard store aggregates these per shard). *)
+
+val stat_json : stat -> string
+(** One flat JSON object, [Diag.to_json]-style: every field present,
+    [null] for an absent seed. *)
+
+val stat_to_string : stat -> string
+
 (** {2 Maintenance (on a path, without a live handle)} *)
 
 val stat_string : string -> string
 (** Human-readable summary of the journal at a path: entry and outcome
-    counts, corrupt lines, header seed, file size. *)
+    counts, corrupt/torn lines, header seed, file size. *)
 
 val clear : string -> unit
 (** Delete the journal file if it exists. *)

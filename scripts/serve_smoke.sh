@@ -1,0 +1,41 @@
+#!/bin/sh
+# Serve smoke: boot the tuning daemon on a Unix socket, run a cold
+# tune, assert the warm lookup is answered from the result cache, pull
+# the JSON stats, and shut down gracefully.  Every step is
+# timeout-bounded so a wedged daemon fails the gate instead of
+# hanging it.  Run from the repository root after `dune build`.
+set -eu
+
+IFKO="${IFKO:-dune exec --no-build bin/ifko_cli.exe --}"
+TMP="${TMPDIR:-/tmp}/ifko_serve_smoke.$$"
+SOCK="$TMP/daemon.sock"
+KERNEL=examples/kernels/ddot.hil
+mkdir -p "$TMP"
+trap 'kill $DAEMON_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+timeout 300 $IFKO serve --socket "$SOCK" --store-dir "$TMP/store" --shards 4 -j 2 &
+DAEMON_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ $i -gt 300 ]; then
+    echo "serve_smoke: daemon never bound $SOCK" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+timeout 240 $IFKO query tune "$KERNEL" --socket "$SOCK" -n 2000 | tee "$TMP/tune.out"
+grep -q "computed" "$TMP/tune.out"
+
+timeout 60 $IFKO query lookup "$KERNEL" --socket "$SOCK" -n 2000 | tee "$TMP/lookup.out"
+grep -q "cache hit" "$TMP/lookup.out"
+
+timeout 60 $IFKO query stat --socket "$SOCK" | tee "$TMP/stat.out"
+grep -q '"server"' "$TMP/stat.out"
+grep -q '"per_shard"' "$TMP/stat.out"
+
+timeout 60 $IFKO query shutdown --socket "$SOCK"
+wait $DAEMON_PID
+echo "serve_smoke: ok"

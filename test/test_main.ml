@@ -17,6 +17,7 @@ let () =
       ("par", Test_par.suite);
       ("store", Test_store.suite);
       ("search", Test_search.suite);
+      ("serve", Test_serve.suite);
       ("extensions", Test_extensions.suite);
       ("fuzz", Test_fuzz.suite);
       ("extras", Test_extras.suite);

@@ -1,0 +1,516 @@
+(* Serve-daemon tests: protocol round-trips and malformed-request
+   rejection, the sharded store (persistence, single-flight, eviction,
+   replica reload-on-miss), and an end-to-end daemon on a Unix socket
+   with concurrent clients whose replies must be bit-identical to a
+   sequential, storeless Driver.tune. *)
+
+module Store = Ifko_store.Store
+module Json = Store.Json
+module Proto = Ifko_serve.Proto
+module Shard_store = Ifko_serve.Shard_store
+module Server = Ifko_serve.Server
+module Client = Ifko_serve.Client
+
+let tmp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let ddot_src =
+  Ifko_blas.Hil_sources.source { Ifko_blas.Defs.routine = Ifko_blas.Defs.Dot; prec = Instr.D }
+
+let dasum_src =
+  Ifko_blas.Hil_sources.source
+    { Ifko_blas.Defs.routine = Ifko_blas.Defs.Asum; prec = Instr.D }
+
+(* ---------------- protocol ---------------- *)
+
+let test_proto_request_roundtrip () =
+  let args =
+    { Proto.kernel = "KERNEL k()\nwith \"quotes\" \\ and tabs\t"; machine = "opteron";
+      context = "l2"; n = 1234; seed = 7; flops_per_n = 1.5; check = true }
+  in
+  List.iter
+    (fun request ->
+      let line = Proto.render_request { Proto.req_id = "r-1"; request } in
+      Alcotest.(check bool) "one line" false (String.contains line '\n');
+      match Proto.parse_request line with
+      | Error (_, msg) -> Alcotest.failf "round-trip failed: %s" msg
+      | Ok r ->
+        Alcotest.(check string) "id" "r-1" r.Proto.req_id;
+        Alcotest.(check bool) "request survives" true (r.Proto.request = request))
+    [ Proto.Tune args; Proto.Lookup args; Proto.Stat; Proto.Compact; Proto.Shutdown ]
+
+let test_proto_response_roundtrip () =
+  let reply =
+    { Proto.best = "sv=1;ur=4"; mflops = 1234.5678901234567; fko_mflops = 987.65432101;
+      evaluations = 93; hit = false }
+  in
+  List.iter
+    (fun r ->
+      let line = Proto.render_response { Proto.resp_id = "c9-3"; reply = r } in
+      match Proto.parse_response line with
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+      | Ok p ->
+        Alcotest.(check string) "id" "c9-3" p.Proto.resp_id;
+        Alcotest.(check bool) "reply survives" true (p.Proto.reply = r))
+    [ Proto.Tuned ("tune", reply);
+      Proto.Tuned ("lookup", { reply with Proto.hit = true });
+      Proto.Miss;
+      Proto.Stats [ ("entries", Json.N 3.0); ("nested", Json.O [ ("a", Json.A [ Json.N 1.0; Json.Null ]) ]) ];
+      Proto.Done "compact";
+      Proto.Failed "no such machine";
+    ]
+
+(* Floats cross the wire at %.17g: the reply a client decodes must be
+   the exact bits the daemon computed. *)
+let test_proto_float_bits () =
+  let mflops = 1.0 /. 3.0 *. 1e4 in
+  let reply =
+    { Proto.best = "x"; mflops; fko_mflops = 0.1 +. 0.2; evaluations = 1; hit = false }
+  in
+  match
+    Proto.parse_response
+      (Proto.render_response { Proto.resp_id = "i"; reply = Proto.Tuned ("tune", reply) })
+  with
+  | Ok { Proto.reply = Proto.Tuned (_, r); _ } ->
+    Alcotest.(check bool) "mflops bit-identical" true
+      (Int64.bits_of_float r.Proto.mflops = Int64.bits_of_float mflops);
+    Alcotest.(check bool) "fko bit-identical" true
+      (Int64.bits_of_float r.Proto.fko_mflops = Int64.bits_of_float (0.1 +. 0.2))
+  | Ok _ -> Alcotest.fail "wrong reply shape"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_proto_malformed () =
+  let expect_err ?id line =
+    match Proto.parse_request line with
+    | Ok _ -> Alcotest.failf "accepted malformed line %S" line
+    | Error (got_id, msg) ->
+      Alcotest.(check bool) "has a message" true (String.length msg > 0);
+      Option.iter (fun id -> Alcotest.(check string) "id recovered" id got_id) id
+  in
+  expect_err "not json at all";
+  expect_err "{\"op\":\"tune\"}" (* missing kernel *);
+  expect_err ~id:"x1" "{\"id\":\"x1\",\"op\":\"frobnicate\"}";
+  expect_err ~id:"x2" "{\"id\":\"x2\"}" (* missing op *);
+  expect_err ~id:"x3" "{\"id\":\"x3\",\"op\":\"tune\",\"kernel\":\"k\",\"n\":-5}";
+  expect_err ~id:"x4" "{\"id\":\"x4\",\"op\":\"tune\",\"kernel\":\"k\",\"n\":\"big\"}";
+  expect_err ~id:"x5" "{\"id\":\"x5\",\"op\":\"tune\",\"kernel\":\"   \"}";
+  (* omitted optional fields fall back to the documented defaults *)
+  match Proto.parse_request "{\"id\":\"ok\",\"op\":\"tune\",\"kernel\":\"K\"}" with
+  | Ok { Proto.request = Proto.Tune a; _ } ->
+    Alcotest.(check bool) "defaults" true (a = Proto.default_args ~kernel:"K")
+  | _ -> Alcotest.fail "minimal tune request rejected"
+
+(* ---------------- shard store ---------------- *)
+
+let test_shard_persistence () =
+  let dir = tmp_dir "ifko_shards" in
+  let st = Shard_store.open_ ~shards:4 dir in
+  Alcotest.(check int) "geometry" 4 (Shard_store.shard_count st);
+  let keys = List.init 64 (fun i -> Store.digest [ "key"; string_of_int i ]) in
+  List.iteri
+    (fun i key ->
+      Shard_store.add st ~key ~params:"p" ~prov:"t"
+        (Store.Timed { mflops = float_of_int i; cycles = 0.0 }))
+    keys;
+  Shard_store.close st;
+  (* journals actually spread: with 64 MD5 keys over 4 shards, every
+     shard must hold something *)
+  let sizes =
+    List.init 4 (fun i ->
+        let ic = open_in_bin (Filename.concat dir (Printf.sprintf "shard-%02d.jsonl" i)) in
+        let n = in_channel_length ic in
+        close_in ic;
+        n)
+  in
+  List.iter (fun n -> Alcotest.(check bool) "shard non-trivial" true (n > 20)) sizes;
+  (* reopen with a different ?shards: store.meta wins, keys still found *)
+  let st2 = Shard_store.open_ ~shards:13 dir in
+  Alcotest.(check int) "meta wins over argument" 4 (Shard_store.shard_count st2);
+  Alcotest.(check int) "entries" 64 (Shard_store.entries st2);
+  List.iteri
+    (fun i key ->
+      match Shard_store.find st2 ~key with
+      | Some (Store.Timed { mflops; _ }) ->
+        Alcotest.(check (float 0.0)) "value" (float_of_int i) mflops
+      | _ -> Alcotest.fail "entry lost across reopen")
+    keys;
+  Alcotest.(check int) "hits counted" 64 (Shard_store.hits st2);
+  Shard_store.close st2;
+  rm_rf dir
+
+let test_shard_single_flight () =
+  let dir = tmp_dir "ifko_flight" in
+  let st = Shard_store.open_ ~shards:2 dir in
+  let key = Store.digest [ "shared" ] in
+  let computes = Atomic.make 0 in
+  let barrier = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    Thread.delay 0.05;
+    (* slow, so the other threads pile onto the flight *)
+    Store.Timed { mflops = 77.0; cycles = 0.0 }
+  in
+  let results = Array.make 8 None in
+  let threads =
+    Array.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < 8 do
+              Thread.yield ()
+            done;
+            results.(i) <- Some (Shard_store.cached st ~key ~params:"" ~prov:"" compute))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computes);
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "every thread got the outcome" true
+        (r = Some (Store.Timed { mflops = 77.0; cycles = 0.0 })))
+    results;
+  Alcotest.(check int) "one journal entry" 1 (Shard_store.entries st);
+  Shard_store.close st;
+  rm_rf dir
+
+let test_shard_eviction () =
+  let dir = tmp_dir "ifko_evict" in
+  let now = ref 1000.0 in
+  let st = Shard_store.open_ ~shards:2 ~clock:(fun () -> !now) dir in
+  let old_keys = List.init 10 (fun i -> Store.digest [ "old"; string_of_int i ]) in
+  let new_keys = List.init 10 (fun i -> Store.digest [ "new"; string_of_int i ]) in
+  List.iter
+    (fun key ->
+      Shard_store.add st ~key ~params:"" ~prov:"" (Store.Timed { mflops = 1.0; cycles = 0.0 }))
+    old_keys;
+  now := 2000.0;
+  List.iter
+    (fun key ->
+      Shard_store.add st ~key ~params:"" ~prov:"" (Store.Timed { mflops = 2.0; cycles = 0.0 }))
+    new_keys;
+  (* age bound: everything older than 500s at t=2100 goes *)
+  let dropped = Shard_store.evict ~max_age:500.0 ~now:2100.0 st in
+  Alcotest.(check int) "old generation evicted" 10 dropped;
+  List.iter
+    (fun key -> Alcotest.(check bool) "old gone" true (Shard_store.find st ~key = None))
+    old_keys;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) "live entries preserved" true (Shard_store.find st ~key <> None))
+    new_keys;
+  (* the eviction compacted: reopening sees the same picture *)
+  Shard_store.close st;
+  let st2 = Shard_store.open_ ~clock:(fun () -> !now) dir in
+  Alcotest.(check int) "survivors persisted" 10 (Shard_store.entries st2);
+  (* size bound: squeeze to a handful of entries *)
+  let s = Shard_store.stat st2 in
+  let dropped2 = Shard_store.evict ~max_bytes:(s.Shard_store.sh_bytes / 2) ~now:2200.0 st2 in
+  Alcotest.(check bool) "size bound dropped something" true (dropped2 > 0);
+  Alcotest.(check bool) "but not everything" true (Shard_store.entries st2 > 0);
+  let s2 = Shard_store.stat st2 in
+  Alcotest.(check bool) "bytes under budget" true
+    (s2.Shard_store.sh_bytes <= s.Shard_store.sh_bytes / 2);
+  Shard_store.close st2;
+  rm_rf dir
+
+let test_shard_replica_reload () =
+  let dir = tmp_dir "ifko_replica" in
+  let a = Shard_store.open_ ~shards:4 ~replica:true dir in
+  let b = Shard_store.open_ ~replica:true dir in
+  (* b opened before a wrote anything; the miss triggers a reload *)
+  let key = Store.digest [ "cross-process" ] in
+  Alcotest.(check bool) "cold miss" true (Shard_store.find b ~key = None);
+  Shard_store.add a ~key ~params:"p" ~prov:"a" (Store.Timed { mflops = 5.5; cycles = 0.0 });
+  (match Shard_store.find b ~key with
+  | Some (Store.Timed { mflops; _ }) ->
+    Alcotest.(check (float 0.0)) "reload-on-miss sees a's write" 5.5 mflops
+  | _ -> Alcotest.fail "replica miss not reloaded");
+  (* and the other direction *)
+  let key2 = Store.digest [ "other-way" ] in
+  Shard_store.add b ~key:key2 ~params:"" ~prov:"b" Store.Illegal;
+  Alcotest.(check bool) "a sees b's write" true
+    (Shard_store.find a ~key:key2 = Some Store.Illegal);
+  Shard_store.close a;
+  Shard_store.close b;
+  rm_rf dir
+
+let test_store_refresh_torn_tail () =
+  (* refresh must not consume a torn (in-flight) tail: once the
+     concurrent writer finishes the line, a later refresh loads it *)
+  let path = Filename.temp_file "ifko_refresh" ".jsonl" in
+  Sys.remove path;
+  let a = Store.open_ path in
+  let b = Store.open_ path in
+  let line =
+    "{\"k\":\"x\",\"o\":\"timed\",\"mflops\":1.5,\"cycles\":2,\"params\":\"\",\"prov\":\"\"}"
+  in
+  let half = String.length line / 2 in
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (String.sub line 0 half);
+  flush oc;
+  Store.refresh b;
+  Alcotest.(check bool) "half-written line invisible" true (Store.find b ~key:"x" = None);
+  output_string oc (String.sub line half (String.length line - half) ^ "\n");
+  close_out oc;
+  Store.refresh b;
+  Alcotest.(check bool) "completed line visible after refresh" true
+    (Store.find b ~key:"x" = Some (Store.Timed { mflops = 1.5; cycles = 2.0 }));
+  Store.close a;
+  Store.close b;
+  Store.clear path
+
+(* ---------------- end-to-end daemon ---------------- *)
+
+let with_daemon ?(jobs = 2) ?shards f =
+  let dir = tmp_dir "ifko_served" in
+  let sock = tmp_dir "ifko_sock" ^ ".sock" in
+  let listen = `Unix sock in
+  let config =
+    { (Server.default_config ~store_dir:dir listen) with
+      Server.jobs;
+      shards = Option.value ~default:4 shards;
+    }
+  in
+  let ready = Mutex.create () in
+  let ready_cv = Condition.create () in
+  let is_ready = ref false in
+  let daemon =
+    Thread.create
+      (fun () ->
+        Server.run
+          ~ready:(fun () ->
+            Mutex.lock ready;
+            is_ready := true;
+            Condition.signal ready_cv;
+            Mutex.unlock ready)
+          config)
+      ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait ready_cv ready
+  done;
+  Mutex.unlock ready;
+  Fun.protect
+    ~finally:(fun () ->
+      (* make sure the daemon dies even when the test body failed *)
+      (try Client.with_client listen (fun c -> ignore (Client.shutdown c)) with _ -> ());
+      Thread.join daemon;
+      rm_rf dir)
+    (fun () -> f listen)
+
+(* The bit-identity contract: the daemon's reply equals a local
+   sequential, storeless tune — same best point, same MFLOPS bits,
+   same evaluation count — no matter how many clients raced. *)
+let reference_tune src ~n ~seed ~flops_per_n =
+  let compiled =
+    src |> Ifko_hil.Parser.parse_kernel |> Ifko_hil.Typecheck.check
+    |> Ifko_codegen.Lower.lower
+  in
+  let spec = Ifko_search.Generic.spec ~seed compiled in
+  Ifko_search.Driver.tune ~seed ~cfg:Ifko_machine.Config.p4e
+    ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n ~flops_per_n
+    ~test:(Ifko_search.Generic.test compiled spec) compiled
+
+let check_against_reference src (r : Proto.tune_reply) ~n ~seed ~flops_per_n =
+  let t = reference_tune src ~n ~seed ~flops_per_n in
+  Alcotest.(check string) "best point bit-identical"
+    (Ifko_transform.Params.canonical t.Ifko_search.Driver.best_params)
+    r.Proto.best;
+  Alcotest.(check bool) "mflops bit-identical" true
+    (Int64.bits_of_float t.Ifko_search.Driver.ifko_mflops
+    = Int64.bits_of_float r.Proto.mflops);
+  Alcotest.(check bool) "fko mflops bit-identical" true
+    (Int64.bits_of_float t.Ifko_search.Driver.fko_mflops
+    = Int64.bits_of_float r.Proto.fko_mflops);
+  Alcotest.(check int) "evaluations" t.Ifko_search.Driver.evaluations r.Proto.evaluations
+
+let test_daemon_tune_deterministic () =
+  let n = 600 and seed = 3 and flops_per_n = 2.0 in
+  let args = { (Proto.default_args ~kernel:ddot_src) with Proto.n; seed } in
+  with_daemon (fun listen ->
+      (* several clients race tunes of the same kernel plus a different
+         one; every ddot reply must agree and match the reference *)
+      let replies = Array.make 4 None in
+      let threads =
+        Array.init 4 (fun i ->
+            Thread.create
+              (fun () ->
+                Client.with_client listen (fun c ->
+                    let a =
+                      if i = 3 then { args with Proto.kernel = dasum_src } else args
+                    in
+                    replies.(i) <- Some (Client.tune c a)))
+              ())
+      in
+      Array.iter Thread.join threads;
+      let oks =
+        Array.to_list replies
+        |> List.filteri (fun i _ -> i < 3)
+        |> List.map (function
+             | Some (Ok r) -> r
+             | Some (Error e) -> Alcotest.failf "tune failed: %s" e
+             | None -> Alcotest.fail "client did not finish")
+      in
+      (match oks with
+      | first :: rest ->
+        List.iter
+          (fun (r : Proto.tune_reply) ->
+            Alcotest.(check bool) "concurrent replies identical" true
+              (r.Proto.best = first.Proto.best
+              && Int64.bits_of_float r.Proto.mflops = Int64.bits_of_float first.Proto.mflops
+              && r.Proto.evaluations = first.Proto.evaluations))
+          rest;
+        check_against_reference ddot_src first ~n ~seed ~flops_per_n
+      | [] -> Alcotest.fail "no replies");
+      (match replies.(3) with
+      | Some (Ok r) -> check_against_reference dasum_src r ~n ~seed ~flops_per_n
+      | _ -> Alcotest.fail "dasum tune failed");
+      (* warm phase: lookup hits, tune comes back from the result cache *)
+      Client.with_client listen (fun c ->
+          (match Client.lookup c args with
+          | Ok (Some r) ->
+            Alcotest.(check bool) "warm lookup hits" true r.Proto.hit;
+            check_against_reference ddot_src r ~n ~seed ~flops_per_n
+          | Ok None -> Alcotest.fail "warm lookup missed"
+          | Error e -> Alcotest.failf "lookup failed: %s" e);
+          (match Client.tune c args with
+          | Ok r -> Alcotest.(check bool) "warm tune is a cache hit" true r.Proto.hit
+          | Error e -> Alcotest.failf "warm tune failed: %s" e);
+          (* unknown kernel: lookups never compute *)
+          match
+            Client.lookup c { args with Proto.kernel = dasum_src; Proto.seed = 99 }
+          with
+          | Ok None -> ()
+          | Ok (Some _) -> Alcotest.fail "lookup computed a cold result"
+          | Error e -> Alcotest.failf "cold lookup failed: %s" e))
+
+let test_daemon_protocol_errors () =
+  with_daemon ~jobs:1 (fun listen ->
+      match listen with
+      | `Tcp _ -> assert false
+      | `Unix path ->
+        (* speak raw bytes: a garbage line must produce an error reply on
+           the same connection, not a disconnect *)
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc "this is not json\n";
+        output_string oc "{\"id\":\"q1\",\"op\":\"nope\"}\n";
+        output_string oc "{\"id\":\"q2\",\"op\":\"stat\"}\n";
+        flush oc;
+        (match Proto.parse_response (input_line ic) with
+        | Ok { Proto.reply = Proto.Failed _; _ } -> ()
+        | _ -> Alcotest.fail "garbage line not rejected with an error reply");
+        (match Proto.parse_response (input_line ic) with
+        | Ok { Proto.resp_id = "q1"; reply = Proto.Failed msg } ->
+          Alcotest.(check bool) "message names the op" true
+            (String.length msg > 0)
+        | _ -> Alcotest.fail "unknown op not rejected with a correlated error");
+        (match Proto.parse_response (input_line ic) with
+        | Ok { Proto.resp_id = "q2"; reply = Proto.Stats fields } ->
+          (match List.assoc_opt "server" fields with
+          | Some (Json.O server) ->
+            (match List.assoc_opt "errors" server with
+            | Some (Json.N e) ->
+              Alcotest.(check bool) "errors counted" true (e >= 2.0)
+            | _ -> Alcotest.fail "no errors counter")
+          | _ -> Alcotest.fail "no server object in stat")
+        | _ -> Alcotest.fail "connection unusable after bad lines");
+        Unix.close fd)
+
+let test_daemon_replica_pair () =
+  (* two daemons, one store directory: what one computes, the other
+     serves from its result cache via reload-on-miss *)
+  let dir = tmp_dir "ifko_repl_store" in
+  let sock_a = tmp_dir "ifko_repl_a" ^ ".sock" in
+  let sock_b = tmp_dir "ifko_repl_b" ^ ".sock" in
+  let mk sock =
+    { (Server.default_config ~store_dir:dir (`Unix sock)) with
+      Server.replica = true;
+      shards = 2;
+      jobs = 1;
+    }
+  in
+  let spawn config =
+    let m = Mutex.create () and cv = Condition.create () and up = ref false in
+    let th =
+      Thread.create
+        (fun () ->
+          Server.run
+            ~ready:(fun () ->
+              Mutex.lock m;
+              up := true;
+              Condition.signal cv;
+              Mutex.unlock m)
+            config)
+        ()
+    in
+    Mutex.lock m;
+    while not !up do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    th
+  in
+  let ta = spawn (mk sock_a) in
+  let tb = spawn (mk sock_b) in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun sock ->
+          try Client.with_client (`Unix sock) (fun c -> ignore (Client.shutdown c))
+          with _ -> ())
+        [ sock_a; sock_b ];
+      Thread.join ta;
+      Thread.join tb;
+      rm_rf dir)
+    (fun () ->
+      let n = 400 and seed = 1 in
+      let args = { (Proto.default_args ~kernel:ddot_src) with Proto.n; seed } in
+      let computed =
+        Client.with_client (`Unix sock_a) (fun c ->
+            match Client.tune c args with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "tune on a failed: %s" e)
+      in
+      Alcotest.(check bool) "a computed it" false computed.Proto.hit;
+      Client.with_client (`Unix sock_b) (fun c ->
+          match Client.lookup c args with
+          | Ok (Some r) ->
+            Alcotest.(check bool) "b's lookup hit a's result" true r.Proto.hit;
+            Alcotest.(check string) "same best" computed.Proto.best r.Proto.best;
+            Alcotest.(check bool) "same bits" true
+              (Int64.bits_of_float computed.Proto.mflops
+              = Int64.bits_of_float r.Proto.mflops)
+          | Ok None -> Alcotest.fail "replica b missed a's result"
+          | Error e -> Alcotest.failf "lookup on b failed: %s" e))
+
+let suite =
+  [ Alcotest.test_case "proto: request round-trip" `Quick test_proto_request_roundtrip;
+    Alcotest.test_case "proto: response round-trip" `Quick test_proto_response_roundtrip;
+    Alcotest.test_case "proto: float bits survive the wire" `Quick test_proto_float_bits;
+    Alcotest.test_case "proto: malformed requests rejected" `Quick test_proto_malformed;
+    Alcotest.test_case "shards: persistence and geometry" `Quick test_shard_persistence;
+    Alcotest.test_case "shards: single-flight dedup" `Quick test_shard_single_flight;
+    Alcotest.test_case "shards: age and size eviction" `Quick test_shard_eviction;
+    Alcotest.test_case "shards: replica reload-on-miss" `Quick test_shard_replica_reload;
+    Alcotest.test_case "store: refresh skips torn tail" `Quick test_store_refresh_torn_tail;
+    Alcotest.test_case "daemon: concurrent tunes bit-identical" `Quick
+      test_daemon_tune_deterministic;
+    Alcotest.test_case "daemon: protocol errors answered" `Quick
+      test_daemon_protocol_errors;
+    Alcotest.test_case "daemon: replica pair shares results" `Quick
+      test_daemon_replica_pair;
+  ]

@@ -126,6 +126,88 @@ let test_corrupt_middle_line () =
   Store.close st2;
   Store.clear path
 
+(* The stat report splits skipped lines into the two classes a replica
+   operator needs to tell apart: mid-file corruption (data loss) and a
+   torn trailing line (a crash — or another writer — mid-append). *)
+let test_stat_torn_vs_corrupt () =
+  let path = tmp_store () in
+  let st = Store.open_ ~seed:5 path in
+  Store.add st ~key:"a" ~params:"" ~prov:"" (Store.Timed { mflops = 1.0; cycles = 2.0 });
+  Store.close st;
+  append_raw path "mid-file garbage\n";
+  append_raw path "{\"k\":\"b\",\"o\":\"illegal\",\"params\":\"\",\"prov\":\"\"}\n";
+  append_raw path "{\"k\":\"c\",\"o\":\"timed\",\"mflo" (* truncated mid-line *);
+  let st2 = Store.open_ path in
+  let s = Store.stat st2 in
+  Alcotest.(check int) "entries" 2 s.Store.st_entries;
+  Alcotest.(check int) "one corrupt (mid-file) line" 1 s.Store.st_corrupt;
+  Alcotest.(check int) "one torn (trailing) line" 1 s.Store.st_torn;
+  Alcotest.(check int) "corrupt() stays the total skipped" 2 (Store.corrupt st2);
+  Alcotest.(check int) "torn accessor" 1 (Store.torn st2);
+  (* the JSON stat carries both counters, always present *)
+  let fields = Store.Json.parse (Store.stat_json s) in
+  Alcotest.(check (option (float 0.0))) "corrupt_lines in json" (Some 1.0)
+    (Store.Json.num fields "corrupt_lines");
+  Alcotest.(check (option (float 0.0))) "torn_lines in json" (Some 1.0)
+    (Store.Json.num fields "torn_lines");
+  Alcotest.(check (option (float 0.0))) "seed in json" (Some 5.0)
+    (Store.Json.num fields "seed");
+  Store.close st2;
+  Store.clear path
+
+let test_evict () =
+  let path = tmp_store () in
+  let now = ref 100.0 in
+  let st = Store.open_ ~clock:(fun () -> !now) path in
+  Store.add st ~key:"old" ~params:"" ~prov:"" (Store.Timed { mflops = 1.0; cycles = 0.0 });
+  now := 900.0;
+  Store.add st ~key:"new" ~params:"" ~prov:"" (Store.Timed { mflops = 2.0; cycles = 0.0 });
+  Alcotest.(check int) "age bound drops only the old entry" 1
+    (Store.evict ~max_age:500.0 ~now:1000.0 st);
+  Alcotest.(check (option outcome)) "old evicted" None (Store.find st ~key:"old");
+  Alcotest.(check (option outcome)) "live entry preserved"
+    (Some (Store.Timed { mflops = 2.0; cycles = 0.0 }))
+    (Store.find st ~key:"new");
+  (* eviction compacted the journal: the dropped entry is gone on disk *)
+  Store.close st;
+  let st2 = Store.open_ path in
+  Alcotest.(check int) "survivor persisted" 1 (Store.entries st2);
+  (* size bound: oldest-first until under budget *)
+  for i = 0 to 9 do
+    Store.add st2
+      ~key:(Printf.sprintf "k%d" i)
+      ~params:"" ~prov:""
+      (Store.Timed { mflops = float_of_int i; cycles = 0.0 })
+  done;
+  let before = Store.bytes st2 in
+  let dropped = Store.evict ~max_bytes:(before / 2) ~now:2000.0 st2 in
+  Alcotest.(check bool) "dropped some" true (dropped > 0);
+  Alcotest.(check bool) "kept some" true (Store.entries st2 > 0);
+  Alcotest.(check bool) "under budget" true (Store.bytes st2 <= before / 2);
+  (* entries without timestamps count as arbitrarily old: the k*
+     entries (journaled under the default clock) go before "new",
+     which still carries its ts=900 stamp from the first handle *)
+  Alcotest.(check (option outcome)) "oldest untimestamped evicted first" None
+    (Store.find st2 ~key:"k0");
+  Alcotest.(check bool) "timestamped entry outlives them" true
+    (Store.find st2 ~key:"new" <> None);
+  Store.close st2;
+  Store.clear path
+
+let test_tune_key () =
+  let key ?(n = 100) ?(flops = 2.0) () =
+    Store.tune_key ~kernel:"fp" ~machine:"P4E" ~context:"out-of-cache" ~n ~seed:0
+      ~check:false ~flops_per_n:flops
+  in
+  Alcotest.(check string) "deterministic" (key ()) (key ());
+  Alcotest.(check bool) "flops_per_n changes the key" false (key () = key ~flops:3.0 ());
+  Alcotest.(check bool) "n changes the key" false (key () = key ~n:200 ());
+  (* tune keys never collide with probe keys of the same inputs *)
+  Alcotest.(check bool) "disjoint from probe keys" false
+    (key ()
+    = Store.probe_key ~kernel:"fp" ~machine:"P4E" ~context:"out-of-cache" ~n:100 ~seed:0
+        ~check:false ~params:"")
+
 let test_compact () =
   let path = tmp_store () in
   let st = Store.open_ ~seed:9 path in
@@ -184,6 +266,9 @@ let suite =
     Alcotest.test_case "escaping round-trip" `Quick test_escaping;
     Alcotest.test_case "truncated-journal recovery" `Quick test_truncated_journal_recovery;
     Alcotest.test_case "corrupt middle line" `Quick test_corrupt_middle_line;
+    Alcotest.test_case "stat splits torn from corrupt" `Quick test_stat_torn_vs_corrupt;
+    Alcotest.test_case "age- and size-bounded eviction" `Quick test_evict;
+    Alcotest.test_case "tune keys" `Quick test_tune_key;
     Alcotest.test_case "compaction" `Quick test_compact;
     Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
   ]
