@@ -14,9 +14,15 @@
      --json PATH    machine-readable run report (default BENCH_results.json)
      --profile      per-kernel fast-path coverage, superblock fusion and
                     cycle-attribution counters in the simbench experiment
-     --baseline P   read geomean speedups from a previous results file
-                    (before anything is overwritten) and fail the run if
-                    the fresh simbench geomeans regress by more than 15%
+     --baseline P   read geomean speedups and full-fidelity cycles from
+                    a previous results file (before anything is
+                    overwritten); fail the run if the fresh simbench
+                    geomeans regress by more than 15%, if sampled
+                    fidelity misses its cycle-error budget against this
+                    run or against the baseline's full-fidelity cycles,
+                    or if the sampled work ratio falls under 5x
+     --delta-md P   write a baseline-vs-current markdown table to P
+                    (CI appends it to the GitHub job summary)
 
    Experiments: table1 table2 fig2 fig3 fig4 fig5a fig5b table3 fig7
                 opteron_l2 ablations simbench servebench all *)
@@ -35,9 +41,22 @@ let jobs = ref 1
 let store : Ifko_store.Store.t option ref = ref None
 let profile_mode = ref false
 
-(* (untimed, timed) geomean speedups of a previous run, captured at
-   argument-parse time — before this run overwrites the results file. *)
-let baseline : (float * float) option ref = ref None
+(* Geomeans (and, when the file has them, per-kernel full-fidelity
+   cycle counts) of a previous run, captured at argument-parse time —
+   before this run overwrites the results file.  The fidelity fields
+   are optional so results files from before the sampled timer still
+   work as baselines for the throughput gates. *)
+type baseline_data = {
+  b_untimed : float;
+  b_timed : float;
+  b_fid_err : float option; (* geomean_cycle_err_pct *)
+  b_fid_speedup : float option; (* geomean_sampled_speedup *)
+  b_fid_work : float option; (* geomean_work_ratio *)
+  b_full_cycles : (string * float) list; (* per-kernel full-fidelity cycles *)
+}
+
+let baseline : baseline_data option ref = ref None
+let delta_md : string option ref = ref None
 
 let kernels () =
   if !quick then List.filter (fun k -> k.Defs.prec = Instr.D) Defs.all else Defs.all
@@ -344,6 +363,27 @@ type simbench_row = {
 let simbench_rows : simbench_row list ref = ref []
 let simbench_n = 8192
 
+(* Sampled-vs-full fidelity comparison, folded into simbench so one
+   `make simbench` regenerates every number CI gates on.  Cycle error is
+   deterministic (the simulator is); the wall-clock speedup rides the
+   same steady-state rate loop as the engine rows.  [fd_work_ratio] is
+   the deterministic work proxy — simulated elements per measurement,
+   full over sampled — which the gate enforces so a loaded CI host
+   cannot flake it. *)
+type fidelity_row = {
+  fd_kernel : string;
+  fd_full_cycles : float;
+  fd_sampled_cycles : float;
+  fd_err_pct : float; (* |sampled - full| / full * 100, this run *)
+  fd_work_ratio : float; (* full elems / sampled elems per measurement *)
+  fd_speedup : float; (* wall-clock: full seconds-per-measure / sampled *)
+  fd_fallback : string option; (* escape-hatch reason, when it fired *)
+}
+
+let fidelity_rows : fidelity_row list ref = ref []
+let fidelity_n = 80000
+let error_budget_pct = 1.0
+
 let exp_simbench () =
   let cfg = Config.p4e in
   let n = simbench_n in
@@ -457,7 +497,83 @@ let exp_simbench () =
   Printf.printf "  geomean speedup: %.1fx untimed, %.1fx timed\n"
     (geo (fun r -> r.sb_new_untimed /. r.sb_ref_untimed))
     (geo (fun r -> r.sb_new_timed /. r.sb_ref_timed));
-  simbench_rows := rows
+  simbench_rows := rows;
+  (* sampled-vs-full fidelity: every kernel at its default point,
+     out-of-cache N=80000 — the tuning driver's hot measurement.  Each
+     kernel gets a fresh checkpoint cache, exactly as Driver.tune
+     allocates one per tune; the warm-up therefore amortizes across the
+     timed repetitions the same way it amortizes across probe points. *)
+  Printf.printf "\n  Sampled vs full fidelity, out-of-cache, N=%d\n" fidelity_n;
+  Printf.printf "  %-7s %14s %14s %8s %6s %8s  %s\n" "kernel" "full-cycles"
+    "sampled-cycles" "err%" "work" "speedup" "fallback";
+  let frows =
+    List.map
+      (fun id ->
+        let compiled = Hil_sources.compile id in
+        let report = Ifko_analysis.Report.analyze compiled in
+        let params =
+          Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
+        in
+        let func = Ifko_search.Driver.compile_point ~cfg compiled params in
+        let cf = Ifko_sim.Exec.compile func in
+        let spec = Workload.timer_spec id ~seed in
+        let ckpt = Ifko_sim.Ckpt.create ~cfg () in
+        let measure fid =
+          Ifko_sim.Timer.measure_ext ~fidelity:fid
+            ~ckpt:(ckpt, Defs.name id)
+            ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:fidelity_n cf
+        in
+        let m_full = measure Ifko_sim.Timer.Full in
+        (* prime the checkpoint (warm-up + transient pair), then report
+           the steady-state call — what every probe after a tune's
+           first sees; cycles are bit-identical either way *)
+        ignore (measure Ifko_sim.Timer.Sampled : Ifko_sim.Timer.measurement);
+        let m_samp = measure Ifko_sim.Timer.Sampled in
+        (* seconds per measurement, steady state: the calls above
+           already created the checkpoint *)
+        let secs fid =
+          let t0 = Unix.gettimeofday () in
+          let k = ref 0 and elapsed = ref 0.0 in
+          while !elapsed < min_time do
+            ignore (measure fid : Ifko_sim.Timer.measurement);
+            incr k;
+            elapsed := Unix.gettimeofday () -. t0
+          done;
+          !elapsed /. float_of_int !k
+        in
+        let t_full = secs Ifko_sim.Timer.Full in
+        let t_samp = secs Ifko_sim.Timer.Sampled in
+        let row =
+          {
+            fd_kernel = Defs.name id;
+            fd_full_cycles = m_full.Ifko_sim.Timer.m_cycles;
+            fd_sampled_cycles = m_samp.Ifko_sim.Timer.m_cycles;
+            fd_err_pct =
+              100.0
+              *. Float.abs (m_samp.Ifko_sim.Timer.m_cycles -. m_full.Ifko_sim.Timer.m_cycles)
+              /. m_full.Ifko_sim.Timer.m_cycles;
+            fd_work_ratio =
+              float_of_int m_full.Ifko_sim.Timer.m_elems
+              /. float_of_int m_samp.Ifko_sim.Timer.m_elems;
+            fd_speedup = t_full /. t_samp;
+            fd_fallback = m_samp.Ifko_sim.Timer.m_fallback;
+          }
+        in
+        Printf.printf "  %-7s %14.0f %14.0f %7.3f%% %5.1fx %7.1fx  %s\n" row.fd_kernel
+          row.fd_full_cycles row.fd_sampled_cycles row.fd_err_pct row.fd_work_ratio
+          row.fd_speedup
+          (Option.value row.fd_fallback ~default:"-");
+        row)
+      (kernels ())
+  in
+  let fgeo f = Ifko_util.Stats.geomean (List.map f frows) in
+  Printf.printf
+    "  geomean: cycle error %.3f%% (budget %.1f%%), work ratio %.2fx, wall speedup %.2fx\n"
+    (fgeo (fun r -> r.fd_err_pct))
+    error_budget_pct
+    (fgeo (fun r -> r.fd_work_ratio))
+    (fgeo (fun r -> r.fd_speedup));
+  fidelity_rows := frows
 
 (* ---------- servebench: load generator against the tuning daemon ---------- *)
 
@@ -799,6 +915,34 @@ let write_results_json ~path ~total_seconds (stats : exp_stats list) =
       (geo (fun r -> r.sb_new_untimed /. r.sb_ref_untimed));
     Printf.fprintf oc "    \"geomean_speedup_timed\": %.2f,\n"
       (geo (fun r -> r.sb_new_timed /. r.sb_ref_timed));
+    (match !fidelity_rows with
+    | [] -> ()
+    | frows ->
+      let fgeo f = Ifko_util.Stats.geomean (List.map f frows) in
+      Printf.fprintf oc "    \"fidelity\": {\n";
+      Printf.fprintf oc "      \"n\": %d,\n      \"error_budget_pct\": %.2f,\n" fidelity_n
+        error_budget_pct;
+      Printf.fprintf oc "      \"geomean_cycle_err_pct\": %.4f,\n"
+        (fgeo (fun r -> r.fd_err_pct));
+      Printf.fprintf oc "      \"geomean_work_ratio\": %.2f,\n"
+        (fgeo (fun r -> r.fd_work_ratio));
+      Printf.fprintf oc "      \"geomean_sampled_speedup\": %.2f,\n"
+        (fgeo (fun r -> r.fd_speedup));
+      Printf.fprintf oc "      \"kernels\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "        {\"fid_kernel\": \"%s\", \"fid_full_cycles\": %.1f, \
+             \"fid_sampled_cycles\": %.1f, \"fid_err_pct\": %.4f, \
+             \"fid_work_ratio\": %.2f, \"fid_speedup\": %.2f, \"fid_fallback\": %s}%s\n"
+            (json_escape r.fd_kernel) r.fd_full_cycles r.fd_sampled_cycles r.fd_err_pct
+            r.fd_work_ratio r.fd_speedup
+            (match r.fd_fallback with
+            | None -> "null"
+            | Some s -> Printf.sprintf "\"%s\"" (json_escape s))
+            (if i = List.length frows - 1 then "" else ","))
+        frows;
+      Printf.fprintf oc "      ]\n    },\n");
     Printf.fprintf oc "    \"kernels\": [\n";
     List.iteri
       (fun i r ->
@@ -843,48 +987,135 @@ let write_results_json ~path ~total_seconds (stats : exp_stats list) =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
-(* Pull the simbench geomeans out of a previous results file.  The
-   writer above is the only producer, so a targeted scan is enough —
-   no JSON parser in the toolchain's stdlib. *)
+(* Pull the simbench geomeans (and the fidelity block, when present)
+   out of a previous results file.  The writer above is the only
+   producer, so a targeted scan is enough — no JSON parser in the
+   toolchain's stdlib. *)
 let read_baseline path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
-  let field key =
-    let needle = Printf.sprintf "\"%s\":" key in
-    match
-      let rec find i =
-        if i + String.length needle > String.length s then None
-        else if String.sub s i (String.length needle) = needle then Some i
-        else find (i + 1)
-      in
-      find 0
-    with
-    | None -> failwith (Printf.sprintf "%s: no %S field (not a results file?)" path key)
-    | Some i ->
-      let j = ref (i + String.length needle) in
-      while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\n') do incr j done;
-      let k = ref !j in
-      while
-        !k < String.length s
-        && (match s.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
-      do
-        incr k
-      done;
-      float_of_string (String.sub s !j (!k - !j))
+  let find_from needle start =
+    let rec find i =
+      if i + String.length needle > String.length s then None
+      else if String.sub s i (String.length needle) = needle then
+        Some (i + String.length needle)
+      else find (i + 1)
+    in
+    find start
   in
-  (field "geomean_speedup_untimed", field "geomean_speedup_timed")
+  let number_at i =
+    let j = ref i in
+    while !j < String.length s && (s.[!j] = ' ' || s.[!j] = '\n') do incr j done;
+    let k = ref !j in
+    while
+      !k < String.length s
+      && (match s.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+    do
+      incr k
+    done;
+    (float_of_string (String.sub s !j (!k - !j)), !k)
+  in
+  let field_opt key =
+    Option.map
+      (fun i -> fst (number_at i))
+      (find_from (Printf.sprintf "\"%s\":" key) 0)
+  in
+  let field key =
+    match field_opt key with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: no %S field (not a results file?)" path key)
+  in
+  let full_cycles =
+    let rec scan start acc =
+      match find_from "\"fid_kernel\": \"" start with
+      | None -> List.rev acc
+      | Some i -> (
+        let j = String.index_from s i '"' in
+        let name = String.sub s i (j - i) in
+        match find_from "\"fid_full_cycles\":" j with
+        | None -> List.rev acc
+        | Some k ->
+          let v, next = number_at k in
+          scan next ((name, v) :: acc))
+    in
+    scan 0 []
+  in
+  {
+    b_untimed = field "geomean_speedup_untimed";
+    b_timed = field "geomean_speedup_timed";
+    b_fid_err = field_opt "geomean_cycle_err_pct";
+    b_fid_speedup = field_opt "geomean_sampled_speedup";
+    b_fid_work = field_opt "geomean_work_ratio";
+    b_full_cycles = full_cycles;
+  }
 
-(* The simbench regression guard: compare fresh geomeans against the
-   baseline captured at argument-parse time; a >15% drop on either
-   metric fails the run (CI runs this against the committed results
-   file).  The threshold rides well above the scheduler noise a busy
-   host adds to wall-clock rates. *)
+(* Baseline-vs-current table for the CI job summary (--delta-md).
+   Written before the gates run, so a failing run still uploads the
+   table that explains the failure. *)
+let write_delta_md path =
+  let oc = open_out path in
+  Printf.fprintf oc "### simbench: baseline vs current\n\n";
+  Printf.fprintf oc "| metric | baseline | current | delta |\n";
+  Printf.fprintf oc "|---|---:|---:|---:|\n";
+  let row name fmt base fresh =
+    let b = match base with None -> "—" | Some v -> Printf.sprintf fmt v in
+    let d =
+      match base with
+      | Some bv when bv <> 0.0 -> Printf.sprintf "%+.1f%%" (100.0 *. ((fresh /. bv) -. 1.0))
+      | _ -> "—"
+    in
+    Printf.fprintf oc "| %s | %s | %s | %s |\n" name b (Printf.sprintf fmt fresh) d
+  in
+  (match !simbench_rows with
+  | [] -> ()
+  | rows ->
+    let geo f = Ifko_util.Stats.geomean (List.map f rows) in
+    let base = !baseline in
+    row "engine speedup, untimed (geomean)" "%.2fx"
+      (Option.map (fun b -> b.b_untimed) base)
+      (geo (fun r -> r.sb_new_untimed /. r.sb_ref_untimed));
+    row "engine speedup, timed (geomean)" "%.2fx"
+      (Option.map (fun b -> b.b_timed) base)
+      (geo (fun r -> r.sb_new_timed /. r.sb_ref_timed)));
+  (match !fidelity_rows with
+  | [] -> ()
+  | frows ->
+    let fgeo f = Ifko_util.Stats.geomean (List.map f frows) in
+    let base = !baseline in
+    row "sampled cycle error (geomean)" "%.3f%%"
+      (Option.bind base (fun b -> b.b_fid_err))
+      (fgeo (fun r -> r.fd_err_pct));
+    row "sampled wall speedup (geomean)" "%.2fx"
+      (Option.bind base (fun b -> b.b_fid_speedup))
+      (fgeo (fun r -> r.fd_speedup));
+    row "sampled work ratio (geomean)" "%.2fx"
+      (Option.bind base (fun b -> b.b_fid_work))
+      (fgeo (fun r -> r.fd_work_ratio)));
+  close_out oc
+
+(* The simbench gates, run against the baseline captured at
+   argument-parse time (CI points --baseline at the committed results
+   file):
+
+   - engine throughput: a >15% geomean drop on either the untimed or
+     timed rate fails the run — the threshold rides well above the
+     scheduler noise a busy host adds to wall-clock rates;
+   - sampled accuracy: the fresh sampled cycles must stay within the
+     error budget of full fidelity, both against this run's own full
+     measurements and against the committed baseline's per-kernel
+     full-fidelity cycles (the simulator is deterministic, so the
+     latter only drifts when codegen changed — regenerate the
+     baseline in that case);
+   - sampled work: the deterministic simulated-elements ratio must
+     hold the >=5x bar, so the Amdahl win cannot silently erode. *)
 let check_baseline () =
-  match (!baseline, !simbench_rows) with
+  Option.iter write_delta_md !delta_md;
+  let failed = ref false in
+  (match (!baseline, !simbench_rows) with
   | None, _ | _, [] -> ()
-  | Some (base_untimed, base_timed), rows ->
+  | Some b, rows ->
     let geo f = Ifko_util.Stats.geomean (List.map f rows) in
     let untimed = geo (fun r -> r.sb_new_untimed /. r.sb_ref_untimed) in
     let timed = geo (fun r -> r.sb_new_timed /. r.sb_ref_timed) in
@@ -893,12 +1124,63 @@ let check_baseline () =
         (100.0 *. ((fresh /. base) -. 1.0));
       fresh < 0.85 *. base
     in
-    let bad_untimed = check "untimed" untimed base_untimed in
-    let bad_timed = check "timed" timed base_timed in
+    let bad_untimed = check "untimed" untimed b.b_untimed in
+    let bad_timed = check "timed" timed b.b_timed in
     if bad_untimed || bad_timed then begin
       Printf.eprintf "simbench geomean regressed by more than 15%% against the baseline\n";
-      exit 1
-    end
+      failed := true
+    end);
+  (match !fidelity_rows with
+  | [] -> ()
+  | frows ->
+    let fgeo f = Ifko_util.Stats.geomean (List.map f frows) in
+    let err = fgeo (fun r -> r.fd_err_pct) in
+    let work = fgeo (fun r -> r.fd_work_ratio) in
+    Printf.printf "fidelity: geomean cycle error %.3f%% (budget %.2f%%), work ratio %.2fx\n"
+      err error_budget_pct work;
+    if err > error_budget_pct then begin
+      Printf.eprintf "sampled fidelity exceeds the %.2f%% error budget vs this run's full \
+                      simulation\n"
+        error_budget_pct;
+      failed := true
+    end;
+    if work < 5.0 then begin
+      Printf.eprintf "sampled fidelity work ratio %.2fx fell under the 5x bar\n" work;
+      failed := true
+    end;
+    match !baseline with
+    | Some b when b.b_full_cycles <> [] ->
+      let matched =
+        List.filter_map
+          (fun r ->
+            Option.map (fun base -> (r, base)) (List.assoc_opt r.fd_kernel b.b_full_cycles))
+          frows
+      in
+      if matched <> [] then begin
+        let gm f = Ifko_util.Stats.geomean (List.map f matched) in
+        let base_err =
+          gm (fun (r, base) -> 100.0 *. Float.abs (r.fd_sampled_cycles -. base) /. base)
+        in
+        let drift =
+          gm (fun (r, base) -> 100.0 *. Float.abs (r.fd_full_cycles -. base) /. base)
+        in
+        Printf.printf
+          "fidelity vs committed baseline: geomean sampled error %.3f%%, full-cycle drift \
+           %.3f%% (%d kernels)\n"
+          base_err drift (List.length matched);
+        if base_err > error_budget_pct then begin
+          Printf.eprintf
+            "sampled cycles exceed the %.2f%% budget against the committed full-fidelity \
+             baseline%s\n"
+            error_budget_pct
+            (if drift > 0.1 then
+               " (full cycles drifted too — codegen changed; regenerate BENCH_results.json)"
+             else "");
+          failed := true
+        end
+      end
+    | _ -> ());
+  if !failed then exit 1
 
 let () =
   let rec parse = function
@@ -929,6 +1211,9 @@ let () =
       parse rest
     | "--baseline" :: path :: rest ->
       baseline := Some (read_baseline path);
+      parse rest
+    | "--delta-md" :: path :: rest ->
+      delta_md := Some path;
       parse rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %S\n" arg;

@@ -69,6 +69,12 @@ let analyze_cmd =
 let machine_arg =
   Arg.(value & opt string "p4e" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"p4e or opteron")
 
+let fidelity_of = function
+  | s -> (
+    match Ifko_sim.Timer.fidelity_of_string s with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "unknown fidelity %S (full|sampled)" s))
+
 let sv_arg = Arg.(value & opt bool true & info [ "sv" ] ~doc:"SIMD vectorization")
 let ur_arg = Arg.(value & opt int 0 & info [ "ur" ] ~doc:"unroll factor (0 = default)")
 let ae_arg = Arg.(value & opt int 0 & info [ "ae" ] ~doc:"accumulator expansion")
@@ -255,15 +261,27 @@ let tune_cmd =
       value & opt int 20050614
       & info [ "seed" ] ~docv:"SEED" ~doc:"workload seed (part of the store key)")
   in
-  let run file machine context n flops_per_n asm check_each_pass store_path jobs seed =
+  let fidelity_arg =
+    Arg.(
+      value & opt string "full"
+      & info [ "fidelity" ] ~docv:"FID"
+          ~doc:
+            "timing fidelity for every probe: $(b,full) (the bit-identical reference) \
+             or $(b,sampled) (page-window steady-state extrapolation; the default \
+             point is first timed both ways and the tune silently reverts to full \
+             fidelity when the sampled estimate misses the 1% error budget)")
+  in
+  let run file machine context n flops_per_n asm check_each_pass store_path jobs seed
+      fidelity =
     let cfg = machine_of machine in
     let context = context_of context in
+    let fidelity = fidelity_of fidelity in
     let compiled = load file in
     let spec = generic_spec ~seed compiled in
     let store = Option.map (Ifko.Store.open_ ~seed) store_path in
     let tuned =
-      Ifko.tune ~check_each_pass ?store ~jobs ~seed ~cfg ~context ~spec ~n ~flops_per_n
-        ~test:(generic_test compiled spec) compiled
+      Ifko.tune ~check_each_pass ?store ~jobs ~seed ~fidelity ~cfg ~context ~spec ~n
+        ~flops_per_n ~test:(generic_test compiled spec) compiled
     in
     (match store with
     | Some st ->
@@ -280,6 +298,17 @@ let tune_cmd =
     Printf.printf "speedup %.2fx over FKO in %d evaluations\n"
       (tuned.Ifko.Driver.ifko_mflops /. Float.max 1e-9 tuned.Ifko.Driver.fko_mflops)
       tuned.Ifko.Driver.evaluations;
+    (match (fidelity, tuned.Ifko.Driver.fidelity_used, tuned.Ifko.Driver.calibration_error)
+     with
+    | Ifko.Timer.Full, _, _ -> ()
+    | _, Ifko.Timer.Sampled, Some err ->
+      Printf.printf "fidelity: sampled (calibration error %.3f%% of full)\n" (err *. 100.0)
+    | _, Ifko.Timer.Full, Some err ->
+      Printf.printf "fidelity: full (sampled missed the error budget: %.3f%%)\n"
+        (err *. 100.0)
+    | _, Ifko.Timer.Full, None ->
+      print_endline "fidelity: full (sampled fell back during calibration)"
+    | _, Ifko.Timer.Sampled, None -> ());
     List.iter
       (fun (dim, ratio) ->
         if ratio > 1.0001 then Printf.printf "  %-7s %+.1f%%\n" dim ((ratio -. 1.0) *. 100.0))
@@ -290,7 +319,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"iteratively and empirically tune a HIL kernel")
     Term.(
       const run $ file $ machine_arg $ context $ n $ flops $ asm $ check $ store_arg
-      $ jobs_arg $ seed_arg)
+      $ jobs_arg $ seed_arg $ fidelity_arg)
 
 (* ---- fuzz ---- *)
 
@@ -346,8 +375,64 @@ let fuzz_cmd =
              contents (the reduction return keeps its ULP budget); a divergence \
              convicts a transform or the independence claim itself")
   in
+  let check_fidelity_arg =
+    Arg.(
+      value & flag
+      & info [ "check-fidelity" ]
+          ~doc:
+            "with --replay: additionally time every reproducer kernel under sampled \
+             fidelity and assert the escape-hatch contract — each kernel either \
+             matches full fidelity within the 1% error budget or provably falls \
+             back to full fidelity (bit-identical cycles, reason reported)")
+  in
+  (* The escape-hatch contract, checked per reproducer: sampled timing
+     must either agree with full fidelity within [budget] or have
+     fallen back to it (in which case the cycles are bit-identical by
+     construction, which is re-asserted rather than assumed). *)
+  let fidelity_contract ~cfg ~budget path =
+    match
+      let case = Ifko.Fuzz.Corpus.read path in
+      let compiled =
+        case.Ifko.Fuzz.Corpus.kernel |> Ifko.Hil.Typecheck.check |> Ifko.Lower.lower
+      in
+      let func =
+        match Ifko.compile_point ~cfg compiled case.Ifko.Fuzz.Corpus.params with
+        | func -> func
+        | exception _ ->
+          (* the recorded point no longer compiles (pipeline evolved);
+             the default point still exercises the kernel's shape *)
+          Ifko.compile_point ~cfg compiled (Ifko.default_params ~cfg compiled)
+      in
+      let spec = generic_spec ~seed:0 compiled in
+      let cf = Ifko_sim.Exec.compile func in
+      let context = Ifko_sim.Timer.Out_of_cache and n = 80000 in
+      let full = Ifko_sim.Timer.measure_ext ~cfg ~context ~spec ~n cf in
+      let s =
+        Ifko_sim.Timer.measure_ext ~fidelity:Ifko_sim.Timer.Sampled ~cfg ~context ~spec ~n
+          cf
+      in
+      (full, s)
+    with
+    | exception e -> Error (Printf.sprintf "could not time: %s" (Printexc.to_string e))
+    | full, s -> (
+      match s.Ifko_sim.Timer.m_fallback with
+      | Some reason ->
+        if s.Ifko_sim.Timer.m_cycles = full.Ifko_sim.Timer.m_cycles then
+          Ok (Printf.sprintf "fell back to full fidelity (%s)" reason)
+        else Error (Printf.sprintf "fallback (%s) is not bit-identical to full" reason)
+      | None ->
+        let err =
+          Float.abs (s.Ifko_sim.Timer.m_cycles -. full.Ifko_sim.Timer.m_cycles)
+          /. Float.max 1e-9 full.Ifko_sim.Timer.m_cycles
+        in
+        if err <= budget then Ok (Printf.sprintf "%.3f%% error" (err *. 100.0))
+        else
+          Error
+            (Printf.sprintf "sampled error %.3f%% exceeds the %.1f%% budget"
+               (err *. 100.0) (budget *. 100.0)))
+  in
   let run machine seed count max_size points_per_kernel corpus check_each_pass cross_check
-      replay =
+      replay check_fidelity =
     let cfg = machine_of machine in
     match replay with
     | Some path ->
@@ -366,8 +451,24 @@ let fuzz_cmd =
             Printf.printf "FAIL %s: %s\n" p e)
         results;
       Printf.printf "replay: %d reproducers, %d failing\n" (List.length results) !failed;
+      if check_fidelity then begin
+        let budget = 0.01 in
+        let fidelity_failed = ref 0 in
+        List.iter
+          (fun (p, _) ->
+            match fidelity_contract ~cfg ~budget p with
+            | Ok detail -> Printf.printf "fidelity ok   %s (%s)\n" p detail
+            | Error e ->
+              incr fidelity_failed;
+              Printf.printf "fidelity FAIL %s: %s\n" p e)
+          results;
+        Printf.printf "fidelity: %d reproducers, %d violating the escape-hatch contract\n"
+          (List.length results) !fidelity_failed;
+        failed := !failed + !fidelity_failed
+      end;
       if !failed > 0 then exit 1
     | None ->
+      if check_fidelity then failwith "--check-fidelity requires --replay";
       let stats =
         Ifko.Fuzz.run ~points_per_kernel ~max_size ~check_each_pass ~cross_check ?corpus
           ~log:print_endline ~cfg ~seed ~count ()
@@ -383,7 +484,7 @@ let fuzz_cmd =
           the untransformed lowering, shrink and persist any divergence")
     Term.(
       const run $ machine_arg $ seed_arg $ count_arg $ max_size_arg $ points_arg
-      $ corpus_arg $ check $ cross_check_arg $ replay_arg)
+      $ corpus_arg $ check $ cross_check_arg $ replay_arg $ check_fidelity_arg)
 
 (* ---- sim ---- *)
 
@@ -415,7 +516,23 @@ let sim_cmd =
   let seed_arg =
     Arg.(value & opt int 20050614 & info [ "seed" ] ~docv:"SEED" ~doc:"workload seed")
   in
-  let run file machine sv ur ae wnt pf_dist context n untimed engine profile seed =
+  let compare_fidelity =
+    Arg.(
+      value & flag
+      & info [ "compare-fidelity" ]
+          ~doc:
+            "time the kernel under both full and sampled fidelity and report cycles, \
+             relative error and the simulated-work ratio; exit 1 when the sampled \
+             estimate neither meets the error budget nor falls back to full fidelity")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "error-budget" ] ~docv:"FRAC"
+          ~doc:"relative cycle-error budget for --compare-fidelity (default 0.01)")
+  in
+  let run file machine sv ur ae wnt pf_dist context n untimed engine profile seed
+      compare_fidelity budget =
     let cfg = machine_of machine in
     let context = context_of context in
     let compiled = load file in
@@ -506,6 +623,41 @@ let sim_cmd =
         Printf.printf "    sw prefetch %d issued / %d dropped   hw prefetch %d issued\n"
           p.Ifko_machine.Memsys.sw_pf_issued p.Ifko_machine.Memsys.sw_pf_dropped
           p.Ifko_machine.Memsys.hw_pf_issued
+    end;
+    if compare_fidelity then begin
+      if untimed then failwith "--compare-fidelity requires a timed run (drop --untimed)";
+      let full = Ifko_sim.Timer.measure_ext ~cfg ~context ~spec ~n cf in
+      let s =
+        Ifko_sim.Timer.measure_ext ~fidelity:Ifko_sim.Timer.Sampled ~cfg ~context ~spec ~n
+          cf
+      in
+      Printf.printf "  fidelity comparison (error budget %.2f%%):\n" (budget *. 100.0);
+      Printf.printf "    full     %14.1f cycles  (%d elements simulated)\n"
+        full.Ifko_sim.Timer.m_cycles full.Ifko_sim.Timer.m_elems;
+      match s.Ifko_sim.Timer.m_fallback with
+      | Some reason ->
+        Printf.printf "    sampled  %14.1f cycles  (fell back to full fidelity: %s)\n"
+          s.Ifko_sim.Timer.m_cycles reason;
+        if s.Ifko_sim.Timer.m_cycles <> full.Ifko_sim.Timer.m_cycles then begin
+          prerr_endline "the fallback is not bit-identical to full fidelity";
+          Stdlib.exit 1
+        end
+      | None ->
+        let err =
+          Float.abs (s.Ifko_sim.Timer.m_cycles -. full.Ifko_sim.Timer.m_cycles)
+          /. Float.max 1e-9 full.Ifko_sim.Timer.m_cycles
+        in
+        Printf.printf
+          "    sampled  %14.1f cycles  (%d elements, %.3f%% error, %.1fx less simulated \
+           work)\n"
+          s.Ifko_sim.Timer.m_cycles s.Ifko_sim.Timer.m_elems (err *. 100.0)
+          (float_of_int full.Ifko_sim.Timer.m_elems
+          /. float_of_int (max 1 s.Ifko_sim.Timer.m_elems));
+        if err > budget then begin
+          Printf.eprintf "sampled error %.3f%% exceeds the %.2f%% budget\n" (err *. 100.0)
+            (budget *. 100.0);
+          Stdlib.exit 1
+        end
     end
   in
   Cmd.v
@@ -516,7 +668,8 @@ let sim_cmd =
           reports fast-path coverage, superblock fusion and cycle attribution")
     Term.(
       const run $ file $ machine_arg $ sv_arg $ ur_arg $ ae_arg $ wnt_arg $ pf_arg
-      $ context $ n $ untimed $ engine $ profile $ seed_arg)
+      $ context $ n $ untimed $ engine $ profile $ seed_arg $ compare_fidelity
+      $ budget_arg)
 
 (* ---- store ---- *)
 

@@ -6,10 +6,42 @@ let vector ~seed ~which ~prec n =
   let rng = Ifko_util.Rng.create (seed + (which * 7919)) in
   Array.init n (fun _ -> Ref_impl.round_to prec (Ifko_util.Rng.sign_float rng 1.0))
 
+(* The timers rebuild the same few environments thousands of times per
+   tune (per probe point, per sample size), and drawing the input
+   vectors afresh dominated environment construction.  The draws are a
+   pure function of (seed, which, prec, n), so memoize them.  Entries
+   are handed out read-only: [make_env] copies them into the simulated
+   memory and [expectation] (which mutates its vectors in place) keeps
+   calling [vector] directly. *)
+let vector_cache : (int * int * Instr.fsize * int, float array) Hashtbl.t =
+  Hashtbl.create 32
+
+let vector_mutex = Mutex.create ()
+
+let vector_memo ~seed ~which ~prec n =
+  let key = (seed, which, prec, n) in
+  Mutex.lock vector_mutex;
+  let v =
+    match Hashtbl.find_opt vector_cache key with
+    | Some v -> v
+    | None ->
+      let v = vector ~seed ~which ~prec n in
+      (* the cache is bounded by the handful of window sizes a run
+         uses; drop everything if it somehow grows past that *)
+      if Hashtbl.length vector_cache > 256 then Hashtbl.reset vector_cache;
+      Hashtbl.replace vector_cache key v;
+      v
+  in
+  Mutex.unlock vector_mutex;
+  v
+
 let mem_bytes_for ~prec n =
-  (* two arrays, page alignment slack, stack *)
+  (* two arrays, page alignment slack, stack, prefetch headroom; the
+     floor only binds for small (window-sized) problems, where a big
+     flat allocation would be pure memset overhead.  Array addresses
+     are independent of the total size, so cycle counts are too. *)
   let bytes = n * Instr.fsize_bytes prec in
-  max (1 lsl 20) ((2 * bytes) + (1 lsl 16))
+  max (1 lsl 18) ((2 * bytes) + (1 lsl 16))
 
 let make_env ({ routine; prec } as id) ~seed n =
   ignore id;
@@ -17,11 +49,11 @@ let make_env ({ routine; prec } as id) ~seed n =
   Ifko_sim.Env.bind_int env "N" n;
   if has_alpha routine then Ifko_sim.Env.bind_fp env "alpha" prec alpha;
   Ifko_sim.Env.alloc_array env "X" prec n;
-  let x = vector ~seed ~which:1 ~prec n in
+  let x = vector_memo ~seed ~which:1 ~prec n in
   Ifko_sim.Env.fill env "X" (fun i -> x.(i));
   if has_y routine then begin
     Ifko_sim.Env.alloc_array env "Y" prec n;
-    let y = vector ~seed ~which:2 ~prec n in
+    let y = vector_memo ~seed ~which:2 ~prec n in
     Ifko_sim.Env.fill env "Y" (fun i -> y.(i))
   end;
   env

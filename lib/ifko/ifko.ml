@@ -33,6 +33,7 @@ module Memsys = Ifko_machine.Memsys
 module Env = Ifko_sim.Env
 module Exec = Ifko_sim.Exec
 module Timer = Ifko_sim.Timer
+module Ckpt = Ifko_sim.Ckpt
 module Verify = Ifko_sim.Verify
 module Search = Ifko_search.Linesearch
 module Driver = Ifko_search.Driver

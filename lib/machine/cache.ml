@@ -254,6 +254,61 @@ let flush t =
   t.n_touched <- 0;
   clear_mru t
 
+(* Deep copy of every mutable field, plus the geometry needed to refuse
+   a restore into a differently shaped cache.  Snapshots exist for the
+   timers' warm-state checkpointing: the state right after the in-L2
+   warm-up loop is captured once and blitted back for every later probe
+   of the same (kernel, context, N), which is observably identical to
+   re-running the warm-up (the copy includes LRU stamps, the clock, the
+   touched-way log and the statistics counters, so even [flush] and
+   [stats] behave exactly as they would have). *)
+type snapshot = {
+  s_line : int;
+  s_sets : int;
+  s_assoc : int;
+  s_tags : int array;
+  s_dirty : bool array;
+  s_lru : int array;
+  s_mru : int array;
+  s_touched : int array;
+  s_n_touched : int;
+  s_clock : int;
+  s_hits : int;
+  s_misses : int;
+}
+
+let snapshot t =
+  {
+    s_line = t.line;
+    s_sets = t.sets;
+    s_assoc = t.assoc;
+    s_tags = Array.copy t.tags;
+    s_dirty = Array.copy t.dirty;
+    s_lru = Array.copy t.lru;
+    s_mru = Array.copy t.mru;
+    s_touched = Array.copy t.touched;
+    s_n_touched = t.n_touched;
+    s_clock = t.clock;
+    s_hits = t.hits;
+    s_misses = t.misses;
+  }
+
+let restore t s =
+  if s.s_line <> t.line || s.s_sets <> t.sets || s.s_assoc <> t.assoc then
+    invalid_arg
+      (Printf.sprintf
+         "Cache.restore: geometry mismatch (snapshot %d/%d/%d vs cache %d/%d/%d)"
+         s.s_line s.s_sets s.s_assoc t.line t.sets t.assoc);
+  Array.blit s.s_tags 0 t.tags 0 (Array.length t.tags);
+  Array.blit s.s_dirty 0 t.dirty 0 (Array.length t.dirty);
+  Array.blit s.s_lru 0 t.lru 0 (Array.length t.lru);
+  Array.blit s.s_mru 0 t.mru 0 (Array.length t.mru);
+  Array.blit s.s_touched 0 t.touched 0 (Array.length t.touched);
+  t.n_touched <- s.s_n_touched;
+  t.clock <- s.s_clock;
+  t.hits <- s.s_hits;
+  t.misses <- s.s_misses
+
 let stats t = (t.hits, t.misses)
 
 let dirty_lines t =

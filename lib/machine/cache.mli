@@ -66,6 +66,19 @@ val clear_mru : t -> unit
 val dirty_lines : t -> int
 (** Number of valid dirty lines currently held. *)
 
+type snapshot
+(** A deep copy of the cache's full mutable state (contents, LRU
+    stamps, clock, touched-way log, statistics), tagged with its
+    geometry. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Blit the captured state back.  Restoring is observably identical to
+    replaying whatever access sequence produced the snapshot.
+    @raise Invalid_argument when the snapshot was taken from a cache of
+    different geometry (line size, set count or associativity). *)
+
 val stats : t -> int * int
 (** [(hits, misses)] accumulated by {!access}. *)
 

@@ -815,3 +815,171 @@ let profile t =
     sw_pf_dropped = t.sw_pf_dropped;
     hw_pf_issued = t.hw_pf_issued;
   }
+
+(* Deep copy of the full mutable state, for the timers' warm-state
+   checkpointing (see Ckpt in lib/sim).  Fills are copied record by
+   record in both directions: a snapshot must not alias fills the live
+   run will keep mutating, and a restore must not hand the run fills
+   owned by the snapshot.  Empty/tombstone slots are forced back to the
+   physical [no_fill] sentinel on restore — a marshalled-and-reread
+   snapshot holds a structural copy of the sentinel, and the in-flight
+   lookups compare physically. *)
+type snapshot = {
+  ms_l1 : Cache.snapshot;
+  ms_l2 : Cache.snapshot;
+  ms_fl : float array;
+  ms_mshr : float array;
+  ms_mshr_head : int;
+  ms_mshr_len : int;
+  ms_if_keys : int array;
+  ms_if_vals : fill array;
+  ms_if_n : int;
+  ms_if_used : int;
+  ms_streams : (int * int) array;  (* (expect, dir) per stream *)
+  ms_next_stream : int;
+  ms_sw_pf_issued : int;
+  ms_sw_pf_dropped : int;
+  ms_hw_pf_issued : int;
+  ms_nt_lines : int;
+  ms_pf_inflight : int;
+  ms_fifo : int array;
+  ms_fifo_head : int;
+  ms_fifo_len : int;
+  ms_last_dir_write : bool;
+  ms_wc_line : int;
+  ms_n_loads : int;
+  ms_n_stores : int;
+  ms_fast_loads : int;
+  ms_fast_stores : int;
+  ms_n_demand : int;
+  ms_demand_cycles : float;
+}
+
+let copy_fill f =
+  if f == no_fill then no_fill
+  else
+    {
+      arrival = f.arrival;
+      fill_l1 = f.fill_l1;
+      fill_l2 = f.fill_l2;
+      want_write = f.want_write;
+      l1_addr = f.l1_addr;
+      observed = f.observed;
+      is_pf = f.is_pf;
+    }
+
+let snapshot t =
+  {
+    ms_l1 = Cache.snapshot t.l1;
+    ms_l2 = Cache.snapshot t.l2;
+    ms_fl = Array.sub t.fl 0 6;
+    ms_mshr = Array.copy t.mshr;
+    ms_mshr_head = t.mshr_head;
+    ms_mshr_len = t.mshr_len;
+    ms_if_keys = Array.copy t.if_keys;
+    ms_if_vals = Array.map copy_fill t.if_vals;
+    ms_if_n = t.if_n;
+    ms_if_used = t.if_used;
+    ms_streams = Array.map (fun s -> (s.expect, s.dir)) t.streams;
+    ms_next_stream = t.next_stream;
+    ms_sw_pf_issued = t.sw_pf_issued;
+    ms_sw_pf_dropped = t.sw_pf_dropped;
+    ms_hw_pf_issued = t.hw_pf_issued;
+    ms_nt_lines = t.nt_lines;
+    ms_pf_inflight = t.pf_inflight;
+    ms_fifo = Array.copy t.fifo;
+    ms_fifo_head = t.fifo_head;
+    ms_fifo_len = t.fifo_len;
+    ms_last_dir_write = t.last_dir_write;
+    ms_wc_line = t.wc_line;
+    ms_n_loads = t.n_loads;
+    ms_n_stores = t.n_stores;
+    ms_fast_loads = t.fast_loads;
+    ms_fast_stores = t.fast_stores;
+    ms_n_demand = t.n_demand;
+    ms_demand_cycles = t.demand_cycles;
+  }
+
+(* Translate every absolute timestamp so the consumption frontier
+   becomes 0.  The timing model only ever compares or differences
+   times, so a uniform translation leaves every future decision — bus
+   stalls, fill arrivals, MSHR retirement — exactly as it would have
+   unfolded; it simply re-expresses the state in the clock base of a
+   fresh [Exec] run, whose issue clocks start at 0.  The sampled timer
+   uses this to continue a warmed-up run as if it were one long
+   simulation.  Completed-but-unswept events go negative, which the
+   model treats the same as 0 (all consumers are [fmax]-style). *)
+let rebase t =
+  let d = t.fl.(f_clock) in
+  if d <> 0.0 then begin
+    t.fl.(f_clock) <- 0.0;
+    t.fl.(f_bus) <- t.fl.(f_bus) -. d;
+    let mask = Array.length t.mshr - 1 in
+    for i = 0 to t.mshr_len - 1 do
+      let j = (t.mshr_head + i) land mask in
+      t.mshr.(j) <- t.mshr.(j) -. d
+    done;
+    Array.iteri
+      (fun i k ->
+        if k >= 0 then begin
+          let f = t.if_vals.(i) in
+          f.arrival <- f.arrival -. d
+        end)
+      t.if_keys;
+    (* Same recompute sentinels as [restore]: pure acceleration state. *)
+    t.head_line <- -1;
+    t.head_fill <- no_fill;
+    t.next_event <- (if t.fifo_len = 0 then infinity else neg_infinity)
+  end
+
+let restore t s =
+  (* Structural-shape guards; Cache.restore validates cache geometry.
+     Semantic compatibility (same latencies, bus width, ...) is the
+     caller's contract — Ckpt keys snapshots by a digest of the whole
+     machine config. *)
+  Cache.restore t.l1 s.ms_l1;
+  Cache.restore t.l2 s.ms_l2;
+  if Array.length s.ms_mshr <> Array.length t.mshr then
+    invalid_arg "Memsys.restore: MSHR ring capacity mismatch";
+  if Array.length s.ms_streams <> Array.length t.streams then
+    invalid_arg "Memsys.restore: prefetch stream count mismatch";
+  Array.blit s.ms_fl 0 t.fl 0 6;
+  Array.blit s.ms_mshr 0 t.mshr 0 (Array.length t.mshr);
+  t.mshr_head <- s.ms_mshr_head;
+  t.mshr_len <- s.ms_mshr_len;
+  t.if_keys <- Array.copy s.ms_if_keys;
+  t.if_vals <-
+    Array.mapi
+      (fun i f -> if s.ms_if_keys.(i) < 0 then no_fill else copy_fill f)
+      s.ms_if_vals;
+  t.if_n <- s.ms_if_n;
+  t.if_used <- s.ms_if_used;
+  Array.iteri
+    (fun i st ->
+      let expect, dir = s.ms_streams.(i) in
+      st.expect <- expect;
+      st.dir <- dir)
+    t.streams;
+  t.next_stream <- s.ms_next_stream;
+  t.sw_pf_issued <- s.ms_sw_pf_issued;
+  t.sw_pf_dropped <- s.ms_sw_pf_dropped;
+  t.hw_pf_issued <- s.ms_hw_pf_issued;
+  t.nt_lines <- s.ms_nt_lines;
+  t.pf_inflight <- s.ms_pf_inflight;
+  t.fifo <- Array.copy s.ms_fifo;
+  t.fifo_head <- s.ms_fifo_head;
+  t.fifo_len <- s.ms_fifo_len;
+  (* Acceleration caches restart at their recompute sentinels, exactly
+     as [reset] leaves them: the first sweep rebuilds the head cache,
+     so this is pure acceleration state and never changes behavior. *)
+  t.head_line <- -1;
+  t.head_fill <- no_fill;
+  t.next_event <- (if s.ms_fifo_len = 0 then infinity else neg_infinity);
+  t.last_dir_write <- s.ms_last_dir_write;
+  t.wc_line <- s.ms_wc_line;
+  t.n_loads <- s.ms_n_loads;
+  t.n_stores <- s.ms_n_stores;
+  t.fast_loads <- s.ms_fast_loads;
+  t.fast_stores <- s.ms_fast_stores;
+  t.n_demand <- s.ms_n_demand;
+  t.demand_cycles <- s.ms_demand_cycles

@@ -108,3 +108,35 @@ type profile = {
 }
 
 val profile : t -> profile
+
+(** {2 Warm-state checkpointing}
+
+    A snapshot is a deep copy of the entire mutable state (both caches,
+    bus clocks, MSHR ring, in-flight fills, prefetch streams, the NT
+    write-combining buffer, and all statistics counters).  Restoring it
+    into a memory system of the same configuration is observably
+    identical to replaying the access sequence that produced it — the
+    timers use this to capture the post-warm-up state once per
+    (kernel, context, N) and reuse it across every probe point of a
+    tune.  Snapshots are plain data (safe to [Marshal]); restores never
+    alias the snapshot's mutable internals. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val rebase : t -> unit
+(** Translate every absolute timestamp (bus frontier, MSHR completion
+    times, in-flight fill arrivals) so the consumption frontier reads
+    0.  The model only compares and differences times, so this leaves
+    all future behavior exactly as it would have unfolded — it merely
+    re-expresses the state in the clock base of a fresh [Exec] run.
+    The sampled timer rebases a just-warmed (or just-restored) state so
+    the detailed window continues the warm-up as one long run. *)
+
+val restore : t -> snapshot -> unit
+(** @raise Invalid_argument when the snapshot's structural shape
+    (cache geometry, MSHR capacity, prefetch stream count) does not
+    match the target.  Same-shape-but-different-timing configurations
+    are not detected here; callers key snapshots by a digest of the
+    full machine configuration (see [Ckpt] in lib/sim). *)

@@ -9,6 +9,8 @@ type tuned = {
   best_func : Cfg.func;
   contributions : (string * float) list;
   evaluations : int;
+  fidelity_used : Ifko_sim.Timer.fidelity;
+  calibration_error : float option;
 }
 
 let compile_point ?check ~cfg compiled params =
@@ -47,7 +49,8 @@ let score = function
   | Ifko_store.Store.Test_failed | Ifko_store.Store.Illegal -> neg_infinity
 
 let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(jobs = 1)
-    ?(seed = 0) ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
+    ?(seed = 0) ?(fidelity = Ifko_sim.Timer.Full) ?(error_budget = 0.01) ?ckpt ~cfg ~context
+    ~spec ~n ~flops_per_n ~test compiled =
   let report = Ifko_analysis.Report.analyze compiled in
   let default_params =
     Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
@@ -66,11 +69,50 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
       compiled.Ifko_codegen.Lower.source.Ifko_hil.Ast.k_name cfg.Config.name
       (Ifko_sim.Timer.context_name context) n
   in
+  (* One warm-state checkpoint cache per tune unless the caller shares
+     a longer-lived one: every probe point of this tune re-derives the
+     same post-warm-up memory state, so the in-L2 warm loop runs once
+     and every later probe restores the snapshot. *)
+  let ckpt = match ckpt with Some c -> c | None -> Ifko_sim.Ckpt.create ~cfg () in
+  let tckpt = (ckpt, kernel) in
   (* Functions compiled (and validated) by this run's probes, kept so
      the winning point's code is reused instead of being recompiled —
      and recompiled *unchecked* — at the end. *)
   let funcs : (Ifko_transform.Params.t, Cfg.func) Hashtbl.t = Hashtbl.create 64 in
   let funcs_mutex = Mutex.create () in
+  (* Per-kernel error-budget calibration: before a sampled tune starts,
+     the default point is timed both ways.  If the sampled estimate
+     misses full fidelity by more than [error_budget] (relative), or
+     the sampled path already fell back on its own confidence checks,
+     the whole tune runs at full fidelity — the tune-level half of the
+     bit-identity escape hatch.  (Probes are ranked by these timings,
+     so a kernel the linear model cannot capture must not be searched
+     with it.) *)
+  let fidelity_used, calibration_error =
+    match fidelity with
+    | Ifko_sim.Timer.Full -> (Ifko_sim.Timer.Full, None)
+    | Ifko_sim.Timer.Sampled -> (
+      match compile_point ?check ~cfg compiled default_params with
+      | exception (Ifko_transform.Passcheck.Pass_failed _ as broken) -> raise broken
+      | exception _ -> (Ifko_sim.Timer.Full, None)
+      | func when not (test func) -> (Ifko_sim.Timer.Full, None)
+      | func -> (
+        Hashtbl.replace funcs default_params func;
+        let cf = Ifko_sim.Exec.compile func in
+        let full = Ifko_sim.Timer.measure_compiled ~ckpt:tckpt ~cfg ~context ~spec ~n cf in
+        let s =
+          Ifko_sim.Timer.measure_ext ~fidelity:Ifko_sim.Timer.Sampled ~ckpt:tckpt ~cfg
+            ~context ~spec ~n cf
+        in
+        match s.Ifko_sim.Timer.m_fallback with
+        | Some _ -> (Ifko_sim.Timer.Full, None)
+        | None ->
+          let err =
+            Float.abs (s.Ifko_sim.Timer.m_cycles -. full) /. Float.max 1e-9 full
+          in
+          ((if err <= error_budget then Ifko_sim.Timer.Sampled else Ifko_sim.Timer.Full),
+           Some err)))
+  in
   let compute params =
     match compile_point ?check ~cfg compiled params with
     | exception (Ifko_transform.Passcheck.Pass_failed _ as broken) ->
@@ -85,7 +127,10 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
         (* decode once per candidate; the timer reuses the threaded
            code across extrapolation samples and reps *)
         let cf = Ifko_sim.Exec.compile func in
-        let cycles = Ifko_sim.Timer.measure_compiled ~cfg ~context ~spec ~n cf in
+        let cycles =
+          Ifko_sim.Timer.measure_compiled ~fidelity:fidelity_used ~ckpt:tckpt ~cfg ~context
+            ~spec ~n cf
+        in
         Ifko_store.Store.Timed
           { cycles; mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles }
   in
@@ -102,7 +147,11 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
     let key =
       Ifko_store.Store.probe_key ~kernel ~machine:cfg.Config.name
         ~context:(Ifko_sim.Timer.context_name context) ~n ~seed ~check:check_each_pass
-        ~params:(Ifko_transform.Params.canonical params)
+        ?fidelity:
+          (match fidelity_used with
+          | Ifko_sim.Timer.Full -> None
+          | Ifko_sim.Timer.Sampled -> Some "sampled")
+        ~params:(Ifko_transform.Params.canonical params) ()
     in
     score
       (cached ~key ~params:(Ifko_transform.Params.to_string params) ~prov (fun () ->
@@ -138,4 +187,6 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
     best_func;
     contributions = result.Linesearch.contributions;
     evaluations = result.Linesearch.evaluations;
+    fidelity_used;
+    calibration_error;
   }

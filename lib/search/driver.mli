@@ -16,6 +16,12 @@ type tuned = {
   best_func : Cfg.func;  (** fully compiled best kernel *)
   contributions : (string * float) list;  (** Figure-7 decomposition *)
   evaluations : int;
+  fidelity_used : Ifko_sim.Timer.fidelity;
+      (** the fidelity probes actually ran at: [Sampled] only when it
+          was requested {e and} passed this kernel's calibration *)
+  calibration_error : float option;
+      (** relative sampled-vs-full cycle error of the default point
+          (present only when a sampled tune reached calibration) *)
 }
 
 val compile_point :
@@ -46,6 +52,9 @@ val tune :
   ?pool:Ifko_par.Par.Pool.t ->
   ?jobs:int ->
   ?seed:int ->
+  ?fidelity:Ifko_sim.Timer.fidelity ->
+  ?error_budget:float ->
+  ?ckpt:Ifko_sim.Ckpt.t ->
   cfg:Ifko_machine.Config.t ->
   context:Ifko_sim.Timer.context ->
   spec:Ifko_sim.Timer.spec ->
@@ -85,4 +94,20 @@ val tune :
     arbitrary one (the daemon passes the sharded store's single-flight
     [cached]).  Neither affects results: probes are pure, so any
     combination of [store]/[cache]/[pool]/[jobs] is bit-identical to a
-    sequential, storeless tune. *)
+    sequential, storeless tune.
+
+    [fidelity] selects the timing fidelity for every probe (default
+    [Full], bit-identical to the historical behavior).  Requesting
+    [Sampled] first calibrates: the default point is timed both ways,
+    and if the sampled estimate misses full fidelity by more than
+    [error_budget] (relative, default 0.01) — or the sampled path's own
+    confidence checks already fell back — the whole tune runs at full
+    fidelity.  [fidelity_used]/[calibration_error] report the outcome,
+    and sampled probe outcomes are stored under fidelity-tagged keys so
+    they never answer full-fidelity lookups.
+
+    [ckpt] shares a warm-state checkpoint cache across tunes (the
+    daemon could pass a persistent one); by default each tune gets its
+    own in-memory cache, so the in-L2 warm-up runs once per (kernel,
+    context, N) and every later probe restores the snapshot —
+    observably identical, just cheaper. *)

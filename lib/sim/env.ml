@@ -64,15 +64,56 @@ let get_elem t name i =
   | Instr.D -> Int64.float_of_bits (Bytes.get_int64_le t.memory (a.addr + (8 * i)))
   | Instr.S -> Int32.float_of_bits (Bytes.get_int32_le t.memory (a.addr + (4 * i)))
 
+(* One binding lookup for the whole array, then straight-line stores —
+   timer paths rebuild environments constantly, so the per-element
+   [set_elem] lookup was pure overhead.  Writes the exact bytes
+   [set_elem] writes. *)
 let fill t name f =
   let a = array_exn t name in
-  for i = 0 to a.len - 1 do
-    set_elem t name i (f i)
-  done
+  match a.fsize with
+  | Instr.D ->
+    for i = 0 to a.len - 1 do
+      Bytes.set_int64_le t.memory (a.addr + (8 * i)) (Int64.bits_of_float (f i))
+    done
+  | Instr.S ->
+    for i = 0 to a.len - 1 do
+      Bytes.set_int32_le t.memory (a.addr + (4 * i)) (Int32.bits_of_float (f i))
+    done
 
 let to_array t name =
   let a = array_exn t name in
   Array.init a.len (get_elem t name)
+
+(* Phase controls for the sampled timer: one env built for the whole
+   warm-up + detailed-window range serves both phases.  [set_counts]
+   rebinds every integer argument — in every timer spec the integer
+   arguments are exactly the element counts (BLAS binds "N"; generic
+   kernels bind each int parameter to the problem size) — and
+   [advance] slides every array forward past the elements the warm-up
+   consumed, so the window run continues the same address streams. *)
+let set_counts t n =
+  Hashtbl.filter_map_inplace
+    (fun _ b -> match b with Int_arg _ -> Some (Int_arg n) | b -> Some b)
+    t.table
+
+let advance t ~elems =
+  Hashtbl.filter_map_inplace
+    (fun name b ->
+      match b with
+      | Array_arg a ->
+        if elems < 0 || elems >= a.len then
+          invalid_arg
+            (Printf.sprintf "Env.advance: %d elements exceeds array %S (%d)" elems
+               name a.len);
+        Some
+          (Array_arg
+             {
+               addr = a.addr + (elems * Instr.fsize_bytes a.fsize);
+               len = a.len - elems;
+               fsize = a.fsize;
+             })
+      | b -> Some b)
+    t.table
 
 let iter_array_lines t ~line f =
   Hashtbl.iter

@@ -50,3 +50,19 @@ val to_array : t -> string -> float array
 val iter_array_lines : t -> line:int -> (int -> unit) -> unit
 (** Apply a function to the base address of every [line]-byte line of
     every bound array — the timers' cache-warming hook. *)
+
+val set_counts : t -> int -> unit
+(** Rebind every integer argument to [n].  Every timer spec binds its
+    integer arguments to the element count (BLAS binds ["N"]; generic
+    kernels bind each int parameter to the problem size), so this
+    retargets the kernel to run over the first [n] elements of the
+    bound arrays.  The sampled timer uses it to run the warm-up and
+    detailed-window phases against one environment. *)
+
+val advance : t -> elems:int -> unit
+(** Slide every bound array forward by [elems] elements (the binding's
+    address advances, its length shrinks; scalars are untouched), so a
+    subsequent run continues the exact address streams a previous
+    phase was consuming — trained prefetch streams stay seamless.
+    @raise Invalid_argument when any array has at most [elems]
+    elements. *)

@@ -6,18 +6,48 @@ let context_name = function Out_of_cache -> "out-of-cache" | In_l2 -> "in-L2"
 
 type spec = { make_env : int -> Env.t; ret_fsize : Instr.fsize }
 
+type fidelity = Full | Sampled
+
+let fidelity_name = function Full -> "full" | Sampled -> "sampled"
+
+let fidelity_of_string = function
+  | "full" -> Some Full
+  | "sampled" -> Some Sampled
+  | _ -> None
+
+type measurement = {
+  m_cycles : float;
+  m_fidelity : fidelity;  (** the fidelity that actually produced the cycles *)
+  m_fallback : string option;
+      (** why a [Sampled] request fell back to full fidelity, if it did *)
+  m_elems : int;  (** elements simulated per repetition (the work proxy) *)
+}
+
 (* One simulation of pre-decoded code: the kernel is compiled once per
    candidate (by [measure]/[exact]) and reused across contexts, sample
-   sizes and reps. *)
-let run_once ~cfg ~context ~spec ~n cf =
+   sizes and reps.  With [ckpt], the in-L2 warm-up state is restored
+   from (or captured into) the checkpoint cache instead of re-running
+   the warm loop — observably identical either way. *)
+let run_once ?ckpt ~cfg ~context ~spec ~n cf =
   let env = spec.make_env n in
   let ms = Memsys.create cfg in
   (match context with
-  | Out_of_cache -> Memsys.reset ms ~flush:true
+  | Out_of_cache ->
+    (* The flushed-cache state IS the out-of-cache checkpoint: there is
+       nothing cheaper to restore, so [ckpt] is not consulted. *)
+    Memsys.reset ms ~flush:true
   | In_l2 ->
-    Memsys.reset ms ~flush:true;
-    Env.iter_array_lines env ~line:cfg.Config.l2.Config.line (fun addr ->
-        Memsys.warm_l2 ms ~addr));
+    let warm ms =
+      Memsys.reset ms ~flush:true;
+      Env.iter_array_lines env ~line:cfg.Config.l2.Config.line (fun addr ->
+          Memsys.warm_l2 ms ~addr);
+      0.0
+    in
+    (match ckpt with
+    | None -> ignore (warm ms)
+    | Some (c, kernel) ->
+      let key = Ckpt.key c ~kernel ~context:(context_name In_l2) ~n in
+      ignore (Ckpt.with_state c ~key ms ~warm : float)));
   let result = Exec.exec ~timing:(cfg, ms) ~ret_fsize:spec.ret_fsize cf env in
   match context with
   | Out_of_cache -> result.Exec.cycles +. Memsys.pending_writeback_cost ms
@@ -32,25 +62,235 @@ let exact ~cfg ~context ~spec ~n func = run_once ~cfg ~context ~spec ~n (Exec.co
 let sample_lo = 4096
 let sample_hi = 8192
 
-let measure_compiled ?(reps = 1) ~cfg ~context ~spec ~n cf =
-  let once n = run_once ~cfg ~context ~spec ~n cf in
-  let one_rep () =
+(* Sampled fidelity simulates short windows instead of the full
+   extrapolation pair:
+
+     - a {e warm-up} window of [sampled_warm_pages] pages, which drives
+       the memory system to steady state (trained prefetch streams,
+       saturated bus backlog, populated MSHRs) — run once per (kernel,
+       machine, context) and shared across every probe point and every
+       problem size through the [Ckpt] cache;
+     - {e detailed} windows that continue the warm-up as one long run
+       (restore + [Memsys.rebase] + [Env.advance]) and yield the steady
+       per-element rate;
+     - a {e cold} window of one page, anchoring the candidate's own
+       start-up intercept (prologue, cold-start latencies).
+
+   A resumed window restarts with an empty CPU pipeline — and, when
+   the warm state was created by a *different* candidate (probe points
+   of one tune share the warm-up), without this candidate's own
+   prefetch streams in flight — so its raw cycles overshoot the steady
+   rate by a code-dependent resume transient.  The transient is
+   cancelled exactly the way the full path cancels cold-start cost:
+   two resumed windows of [sampled_win_pages] and [sampled_rate_pages]
+   pages restart from the *same* restored state running the *same*
+   code, so their prefixes are cycle-identical (the simulator is
+   deterministic) and the difference [c2 - c1] prices exactly the
+   trailing [sampled_rate_pages - sampled_win_pages] pages at the
+   candidate's own steady rate — whatever state it resumed from and
+   whoever created that state.  The short window's excess over that
+   rate, [tr = c1 - rate * n_win], is the transient; it is memoized
+   per (warm state, code digest) in the [Ckpt], so later measurements
+   of the same candidate (reps, other problem sizes) need only the
+   short window: [c_win = c1' - tr].  At the memoized values this
+   equals the miss path's [c1 - tr] bit-for-bit.
+
+   All windows are measured in pages of the kernel's widest array
+   element, so every window is a whole-page multiple for every array
+   (element sizes are powers of two), and the rate span is an even
+   page count so period-two page alternation (write-allocate phase
+   effects) averages out; the span is several pages long because the
+   steady rate itself has page-scale structure (prefetch retraining at
+   every page crossing) that a short span samples too coarsely.  The
+   estimate is [c_cold + rate * (n - lo)].  Per-probe simulated work
+   against [sample_lo + sample_hi] for the full path: [lo + n_win]
+   elements once the candidate's transient is known,
+   [lo + n_win + n_rate] the first time a candidate is seen, plus the
+   warm-up when the snapshot itself is fresh — [m_elems] reports what
+   each call actually ran. *)
+let page_bytes = 4096
+let sampled_warm_pages = 5
+let sampled_win_pages = 2
+let sampled_rate_pages = 10
+
+let sampled_window_lo spec =
+  let env = spec.make_env 8 in
+  List.fold_left
+    (fun acc (_, b) ->
+      match b with
+      | Env.Array_arg { fsize; _ } -> max acc (page_bytes / Instr.fsize_bytes fsize)
+      | _ -> acc)
+    0 (Env.bindings env)
+
+(* The warm-state key is independent of the target [n]: the window
+   layout depends only on the kernel's page geometry, so one warm-up
+   serves every probe point and every problem size of a tune. *)
+let sampled_ckpt_context ~n_warm ~n_rate =
+  Printf.sprintf "out-of-cache-sampled:warm=%d:rate=%d" n_warm n_rate
+
+let measure_ext ?(reps = 1) ?(fidelity = Full) ?ckpt ~cfg ~context ~spec ~n cf =
+  let once n = run_once ?ckpt ~cfg ~context ~spec ~n cf in
+  let full_rep () =
     match context with
-    | In_l2 -> once n
+    | In_l2 -> (once n, n)
     | Out_of_cache ->
-      if n <= sample_hi then once n
+      if n <= sample_hi then (once n, n)
       else begin
         let c_lo = once sample_lo and c_hi = once sample_hi in
         let rate = (c_hi -. c_lo) /. float_of_int (sample_hi - sample_lo) in
-        c_hi +. (rate *. float_of_int (n - sample_hi))
+        (c_hi +. (rate *. float_of_int (n - sample_hi)), sample_lo + sample_hi)
       end
   in
-  let rec repeat best k = if k = 0 then best else repeat (Float.min best (one_rep ())) (k - 1) in
-  let first = one_rep () in
-  repeat first (max 0 (reps - 1))
+  let full ?fallback () =
+    let c0, elems = full_rep () in
+    let rec repeat best k =
+      if k = 0 then best else repeat (Float.min best (fst (full_rep ()))) (k - 1)
+    in
+    {
+      m_cycles = repeat c0 (max 0 (reps - 1));
+      m_fidelity = Full;
+      m_fallback = fallback;
+      m_elems = elems;
+    }
+  in
+  match fidelity with
+  | Full -> full ()
+  | Sampled -> (
+    let pe = sampled_window_lo spec in
+    let lo = pe in
+    let n_warm = sampled_warm_pages * pe in
+    let n_win = sampled_win_pages * pe in
+    let n_rate = sampled_rate_pages * pe in
+    (* Confidence checks — the bit-identity escape hatch.  Any failure
+       means the steady-state model is not trustworthy for this
+       measurement, and it silently reverts to full fidelity with the
+       reason recorded. *)
+    let span = n_warm + n_rate in
+    if pe <= 0 then full ~fallback:"no-array-arguments" ()
+    else if context <> Out_of_cache then full ~fallback:"in-l2-context" ()
+    else if n < 2 * span then full ~fallback:"tiny-n" ()
+    else begin
+      (* Every environment spans warm-up + the longest window so the
+         arrays sit at identical addresses in all of them — the warm
+         state's tags line up with the windows, and the two windows
+         share a cycle-identical prefix.  [env] is rebuilt per call:
+         [Env.advance] consumes it, and the warm-up (when it runs)
+         mutates its own copy's output arrays. *)
+      let window ms ~elems =
+        let env = spec.make_env span in
+        Env.advance env ~elems:n_warm;
+        Env.set_counts env elems;
+        (* The restored state carries the warm-up's dirty lines; charge
+           the window only for the writeback debt it adds. *)
+        let wb0 = Memsys.pending_writeback_cost ms in
+        let r = Exec.exec ~timing:(cfg, ms) ~ret_fsize:spec.ret_fsize cf env in
+        r.Exec.cycles +. Memsys.pending_writeback_cost ms -. wb0
+      in
+      let warm ms =
+        let wenv = spec.make_env span in
+        Env.set_counts wenv n_warm;
+        Memsys.reset ms ~flush:true;
+        ignore (Exec.exec ~timing:(cfg, ms) ~ret_fsize:spec.ret_fsize cf wenv);
+        Memsys.rebase ms;
+        0.0
+      in
+      (* The transient memo is keyed by the warm state and the
+         candidate's compiled code — NOT by n, so it serves every
+         problem size of a tune, like the snapshot itself. *)
+      let snap_key c kernel =
+        Ckpt.key c ~kernel ~context:(sampled_ckpt_context ~n_warm ~n_rate) ~n:span
+      in
+      let code_digest = lazy (Digest.to_hex (Digest.string (Cfg.to_string (Exec.func cf)))) in
+      let sampled_rep () =
+        (* one memory system serves every window: the cold window runs
+           on the flushed state (exactly [run_once]'s out-of-cache
+           setup), then the warm state is restored over it — cheaper
+           than building a second machine per measurement *)
+        let ms = Memsys.create cfg in
+        let elems = ref lo in
+        let c_cold =
+          let env = spec.make_env lo in
+          Memsys.reset ms ~flush:true;
+          let r = Exec.exec ~timing:(cfg, ms) ~ret_fsize:spec.ret_fsize cf env in
+          r.Exec.cycles +. Memsys.pending_writeback_cost ms
+        in
+        (match ckpt with
+        | None ->
+          ignore (warm ms : float);
+          elems := !elems + n_warm
+        | Some (c, kernel) ->
+          let before = (Ckpt.stats c).Ckpt.misses in
+          ignore (Ckpt.with_state c ~key:(snap_key c kernel) ms ~warm : float);
+          if (Ckpt.stats c).Ckpt.misses > before then elems := !elems + n_warm);
+        let transient =
+          match ckpt with
+          | Some (c, kernel) ->
+            Ckpt.find_transient c ~key:(snap_key c kernel ^ ":" ^ Lazy.force code_digest)
+          | None -> None
+        in
+        let c_win =
+          match transient with
+          | Some tr ->
+            elems := !elems + n_win;
+            window ms ~elems:n_win -. tr
+          | None ->
+            (* First sight of this candidate over this warm state: run
+               the short window and the longer rate window from private
+               copies of it.  Their shared prefix cancels in [c2 - c1],
+               leaving the steady rate over [n_rate - n_win] elements;
+               the transient is whatever the short window cost beyond
+               that rate. *)
+            let s = Memsys.snapshot ms in
+            let c1 = window ms ~elems:n_win in
+            Memsys.restore ms s;
+            let c2 = window ms ~elems:n_rate in
+            elems := !elems + n_win + n_rate;
+            let rate = (c2 -. c1) /. float_of_int (n_rate - n_win) in
+            let tr = c1 -. (rate *. float_of_int n_win) in
+            (match ckpt with
+            | Some (c, kernel) ->
+              Ckpt.set_transient c
+                ~key:(snap_key c kernel ^ ":" ^ Lazy.force code_digest)
+                tr
+            | None -> ());
+            (* computed as [c1 - tr] — not [rate * n_win] — so the hit
+               path's float arithmetic reproduces it bit-for-bit *)
+            c1 -. tr
+        in
+        if not (c_cold > 0.0 && c_win > 0.0) then Error "non-increasing-cycles"
+        else begin
+          let rate = c_win /. float_of_int n_win in
+          (* The steady rate and the cold first page agree within a
+             small factor for anything the linear model can represent:
+             the cold page adds start-up cost, while a saturated steady
+             state can out-cost an idle-bus cold page by a bounded
+             margin.  Outside that band the window did not measure the
+             regime the kernel actually runs in. *)
+          let q = rate *. float_of_int lo /. c_cold in
+          if q < 0.3 || q > 2.5 then Error "no-steady-state"
+          else Ok (c_cold +. (rate *. float_of_int (n - lo)), !elems)
+        end
+      in
+      match sampled_rep () with
+      | Error reason -> full ~fallback:reason ()
+      | Ok (c0, e0) -> (
+        let rec repeat best k =
+          if k = 0 then Ok best
+          else
+            match sampled_rep () with
+            | Error _ as e -> e
+            | Ok (c, _) -> repeat (Float.min best c) (k - 1)
+        in
+        match repeat c0 (max 0 (reps - 1)) with
+        | Error reason -> full ~fallback:reason ()
+        | Ok c -> { m_cycles = c; m_fidelity = Sampled; m_fallback = None; m_elems = e0 })
+    end)
 
-let measure ?reps ~cfg ~context ~spec ~n func =
-  measure_compiled ?reps ~cfg ~context ~spec ~n (Exec.compile func)
+let measure_compiled ?reps ?fidelity ?ckpt ~cfg ~context ~spec ~n cf =
+  (measure_ext ?reps ?fidelity ?ckpt ~cfg ~context ~spec ~n cf).m_cycles
+
+let measure ?reps ?fidelity ?ckpt ~cfg ~context ~spec ~n func =
+  measure_compiled ?reps ?fidelity ?ckpt ~cfg ~context ~spec ~n (Exec.compile func)
 
 let mflops ~cfg ~flops_per_n ~n ~cycles =
   Ifko_util.Stats.mflops

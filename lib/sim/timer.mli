@@ -10,7 +10,32 @@
     page-aligned problem sizes in steady state and extrapolating the
     cycle count linearly; {!val-exact} and the extrapolated path agree
     to well under a percent on streaming kernels (checked in the test
-    suite and by the ablation bench). *)
+    suite and by the ablation bench).
+
+    {2 Fidelity}
+
+    [Full] fidelity is the default and is bit-identical to what every
+    earlier version computed.  [Sampled] fidelity replaces the
+    extrapolation pair with three short windows: a warm-up window
+    ({!sampled_warm_pages} pages) that drives the memory system to
+    steady state and is checkpointed once per kernel and shared across
+    every probe point and problem size, a detailed window
+    ({!sampled_win_pages} pages) that continues the warm-up as one long
+    run, and a one-page cold window anchoring the candidate's start-up
+    intercept.  The first time a candidate meets a warm state, a longer
+    companion window ({!sampled_rate_pages} pages) resumes from the
+    same state; the pair's difference yields the candidate's steady
+    per-element rate with the code-dependent resume transient cancelled
+    exactly, and the transient is memoized so every later measurement
+    needs only the short window.  Per-probe simulated work drops from
+    [sample_lo + sample_hi] elements to three pages in the steady
+    state.  A bit-identity escape hatch reverts to full fidelity and
+    records the reason whenever a confidence check fails: no array
+    operands, an in-L2 context, tiny N, non-positive window cycles, or
+    a steady rate inconsistent with the cold window
+    (["no-steady-state"]).  Callers that need the error budget enforced
+    per kernel calibrate one point both ways first — see
+    [Driver.tune]. *)
 
 type context = Out_of_cache | In_l2
 
@@ -21,12 +46,27 @@ type spec = {
   ret_fsize : Instr.fsize;
 }
 
+type fidelity = Full | Sampled
+
+val fidelity_name : fidelity -> string
+val fidelity_of_string : string -> fidelity option
+
+type measurement = {
+  m_cycles : float;
+  m_fidelity : fidelity;  (** the fidelity that actually produced the cycles *)
+  m_fallback : string option;
+      (** why a [Sampled] request fell back to full fidelity, if it did *)
+  m_elems : int;  (** elements simulated per repetition (the work proxy) *)
+}
+
 val exact :
   cfg:Ifko_machine.Config.t -> context:context -> spec:spec -> n:int -> Cfg.func -> float
 (** Simulate the full problem of size [n]; returns cycles. *)
 
 val measure :
   ?reps:int ->
+  ?fidelity:fidelity ->
+  ?ckpt:Ckpt.t * string ->
   cfg:Ifko_machine.Config.t ->
   context:context ->
   spec:spec ->
@@ -36,11 +76,17 @@ val measure :
 (** Cycle count for problem size [n] under [context], using
     steady-state extrapolation for large out-of-cache problems.
     [reps] repeats each timing and keeps the minimum (default 1 — the
-    simulator is deterministic).  Compiles the function once and reuses
-    the decoded form across samples and reps. *)
+    simulator is deterministic).  [fidelity] defaults to [Full], which
+    is bit-identical to the historical behavior.  [ckpt] is the
+    warm-state checkpoint cache paired with the kernel fingerprint the
+    snapshots are keyed by; it accelerates the in-L2 warm-up and never
+    changes any result.  Compiles the function once and reuses the
+    decoded form across samples and reps. *)
 
 val measure_compiled :
   ?reps:int ->
+  ?fidelity:fidelity ->
+  ?ckpt:Ckpt.t * string ->
   cfg:Ifko_machine.Config.t ->
   context:context ->
   spec:spec ->
@@ -49,6 +95,39 @@ val measure_compiled :
   float
 (** {!measure} for already-compiled code — for callers that time the
     same candidate in several contexts or at several sizes. *)
+
+val measure_ext :
+  ?reps:int ->
+  ?fidelity:fidelity ->
+  ?ckpt:Ckpt.t * string ->
+  cfg:Ifko_machine.Config.t ->
+  context:context ->
+  spec:spec ->
+  n:int ->
+  Exec.compiled ->
+  measurement
+(** {!measure_compiled} returning the full measurement record: the
+    fidelity that actually ran, the fallback reason when the sampled
+    escape hatch fired, and the simulated-element count the cycles
+    were derived from. *)
+
+val sampled_window_lo : spec -> int
+(** Elements in one 4 KiB page of the kernel's widest array element —
+    the sampled-fidelity window unit (0 when the kernel binds no
+    arrays, which forces the full-fidelity fallback). *)
+
+val sampled_warm_pages : int
+(** Warm-up window length, in {!sampled_window_lo} units. *)
+
+val sampled_win_pages : int
+(** Detailed window length, in {!sampled_window_lo} units (even, so
+    period-two page alternation averages out). *)
+
+val sampled_rate_pages : int
+(** Length of the longer companion window run once per (warm state,
+    candidate) to separate the steady rate from the resume transient;
+    the rate span [sampled_rate_pages - sampled_win_pages] is an even
+    page count for the same alternation-cancelling reason. *)
 
 val mflops :
   cfg:Ifko_machine.Config.t -> flops_per_n:float -> n:int -> cycles:float -> float

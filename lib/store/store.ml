@@ -569,10 +569,15 @@ let digest fields =
     fields;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let probe_key ~kernel ~machine ~context ~n ~seed ~check ~params =
-  digest
+(* [fidelity] is appended only when present, so every key minted before
+   the fidelity axis existed is unchanged (the digest is length-prefixed
+   per field, so appending a field can never alias an old key either). *)
+let probe_key ~kernel ~machine ~context ~n ~seed ~check ?fidelity ~params () =
+  let base =
     [ "probe"; kernel; machine; context; string_of_int n; string_of_int seed;
       (if check then "check" else "nocheck"); params ]
+  in
+  digest (match fidelity with None -> base | Some f -> base @ [ "fidelity:" ^ f ])
 
 let timing_key ~kind ~func ~machine ~context ~n ~seed =
   digest [ "timing"; kind; func; machine; context; string_of_int n; string_of_int seed ]

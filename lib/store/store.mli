@@ -156,13 +156,18 @@ val probe_key :
   n:int ->
   seed:int ->
   check:bool ->
+  ?fidelity:string ->
   params:string ->
+  unit ->
   string
 (** Key of one search probe.  [kernel] is the lowered-LIL rendering of
     the untransformed function (plus array metadata), [params] the
     canonical parameter-point encoding ({!Ifko_transform.Params.canonical}),
     [check] whether per-pass validation was on (it changes how broken
-    points surface). *)
+    points surface).  [fidelity] names a non-default timing fidelity;
+    omitting it reproduces every key minted before the fidelity axis
+    existed, so old journals remain valid (and sampled results can
+    never be served to a full-fidelity caller or vice versa). *)
 
 val timing_key :
   kind:string ->

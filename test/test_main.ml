@@ -11,6 +11,7 @@ let () =
       ("depend", Test_depend.suite);
       ("machine", Test_machine.suite);
       ("sim", Test_sim.suite);
+      ("ckpt", Test_ckpt.suite);
       ("exec-compiled", Test_exec_compiled.suite);
       ("transform", Test_transform.suite);
       ("regalloc", Test_regalloc.suite);

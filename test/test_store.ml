@@ -32,8 +32,9 @@ let outcome : Store.outcome Alcotest.testable =
 
 let test_keys () =
   let key ?(kernel = "lil-A") ?(machine = "P4E") ?(n = 80000) ?(seed = 7) ?(check = false)
-      ?(params = "p1") () =
-    Store.probe_key ~kernel ~machine ~context:"out-of-cache" ~n ~seed ~check ~params
+      ?fidelity ?(params = "p1") () =
+    Store.probe_key ~kernel ~machine ~context:"out-of-cache" ~n ~seed ~check ?fidelity
+      ~params ()
   in
   Alcotest.(check string) "deterministic" (key ()) (key ());
   List.iter
@@ -45,7 +46,13 @@ let test_keys () =
       ("workload seed", key ~seed:8 ());
       ("per-pass checking", key ~check:true ());
       ("parameter point", key ~params:"p2" ());
+      ("sampled fidelity", key ~fidelity:"sampled" ());
     ];
+  (* sampled keys are themselves deterministic and distinct per fidelity *)
+  Alcotest.(check string) "sampled deterministic" (key ~fidelity:"sampled" ())
+    (key ~fidelity:"sampled" ());
+  Alcotest.(check bool) "fidelities do not alias" false
+    (key ~fidelity:"sampled" () = key ~fidelity:"exact" ());
   (* length-prefixed digesting: shifting a boundary must not alias *)
   Alcotest.(check bool) "no field-boundary aliasing" false
     (Store.digest [ "ab"; "c" ] = Store.digest [ "a"; "bc" ])
@@ -206,7 +213,7 @@ let test_tune_key () =
   Alcotest.(check bool) "disjoint from probe keys" false
     (key ()
     = Store.probe_key ~kernel:"fp" ~machine:"P4E" ~context:"out-of-cache" ~n:100 ~seed:0
-        ~check:false ~params:"")
+        ~check:false ~params:"" ())
 
 let test_compact () =
   let path = tmp_store () in
