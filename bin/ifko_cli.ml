@@ -510,8 +510,9 @@ let sim_cmd =
       value & flag
       & info [ "profile" ]
           ~doc:
-            "report fast-path coverage, superblock fusion, and per-component \
-             cycle-attribution counters for the run")
+            "report fast-path coverage, superblock fusion, per-component \
+             cycle-attribution counters, and setup-vs-simulate wall-time \
+             attribution (arena/env/restore/exec) for a timed run")
   in
   let seed_arg =
     Arg.(value & opt int 20050614 & info [ "seed" ] ~docv:"SEED" ~doc:"workload seed")
@@ -624,6 +625,25 @@ let sim_cmd =
           p.Ifko_machine.Memsys.sw_pf_issued p.Ifko_machine.Memsys.sw_pf_dropped
           p.Ifko_machine.Memsys.hw_pf_issued
     end;
+    (* Setup-vs-simulate wall-time attribution rides the timer, so run
+       one timer measurement under the profile instrument (the engines
+       above execute directly and have no setup floor to attribute). *)
+    if profile && not untimed then begin
+      Ifko_sim.Timer.profile_reset ();
+      Ifko_sim.Timer.profile_enable true;
+      ignore (Ifko_sim.Timer.measure_ext ~cfg ~context ~spec ~n cf
+              : Ifko_sim.Timer.measurement);
+      Ifko_sim.Timer.profile_enable false;
+      let a = Ifko_sim.Timer.profile () in
+      let per s = 1e6 *. s /. float_of_int (max 1 a.Ifko_sim.Timer.at_measures) in
+      Printf.printf
+        "    wall-time attribution (%d measurement%s): arena %.1f us, env %.1f us, \
+         restore %.1f us, exec %.1f us per measure\n"
+        a.Ifko_sim.Timer.at_measures
+        (if a.Ifko_sim.Timer.at_measures = 1 then "" else "s")
+        (per a.Ifko_sim.Timer.at_arena_s) (per a.Ifko_sim.Timer.at_env_s)
+        (per a.Ifko_sim.Timer.at_restore_s) (per a.Ifko_sim.Timer.at_exec_s)
+    end;
     if compare_fidelity then begin
       if untimed then failwith "--compare-fidelity requires a timed run (drop --untimed)";
       let full = Ifko_sim.Timer.measure_ext ~cfg ~context ~spec ~n cf in
@@ -707,7 +727,14 @@ let store_cmd =
             print_newline ();
             List.iter
               (fun st -> print_string (Ifko.Store.stat_to_string st))
-              s.Ifko.Serve.Shard_store.sh_shards
+              s.Ifko.Serve.Shard_store.sh_shards;
+            List.iter
+              (fun c ->
+                Printf.printf "ckpt-%s: %d warm-state snapshots, %d transients\n"
+                  c.Ifko.Serve.Shard_store.ck_machine
+                  c.Ifko.Serve.Shard_store.ck_snapshots
+                  c.Ifko.Serve.Shard_store.ck_transients)
+              s.Ifko.Serve.Shard_store.sh_ckpts
           end
       else if not (Sys.file_exists p) then begin
         Printf.eprintf "%s: no store\n" p;

@@ -1,0 +1,37 @@
+(** Geometry-keyed pool of {!Memsys} instances.
+
+    The timers borrow machines instead of constructing one per
+    measurement; {!Memsys.reset} / {!Memsys.restore} are bit-identical
+    to fresh construction, so pooling is observably free.  Thread-safe:
+    the pool is shared across domains (the parallel probe pool borrows
+    concurrently).
+
+    {b Contract}: {!release} does not clean the instance, and
+    {!acquire} may return one in an arbitrary prior state — callers
+    must reset or restore before reading anything from it.  Every
+    timer path already does this (it must even on a fresh instance, to
+    select its cache context), so the pool adds no work to the hot
+    path. *)
+
+val acquire : Config.t -> Memsys.t
+(** A machine for this config: pooled if one with identical
+    [Config.geometry] is available, freshly created otherwise.  State
+    is arbitrary until the caller resets/restores. *)
+
+val release : Memsys.t -> unit
+(** Return an instance to its geometry's pool (dropped when the pool
+    is full).  The instance must no longer be used by the caller.
+    Safe to call on an instance left mid-simulation by an exception. *)
+
+val with_machine : Config.t -> (Memsys.t -> 'a) -> 'a
+(** [acquire]/[release] bracket, releasing on exceptions too. *)
+
+type stats = { acquires : int; creates : int; pooled : int }
+
+val stats : unit -> stats
+(** Process-lifetime counters: total acquires, how many missed the
+    pool and constructed, and instances currently pooled. *)
+
+val clear : unit -> unit
+(** Drop every pooled instance and reset the {!stats} counters (tests
+    use this to force cold paths and assert on counts in isolation). *)

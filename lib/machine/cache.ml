@@ -254,23 +254,52 @@ let flush t =
   t.n_touched <- 0;
   clear_mru t
 
-(* Deep copy of every mutable field, plus the geometry needed to refuse
-   a restore into a differently shaped cache.  Snapshots exist for the
-   timers' warm-state checkpointing: the state right after the in-L2
-   warm-up loop is captured once and blitted back for every later probe
-   of the same (kernel, context, N), which is observably identical to
-   re-running the warm-up (the copy includes LRU stamps, the clock, the
-   touched-way log and the statistics counters, so even [flush] and
-   [stats] behave exactly as they would have). *)
+(* Snapshots exist for the timers' warm-state checkpointing: the state
+   right after the warm-up loop is captured once and put back for every
+   later probe of the same (kernel, context, N), which is observably
+   identical to re-running the warm-up.
+
+   Two representations.  [Dense] copies every array — always correct,
+   O(ways) to capture and restore.  [Sparse] records only the ways the
+   touched-way log proves valid: after a flush every way is invalid and
+   clean, [insert] is the only place a tag is written and it logs the
+   -1 -> valid transition, so the log covers every valid way (possibly
+   with duplicates from invalidate/insert churn — benign, the values
+   recorded are the arrays' current contents either way).  LRU stamps
+   of invalid ways are never consulted ([victim_way] stops at the first
+   invalid way) and dirty implies valid, so replaying flush + the
+   logged entries over any same-geometry cache reproduces every
+   observable behavior, including a later [flush]'s exact work (the log
+   itself is part of the snapshot) and the [stats] counters.  The MRU
+   hints are copied exactly so the one-compare fast path keeps the same
+   coverage, which keeps the profile counters bit-identical too.
+
+   Sparse capture/restore is O(touched + sets), which is what lets the
+   sampled timer restore a warm state per measurement without paying a
+   megabyte of blits; the dense form remains for overflowed logs and
+   near-full caches (where the blit is cheaper than the loop). *)
+type dense = {
+  s_tags : int array;
+  s_dirty : bool array;
+  s_lru : int array;
+  s_touched : int array;
+}
+
+type sparse = {
+  p_idx : int array;  (* way indices, in touched-log order *)
+  p_tags : int array;
+  p_dirty : bool array;
+  p_lru : int array;
+}
+
+type repr = Dense of dense | Sparse of sparse
+
 type snapshot = {
   s_line : int;
   s_sets : int;
   s_assoc : int;
-  s_tags : int array;
-  s_dirty : bool array;
-  s_lru : int array;
+  s_repr : repr;
   s_mru : int array;
-  s_touched : int array;
   s_n_touched : int;
   s_clock : int;
   s_hits : int;
@@ -278,15 +307,34 @@ type snapshot = {
 }
 
 let snapshot t =
+  let nways = Array.length t.tags in
+  let repr =
+    if t.n_touched < 0 || 4 * t.n_touched > nways then
+      Dense
+        {
+          s_tags = Array.copy t.tags;
+          s_dirty = Array.copy t.dirty;
+          s_lru = Array.copy t.lru;
+          s_touched = Array.sub t.touched 0 (max 0 t.n_touched);
+        }
+    else begin
+      let n = t.n_touched in
+      let idx = Array.sub t.touched 0 n in
+      Sparse
+        {
+          p_idx = idx;
+          p_tags = Array.map (fun i -> t.tags.(i)) idx;
+          p_dirty = Array.map (fun i -> t.dirty.(i)) idx;
+          p_lru = Array.map (fun i -> t.lru.(i)) idx;
+        }
+    end
+  in
   {
     s_line = t.line;
     s_sets = t.sets;
     s_assoc = t.assoc;
-    s_tags = Array.copy t.tags;
-    s_dirty = Array.copy t.dirty;
-    s_lru = Array.copy t.lru;
+    s_repr = repr;
     s_mru = Array.copy t.mru;
-    s_touched = Array.copy t.touched;
     s_n_touched = t.n_touched;
     s_clock = t.clock;
     s_hits = t.hits;
@@ -299,11 +347,25 @@ let restore t s =
       (Printf.sprintf
          "Cache.restore: geometry mismatch (snapshot %d/%d/%d vs cache %d/%d/%d)"
          s.s_line s.s_sets s.s_assoc t.line t.sets t.assoc);
-  Array.blit s.s_tags 0 t.tags 0 (Array.length t.tags);
-  Array.blit s.s_dirty 0 t.dirty 0 (Array.length t.dirty);
-  Array.blit s.s_lru 0 t.lru 0 (Array.length t.lru);
+  (match s.s_repr with
+  | Dense d ->
+    Array.blit d.s_tags 0 t.tags 0 (Array.length t.tags);
+    Array.blit d.s_dirty 0 t.dirty 0 (Array.length t.dirty);
+    Array.blit d.s_lru 0 t.lru 0 (Array.length t.lru);
+    Array.blit d.s_touched 0 t.touched 0 (Array.length d.s_touched)
+  | Sparse p ->
+    (* invalidate whatever the target currently holds (O(its touched
+       state)), then lay down exactly the snapshot's valid ways *)
+    flush t;
+    let n = Array.length p.p_idx in
+    for i = 0 to n - 1 do
+      let idx = p.p_idx.(i) in
+      t.tags.(idx) <- p.p_tags.(i);
+      t.dirty.(idx) <- p.p_dirty.(i);
+      t.lru.(idx) <- p.p_lru.(i);
+      t.touched.(i) <- idx
+    done);
   Array.blit s.s_mru 0 t.mru 0 (Array.length t.mru);
-  Array.blit s.s_touched 0 t.touched 0 (Array.length t.touched);
   t.n_touched <- s.s_n_touched;
   t.clock <- s.s_clock;
   t.hits <- s.s_hits;

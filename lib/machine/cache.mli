@@ -67,15 +67,19 @@ val dirty_lines : t -> int
 (** Number of valid dirty lines currently held. *)
 
 type snapshot
-(** A deep copy of the cache's full mutable state (contents, LRU
-    stamps, clock, touched-way log, statistics), tagged with its
-    geometry. *)
+(** A copy of the cache's full observable state (contents, LRU stamps,
+    clock, touched-way log, statistics), tagged with its geometry.
+    When the touched-way log shows only a small fraction of the cache
+    is valid, the snapshot stores just those ways, making capture and
+    restore O(touched) instead of O(ways) — the representations are
+    observably indistinguishable. *)
 
 val snapshot : t -> snapshot
 
 val restore : t -> snapshot -> unit
-(** Blit the captured state back.  Restoring is observably identical to
-    replaying whatever access sequence produced the snapshot.
+(** Put the captured state back (the target may hold arbitrary prior
+    contents of the same geometry).  Restoring is observably identical
+    to replaying whatever access sequence produced the snapshot.
     @raise Invalid_argument when the snapshot was taken from a cache of
     different geometry (line size, set count or associativity). *)
 

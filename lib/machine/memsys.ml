@@ -288,6 +288,8 @@ let create (cfg : Config.t) =
     demand_cycles = 0.0;
   }
 
+let config t = t.cfg
+
 let reset t ~flush =
   Array.fill t.fl 0 6 0.0;
   t.mshr_head <- 0;

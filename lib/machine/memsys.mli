@@ -12,6 +12,10 @@ type t
 
 val create : Config.t -> t
 
+val config : t -> Config.t
+(** The machine description this instance was built from (what
+    {!Arena} keys its pools on). *)
+
 val reset : t -> flush:bool -> unit
 (** Zero the clock-dependent state (bus, MSHRs, in-flight fills,
     prefetch streams, statistics); additionally empty both caches when

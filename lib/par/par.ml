@@ -78,8 +78,22 @@ module Pool = struct
         Queue.add (task i) t.queue
       done;
       Condition.broadcast t.work;
+      (* The submitter helps while its batch is outstanding, instead of
+         parking: it pops and runs queued tasks — its own or another
+         submitter's — and only waits when the queue is drained.  This
+         adds the submitting thread to the worker set (one more lane
+         for everyone's compilations) and lets concurrent tunes' probe
+         batches merge into one shared work stream.  Results are
+         written to input-indexed slots, so helping never affects
+         outputs. *)
       while !remaining > 0 do
-        Condition.wait t.finished t.mutex
+        if not (Queue.is_empty t.queue) then begin
+          let task = Queue.pop t.queue in
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex
+        end
+        else Condition.wait t.finished t.mutex
       done;
       Mutex.unlock t.mutex;
       for i = 0 to n - 1 do

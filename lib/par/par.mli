@@ -26,7 +26,12 @@ module Pool : sig
       Batches may be submitted concurrently from several domains or
       threads (the serve daemon multiplexes every in-flight tune's
       probe batches onto one pool): each batch completes independently,
-      and its submitter wakes as soon as its own tasks are done. *)
+      and its submitter wakes as soon as its own tasks are done.
+      While a batch is outstanding its submitter {e helps}, executing
+      queued tasks (its own or other submitters') instead of parking —
+      concurrent tunes' probe batches merge into one shared work
+      stream with one extra lane.  Helping never affects outputs:
+      results are written to input-indexed slots. *)
 
   val create : jobs:int -> t
   (** [create ~jobs] clamps [jobs] to [\[1, 64\]] and, when [jobs > 1],

@@ -49,8 +49,8 @@ let score = function
   | Ifko_store.Store.Test_failed | Ifko_store.Store.Illegal -> neg_infinity
 
 let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(jobs = 1)
-    ?(seed = 0) ?(fidelity = Ifko_sim.Timer.Full) ?(error_budget = 0.01) ?ckpt ~cfg ~context
-    ~spec ~n ~flops_per_n ~test compiled =
+    ?(seed = 0) ?(fidelity = Ifko_sim.Timer.Full) ?(error_budget = 0.01) ?ckpt ?codecache
+    ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
   let report = Ifko_analysis.Report.analyze compiled in
   let default_params =
     Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
@@ -72,14 +72,35 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
   (* One warm-state checkpoint cache per tune unless the caller shares
      a longer-lived one: every probe point of this tune re-derives the
      same post-warm-up memory state, so the in-L2 warm loop runs once
-     and every later probe restores the snapshot. *)
+     and every later probe restores the snapshot.  The checkpoint tag
+     carries the workload seed on top of the kernel fingerprint: warm
+     states (and the environment masters cached with them) embed the
+     seeded workload data, so a shared or persisted cache must never
+     serve one seed's state to another. *)
   let ckpt = match ckpt with Some c -> c | None -> Ifko_sim.Ckpt.create ~cfg () in
-  let tckpt = (ckpt, kernel) in
-  (* Functions compiled (and validated) by this run's probes, kept so
-     the winning point's code is reused instead of being recompiled —
-     and recompiled *unchecked* — at the end. *)
-  let funcs : (Ifko_transform.Params.t, Cfg.func) Hashtbl.t = Hashtbl.create 64 in
-  let funcs_mutex = Mutex.create () in
+  let tckpt = (ckpt, Printf.sprintf "%s|seed=%d" kernel seed) in
+  (* Compiled candidates are produced (and their semantic test run)
+     exactly once per (kernel, machine, params, check, seed) through
+     the single-flight codecache: the calibration point is not
+     recompiled by the first probe, the winner is not recompiled —
+     unchecked — at the end, and callers that pass a longer-lived
+     cache (multi-size sweeps, fidelity comparisons, the serve daemon)
+     share candidates across whole tunes. *)
+  let codecache = match codecache with Some c -> c | None -> Codecache.create () in
+  let candidate params =
+    Codecache.find_or_compile codecache
+      ~key:
+        (Codecache.key ~kernel ~machine:cfg.Config.name
+           ~params:(Ifko_transform.Params.canonical params) ~check:check_each_pass ~seed)
+      (fun () ->
+        match compile_point ?check ~cfg compiled params with
+        | exception (Ifko_transform.Passcheck.Pass_failed _ as broken) ->
+          raise broken (* fail fast: a transform miscompiled this point *)
+        | exception _ -> Codecache.Illegal (* an illegal point is just skipped *)
+        | func ->
+          if not (test func) then Codecache.Test_failed
+          else Codecache.Compiled (func, Ifko_sim.Exec.compile func))
+  in
   (* Per-kernel error-budget calibration: before a sampled tune starts,
      the default point is timed both ways.  If the sampled estimate
      misses full fidelity by more than [error_budget] (relative), or
@@ -92,13 +113,9 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
     match fidelity with
     | Ifko_sim.Timer.Full -> (Ifko_sim.Timer.Full, None)
     | Ifko_sim.Timer.Sampled -> (
-      match compile_point ?check ~cfg compiled default_params with
-      | exception (Ifko_transform.Passcheck.Pass_failed _ as broken) -> raise broken
-      | exception _ -> (Ifko_sim.Timer.Full, None)
-      | func when not (test func) -> (Ifko_sim.Timer.Full, None)
-      | func -> (
-        Hashtbl.replace funcs default_params func;
-        let cf = Ifko_sim.Exec.compile func in
+      match candidate default_params with
+      | Codecache.Illegal | Codecache.Test_failed -> (Ifko_sim.Timer.Full, None)
+      | Codecache.Compiled (_, cf) -> (
         let full = Ifko_sim.Timer.measure_compiled ~ckpt:tckpt ~cfg ~context ~spec ~n cf in
         let s =
           Ifko_sim.Timer.measure_ext ~fidelity:Ifko_sim.Timer.Sampled ~ckpt:tckpt ~cfg
@@ -114,25 +131,19 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
            Some err)))
   in
   let compute params =
-    match compile_point ?check ~cfg compiled params with
-    | exception (Ifko_transform.Passcheck.Pass_failed _ as broken) ->
-      raise broken (* fail fast: a transform miscompiled this point *)
-    | exception _ -> Ifko_store.Store.Illegal (* an illegal point is just skipped *)
-    | func ->
-      Mutex.lock funcs_mutex;
-      Hashtbl.replace funcs params func;
-      Mutex.unlock funcs_mutex;
-      if not (test func) then Ifko_store.Store.Test_failed
-      else
-        (* decode once per candidate; the timer reuses the threaded
-           code across extrapolation samples and reps *)
-        let cf = Ifko_sim.Exec.compile func in
-        let cycles =
-          Ifko_sim.Timer.measure_compiled ~fidelity:fidelity_used ~ckpt:tckpt ~cfg ~context
-            ~spec ~n cf
-        in
-        Ifko_store.Store.Timed
-          { cycles; mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles }
+    match candidate params with
+    | Codecache.Illegal -> Ifko_store.Store.Illegal
+    | Codecache.Test_failed -> Ifko_store.Store.Test_failed
+    | Codecache.Compiled (_, cf) ->
+      (* decoded once per candidate (and shared through the codecache);
+         the timer reuses the threaded code across extrapolation
+         samples and reps *)
+      let cycles =
+        Ifko_sim.Timer.measure_compiled ~fidelity:fidelity_used ~ckpt:tckpt ~cfg ~context
+          ~spec ~n cf
+      in
+      Ifko_store.Store.Timed
+        { cycles; mflops = Ifko_sim.Timer.mflops ~cfg ~flops_per_n ~n ~cycles }
   in
   (* [cache] generalizes the plain store: the serve daemon passes the
      sharded store's single-flight memoizer here, so concurrent tunes
@@ -171,12 +182,12 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
   in
   let best = result.Linesearch.best in
   let best_func =
-    match Hashtbl.find_opt funcs best with
-    | Some func -> func
-    | None ->
-      (* every probe of this run was answered from the store — compile
-         the winner once, under the same per-pass checking regime *)
-      compile_point ?check ~cfg compiled best
+    (* cache hit when any probe of this run compiled the winner; a
+       store-answered run compiles it here once, under the same
+       per-pass checking regime *)
+    match candidate best with
+    | Codecache.Compiled (func, _) -> func
+    | Codecache.Illegal | Codecache.Test_failed -> compile_point ?check ~cfg compiled best
   in
   {
     report;

@@ -55,6 +55,7 @@ val tune :
   ?fidelity:Ifko_sim.Timer.fidelity ->
   ?error_budget:float ->
   ?ckpt:Ifko_sim.Ckpt.t ->
+  ?codecache:Codecache.t ->
   cfg:Ifko_machine.Config.t ->
   context:Ifko_sim.Timer.context ->
   spec:Ifko_sim.Timer.spec ->
@@ -107,7 +108,17 @@ val tune :
     they never answer full-fidelity lookups.
 
     [ckpt] shares a warm-state checkpoint cache across tunes (the
-    daemon could pass a persistent one); by default each tune gets its
-    own in-memory cache, so the in-L2 warm-up runs once per (kernel,
-    context, N) and every later probe restores the snapshot —
-    observably identical, just cheaper. *)
+    serve daemon passes a persistent per-machine one); by default each
+    tune gets its own in-memory cache, so the in-L2 warm-up runs once
+    per (kernel, context, N) and every later probe restores the
+    snapshot — observably identical, just cheaper.  Checkpoint entries
+    are tagged with [seed] on top of the kernel fingerprint, so a
+    shared cache never serves one workload's warm state to another.
+
+    [codecache] shares compiled candidates (transform + semantic test
+    + decode, keyed by kernel/machine/params/check/seed) across tunes
+    — the daemon passes one so concurrent tunes of a kernel compile
+    each candidate once; by default the cache is per-tune, which still
+    deduplicates the calibration point, the first probe and the
+    winner's final compilation.  Like [cache]/[pool], it never affects
+    results. *)

@@ -18,8 +18,10 @@ module Store = Ifko_store.Store
 module Json = Store.Json
 module Driver = Ifko_search.Driver
 module Generic = Ifko_search.Generic
+module Codecache = Ifko_search.Codecache
 module Config = Ifko_machine.Config
 module Timer = Ifko_sim.Timer
+module Ckpt = Ifko_sim.Ckpt
 
 type listen = [ `Unix of string | `Tcp of string * int ]
 
@@ -73,6 +75,12 @@ type t = {
   mutable active : int;  (* live connection threads *)
   conns : (Unix.file_descr, unit) Hashtbl.t;
   tune_flight : (string, tune_cell) Hashtbl.t;
+  codecache : Codecache.t;
+      (* daemon-wide: distinct in-flight tunes (same kernel, different
+         N / context / fidelity) compile each candidate once *)
+  ckpts : (string, Ckpt.t) Hashtbl.t;
+      (* per machine name, created on first use; persisted under
+         store_dir/ckpt-<machine> so warm states survive restarts *)
   mutable n_requests : int;
   mutable n_tunes : int;  (* tune ops that ran the search *)
   mutable n_tune_hits : int;  (* tune ops answered from the result cache *)
@@ -152,12 +160,31 @@ let lookup_result t key =
   | None -> None
   | Some entry -> decode_result entry
 
+(* One persistent checkpoint cache per machine: warm states and their
+   companion transients are keyed by (kernel|seed, context, N) inside,
+   so every tune of a machine shares the same cache safely. *)
+let ckpt_for t cfgm =
+  let name = cfgm.Config.name in
+  Mutex.lock t.mu;
+  let c =
+    match Hashtbl.find_opt t.ckpts name with
+    | Some c -> c
+    | None ->
+      let dir = Filename.concat t.cfg.store_dir ("ckpt-" ^ name) in
+      let c = Ckpt.create ~dir ~cfg:cfgm () in
+      Hashtbl.add t.ckpts name c;
+      c
+  in
+  Mutex.unlock t.mu;
+  c
+
 let compute_tune t (a : Proto.tune_args) cfgm context compiled key =
   match
     let spec = Generic.spec ~seed:a.seed compiled in
     Driver.tune ~check_each_pass:a.check
       ~cache:(Shard_store.cached t.store)
-      ?pool:t.pool ~seed:a.seed ~cfg:cfgm ~context ~spec ~n:a.n
+      ?pool:t.pool ~seed:a.seed ~ckpt:(ckpt_for t cfgm) ~codecache:t.codecache
+      ~cfg:cfgm ~context ~spec ~n:a.n
       ~flops_per_n:a.flops_per_n
       ~test:(Generic.test compiled spec)
       compiled
@@ -251,6 +278,7 @@ let do_lookup t a =
 let stat_fields t =
   let s = Shard_store.stat t.store in
   Mutex.lock t.mu;
+  let ckpt_stats = Hashtbl.fold (fun _ c acc -> Ckpt.stats c :: acc) t.ckpts [] in
   let server =
     [ ("uptime_s", Json.N (Float.max 0.0 (t.clock () -. t.started)));
       ("requests", Json.N (float_of_int t.n_requests));
@@ -266,7 +294,30 @@ let stat_fields t =
     ]
   in
   Mutex.unlock t.mu;
-  [ ("store", Json.O (Shard_store.stat_fields s)); ("server", Json.O server) ]
+  (* warm-state checkpoint + compiled-candidate cache effectiveness,
+     summed over machines: how much per-probe setup the daemon skipped *)
+  let sum f = float_of_int (List.fold_left (fun a st -> a + f st) 0 ckpt_stats) in
+  let ckpt =
+    [ ("hits", Json.N (sum (fun (st : Ckpt.stats) -> st.Ckpt.hits)));
+      ("disk_loads", Json.N (sum (fun st -> st.Ckpt.disk_loads)));
+      ("misses", Json.N (sum (fun st -> st.Ckpt.misses)));
+      ("invalidated", Json.N (sum (fun st -> st.Ckpt.invalidated)));
+      ("transient_hits", Json.N (sum (fun st -> st.Ckpt.transient_hits)));
+      ("transient_misses", Json.N (sum (fun st -> st.Ckpt.transient_misses)));
+      ("transients_loaded", Json.N (sum (fun st -> st.Ckpt.transients_loaded)));
+    ]
+  in
+  let cc = Codecache.stats t.codecache in
+  let code =
+    [ ("hits", Json.N (float_of_int cc.Codecache.hits));
+      ("misses", Json.N (float_of_int cc.Codecache.misses));
+    ]
+  in
+  [ ("store", Json.O (Shard_store.stat_fields s));
+    ("server", Json.O server);
+    ("ckpt", Json.O ckpt);
+    ("codecache", Json.O code);
+  ]
 
 (* ---------------- shutdown ---------------- *)
 
@@ -411,6 +462,8 @@ let run ?(clock = Unix.gettimeofday) ?(ready = ignore) config =
       active = 0;
       conns = Hashtbl.create 16;
       tune_flight = Hashtbl.create 16;
+      codecache = Codecache.create ();
+      ckpts = Hashtbl.create 4;
       n_requests = 0;
       n_tunes = 0;
       n_tune_hits = 0;

@@ -201,6 +201,8 @@ let evict ?max_bytes ?max_age ~now t =
     (fun acc sh -> acc + Store.evict ?max_bytes:per_shard ?max_age ~now sh)
     0 t.shards
 
+type ckpt_stat = { ck_machine : string; ck_snapshots : int; ck_transients : int }
+
 type stat = {
   sh_dir : string;
   sh_shards : Store.stat list;
@@ -211,7 +213,47 @@ type stat = {
   sh_hits : int;
   sh_misses : int;
   sh_joins : int;
+  sh_ckpts : ckpt_stat list;
 }
+
+(* The serve daemon persists warm-state checkpoints next to the shards
+   (one ckpt-<machine> directory each: <key>.ckpt blobs plus a
+   transients.jsonl of resume-transient scalars).  Counting them here
+   makes `ifko store stat` show how much warm-up/transient work a
+   daemon restart will be able to skip. *)
+let ckpt_stats_of_dir dir =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         let path = Filename.concat dir name in
+         if String.length name > 5 && String.sub name 0 5 = "ckpt-" && Sys.is_directory path
+         then begin
+           let files = try Sys.readdir path with Sys_error _ -> [||] in
+           let snapshots =
+             Array.fold_left
+               (fun acc f -> if Filename.check_suffix f ".ckpt" then acc + 1 else acc)
+               0 files
+           in
+           let transients =
+             match open_in (Filename.concat path "transients.jsonl") with
+             | exception Sys_error _ -> 0
+             | ic ->
+               let n = ref 0 in
+               (try
+                  while true do
+                    ignore (input_line ic);
+                    incr n
+                  done
+                with End_of_file -> ());
+               close_in ic;
+               !n
+           in
+           Some
+             { ck_machine = String.sub name 5 (String.length name - 5);
+               ck_snapshots = snapshots; ck_transients = transients }
+         end
+         else None)
+  |> List.sort (fun a b -> compare a.ck_machine b.ck_machine)
 
 let stat t =
   let shards = Array.to_list (Array.map Store.stat t.shards) in
@@ -229,6 +271,7 @@ let stat t =
     sh_hits = hits;
     sh_misses = misses;
     sh_joins = joins;
+    sh_ckpts = ckpt_stats_of_dir t.dir;
   }
 
 (* Same conventions as Store.stat_json / Diag.to_json: every field
@@ -244,6 +287,16 @@ let stat_fields s =
     ("misses", Json.N (float_of_int s.sh_misses));
     ("inflight_joins", Json.N (float_of_int s.sh_joins));
     ("per_shard", Json.A (List.map (fun st -> Json.O (Store.stat_fields st)) s.sh_shards));
+    ( "ckpt_dirs",
+      Json.A
+        (List.map
+           (fun c ->
+             Json.O
+               [ ("machine", Json.S c.ck_machine);
+                 ("snapshots", Json.N (float_of_int c.ck_snapshots));
+                 ("transients", Json.N (float_of_int c.ck_transients));
+               ])
+           s.sh_ckpts) );
   ]
 
 let stat_json s = Json.render (stat_fields s)

@@ -72,6 +72,14 @@ val evict : ?max_bytes:int -> ?max_age:float -> now:float -> t -> int
 (** Apply {!Store.evict} shard by shard; [max_bytes] is a whole-store
     budget split evenly across shards.  Returns entries dropped. *)
 
+type ckpt_stat = {
+  ck_machine : string;  (** from the [ckpt-<machine>] directory name *)
+  ck_snapshots : int;  (** persisted [<key>.ckpt] warm-state blobs *)
+  ck_transients : int;  (** lines in [transients.jsonl] *)
+}
+(** Persisted warm-state checkpoints the serve daemon keeps next to the
+    shards — the state a restart reloads instead of re-warming. *)
+
 type stat = {
   sh_dir : string;
   sh_shards : Store.stat list;  (** in shard order *)
@@ -82,14 +90,16 @@ type stat = {
   sh_hits : int;
   sh_misses : int;
   sh_joins : int;
+  sh_ckpts : ckpt_stat list;  (** sorted by machine name *)
 }
 
 val stat : t -> stat
 
 val stat_fields : stat -> (string * Store.Json.value) list
 (** Flat summary fields plus a ["per_shard"] array of per-shard
-    {!Store.stat_fields} objects — same always-present-fields convention
-    as [Diag.to_json]. *)
+    {!Store.stat_fields} objects and a ["ckpt_dirs"] array of persisted
+    checkpoint summaries — same always-present-fields convention as
+    [Diag.to_json]. *)
 
 val stat_json : stat -> string
 

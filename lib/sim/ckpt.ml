@@ -28,8 +28,11 @@ module Store = Ifko_store.Store
 module Config = Ifko_machine.Config
 module Memsys = Ifko_machine.Memsys
 
-let schema = 1
+(* schema 2: Cache snapshots gained the sparse representation, which
+   changes the Marshal layout of persisted .ckpt files *)
+let schema = 2
 let meta_file = "store.meta"
+let transient_file = "transients.jsonl"
 
 type t = {
   dir : string option;
@@ -37,17 +40,35 @@ type t = {
   geometry : string;  (* digest of Config.geometry *)
   tbl : (string, Memsys.snapshot * float) Hashtbl.t;
   transients : (string, float) Hashtbl.t;
-      (* per-(warm state, code) scalars — session-only, never persisted:
-         recomputing one costs two short windows, and keeping them out
-         of the files keeps the snapshots pure machine state *)
+      (* per-(warm state, code) scalars — persisted as JSON lines next
+         to the snapshots (%.17g round-trips every finite double), so a
+         daemon restart does not repay every candidate's companion
+         rate window; guarded by the same store.meta as the snapshots *)
+  int_memo : (string, int) Hashtbl.t;
+      (* session-only derived ints (the sampled timer's window-lo page
+         geometry), keyed by kernel fingerprint *)
+  masters : (string, Env.master) Hashtbl.t;
+      (* session-only pristine environment images, keyed by
+         (kernel, element count) — see Env.capture *)
   mutex : Mutex.t;
   mutable n_hit : int;  (* answered from memory *)
   mutable n_disk : int;  (* answered from a persisted snapshot *)
   mutable n_miss : int;  (* fresh warm-ups *)
   mutable n_inval : int;  (* persisted snapshot sets discarded on open *)
+  mutable n_thit : int;  (* transients answered from the memo *)
+  mutable n_tmiss : int;  (* transients that had to be measured *)
+  mutable n_tload : int;  (* transients preloaded from disk on open *)
 }
 
-type stats = { hits : int; disk_loads : int; misses : int; invalidated : int }
+type stats = {
+  hits : int;
+  disk_loads : int;
+  misses : int;
+  invalidated : int;
+  transient_hits : int;
+  transient_misses : int;
+  transients_loaded : int;
+}
 
 let meta_line t =
   Store.Json.render
@@ -78,14 +99,59 @@ let snapshot_files dir =
   Sys.readdir dir |> Array.to_list
   |> List.filter (fun f -> Filename.check_suffix f ".ckpt")
 
-(* Wipe every persisted snapshot: the meta told us they were produced
-   under a different schema or machine geometry (or the meta itself is
-   missing/corrupt, in which case nothing vouches for them). *)
+(* Wipe every persisted snapshot (and the transient memo derived from
+   them): the meta told us they were produced under a different schema
+   or machine geometry (or the meta itself is missing/corrupt, in
+   which case nothing vouches for them). *)
 let wipe t dir =
   List.iter
     (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
     (snapshot_files dir);
+  (try Sys.remove (Filename.concat dir transient_file) with Sys_error _ -> ());
   t.n_inval <- t.n_inval + 1
+
+(* Transients persist as append-only JSON lines {"key":...,"v":...}.
+   Duplicate keys are possible (concurrent writers race benignly on
+   deterministic values); the last line wins, matching the in-memory
+   replace semantics. *)
+let load_transients t dir =
+  let path = Filename.concat dir transient_file in
+  if Sys.file_exists path then
+    try
+      In_channel.with_open_text path (fun ic ->
+          let rec go () =
+            match In_channel.input_line ic with
+            | None -> ()
+            | Some line ->
+                (match Store.Json.parse line with
+                | fields -> (
+                    match (Store.Json.str fields "key", Store.Json.num fields "v") with
+                    | Some k, Some v ->
+                        Hashtbl.replace t.transients k v;
+                        t.n_tload <- t.n_tload + 1
+                    | _ -> ())
+                | exception _ -> ());
+                go ()
+          in
+          go ())
+    with Sys_error _ -> ()
+
+let append_transient t ~key v =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      try
+        let path = Filename.concat dir transient_file in
+        Out_channel.with_open_gen
+          [ Open_append; Open_creat; Open_wronly ]
+          0o644 path
+          (fun oc ->
+            Out_channel.output_string oc
+              (Store.Json.render [ ("key", Store.Json.S key); ("v", Store.Json.N v) ]);
+            Out_channel.output_char oc '\n')
+      with Sys_error _ -> ())
+(* best-effort like the snapshots: a failed write costs one future
+   companion window *)
 
 let create ?dir ~cfg () =
   let geometry = Store.digest [ "ckpt-geometry"; Config.geometry cfg ] in
@@ -96,11 +162,16 @@ let create ?dir ~cfg () =
       geometry;
       tbl = Hashtbl.create 16;
       transients = Hashtbl.create 16;
+      int_memo = Hashtbl.create 8;
+      masters = Hashtbl.create 8;
       mutex = Mutex.create ();
       n_hit = 0;
       n_disk = 0;
       n_miss = 0;
       n_inval = 0;
+      n_thit = 0;
+      n_tmiss = 0;
+      n_tload = 0;
     }
   in
   (match dir with
@@ -113,9 +184,13 @@ let create ?dir ~cfg () =
         | Some _ | None | (exception Sys_error _) -> false
       in
       if not meta_ok then begin
-        if snapshot_files dir <> [] then wipe t dir;
+        if
+          snapshot_files dir <> []
+          || Sys.file_exists (Filename.concat dir transient_file)
+        then wipe t dir;
         write_meta t dir
-      end);
+      end
+      else load_transients t dir);
   t
 
 let key t ~kernel ~context ~n =
@@ -193,17 +268,59 @@ let with_state t ~key ms ~warm =
 let find_transient t ~key =
   Mutex.lock t.mutex;
   let v = Hashtbl.find_opt t.transients key in
+  (match v with
+  | Some _ -> t.n_thit <- t.n_thit + 1
+  | None -> t.n_tmiss <- t.n_tmiss + 1);
   Mutex.unlock t.mutex;
   v
 
 let set_transient t ~key v =
   Mutex.lock t.mutex;
   Hashtbl.replace t.transients key v;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  append_transient t ~key v
 (* concurrent misses on one key both compute the same deterministic
    value, so last-write-wins is benign — same argument as with_state *)
 
+(* The two session-only memos below share the deterministic-value
+   argument: [f] is a pure function of the key, so racing computations
+   agree and last-write-wins loses nothing.  [f] runs outside the lock
+   (it builds environments). *)
+let int_memo t ~key f =
+  Mutex.lock t.mutex;
+  let v = Hashtbl.find_opt t.int_memo key in
+  Mutex.unlock t.mutex;
+  match v with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      Mutex.lock t.mutex;
+      Hashtbl.replace t.int_memo key v;
+      Mutex.unlock t.mutex;
+      v
+
+let master_memo t ~key f =
+  Mutex.lock t.mutex;
+  let v = Hashtbl.find_opt t.masters key in
+  Mutex.unlock t.mutex;
+  match v with
+  | Some m -> m
+  | None ->
+      let m = f () in
+      Mutex.lock t.mutex;
+      Hashtbl.replace t.masters key m;
+      Mutex.unlock t.mutex;
+      m
+
 let stats t =
-  { hits = t.n_hit; disk_loads = t.n_disk; misses = t.n_miss; invalidated = t.n_inval }
+  {
+    hits = t.n_hit;
+    disk_loads = t.n_disk;
+    misses = t.n_miss;
+    invalidated = t.n_inval;
+    transient_hits = t.n_thit;
+    transient_misses = t.n_tmiss;
+    transients_loaded = t.n_tload;
+  }
 
 let geometry_digest t = t.geometry

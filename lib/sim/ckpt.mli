@@ -25,6 +25,9 @@ type stats = {
   disk_loads : int;  (** warm states answered from a persisted snapshot *)
   misses : int;  (** fresh warm-ups run (then captured) *)
   invalidated : int;  (** persisted snapshot sets discarded on open *)
+  transient_hits : int;  (** resume-transients answered from the memo *)
+  transient_misses : int;  (** resume-transients that had to be measured *)
+  transients_loaded : int;  (** transients preloaded from disk on open *)
 }
 
 val create : ?dir:string -> cfg:Ifko_machine.Config.t -> unit -> t
@@ -52,14 +55,29 @@ val with_state :
 val find_transient : t -> key:string -> float option
 (** Look up a per-(warm state, compiled code) scalar — the sampled
     timer memoizes each candidate's resume-transient here, keyed by
-    (snapshot key, code digest), so one tune prices each distinct
-    candidate's restart cost exactly once.  Session-only: transients
-    are never persisted (recomputing one costs two short windows,
-    and the snapshot files stay pure machine state). *)
+    (snapshot key, code digest), so each distinct candidate's restart
+    cost is priced exactly once.  With a persistence [dir], transients
+    reload on open (from [transients.jsonl], %.17g round-trip exact),
+    so a daemon restart does not repay every companion rate window;
+    the file lives under the same [store.meta] guard as the snapshots
+    and is wiped with them. *)
 
 val set_transient : t -> key:string -> float -> unit
-(** Record a transient.  Values are deterministic functions of their
-    key, so concurrent writers racing on one key are benign. *)
+(** Record a transient (appending to [transients.jsonl] when
+    persistent).  Values are deterministic functions of their key, so
+    concurrent writers racing on one key are benign. *)
+
+val int_memo : t -> key:string -> (unit -> int) -> int
+(** Session-only memo for derived integers (the sampled timer's
+    per-kernel window page geometry, which otherwise costs an
+    environment build per measurement).  [f] must be a pure function
+    of [key]; it runs outside the lock, and racing computations are
+    benign. *)
+
+val master_memo : t -> key:string -> (unit -> Env.master) -> Env.master
+(** Session-only memo for pristine environment images (see
+    {!Env.capture}), keyed by (kernel fingerprint, element count).
+    Same purity contract as {!int_memo}. *)
 
 val stats : t -> stats
 val geometry_digest : t -> string

@@ -15,14 +15,49 @@ type t = {
 
 let stack_bytes = 4096
 
+(* Size-keyed pool of zeroed backing buffers.  Building an environment
+   used to allocate (and fault in) a fresh multi-hundred-KB Bytes.t per
+   measurement; recycling them through a pool turns that into a memset.
+   Invariant: every pooled buffer is all-zero — [release] scrubs the
+   whole buffer, not just [0, cursor), because the simulator only
+   bounds-checks accesses against the buffer length, so a stray
+   (kernel-authored) access past the allocation cursor must read the
+   same bytes a fresh buffer holds.  Thread-safe: timer measurements
+   run concurrently on the probe pool. *)
+let pool_mutex = Mutex.create ()
+let buf_pools : (int, Bytes.t list ref) Hashtbl.t = Hashtbl.create 7
+let max_pooled_buffers = 32
+
+let take_buffer mem_bytes =
+  Mutex.lock pool_mutex;
+  let buf =
+    match Hashtbl.find_opt buf_pools mem_bytes with
+    | Some ({ contents = b :: rest } as cell) ->
+      cell := rest;
+      Some b
+    | _ -> None
+  in
+  Mutex.unlock pool_mutex;
+  match buf with Some b -> b | None -> Bytes.make mem_bytes '\000'
+
 let create ?(mem_bytes = 4 * 1024 * 1024) () =
   {
-    memory = Bytes.make mem_bytes '\000';
+    memory = take_buffer mem_bytes;
     stack = 64;
     cursor = 64 + stack_bytes;
     array_count = 0;
     table = Hashtbl.create 8;
   }
+
+let release t =
+  let len = Bytes.length t.memory in
+  Bytes.fill t.memory 0 len '\000';
+  Hashtbl.reset t.table;
+  Mutex.lock pool_mutex;
+  (match Hashtbl.find_opt buf_pools len with
+  | Some cell -> if List.length !cell < max_pooled_buffers then cell := t.memory :: !cell
+  | None -> Hashtbl.add buf_pools len (ref [ t.memory ]));
+  Mutex.unlock pool_mutex
 
 let mem t = t.memory
 let stack_base t = t.stack
@@ -114,6 +149,41 @@ let advance t ~elems =
              })
       | b -> Some b)
     t.table
+
+(* Pristine-image masters.  A timer spec's [make_env] draws its fill
+   values from a stateful RNG shared across arrays, so re-filling pages
+   lazily (or per-array) would reorder the draws and change the data.
+   Instead the timers build the spec's env once, [capture] its pristine
+   image — every byte written so far lives in [0, cursor) — and
+   [materialize] later copies that image into a pooled zeroed buffer of
+   the same size.  Bytes beyond the cursor are zero in both the fresh
+   and the materialized env, so the two are indistinguishable to the
+   simulator, at the cost of one blit instead of re-running the fills
+   (and, for BLAS, re-consuming the vector memo). *)
+type master = {
+  m_image : Bytes.t;
+  m_bindings : (string * binding) list;
+  m_cursor : int;
+  m_array_count : int;
+  m_mem_bytes : int;
+}
+
+let capture t =
+  {
+    m_image = Bytes.sub t.memory 0 t.cursor;
+    m_bindings = bindings t;
+    m_cursor = t.cursor;
+    m_array_count = t.array_count;
+    m_mem_bytes = Bytes.length t.memory;
+  }
+
+let materialize m =
+  let t = create ~mem_bytes:m.m_mem_bytes () in
+  Bytes.blit m.m_image 0 t.memory 0 (Bytes.length m.m_image);
+  List.iter (fun (k, v) -> Hashtbl.replace t.table k v) m.m_bindings;
+  t.cursor <- m.m_cursor;
+  t.array_count <- m.m_array_count;
+  t
 
 let iter_array_lines t ~line f =
   Hashtbl.iter

@@ -17,7 +17,34 @@ type t
 
 val create : ?mem_bytes:int -> unit -> t
 (** Fresh environment; default memory size fits the paper's N=80000
-    double-precision workloads with room to spare. *)
+    double-precision workloads with room to spare.  The backing buffer
+    may come from a pool of recycled buffers ({!release}); either way
+    it is all-zero, so pooling is unobservable. *)
+
+val release : t -> unit
+(** Scrub the environment's backing buffer to zero and return it to
+    the buffer pool for a later {!create} / {!materialize} of the same
+    [mem_bytes].  The environment must not be used afterwards.  The
+    whole buffer is scrubbed — not just the allocated prefix — so a
+    recycled buffer is byte-identical to a fresh one even past the
+    allocation cursor. *)
+
+type master
+(** An immutable pristine image of an environment: its written prefix,
+    bindings and allocation state.  Capture once per (spec, n), then
+    {!materialize} per measurement instead of re-running the spec's
+    fills. *)
+
+val capture : t -> master
+(** Must be called while the environment is pristine (no kernel has
+    run in it yet), so that every written byte lies below the
+    allocation cursor. *)
+
+val materialize : master -> t
+(** A new environment observably identical to the one [capture] saw:
+    pooled zeroed buffer of the same size, image blitted back,
+    bindings and cursor restored.  Release it with {!release} when the
+    measurement is done. *)
 
 val mem : t -> Bytes.t
 val stack_base : t -> int

@@ -846,6 +846,7 @@ type cblock = {
 
 type compiled = {
   c_func : Cfg.func;
+  c_digest : string;  (* of the rendered CFG; computed once at compile *)
   c_blocks : cblock array;
   c_entry : int;
   c_rets : Reg.t option array;  (* terminator code [-1 - k] returns [c_rets.(k)] *)
@@ -854,6 +855,7 @@ type compiled = {
 }
 
 let func c = c.c_func
+let digest c = c.c_digest
 
 let fusion c =
   let instrs = Array.fold_left (fun acc b -> acc + b.c_len) 0 c.c_blocks in
@@ -1995,6 +1997,7 @@ let compile (f : Cfg.func) : compiled =
   in
   {
     c_func = f;
+    c_digest = Digest.to_hex (Digest.string (Cfg.to_string f));
     c_blocks = cblocks;
     c_entry = centry;
     c_rets = Array.of_list (List.rev !rets);

@@ -50,6 +50,12 @@ val compile : Cfg.func -> compiled
 val func : compiled -> Cfg.func
 (** The function a {!compiled} was decoded from. *)
 
+val digest : compiled -> string
+(** Hex digest of the rendered CFG, computed once at {!compile} —
+    callers that key caches by compiled code (the sampled timer's
+    resume-transient memo) use this instead of re-rendering the
+    function per measurement. *)
+
 val fusion : compiled -> int * int
 (** [(blocks, instrs)]: how many straight-line bodies were fused into
     superblock closures and how many instructions they cover.  The

@@ -29,10 +29,20 @@
     exactly, and the transient is memoized so every later measurement
     needs only the short window.  Per-probe simulated work drops from
     [sample_lo + sample_hi] elements to three pages in the steady
-    state.  A bit-identity escape hatch reverts to full fidelity and
-    records the reason whenever a confidence check fails: no array
-    operands, an in-L2 context, tiny N, non-positive window cycles, or
-    a steady rate inconsistent with the cold window
+    state.
+
+    The in-L2 context is served by a cache-resident variant of the
+    same scheme: the warm-up installs the window environment's lines
+    in L2 first (exactly as the full in-L2 path installs the whole
+    working set) and windows use raw cycles with no writeback charges,
+    matching the full path's conventions.  It applies only while the
+    full working set fits in L2 — beyond capacity the measurement
+    falls back with reason ["in-l2-context"].
+
+    A bit-identity escape hatch reverts to full fidelity and records
+    the reason whenever a confidence check fails: no array operands,
+    an over-capacity in-L2 working set, tiny N, non-positive window
+    cycles, or a steady rate inconsistent with the cold window
     (["no-steady-state"]).  Callers that need the error budget enforced
     per kernel calibrate one point both ways first — see
     [Driver.tune]. *)
@@ -132,3 +142,24 @@ val sampled_rate_pages : int
 val mflops :
   cfg:Ifko_machine.Config.t -> flops_per_n:float -> n:int -> cycles:float -> float
 (** Convert cycles to the MFLOPS the paper reports. *)
+
+(** {2 Wall-time attribution}
+
+    Setup-vs-simulate breakdown of measurement wall time, for
+    [bench --profile] and [ifko sim --profile]: the sampled fidelity's
+    wall-clock win depends on the fixed per-measure floor (machine
+    acquire, environment materialize, warm-state restore), and this
+    instrument makes a floor regression visible.  Disabled by default
+    (no clock reads on the hot path); safe across domains. *)
+
+type attribution = {
+  at_arena_s : float;  (** acquiring/releasing pooled machines *)
+  at_env_s : float;  (** building, materializing and scrubbing environments *)
+  at_restore_s : float;  (** snapshot capture/restore and warm-state plumbing *)
+  at_exec_s : float;  (** inside [Exec.exec] — the actual simulation *)
+  at_measures : int;  (** measurements attributed *)
+}
+
+val profile_enable : bool -> unit
+val profile_reset : unit -> unit
+val profile : unit -> attribution

@@ -192,6 +192,40 @@ let test_stale_meta_invalidates () =
       Alcotest.(check int) "counted as a miss" 1
         (Ifko_sim.Ckpt.stats c2).Ifko_sim.Ckpt.misses)
 
+let test_transients_disk_round_trip () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let c1 = Ifko_sim.Ckpt.create ~dir ~cfg () in
+      (* keys mimic the sampled timer's snap_key ^ ":" ^ code_digest *)
+      Ifko_sim.Ckpt.set_transient c1 ~key:"warm:cand-a" 12.625;
+      Ifko_sim.Ckpt.set_transient c1 ~key:"warm:cand-b" (-3.0e-7);
+      (* a value that needs the full %.17g precision to round-trip *)
+      Ifko_sim.Ckpt.set_transient c1 ~key:"warm:cand-c" (1.0 /. 3.0);
+      (* a second cache over the same directory preloads them *)
+      let c2 = Ifko_sim.Ckpt.create ~dir ~cfg () in
+      Alcotest.(check int) "three transients reloaded" 3
+        (Ifko_sim.Ckpt.stats c2).Ifko_sim.Ckpt.transients_loaded;
+      Alcotest.(check (option (float 0.0))) "value a survives the disk"
+        (Some 12.625)
+        (Ifko_sim.Ckpt.find_transient c2 ~key:"warm:cand-a");
+      Alcotest.(check (option (float 0.0))) "value b survives the disk"
+        (Some (-3.0e-7))
+        (Ifko_sim.Ckpt.find_transient c2 ~key:"warm:cand-b");
+      Alcotest.(check (option (float 0.0))) "%.17g round-trip is exact"
+        (Some (1.0 /. 3.0))
+        (Ifko_sim.Ckpt.find_transient c2 ~key:"warm:cand-c");
+      Alcotest.(check int) "reloads answer as transient hits" 3
+        (Ifko_sim.Ckpt.stats c2).Ifko_sim.Ckpt.transient_hits;
+      (* the memo lives under the store.meta guard: a geometry change
+         wipes it with the snapshots *)
+      let c3 = Ifko_sim.Ckpt.create ~dir ~cfg:Config.opteron () in
+      Alcotest.(check int) "geometry change drops the transients" 0
+        (Ifko_sim.Ckpt.stats c3).Ifko_sim.Ckpt.transients_loaded;
+      Alcotest.(check (option (float 0.0))) "no stale transient survives" None
+        (Ifko_sim.Ckpt.find_transient c3 ~key:"warm:cand-a"))
+
 (* ---------- sampled fidelity ---------- *)
 
 let measure_ext ?fidelity ?ckpt ~context ~n cf =
@@ -277,13 +311,45 @@ let test_sampled_fallbacks () =
   let full = measure_ext ~context:Ifko_sim.Timer.Out_of_cache ~n:1024 cf in
   Alcotest.(check (float 0.0)) "fallback is bit-identical to full"
     full.Ifko_sim.Timer.m_cycles tiny.Ifko_sim.Timer.m_cycles;
-  (* the in-L2 context has no steady-state window model *)
+  (* small in-L2 problems hit the tiny-n hatch like out-of-cache ones *)
   let l2 = measure_ext ~fidelity:Ifko_sim.Timer.Sampled ~context:Ifko_sim.Timer.In_l2 ~n:1024 cf in
-  Alcotest.(check (option string)) "in-L2 reason" (Some "in-l2-context")
+  Alcotest.(check (option string)) "in-L2 tiny reason" (Some "tiny-n")
     l2.Ifko_sim.Timer.m_fallback;
   let l2_full = measure_ext ~context:Ifko_sim.Timer.In_l2 ~n:1024 cf in
   Alcotest.(check (float 0.0)) "in-L2 fallback is bit-identical"
-    l2_full.Ifko_sim.Timer.m_cycles l2.Ifko_sim.Timer.m_cycles
+    l2_full.Ifko_sim.Timer.m_cycles l2.Ifko_sim.Timer.m_cycles;
+  (* an in-L2 working set over L2 capacity cannot use the
+     cache-resident window scheme: ddot double at n=80000 is 1.28 MB
+     against the P4E's 1 MB L2 *)
+  let l2_big =
+    measure_ext ~fidelity:Ifko_sim.Timer.Sampled ~context:Ifko_sim.Timer.In_l2 ~n:80000 cf
+  in
+  Alcotest.(check (option string)) "in-L2 capacity reason" (Some "in-l2-context")
+    l2_big.Ifko_sim.Timer.m_fallback;
+  let l2_big_full = measure_ext ~context:Ifko_sim.Timer.In_l2 ~n:80000 cf in
+  Alcotest.(check (float 0.0)) "in-L2 capacity fallback is bit-identical"
+    l2_big_full.Ifko_sim.Timer.m_cycles l2_big.Ifko_sim.Timer.m_cycles
+
+(* the cache-resident window scheme: an in-L2 working set that fits L2
+   (ddot double at n=40000 is 640 KB against the P4E's 1 MB L2) is
+   sampled rather than falling back, and stays inside the same 1%
+   accuracy budget as the out-of-cache path *)
+let test_sampled_in_l2_accuracy () =
+  let _, cf = compiled_default ddot in
+  let full = measure_ext ~context:Ifko_sim.Timer.In_l2 ~n:40000 cf in
+  let s = measure_ext ~fidelity:Ifko_sim.Timer.Sampled ~context:Ifko_sim.Timer.In_l2 ~n:40000 cf in
+  Alcotest.(check (option string)) "no fallback when the set fits L2" None
+    s.Ifko_sim.Timer.m_fallback;
+  Alcotest.(check bool) "measured at sampled fidelity" true
+    (s.Ifko_sim.Timer.m_fidelity = Ifko_sim.Timer.Sampled);
+  let err =
+    Float.abs (s.Ifko_sim.Timer.m_cycles -. full.Ifko_sim.Timer.m_cycles)
+    /. full.Ifko_sim.Timer.m_cycles
+  in
+  if err > 0.01 then
+    Alcotest.failf "in-L2 sampled error %.2f%% exceeds the 1%% budget" (100.0 *. err);
+  Alcotest.(check bool) "sampled simulates less work than full" true
+    (s.Ifko_sim.Timer.m_elems < full.Ifko_sim.Timer.m_elems)
 
 let test_l2_ckpt_bit_identity () =
   let _, cf = compiled_default ddot in
@@ -352,7 +418,9 @@ let suite =
     Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;
     Alcotest.test_case "geometry change invalidates" `Quick test_geometry_change_invalidates;
     Alcotest.test_case "stale meta invalidates" `Quick test_stale_meta_invalidates;
+    Alcotest.test_case "transients disk round trip" `Quick test_transients_disk_round_trip;
     Alcotest.test_case "sampled accuracy" `Quick test_sampled_accuracy;
+    Alcotest.test_case "sampled in-L2 accuracy" `Quick test_sampled_in_l2_accuracy;
     Alcotest.test_case "sampled ckpt bit-identity" `Quick test_sampled_ckpt_bit_identity;
     Alcotest.test_case "sampled fallbacks" `Quick test_sampled_fallbacks;
     Alcotest.test_case "in-L2 ckpt bit-identity" `Quick test_l2_ckpt_bit_identity;

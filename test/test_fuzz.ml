@@ -241,6 +241,40 @@ let test_corpus_roundtrip () =
 
 (* ---------- the checked-in corpus ---------- *)
 
+(* The reproducers double as an arena regression suite: timing each
+   through borrowed machines — with the pools warm from the other
+   geometry's traffic — must be bit-identical to a cold-pool replay. *)
+let test_corpus_pooled_replay () =
+  Ifko_machine.Arena.clear ();
+  let time mcfg case =
+    let compiled = compile case.Corpus.kernel in
+    let func = Ifko_search.Driver.compile_point ~cfg:mcfg compiled case.Corpus.params in
+    let cf = Ifko_sim.Exec.compile func in
+    let spec = Ifko_search.Generic.spec ~seed:5 compiled in
+    (Ifko_sim.Timer.measure_ext ~cfg:mcfg ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:600
+       cf)
+      .Ifko_sim.Timer.m_cycles
+  in
+  let replay cases =
+    List.map
+      (fun c -> (time Ifko_machine.Config.p4e c, time Ifko_machine.Config.opteron c))
+      cases
+  in
+  let dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus" in
+  let cases = List.map Corpus.read (Corpus.files ~dir) in
+  Alcotest.(check bool) "corpus is non-empty" true (cases <> []);
+  let cold = replay cases in
+  (* second replay: every acquire recycles an instance the first one
+     left in an arbitrary dirty state *)
+  let warm = replay cases in
+  List.iter2
+    (fun c w ->
+      Alcotest.(check (pair (float 0.0) (float 0.0))) "pooled replay bit-identical" c w)
+    cold warm;
+  let s = Ifko_machine.Arena.stats () in
+  Alcotest.(check bool) "the pool was exercised" true
+    (s.Ifko_machine.Arena.acquires > s.Ifko_machine.Arena.creates)
+
 let replay_cases =
   List.map
     (fun path ->
@@ -260,5 +294,7 @@ let suite =
     Alcotest.test_case "shrinker idempotent" `Quick test_shrink_idempotent;
     Alcotest.test_case "oracle ULP boundaries" `Quick test_ulp_boundaries;
     Alcotest.test_case "canonical params roundtrip" `Quick test_canonical_roundtrip;
-    Alcotest.test_case "corpus file roundtrip" `Quick test_corpus_roundtrip ]
+    Alcotest.test_case "corpus file roundtrip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "corpus replay through pooled arenas" `Quick
+      test_corpus_pooled_replay ]
   @ replay_cases

@@ -278,6 +278,109 @@ let test_cache_flush_clears_acceleration () =
   done;
   Alcotest.(check (pair int int)) "same stats" (Cache.stats fresh) (Cache.stats reused)
 
+(* ---- machine arena pooling ----
+
+   The pool's contract is deliberately loose — [release] does not clean
+   and [acquire] may return an instance holding arbitrary prior state —
+   so these tests drive the exact caller protocol (reset or restore
+   before first use) and check bit-identity against fresh construction. *)
+
+(* A deterministic mixed workload: strided loads/stores/prefetches over
+   a few arrays, returning a trace (sum of completion times) plus the
+   profile counters — any divergence in cache/bus/MSHR state shows up
+   in one of them. *)
+let drive ms =
+  let now = ref 0.0 and acc = ref 0.0 in
+  for i = 0 to 799 do
+    let addr = 4096 + (i * 24 mod 16384) in
+    (match i land 3 with
+    | 0 | 1 -> acc := !acc +. Memsys.load ms ~addr ~now:!now
+    | 2 -> Memsys.store ms ~addr:(32768 + (i * 64 mod 8192)) ~now:!now
+    | _ -> Memsys.prefetch ms ~kind:Instr.T0 ~addr:(addr + 4096) ~now:!now);
+    now := !now +. 1.5
+  done;
+  let p = Memsys.profile ms in
+  ( !acc +. Memsys.pending_writeback_cost ms +. Memsys.drain_time ms ~now:!now,
+    ((p.Memsys.l1_hits, p.Memsys.l1_misses), (p.Memsys.l2_hits, p.Memsys.l2_misses)) )
+
+let fresh_trace cfg =
+  let ms = Memsys.create cfg in
+  Memsys.reset ms ~flush:true;
+  drive ms
+
+let test_arena_reuse_interleaved () =
+  Arena.clear ();
+  let want_p4e = fresh_trace Config.p4e in
+  let want_opt = fresh_trace Config.opteron in
+  (* interleave the two geometries so each release/acquire pair hands
+     back an instance dirtied by the previous round *)
+  for round = 1 to 4 do
+    List.iter
+      (fun (cfg, want) ->
+        let ms = Arena.acquire cfg in
+        Memsys.reset ms ~flush:true;
+        let got = drive ms in
+        Alcotest.(check (pair (float 0.0) (pair (pair int int) (pair int int))))
+          (Printf.sprintf "round %d %s identical to fresh" round cfg.Config.name)
+          want got;
+        Arena.release ms)
+      [ (Config.p4e, want_p4e); (Config.opteron, want_opt) ]
+  done;
+  let s = Arena.stats () in
+  Alcotest.(check int) "acquires" 8 s.Arena.acquires;
+  Alcotest.(check int) "one instance created per geometry" 2 s.Arena.creates
+
+(* A run that traps mid-flight releases a half-driven machine back to
+   the pool; the next borrower's reset must erase every trace of it. *)
+let test_arena_reset_after_trap () =
+  Arena.clear ();
+  let want = fresh_trace Config.p4e in
+  (match
+     Arena.with_machine Config.p4e (fun ms ->
+         Memsys.reset ms ~flush:true;
+         for i = 0 to 99 do
+           ignore (Memsys.load ms ~addr:(i * 64) ~now:(float_of_int i) : float)
+         done;
+         failwith "trap")
+   with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected the trap to propagate");
+  let ms = Arena.acquire Config.p4e in
+  Memsys.reset ms ~flush:true;
+  Alcotest.(check (pair (float 0.0) (pair (pair int int) (pair int int))))
+    "post-trap borrower identical to fresh" want (drive ms);
+  Arena.release ms;
+  Alcotest.(check int) "the trapped instance was pooled" 1 (Arena.stats ()).Arena.creates
+
+(* Restore targets may hold arbitrary prior contents of the same
+   geometry (the pool hands them out that way): a snapshot applied over
+   a dirty instance must continue exactly like one applied to a fresh
+   instance. *)
+let test_restore_into_used_instance () =
+  let cfg = Config.p4e in
+  let warm = Memsys.create cfg in
+  Memsys.reset warm ~flush:true;
+  ignore (drive warm);
+  let snap = Memsys.snapshot warm in
+  let cont ms = drive ms in
+  let into_fresh =
+    let ms = Memsys.create cfg in
+    Memsys.restore ms snap;
+    cont ms
+  in
+  let into_used =
+    let ms = Memsys.create cfg in
+    Memsys.reset ms ~flush:true;
+    (* different touched set and clock state than the snapshot *)
+    for i = 0 to 499 do
+      ignore (Memsys.load ms ~addr:(65536 + (i * 72 mod 32768)) ~now:(float_of_int i))
+    done;
+    Memsys.restore ms snap;
+    cont ms
+  in
+  Alcotest.(check (pair (float 0.0) (pair (pair int int) (pair int int))))
+    "restore over dirty state continues identically" into_fresh into_used
+
 let suite =
   [ Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache geometry validation" `Quick test_cache_geometry_validation;
@@ -297,4 +400,8 @@ let suite =
     Alcotest.test_case "warm L2" `Quick test_warm_l2;
     Alcotest.test_case "pending writebacks" `Quick test_pending_writeback_cost;
     Alcotest.test_case "elems per line" `Quick test_elems_per_line;
+    Alcotest.test_case "arena reuse across interleaved geometries" `Quick
+      test_arena_reuse_interleaved;
+    Alcotest.test_case "arena reset after trap" `Quick test_arena_reset_after_trap;
+    Alcotest.test_case "restore into used instance" `Quick test_restore_into_used_instance;
   ]

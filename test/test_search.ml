@@ -283,6 +283,91 @@ let test_store_invalidation_on_kernel_edit () =
         (Ifko_store.Store.misses st);
       Ifko_store.Store.close st)
 
+(* ---- the compile-once probe cache ---- *)
+
+module Codecache = Ifko_search.Codecache
+
+let cc_result_tag = function
+  | Codecache.Illegal -> "illegal"
+  | Codecache.Test_failed -> "test-failed"
+  | Codecache.Compiled _ -> "compiled"
+
+let test_codecache_dedup () =
+  let cc = Codecache.create () in
+  let k r = Codecache.key ~kernel:"dot-v1" ~machine:"P4E" ~params:r ~check:false ~seed:7 in
+  Alcotest.(check bool) "check flag changes the key" false
+    (Codecache.key ~kernel:"k" ~machine:"m" ~params:"p" ~check:true ~seed:7
+    = Codecache.key ~kernel:"k" ~machine:"m" ~params:"p" ~check:false ~seed:7);
+  Alcotest.(check bool) "seed changes the key" false
+    (Codecache.key ~kernel:"k" ~machine:"m" ~params:"p" ~check:false ~seed:7
+    = Codecache.key ~kernel:"k" ~machine:"m" ~params:"p" ~check:false ~seed:8);
+  let runs = ref 0 in
+  let compute r () = incr runs; r in
+  (* every result constructor is cached, including the failures — an
+     illegal or test-failed point must not be re-attempted per probe *)
+  let r1 = Codecache.find_or_compile cc ~key:(k "a") (compute Codecache.Illegal) in
+  let r2 = Codecache.find_or_compile cc ~key:(k "a") (compute Codecache.Test_failed) in
+  Alcotest.(check string) "second probe of a hits the cache" (cc_result_tag r1) (cc_result_tag r2);
+  let r3 = Codecache.find_or_compile cc ~key:(k "b") (compute Codecache.Test_failed) in
+  Alcotest.(check string) "distinct params compute fresh" "test-failed" (cc_result_tag r3);
+  Alcotest.(check int) "two computations for two keys" 2 !runs;
+  let s = Codecache.stats cc in
+  Alcotest.(check int) "one hit" 1 s.Codecache.hits;
+  Alcotest.(check int) "two misses" 2 s.Codecache.misses;
+  (* an exception (a pass-check failure must fail the tune) is never
+     cached: the key is released and the next caller computes *)
+  (match Codecache.find_or_compile cc ~key:(k "c") (fun () -> failwith "pass check") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "compute exception must propagate");
+  let r4 = Codecache.find_or_compile cc ~key:(k "c") (compute Codecache.Illegal) in
+  Alcotest.(check string) "failed compute was not cached" "illegal" (cc_result_tag r4)
+
+let test_codecache_single_flight () =
+  let cc = Codecache.create () in
+  let key = Codecache.key ~kernel:"k" ~machine:"m" ~params:"p" ~check:false ~seed:0 in
+  let runs = Atomic.make 0 in
+  let compute () =
+    Atomic.incr runs;
+    Unix.sleepf 0.02;
+    Codecache.Test_failed
+  in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Codecache.find_or_compile cc ~key compute))
+  in
+  let results = List.map Domain.join domains in
+  Alcotest.(check int) "concurrent misses computed once" 1 (Atomic.get runs);
+  List.iter
+    (fun r -> Alcotest.(check string) "every waiter sees the result" "test-failed" (cc_result_tag r))
+    results
+
+let test_driver_codecache_reuse () =
+  let id = { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let spec = Workload.timer_spec id ~seed:13 in
+  let tune ?codecache () =
+    Ifko_search.Driver.tune ?codecache ~seed:13 ~fidelity:Ifko_sim.Timer.Sampled ~cfg
+      ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n:80000 ~flops_per_n:2.0
+      ~test:(fun _ -> true)
+      compiled
+  in
+  let fresh = tune () in
+  let cc = Codecache.create () in
+  let first = tune ~codecache:cc () in
+  let after_first = Codecache.stats cc in
+  let second = tune ~codecache:cc () in
+  let after_second = Codecache.stats cc in
+  Alcotest.(check params_t) "shared cache changes nothing (params)"
+    fresh.Ifko_search.Driver.best_params second.Ifko_search.Driver.best_params;
+  Alcotest.(check (float 0.0)) "shared cache changes nothing (rate)"
+    fresh.Ifko_search.Driver.ifko_mflops second.Ifko_search.Driver.ifko_mflops;
+  Alcotest.(check int) "a repeated tune compiles nothing new"
+    after_first.Codecache.misses after_second.Codecache.misses;
+  Alcotest.(check bool) "a repeated tune hits for every candidate" true
+    (after_second.Codecache.hits >= after_first.Codecache.misses);
+  ignore first
+
 let suite =
   [ Alcotest.test_case "space gating" `Quick test_space_gates;
     Alcotest.test_case "linesearch finds optimum" `Quick test_linesearch_finds_optimum;
@@ -290,4 +375,7 @@ let suite =
     Alcotest.test_case "contributions multiply" `Quick test_linesearch_contributions_multiply;
     Alcotest.test_case "driver improves and verifies" `Slow test_driver_improves_and_verifies;
     Alcotest.test_case "driver rejects wrong answers" `Quick test_driver_rejects_wrong_answers;
+    Alcotest.test_case "codecache dedup and stats" `Quick test_codecache_dedup;
+    Alcotest.test_case "codecache single flight" `Quick test_codecache_single_flight;
+    Alcotest.test_case "driver codecache reuse" `Quick test_driver_codecache_reuse;
   ]

@@ -395,6 +395,58 @@ let test_daemon_tune_deterministic () =
           | Ok (Some _) -> Alcotest.fail "lookup computed a cold result"
           | Error e -> Alcotest.failf "cold lookup failed: %s" e))
 
+(* Two concurrent tunes of one kernel at different problem sizes: the
+   tune-level single-flight cannot merge them (different keys), so any
+   sharing happens in the daemon-wide codecache — candidate params are
+   size-independent, so the batch compiles each candidate once.  The
+   replies must still be bit-identical to sequential, storeless,
+   cache-less local tunes, and the stat reply must surface how much
+   compilation the batch skipped. *)
+let test_daemon_shared_compile_batch () =
+  let seed = 3 and flops_per_n = 2.0 in
+  let n_of i = if i = 0 then 600 else 800 in
+  with_daemon (fun listen ->
+      let replies = Array.make 2 None in
+      let threads =
+        Array.init 2 (fun i ->
+            Thread.create
+              (fun () ->
+                Client.with_client listen (fun c ->
+                    let a =
+                      { (Proto.default_args ~kernel:ddot_src) with Proto.n = n_of i; seed }
+                    in
+                    replies.(i) <- Some (Client.tune c a)))
+              ())
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some (Ok r) ->
+            check_against_reference ddot_src r ~n:(n_of i) ~seed ~flops_per_n
+          | Some (Error e) -> Alcotest.failf "tune %d failed: %s" i e
+          | None -> Alcotest.failf "client %d did not finish" i)
+        replies;
+      Client.with_client listen (fun c ->
+          match Client.stat c with
+          | Error e -> Alcotest.failf "stat failed: %s" e
+          | Ok fields ->
+            let num obj k =
+              match List.assoc_opt obj fields with
+              | Some (Proto.Json.O o) -> (
+                match List.assoc_opt k o with
+                | Some (Proto.Json.N v) -> int_of_float v
+                | _ -> Alcotest.failf "stat field %s.%s missing" obj k)
+              | _ -> Alcotest.failf "stat object %s missing" obj
+            in
+            Alcotest.(check bool) "candidates were compiled" true
+              (num "codecache" "misses" > 0);
+            Alcotest.(check bool) "the sibling tune reused the batch" true
+              (num "codecache" "hits" > 0);
+            (* the warm-state checkpoint counters ride the same reply *)
+            Alcotest.(check bool) "ckpt counters surfaced" true
+              (num "ckpt" "misses" >= 0 && num "ckpt" "hits" >= 0)))
+
 let test_daemon_protocol_errors () =
   with_daemon ~jobs:1 (fun listen ->
       match listen with
@@ -509,6 +561,8 @@ let suite =
     Alcotest.test_case "store: refresh skips torn tail" `Quick test_store_refresh_torn_tail;
     Alcotest.test_case "daemon: concurrent tunes bit-identical" `Quick
       test_daemon_tune_deterministic;
+    Alcotest.test_case "daemon: shared compile batch" `Quick
+      test_daemon_shared_compile_batch;
     Alcotest.test_case "daemon: protocol errors answered" `Quick
       test_daemon_protocol_errors;
     Alcotest.test_case "daemon: replica pair shares results" `Quick

@@ -321,6 +321,53 @@ let test_timer_extrapolation_close () =
     Alcotest.failf "extrapolation error %.1f%% (extrap %.0f vs exact %.0f)" (100.0 *. err)
       extrap exact
 
+let test_env_pool_unobservable () =
+  let e1 = Ifko_sim.Env.create ~mem_bytes:(1 lsl 16) () in
+  Ifko_sim.Env.alloc_array e1 "A" Instr.D 64;
+  Ifko_sim.Env.fill e1 "A" (fun i -> float_of_int i +. 0.5);
+  (* capture a master, dirty the environment further, then release it *)
+  let m = Ifko_sim.Env.capture e1 in
+  Ifko_sim.Env.set_elem e1 "A" 0 99.0;
+  Ifko_sim.Env.release e1;
+  (* a same-size create may recycle e1's buffer and must be all-zero *)
+  let e2 = Ifko_sim.Env.create ~mem_bytes:(1 lsl 16) () in
+  let dirty = ref false in
+  Bytes.iter (fun c -> if c <> '\000' then dirty := true) (Ifko_sim.Env.mem e2);
+  Alcotest.(check bool) "recycled buffer is zeroed" false !dirty;
+  (* materialize restores the captured image, not the later edit *)
+  let e3 = Ifko_sim.Env.materialize m in
+  Alcotest.(check (float 0.0)) "materialized image is the captured one" 0.5
+    (Ifko_sim.Env.get_elem e3 "A" 0);
+  Alcotest.(check (float 0.0)) "full image round-trips" 63.5
+    (Ifko_sim.Env.get_elem e3 "A" 63);
+  Ifko_sim.Env.release e2;
+  Ifko_sim.Env.release e3
+
+let test_pooled_measure_stability () =
+  (* measurements stay bit-identical while the machine arena and the
+     environment pool recycle state underneath them: a full measure, a
+     sampled measure of the same kernel, and a second full measure (on
+     recycled machine + buffers) must agree exactly, across fidelities
+     interleaved in any order *)
+  let id = { Ifko_blas.Defs.routine = Ifko_blas.Defs.Dot; prec = Instr.D } in
+  let compiled = Ifko_blas.Hil_sources.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let params = Ifko_transform.Params.default ~line_bytes:128 (Ifko_analysis.Report.analyze compiled) in
+  let func = Ifko_search.Driver.compile_point ~cfg compiled params in
+  let cf = Ifko_sim.Exec.compile func in
+  let spec = Ifko_blas.Workload.timer_spec id ~seed:5 in
+  let measure fidelity =
+    (Ifko_sim.Timer.measure_ext ~fidelity ~cfg ~context:Ifko_sim.Timer.Out_of_cache ~spec
+       ~n:80000 cf)
+      .Ifko_sim.Timer.m_cycles
+  in
+  let full1 = measure Ifko_sim.Timer.Full in
+  let samp1 = measure Ifko_sim.Timer.Sampled in
+  let full2 = measure Ifko_sim.Timer.Full in
+  let samp2 = measure Ifko_sim.Timer.Sampled in
+  Alcotest.(check (float 0.0)) "full is stable across pool recycling" full1 full2;
+  Alcotest.(check (float 0.0)) "sampled is stable across pool recycling" samp1 samp2
+
 (* ---------- timing-model sanity ---------- *)
 
 let timed_run f =
@@ -432,6 +479,8 @@ let suite =
     Alcotest.test_case "spill roundtrip" `Quick test_spill_roundtrip;
     Alcotest.test_case "environment" `Quick test_env;
     Alcotest.test_case "verify tolerance" `Quick test_verify_tolerance;
+    Alcotest.test_case "env pool unobservable" `Quick test_env_pool_unobservable;
+    Alcotest.test_case "pooled measure stability" `Quick test_pooled_measure_stability;
     Alcotest.test_case "timer extrapolation" `Quick test_timer_extrapolation_close;
     Alcotest.test_case "timing: dependency chains" `Quick test_timing_dependent_chain;
     Alcotest.test_case "timing: mispredicts" `Quick test_timing_mispredict;
