@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test fmt check bench simbench servebench servesmoke fuzz lint-examples
+.PHONY: all build test fmt check bench simbench servebench searchbench servesmoke fuzz lint-examples
 
 all: build
 
@@ -44,6 +44,15 @@ simbench:
 # clears 90%.
 servebench:
 	dune exec bench/main.exe -- --exp servebench --no-store
+
+# Search-strategy race: probes-to-best and best MFLOPS of the line
+# search, the cold surrogate, and the store-warmed surrogate on every
+# BLAS kernel (deterministic simulator — exactly reproducible).  Fails
+# unless the surrogate's probes-to-best geomean stays under 0.6x of
+# linesearch at same-or-better MFLOPS, and warm starts stay under 0.5x
+# of the surrogate's own cold probes-to-best.
+searchbench:
+	dune exec bench/main.exe -- --exp searchbench --no-store
 
 # Tuning-service smoke: daemon on a Unix socket, cold tune, warm
 # lookup (must be a cache hit), stat, graceful shutdown — every step

@@ -853,6 +853,151 @@ let exp_servebench () =
             sv_bit_identical = identical;
           })
 
+(* ---------- searchbench: probes-to-best per search strategy ---------- *)
+
+(* The strategies race on probes-to-best: the 1-based evaluation index
+   at which the tune's final winner was first measured.  Three runs per
+   kernel at the same workpoint — the paper's line search (the
+   baseline), the cold surrogate, and the surrogate warm-started from a
+   donor store holding each kernel's own tune at half the problem size
+   (the canonical warm scenario: "tuned yesterday at another N").  The
+   simulator is deterministic, so every column is exactly reproducible
+   and the gates below cannot flake. *)
+type searchbench_row = {
+  se_kernel : string;
+  se_line_probes : int; (* linesearch probes-to-best *)
+  se_line_evals : int;
+  se_line_best : float; (* MFLOPS *)
+  se_surr_probes : int; (* cold surrogate *)
+  se_surr_evals : int;
+  se_surr_best : float;
+  se_warm_probes : int; (* store-warmed surrogate *)
+  se_warm_evals : int;
+  se_warm_best : float;
+}
+
+let searchbench_rows : searchbench_row list ref = ref []
+let searchbench_n = 2000
+let searchbench_donor_n = 1000
+
+let exp_searchbench () =
+  let cfg = Config.p4e in
+  let context = Ifko_sim.Timer.Out_of_cache in
+  let n = if !quick then 800 else searchbench_n in
+  let donor_n = if !quick then 400 else searchbench_donor_n in
+  (* same tester Eval builds: exact-ish against the reference on sizes
+     that exercise remainder loops *)
+  let make_test id =
+    let sizes = [ 0; 1; 5; 63; 64; 257 ] in
+    fun func ->
+      let cf = Ifko_sim.Exec.compile func in
+      List.for_all
+        (fun n ->
+          let env = Workload.make_env id ~seed:(seed + 1) n in
+          let expect = Workload.expectation id ~seed:(seed + 1) n in
+          let tol = Workload.tolerance id ~n in
+          Ifko_sim.Verify.check_compiled ~tol ~ret_fsize:id.Defs.prec cf env expect = Ok ())
+        sizes
+  in
+  let tune ?strategy ?(warm_start = false) ?donors ?store id ~n =
+    let compiled = Hil_sources.compile id in
+    let spec = Workload.timer_spec id ~seed in
+    Ifko_search.Driver.tune ?strategy ~warm_start ?donors ?store ~jobs:!jobs ~seed ~cfg
+      ~context ~spec ~n
+      ~flops_per_n:(Defs.flops_per_n id.Defs.routine)
+      ~test:(make_test id) compiled
+  in
+  (* donor phase: a line-search tune of every kernel at donor_n,
+     journaled into a throwaway store — Driver.tune records a
+     tune-level entry (winner + analysis fingerprint) for each *)
+  let store_file = Filename.temp_file "ifko_searchbench" ".jsonl" in
+  let dstore = Ifko_store.Store.open_ ~seed store_file in
+  let donors =
+    Fun.protect
+      ~finally:(fun () ->
+        Ifko_store.Store.close dstore;
+        Sys.remove store_file)
+      (fun () ->
+        Printf.printf "Donor store: line-search tunes at N=%d\n%!" donor_n;
+        List.iter
+          (fun id -> ignore (tune ~store:dstore id ~n:donor_n : Ifko_search.Driver.tuned))
+          (kernels ());
+        Ifko_search.Warmstart.donors_of_store dstore)
+  in
+  Printf.printf "Search strategies, P4E out-of-cache, N=%d (%d donors)\n" n
+    (List.length donors);
+  Printf.printf "  %-7s | %-17s | %-25s | %s\n" "kernel" "linesearch" "surrogate (cold)"
+    "surrogate (warm)";
+  Printf.printf "  %-7s | %6s %10s | %6s %10s %7s | %6s %10s %7s\n" "" "probes" "mflops"
+    "probes" "mflops" "ratio" "probes" "mflops" "ratio";
+  let rows =
+    List.map
+      (fun id ->
+        let line = tune id ~n in
+        let surr = tune ~strategy:Ifko_search.Driver.Surrogate id ~n in
+        let warm =
+          tune ~strategy:Ifko_search.Driver.Surrogate ~warm_start:true ~donors id ~n
+        in
+        let row =
+          {
+            se_kernel = Defs.name id;
+            se_line_probes = line.Ifko_search.Driver.probes_to_best;
+            se_line_evals = line.Ifko_search.Driver.evaluations;
+            se_line_best = line.Ifko_search.Driver.ifko_mflops;
+            se_surr_probes = surr.Ifko_search.Driver.probes_to_best;
+            se_surr_evals = surr.Ifko_search.Driver.evaluations;
+            se_surr_best = surr.Ifko_search.Driver.ifko_mflops;
+            se_warm_probes = warm.Ifko_search.Driver.probes_to_best;
+            se_warm_evals = warm.Ifko_search.Driver.evaluations;
+            se_warm_best = warm.Ifko_search.Driver.ifko_mflops;
+          }
+        in
+        Printf.printf "  %-7s | %6d %10.1f | %6d %10.1f %6.2fx | %6d %10.1f %6.2fx\n"
+          row.se_kernel row.se_line_probes row.se_line_best row.se_surr_probes
+          row.se_surr_best
+          (float_of_int row.se_surr_probes /. float_of_int row.se_line_probes)
+          row.se_warm_probes row.se_warm_best
+          (float_of_int row.se_warm_probes /. float_of_int row.se_surr_probes);
+        row)
+      (kernels ())
+  in
+  let geo f = Ifko_util.Stats.geomean (List.map f rows) in
+  let probe_ratio =
+    geo (fun r -> float_of_int r.se_surr_probes /. float_of_int r.se_line_probes)
+  in
+  let warm_ratio =
+    geo (fun r -> float_of_int r.se_warm_probes /. float_of_int r.se_surr_probes)
+  in
+  let best_ratio = geo (fun r -> r.se_surr_best /. r.se_line_best) in
+  Printf.printf
+    "  geomean: surrogate %.2fx linesearch probes-to-best at %.3fx its MFLOPS; warm \
+     start %.2fx the cold surrogate's probes-to-best\n"
+    probe_ratio best_ratio warm_ratio;
+  (* the CI gates: the surrogate must reach linesearch-level MFLOPS in
+     well under its probes, and warm starts must halve the surrogate's
+     own cold probes-to-best *)
+  if probe_ratio > 0.6 then begin
+    Printf.eprintf
+      "searchbench: surrogate probes-to-best geomean %.2fx linesearch exceeds the 0.6x \
+       bar\n"
+      probe_ratio;
+    exit 1
+  end;
+  if best_ratio < 0.999 then begin
+    Printf.eprintf
+      "searchbench: surrogate MFLOPS geomean fell to %.4fx of linesearch (same-or-better \
+       bar)\n"
+      best_ratio;
+    exit 1
+  end;
+  if warm_ratio > 0.5 then begin
+    Printf.eprintf
+      "searchbench: warm-start probes-to-best geomean %.2fx of cold exceeds the 0.5x bar\n"
+      warm_ratio;
+    exit 1
+  end;
+  searchbench_rows := rows
+
 (* ---------- bechamel micro-benchmarks of the harness machinery ---------- *)
 
 let bechamel_tests () =
@@ -910,6 +1055,7 @@ let experiments =
     ("fig4", exp_fig4); ("fig5a", exp_fig5a); ("fig5b", exp_fig5b); ("table3", exp_table3);
     ("fig7", exp_fig7); ("opteron_l2", exp_opteron_l2); ("ablations", exp_ablations);
     ("simbench", exp_simbench); ("servebench", exp_servebench);
+    ("searchbench", exp_searchbench);
   ]
 
 (* Per-experiment record for BENCH_results.json: wall-clock plus the
@@ -1015,6 +1161,35 @@ let write_results_json ~path ~total_seconds (stats : exp_stats list) =
     Printf.fprintf oc "    \"hit_rate\": %.4f,\n" s.sv_hit_rate;
     Printf.fprintf oc "    \"cold_seconds\": %.3f,\n" s.sv_cold_seconds;
     Printf.fprintf oc "    \"bit_identical\": %b\n  },\n" s.sv_bit_identical);
+  (match !searchbench_rows with
+  | [] -> ()
+  | rows ->
+    let geo f = Ifko_util.Stats.geomean (List.map f rows) in
+    Printf.fprintf oc "  \"searchbench\": {\n";
+    Printf.fprintf oc "    \"machine\": \"P4E\",\n    \"n\": %d,\n    \"donor_n\": %d,\n"
+      (if !quick then 800 else searchbench_n)
+      (if !quick then 400 else searchbench_donor_n);
+    Printf.fprintf oc "    \"geomean_surrogate_probe_ratio\": %.4f,\n"
+      (geo (fun r -> float_of_int r.se_surr_probes /. float_of_int r.se_line_probes));
+    Printf.fprintf oc "    \"geomean_surrogate_mflops_ratio\": %.4f,\n"
+      (geo (fun r -> r.se_surr_best /. r.se_line_best));
+    Printf.fprintf oc "    \"geomean_warm_probe_ratio\": %.4f,\n"
+      (geo (fun r -> float_of_int r.se_warm_probes /. float_of_int r.se_surr_probes));
+    Printf.fprintf oc "    \"kernels\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "      {\"kernel\": \"%s\", \"linesearch_probes_to_best\": %d, \
+           \"linesearch_evaluations\": %d, \"linesearch_mflops\": %.1f, \
+           \"surrogate_probes_to_best\": %d, \"surrogate_evaluations\": %d, \
+           \"surrogate_mflops\": %.1f, \"warm_probes_to_best\": %d, \
+           \"warm_evaluations\": %d, \"warm_mflops\": %.1f}%s\n"
+          (json_escape r.se_kernel) r.se_line_probes r.se_line_evals r.se_line_best
+          r.se_surr_probes r.se_surr_evals r.se_surr_best r.se_warm_probes r.se_warm_evals
+          r.se_warm_best
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    Printf.fprintf oc "    ]\n  },\n");
   Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"experiments\": [\n" total_seconds;
   List.iteri
     (fun i s ->

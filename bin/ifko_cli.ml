@@ -271,17 +271,39 @@ let tune_cmd =
              point is first timed both ways and the tune silently reverts to full \
              fidelity when the sampled estimate misses the 1% error budget)")
   in
+  let strategy_arg =
+    Arg.(
+      value & opt string "linesearch"
+      & info [ "strategy" ] ~docv:"STRAT"
+          ~doc:
+            "search strategy: $(b,linesearch) (the paper's modified line search, the \
+             default) or $(b,surrogate) (model-based search reaching comparable \
+             MFLOPS in far fewer probes)")
+  in
+  let warm_arg =
+    Arg.(
+      value & flag
+      & info [ "warm-start" ]
+          ~doc:
+            "seed the search with the winning points of the nearest past tunes found \
+             in --store's journal (no store or no usable donors: clean cold start)")
+  in
   let run file machine context n flops_per_n asm check_each_pass store_path jobs seed
-      fidelity =
+      fidelity strategy warm_start =
     let cfg = machine_of machine in
     let context = context_of context in
     let fidelity = fidelity_of fidelity in
+    let strategy =
+      match Ifko.Driver.strategy_of_string strategy with
+      | Ok s -> s
+      | Error msg -> failwith msg
+    in
     let compiled = load file in
     let spec = generic_spec ~seed compiled in
     let store = Option.map (Ifko.Store.open_ ~seed) store_path in
     let tuned =
-      Ifko.tune ~check_each_pass ?store ~jobs ~seed ~fidelity ~cfg ~context ~spec ~n
-        ~flops_per_n ~test:(generic_test compiled spec) compiled
+      Ifko.tune ~check_each_pass ~strategy ~warm_start ?store ~jobs ~seed ~fidelity ~cfg
+        ~context ~spec ~n ~flops_per_n ~test:(generic_test compiled spec) compiled
     in
     (match store with
     | Some st ->
@@ -295,9 +317,9 @@ let tune_cmd =
       (Ifko.Params.to_string tuned.Ifko.Driver.default_params);
     Printf.printf "ifko tuned point  : %8.1f MFLOPS  (%s)\n" tuned.Ifko.Driver.ifko_mflops
       (Ifko.Params.to_string tuned.Ifko.Driver.best_params);
-    Printf.printf "speedup %.2fx over FKO in %d evaluations\n"
+    Printf.printf "speedup %.2fx over FKO in %d evaluations (best found at probe %d)\n"
       (tuned.Ifko.Driver.ifko_mflops /. Float.max 1e-9 tuned.Ifko.Driver.fko_mflops)
-      tuned.Ifko.Driver.evaluations;
+      tuned.Ifko.Driver.evaluations tuned.Ifko.Driver.probes_to_best;
     (match (fidelity, tuned.Ifko.Driver.fidelity_used, tuned.Ifko.Driver.calibration_error)
      with
     | Ifko.Timer.Full, _, _ -> ()
@@ -319,7 +341,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"iteratively and empirically tune a HIL kernel")
     Term.(
       const run $ file $ machine_arg $ context $ n $ flops $ asm $ check $ store_arg
-      $ jobs_arg $ seed_arg $ fidelity_arg)
+      $ jobs_arg $ seed_arg $ fidelity_arg $ strategy_arg $ warm_arg)
 
 (* ---- fuzz ---- *)
 
@@ -896,11 +918,24 @@ let query_cmd =
     let check =
       Arg.(value & flag & info [ "check-each-pass" ] ~doc:"per-pass validation of every probe")
     in
-    let build file machine context n flops_per_n seed check =
-      { Ifko.Serve.Proto.kernel = read_file file; machine; context; n; seed;
-        flops_per_n; check }
+    let strategy =
+      Arg.(
+        value & opt string "linesearch"
+        & info [ "strategy" ] ~docv:"STRAT" ~doc:"linesearch (default) or surrogate")
     in
-    Term.(const build $ file $ machine_arg $ context $ n $ flops $ seed $ check)
+    let warm =
+      Arg.(
+        value & flag
+        & info [ "warm-start" ]
+            ~doc:"seed the search from the daemon's past tunes of similar kernels")
+    in
+    let build file machine context n flops_per_n seed check strategy warm_start =
+      { Ifko.Serve.Proto.kernel = read_file file; machine; context; n; seed;
+        flops_per_n; check; strategy; warm_start }
+    in
+    Term.(
+      const build $ file $ machine_arg $ context $ n $ flops $ seed $ check $ strategy
+      $ warm)
   in
   let print_reply verb (r : Ifko.Serve.Proto.tune_reply) =
     Printf.printf "%s: %8.1f MFLOPS (fko %.1f, %d evaluations, %s)\nbest: %s\n" verb

@@ -47,6 +47,44 @@ let analyze (compiled : Lower.compiled) =
     legal_wnt = verdict (Legality.ntwrite leg);
   }
 
+(* The kernel fingerprint the warm-start seeder matches on: a fixed,
+   named, ordered numeric summary of what the analyses learned.  Two
+   kernels with close vectors (daxpy/dscal) have similar optimization
+   landscapes, so one's winning point is a good opening probe for the
+   other.  Derived only from analysis results — never from measured
+   performance — so it is stable across machines and simulator
+   fidelities. *)
+let features t =
+  let b v = if v then 1.0 else 0.0 in
+  let ok = function Ok () -> 1.0 | Error _ -> 0.0 in
+  let f = float_of_int in
+  let elt_bytes =
+    match t.precision with Some Instr.S -> 4 | Some Instr.D -> 8 | None -> 0
+  in
+  let moving = t.prefetch_arrays in
+  let total get = List.fold_left (fun acc m -> acc + get m) 0 moving in
+  let count pred = List.length (List.filter pred moving) in
+  let dep = t.dependence in
+  [
+    ("vectorizable", b t.vectorizable);
+    ("elt_bytes", f elt_bytes);
+    ("max_unroll", f t.max_unroll);
+    ("accumulators", f (List.length t.accumulators));
+    ("arrays", f (List.length moving));
+    ("loads", f (total (fun m -> m.Ptrinfo.loads)));
+    ("stores", f (total (fun m -> m.Ptrinfo.stores)));
+    ("outputs", f (List.length t.output_arrays));
+    ("stride_unit", f (count (fun m -> abs m.Ptrinfo.stride = elt_bytes)));
+    ("stride_neg", f (count (fun m -> m.Ptrinfo.stride < 0)));
+    ("gpr_pressure", f t.gpr_pressure);
+    ("xmm_pressure", f t.xmm_pressure);
+    ("legal_sv", ok t.legal_sv);
+    ("legal_unroll", ok t.legal_unroll);
+    ("legal_wnt", ok t.legal_wnt);
+    ("dep_pairs", f (List.length dep.Depend.pairs));
+    ("dep_blocking", f (List.length (Depend.blocking dep)));
+  ]
+
 let to_string t =
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

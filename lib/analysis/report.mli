@@ -33,5 +33,14 @@ type t = {
 val analyze : Ifko_codegen.Lower.compiled -> t
 (** Run all loop analyses on a freshly lowered kernel. *)
 
+val features : t -> (string * float) list
+(** The kernel's analysis fingerprint: a fixed, named, ordered numeric
+    summary (op mix, stride classes, reduction/accumulator count,
+    legality verdicts, pressures, dependence shape).  The warm-start
+    seeder matches kernels by Euclidean distance over these vectors;
+    the names make store entries self-describing and let future
+    sessions extend the vector without invalidating old entries that
+    share a prefix. *)
+
 val to_string : t -> string
 (** Render the report in the textual form the [ifko] CLI prints. *)

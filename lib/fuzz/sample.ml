@@ -1,11 +1,32 @@
 open Ifko_transform
 module Rng = Ifko_util.Rng
+module Space = Ifko_search.Space
 
 let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
 
+(* The fuzzer samples the same raw value grids the search strategies
+   walk ({!Ifko_search.Space}), widened with invalid-adjacent boundary
+   values the pipeline must reject (or normalize) cleanly: unroll 0 and
+   off-grid 17, accumulator count 1 (the "on but pointless" boundary),
+   prefetch distances 0, 1 and a page-crossing 1 MiB.  Search-grid
+   changes thus propagate to fuzz coverage automatically, while the
+   boundary widening stays the fuzzer's own. *)
 let point rng ~line_bytes ~(report : Ifko_analysis.Report.t) =
-  let unroll = pick rng [ 0; 1; 1; 2; 2; 3; 4; 4; 5; 6; 8; 12; 16; 17 ] in
-  let kinds = [ Instr.Nta; Instr.T0; Instr.T1; Instr.W ] in
+  let unrolls =
+    (* big factors explode generated-kernel size for little extra
+       coverage; keep the grid's small half, duplicated low values bias
+       toward the interesting 1..4 range *)
+    [ 0; 17; 1; 2; 4 ] @ List.filter (fun u -> u <= 16) Space.unroll_grid
+  in
+  let aes = [ 0; 0; 1 ] @ Space.ae_grid in
+  let dists =
+    (0 :: 1 :: (1 lsl 20)
+    :: List.filter_map
+         (fun k ->
+           let d = k * line_bytes in
+           if d <= 4096 then Some d else None)
+         Space.pf_dist_ks)
+  in
   let prefetch =
     List.filter_map
       (fun (m : Ifko_analysis.Ptrinfo.moving) ->
@@ -13,25 +34,26 @@ let point rng ~line_bytes ~(report : Ifko_analysis.Report.t) =
         match Rng.int rng 4 with
         | 0 -> None
         | 1 ->
-          Some (name, { Params.pf_ins = Some (pick rng kinds); pf_dist = 2 * line_bytes })
+          Some
+            ( name,
+              { Params.pf_ins = Some (pick rng Space.pf_kind_grid);
+                pf_dist = 2 * line_bytes } )
         | _ ->
           Some
             ( name,
-              {
-                Params.pf_ins = Some (pick rng kinds);
-                pf_dist = pick rng [ 0; 1; 64; 128; 256; 640; 2048; 1 lsl 20 ];
-              } ))
+              { Params.pf_ins = Some (pick rng Space.pf_kind_grid);
+                pf_dist = pick rng dists } ))
       report.Ifko_analysis.Report.prefetch_arrays
   in
   {
     Params.sv =
       (if report.Ifko_analysis.Report.vectorizable then Rng.int rng 10 < 6
        else Rng.int rng 10 < 2);
-    unroll;
+    unroll = pick rng unrolls;
     lc = Rng.int rng 2 = 0;
-    ae = pick rng [ 0; 0; 0; 1; 2; 2; 3; 4; 6; 8 ];
+    ae = pick rng aes;
     wnt = Rng.int rng 10 < 3;
-    bf = pick rng [ 0; 0; 0; 0; 0; 2048; 4096 ];
+    bf = pick rng ([ 0; 0; 0 ] @ Space.bf_grid);
     cisc = Rng.int rng 8 = 0;
     prefetch;
   }

@@ -36,6 +36,10 @@ module Timer = Ifko_sim.Timer
 module Ckpt = Ifko_sim.Ckpt
 module Verify = Ifko_sim.Verify
 module Search = Ifko_search.Linesearch
+module Space = Ifko_search.Space
+module Strategy = Ifko_search.Strategy
+module Surrogate = Ifko_search.Surrogate
+module Warmstart = Ifko_search.Warmstart
 module Driver = Ifko_search.Driver
 module Generic = Ifko_search.Generic
 module Store = Ifko_store.Store

@@ -9,9 +9,19 @@ type tuned = {
   best_func : Cfg.func;
   contributions : (string * float) list;
   evaluations : int;
+  probes_to_best : int;
   fidelity_used : Ifko_sim.Timer.fidelity;
   calibration_error : float option;
 }
+
+type strategy = Linesearch | Surrogate
+
+let strategy_to_string = function Linesearch -> "linesearch" | Surrogate -> "surrogate"
+
+let strategy_of_string = function
+  | "linesearch" -> Ok Linesearch
+  | "surrogate" -> Ok Surrogate
+  | s -> Error (Printf.sprintf "unknown strategy %S (expected linesearch or surrogate)" s)
 
 let compile_point ?check ~cfg compiled params =
   let c =
@@ -48,9 +58,10 @@ let score = function
   | Ifko_store.Store.Timed { mflops; _ } -> mflops
   | Ifko_store.Store.Test_failed | Ifko_store.Store.Illegal -> neg_infinity
 
-let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(jobs = 1)
-    ?(seed = 0) ?(fidelity = Ifko_sim.Timer.Full) ?(error_budget = 0.01) ?ckpt ?codecache
-    ~cfg ~context ~spec ~n ~flops_per_n ~test compiled =
+let tune ?(extensions = false) ?(check_each_pass = false) ?(strategy = Linesearch)
+    ?(warm_start = false) ?donors ?store ?cache ?pool ?(jobs = 1) ?(seed = 0)
+    ?(fidelity = Ifko_sim.Timer.Full) ?(error_budget = 0.01) ?ckpt ?codecache ~cfg
+    ~context ~spec ~n ~flops_per_n ~test compiled =
   let report = Ifko_analysis.Report.analyze compiled in
   let default_params =
     Ifko_transform.Params.default ~line_bytes:cfg.Config.prefetchable_line report
@@ -168,8 +179,36 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
       (cached ~key ~params:(Ifko_transform.Params.to_string params) ~prov (fun () ->
            compute params))
   in
+  (* Warm-start seeds: the nearest past tunes' winners, adapted into
+     this kernel's space.  Donors come from the caller (the serve
+     daemon scans its sharded store) or, by default, from the plain
+     probe store's journal; no store, no donors — a clean cold start,
+     not an error. *)
+  let feat = Ifko_analysis.Report.features report in
+  let warm =
+    if not warm_start then []
+    else
+      let donors =
+        match donors with
+        | Some ds -> ds
+        | None -> (
+          match store with Some st -> Warmstart.donors_of_store st | None -> [])
+      in
+      Warmstart.seeds ~extensions ~cfg ~report ~init:default_params ~feat donors
+  in
+  let make ~init_perf =
+    match strategy with
+    | Linesearch ->
+      Linesearch.strategy ~extensions ~warm ~cfg ~report ~init:default_params ~init_perf
+        ()
+    | Surrogate ->
+      Surrogate.strategy ~extensions ~warm ~seed ~cfg ~report ~init:default_params
+        ~init_perf ()
+  in
   let search map_batch =
-    Linesearch.run ~extensions ?map_batch ~cfg ~report ~init:default_params probe
+    match map_batch with
+    | None -> Strategy.run ~init:default_params ~make probe
+    | Some map_batch -> Strategy.run ~map_batch ~init:default_params ~make probe
   in
   let result =
     match pool with
@@ -180,7 +219,41 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
         Ifko_par.Par.Pool.with_pool ~jobs (fun pool ->
             search (Some (fun f xs -> Ifko_par.Par.Pool.map pool f xs)))
   in
-  let best = result.Linesearch.best in
+  let best = result.Strategy.best in
+  (* Journal the tune-level result (winner + analysis fingerprint) so
+     later tunes of similar kernels can warm-start from it.  Guarded by
+     find_entry/add, which leave the hit/miss counters alone: those
+     count probe traffic only. *)
+  (match store with
+  | None -> ()
+  | Some st ->
+    let tkey =
+      Ifko_store.Store.tune_key
+        ?strategy:
+          (match strategy with
+          | Linesearch -> None
+          | s -> Some (strategy_to_string s))
+        ~kernel ~machine:cfg.Config.name
+        ~context:(Ifko_sim.Timer.context_name context) ~n ~seed ~check:check_each_pass
+        ~flops_per_n ()
+    in
+    if Ifko_store.Store.find_entry st ~key:tkey = None then begin
+      let params_json =
+        Ifko_store.Store.Json.render
+          [ ("best", Ifko_store.Store.Json.S (Ifko_transform.Params.canonical best));
+            ("fko", Ifko_store.Store.Json.N result.Strategy.start_perf);
+            ( "evals",
+              Ifko_store.Store.Json.N (float_of_int result.Strategy.evaluations) );
+            ( "kernel",
+              Ifko_store.Store.Json.S
+                compiled.Ifko_codegen.Lower.source.Ifko_hil.Ast.k_name );
+            ("feat", Warmstart.feat_json feat);
+          ]
+      in
+      Ifko_store.Store.add st ~key:tkey ~params:params_json ~prov:("tune " ^ prov)
+        (Ifko_store.Store.Timed
+           { mflops = result.Strategy.best_perf; cycles = 0.0 })
+    end);
   let best_func =
     (* cache hit when any probe of this run compiled the winner; a
        store-answered run compiles it here once, under the same
@@ -193,11 +266,12 @@ let tune ?(extensions = false) ?(check_each_pass = false) ?store ?cache ?pool ?(
     report;
     default_params;
     best_params = best;
-    fko_mflops = result.Linesearch.start_perf;
-    ifko_mflops = result.Linesearch.best_perf;
+    fko_mflops = result.Strategy.start_perf;
+    ifko_mflops = result.Strategy.best_perf;
     best_func;
-    contributions = result.Linesearch.contributions;
-    evaluations = result.Linesearch.evaluations;
+    contributions = result.Strategy.contributions;
+    evaluations = result.Strategy.evaluations;
+    probes_to_best = result.Strategy.probes_to_best;
     fidelity_used;
     calibration_error;
   }

@@ -7,6 +7,18 @@
     (3) times the survivor in the requested machine/context, feeding
     MFLOPS back to the modified line search. *)
 
+(** Which search strategy drives the tune.  [Linesearch] (the default)
+    is the paper's modified line search, bit-identical to the
+    pre-strategy sweep; [Surrogate] is the model-based searcher
+    ({!Surrogate}), reaching comparable MFLOPS in far fewer probes. *)
+type strategy = Linesearch | Surrogate
+
+val strategy_to_string : strategy -> string
+
+val strategy_of_string : string -> (strategy, string) result
+(** Inverse of {!strategy_to_string}; [Error] names the bad input (for
+    CLI/protocol validation). *)
+
 type tuned = {
   report : Ifko_analysis.Report.t;
   default_params : Ifko_transform.Params.t;
@@ -16,6 +28,9 @@ type tuned = {
   best_func : Cfg.func;  (** fully compiled best kernel *)
   contributions : (string * float) list;  (** Figure-7 decomposition *)
   evaluations : int;
+  probes_to_best : int;
+      (** 1-based evaluation index at which [ifko_mflops] was first
+          measured — the probes-to-best metric strategies race on *)
   fidelity_used : Ifko_sim.Timer.fidelity;
       (** the fidelity probes actually ran at: [Sampled] only when it
           was requested {e and} passed this kernel's calibration *)
@@ -42,6 +57,9 @@ val kernel_fingerprint : Ifko_codegen.Lower.compiled -> string
 val tune :
   ?extensions:bool ->
   ?check_each_pass:bool ->
+  ?strategy:strategy ->
+  ?warm_start:bool ->
+  ?donors:Warmstart.donor list ->
   ?store:Ifko_store.Store.t ->
   ?cache:
     (key:string ->
@@ -74,6 +92,15 @@ val tune :
     silently discarding a miscompiled point (or worse, timing it), the
     tune fails fast with {!Ifko_transform.Passcheck.Pass_failed}
     naming the offending pass.
+
+    [strategy] selects the searcher (default [Linesearch]; omitting it
+    is bit-identical to the pre-strategy driver).  [warm_start] seeds
+    the chosen strategy's opening batch with the winners of the
+    nearest past tunes ({!Warmstart.seeds}): donors come from
+    [?donors] when given, otherwise from [store]'s journal; with
+    neither, the tune cold-starts cleanly.  A completed tune with a
+    [store] journals its own tune-level entry (winner + analysis
+    fingerprint) to feed future warm starts.
 
     [store] journals every probe outcome in a persistent
     content-addressed store and answers repeat probes from it, so a

@@ -12,158 +12,165 @@ type result = {
 
 type batch_map = (Params.t -> float) -> Params.t list -> float list
 
-type state = {
-  probe : probe;
-  map_batch : batch_map;
-  cache : (Params.t, float) Hashtbl.t;
-  mutable evals : int;
-  mutable cur : Params.t;
-  mutable cur_perf : float;
-}
+(* The search as data: a plan of per-dimension groups, each a sequence
+   of sweeps.  A sweep receives the current incumbent and yields the
+   variant batch to measure — the incumbent advances between sweeps, so
+   later sweeps of a group see earlier winners, exactly like the old
+   one-array-at-a-time prefetch walk.  [Begin]/[End] bracket a tuned
+   dimension for the per-dimension contribution accounting. *)
+type op =
+  | Begin of string
+  | Sweep of (Params.t -> Params.t list)
+  | End
 
-(* Explicit left-to-right map, so the sequential path has a defined
-   probe order to be bit-identical with. *)
-let seq_map f xs = List.rev (List.rev_map f xs)
-
-(* Try every candidate produced by [variants]; keep the best.
-
-   Candidates are independent of each other (each probe sees only its
-   own parameter point, never [cur]), so the batch's not-yet-memoized
-   points can be evaluated together through [map_batch] — concurrently,
-   when the driver supplies a domain pool.  The winner is then selected
-   by a sequential left-to-right fold with a strict [>], exactly as the
-   original one-at-a-time loop did: the first candidate wins ties, so
-   the search trajectory does not depend on the parallelism degree. *)
-let sweep st variants =
-  let batched = Hashtbl.create 8 in
-  let rec fresh_of = function
-    | [] -> []
-    | p :: rest ->
-      if Hashtbl.mem st.cache p || Hashtbl.mem batched p then fresh_of rest
-      else begin
-        Hashtbl.replace batched p ();
-        p :: fresh_of rest
-      end
-  in
-  let fresh = fresh_of variants in
-  let vals = st.map_batch st.probe fresh in
-  List.iter2 (fun p v -> Hashtbl.replace st.cache p v) fresh vals;
-  st.evals <- st.evals + List.length fresh;
-  List.iter
-    (fun p ->
-      let v = Hashtbl.find st.cache p in
-      if v > st.cur_perf then begin
-        st.cur <- p;
-        st.cur_perf <- v
-      end)
-    variants
-
-let set_pf_dist (p : Params.t) name dist =
-  {
-    p with
-    Params.prefetch =
-      List.map
-        (fun (a, (s : Params.pf_param)) ->
-          if a = name then (a, { s with Params.pf_dist = dist }) else (a, s))
-        p.Params.prefetch;
-  }
-
-let set_pf_ins (p : Params.t) name ins =
-  {
-    p with
-    Params.prefetch =
-      List.map
-        (fun (a, (s : Params.pf_param)) ->
-          if a = name then (a, { s with Params.pf_ins = ins }) else (a, s))
-        p.Params.prefetch;
-  }
-
-let run ?(extensions = false) ?(map_batch = seq_map) ~cfg ~report ~init probe =
-  let st =
-    { probe; map_batch; cache = Hashtbl.create 64; evals = 0; cur = init;
-      cur_perf = probe init }
-  in
-  st.evals <- 1;
-  Hashtbl.replace st.cache init st.cur_perf;
-  let start_perf = st.cur_perf in
-  let contributions = ref [] in
-  let tuned name f =
-    let before = st.cur_perf in
-    f ();
-    let ratio = if before > 0.0 then st.cur_perf /. before else 1.0 in
-    contributions := (name, ratio) :: !contributions
-  in
+let plan ?(extensions = false) ?(warm = []) ~cfg ~report ~init () =
   let arrays = List.map fst init.Params.prefetch in
+  let group name sweeps = (Begin name :: List.map (fun f -> Sweep f) sweeps) @ [ End ] in
+  (* Warm-start points (winners of nearest-neighbor past tunes) are an
+     extra opening sweep: they can only advance the incumbent.  An
+     empty list leaves the plan — and the probe sequence — exactly as
+     before the strategy refactor. *)
+  (if warm = [] then [] else group "WARM" [ (fun _ -> warm) ])
   (* SV: confirm the default choice (cheap: two points). *)
-  tuned "SV" (fun () ->
-      sweep st
-        (List.map (fun sv -> { st.cur with Params.sv = sv }) (Space.sv_candidates report)));
+  @ group "SV"
+      [ (fun cur ->
+          List.map (fun sv -> { cur with Params.sv = sv }) (Space.sv_candidates report));
+      ]
   (* WNT *)
-  tuned "WNT" (fun () ->
-      sweep st
-        (List.map (fun wnt -> { st.cur with Params.wnt = wnt }) (Space.wnt_candidates report)));
+  @ group "WNT"
+      [ (fun cur ->
+          List.map (fun wnt -> { cur with Params.wnt }) (Space.wnt_candidates report));
+      ]
   (* Prefetch distance, one array at a time (including "no prefetch"
      via the instruction dimension below). *)
-  tuned "PF DST" (fun () ->
-      List.iter
-        (fun name ->
-          sweep st (List.map (set_pf_dist st.cur name) (Space.pf_dist_candidates cfg)))
-        arrays);
+  @ group "PF DST"
+      (List.map
+         (fun name cur ->
+           List.map (Space.set_pf_dist cur name) (Space.pf_dist_candidates cfg))
+         arrays)
   (* Prefetch instruction flavour per array. *)
-  tuned "PF INS" (fun () ->
-      List.iter
-        (fun name ->
-          sweep st (List.map (set_pf_ins st.cur name) (Space.pf_ins_candidates cfg)))
-        arrays);
+  @ group "PF INS"
+      (List.map
+         (fun name cur ->
+           List.map (Space.set_pf_ins cur name) (Space.pf_ins_candidates cfg))
+         arrays)
   (* Unrolling. *)
-  tuned "UR" (fun () ->
-      sweep st
-        (List.map (fun u -> { st.cur with Params.unroll = u }) (Space.unroll_candidates report)));
+  @ group "UR"
+      [ (fun cur ->
+          List.map
+            (fun u -> { cur with Params.unroll = u })
+            (Space.unroll_candidates report));
+      ]
   (* Accumulator expansion. *)
-  tuned "AE" (fun () ->
-      sweep st
-        (List.map (fun ae -> { st.cur with Params.ae = ae }) (Space.ae_candidates report)));
+  @ group "AE"
+      [ (fun cur ->
+          List.map (fun ae -> { cur with Params.ae = ae }) (Space.ae_candidates report));
+      ]
   (* Extension dimensions (paper future work), when enabled. *)
-  if extensions then begin
-    tuned "BF" (fun () ->
-        sweep st
-          (List.map
-             (fun bf -> { st.cur with Params.bf = bf })
-             (Space.bf_candidates ~extensions report)));
-    tuned "CISC" (fun () ->
-        sweep st
-          (List.map
-             (fun cisc -> { st.cur with Params.cisc })
-             (Space.cisc_candidates ~extensions report)))
-  end;
+  @ (if not extensions then []
+     else
+       group "BF"
+         [ (fun cur ->
+             List.map
+               (fun bf -> { cur with Params.bf = bf })
+               (Space.bf_candidates ~extensions report));
+         ]
+       @ group "CISC"
+           [ (fun cur ->
+               List.map
+                 (fun cisc -> { cur with Params.cisc })
+                 (Space.cisc_candidates ~extensions report));
+           ])
   (* Restricted 2-D refinement over the known UR x AE interaction. *)
-  tuned "UR*AE" (fun () ->
-      let u0 = st.cur.Params.unroll in
-      let urs =
-        List.sort_uniq compare
-          (List.filter (fun u -> u >= 1 && u <= report.Ifko_analysis.Report.max_unroll)
-             [ u0 / 2; u0; u0 * 2 ])
-      in
-      let aes = List.filter (fun a -> a = 0 || a >= 2) (Space.ae_candidates report) in
-      sweep st
-        (List.concat_map
-           (fun u -> List.map (fun ae -> { st.cur with Params.unroll = u; Params.ae = ae }) aes)
-           urs));
+  @ group "UR*AE"
+      [ (fun cur ->
+          let u0 = cur.Params.unroll in
+          let urs =
+            List.sort_uniq compare
+              (List.filter
+                 (fun u -> u >= 1 && u <= report.Ifko_analysis.Report.max_unroll)
+                 [ u0 / 2; u0; u0 * 2 ])
+          in
+          let aes = List.filter (fun a -> a = 0 || a >= 2) (Space.ae_candidates report) in
+          List.concat_map
+            (fun u ->
+              List.map (fun ae -> { cur with Params.unroll = u; Params.ae = ae }) aes)
+            urs);
+      ]
   (* Re-polish the prefetch pair after the computational shape settled
      (a second, shorter pass — the "defacto expert system / search
      hybrid" the paper describes): UR and AE change how many issue
      slots prefetch costs, so both the instruction (including "none")
      and the distance are revisited. *)
-  tuned "PF2" (fun () ->
-      List.iter
-        (fun name ->
-          sweep st (List.map (set_pf_ins st.cur name) (Space.pf_ins_candidates cfg));
-          sweep st (List.map (set_pf_dist st.cur name) (Space.pf_dist_candidates cfg)))
-        arrays);
+  @ group "PF2"
+      (List.concat_map
+         (fun name ->
+           [ (fun cur ->
+               List.map (Space.set_pf_ins cur name) (Space.pf_ins_candidates cfg));
+             (fun cur ->
+               List.map (Space.set_pf_dist cur name) (Space.pf_dist_candidates cfg));
+           ])
+         arrays)
+
+(* The modified line search as a {!Strategy.t}.  The incumbent advances
+   by a sequential left-to-right strict-[>] fold over each observed
+   batch, exactly as the original one-at-a-time loop did: the first
+   candidate wins ties, so the trajectory does not depend on the
+   parallelism degree, and the default plan's probe sequence stays
+   bit-identical to the pre-strategy sweep. *)
+let strategy ?(extensions = false) ?(warm = []) ~cfg ~report ~init ~init_perf () =
+  let cur = ref init in
+  let cur_perf = ref init_perf in
+  let todo = ref (plan ~extensions ~warm ~cfg ~report ~init ()) in
+  let contributions = ref [] in
+  let open_group = ref None in
+  let rec propose () =
+    match !todo with
+    | [] -> []
+    | Begin name :: rest ->
+      todo := rest;
+      open_group := Some (name, !cur_perf);
+      propose ()
+    | End :: rest ->
+      todo := rest;
+      (match !open_group with
+      | Some (name, before) ->
+        let ratio = if before > 0.0 then !cur_perf /. before else 1.0 in
+        contributions := (name, ratio) :: !contributions;
+        open_group := None
+      | None -> ());
+      propose ()
+    | Sweep f :: rest -> (
+      todo := rest;
+      match f !cur with [] -> propose () | variants -> variants)
+  in
+  let observe vals =
+    List.iter
+      (fun (p, v) ->
+        if v > !cur_perf then begin
+          cur := p;
+          cur_perf := v
+        end)
+      vals
+  in
   {
-    best = st.cur;
-    best_perf = st.cur_perf;
-    start_perf;
-    contributions = List.rev !contributions;
-    evaluations = st.evals;
+    Strategy.name = "linesearch";
+    propose;
+    observe;
+    best = (fun () -> (!cur, !cur_perf));
+    contributions = (fun () -> List.rev !contributions);
+  }
+
+let run ?(extensions = false) ?(map_batch = Strategy.seq_map) ~cfg ~report ~init probe =
+  let r =
+    Strategy.run ~map_batch ~init
+      ~make:(fun ~init_perf -> strategy ~extensions ~cfg ~report ~init ~init_perf ())
+      probe
+  in
+  {
+    best = r.Strategy.best;
+    best_perf = r.Strategy.best_perf;
+    start_perf = r.Strategy.start_perf;
+    contributions = r.Strategy.contributions;
+    evaluations = r.Strategy.evaluations;
   }

@@ -40,6 +40,20 @@ type result = {
   evaluations : int;  (** distinct parameter points compiled and timed *)
 }
 
+val strategy :
+  ?extensions:bool ->
+  ?warm:Ifko_transform.Params.t list ->
+  cfg:Ifko_machine.Config.t ->
+  report:Ifko_analysis.Report.t ->
+  init:Ifko_transform.Params.t ->
+  init_perf:float ->
+  unit ->
+  Strategy.t
+(** The line search behind the {!Strategy} interface.  With [?warm]
+    empty (the default) its probe sequence is bit-identical to the
+    pre-strategy sweep; warm points are probed first as an extra
+    opening batch and can only advance the incumbent. *)
+
 val run :
   ?extensions:bool ->
   ?map_batch:batch_map ->
@@ -48,3 +62,5 @@ val run :
   init:Ifko_transform.Params.t ->
   probe ->
   result
+(** Convenience wrapper: {!Strategy.run} with the linesearch strategy,
+    projected onto the historical result record. *)

@@ -1,0 +1,88 @@
+open Ifko_transform
+
+type probe = Params.t -> float
+type batch_map = (Params.t -> float) -> Params.t list -> float list
+
+type t = {
+  name : string;
+  propose : unit -> Params.t list;
+  observe : (Params.t * float) list -> unit;
+  best : unit -> Params.t * float;
+  contributions : unit -> (string * float) list;
+}
+
+type result = {
+  best : Params.t;
+  best_perf : float;
+  start_perf : float;
+  contributions : (string * float) list;
+  evaluations : int;
+  probes_to_best : int;
+}
+
+(* Explicit left-to-right map, so the sequential path has a defined
+   probe order to be bit-identical with. *)
+let seq_map f xs = List.rev (List.rev_map f xs)
+
+(* The shared propose/observe loop.  Every strategy runs through here:
+   the loop owns the memo cache (one probe per distinct point, ever),
+   the evaluation counter, and the probes-to-best accounting; the
+   strategy owns candidate generation and winner selection.
+
+   A proposed batch is deduplicated against the cache (and against
+   itself) in proposal order, the fresh remainder is evaluated through
+   [map_batch] — concurrently, when the driver supplies a domain
+   pool — and the full batch with its values is handed back to the
+   strategy in proposal order.  Winner selection therefore never
+   depends on evaluation completion order, which is what makes any
+   order-preserving [map_batch] bit-identical to the sequential one. *)
+let run ?(map_batch = seq_map) ~init ~(make : init_perf:float -> t) probe =
+  let cache : (Params.t, float) Hashtbl.t = Hashtbl.create 64 in
+  let evals = ref 0 in
+  let top = ref neg_infinity in
+  let top_at = ref 0 in
+  let note v =
+    incr evals;
+    if v > !top then begin
+      top := v;
+      top_at := !evals
+    end
+  in
+  let init_perf = probe init in
+  Hashtbl.replace cache init init_perf;
+  note init_perf;
+  let strat = make ~init_perf in
+  let rec loop () =
+    match strat.propose () with
+    | [] -> ()
+    | batch ->
+      let batched = Hashtbl.create 8 in
+      let fresh =
+        List.filter
+          (fun p ->
+            if Hashtbl.mem cache p || Hashtbl.mem batched p then false
+            else begin
+              Hashtbl.replace batched p ();
+              true
+            end)
+          batch
+      in
+      let vals = map_batch probe fresh in
+      List.iter2
+        (fun p v ->
+          Hashtbl.replace cache p v;
+          note v)
+        fresh vals;
+      strat.observe (List.map (fun p -> (p, Hashtbl.find cache p)) batch);
+      loop ()
+  in
+  loop ();
+  let best, best_perf = strat.best () in
+  {
+    best;
+    best_perf;
+    start_perf = init_perf;
+    contributions = strat.contributions ();
+    evaluations = !evals;
+    probes_to_best = !top_at;
+  }

@@ -1,0 +1,136 @@
+open Ifko_transform
+module Store = Ifko_store.Store
+module Json = Store.Json
+
+type donor = {
+  d_kernel : string;
+  d_feat : (string * float) list;
+  d_params : Params.t;
+  d_mflops : float;
+}
+
+let feat_json feat = Json.O (List.map (fun (k, v) -> (k, Json.N v)) feat)
+
+let feat_of_json = function
+  | Json.O kvs ->
+    Some (List.filter_map (function k, Json.N v -> Some (k, v) | _ -> None) kvs)
+  | _ -> None
+
+(* A tune-level journal entry becomes a donor only if it carries the
+   full learned payload: a parseable winning point, the kernel name and
+   the analysis fingerprint.  Entries journaled before the fingerprint
+   existed (or corrupted ones) simply yield [None] — the natural
+   invalidation rule: no fingerprint, no warm start. *)
+let donor_of_entry ~params ~prov (outcome : Store.outcome) =
+  match outcome with
+  | Store.Timed { mflops; _ } when Store.is_tune_prov prov -> (
+    match Json.parse params with
+    | exception Json.Bad -> None
+    | fields -> (
+      match
+        ( Json.str fields "best",
+          Json.str fields "kernel",
+          Option.bind (List.assoc_opt "feat" fields) feat_of_json )
+      with
+      | Some best, Some kernel, Some feat -> (
+        match Params.of_canonical best with
+        | exception Failure _ -> None
+        | p -> Some { d_kernel = kernel; d_feat = feat; d_params = p; d_mflops = mflops })
+      | _ -> None))
+  | Store.Timed _ | Store.Test_failed | Store.Illegal -> None
+
+let donors_of_store st =
+  List.rev
+    (Store.fold_entries st ~init:[] ~f:(fun acc ~key:_ ~params ~prov outcome ->
+         match donor_of_entry ~params ~prov outcome with
+         | Some d -> d :: acc
+         | None -> acc))
+
+(* Scale-free squared distance over the union of feature names: each
+   dimension's difference is normalized by its own magnitude, so
+   max_unroll (~128) cannot drown out a legality bit, and vectors from
+   different fingerprint versions still compare over the names they
+   share (absent names read as 0). *)
+let distance a b =
+  let names = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.fold_left
+    (fun acc k ->
+      let va = Option.value (List.assoc_opt k a) ~default:0.0 in
+      let vb = Option.value (List.assoc_opt k b) ~default:0.0 in
+      let d = (va -. vb) /. (1.0 +. Float.abs va +. Float.abs vb) in
+      acc +. (d *. d))
+    0.0 names
+
+(* Re-express a donor's winning point in the target kernel's space:
+   prefetch settings remap positionally onto the target's arrays (the
+   donor's array names mean nothing here), distances snap to the target
+   machine's grid, and every axis the target's legality oracles pruned
+   falls back to the target default — an adapted seed is always a point
+   the pipeline will accept. *)
+let adapt ?(extensions = false) ~cfg ~report ~init (d : donor) =
+  let p = d.d_params in
+  let mem v cands fallback = if List.mem v cands then v else fallback in
+  let pf_dists = Space.pf_dist_candidates cfg in
+  let pf_inss = Space.pf_ins_candidates cfg in
+  let nearest_dist v =
+    match pf_dists with
+    | [] -> 0
+    | d0 :: rest ->
+      List.fold_left (fun best c -> if abs (c - v) < abs (best - v) then c else best)
+        d0 rest
+  in
+  let donor_pf = List.map snd p.Params.prefetch in
+  let prefetch =
+    List.mapi
+      (fun i (name, (dflt : Params.pf_param)) ->
+        match List.nth_opt donor_pf i with
+        | Some (s : Params.pf_param) ->
+          let pf_ins =
+            if List.mem s.Params.pf_ins pf_inss then s.Params.pf_ins
+            else dflt.Params.pf_ins
+          in
+          let pf_dist =
+            if pf_ins = None then 0 else nearest_dist s.Params.pf_dist
+          in
+          (name, { Params.pf_ins; pf_dist })
+        | None -> (name, dflt))
+      init.Params.prefetch
+  in
+  {
+    init with
+    Params.sv = mem p.Params.sv (Space.sv_candidates report) init.Params.sv;
+    unroll = mem p.Params.unroll (Space.unroll_candidates report) init.Params.unroll;
+    ae = mem p.Params.ae (Space.ae_candidates report) init.Params.ae;
+    wnt = mem p.Params.wnt (Space.wnt_candidates report) init.Params.wnt;
+    bf = mem p.Params.bf (Space.bf_candidates ~extensions report) init.Params.bf;
+    cisc = mem p.Params.cisc (Space.cisc_candidates ~extensions report) init.Params.cisc;
+    prefetch;
+  }
+
+let seeds ?(extensions = false) ?(k = 2) ~cfg ~report ~init ~feat donors =
+  let ranked =
+    List.sort
+      (fun ((da : float), a) (db, b) ->
+        match compare da db with
+        | 0 -> (
+          match compare a.d_kernel b.d_kernel with
+          | 0 -> compare (Params.canonical a.d_params) (Params.canonical b.d_params)
+          | c -> c)
+        | c -> c)
+      (List.map (fun d -> (distance feat d.d_feat, d)) donors)
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun (_, d) ->
+      let p = adapt ~extensions ~cfg ~report ~init d in
+      let c = Params.canonical p in
+      if Hashtbl.mem seen c then None
+      else begin
+        Hashtbl.replace seen c ();
+        Some p
+      end)
+    (take k ranked)

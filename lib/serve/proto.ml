@@ -14,11 +14,13 @@ type tune_args = {
   seed : int;
   flops_per_n : float;
   check : bool;  (** per-pass validation of every probe *)
+  strategy : string;  (** "linesearch" (default) | "surrogate" *)
+  warm_start : bool;  (** seed the search from past tunes in the store *)
 }
 
 let default_args ~kernel =
   { kernel; machine = "p4e"; context = "oc"; n = 80000; seed = 0; flops_per_n = 2.0;
-    check = false }
+    check = false; strategy = "linesearch"; warm_start = false }
 
 type request =
   | Tune of tune_args
@@ -56,6 +58,8 @@ let args_fields (a : tune_args) =
     ("seed", Json.N (float_of_int a.seed));
     ("flops_per_n", Json.N a.flops_per_n);
     ("check", Json.B a.check);
+    ("strategy", Json.S a.strategy);
+    ("warm_start", Json.B a.warm_start);
   ]
 
 let render_request { req_id; request } =
@@ -141,7 +145,16 @@ let parse_args fields =
   let* seed = int_field fields "seed" ~default:d.seed in
   let* flops_per_n = num_field fields "flops_per_n" ~default:d.flops_per_n in
   let* check = bool_field fields "check" ~default:d.check in
-  Ok { kernel; machine; context; n; seed; flops_per_n; check }
+  (* Absent fields take defaults, so clients speaking the pre-strategy
+     protocol keep working unchanged. *)
+  let* strategy = str_field fields "strategy" ~default:d.strategy in
+  let* () =
+    match strategy with
+    | "linesearch" | "surrogate" -> Ok ()
+    | s -> Error (Printf.sprintf "unknown strategy %S (linesearch|surrogate)" s)
+  in
+  let* warm_start = bool_field fields "warm_start" ~default:d.warm_start in
+  Ok { kernel; machine; context; n; seed; flops_per_n; check; strategy; warm_start }
 
 let parse_request line =
   match parse_line line with

@@ -27,11 +27,17 @@ type tune_args = {
   seed : int;  (** workload seed (part of every store key) *)
   flops_per_n : float;  (** FLOPs per element for MFLOPS reporting *)
   check : bool;  (** per-pass validation of every probe *)
+  strategy : string;  (** "linesearch" (default) | "surrogate" *)
+  warm_start : bool;
+      (** seed the search from the nearest past tunes in the daemon's
+          store (changes the probe path, never correctness) *)
 }
 
 val default_args : kernel:string -> tune_args
 (** p4e, out-of-cache, n = 80000, seed 0, 2 flops per element, no
-    per-pass checking — the wire-format defaults for omitted fields. *)
+    per-pass checking, linesearch strategy, no warm start — the
+    wire-format defaults for omitted fields, so pre-strategy clients
+    keep working unchanged. *)
 
 type request =
   | Tune of tune_args

@@ -124,11 +124,19 @@ let decode_result (outcome, params, _prov) =
   | _ -> None
 
 let encode_result (tuned : Driver.tuned) =
+  (* [kernel] and [feat] make the entry usable as a warm-start donor
+     (Warmstart.donor_of_entry); decode_result ignores the extras, so
+     old and new entries interoperate both ways. *)
   let params =
     Json.render
       [ ("best", Json.S (Ifko_transform.Params.canonical tuned.Driver.best_params));
         ("fko", Json.N tuned.Driver.fko_mflops);
         ("evals", Json.N (float_of_int tuned.Driver.evaluations));
+        ( "kernel",
+          Json.S tuned.Driver.report.Ifko_analysis.Report.kernel_name );
+        ( "feat",
+          Ifko_search.Warmstart.feat_json
+            (Ifko_analysis.Report.features tuned.Driver.report) );
       ]
   in
   let reply =
@@ -149,9 +157,10 @@ let resolve (a : Proto.tune_args) =
   let* compiled = compile_kernel a.kernel in
   let key =
     Store.tune_key
+      ?strategy:(if a.strategy = "linesearch" then None else Some a.strategy)
       ~kernel:(Driver.kernel_fingerprint compiled)
       ~machine:cfgm.Config.name ~context:(Timer.context_name context) ~n:a.n
-      ~seed:a.seed ~check:a.check ~flops_per_n:a.flops_per_n
+      ~seed:a.seed ~check:a.check ~flops_per_n:a.flops_per_n ()
   in
   Ok (cfgm, context, compiled, key)
 
@@ -178,10 +187,28 @@ let ckpt_for t cfgm =
   Mutex.unlock t.mu;
   c
 
+(* The daemon's donor scan for warm-started requests: every shard's
+   tune-level entries, in deterministic shard/key order.  The scan is
+   read-only and cheap next to even one probe, so it runs per warm
+   request — always reflecting the newest completed tunes. *)
+let donors_of_shards store =
+  List.rev
+    (Shard_store.fold_entries store ~init:[]
+       ~f:(fun acc ~key:_ ~params ~prov outcome ->
+         match Ifko_search.Warmstart.donor_of_entry ~params ~prov outcome with
+         | Some d -> d :: acc
+         | None -> acc))
+
 let compute_tune t (a : Proto.tune_args) cfgm context compiled key =
   match
     let spec = Generic.spec ~seed:a.seed compiled in
-    Driver.tune ~check_each_pass:a.check
+    let strategy =
+      match Driver.strategy_of_string a.strategy with
+      | Ok s -> s
+      | Error msg -> failwith msg (* parse_args validated; belt and braces *)
+    in
+    let donors = if a.warm_start then donors_of_shards t.store else [] in
+    Driver.tune ~check_each_pass:a.check ~strategy ~warm_start:a.warm_start ~donors
       ~cache:(Shard_store.cached t.store)
       ?pool:t.pool ~seed:a.seed ~ckpt:(ckpt_for t cfgm) ~codecache:t.codecache
       ~cfg:cfgm ~context ~spec ~n:a.n

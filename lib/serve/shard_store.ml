@@ -126,6 +126,12 @@ let find t ~key = Option.map (fun (o, _, _) -> o) (find_entry t ~key)
 
 let add t ~key ~params ~prov outcome = Store.add (shard t key) ~key ~params ~prov outcome
 
+(* Read-only fold over every shard in index order (each shard folds in
+   sorted-key order), so the scan is deterministic for a given set of
+   entries regardless of which daemon appended them. *)
+let fold_entries t ~init ~f =
+  Array.fold_left (fun acc sh -> Store.fold_entries sh ~init:acc ~f) init t.shards
+
 (* Single-flight memoization: the first misser of a key computes it,
    concurrent missers of the same key block until the leader finishes
    and share its outcome.  If the leader dies, one waiter takes over

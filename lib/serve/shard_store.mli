@@ -45,6 +45,16 @@ val find_entry : t -> key:string -> (Store.outcome * string * string) option
 
 val add : t -> key:string -> params:string -> prov:string -> Store.outcome -> unit
 
+val fold_entries :
+  t ->
+  init:'a ->
+  f:('a -> key:string -> params:string -> prov:string -> Store.outcome -> 'a) ->
+  'a
+(** Read-only fold over every live entry: shards in index order, each
+    shard in sorted-key order ({!Store.fold_entries}) — deterministic
+    for a given entry set.  Used by the daemon's warm-start donor
+    scan. *)
+
 val cached :
   t -> key:string -> params:string -> prov:string ->
   (unit -> Store.outcome) -> Store.outcome

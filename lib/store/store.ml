@@ -421,6 +421,31 @@ let find_entry t ~key =
   Mutex.unlock t.mutex;
   Option.map (fun e -> (e.outcome, e.params, e.prov)) r
 
+(* Tune-level entries (whole-search results journaled by the driver and
+   the serve daemon) are distinguished from per-probe entries purely by
+   their provenance prefix — the journal format is unchanged. *)
+let is_tune_prov prov = String.length prov >= 5 && String.sub prov 0 5 = "tune "
+
+(* Snapshot under the mutex, fold outside it, so [f] is free to use the
+   store itself (journaling a derived entry, say) without deadlocking.
+   Sorted-key order makes the fold deterministic regardless of append
+   order — warm-start donor selection depends on that. *)
+let fold_entries t ~init ~f =
+  Mutex.lock t.mutex;
+  let snap = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.table [] in
+  Mutex.unlock t.mutex;
+  let snap = List.sort (fun (a, _) (b, _) -> compare a b) snap in
+  List.fold_left
+    (fun acc (key, e) -> f acc ~key ~params:e.params ~prov:e.prov e.outcome)
+    init snap
+
+let iter_tunes t ~f =
+  fold_entries t ~init:() ~f:(fun () ~key ~params ~prov outcome ->
+      match outcome with
+      | Timed tm when is_tune_prov prov ->
+        f ~key ~params ~prov ~mflops:tm.mflops
+      | Timed _ | Test_failed | Illegal -> ())
+
 let add t ~key ~params ~prov outcome =
   Mutex.lock t.mutex;
   let e = { outcome; params; prov; e_ts = t.clock (); e_seq = t.next_seq } in
@@ -582,16 +607,23 @@ let probe_key ~kernel ~machine ~context ~n ~seed ~check ?fidelity ~params () =
 let timing_key ~kind ~func ~machine ~context ~n ~seed =
   digest [ "timing"; kind; func; machine; context; string_of_int n; string_of_int seed ]
 
-let tune_key ~kernel ~machine ~context ~n ~seed ~check ~flops_per_n =
-  digest
+(* [strategy] is appended only when present, so every key minted before
+   the strategy axis existed is unchanged (same convention as
+   [probe_key]'s fidelity field). *)
+let tune_key ?strategy ~kernel ~machine ~context ~n ~seed ~check ~flops_per_n () =
+  let base =
     [ "tune"; kernel; machine; context; string_of_int n; string_of_int seed;
       (if check then "check" else "nocheck"); Printf.sprintf "%.17g" flops_per_n ]
+  in
+  digest (match strategy with None -> base | Some s -> base @ [ "strategy:" ^ s ])
 
 (* ---------------------------------------------------------------- *)
 
 type stat = {
   st_path : string;
   st_entries : int;
+  st_tunes : int;
+  st_probes : int;
   st_timed : int;
   st_failed : int;
   st_illegal : int;
@@ -609,8 +641,10 @@ let stat t =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       let timed = ref 0 and failed = ref 0 and illegal = ref 0 in
+      let tunes = ref 0 in
       Hashtbl.iter
         (fun _ e ->
+          if is_tune_prov e.prov then incr tunes;
           match e.outcome with
           | Timed _ -> incr timed
           | Test_failed -> incr failed
@@ -619,6 +653,8 @@ let stat t =
       {
         st_path = t.store_path;
         st_entries = Hashtbl.length t.table;
+        st_tunes = !tunes;
+        st_probes = Hashtbl.length t.table - !tunes;
         st_timed = !timed;
         st_failed = !failed;
         st_illegal = !illegal;
@@ -635,6 +671,8 @@ let stat t =
 let stat_fields s =
   [ ("path", Json.S s.st_path);
     ("entries", Json.N (float_of_int s.st_entries));
+    ("tune_entries", Json.N (float_of_int s.st_tunes));
+    ("probe_entries", Json.N (float_of_int s.st_probes));
     ("timed", Json.N (float_of_int s.st_timed));
     ("test_failed", Json.N (float_of_int s.st_failed));
     ("illegal", Json.N (float_of_int s.st_illegal));
@@ -650,9 +688,10 @@ let stat_json s = Json.render (stat_fields s)
 
 let stat_to_string s =
   Printf.sprintf
-    "%s: %d entries (%d timed, %d test-failed, %d illegal), %d corrupt + %d torn line%s \
-     skipped, %d bytes%s\n"
-    s.st_path s.st_entries s.st_timed s.st_failed s.st_illegal s.st_corrupt s.st_torn
+    "%s: %d entries (%d probes + %d tunes; %d timed, %d test-failed, %d illegal), %d \
+     corrupt + %d torn line%s skipped, %d bytes%s\n"
+    s.st_path s.st_entries s.st_probes s.st_tunes s.st_timed s.st_failed s.st_illegal
+    s.st_corrupt s.st_torn
     (if s.st_corrupt + s.st_torn = 1 then "" else "s")
     s.st_bytes
     (match s.st_seed with

@@ -87,6 +87,28 @@ val find_entry : t -> key:string -> (outcome * string * string) option
     touch the hit/miss counters — for callers (the serve layer) that
     keep their own service-level counters. *)
 
+val is_tune_prov : string -> bool
+(** Whether a provenance string marks a {e tune-level} entry (a whole
+    search's result, journaled with a ["tune "] prefix by the driver
+    and the serve daemon) rather than a single probe. *)
+
+val fold_entries :
+  t ->
+  init:'a ->
+  f:('a -> key:string -> params:string -> prov:string -> outcome -> 'a) ->
+  'a
+(** Read-only fold over every live entry in sorted-key order (a
+    deterministic scan regardless of journal append order).  The table
+    is snapshotted under the mutex and folded outside it, so [f] may
+    itself use the store. *)
+
+val iter_tunes :
+  t ->
+  f:(key:string -> params:string -> prov:string -> mflops:float -> unit) ->
+  unit
+(** Visit the timed tune-level entries only ({!is_tune_prov} plus a
+    [Timed] outcome) — the warm-start seeder's donor scan. *)
+
 val add : t -> key:string -> params:string -> prov:string -> outcome -> unit
 (** Thread-safe insert + journal append (one flushed line).  [params]
     and [prov] are human-readable provenance (the parameter point and
@@ -182,6 +204,7 @@ val timing_key :
     compiler-model baseline timings. [kind] namespaces the caller. *)
 
 val tune_key :
+  ?strategy:string ->
   kernel:string ->
   machine:string ->
   context:string ->
@@ -189,17 +212,23 @@ val tune_key :
   seed:int ->
   check:bool ->
   flops_per_n:float ->
+  unit ->
   string
 (** Key of one {e complete tune} — the service-level result the serve
     daemon caches on top of the per-probe entries.  [kernel] is the
     {!Ifko_search.Driver.kernel_fingerprint}; [flops_per_n] is included
-    because it scales the reported MFLOPS. *)
+    because it scales the reported MFLOPS.  [strategy] names a
+    non-default search strategy; omit it for the default linesearch so
+    every key minted before the strategy axis existed stays valid (and
+    the strategies' results never alias). *)
 
 (** {2 Statistics} *)
 
 type stat = {
   st_path : string;
   st_entries : int;
+  st_tunes : int;  (** tune-level entries ({!is_tune_prov}) *)
+  st_probes : int;  (** the rest: per-probe and raw-timing entries *)
   st_timed : int;
   st_failed : int;
   st_illegal : int;

@@ -368,6 +368,266 @@ let test_driver_codecache_reuse () =
     (after_second.Codecache.hits >= after_first.Codecache.misses);
   ignore first
 
+(* ---- strategies: bit-identity, determinism, warm starts ---- *)
+
+(* The pre-refactor modified line search, written out as the original
+   one-dimension-at-a-time loop over the Space candidates.  This is the
+   committed reference the strategy-based {!Linesearch} must stay
+   bit-identical to: same probe memoization, same strict-[>] first-wins
+   fold, same dimension order. *)
+let legacy_sweep ~cfg ~report ~init probe =
+  let memo = Hashtbl.create 64 in
+  let evals = ref 0 in
+  let eval p =
+    let c = Params.canonical p in
+    match Hashtbl.find_opt memo c with
+    | Some v -> v
+    | None ->
+      incr evals;
+      let v = probe p in
+      Hashtbl.replace memo c v;
+      v
+  in
+  let start = eval init in
+  let cur = ref init in
+  let cur_perf = ref start in
+  let contributions = ref [] in
+  let sweep variants =
+    List.iter
+      (fun p ->
+        let v = eval p in
+        if v > !cur_perf then begin
+          cur := p;
+          cur_perf := v
+        end)
+      variants
+  in
+  let dim name sweeps =
+    let before = !cur_perf in
+    List.iter (fun f -> sweep (f !cur)) sweeps;
+    contributions :=
+      (name, if before > 0.0 then !cur_perf /. before else 1.0) :: !contributions
+  in
+  let module Space = Ifko_search.Space in
+  let arrays = List.map fst init.Params.prefetch in
+  dim "SV"
+    [ (fun cur -> List.map (fun sv -> { cur with Params.sv }) (Space.sv_candidates report)) ];
+  dim "WNT"
+    [ (fun cur -> List.map (fun wnt -> { cur with Params.wnt }) (Space.wnt_candidates report));
+    ];
+  dim "PF DST"
+    (List.map
+       (fun name cur -> List.map (Space.set_pf_dist cur name) (Space.pf_dist_candidates cfg))
+       arrays);
+  dim "PF INS"
+    (List.map
+       (fun name cur -> List.map (Space.set_pf_ins cur name) (Space.pf_ins_candidates cfg))
+       arrays);
+  dim "UR"
+    [ (fun cur ->
+        List.map (fun u -> { cur with Params.unroll = u }) (Space.unroll_candidates report));
+    ];
+  dim "AE"
+    [ (fun cur -> List.map (fun ae -> { cur with Params.ae }) (Space.ae_candidates report)) ];
+  dim "UR*AE"
+    [ (fun cur ->
+        let u0 = cur.Params.unroll in
+        let urs =
+          List.sort_uniq compare
+            (List.filter
+               (fun u -> u >= 1 && u <= report.Ifko_analysis.Report.max_unroll)
+               [ u0 / 2; u0; u0 * 2 ])
+        in
+        let aes = List.filter (fun a -> a = 0 || a >= 2) (Space.ae_candidates report) in
+        List.concat_map
+          (fun u -> List.map (fun ae -> { cur with Params.unroll = u; Params.ae = ae }) aes)
+          urs);
+    ];
+  dim "PF2"
+    (List.concat_map
+       (fun name ->
+         [ (fun cur -> List.map (Space.set_pf_ins cur name) (Space.pf_ins_candidates cfg));
+           (fun cur -> List.map (Space.set_pf_dist cur name) (Space.pf_dist_candidates cfg));
+         ])
+       arrays);
+  (!cur, !cur_perf, start, List.rev !contributions, !evals)
+
+let test_linesearch_matches_legacy_sweep () =
+  let cfg = Ifko_machine.Config.p4e in
+  List.iter
+    (fun id ->
+      let report = report_for id in
+      let init = Params.default ~line_bytes:128 report in
+      let best, best_perf, start_perf, contributions, evals =
+        legacy_sweep ~cfg ~report ~init synthetic_probe
+      in
+      let r = Ifko_search.Linesearch.run ~cfg ~report ~init synthetic_probe in
+      Alcotest.check params_t "same best point" best r.Ifko_search.Linesearch.best;
+      Alcotest.(check (float 0.0)) "same best perf" best_perf
+        r.Ifko_search.Linesearch.best_perf;
+      Alcotest.(check (float 0.0)) "same start perf" start_perf
+        r.Ifko_search.Linesearch.start_perf;
+      Alcotest.(check int) "same evaluation count" evals
+        r.Ifko_search.Linesearch.evaluations;
+      Alcotest.(check (list (pair string (float 0.0)))) "same contributions" contributions
+        r.Ifko_search.Linesearch.contributions)
+    [ { Defs.routine = Defs.Dot; prec = Instr.D };
+      { Defs.routine = Defs.Asum; prec = Instr.S };
+      { Defs.routine = Defs.Iamax; prec = Instr.D };
+      { Defs.routine = Defs.Copy; prec = Instr.S };
+    ]
+
+(* The surrogate's proposal stream must be a pure function of its seed:
+   the same search on 1, 4 and 8 worker domains probes the same points
+   and lands on the same answer, bit for bit. *)
+let test_surrogate_jobs_deterministic () =
+  let id = { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let report = report_for id in
+  let cfg = Ifko_machine.Config.p4e in
+  let init = Params.default ~line_bytes:128 report in
+  let run ?map_batch () =
+    Ifko_search.Strategy.run ?map_batch ~init
+      ~make:(fun ~init_perf ->
+        Ifko_search.Surrogate.strategy ~seed:42 ~cfg ~report ~init ~init_perf ())
+      synthetic_probe
+  in
+  let seq = run () in
+  Alcotest.(check bool) "a real search happened" true (seq.Ifko_search.Strategy.evaluations > 8);
+  List.iter
+    (fun jobs ->
+      let par =
+        Ifko_par.Par.Pool.with_pool ~jobs (fun pool ->
+            run ~map_batch:(fun f xs -> Ifko_par.Par.Pool.map pool f xs) ())
+      in
+      let label fmt = Printf.sprintf "%s at jobs=%d" fmt jobs in
+      Alcotest.check params_t (label "same best") seq.Ifko_search.Strategy.best
+        par.Ifko_search.Strategy.best;
+      Alcotest.(check (float 0.0)) (label "same best perf")
+        seq.Ifko_search.Strategy.best_perf par.Ifko_search.Strategy.best_perf;
+      Alcotest.(check int) (label "same evaluations")
+        seq.Ifko_search.Strategy.evaluations par.Ifko_search.Strategy.evaluations;
+      Alcotest.(check int) (label "same probes-to-best")
+        seq.Ifko_search.Strategy.probes_to_best par.Ifko_search.Strategy.probes_to_best)
+    [ 4; 8 ]
+
+(* Warm-start plumbing at the unit level: journal entries parse into
+   donors only when they are well-formed tune entries, and seeding
+   ranks by fingerprint distance. *)
+let test_warmstart_donors () =
+  let module W = Ifko_search.Warmstart in
+  let dot = report_for { Defs.routine = Defs.Dot; prec = Instr.D } in
+  let asum = report_for { Defs.routine = Defs.Asum; prec = Instr.D } in
+  let init = Params.default ~line_bytes:128 dot in
+  let feat r = Ifko_analysis.Report.features r in
+  let entry best =
+    Ifko_store.Store.Json.render
+      [ ("best", Ifko_store.Store.Json.S (Params.canonical best));
+        ("fko", Ifko_store.Store.Json.N 100.0);
+        ("evals", Ifko_store.Store.Json.N 50.0);
+        ("kernel", Ifko_store.Store.Json.S "dasum");
+        ("feat", W.feat_json (feat asum));
+      ]
+  in
+  let timed = Ifko_store.Store.Timed { mflops = 500.0; cycles = 0.0 } in
+  let donor_params = { init with Params.unroll = 8; ae = 4 } in
+  (* well-formed tune entry parses *)
+  (match W.donor_of_entry ~params:(entry donor_params) ~prov:"tune dasum@P4E" timed with
+  | Some d ->
+    Alcotest.(check string) "donor kernel" "dasum" d.W.d_kernel;
+    Alcotest.check params_t "donor point" donor_params d.W.d_params;
+    Alcotest.(check (float 0.0)) "donor mflops" 500.0 d.W.d_mflops
+  | None -> Alcotest.fail "well-formed tune entry must parse");
+  (* probe entries, corrupt JSON, and failures never become donors *)
+  Alcotest.(check bool) "probe prov skipped" true
+    (W.donor_of_entry ~params:(entry donor_params) ~prov:"dasum@P4E" timed = None);
+  Alcotest.(check bool) "corrupt JSON skipped" true
+    (W.donor_of_entry ~params:"{not json" ~prov:"tune x" timed = None);
+  Alcotest.(check bool) "unparseable point skipped" true
+    (W.donor_of_entry
+       ~params:
+         (Ifko_store.Store.Json.render
+            [ ("best", Ifko_store.Store.Json.S "garbage");
+              ("kernel", Ifko_store.Store.Json.S "x");
+              ("feat", W.feat_json []);
+            ])
+       ~prov:"tune x" timed
+    = None);
+  Alcotest.(check bool) "failed tune skipped" true
+    (W.donor_of_entry ~params:(entry donor_params) ~prov:"tune x" Ifko_store.Store.Test_failed
+    = None);
+  (* seeding ranks by fingerprint distance: a donor with the target's
+     own fingerprint outranks a far one *)
+  let near = { W.d_kernel = "twin"; d_feat = feat dot; d_params = donor_params; d_mflops = 1.0 } in
+  let far_params = { init with Params.unroll = 2 } in
+  let far = { W.d_kernel = "other"; d_feat = feat asum; d_params = far_params; d_mflops = 9.0 } in
+  (match W.seeds ~k:1 ~cfg:Ifko_machine.Config.p4e ~report:dot ~init ~feat:(feat dot) [ far; near ] with
+  | [ s ] -> Alcotest.check params_t "nearest donor seeds first" donor_params s
+  | l -> Alcotest.failf "expected 1 seed, got %d" (List.length l));
+  Alcotest.(check bool) "identical fingerprints are at distance 0" true
+    (W.distance (feat dot) (feat dot) = 0.0);
+  Alcotest.(check bool) "different kernels are apart" true
+    (W.distance (feat dot) (feat asum) > 0.0)
+
+(* End-to-end warm start through the driver and the store: a tune of
+   the same kernel at a smaller N journals a donor; the warm-started
+   surrogate then opens at the donor's winner and halves (at least) its
+   own cold probes-to-best.  An empty store — or one holding only
+   garbage tune entries — must leave the search bit-identical to a
+   cold start. *)
+let test_driver_warm_start () =
+  let id = { Defs.routine = Defs.Asum; prec = Instr.D } in
+  let compiled = Hil_sources.compile id in
+  let cfg = Ifko_machine.Config.p4e in
+  let spec = Workload.timer_spec id ~seed:13 in
+  let tune ?strategy ?(warm_start = false) ?store ~n () =
+    Ifko_search.Driver.tune ?strategy ~warm_start ?store ~seed:13 ~cfg
+      ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n ~flops_per_n:1.0
+      ~test:(fun _ -> true)
+      compiled
+  in
+  let cold = tune ~strategy:Ifko_search.Driver.Surrogate ~n:2000 () in
+  with_tmp_store_path (fun path ->
+      (* donor: the same kernel tuned at half the problem size *)
+      let st = Ifko_store.Store.open_ ~seed:13 path in
+      ignore (tune ~store:st ~n:1000 () : Ifko_search.Driver.tuned);
+      Alcotest.(check int) "donor tune journaled one tune entry" 1
+        (Ifko_store.Store.stat st).Ifko_store.Store.st_tunes;
+      let warm = tune ~strategy:Ifko_search.Driver.Surrogate ~warm_start:true ~store:st ~n:2000 () in
+      Ifko_store.Store.close st;
+      Alcotest.(check bool) "warm start halves probes-to-best" true
+        (2 * warm.Ifko_search.Driver.probes_to_best
+        <= cold.Ifko_search.Driver.probes_to_best);
+      Alcotest.(check bool) "warm never loses to the default" true
+        (warm.Ifko_search.Driver.ifko_mflops >= warm.Ifko_search.Driver.fko_mflops));
+  (* empty store: a clean cold start, bit for bit *)
+  with_tmp_store_path (fun path ->
+      let st = Ifko_store.Store.open_ ~seed:13 path in
+      let w = tune ~strategy:Ifko_search.Driver.Surrogate ~warm_start:true ~store:st ~n:2000 () in
+      Ifko_store.Store.close st;
+      Alcotest.check params_t "empty store: same point" cold.Ifko_search.Driver.best_params
+        w.Ifko_search.Driver.best_params;
+      Alcotest.(check (float 0.0)) "empty store: same MFLOPS"
+        cold.Ifko_search.Driver.ifko_mflops w.Ifko_search.Driver.ifko_mflops;
+      Alcotest.(check int) "empty store: same probes-to-best"
+        cold.Ifko_search.Driver.probes_to_best w.Ifko_search.Driver.probes_to_best);
+  (* corrupt tune entries: skipped, so still a clean cold start *)
+  with_tmp_store_path (fun path ->
+      let st = Ifko_store.Store.open_ ~seed:13 path in
+      Ifko_store.Store.add st ~key:"junk1" ~params:"{not json" ~prov:"tune junk"
+        (Ifko_store.Store.Timed { mflops = 1.0; cycles = 0.0 });
+      Ifko_store.Store.add st ~key:"junk2" ~params:"{\"best\": 3}" ~prov:"tune junk"
+        (Ifko_store.Store.Timed { mflops = 1.0; cycles = 0.0 });
+      Alcotest.(check (list string)) "garbage yields no donors" []
+        (List.map
+           (fun d -> d.Ifko_search.Warmstart.d_kernel)
+           (Ifko_search.Warmstart.donors_of_store st));
+      let w = tune ~strategy:Ifko_search.Driver.Surrogate ~warm_start:true ~store:st ~n:2000 () in
+      Ifko_store.Store.close st;
+      Alcotest.check params_t "corrupt store: same point" cold.Ifko_search.Driver.best_params
+        w.Ifko_search.Driver.best_params;
+      Alcotest.(check int) "corrupt store: same probes-to-best"
+        cold.Ifko_search.Driver.probes_to_best w.Ifko_search.Driver.probes_to_best)
+
 let suite =
   [ Alcotest.test_case "space gating" `Quick test_space_gates;
     Alcotest.test_case "linesearch finds optimum" `Quick test_linesearch_finds_optimum;
@@ -378,4 +638,12 @@ let suite =
     Alcotest.test_case "codecache dedup and stats" `Quick test_codecache_dedup;
     Alcotest.test_case "codecache single flight" `Quick test_codecache_single_flight;
     Alcotest.test_case "driver codecache reuse" `Quick test_driver_codecache_reuse;
+    Alcotest.test_case "linesearch parallel = sequential" `Quick
+      test_linesearch_parallel_matches_sequential;
+    Alcotest.test_case "linesearch matches legacy sweep" `Quick
+      test_linesearch_matches_legacy_sweep;
+    Alcotest.test_case "surrogate deterministic at jobs 1/4/8" `Quick
+      test_surrogate_jobs_deterministic;
+    Alcotest.test_case "warm-start donors" `Quick test_warmstart_donors;
+    Alcotest.test_case "driver warm start" `Slow test_driver_warm_start;
   ]

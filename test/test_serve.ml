@@ -36,7 +36,8 @@ let dasum_src =
 let test_proto_request_roundtrip () =
   let args =
     { Proto.kernel = "KERNEL k()\nwith \"quotes\" \\ and tabs\t"; machine = "opteron";
-      context = "l2"; n = 1234; seed = 7; flops_per_n = 1.5; check = true }
+      context = "l2"; n = 1234; seed = 7; flops_per_n = 1.5; check = true;
+      strategy = "surrogate"; warm_start = true }
   in
   List.iter
     (fun request ->
@@ -549,6 +550,76 @@ let test_daemon_replica_pair () =
           | Ok None -> Alcotest.fail "replica b missed a's result"
           | Error e -> Alcotest.failf "lookup on b failed: %s" e))
 
+(* Warm starts through the daemon: tuning ddot journals a tune-level
+   donor in the shard store; a warm-started surrogate tune of the
+   related dasum then opens at ddot's adapted winner.  The reply must
+   be bit-identical to a local warm tune seeded with the same donor —
+   the daemon path (journal round-trip included) adds nothing and
+   loses nothing. *)
+let test_daemon_warm_start () =
+  let n = 600 and seed = 3 and flops_per_n = 2.0 in
+  let local ?strategy ?(warm_start = false) ?donors src =
+    let compiled =
+      src |> Ifko_hil.Parser.parse_kernel |> Ifko_hil.Typecheck.check
+      |> Ifko_codegen.Lower.lower
+    in
+    let spec = Ifko_search.Generic.spec ~seed compiled in
+    Ifko_search.Driver.tune ?strategy ~warm_start ?donors ~seed
+      ~cfg:Ifko_machine.Config.p4e ~context:Ifko_sim.Timer.Out_of_cache ~spec ~n
+      ~flops_per_n
+      ~test:(Ifko_search.Generic.test compiled spec)
+      compiled
+  in
+  (* the local replica of the daemon's journal: ddot's surrogate winner
+     as the one donor in the store *)
+  let t_ddot = local ~strategy:Ifko_search.Driver.Surrogate ddot_src in
+  let donor =
+    { Ifko_search.Warmstart.d_kernel = "ddot";
+      d_feat = Ifko_analysis.Report.features t_ddot.Ifko_search.Driver.report;
+      d_params = t_ddot.Ifko_search.Driver.best_params;
+      d_mflops = t_ddot.Ifko_search.Driver.ifko_mflops;
+    }
+  in
+  let warm_ref =
+    local ~strategy:Ifko_search.Driver.Surrogate ~warm_start:true ~donors:[ donor ]
+      dasum_src
+  in
+  (* sanity: with one donor the warm search is genuinely different from
+     a cold one (deterministic simulator, so this cannot flake) *)
+  let cold_ref = local ~strategy:Ifko_search.Driver.Surrogate dasum_src in
+  Alcotest.(check bool) "warm reference differs from cold" true
+    (warm_ref.Ifko_search.Driver.evaluations <> cold_ref.Ifko_search.Driver.evaluations
+    || warm_ref.Ifko_search.Driver.probes_to_best
+       <> cold_ref.Ifko_search.Driver.probes_to_best);
+  with_daemon (fun listen ->
+      Client.with_client listen (fun c ->
+          let args kernel =
+            { (Proto.default_args ~kernel) with
+              Proto.n;
+              seed;
+              strategy = "surrogate";
+            }
+          in
+          (* donor phase: the daemon computes and journals ddot's tune *)
+          (match Client.tune c (args ddot_src) with
+          | Ok r -> Alcotest.(check bool) "ddot computed cold" false r.Proto.hit
+          | Error e -> Alcotest.failf "ddot tune failed: %s" e);
+          (* warm phase: dasum opens at ddot's adapted winner *)
+          match Client.tune c { (args dasum_src) with Proto.warm_start = true } with
+          | Error e -> Alcotest.failf "warm dasum tune failed: %s" e
+          | Ok r ->
+            Alcotest.(check string) "warm best bit-identical to local"
+              (Ifko_transform.Params.canonical warm_ref.Ifko_search.Driver.best_params)
+              r.Proto.best;
+            Alcotest.(check bool) "warm mflops bit-identical" true
+              (Int64.bits_of_float warm_ref.Ifko_search.Driver.ifko_mflops
+              = Int64.bits_of_float r.Proto.mflops);
+            Alcotest.(check bool) "fko mflops bit-identical" true
+              (Int64.bits_of_float warm_ref.Ifko_search.Driver.fko_mflops
+              = Int64.bits_of_float r.Proto.fko_mflops);
+            Alcotest.(check int) "warm evaluations bit-identical"
+              warm_ref.Ifko_search.Driver.evaluations r.Proto.evaluations))
+
 let suite =
   [ Alcotest.test_case "proto: request round-trip" `Quick test_proto_request_roundtrip;
     Alcotest.test_case "proto: response round-trip" `Quick test_proto_response_roundtrip;
@@ -567,4 +638,6 @@ let suite =
       test_daemon_protocol_errors;
     Alcotest.test_case "daemon: replica pair shares results" `Quick
       test_daemon_replica_pair;
+    Alcotest.test_case "daemon: related kernels share warm starts" `Quick
+      test_daemon_warm_start;
   ]

@@ -162,6 +162,49 @@ let test_stat_torn_vs_corrupt () =
   Store.close st2;
   Store.clear path
 
+(* The read-only iteration API the warm-start seeder scans with:
+   fold_entries walks every entry in sorted-key order (deterministic
+   regardless of append order), iter_tunes yields only timed tune-level
+   entries, and the stat report splits the tune/probe populations. *)
+let test_fold_and_tunes () =
+  let path = tmp_store () in
+  let st = Store.open_ ~seed:3 path in
+  (* appended out of key order on purpose *)
+  Store.add st ~key:"zz-probe" ~params:"SV:N" ~prov:"ddot@P4E"
+    (Store.Timed { mflops = 10.0; cycles = 1.0 });
+  Store.add st ~key:"mm-tune" ~params:"{\"best\":\"...\"}" ~prov:"tune ddot@P4E"
+    (Store.Timed { mflops = 20.0; cycles = 2.0 });
+  Store.add st ~key:"aa-probe" ~params:"" ~prov:"ddot@P4E" Store.Test_failed;
+  Store.add st ~key:"nn-tune-failed" ~params:"" ~prov:"tune dasum@P4E" Store.Illegal;
+  Alcotest.(check bool) "tune prov classifier" true (Store.is_tune_prov "tune ddot@P4E");
+  Alcotest.(check bool) "probe prov is not a tune" false (Store.is_tune_prov "ddot@P4E");
+  let keys =
+    Store.fold_entries st ~init:[] ~f:(fun acc ~key ~params:_ ~prov:_ _ -> key :: acc)
+  in
+  Alcotest.(check (list string)) "fold_entries walks in sorted-key order"
+    [ "aa-probe"; "mm-tune"; "nn-tune-failed"; "zz-probe" ]
+    (List.rev keys);
+  let tunes = ref [] in
+  Store.iter_tunes st ~f:(fun ~key ~params:_ ~prov ~mflops ->
+      tunes := (key, prov, mflops) :: !tunes);
+  Alcotest.(check (list (triple string string (float 0.0))))
+    "iter_tunes yields only the timed tune entries"
+    [ ("mm-tune", "tune ddot@P4E", 20.0) ]
+    !tunes;
+  let s = Store.stat st in
+  Alcotest.(check int) "stat: two tune entries" 2 s.Store.st_tunes;
+  Alcotest.(check int) "stat: two probe entries" 2 s.Store.st_probes;
+  Alcotest.(check int) "tunes + probes = entries" s.Store.st_entries
+    (s.Store.st_tunes + s.Store.st_probes);
+  (* the split survives a reopen (it is recomputed from the journal) *)
+  Store.close st;
+  let st2 = Store.open_ path in
+  let s2 = Store.stat st2 in
+  Alcotest.(check int) "tunes after reopen" 2 s2.Store.st_tunes;
+  Alcotest.(check int) "probes after reopen" 2 s2.Store.st_probes;
+  Store.close st2;
+  Store.clear path
+
 let test_evict () =
   let path = tmp_store () in
   let now = ref 100.0 in
@@ -202,13 +245,15 @@ let test_evict () =
   Store.clear path
 
 let test_tune_key () =
-  let key ?(n = 100) ?(flops = 2.0) () =
-    Store.tune_key ~kernel:"fp" ~machine:"P4E" ~context:"out-of-cache" ~n ~seed:0
-      ~check:false ~flops_per_n:flops
+  let key ?strategy ?(n = 100) ?(flops = 2.0) () =
+    Store.tune_key ?strategy ~kernel:"fp" ~machine:"P4E" ~context:"out-of-cache" ~n
+      ~seed:0 ~check:false ~flops_per_n:flops ()
   in
   Alcotest.(check string) "deterministic" (key ()) (key ());
   Alcotest.(check bool) "flops_per_n changes the key" false (key () = key ~flops:3.0 ());
   Alcotest.(check bool) "n changes the key" false (key () = key ~n:200 ());
+  Alcotest.(check bool) "strategy changes the key" false
+    (key () = key ~strategy:"surrogate" ());
   (* tune keys never collide with probe keys of the same inputs *)
   Alcotest.(check bool) "disjoint from probe keys" false
     (key ()
@@ -274,6 +319,7 @@ let suite =
     Alcotest.test_case "truncated-journal recovery" `Quick test_truncated_journal_recovery;
     Alcotest.test_case "corrupt middle line" `Quick test_corrupt_middle_line;
     Alcotest.test_case "stat splits torn from corrupt" `Quick test_stat_torn_vs_corrupt;
+    Alcotest.test_case "fold_entries and iter_tunes" `Quick test_fold_and_tunes;
     Alcotest.test_case "age- and size-bounded eviction" `Quick test_evict;
     Alcotest.test_case "tune keys" `Quick test_tune_key;
     Alcotest.test_case "compaction" `Quick test_compact;
